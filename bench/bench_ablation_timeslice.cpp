@@ -1,0 +1,90 @@
+// Ablation: scheduler timeslice vs. the contention signature.
+//
+// EXPERIMENTS.md documents that the simulator's absolute non-voluntary
+// context-switch counts depend on HZ x runtime / timeslice, while the
+// cross-configuration *ratios* (Table 1 vs Table 3) do not.  This ablation
+// substantiates that claim: the Table 1 workload runs under timeslices of
+// 1, 6 (default), and 20 jiffies — nvctx scales inversely with the slice,
+// the runtime and per-thread utilization stay put, and the analyzer's
+// oversubscription verdict is invariant.
+#include <iostream>
+
+#include "common/strings.hpp"
+#include "core/monitor.hpp"
+#include "procfs/simfs.hpp"
+#include "sim/workload.hpp"
+#include "topology/presets.hpp"
+
+using namespace zerosum;
+
+namespace {
+
+struct SliceOutcome {
+  double seconds = 0.0;
+  std::uint64_t teamNvctx = 0;
+  double mainBusyPerPeriod = 0.0;
+  bool oversubscribedFlagged = false;
+};
+
+SliceOutcome runWithTimeslice(sim::Jiffies slice) {
+  sim::SchedulerParams params;
+  params.timesliceJiffies = slice;
+  sim::SimNode node(CpuSet::fromList("0-15"), 64ULL << 30, params);
+  sim::MiniQmcConfig qmc;
+  qmc.ompThreads = 8;
+  qmc.steps = 30;
+  qmc.workPerStep = 10;
+  const auto rank = sim::buildMiniQmcRank(node, CpuSet::fromList("1"), qmc,
+                                          node.hwts());
+  core::Config cfg;
+  cfg.jiffyHz = sim::kHz;
+  cfg.signalHandler = false;
+  core::MonitorSession session(cfg, procfs::makeSimProcFs(node, rank.pid));
+  while (!node.processFinished(rank.pid) && node.nowSeconds() < 600.0) {
+    node.advance(sim::kHz);
+    session.sampleNow(node.nowSeconds());
+  }
+
+  SliceOutcome outcome;
+  outcome.seconds = node.nowSeconds();
+  const auto& lwps = session.lwps().records();
+  outcome.mainBusyPerPeriod =
+      lwps.at(rank.mainTid).avgUtimePerPeriod() +
+      lwps.at(rank.mainTid).avgStimePerPeriod();
+  outcome.teamNvctx = lwps.at(rank.mainTid).totalNonvoluntaryCtx();
+  for (sim::Tid tid : rank.ompTids) {
+    outcome.teamNvctx += lwps.at(tid).totalNonvoluntaryCtx();
+  }
+  for (const auto& finding : session.analyze()) {
+    outcome.oversubscribedFlagged =
+        outcome.oversubscribedFlagged || finding.code == "oversubscribed-hwt";
+  }
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Ablation: scheduler timeslice (Table 1 workload, 8 "
+               "threads on 1 core) ===\n";
+  std::cout << strings::padRight("timeslice", 12)
+            << strings::padLeft("runtime", 10)
+            << strings::padLeft("team nvctx", 12)
+            << strings::padLeft("busy/period", 13)
+            << strings::padLeft("flagged", 9) << '\n';
+  for (sim::Jiffies slice : {sim::Jiffies{1}, sim::Jiffies{6},
+                             sim::Jiffies{20}}) {
+    const SliceOutcome o = runWithTimeslice(slice);
+    std::cout << strings::padRight(std::to_string(slice) + " jiffies", 12)
+              << strings::padLeft(strings::fixed(o.seconds, 1) + " s", 10)
+              << strings::padLeft(std::to_string(o.teamNvctx), 12)
+              << strings::padLeft(strings::fixed(o.mainBusyPerPeriod, 1), 13)
+              << strings::padLeft(o.oversubscribedFlagged ? "yes" : "NO", 9)
+              << '\n';
+  }
+  std::cout << "\nnvctx scales ~1/timeslice; runtime, per-thread "
+               "utilization, and the analyzer verdict are invariant —\n"
+               "the Table 1-3 comparisons rest on the invariants, not the "
+               "absolute counts.\n";
+  return 0;
+}

@@ -1,0 +1,53 @@
+// The allocation-wide view the paper motivates in §2 ("the htop view …
+// but for all nodes in a given allocation"): a 4-node simulated job with
+// per-node and job-level summaries, run twice — clean, and with a noisy
+// neighbour (Bhatele et al.) squatting on one node's cores.  The
+// dashboard localizes the interference to the affected node via the
+// context-switch and imbalance columns.
+#include <iostream>
+
+#include "cluster/job.hpp"
+#include "topology/presets.hpp"
+
+using namespace zerosum;
+
+namespace {
+
+cluster::ClusterJobConfig jobConfig() {
+  cluster::ClusterJobConfig cfg;
+  cfg.nodes = 4;
+  cfg.ranksPerNode = 2;
+  cfg.cpusPerTask = 7;
+  cfg.workload.ompThreads = 4;
+  cfg.workload.steps = 40;
+  cfg.workload.workPerStep = 10;
+  cfg.workload.workJitter = 0.10;
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  const auto topo = topology::presets::frontier();
+
+  std::cout << "=== Allocation dashboard: clean job ===\n";
+  cluster::ClusterJob clean(topo, jobConfig());
+  clean.run();
+  std::cout << clean.dashboard() << '\n';
+
+  std::cout << "=== Allocation dashboard: noisy neighbour on node0002 "
+               "===\n";
+  cluster::ClusterJob noisy(topo, jobConfig());
+  cluster::Interference hog;
+  hog.node = 2;
+  hog.cpus = CpuSet::fromList("1-7,9-15");
+  hog.threads = 14;
+  hog.memoryBytes = 64ULL << 30;
+  noisy.addInterference(hog);
+  noisy.run();
+  std::cout << noisy.dashboard();
+  std::cout << "\nnode0002's ranks show the preemption storm and the job "
+               "imbalance the paper's §2\n'identify cause of failure' "
+               "motivation describes; the other nodes are clean.\n";
+  return 0;
+}

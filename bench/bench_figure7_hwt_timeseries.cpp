@@ -1,0 +1,34 @@
+// Regenerates paper Figure 7: per-hardware-thread (CPU core) utilization
+// over time for the bound configuration, from the HWT time series in the
+// ZeroSum log.
+#include <iostream>
+
+#include "analysis/charts.hpp"
+#include "experiment_support.hpp"
+
+#include <fstream>
+
+#include "core/csv_export.hpp"
+
+int main() {
+  using namespace zerosum;
+  using namespace zerosum::bench;
+  std::cout << "=== Reproduction of Figure 7 (CPU core utilization over "
+               "time) ===\n";
+  const auto result = runFrontierExperiment(LaunchMode::kBound,
+                                            /*steps=*/120,
+                                            /*workPerStep=*/12);
+  analysis::ChartOptions opts;
+  opts.width = 50;
+  std::cout << analysis::renderHwtUtilization(
+      result.session->hwts().records(), opts);
+  {
+    std::ofstream csv("figure7_hwt_timeseries.csv");
+    core::CsvExporter::writeHwtSeries(csv, result.session->hwts().records());
+    std::cout << "wrote figure7_hwt_timeseries.csv\n";
+  }
+  std::cout << "\nAggregate view (mean per HWT over the run):\n"
+            << core::Reporter::renderHwtSection(
+                   result.session->hwts().records());
+  return 0;
+}

@@ -1,0 +1,24 @@
+// Regenerates the node-diagram information content of paper Figures 1-3:
+// Summit, Frontier, Perlmutter, and Aurora, each as the NUMA / core-range /
+// reserved-core / GPU-association table a user needs for configuration —
+// including Frontier's non-intuitive GCD ordering ([[4,5],[2,3],[6,7],[0,1]]
+// against NUMA [0,1,2,3]) and Perlmutter/Aurora's missing GPU-affinity
+// information (Figure 3 caption).
+#include <iostream>
+
+#include "topology/presets.hpp"
+#include "topology/render.hpp"
+
+int main() {
+  using namespace zerosum::topology;
+  std::cout << "=== Reproduction of Figures 1-3 (node diagrams) ===\n\n";
+  std::cout << "--- Figure 1: OLCF Summit ---\n"
+            << renderNodeDiagram(presets::summit()) << '\n';
+  std::cout << "--- Figure 2: OLCF Frontier ---\n"
+            << renderNodeDiagram(presets::frontier()) << '\n';
+  std::cout << "--- Figure 3 (left): NERSC Perlmutter ---\n"
+            << renderNodeDiagram(presets::perlmutter()) << '\n';
+  std::cout << "--- Figure 3 (right): ANL Aurora ---\n"
+            << renderNodeDiagram(presets::aurora()) << '\n';
+  return 0;
+}

@@ -1,0 +1,24 @@
+// Regenerates the paper's §3.1.3 suggestion as a working feature: "This
+// data could also be used to guide the logical MPI process ordering on
+// the nodes to exploit lower latency communication between ranks
+// executing on the same node."  Takes the Figure 5 traffic matrix and
+// scores rank->node mappings by inter-node bytes.
+#include <iostream>
+
+#include "analysis/reorder.hpp"
+#include "mpisim/patterns.hpp"
+
+using namespace zerosum;
+
+int main() {
+  std::cout << "=== Rank-placement guidance from the P2P matrix (paper "
+               "S3.1.3) ===\n";
+  mpisim::patterns::GyrokineticParams params;
+  params.steps = 5;  // matrix shape is step-invariant
+  const auto matrix = mpisim::patterns::toMatrix(
+      128, [&](const mpisim::patterns::SendFn& send) {
+        mpisim::patterns::gyrokineticPic(128, params, send);
+      });
+  std::cout << analysis::renderReorderAdvice(matrix, /*ranksPerNode=*/8);
+  return 0;
+}

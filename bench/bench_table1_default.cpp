@@ -1,0 +1,14 @@
+// Regenerates paper Table 1: miniQMC under `srun -n8` defaults on Frontier.
+// All 8 team threads share one core; the table shows low per-thread utime
+// (~13% of a period) and an explosion of non-voluntary context switches,
+// and the run takes several times longer than the corrected configurations
+// (paper: 63.67 s vs 27.33 s).
+#include "experiment_support.hpp"
+
+int main() {
+  using namespace zerosum::bench;
+  const auto result = runFrontierExperiment(LaunchMode::kDefault);
+  printTableExperiment("Table 1 (default configuration)",
+                       LaunchMode::kDefault, result);
+  return 0;
+}

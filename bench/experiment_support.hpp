@@ -1,0 +1,118 @@
+// Shared harness for the Tables 1-3 / Figures 6-7 reproductions: builds a
+// miniQMC job on a simulated Frontier node under one of the paper's launch
+// configurations, monitors rank 0, and returns everything the bench
+// binaries print.
+#pragma once
+
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "core/monitor.hpp"
+#include "procfs/simfs.hpp"
+#include "sim/workload.hpp"
+#include "topology/presets.hpp"
+
+namespace zerosum::bench {
+
+enum class LaunchMode {
+  kDefault,  ///< srun -n8               (Table 1)
+  kCores7,   ///< srun -n8 -c7           (Table 2)
+  kBound,    ///< -c7 + OMP spread/cores (Table 3)
+};
+
+inline const char* launchModeName(LaunchMode mode) {
+  switch (mode) {
+    case LaunchMode::kDefault: return "srun -n8 (default: 1 core/rank)";
+    case LaunchMode::kCores7: return "srun -n8 -c7 (7 cores/rank, unbound)";
+    case LaunchMode::kBound:
+      return "srun -n8 -c7 + OMP_PROC_BIND=spread OMP_PLACES=cores";
+  }
+  return "?";
+}
+
+struct ExperimentResult {
+  std::unique_ptr<sim::SimNode> node;
+  std::unique_ptr<core::MonitorSession> session;
+  sim::BuiltRank rank0;
+  double runtimeSeconds = 0.0;
+};
+
+/// Runs the full 8-rank job to completion in virtual time, sampling rank 0
+/// once per simulated second (the tool's default period).
+inline ExperimentResult runFrontierExperiment(LaunchMode mode,
+                                              std::uint64_t steps = 60,
+                                              sim::Jiffies workPerStep = 12) {
+  const auto topo = topology::presets::frontier();
+  sim::slurm::SrunArgs args;
+  args.ntasks = 8;
+  args.cpusPerTask = mode == LaunchMode::kDefault ? 1 : 7;
+  const auto plan = sim::slurm::planSrun(topo, args);
+
+  ExperimentResult result;
+  result.node =
+      std::make_unique<sim::SimNode>(topo.allPus(), 512ULL << 30);
+
+  sim::MiniQmcConfig qmc;
+  qmc.ompThreads = mode == LaunchMode::kDefault ? 8 : 7;
+  qmc.steps = steps;
+  qmc.workPerStep = workPerStep;
+  // Walker-level load imbalance: per-step work varies per thread, as on
+  // the real system (Tables 2-3 show utime spreads of several percent).
+  qmc.workJitter = 0.12;
+
+  bool first = true;
+  for (const auto& placement : plan) {
+    sim::MiniQmcConfig cfg = qmc;
+    if (mode == LaunchMode::kBound) {
+      cfg.threadBinding = sim::slurm::planOmpBinding(
+          topo, placement.cpus, qmc.ompThreads, sim::slurm::OmpBind::kSpread,
+          sim::slurm::OmpPlaces::kCores);
+    }
+    auto rank = sim::buildMiniQmcRank(*result.node, placement.cpus, cfg,
+                                      result.node->hwts());
+    if (first) {
+      result.rank0 = rank;
+      first = false;
+    }
+  }
+
+  core::Config cfg;
+  cfg.jiffyHz = sim::kHz;
+  cfg.signalHandler = false;
+  core::ProcessIdentity identity;
+  identity.rank = 0;
+  identity.worldSize = static_cast<int>(plan.size());
+  identity.pid = result.rank0.pid;
+  identity.hostname = "frontier-sim";
+  result.session = std::make_unique<core::MonitorSession>(
+      cfg, procfs::makeSimProcFs(*result.node, result.rank0.pid), identity);
+
+  while (!result.node->allWorkFinished() &&
+         result.node->nowSeconds() < 900.0) {
+    result.node->advance(sim::kHz);
+    result.session->sampleNow(result.node->nowSeconds());
+  }
+  result.runtimeSeconds = result.node->nowSeconds();
+  return result;
+}
+
+/// Standard preamble + LWP table + findings print for the table benches.
+inline void printTableExperiment(const std::string& paperArtifact,
+                                 LaunchMode mode,
+                                 const ExperimentResult& result) {
+  std::cout << "=== Reproduction of " << paperArtifact << " ===\n";
+  std::cout << "Launch: " << launchModeName(mode) << '\n';
+  std::cout << "Application reported execution time: "
+            << result.runtimeSeconds << " s\n\n";
+  std::cout << core::Reporter::renderLwpTable(
+                   result.session->lwps().records())
+            << '\n';
+  std::cout << core::Reporter::renderHwtSection(
+                   result.session->hwts().records())
+            << '\n';
+  std::cout << "Findings:\n"
+            << core::renderFindings(result.session->analyze()) << '\n';
+}
+
+}  // namespace zerosum::bench

@@ -1,0 +1,80 @@
+// miniQMC on a simulated Frontier node, under the paper's three launch
+// configurations (§4, Tables 1-3):
+//
+//   $ ./miniqmc_frontier default     # srun -n8            (Table 1)
+//   $ ./miniqmc_frontier cores7      # srun -n8 -c7        (Table 2)
+//   $ ./miniqmc_frontier bound       # -c7 + OMP spread    (Table 3)
+//
+// Each run prints the rank-0 LWP table in the paper's column format, the
+// ZeroSum report, and the contention findings.  This example demonstrates
+// the monitor + node-simulator substrate that regenerates the paper's
+// evaluation on a laptop.
+#include <iostream>
+#include <string>
+
+#include "core/monitor.hpp"
+#include "procfs/simfs.hpp"
+#include "sim/workload.hpp"
+#include "topology/presets.hpp"
+
+using namespace zerosum;
+
+int main(int argc, char** argv) {
+  const std::string mode = argc > 1 ? argv[1] : "default";
+  const bool cores7 = mode == "cores7" || mode == "bound";
+  const bool bound = mode == "bound";
+  if (mode != "default" && !cores7) {
+    std::cerr << "usage: " << argv[0] << " [default|cores7|bound]\n";
+    return 2;
+  }
+
+  const auto topo = topology::presets::frontier();
+  sim::slurm::SrunArgs args;
+  args.ntasks = 8;
+  args.cpusPerTask = cores7 ? 7 : 1;
+  const auto plan = sim::slurm::planSrun(topo, args);
+  std::cout << "Launch plan (" << mode << "):\n"
+            << sim::slurm::renderPlan(plan) << '\n';
+
+  sim::SimNode node(topo.allPus(), 512ULL << 30);
+  sim::MiniQmcConfig qmc;
+  qmc.ompThreads = cores7 ? 7 : 8;
+  qmc.steps = 60;
+  qmc.workPerStep = 12;
+
+  std::vector<sim::BuiltRank> ranks;
+  for (const auto& placement : plan) {
+    sim::MiniQmcConfig cfg = qmc;
+    if (bound) {
+      cfg.threadBinding = sim::slurm::planOmpBinding(
+          topo, placement.cpus, qmc.ompThreads, sim::slurm::OmpBind::kSpread,
+          sim::slurm::OmpPlaces::kCores);
+    }
+    ranks.push_back(
+        sim::buildMiniQmcRank(node, placement.cpus, cfg, node.hwts()));
+  }
+
+  core::Config cfg;
+  cfg.jiffyHz = sim::kHz;
+  cfg.signalHandler = false;
+  core::ProcessIdentity identity;
+  identity.rank = 0;
+  identity.worldSize = static_cast<int>(plan.size());
+  identity.pid = ranks[0].pid;
+  identity.hostname = "frontier-sim";
+  core::MonitorSession session(cfg, procfs::makeSimProcFs(node, ranks[0].pid),
+                               identity);
+
+  while (!node.allWorkFinished() && node.nowSeconds() < 900.0) {
+    node.advance(sim::kHz);
+    session.sampleNow(node.nowSeconds());
+  }
+
+  std::cout << "Application reported execution time: " << node.nowSeconds()
+            << " s\n\n";
+  std::cout << "Rank 0 LWP table (paper Tables 1-3 format):\n"
+            << core::Reporter::renderLwpTable(session.lwps().records())
+            << '\n';
+  std::cout << session.report();
+  return 0;
+}

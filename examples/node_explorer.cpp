@@ -1,0 +1,66 @@
+// Node explorer: the "check for misconfiguration" workflow from paper §2.
+// Prints the hwloc-style topology of a modelled system (Listing 1 /
+// Figures 1-3), plans a launch, and evaluates it against the configuration
+// rules — before burning any allocation hours.
+//
+//   $ ./node_explorer frontier -n 8 -c 7 --threads 7 --bind --gpus 1
+//   $ ./node_explorer i7-1165g7
+//   $ ./node_explorer host          # discover the current machine
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "core/contention.hpp"
+#include "sim/slurm.hpp"
+#include "topology/discover.hpp"
+#include "topology/presets.hpp"
+#include "topology/render.hpp"
+
+using namespace zerosum;
+
+int main(int argc, char** argv) {
+  const std::string machine = argc > 1 ? argv[1] : "frontier";
+  sim::slurm::SrunArgs args;
+  core::ConfigEvaluator::JobShape shape;
+  shape.threadsPerRank = 1;
+  args.ntasks = 0;  // 0 = topology print only
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() { return i + 1 < argc ? std::atoi(argv[++i]) : 0; };
+    if (flag == "-n") {
+      args.ntasks = next();
+    } else if (flag == "-c") {
+      args.cpusPerTask = next();
+    } else if (flag == "--threads") {
+      shape.threadsPerRank = next();
+    } else if (flag == "--threads-per-core") {
+      args.threadsPerCore = next();
+    } else if (flag == "--gpus") {
+      args.gpusPerTask = next();
+      shape.gpusPerRank = args.gpusPerTask;
+      args.gpuBindClosest = true;
+    } else if (flag == "--bind") {
+      shape.threadsBound = true;
+    } else {
+      std::cerr << "unknown flag " << flag << '\n';
+      return 2;
+    }
+  }
+
+  const topology::Topology topo = machine == "host"
+                                      ? topology::discoverHost()
+                                      : topology::presets::byName(machine);
+  std::cout << topology::renderTree(topo) << '\n';
+  std::cout << topology::renderNodeDiagram(topo) << '\n';
+
+  if (args.ntasks <= 0) {
+    return 0;
+  }
+  const auto plan = sim::slurm::planSrun(topo, args);
+  std::cout << "Placement plan:\n" << sim::slurm::renderPlan(plan) << '\n';
+
+  const auto findings = core::ConfigEvaluator().evaluate(topo, plan, shape);
+  std::cout << "Configuration evaluation:\n"
+            << core::renderFindings(findings);
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Quickstart: monitor the current process with ZeroSum while it does some
+// threaded work, then print the utilization report.
+//
+//   $ ./quickstart [threads] [steps]
+//
+// This is the "always-on monitoring library" usage from the paper: call
+// zerosum::initialize() at startup (or export ZS_AUTO_INIT=1 and link the
+// library), run the application, print zerosum::finalize() at exit.  The
+// monitor discovers the worker threads by scanning /proc/self/task — no
+// instrumentation of the workload is needed.
+#include <cstdlib>
+#include <iostream>
+
+#include "core/zerosum.hpp"
+#include "proxyapps/miniqmc.hpp"
+
+int main(int argc, char** argv) {
+  const int threads = argc > 1 ? std::atoi(argv[1]) : 4;
+  const int steps = argc > 2 ? std::atoi(argv[2]) : 30;
+
+  zerosum::core::Config config;
+  config.period = std::chrono::milliseconds(100);
+  config.heartbeat = true;
+  config.heartbeatPeriods = 5;
+  config.logPrefix = "quickstart";
+  config.jiffyHz =
+      static_cast<std::uint64_t>(::sysconf(_SC_CLK_TCK));
+  zerosum::initialize(config, {});
+
+  zerosum::proxyapps::MiniQmcParams params;
+  params.threads = threads;
+  params.steps = steps;
+  const auto result = zerosum::proxyapps::runMiniQmc(params);
+
+  std::cout << "miniQMC proxy finished: " << result.moves << " moves in "
+            << result.seconds << " s (acceptance "
+            << result.acceptanceRatio << ")\n\n";
+  std::cout << zerosum::finalize();
+  return 0;
+}

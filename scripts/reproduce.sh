@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Regenerates every paper artifact and the test/bench logs from scratch.
+set -u
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja || exit 1
+cmake --build build || exit 1
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+# Every bench binary prints one paper table/figure/listing (or ablation);
+# the CMake metadata entries in build/bench are skipped.
+: > bench_output.txt
+for b in build/bench/bench_*; do
+  [ -x "$b" ] || continue
+  echo "### $(basename "$b")" | tee -a bench_output.txt
+  "$b" 2>&1 | tee -a bench_output.txt
+done
+
+echo
+echo "Artifacts: test_output.txt bench_output.txt figure5_heatmap.pgm"
+echo "           figure6_lwp_timeseries.csv figure7_hwt_timeseries.csv"

@@ -1,0 +1,88 @@
+#include "analysis/aggregate.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace zerosum::analysis {
+
+JobSummary aggregate(std::span<const core::MonitorSession* const> sessions) {
+  if (sessions.empty()) {
+    throw StateError("aggregate: no sessions");
+  }
+  JobSummary job;
+  job.minDuration = sessions.front()->durationSeconds();
+  double busySum = 0.0;
+  std::size_t busyCount = 0;
+
+  for (const core::MonitorSession* session : sessions) {
+    RankSummary rank;
+    rank.rank = session->identity().rank;
+    rank.durationSeconds = session->durationSeconds();
+
+    stats::Accumulator busy;
+    for (const auto& [cpu, record] : session->hwts().records()) {
+      busy.add(100.0 - record.avgIdlePct());
+    }
+    rank.avgCpuBusyPct = busy.mean();
+
+    for (const auto& [tid, record] : session->lwps().records()) {
+      rank.totalNvctx += record.totalNonvoluntaryCtx();
+      rank.totalVctx += record.totalVoluntaryCtx();
+      ++rank.lwpCount;
+    }
+
+    const auto findings = session->analyze();
+    rank.findingCount = findings.size();
+    for (const auto& finding : findings) {
+      job.findingsByCode[finding.code] += 1;
+    }
+
+    job.minDuration = std::min(job.minDuration, rank.durationSeconds);
+    job.maxDuration = std::max(job.maxDuration, rank.durationSeconds);
+    job.totalNvctx += rank.totalNvctx;
+    busySum += rank.avgCpuBusyPct;
+    ++busyCount;
+    job.ranks.push_back(rank);
+  }
+  job.avgCpuBusyPct = busyCount > 0 ? busySum / static_cast<double>(busyCount)
+                                    : 0.0;
+  job.imbalance = job.maxDuration > 0.0
+                      ? (job.maxDuration - job.minDuration) / job.maxDuration
+                      : 0.0;
+  return job;
+}
+
+std::string renderJobSummary(const JobSummary& summary) {
+  std::ostringstream out;
+  out << "Job summary (" << summary.ranks.size() << " ranks):\n";
+  out << strings::padRight("rank", 6) << strings::padLeft("duration", 10)
+      << strings::padLeft("cpu busy%", 11) << strings::padLeft("nvctx", 10)
+      << strings::padLeft("vctx", 10) << strings::padLeft("lwps", 6)
+      << strings::padLeft("findings", 10) << '\n';
+  for (const auto& rank : summary.ranks) {
+    out << strings::padRight(std::to_string(rank.rank), 6)
+        << strings::padLeft(strings::fixed(rank.durationSeconds, 2), 10)
+        << strings::padLeft(strings::fixed(rank.avgCpuBusyPct, 1), 11)
+        << strings::padLeft(std::to_string(rank.totalNvctx), 10)
+        << strings::padLeft(std::to_string(rank.totalVctx), 10)
+        << strings::padLeft(std::to_string(rank.lwpCount), 6)
+        << strings::padLeft(std::to_string(rank.findingCount), 10) << '\n';
+  }
+  out << "duration min/max: " << strings::fixed(summary.minDuration, 2) << "/"
+      << strings::fixed(summary.maxDuration, 2) << " s (imbalance "
+      << strings::fixed(summary.imbalance * 100.0, 1) << "%), mean CPU busy "
+      << strings::fixed(summary.avgCpuBusyPct, 1) << "%\n";
+  if (!summary.findingsByCode.empty()) {
+    out << "findings across ranks:";
+    for (const auto& [code, count] : summary.findingsByCode) {
+      out << ' ' << code << "(x" << count << ')';
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace zerosum::analysis

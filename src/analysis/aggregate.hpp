@@ -1,0 +1,43 @@
+// Job-level aggregation across ranks.
+//
+// The paper's rank 0 prints a summary while every rank writes a detailed
+// log; this module folds many per-rank sessions into the job-wide view the
+// user actually wants ("htop, but for all nodes in the allocation", §2).
+#pragma once
+
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/monitor.hpp"
+
+namespace zerosum::analysis {
+
+struct RankSummary {
+  int rank = 0;
+  double durationSeconds = 0.0;
+  double avgCpuBusyPct = 0.0;     ///< mean busy% over the rank's HWTs
+  std::uint64_t totalNvctx = 0;
+  std::uint64_t totalVctx = 0;
+  std::size_t lwpCount = 0;
+  std::size_t findingCount = 0;
+};
+
+struct JobSummary {
+  std::vector<RankSummary> ranks;
+  double minDuration = 0.0;
+  double maxDuration = 0.0;
+  /// Load imbalance: (max - min) / max duration.
+  double imbalance = 0.0;
+  double avgCpuBusyPct = 0.0;
+  std::uint64_t totalNvctx = 0;
+  /// Findings across all ranks, de-duplicated by code, with counts.
+  std::map<std::string, std::size_t> findingsByCode;
+};
+
+JobSummary aggregate(std::span<const core::MonitorSession* const> sessions);
+
+std::string renderJobSummary(const JobSummary& summary);
+
+}  // namespace zerosum::analysis

@@ -1,0 +1,136 @@
+#include "analysis/charts.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/stats.hpp"
+#include "common/strings.hpp"
+
+namespace zerosum::analysis {
+
+namespace {
+
+std::string bar(double userPct, double systemPct, const ChartOptions& o) {
+  const double w = static_cast<double>(o.width);
+  const int userCols = static_cast<int>(userPct / 100.0 * w + 0.5);
+  const int sysCols = static_cast<int>(systemPct / 100.0 * w + 0.5);
+  const int used = std::min(o.width, userCols + sysCols);
+  std::string out;
+  out.append(static_cast<std::size_t>(std::min(userCols, o.width)),
+             o.userChar);
+  out.append(static_cast<std::size_t>(std::max(0, used - userCols)),
+             o.systemChar);
+  out.append(static_cast<std::size_t>(o.width - used), o.idleChar);
+  return out;
+}
+
+}  // namespace
+
+std::string renderLwpUtilization(const std::map<int, core::LwpRecord>& lwps,
+                                 const ChartOptions& options) {
+  std::ostringstream out;
+  out << "LWP utilization over time ('" << options.userChar << "' user, '"
+      << options.systemChar << "' system, '" << options.idleChar
+      << "' idle; one row per period)\n";
+  for (const auto& [tid, record] : lwps) {
+    out << "LWP " << tid << " (" << lwpTypeName(record.type) << "):\n";
+    for (const auto& s : record.samples) {
+      const double userPct = 100.0 * static_cast<double>(s.utimeDelta) /
+                             options.jiffiesPerPeriod;
+      const double sysPct = 100.0 * static_cast<double>(s.stimeDelta) /
+                            options.jiffiesPerPeriod;
+      out << "  t=" << strings::padLeft(strings::fixed(s.timeSeconds, 1), 7)
+          << "s |" << bar(userPct, sysPct, options) << "|\n";
+    }
+  }
+  return out.str();
+}
+
+std::string renderHwtUtilization(
+    const std::map<std::size_t, core::HwtRecord>& hwts,
+    const ChartOptions& options) {
+  std::ostringstream out;
+  out << "HWT utilization over time ('" << options.userChar << "' user, '"
+      << options.systemChar << "' system, '" << options.idleChar
+      << "' idle; one row per period)\n";
+  for (const auto& [cpu, record] : hwts) {
+    out << "CPU " << strings::zeroPad(cpu, 3) << ":\n";
+    for (const auto& s : record.samples) {
+      out << "  t=" << strings::padLeft(strings::fixed(s.timeSeconds, 1), 7)
+          << "s |" << bar(s.userPct, s.systemPct, options) << "|\n";
+    }
+  }
+  return out.str();
+}
+
+double lwpNoiseExcess(const std::map<int, core::LwpRecord>& lwps,
+                      double jiffiesPerPeriod) {
+  if (jiffiesPerPeriod <= 0.0) {
+    return 0.0;
+  }
+  // Busy-LWP busy% series, aligned by sample index.  Daemon threads (the
+  // monitor itself, runtime helpers) are near-constant-zero and would
+  // dilute the comparison; startup/teardown ramps are common-mode swings
+  // that are not the measurement noise Figure 6 is about — both are
+  // excluded.
+  std::vector<std::vector<double>> series;
+  for (const auto& [tid, record] : lwps) {
+    std::vector<double> busy;
+    busy.reserve(record.samples.size());
+    double total = 0.0;
+    for (const auto& s : record.samples) {
+      const double busyPct =
+          100.0 * static_cast<double>(s.utimeDelta + s.stimeDelta) /
+          jiffiesPerPeriod;
+      busy.push_back(busyPct);
+      total += busyPct;
+    }
+    if (!busy.empty() &&
+        total / static_cast<double>(busy.size()) >= 20.0) {
+      series.push_back(std::move(busy));
+    }
+  }
+  if (series.empty()) {
+    return 0.0;
+  }
+
+  // Steady-state periods: mean across LWPs at least half the peak mean.
+  std::size_t periods = series.front().size();
+  for (const auto& s : series) {
+    periods = std::min(periods, s.size());
+  }
+  std::vector<double> periodMean(periods, 0.0);
+  double peak = 0.0;
+  for (std::size_t p = 0; p < periods; ++p) {
+    for (const auto& s : series) {
+      periodMean[p] += s[p];
+    }
+    periodMean[p] /= static_cast<double>(series.size());
+    peak = std::max(peak, periodMean[p]);
+  }
+  std::vector<std::size_t> steady;
+  for (std::size_t p = 0; p < periods; ++p) {
+    if (periodMean[p] >= 0.5 * peak) {
+      steady.push_back(p);
+    }
+  }
+  if (steady.size() < 2) {
+    return 0.0;
+  }
+
+  stats::Accumulator perLwpStddev;
+  for (const auto& s : series) {
+    stats::Accumulator acc;
+    for (std::size_t p : steady) {
+      acc.add(s[p]);
+    }
+    perLwpStddev.add(acc.stddev());
+  }
+  stats::Accumulator aggregateSeries;
+  for (std::size_t p : steady) {
+    aggregateSeries.add(periodMean[p]);
+  }
+  return perLwpStddev.mean() - aggregateSeries.stddev();
+}
+
+}  // namespace zerosum::analysis

@@ -1,0 +1,42 @@
+// Text rendering of the time-series figures.
+//
+// Figures 6 and 7 are stacked user/system/idle charts over time for LWPs
+// and HWTs respectively.  These renderers produce the same series as
+// horizontal stacked bars (one row per sample period), which preserves the
+// figures' information — including the Figure 6 observation that per-LWP
+// /proc data is noisy while the aggregate is stable.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "core/records.hpp"
+
+namespace zerosum::analysis {
+
+struct ChartOptions {
+  int width = 60;           ///< characters for 100%
+  char userChar = '#';
+  char systemChar = '+';
+  char idleChar = '.';
+  /// Jiffies in one sampling period (normalizes LWP deltas to percent).
+  double jiffiesPerPeriod = 100.0;
+};
+
+/// One chart per LWP: each row is one period, bar split user/system/idle.
+std::string renderLwpUtilization(const std::map<int, core::LwpRecord>& lwps,
+                                 const ChartOptions& options = {});
+
+/// One chart per HWT from the tracked percentages.
+std::string renderHwtUtilization(
+    const std::map<std::size_t, core::HwtRecord>& hwts,
+    const ChartOptions& options = {});
+
+/// Noise quantification for the Figure 6 caption: the mean per-period
+/// standard deviation of LWP busy% minus that of the aggregate-across-LWPs
+/// series.  Positive values mean individual LWP series are noisier than
+/// their aggregate, the paper's stated observation.
+double lwpNoiseExcess(const std::map<int, core::LwpRecord>& lwps,
+                      double jiffiesPerPeriod);
+
+}  // namespace zerosum::analysis

@@ -1,0 +1,99 @@
+#include "analysis/heatmap.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace zerosum::analysis {
+
+namespace {
+
+constexpr const char kRamp[] = " .:-=+*#%@";
+constexpr int kRampSteps = 10;
+
+struct Grid {
+  std::vector<std::vector<double>> intensity;  // [row][col] in [0,1]
+  std::uint64_t maxCell = 0;
+};
+
+Grid buildGrid(const mpisim::CommMatrix& matrix,
+               const HeatmapOptions& options) {
+  const int bins = std::clamp(options.bins, 1, matrix.ranks());
+  const auto binnedCells = matrix.binned(bins);
+  Grid grid;
+  grid.intensity.assign(static_cast<std::size_t>(bins),
+                        std::vector<double>(static_cast<std::size_t>(bins)));
+  for (const auto& row : binnedCells) {
+    for (std::uint64_t cell : row) {
+      grid.maxCell = std::max(grid.maxCell, cell);
+    }
+  }
+  if (grid.maxCell == 0) {
+    return grid;
+  }
+  const double logMax = std::log1p(static_cast<double>(grid.maxCell));
+  for (std::size_t r = 0; r < binnedCells.size(); ++r) {
+    for (std::size_t c = 0; c < binnedCells[r].size(); ++c) {
+      const auto v = static_cast<double>(binnedCells[r][c]);
+      grid.intensity[r][c] =
+          options.logScale ? std::log1p(v) / logMax
+                           : v / static_cast<double>(grid.maxCell);
+    }
+  }
+  return grid;
+}
+
+}  // namespace
+
+std::string renderAscii(const mpisim::CommMatrix& matrix,
+                        const HeatmapOptions& options) {
+  const Grid grid = buildGrid(matrix, options);
+  std::ostringstream out;
+  out << "P2P bytes heatmap (" << matrix.ranks() << " ranks, "
+      << grid.intensity.size() << "x" << grid.intensity.size()
+      << " bins, max cell " << grid.maxCell << " bytes"
+      << (options.logScale ? ", log scale" : "") << ")\n";
+  for (const auto& row : grid.intensity) {
+    for (double v : row) {
+      const int step = std::min(kRampSteps - 1,
+                                static_cast<int>(v * (kRampSteps - 1) + 0.5));
+      out << kRamp[step];
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+std::string renderPgm(const mpisim::CommMatrix& matrix,
+                      const HeatmapOptions& options) {
+  const Grid grid = buildGrid(matrix, options);
+  const std::size_t side = grid.intensity.size();
+  std::ostringstream out;
+  out << "P2\n" << side << ' ' << side << "\n255\n";
+  for (const auto& row : grid.intensity) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) {
+        out << ' ';
+      }
+      out << static_cast<int>(row[c] * 255.0 + 0.5);
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+std::string writePgmFile(const mpisim::CommMatrix& matrix,
+                         const std::string& path,
+                         const HeatmapOptions& options) {
+  std::ofstream out(path);
+  if (!out) {
+    throw StateError("cannot open " + path);
+  }
+  out << renderPgm(matrix, options);
+  return path;
+}
+
+}  // namespace zerosum::analysis

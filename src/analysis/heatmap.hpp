@@ -1,0 +1,34 @@
+// Communication heatmap rendering (paper Figure 5): the N×N byte matrix
+// from the MPI interposition recorders, downsampled and rendered either as
+// ASCII shading for the terminal or as a PGM image for plotting tools.
+#pragma once
+
+#include <string>
+
+#include "mpisim/recorder.hpp"
+
+namespace zerosum::analysis {
+
+struct HeatmapOptions {
+  /// Output resolution (bins per side); clamped to the matrix size.
+  int bins = 64;
+  /// Log-scale intensities (Figure 5's dynamic range spans ~3 decades).
+  bool logScale = true;
+};
+
+/// ASCII rendering with a 10-step shade ramp, row 0 at the top; includes
+/// min/max legend.
+std::string renderAscii(const mpisim::CommMatrix& matrix,
+                        const HeatmapOptions& options = {});
+
+/// Binary-free PGM (P2, 8-bit) text image; dark = no traffic.
+std::string renderPgm(const mpisim::CommMatrix& matrix,
+                      const HeatmapOptions& options = {});
+
+/// Writes renderPgm() to a file; returns the path.  Throws StateError on
+/// I/O failure.
+std::string writePgmFile(const mpisim::CommMatrix& matrix,
+                         const std::string& path,
+                         const HeatmapOptions& options = {});
+
+}  // namespace zerosum::analysis

@@ -1,0 +1,152 @@
+#include "analysis/logparse.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace zerosum::analysis {
+
+namespace {
+
+constexpr std::string_view kSectionPrefix = "=== CSV: ";
+constexpr std::string_view kSectionSuffix = " ===";
+
+/// Splits on the exact " - " delimiter (a bare '-' also appears inside
+/// affinity ranges like "[1-7]").
+std::vector<std::string> splitOnDelimiter(const std::string& line,
+                                          const std::string& delimiter) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = line.find(delimiter, start);
+    if (pos == std::string::npos) {
+      out.push_back(line.substr(start));
+      return out;
+    }
+    out.push_back(line.substr(start, pos - start));
+    start = pos + delimiter.size();
+  }
+}
+
+/// "MPI 000 - PID 51334 - Node frontier09085 - CPUs allowed: [1-7]"
+void parseProcessLine(const std::string& line, ParsedLog& log) {
+  const auto fields = splitOnDelimiter(line, " - ");
+  for (const auto& rawField : fields) {
+    const std::string field = strings::trim(rawField);
+    if (strings::startsWith(field, "MPI ")) {
+      const auto v = strings::toU64(strings::trim(field.substr(4)));
+      if (!v) {
+        throw ParseError("bad MPI rank in '" + line + "'");
+      }
+      log.rank = static_cast<int>(*v);
+    } else if (strings::startsWith(field, "PID ")) {
+      const auto v = strings::toU64(strings::trim(field.substr(4)));
+      if (!v) {
+        throw ParseError("bad PID in '" + line + "'");
+      }
+      log.pid = static_cast<int>(*v);
+    } else if (strings::startsWith(field, "Node ")) {
+      log.hostname = strings::trim(field.substr(5));
+    } else if (strings::startsWith(field, "CPUs allowed:")) {
+      const auto open = field.find('[');
+      const auto close = field.rfind(']');
+      if (open == std::string::npos || close == std::string::npos ||
+          close < open) {
+        throw ParseError("bad affinity in '" + line + "'");
+      }
+      log.cpusAllowed =
+          CpuSet::fromList(field.substr(open + 1, close - open - 1));
+    }
+  }
+}
+
+}  // namespace
+
+const Table& ParsedLog::section(const std::string& name) const {
+  const auto it = sections.find(name);
+  if (it == sections.end()) {
+    throw NotFoundError("log section '" + name + "'");
+  }
+  return it->second;
+}
+
+ParsedLog parseLog(std::istream& in) {
+  ParsedLog log;
+  std::string line;
+  std::ostringstream report;
+  std::optional<std::string> currentSection;
+  std::ostringstream currentCsv;
+  bool sawDuration = false;
+
+  auto flushSection = [&] {
+    if (!currentSection) {
+      return;
+    }
+    try {
+      log.sections.emplace(*currentSection,
+                           Table::fromCsvText(currentCsv.str()));
+    } catch (const ParseError& e) {
+      throw ParseError("in log section '" + *currentSection +
+                       "': " + e.what());
+    }
+    currentSection.reset();
+    currentCsv.str("");
+  };
+
+  while (std::getline(in, line)) {
+    if (strings::startsWith(line, kSectionPrefix) &&
+        strings::endsWith(line, kSectionSuffix)) {
+      flushSection();
+      currentSection = line.substr(
+          kSectionPrefix.size(),
+          line.size() - kSectionPrefix.size() - kSectionSuffix.size());
+      continue;
+    }
+    if (currentSection) {
+      if (!strings::trim(line).empty()) {
+        currentCsv << line << '\n';
+      }
+      continue;
+    }
+
+    report << line << '\n';
+    if (strings::startsWith(line, "Duration of execution:")) {
+      const auto parts = strings::splitWs(line);
+      // "Duration of execution: <value> s"
+      if (parts.size() < 4) {
+        throw ParseError("bad duration line '" + line + "'");
+      }
+      const auto v = strings::toDouble(parts[3]);
+      if (!v) {
+        throw ParseError("bad duration value '" + parts[3] + "'");
+      }
+      log.durationSeconds = *v;
+      sawDuration = true;
+    } else if (strings::startsWith(line, "MPI ")) {
+      parseProcessLine(line, log);
+    }
+  }
+  flushSection();
+  if (!sawDuration) {
+    throw ParseError("log has no 'Duration of execution' header");
+  }
+  log.reportText = report.str();
+  return log;
+}
+
+ParsedLog parseLogText(const std::string& text) {
+  std::istringstream in(text);
+  return parseLog(in);
+}
+
+ParsedLog parseLogFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw NotFoundError("log file " + path);
+  }
+  return parseLog(in);
+}
+
+}  // namespace zerosum::analysis

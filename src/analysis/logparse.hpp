@@ -1,0 +1,43 @@
+// Parser for ZeroSum's per-process log files (paper §3.6): the report
+// header plus the "=== CSV: … ===" time-series sections.  This is the
+// post-processing entry point — the paper's Figures 5-7 are all produced
+// from these logs — and the round-trip counterpart of
+// MonitorSession::writeLog().
+#pragma once
+
+#include <istream>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "analysis/table.hpp"
+#include "common/cpuset.hpp"
+
+namespace zerosum::analysis {
+
+struct ParsedLog {
+  // From the report header.
+  double durationSeconds = 0.0;
+  int rank = 0;
+  int pid = 0;
+  std::string hostname;
+  CpuSet cpusAllowed;
+  /// The full report text (everything before the first CSV section).
+  std::string reportText;
+  /// CSV sections by name ("LWP time series", "HWT time series", ...).
+  std::map<std::string, Table> sections;
+
+  [[nodiscard]] bool hasSection(const std::string& name) const {
+    return sections.count(name) != 0;
+  }
+  /// Throws NotFoundError when absent.
+  [[nodiscard]] const Table& section(const std::string& name) const;
+};
+
+/// Parses a complete log.  Throws ParseError on structural damage
+/// (malformed header line, CSV section that does not parse).
+ParsedLog parseLog(std::istream& in);
+ParsedLog parseLogText(const std::string& text);
+ParsedLog parseLogFile(const std::string& path);
+
+}  // namespace zerosum::analysis

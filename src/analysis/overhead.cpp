@@ -1,0 +1,49 @@
+#include "analysis/overhead.hpp"
+
+#include <sstream>
+
+#include "common/strings.hpp"
+
+namespace zerosum::analysis {
+
+OverheadResult compareOverhead(std::span<const double> baseline,
+                               std::span<const double> withTool,
+                               double alpha) {
+  OverheadResult result;
+  result.baseline = stats::summarize(baseline);
+  result.withTool = stats::summarize(withTool);
+  result.ttest = stats::welchTTest(baseline, withTool);
+  result.overheadAbs = result.withTool.mean - result.baseline.mean;
+  result.overheadFraction =
+      result.baseline.mean > 0.0 ? result.overheadAbs / result.baseline.mean
+                                 : 0.0;
+  result.significant = result.ttest.pValue < alpha;
+  return result;
+}
+
+std::string renderOverhead(const OverheadResult& result,
+                           const std::string& label) {
+  std::ostringstream out;
+  out << "Overhead comparison: " << label << '\n';
+  out << "  baseline : " << strings::fixed(result.baseline.mean, 4) << " +/- "
+      << strings::fixed(result.baseline.stddev, 4) << " s  (n="
+      << result.baseline.n << ", min " << strings::fixed(result.baseline.min, 4)
+      << ", max " << strings::fixed(result.baseline.max, 4) << ")\n";
+  out << "  with tool: " << strings::fixed(result.withTool.mean, 4) << " +/- "
+      << strings::fixed(result.withTool.stddev, 4) << " s  (n="
+      << result.withTool.n << ", min " << strings::fixed(result.withTool.min, 4)
+      << ", max " << strings::fixed(result.withTool.max, 4) << ")\n";
+  out << "  t-test p = " << strings::fixed(result.ttest.pValue, 4) << " (t="
+      << strings::fixed(result.ttest.t, 3) << ", df="
+      << strings::fixed(result.ttest.df, 1) << ")\n";
+  if (result.significant) {
+    out << "  => measurable overhead: "
+        << strings::fixed(result.overheadAbs, 4) << " s ("
+        << strings::fixed(result.overheadFraction * 100.0, 2) << "%)\n";
+  } else {
+    out << "  => no statistically significant overhead\n";
+  }
+  return out.str();
+}
+
+}  // namespace zerosum::analysis

@@ -1,0 +1,163 @@
+#include "analysis/reorder.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace zerosum::analysis {
+
+namespace {
+
+void validateMapping(const mpisim::CommMatrix& matrix,
+                     const RankMapping& mapping) {
+  if (mapping.size() != static_cast<std::size_t>(matrix.ranks())) {
+    throw ConfigError("mapping size " + std::to_string(mapping.size()) +
+                      " != matrix ranks " + std::to_string(matrix.ranks()));
+  }
+  for (int node : mapping) {
+    if (node < 0) {
+      throw ConfigError("negative node index in mapping");
+    }
+  }
+}
+
+/// Symmetric traffic between two ranks.
+std::uint64_t pairBytes(const mpisim::CommMatrix& matrix, int a, int b) {
+  return matrix.bytes(a, b) + matrix.bytes(b, a);
+}
+
+/// Change in inter-node bytes if ranks a and b swap nodes.  Negative is
+/// an improvement.
+std::int64_t swapDelta(const mpisim::CommMatrix& matrix,
+                       const RankMapping& mapping, int a, int b) {
+  const int nodeA = mapping[static_cast<std::size_t>(a)];
+  const int nodeB = mapping[static_cast<std::size_t>(b)];
+  if (nodeA == nodeB) {
+    return 0;
+  }
+  std::int64_t delta = 0;
+  const int ranks = matrix.ranks();
+  for (int x = 0; x < ranks; ++x) {
+    if (x == a || x == b) {
+      continue;  // the (a,b) pair itself crosses iff it crossed before
+    }
+    const int nodeX = mapping[static_cast<std::size_t>(x)];
+    const auto withA = static_cast<std::int64_t>(pairBytes(matrix, a, x));
+    if (withA != 0) {
+      const bool crossedBefore = nodeA != nodeX;
+      const bool crossesAfter = nodeB != nodeX;
+      delta += (crossesAfter ? withA : 0) - (crossedBefore ? withA : 0);
+    }
+    const auto withB = static_cast<std::int64_t>(pairBytes(matrix, b, x));
+    if (withB != 0) {
+      const bool crossedBefore = nodeB != nodeX;
+      const bool crossesAfter = nodeA != nodeX;
+      delta += (crossesAfter ? withB : 0) - (crossedBefore ? withB : 0);
+    }
+  }
+  return delta;
+}
+
+}  // namespace
+
+std::uint64_t interNodeBytes(const mpisim::CommMatrix& matrix,
+                             const RankMapping& mapping) {
+  validateMapping(matrix, mapping);
+  std::uint64_t total = 0;
+  const int ranks = matrix.ranks();
+  for (int s = 0; s < ranks; ++s) {
+    for (int d = 0; d < ranks; ++d) {
+      if (mapping[static_cast<std::size_t>(s)] !=
+          mapping[static_cast<std::size_t>(d)]) {
+        total += matrix.bytes(s, d);
+      }
+    }
+  }
+  return total;
+}
+
+RankMapping blockMapping(int ranks, int ranksPerNode) {
+  if (ranks < 1 || ranksPerNode < 1) {
+    throw ConfigError("blockMapping: counts must be >= 1");
+  }
+  RankMapping mapping(static_cast<std::size_t>(ranks));
+  for (int r = 0; r < ranks; ++r) {
+    mapping[static_cast<std::size_t>(r)] = r / ranksPerNode;
+  }
+  return mapping;
+}
+
+RankMapping roundRobinMapping(int ranks, int nodes) {
+  if (ranks < 1 || nodes < 1) {
+    throw ConfigError("roundRobinMapping: counts must be >= 1");
+  }
+  RankMapping mapping(static_cast<std::size_t>(ranks));
+  for (int r = 0; r < ranks; ++r) {
+    mapping[static_cast<std::size_t>(r)] = r % nodes;
+  }
+  return mapping;
+}
+
+ReorderResult improveMapping(const mpisim::CommMatrix& matrix,
+                             RankMapping start, int maxSwaps) {
+  validateMapping(matrix, start);
+  ReorderResult result;
+  result.interNodeBytesBefore = interNodeBytes(matrix, start);
+  result.mapping = std::move(start);
+
+  const int ranks = matrix.ranks();
+  bool improved = true;
+  while (improved && result.swapsApplied < maxSwaps) {
+    improved = false;
+    for (int a = 0; a < ranks && result.swapsApplied < maxSwaps; ++a) {
+      for (int b = a + 1; b < ranks; ++b) {
+        if (swapDelta(matrix, result.mapping, a, b) < 0) {
+          std::swap(result.mapping[static_cast<std::size_t>(a)],
+                    result.mapping[static_cast<std::size_t>(b)]);
+          ++result.swapsApplied;
+          improved = true;
+          break;  // restart the inner scan from this rank's new situation
+        }
+      }
+    }
+  }
+  result.interNodeBytesAfter = interNodeBytes(matrix, result.mapping);
+  return result;
+}
+
+std::string renderReorderAdvice(const mpisim::CommMatrix& matrix,
+                                int ranksPerNode) {
+  const int ranks = matrix.ranks();
+  const int nodes = (ranks + ranksPerNode - 1) / ranksPerNode;
+  const auto block = blockMapping(ranks, ranksPerNode);
+  const auto rr = roundRobinMapping(ranks, nodes);
+  const std::uint64_t blockCost = interNodeBytes(matrix, block);
+  const std::uint64_t rrCost = interNodeBytes(matrix, rr);
+  const ReorderResult improvedRr = improveMapping(matrix, rr);
+  const std::uint64_t total = matrix.totalBytes();
+
+  auto pct = [&](std::uint64_t bytes) {
+    return total == 0 ? 0.0
+                      : 100.0 * static_cast<double>(bytes) /
+                            static_cast<double>(total);
+  };
+  std::ostringstream out;
+  out << "Rank-placement advice (" << ranks << " ranks, " << ranksPerNode
+      << " per node):\n";
+  out << "  round-robin mapping: " << rrCost << " inter-node bytes ("
+      << strings::fixed(pct(rrCost), 1) << "% of traffic)\n";
+  out << "  block mapping      : " << blockCost << " inter-node bytes ("
+      << strings::fixed(pct(blockCost), 1) << "% of traffic)\n";
+  out << "  swap-improved      : " << improvedRr.interNodeBytesAfter
+      << " inter-node bytes (" << strings::fixed(pct(improvedRr.interNodeBytesAfter), 1)
+      << "% of traffic, " << improvedRr.swapsApplied
+      << " swaps from round-robin)\n";
+  if (blockCost < rrCost) {
+    out << "  => keep consecutive ranks on the same node "
+           "(nearest-neighbour traffic dominates)\n";
+  }
+  return out.str();
+}
+
+}  // namespace zerosum::analysis

@@ -1,0 +1,64 @@
+// Rank-placement guidance from the P2P byte matrix (paper §3.1.3: "This
+// data could also be used to guide the logical MPI process ordering on the
+// nodes to exploit lower latency communication between ranks executing on
+// the same node").
+//
+// Given the recorded CommMatrix and the ranks-per-node of the allocation,
+// these functions score a rank→node mapping by the bytes that must cross
+// the network, generate the standard mappings (block, round-robin), and
+// improve a mapping with a pairwise-swap hill climb.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mpisim/recorder.hpp"
+
+namespace zerosum::analysis {
+
+/// rankToNode[rank] = node index.  Every mapping function produces and
+/// every consumer validates this shape.
+using RankMapping = std::vector<int>;
+
+/// Bytes whose source and destination live on different nodes — the cost
+/// a mapping should minimize.  Throws ConfigError when the mapping size
+/// disagrees with the matrix.
+std::uint64_t interNodeBytes(const mpisim::CommMatrix& matrix,
+                             const RankMapping& mapping);
+
+/// Consecutive ranks share a node: [0..k) -> node 0, [k..2k) -> node 1 ...
+/// (the usual Slurm default).
+RankMapping blockMapping(int ranks, int ranksPerNode);
+
+/// Ranks dealt round-robin across nodes (the usual worst case for
+/// nearest-neighbour codes).
+RankMapping roundRobinMapping(int ranks, int nodes);
+
+struct ReorderResult {
+  RankMapping mapping;
+  std::uint64_t interNodeBytesBefore = 0;
+  std::uint64_t interNodeBytesAfter = 0;
+  int swapsApplied = 0;
+
+  [[nodiscard]] double improvement() const {
+    if (interNodeBytesBefore == 0) {
+      return 0.0;
+    }
+    return 1.0 - static_cast<double>(interNodeBytesAfter) /
+                     static_cast<double>(interNodeBytesBefore);
+  }
+};
+
+/// Greedy pairwise-swap improvement: repeatedly applies the rank swap
+/// that most reduces inter-node bytes until no swap helps or `maxSwaps`
+/// is reached.  Node capacities are preserved (swaps only).
+ReorderResult improveMapping(const mpisim::CommMatrix& matrix,
+                             RankMapping start, int maxSwaps = 1000);
+
+/// Human-readable comparison of the canonical mappings plus the improved
+/// one, for the report/log.
+std::string renderReorderAdvice(const mpisim::CommMatrix& matrix,
+                                int ranksPerNode);
+
+}  // namespace zerosum::analysis

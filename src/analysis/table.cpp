@@ -1,0 +1,181 @@
+#include "analysis/table.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace zerosum::analysis {
+
+namespace {
+
+/// Splits one CSV line honouring double quotes.
+std::vector<std::string> splitCsvLine(const std::string& line) {
+  std::vector<std::string> out;
+  std::string field;
+  bool quoted = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        field += c;
+      }
+    } else if (c == '"') {
+      quoted = true;
+    } else if (c == ',') {
+      out.push_back(std::move(field));
+      field.clear();
+    } else {
+      field += c;
+    }
+  }
+  out.push_back(std::move(field));
+  return out;
+}
+
+std::string escapeCsvField(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) {
+    return field;
+  }
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') {
+      out += "\"\"";
+    } else {
+      out += c;
+    }
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+Table::Table(std::vector<std::string> header,
+             std::vector<std::vector<std::string>> rows)
+    : header_(std::move(header)), rows_(std::move(rows)) {
+  for (const auto& row : rows_) {
+    if (row.size() != header_.size()) {
+      throw ParseError("table row width " + std::to_string(row.size()) +
+                       " != header width " + std::to_string(header_.size()));
+    }
+  }
+}
+
+Table Table::fromCsv(std::istream& in) {
+  std::string line;
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+  bool first = true;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') {
+      line.pop_back();
+    }
+    if (line.empty()) {
+      continue;
+    }
+    auto fields = splitCsvLine(line);
+    if (first) {
+      header = std::move(fields);
+      first = false;
+    } else {
+      if (fields.size() != header.size()) {
+        throw ParseError("CSV row has " + std::to_string(fields.size()) +
+                         " fields, expected " + std::to_string(header.size()) +
+                         ": '" + line + "'");
+      }
+      rows.push_back(std::move(fields));
+    }
+  }
+  if (first) {
+    throw ParseError("CSV input is empty");
+  }
+  return Table(std::move(header), std::move(rows));
+}
+
+Table Table::fromCsvText(const std::string& text) {
+  std::istringstream in(text);
+  return fromCsv(in);
+}
+
+const std::vector<std::string>& Table::row(std::size_t i) const {
+  if (i >= rows_.size()) {
+    throw NotFoundError("table row " + std::to_string(i));
+  }
+  return rows_[i];
+}
+
+std::size_t Table::columnIndex(const std::string& name) const {
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    if (header_[i] == name) {
+      return i;
+    }
+  }
+  throw NotFoundError("table column '" + name + "'");
+}
+
+std::vector<std::string> Table::column(const std::string& name) const {
+  const std::size_t idx = columnIndex(name);
+  std::vector<std::string> out;
+  out.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    out.push_back(row[idx]);
+  }
+  return out;
+}
+
+std::vector<double> Table::numericColumn(const std::string& name) const {
+  const std::size_t idx = columnIndex(name);
+  std::vector<double> out;
+  out.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    const auto v = strings::toDouble(row[idx]);
+    if (!v) {
+      throw ParseError("non-numeric cell '" + row[idx] + "' in column " +
+                       name);
+    }
+    out.push_back(*v);
+  }
+  return out;
+}
+
+Table Table::filter(const std::string& name, const std::string& value) const {
+  const std::size_t idx = columnIndex(name);
+  std::vector<std::vector<std::string>> rows;
+  for (const auto& row : rows_) {
+    if (row[idx] == value) {
+      rows.push_back(row);
+    }
+  }
+  return Table(header_, std::move(rows));
+}
+
+std::string Table::toCsv() const {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    if (i != 0) {
+      out << ',';
+    }
+    out << escapeCsvField(header_[i]);
+  }
+  out << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i != 0) {
+        out << ',';
+      }
+      out << escapeCsvField(row[i]);
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace zerosum::analysis

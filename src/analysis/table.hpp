@@ -1,0 +1,50 @@
+// A small CSV-backed table for post-processing the per-process logs
+// (paper §3.6: "a detailed dump of all data collected ... as comma
+// separated values, allowing for time-series analysis").
+#pragma once
+
+#include <cstddef>
+#include <istream>
+#include <string>
+#include <vector>
+
+namespace zerosum::analysis {
+
+class Table {
+ public:
+  Table() = default;
+  Table(std::vector<std::string> header,
+        std::vector<std::vector<std::string>> rows);
+
+  /// Parses CSV with a header row.  Handles double-quoted fields (the
+  /// affinity column contains commas).  Throws ParseError on ragged rows.
+  static Table fromCsv(std::istream& in);
+  static Table fromCsvText(const std::string& text);
+
+  [[nodiscard]] const std::vector<std::string>& header() const {
+    return header_;
+  }
+  [[nodiscard]] std::size_t rowCount() const { return rows_.size(); }
+  [[nodiscard]] const std::vector<std::string>& row(std::size_t i) const;
+
+  /// Column index by name; throws NotFoundError.
+  [[nodiscard]] std::size_t columnIndex(const std::string& name) const;
+
+  /// Whole column as strings / parsed doubles (throws ParseError on
+  /// non-numeric cells).
+  [[nodiscard]] std::vector<std::string> column(const std::string& name) const;
+  [[nodiscard]] std::vector<double> numericColumn(
+      const std::string& name) const;
+
+  /// Rows where `name` equals `value`.
+  [[nodiscard]] Table filter(const std::string& name,
+                             const std::string& value) const;
+
+  [[nodiscard]] std::string toCsv() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace zerosum::analysis

@@ -1,0 +1,180 @@
+#include "cluster/job.hpp"
+
+#include <sstream>
+
+#include "analysis/aggregate.hpp"
+#include "common/error.hpp"
+#include "common/strings.hpp"
+#include "procfs/simfs.hpp"
+#include "sim/slurm.hpp"
+
+namespace zerosum::cluster {
+
+ClusterJob::ClusterJob(const topology::Topology& nodeTopology,
+                       const ClusterJobConfig& config)
+    : config_(config) {
+  if (config_.nodes < 1 || config_.ranksPerNode < 1) {
+    throw ConfigError("ClusterJob needs >= 1 node and >= 1 rank per node");
+  }
+
+  sim::slurm::SrunArgs args;
+  args.ntasks = config_.ranksPerNode;
+  args.cpusPerTask = config_.cpusPerTask;
+  const auto plan = sim::slurm::planSrun(nodeTopology, args);
+
+  for (int n = 0; n < config_.nodes; ++n) {
+    auto node = std::make_unique<sim::SimNode>(
+        nodeTopology.allPus(), 512ULL << 30, sim::SchedulerParams{},
+        config_.seed + static_cast<std::uint64_t>(n));
+    for (int r = 0; r < config_.ranksPerNode; ++r) {
+      const auto& placement = plan[static_cast<std::size_t>(r)];
+      sim::MiniQmcConfig qmc = config_.workload;
+      if (config_.bindSpread) {
+        qmc.threadBinding = sim::slurm::planOmpBinding(
+            nodeTopology, placement.cpus, qmc.ompThreads,
+            sim::slurm::OmpBind::kSpread, sim::slurm::OmpPlaces::kCores);
+      }
+      ranks_.push_back(
+          sim::buildMiniQmcRank(*node, placement.cpus, qmc, node->hwts()));
+    }
+    nodes_.push_back(std::move(node));
+  }
+
+  // One monitor session per rank, each observing its node through its own
+  // provider (exactly what each rank's injected ZeroSum instance does).
+  core::Config cfg;
+  cfg.jiffyHz = sim::kHz;
+  cfg.signalHandler = false;
+  for (int rank = 0; rank < totalRanks(); ++rank) {
+    const int n = nodeOfRank(rank);
+    core::ProcessIdentity identity;
+    identity.rank = rank;
+    identity.worldSize = totalRanks();
+    identity.pid = ranks_[static_cast<std::size_t>(rank)].pid;
+    identity.hostname = hostnameOf(n);
+    sessions_.push_back(std::make_unique<core::MonitorSession>(
+        cfg,
+        procfs::makeSimProcFs(*nodes_[static_cast<std::size_t>(n)],
+                              identity.pid),
+        identity));
+  }
+}
+
+void ClusterJob::addInterference(const Interference& interference) {
+  if (ran_) {
+    throw StateError("addInterference after run()");
+  }
+  if (interference.node < 0 || interference.node >= config_.nodes) {
+    throw ConfigError("interference names node " +
+                      std::to_string(interference.node));
+  }
+  sim::SimNode& node = *nodes_[static_cast<std::size_t>(interference.node)];
+  const CpuSet cpus =
+      interference.cpus.empty() ? node.hwts() : interference.cpus;
+  const sim::Pid pid = node.spawnProcess("noisy-neighbor", cpus);
+  if (interference.memoryBytes > 0) {
+    node.setProcessRssModel(pid, interference.memoryBytes,
+                            interference.memoryBytes, 1);
+  }
+  for (int t = 0; t < interference.threads; ++t) {
+    sim::Behavior hog;
+    hog.iterations = 0;  // daemon: never finishes, never blocks the job end
+    hog.iterWorkJiffies = 50;
+    hog.blockJiffies = 1;
+    hog.systemFraction = 0.05;
+    node.spawnTask(pid, "noisy-neighbor", LwpType::kOther, hog);
+  }
+}
+
+void ClusterJob::run(double maxSeconds) {
+  ran_ = true;
+  auto jobFinished = [&] {
+    for (std::size_t n = 0; n < nodes_.size(); ++n) {
+      for (int r = 0; r < config_.ranksPerNode; ++r) {
+        const auto& rank =
+            ranks_[n * static_cast<std::size_t>(config_.ranksPerNode) +
+                   static_cast<std::size_t>(r)];
+        if (!nodes_[n]->processFinished(rank.pid)) {
+          return false;
+        }
+      }
+    }
+    return true;
+  };
+
+  while (!jobFinished() && runtime_ < maxSeconds) {
+    for (auto& node : nodes_) {
+      node->advance(sim::kHz);
+    }
+    runtime_ = nodes_.front()->nowSeconds();
+    for (int rank = 0; rank < totalRanks(); ++rank) {
+      // A rank stops sampling once its process exits (as the real tool's
+      // monitor thread dies with the process).
+      const int n = nodeOfRank(rank);
+      if (!nodes_[static_cast<std::size_t>(n)]->processFinished(
+              ranks_[static_cast<std::size_t>(rank)].pid)) {
+        sessions_[static_cast<std::size_t>(rank)]->sampleNow(runtime_);
+      }
+    }
+  }
+  // No catch-up sampling: each rank's duration freezes at the last period
+  // in which its process was alive, so the per-rank durations expose the
+  // job's load imbalance (a rank that finished at t=5 reads ~5 s even when
+  // a noisy node drags the job to t=7).
+}
+
+int ClusterJob::nodeOfRank(int rank) const {
+  if (rank < 0 || rank >= totalRanks()) {
+    throw NotFoundError("rank " + std::to_string(rank));
+  }
+  return rank / config_.ranksPerNode;
+}
+
+std::string ClusterJob::hostnameOf(int node) const {
+  return "node" + strings::zeroPad(static_cast<std::uint64_t>(node), 4);
+}
+
+const core::MonitorSession& ClusterJob::session(int rank) const {
+  if (rank < 0 || rank >= totalRanks()) {
+    throw NotFoundError("rank " + std::to_string(rank));
+  }
+  return *sessions_[static_cast<std::size_t>(rank)];
+}
+
+std::vector<const core::MonitorSession*> ClusterJob::sessions() const {
+  std::vector<const core::MonitorSession*> out;
+  out.reserve(sessions_.size());
+  for (const auto& session : sessions_) {
+    out.push_back(session.get());
+  }
+  return out;
+}
+
+sim::SimNode& ClusterJob::node(int index) {
+  if (index < 0 || index >= config_.nodes) {
+    throw NotFoundError("node " + std::to_string(index));
+  }
+  return *nodes_[static_cast<std::size_t>(index)];
+}
+
+std::string ClusterJob::dashboard() const {
+  std::ostringstream out;
+  out << "Allocation dashboard: " << config_.nodes << " node(s) x "
+      << config_.ranksPerNode << " rank(s), t="
+      << strings::fixed(runtime_, 1) << "s\n";
+  for (int n = 0; n < config_.nodes; ++n) {
+    out << "--- " << hostnameOf(n) << " ---\n";
+    std::vector<const core::MonitorSession*> nodeSessions;
+    for (int r = 0; r < config_.ranksPerNode; ++r) {
+      nodeSessions.push_back(
+          sessions_[static_cast<std::size_t>(n * config_.ranksPerNode + r)]
+              .get());
+    }
+    out << analysis::renderJobSummary(analysis::aggregate(nodeSessions));
+  }
+  out << "=== whole allocation ===\n"
+      << analysis::renderJobSummary(analysis::aggregate(sessions()));
+  return out.str();
+}
+
+}  // namespace zerosum::cluster

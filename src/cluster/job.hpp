@@ -1,0 +1,81 @@
+// Multi-node allocation monitoring — the paper's §2 wish: "the htop view
+// … but for all nodes in a given allocation, and for all resources at
+// their disposal", and the §6 goal of collecting ZeroSum data from across
+// the application processes.
+//
+// ClusterJob stands up N simulated nodes, places a miniQMC-like job across
+// them with the Slurm planner, attaches one MonitorSession per rank, and
+// drives everything in lockstep virtual time.  It also hosts the
+// noisy-neighbour scenario (Bhatele et al., cited in §2): an interfering
+// process outside the job sharing a node, whose effect surfaces as rank
+// imbalance and contention findings on exactly the affected node.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/monitor.hpp"
+#include "sim/workload.hpp"
+#include "topology/hardware.hpp"
+
+namespace zerosum::cluster {
+
+struct ClusterJobConfig {
+  int nodes = 2;
+  /// Ranks per node (each node runs its own srun-style placement).
+  int ranksPerNode = 4;
+  int cpusPerTask = 7;
+  bool bindSpread = true;
+  sim::MiniQmcConfig workload;
+  std::uint64_t seed = 0xC1u;
+};
+
+/// An interfering workload outside the job (another user's process, a
+/// runaway system daemon).
+struct Interference {
+  int node = 0;
+  CpuSet cpus;                       ///< empty = whole node
+  /// CPU-bound demand threads to spawn.
+  int threads = 1;
+  /// Memory it consumes on the node.
+  std::uint64_t memoryBytes = 0;
+};
+
+class ClusterJob {
+ public:
+  ClusterJob(const topology::Topology& nodeTopology,
+             const ClusterJobConfig& config);
+
+  /// Adds a noisy neighbour before run().
+  void addInterference(const Interference& interference);
+
+  /// Advances all nodes in lockstep, sampling every rank's monitor once
+  /// per virtual second, until the job finishes or maxSeconds elapses.
+  void run(double maxSeconds = 900.0);
+
+  [[nodiscard]] int totalRanks() const {
+    return config_.nodes * config_.ranksPerNode;
+  }
+  [[nodiscard]] double runtimeSeconds() const { return runtime_; }
+  [[nodiscard]] int nodeOfRank(int rank) const;
+  [[nodiscard]] std::string hostnameOf(int node) const;
+  [[nodiscard]] const core::MonitorSession& session(int rank) const;
+  [[nodiscard]] std::vector<const core::MonitorSession*> sessions() const;
+  [[nodiscard]] sim::SimNode& node(int index);
+
+  /// The allocation-wide view: one block per node with its ranks'
+  /// duration / CPU busy / contention columns, plus job-level totals and
+  /// imbalance (rendered via analysis::aggregate).
+  [[nodiscard]] std::string dashboard() const;
+
+ private:
+  ClusterJobConfig config_;
+  std::vector<std::unique_ptr<sim::SimNode>> nodes_;
+  std::vector<sim::BuiltRank> ranks_;                   // global rank order
+  std::vector<std::unique_ptr<core::MonitorSession>> sessions_;
+  double runtime_ = 0.0;
+  bool ran_ = false;
+};
+
+}  // namespace zerosum::cluster

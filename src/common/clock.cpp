@@ -1,0 +1,54 @@
+#include "common/clock.hpp"
+
+#include "common/error.hpp"
+
+namespace zerosum {
+
+RealPacer::RealPacer() : start_(std::chrono::steady_clock::now()) {}
+
+bool RealPacer::waitPeriod(std::chrono::milliseconds period) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait_for(lock, period, [this] { return stop_; });
+  return !stop_;
+}
+
+void RealPacer::requestStop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+}
+
+double RealPacer::elapsedSeconds() const {
+  const auto now = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(now - start_).count();
+}
+
+VirtualPacer::VirtualPacer(AdvanceFn advance) : advance_(std::move(advance)) {
+  if (!advance_) {
+    throw StateError("VirtualPacer requires an advance function");
+  }
+}
+
+bool VirtualPacer::waitPeriod(std::chrono::milliseconds period) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stop_) {
+      return false;
+    }
+    elapsed_ += period;
+  }
+  return advance_(period);
+}
+
+void VirtualPacer::requestStop() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  stop_ = true;
+}
+
+double VirtualPacer::elapsedSeconds() const {
+  return std::chrono::duration<double>(elapsed_).count();
+}
+
+}  // namespace zerosum

@@ -1,0 +1,74 @@
+// Time pacing for the asynchronous monitor thread.
+//
+// The paper's tool samples once per second of *wall-clock* time.  This
+// reproduction also drives the monitor against a simulated node where a
+// "second" must pass instantly, so the monitor loop is written against a
+// Pacer interface:
+//   * RealPacer   — sleeps on a condition variable (interruptible), used when
+//     monitoring the live process via the real /proc.
+//   * VirtualPacer — delegates each period to a callback that advances
+//     simulated time; used by every table/figure reproduction.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+
+namespace zerosum {
+
+/// Controls when the monitor takes its next sample.
+class Pacer {
+ public:
+  virtual ~Pacer() = default;
+
+  /// Blocks (or advances virtual time) for one sampling period.
+  /// Returns false when monitoring should end: stop was requested, or the
+  /// observed workload finished.
+  virtual bool waitPeriod(std::chrono::milliseconds period) = 0;
+
+  /// Asks a blocked waitPeriod() to return false promptly.  Thread-safe.
+  virtual void requestStop() = 0;
+
+  /// Seconds of (real or virtual) time elapsed since construction; this is
+  /// the "Duration of execution" reported by ZeroSum.
+  [[nodiscard]] virtual double elapsedSeconds() const = 0;
+};
+
+/// Wall-clock pacer with interruptible sleep.
+class RealPacer final : public Pacer {
+ public:
+  RealPacer();
+
+  bool waitPeriod(std::chrono::milliseconds period) override;
+  void requestStop() override;
+  [[nodiscard]] double elapsedSeconds() const override;
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// Virtual-time pacer: each period invokes `advance(period)`, which should
+/// move the simulation forward and return false once the workload completes.
+class VirtualPacer final : public Pacer {
+ public:
+  using AdvanceFn = std::function<bool(std::chrono::milliseconds)>;
+
+  explicit VirtualPacer(AdvanceFn advance);
+
+  bool waitPeriod(std::chrono::milliseconds period) override;
+  void requestStop() override;
+  [[nodiscard]] double elapsedSeconds() const override;
+
+ private:
+  AdvanceFn advance_;
+  std::mutex mutex_;
+  bool stop_ = false;
+  std::chrono::milliseconds elapsed_{0};
+};
+
+}  // namespace zerosum

@@ -1,0 +1,232 @@
+#include "common/cpuset.hpp"
+
+#include <charconv>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace zerosum {
+
+namespace {
+
+std::size_t parseIndex(std::string_view tok) {
+  std::size_t value = 0;
+  const char* begin = tok.data();
+  const char* end = begin + tok.size();
+  auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr != end) {
+    throw ParseError("bad cpu index '" + std::string(tok) + "'");
+  }
+  if (value >= CpuSet::kMaxCpus) {
+    throw ParseError("cpu index " + std::to_string(value) + " exceeds capacity");
+  }
+  return value;
+}
+
+}  // namespace
+
+CpuSet CpuSet::fromList(const std::string& list) {
+  CpuSet out;
+  const std::string trimmed = strings::trim(list);
+  if (trimmed.empty()) {
+    return out;
+  }
+  for (const auto& rawTok : strings::split(trimmed, ',')) {
+    const std::string tok = strings::trim(rawTok);
+    if (tok.empty()) {
+      throw ParseError("empty element in cpulist '" + list + "'");
+    }
+    const auto dash = tok.find('-');
+    if (dash == std::string::npos) {
+      out.set(parseIndex(tok));
+    } else {
+      const std::size_t lo = parseIndex(std::string_view(tok).substr(0, dash));
+      const std::size_t hi = parseIndex(std::string_view(tok).substr(dash + 1));
+      if (hi < lo) {
+        throw ParseError("descending range '" + tok + "'");
+      }
+      for (std::size_t i = lo; i <= hi; ++i) {
+        out.set(i);
+      }
+    }
+  }
+  return out;
+}
+
+CpuSet CpuSet::fromHexMask(const std::string& mask) {
+  const std::string trimmed = strings::trim(mask);
+  if (trimmed.empty()) {
+    throw ParseError("empty cpu hex mask");
+  }
+  const auto words = strings::split(trimmed, ',');
+  CpuSet out;
+  // Words are most-significant first; the last word covers CPUs 0-31.
+  std::size_t wordBase = 0;
+  for (auto it = words.rbegin(); it != words.rend(); ++it, wordBase += 32) {
+    const std::string word = strings::trim(*it);
+    if (word.empty() || word.size() > 8) {
+      throw ParseError("bad hex mask word '" + word + "'");
+    }
+    std::uint32_t bits = 0;
+    for (char c : word) {
+      std::uint32_t nibble = 0;
+      if (c >= '0' && c <= '9') {
+        nibble = static_cast<std::uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        nibble = static_cast<std::uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        nibble = static_cast<std::uint32_t>(c - 'A' + 10);
+      } else {
+        throw ParseError("bad hex digit '" + std::string(1, c) +
+                         "' in cpu mask");
+      }
+      bits = (bits << 4) | nibble;
+    }
+    for (std::size_t bit = 0; bit < 32; ++bit) {
+      if ((bits >> bit) & 1u) {
+        out.set(wordBase + bit);
+      }
+    }
+  }
+  return out;
+}
+
+CpuSet CpuSet::range(std::size_t firstCpu, std::size_t lastCpu) {
+  if (lastCpu < firstCpu) {
+    throw StateError("CpuSet::range: last < first");
+  }
+  if (lastCpu >= kMaxCpus) {
+    throw StateError("CpuSet::range: index exceeds capacity");
+  }
+  CpuSet out;
+  for (std::size_t i = firstCpu; i <= lastCpu; ++i) {
+    out.bits_.set(i);
+  }
+  return out;
+}
+
+CpuSet CpuSet::of(const std::vector<std::size_t>& cpus) {
+  CpuSet out;
+  for (std::size_t c : cpus) {
+    out.set(c);
+  }
+  return out;
+}
+
+CpuSet CpuSet::firstN(std::size_t n) {
+  if (n == 0) {
+    return {};
+  }
+  return range(0, n - 1);
+}
+
+void CpuSet::set(std::size_t cpu) {
+  if (cpu >= kMaxCpus) {
+    throw StateError("CpuSet::set: index " + std::to_string(cpu) +
+                     " exceeds capacity");
+  }
+  bits_.set(cpu);
+}
+
+void CpuSet::clear(std::size_t cpu) {
+  if (cpu >= kMaxCpus) {
+    throw StateError("CpuSet::clear: index exceeds capacity");
+  }
+  bits_.reset(cpu);
+}
+
+bool CpuSet::test(std::size_t cpu) const {
+  return cpu < kMaxCpus && bits_.test(cpu);
+}
+
+std::size_t CpuSet::first() const {
+  for (std::size_t i = 0; i < kMaxCpus; ++i) {
+    if (bits_.test(i)) {
+      return i;
+    }
+  }
+  throw StateError("CpuSet::first on empty set");
+}
+
+std::size_t CpuSet::last() const {
+  for (std::size_t i = kMaxCpus; i-- > 0;) {
+    if (bits_.test(i)) {
+      return i;
+    }
+  }
+  throw StateError("CpuSet::last on empty set");
+}
+
+std::vector<std::size_t> CpuSet::toVector() const {
+  std::vector<std::size_t> out;
+  out.reserve(bits_.count());
+  for (std::size_t i = 0; i < kMaxCpus; ++i) {
+    if (bits_.test(i)) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+std::string CpuSet::toList() const {
+  std::string out;
+  std::size_t i = 0;
+  while (i < kMaxCpus) {
+    if (!bits_.test(i)) {
+      ++i;
+      continue;
+    }
+    std::size_t runEnd = i;
+    while (runEnd + 1 < kMaxCpus && bits_.test(runEnd + 1)) {
+      ++runEnd;
+    }
+    if (!out.empty()) {
+      out += ',';
+    }
+    out += std::to_string(i);
+    if (runEnd > i) {
+      out += '-';
+      out += std::to_string(runEnd);
+    }
+    i = runEnd + 1;
+  }
+  return out;
+}
+
+CpuSet CpuSet::operator&(const CpuSet& o) const {
+  CpuSet out;
+  out.bits_ = bits_ & o.bits_;
+  return out;
+}
+
+CpuSet CpuSet::operator|(const CpuSet& o) const {
+  CpuSet out;
+  out.bits_ = bits_ | o.bits_;
+  return out;
+}
+
+CpuSet CpuSet::operator-(const CpuSet& o) const {
+  CpuSet out;
+  out.bits_ = bits_ & ~o.bits_;
+  return out;
+}
+
+CpuSet& CpuSet::operator|=(const CpuSet& o) {
+  bits_ |= o.bits_;
+  return *this;
+}
+
+CpuSet& CpuSet::operator&=(const CpuSet& o) {
+  bits_ &= o.bits_;
+  return *this;
+}
+
+bool CpuSet::intersects(const CpuSet& o) const {
+  return (bits_ & o.bits_).any();
+}
+
+bool CpuSet::containsAll(const CpuSet& o) const {
+  return (o.bits_ & ~bits_).none();
+}
+
+}  // namespace zerosum

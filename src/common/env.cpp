@@ -1,0 +1,71 @@
+#include "common/env.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace zerosum::env {
+
+std::optional<std::string> get(const std::string& name) {
+  const char* raw = std::getenv(name.c_str());
+  if (raw == nullptr) {
+    return std::nullopt;
+  }
+  return std::string(raw);
+}
+
+std::string getString(const std::string& name, const std::string& fallback) {
+  return get(name).value_or(fallback);
+}
+
+std::int64_t getInt(const std::string& name, std::int64_t fallback) {
+  const auto raw = get(name);
+  if (!raw) {
+    return fallback;
+  }
+  const auto parsed = strings::toI64(strings::trim(*raw));
+  if (!parsed) {
+    throw ConfigError(name + "='" + *raw + "' is not an integer");
+  }
+  return *parsed;
+}
+
+double getDouble(const std::string& name, double fallback) {
+  const auto raw = get(name);
+  if (!raw) {
+    return fallback;
+  }
+  const auto parsed = strings::toDouble(strings::trim(*raw));
+  if (!parsed) {
+    throw ConfigError(name + "='" + *raw + "' is not a number");
+  }
+  return *parsed;
+}
+
+bool getBool(const std::string& name, bool fallback) {
+  const auto raw = get(name);
+  if (!raw) {
+    return fallback;
+  }
+  std::string v = strings::trim(*raw);
+  std::transform(v.begin(), v.end(), v.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (v == "1" || v == "true" || v == "yes" || v == "on") {
+    return true;
+  }
+  if (v == "0" || v == "false" || v == "no" || v == "off") {
+    return false;
+  }
+  throw ConfigError(name + "='" + *raw + "' is not a boolean");
+}
+
+void setForTesting(const std::string& name, const std::string& value) {
+  ::setenv(name.c_str(), value.c_str(), /*overwrite=*/1);
+}
+
+void unsetForTesting(const std::string& name) { ::unsetenv(name.c_str()); }
+
+}  // namespace zerosum::env

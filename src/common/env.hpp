@@ -1,0 +1,30 @@
+// Typed environment-variable access.
+//
+// ZeroSum is configured the way the paper's tool is: entirely through
+// environment variables set in the job script (ZS_PERIOD_MS, ZS_ASYNC_CORE,
+// ...), because an LD_PRELOAD-style tool has no argv of its own.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace zerosum::env {
+
+/// Raw lookup; nullopt when unset.
+std::optional<std::string> get(const std::string& name);
+
+/// Typed lookups.  An unset variable yields the fallback; a *malformed*
+/// value throws ConfigError — silent fallback on typos hides
+/// misconfiguration, the exact failure mode this tool exists to catch.
+std::string getString(const std::string& name, const std::string& fallback);
+std::int64_t getInt(const std::string& name, std::int64_t fallback);
+double getDouble(const std::string& name, double fallback);
+/// Accepts 1/0, true/false, yes/no, on/off (case-insensitive).
+bool getBool(const std::string& name, bool fallback);
+
+/// Test hook: overrides one variable for the current process (setenv).
+void setForTesting(const std::string& name, const std::string& value);
+void unsetForTesting(const std::string& name);
+
+}  // namespace zerosum::env

@@ -1,0 +1,45 @@
+// Error types shared across the ZeroSum libraries.
+//
+// Per C++ Core Guidelines E.2/E.14, errors that cannot be handled locally are
+// reported with exceptions derived from std::runtime_error, one type per
+// broad failure family so callers can discriminate without string matching.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace zerosum {
+
+/// Base class for all ZeroSum errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Malformed input while parsing /proc-style text, CSV, or cpulists.
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error("parse error: " + what) {}
+};
+
+/// A referenced entity (pid, tid, cpu index, GPU index, rank) does not exist.
+class NotFoundError : public Error {
+ public:
+  explicit NotFoundError(const std::string& what)
+      : Error("not found: " + what) {}
+};
+
+/// An operation was attempted in a state that does not permit it.
+class StateError : public Error {
+ public:
+  explicit StateError(const std::string& what) : Error("state error: " + what) {}
+};
+
+/// Invalid configuration supplied via environment or API.
+class ConfigError : public Error {
+ public:
+  explicit ConfigError(const std::string& what)
+      : Error("config error: " + what) {}
+};
+
+}  // namespace zerosum

@@ -1,0 +1,74 @@
+#include "common/logging.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <iostream>
+
+namespace zerosum::log {
+
+namespace {
+
+Level initialThreshold() {
+  const char* env = std::getenv("ZS_LOG_LEVEL");
+  if (env == nullptr) {
+    return Level::kWarn;
+  }
+  const std::string v(env);
+  if (v == "debug") return Level::kDebug;
+  if (v == "info") return Level::kInfo;
+  if (v == "warn") return Level::kWarn;
+  if (v == "error") return Level::kError;
+  if (v == "off") return Level::kOff;
+  return Level::kWarn;
+}
+
+std::atomic<Level>& thresholdRef() {
+  static std::atomic<Level> level{initialThreshold()};
+  return level;
+}
+
+std::atomic<std::ostream*>& sinkRef() {
+  static std::atomic<std::ostream*> sink{nullptr};
+  return sink;
+}
+
+std::mutex& sinkMutex() {
+  static std::mutex m;
+  return m;
+}
+
+const char* levelName(Level level) {
+  switch (level) {
+    case Level::kDebug: return "DEBUG";
+    case Level::kInfo: return "INFO ";
+    case Level::kWarn: return "WARN ";
+    case Level::kError: return "ERROR";
+    case Level::kOff: return "OFF  ";
+  }
+  return "?????";
+}
+
+}  // namespace
+
+Level threshold() { return thresholdRef().load(std::memory_order_relaxed); }
+
+void setThreshold(Level level) {
+  thresholdRef().store(level, std::memory_order_relaxed);
+}
+
+void setSink(std::ostream* sink) {
+  sinkRef().store(sink, std::memory_order_relaxed);
+}
+
+void write(Level level, const std::string& message) {
+  if (level < threshold() || level == Level::kOff) {
+    return;
+  }
+  std::ostream* sink = sinkRef().load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(sinkMutex());
+  std::ostream& out = sink != nullptr ? *sink : std::cerr;
+  out << "[zerosum " << levelName(level) << "] " << message << '\n';
+  out.flush();
+}
+
+}  // namespace zerosum::log

@@ -1,0 +1,55 @@
+// Minimal leveled logger.
+//
+// ZeroSum writes three kinds of output: the user-facing report (stdout, rank
+// 0), per-process log files, and diagnostics.  This logger covers the
+// diagnostics path; report/log-file output goes through core::Reporter and
+// core::CsvExporter which own their streams.
+#pragma once
+
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+namespace zerosum::log {
+
+enum class Level { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global diagnostic threshold; defaults to kWarn so library users see
+/// nothing unless something is wrong.  Reads ZS_LOG_LEVEL at first use
+/// ("debug"|"info"|"warn"|"error"|"off").
+Level threshold();
+void setThreshold(Level level);
+
+/// Redirects diagnostics (default: std::cerr).  Not owned; caller keeps the
+/// stream alive.  Passing nullptr restores std::cerr.
+void setSink(std::ostream* sink);
+
+void write(Level level, const std::string& message);
+
+namespace detail {
+class LineBuilder {
+ public:
+  explicit LineBuilder(Level level) : level_(level) {}
+  LineBuilder(const LineBuilder&) = delete;
+  LineBuilder& operator=(const LineBuilder&) = delete;
+  ~LineBuilder() { write(level_, stream_.str()); }
+
+  template <typename T>
+  LineBuilder& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  Level level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+inline detail::LineBuilder debug() { return detail::LineBuilder(Level::kDebug); }
+inline detail::LineBuilder info() { return detail::LineBuilder(Level::kInfo); }
+inline detail::LineBuilder warn() { return detail::LineBuilder(Level::kWarn); }
+inline detail::LineBuilder error() { return detail::LineBuilder(Level::kError); }
+
+}  // namespace zerosum::log

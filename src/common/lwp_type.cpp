@@ -1,0 +1,17 @@
+#include "common/lwp_type.hpp"
+
+namespace zerosum {
+
+std::string lwpTypeName(LwpType type) {
+  switch (type) {
+    case LwpType::kMain: return "Main";
+    case LwpType::kZeroSum: return "ZeroSum";
+    case LwpType::kOpenMp: return "OpenMP";
+    case LwpType::kGpuHelper: return "GPU";
+    case LwpType::kMpiHelper: return "MPI";
+    case LwpType::kOther: return "Other";
+  }
+  return "Unknown";
+}
+
+}  // namespace zerosum

@@ -1,0 +1,20 @@
+// Thread classification vocabulary shared by the monitor and the
+// simulator: the "Type" column of the paper's LWP report (Tables 1-3).
+#pragma once
+
+#include <string>
+
+namespace zerosum {
+
+enum class LwpType {
+  kMain,       ///< the process main thread (tid == pid)
+  kZeroSum,    ///< the monitor's own asynchronous thread
+  kOpenMp,     ///< announced by the OpenMP runtime (OMPT or probe)
+  kGpuHelper,  ///< vendor runtime helper (HIP/CUDA event threads)
+  kMpiHelper,  ///< MPI progress thread
+  kOther,      ///< anything unclassified
+};
+
+std::string lwpTypeName(LwpType type);
+
+}  // namespace zerosum

@@ -1,0 +1,250 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace zerosum::stats {
+
+void Accumulator::add(double v) {
+  ++n_;
+  sum_ += v;
+  const double delta = v - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (v - mean_);
+  min_ = std::min(min_, v);
+  max_ = std::max(max_, v);
+}
+
+double Accumulator::min() const { return n_ == 0 ? 0.0 : min_; }
+double Accumulator::max() const { return n_ == 0 ? 0.0 : max_; }
+double Accumulator::mean() const { return n_ == 0 ? 0.0 : mean_; }
+
+double Accumulator::variance() const {
+  if (n_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double Accumulator::stddev() const { return std::sqrt(variance()); }
+
+void Accumulator::merge(const Accumulator& o) {
+  if (o.n_ == 0) {
+    return;
+  }
+  if (n_ == 0) {
+    *this = o;
+    return;
+  }
+  const double delta = o.mean_ - mean_;
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(o.n_);
+  const double nab = na + nb;
+  m2_ += o.m2_ + delta * delta * na * nb / nab;
+  mean_ += delta * nb / nab;
+  n_ += o.n_;
+  sum_ += o.sum_;
+  min_ = std::min(min_, o.min_);
+  max_ = std::max(max_, o.max_);
+}
+
+Summary summarize(std::span<const double> xs) {
+  Summary s;
+  if (xs.empty()) {
+    return s;
+  }
+  Accumulator acc;
+  for (double x : xs) {
+    acc.add(x);
+  }
+  s.n = acc.count();
+  s.mean = acc.mean();
+  s.stddev = acc.stddev();
+  s.min = acc.min();
+  s.max = acc.max();
+  s.median = percentile(xs, 50.0);
+  return s;
+}
+
+namespace {
+
+/// log Gamma via Lanczos approximation (g=7, n=9), |error| < 1e-13 on the
+/// positive real axis, plenty for p-values.
+double lgammaApprox(double x) {
+  static constexpr double kCoef[9] = {
+      0.99999999999980993,  676.5203681218851,   -1259.1392167224028,
+      771.32342877765313,   -176.61502916214059, 12.507343278686905,
+      -0.13857109526572012, 9.9843695780195716e-6, 1.5056327351493116e-7};
+  if (x < 0.5) {
+    // Reflection formula.
+    return std::log(M_PI / std::sin(M_PI * x)) - lgammaApprox(1.0 - x);
+  }
+  x -= 1.0;
+  double a = kCoef[0];
+  const double t = x + 7.5;
+  for (int i = 1; i < 9; ++i) {
+    a += kCoef[i] / (x + static_cast<double>(i));
+  }
+  return 0.5 * std::log(2.0 * M_PI) + (x + 0.5) * std::log(t) - t + std::log(a);
+}
+
+/// Continued fraction for the incomplete beta (Numerical-Recipes style
+/// modified Lentz).
+double betacf(double a, double b, double x) {
+  constexpr int kMaxIter = 300;
+  constexpr double kEps = 3.0e-12;
+  constexpr double kFpMin = 1.0e-300;
+
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::fabs(d) < kFpMin) {
+    d = kFpMin;
+  }
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIter; ++m) {
+    const auto md = static_cast<double>(m);
+    const double m2 = 2.0 * md;
+    double aa = md * (b - md) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) {
+      d = kFpMin;
+    }
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) {
+      c = kFpMin;
+    }
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + md) * (qab + md) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) {
+      d = kFpMin;
+    }
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) {
+      c = kFpMin;
+    }
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEps) {
+      break;
+    }
+  }
+  return h;
+}
+
+}  // namespace
+
+double incompleteBeta(double a, double b, double x) {
+  if (x < 0.0 || x > 1.0) {
+    throw StateError("incompleteBeta: x out of [0,1]");
+  }
+  if (x == 0.0) {
+    return 0.0;
+  }
+  if (x == 1.0) {
+    return 1.0;
+  }
+  const double lnBeta = lgammaApprox(a + b) - lgammaApprox(a) - lgammaApprox(b);
+  const double front =
+      std::exp(lnBeta + a * std::log(x) + b * std::log(1.0 - x));
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * betacf(a, b, x) / a;
+  }
+  return 1.0 - front * betacf(b, a, 1.0 - x) / b;
+}
+
+double studentTTwoSidedP(double t, double df) {
+  if (df <= 0.0) {
+    throw StateError("studentTTwoSidedP: df <= 0");
+  }
+  const double x = df / (df + t * t);
+  return incompleteBeta(df / 2.0, 0.5, x);
+}
+
+TTest welchTTest(std::span<const double> a, std::span<const double> b) {
+  if (a.size() < 2 || b.size() < 2) {
+    throw StateError("welchTTest: need >= 2 samples per side");
+  }
+  Accumulator sa;
+  Accumulator sb;
+  for (double v : a) {
+    sa.add(v);
+  }
+  for (double v : b) {
+    sb.add(v);
+  }
+  const double va = sa.variance() / static_cast<double>(sa.count());
+  const double vb = sb.variance() / static_cast<double>(sb.count());
+  TTest out;
+  const double denom = std::sqrt(va + vb);
+  if (denom == 0.0) {
+    // Identical constant samples: indistinguishable.
+    out.t = 0.0;
+    out.df = static_cast<double>(sa.count() + sb.count() - 2);
+    out.pValue = 1.0;
+    return out;
+  }
+  out.t = (sa.mean() - sb.mean()) / denom;
+  const double dfNum = (va + vb) * (va + vb);
+  const double dfDen = va * va / static_cast<double>(sa.count() - 1) +
+                       vb * vb / static_cast<double>(sb.count() - 1);
+  out.df = dfNum / dfDen;
+  out.pValue = studentTTwoSidedP(out.t, out.df);
+  return out;
+}
+
+double percentile(std::span<const double> xs, double p) {
+  if (xs.empty()) {
+    throw StateError("percentile on empty sample");
+  }
+  if (p < 0.0) {
+    p = 0.0;
+  }
+  if (p > 100.0) {
+    p = 100.0;
+  }
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+std::uint64_t SplitMix64::next() {
+  state_ += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state_;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+double SplitMix64::nextDouble() {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t SplitMix64::nextBelow(std::uint64_t bound) {
+  if (bound == 0) {
+    return 0;
+  }
+  return next() % bound;
+}
+
+double SplitMix64::nextGaussian() {
+  double sum = 0.0;
+  for (int i = 0; i < 12; ++i) {
+    sum += nextDouble();
+  }
+  return sum - 6.0;
+}
+
+}  // namespace zerosum::stats

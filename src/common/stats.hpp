@@ -1,0 +1,104 @@
+// Statistics primitives used throughout ZeroSum:
+//   * Accumulator — single-pass min/mean/max/stddev (Welford), the shape of
+//     every metric row in the GPU utilization report (Listing 2).
+//   * Welch's t-test — the paper's overhead evaluation (Figure 8) compares
+//     run-time distributions with/without ZeroSum via a t-test p-value.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace zerosum::stats {
+
+/// Streaming accumulator: O(1) memory, numerically stable variance (Welford).
+class Accumulator {
+ public:
+  void add(double v);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double mean() const;
+  /// Sample variance (n-1 denominator); 0 when fewer than two samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double sum() const { return sum_; }
+
+  /// Merges another accumulator (parallel reduction form of Welford).
+  void merge(const Accumulator& o);
+
+  void reset() { *this = Accumulator{}; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Descriptive summary of a sample vector.
+struct Summary {
+  std::size_t n = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+};
+
+Summary summarize(std::span<const double> xs);
+
+/// Result of Welch's unequal-variance two-sample t-test.
+struct TTest {
+  double t = 0.0;        ///< t statistic
+  double df = 0.0;       ///< Welch–Satterthwaite degrees of freedom
+  double pValue = 1.0;   ///< two-sided p-value
+};
+
+/// Welch's t-test between two samples.  Requires >= 2 elements per side.
+/// A p-value near 1 means "same distribution" (paper's 0.998 for the
+/// one-thread-per-core case); near 0 means distinguishable (0.0006 for the
+/// two-threads-per-core case).
+TTest welchTTest(std::span<const double> a, std::span<const double> b);
+
+/// Regularized incomplete beta function I_x(a, b), continued-fraction
+/// evaluation (Lentz).  Exposed for tests; domain x in [0,1], a,b > 0.
+double incompleteBeta(double a, double b, double x);
+
+/// Two-sided Student-t survival probability for |t| with `df` degrees of
+/// freedom: P(|T| >= |t|).
+double studentTTwoSidedP(double t, double df);
+
+/// p-th percentile (0..100) with linear interpolation; input need not be
+/// sorted.  Throws StateError on empty input.
+double percentile(std::span<const double> xs, double p);
+
+/// SplitMix64: tiny deterministic RNG for the simulators.  Deterministic
+/// across platforms (unlike std::default_random_engine distributions).
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next();
+
+  /// Uniform double in [0, 1).
+  double nextDouble();
+
+  /// Uniform integer in [0, bound).
+  std::uint64_t nextBelow(std::uint64_t bound);
+
+  /// Approximate standard normal via sum of 12 uniforms (Irwin–Hall);
+  /// adequate for workload jitter, fully deterministic.
+  double nextGaussian();
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace zerosum::stats

@@ -1,0 +1,45 @@
+// Small string helpers used by the /proc parsers, CSV reader/writer, and
+// report formatters.  All functions are pure and allocation-conscious.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace zerosum::strings {
+
+/// Splits on a single character; adjacent separators yield empty tokens.
+/// split("a,,b", ',') == {"a", "", "b"}.  An empty input yields {""}.
+std::vector<std::string> split(std::string_view s, char sep);
+
+/// Splits on runs of whitespace; never yields empty tokens.
+std::vector<std::string> splitWs(std::string_view s);
+
+/// Removes leading/trailing whitespace (space, tab, CR, LF).
+std::string trim(std::string_view s);
+
+bool startsWith(std::string_view s, std::string_view prefix);
+bool endsWith(std::string_view s, std::string_view suffix);
+
+/// Strict unsigned/signed/double parsers.  Return nullopt on any trailing
+/// garbage instead of best-effort prefixes, so /proc format drift is caught.
+std::optional<std::uint64_t> toU64(std::string_view s);
+std::optional<std::int64_t> toI64(std::string_view s);
+std::optional<double> toDouble(std::string_view s);
+
+/// printf-style %.2f / %.6f rendering without locale surprises.
+std::string fixed(double v, int precision);
+
+/// Left-pads with '0' to `width` digits: zeroPad(7, 3) == "007".
+std::string zeroPad(std::uint64_t v, int width);
+
+/// Joins tokens with a separator.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Pads/truncates to an exact column width (right-pad with spaces).
+std::string padRight(std::string_view s, std::size_t width);
+std::string padLeft(std::string_view s, std::size_t width);
+
+}  // namespace zerosum::strings

@@ -1,0 +1,111 @@
+#include "core/adaptation.hpp"
+
+#include <algorithm>
+
+namespace zerosum::core {
+
+std::optional<Recommendation> ConcurrencyController::observe(
+    const std::map<int, LwpRecord>& lwps,
+    const std::map<std::size_t, HwtRecord>& hwts, double jiffiesPerPeriod) {
+  if (cooldown_ > 0) {
+    --cooldown_;
+    return std::nullopt;
+  }
+  if (jiffiesPerPeriod <= 0.0) {
+    return std::nullopt;
+  }
+
+  // Census over the *latest period only*: throttleable team threads that
+  // were busy, their contention, and their saturation.
+  int busyTeamThreads = 0;
+  int saturatedTeamThreads = 0;
+  std::uint64_t nvctxDelta = 0;
+  for (const auto& [tid, record] : lwps) {
+    if (!record.alive || record.samples.empty()) {
+      continue;
+    }
+    if (record.type != LwpType::kMain && record.type != LwpType::kOpenMp) {
+      continue;
+    }
+    const auto& s = record.samples.back();
+    const double use =
+        static_cast<double>(s.utimeDelta + s.stimeDelta) / jiffiesPerPeriod;
+    if (use < params_.busyFraction) {
+      continue;
+    }
+    ++busyTeamThreads;
+    if (use >= params_.saturatedFraction) {
+      ++saturatedTeamThreads;
+    }
+    if (record.samples.size() >= 2) {
+      const auto& prev = record.samples[record.samples.size() - 2];
+      nvctxDelta += s.nonvoluntaryCtx - prev.nonvoluntaryCtx;
+    } else {
+      nvctxDelta += s.nonvoluntaryCtx;
+    }
+  }
+
+  int idleSlots = 0;
+  int totalSlots = 0;
+  for (const auto& [cpu, record] : hwts) {
+    if (record.samples.empty()) {
+      continue;
+    }
+    ++totalSlots;
+    if (record.samples.back().idlePct >= params_.idleHwtPct) {
+      ++idleSlots;
+    }
+  }
+  if (busyTeamThreads == 0 || totalSlots == 0) {
+    streakKind_ = Pressure::kNone;
+    streak_ = 0;
+    return std::nullopt;
+  }
+
+  Pressure pressure = Pressure::kNone;
+  if (busyTeamThreads > totalSlots &&
+      static_cast<double>(nvctxDelta) >
+          params_.nvctxPerThreadPerPeriod *
+              static_cast<double>(busyTeamThreads)) {
+    pressure = Pressure::kShrink;
+  } else if (idleSlots > 0 && busyTeamThreads < totalSlots &&
+             saturatedTeamThreads == busyTeamThreads) {
+    pressure = Pressure::kGrow;
+  }
+
+  if (pressure == Pressure::kNone || pressure != streakKind_) {
+    streakKind_ = pressure;
+    streak_ = pressure == Pressure::kNone ? 0 : 1;
+    return std::nullopt;
+  }
+  if (++streak_ < params_.confirmPeriods) {
+    return std::nullopt;
+  }
+
+  // Confirmed: recommend matching the allocation.
+  Recommendation rec;
+  rec.currentThreads = busyTeamThreads;
+  rec.recommendedThreads =
+      std::clamp(totalSlots, params_.minThreads, params_.maxThreads);
+  if (rec.recommendedThreads == rec.currentThreads) {
+    streak_ = 0;
+    streakKind_ = Pressure::kNone;
+    return std::nullopt;
+  }
+  rec.reason =
+      pressure == Pressure::kShrink
+          ? std::to_string(busyTeamThreads) + " busy threads time-slice " +
+                std::to_string(totalSlots) + " HWTs (" +
+                std::to_string(nvctxDelta) +
+                " preemptions last period); shrink to match the allocation"
+          : std::to_string(idleSlots) + " of " + std::to_string(totalSlots) +
+                " allocated HWTs idle while every thread is saturated; "
+                "grow to use them";
+  streak_ = 0;
+  streakKind_ = Pressure::kNone;
+  cooldown_ = params_.cooldownPeriods;
+  ++issued_;
+  return rec;
+}
+
+}  // namespace zerosum::core

@@ -1,0 +1,78 @@
+// Adaptive concurrency control (paper §2 "Adaptation"; Porterfield et al.,
+// cited there, showed that monitoring a contended resource can drive
+// thread-concurrency throttling).  The paper positions ZeroSum's data as
+// "in some cases … useful" for this; this module is that case made
+// concrete: a controller that watches the per-period LWP/HWT observations
+// and recommends a team size that matches the allocation.
+//
+// The policy is deliberately conservative (the tool must never thrash the
+// application):
+//   * oversubscription — more busy threads than allocated slots with
+//     time-slicing evidence (non-voluntary context switches) → shrink
+//     toward the slot count;
+//   * undersubscription — idle allocated HWTs while every current thread
+//     is saturated → grow toward the slot count;
+//   * hysteresis — a recommendation needs `confirmPeriods` consecutive
+//     agreeing observations, and after a change the controller holds off
+//     for `cooldownPeriods`.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "core/records.hpp"
+
+namespace zerosum::core {
+
+struct AdaptationParams {
+  int minThreads = 1;
+  int maxThreads = 256;
+  /// Consecutive periods an observation must persist before acting.
+  int confirmPeriods = 3;
+  /// Periods to wait after a recommendation before the next one.
+  int cooldownPeriods = 5;
+  /// A thread is busy when using at least this fraction of a period.
+  double busyFraction = 0.05;
+  /// nvctx per busy thread per period that indicates time-slicing.
+  double nvctxPerThreadPerPeriod = 2.0;
+  /// A HWT counts as idle capacity above this idle percentage.
+  double idleHwtPct = 80.0;
+  /// A thread counts as saturated above this busy fraction.
+  double saturatedFraction = 0.85;
+};
+
+struct Recommendation {
+  int currentThreads = 0;
+  int recommendedThreads = 0;
+  std::string reason;
+};
+
+class ConcurrencyController {
+ public:
+  ConcurrencyController() : ConcurrencyController(AdaptationParams{}) {}
+  explicit ConcurrencyController(const AdaptationParams& params)
+      : params_(params) {}
+
+  /// Feeds one period of observations; returns a recommendation when the
+  /// evidence has persisted long enough.  `teamTypeOnly` restricts the
+  /// busy-thread census to Main/OpenMP threads (the ones a runtime can
+  /// actually throttle).
+  std::optional<Recommendation> observe(
+      const std::map<int, LwpRecord>& lwps,
+      const std::map<std::size_t, HwtRecord>& hwts, double jiffiesPerPeriod);
+
+  [[nodiscard]] int recommendationsIssued() const { return issued_; }
+
+ private:
+  enum class Pressure { kNone, kShrink, kGrow };
+
+  AdaptationParams params_;
+  Pressure streakKind_ = Pressure::kNone;
+  int streak_ = 0;
+  int cooldown_ = 0;
+  int issued_ = 0;
+};
+
+}  // namespace zerosum::core

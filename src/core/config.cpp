@@ -1,0 +1,41 @@
+#include "core/config.hpp"
+
+#include "common/env.hpp"
+#include "common/error.hpp"
+
+namespace zerosum::core {
+
+Config Config::fromEnv() {
+  Config cfg;
+  const auto periodMs = env::getInt("ZS_PERIOD_MS", cfg.period.count());
+  if (periodMs <= 0) {
+    throw ConfigError("ZS_PERIOD_MS must be positive");
+  }
+  cfg.period = std::chrono::milliseconds(periodMs);
+  cfg.asyncCore = static_cast<int>(env::getInt("ZS_ASYNC_CORE", -1));
+  cfg.heartbeat = env::getBool("ZS_HEARTBEAT", cfg.heartbeat);
+  cfg.heartbeatPeriods = static_cast<int>(
+      env::getInt("ZS_HEARTBEAT_PERIODS", cfg.heartbeatPeriods));
+  if (cfg.heartbeatPeriods < 1) {
+    throw ConfigError("ZS_HEARTBEAT_PERIODS must be >= 1");
+  }
+  cfg.signalHandler = env::getBool("ZS_SIGNAL_HANDLER", cfg.signalHandler);
+  cfg.deadlockDetect = env::getBool("ZS_DEADLOCK_DETECT", cfg.deadlockDetect);
+  cfg.deadlockPeriods = static_cast<int>(
+      env::getInt("ZS_DEADLOCK_PERIODS", cfg.deadlockPeriods));
+  if (cfg.deadlockPeriods < 2) {
+    throw ConfigError("ZS_DEADLOCK_PERIODS must be >= 2");
+  }
+  cfg.logPrefix = env::getString("ZS_LOG_PREFIX", cfg.logPrefix);
+  cfg.csvExport = env::getBool("ZS_CSV", cfg.csvExport);
+  cfg.monitorGpu = env::getBool("ZS_MONITOR_GPU", cfg.monitorGpu);
+  cfg.monitorMemory = env::getBool("ZS_MONITOR_MEMORY", cfg.monitorMemory);
+  cfg.memWarnFraction =
+      env::getDouble("ZS_MEM_WARN_FRACTION", cfg.memWarnFraction);
+  if (cfg.memWarnFraction <= 0.0 || cfg.memWarnFraction > 1.0) {
+    throw ConfigError("ZS_MEM_WARN_FRACTION must be in (0, 1]");
+  }
+  return cfg;
+}
+
+}  // namespace zerosum::core

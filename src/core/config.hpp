@@ -1,0 +1,54 @@
+// ZeroSum runtime configuration.
+//
+// Like the paper's tool, configuration arrives through environment
+// variables set in the job script (the tool is injected; it has no argv):
+//   ZS_PERIOD_MS         sampling period (default 1000, paper default 1 s)
+//   ZS_ASYNC_CORE        HWT to pin the monitor thread to (-1 = last allowed)
+//   ZS_HEARTBEAT         periodic progress line to stdout (default off)
+//   ZS_HEARTBEAT_PERIODS heartbeat every N samples (default 10)
+//   ZS_SIGNAL_HANDLER    install the backtrace handler (default on)
+//   ZS_DEADLOCK_DETECT   enable the stuck-progress heuristic (default off)
+//   ZS_DEADLOCK_PERIODS  consecutive idle samples before reporting (default 5)
+//   ZS_LOG_PREFIX        per-process log file prefix (default "zerosum")
+//   ZS_CSV               include CSV time-series in the log (default on)
+//   ZS_MONITOR_GPU       sample GPU devices (default on)
+//   ZS_MONITOR_MEMORY    sample meminfo/RSS (default on)
+//   ZS_MEM_WARN_FRACTION fraction of node memory in use that triggers a
+//                        low-memory finding (default 0.95)
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace zerosum::core {
+
+struct Config {
+  std::chrono::milliseconds period{1000};
+  int asyncCore = -1;
+  bool heartbeat = false;
+  int heartbeatPeriods = 10;
+  bool signalHandler = true;
+  bool deadlockDetect = false;
+  int deadlockPeriods = 5;
+  std::string logPrefix = "zerosum";
+  bool csvExport = true;
+  bool monitorGpu = true;
+  bool monitorMemory = true;
+  double memWarnFraction = 0.95;
+  /// Jiffies per second of the monitored clock: USER_HZ for the live
+  /// kernel, sim::kHz for the simulator.
+  std::uint64_t jiffyHz = 100;
+
+  /// Reads the ZS_* environment; throws ConfigError on malformed values.
+  static Config fromEnv();
+
+  /// Jiffies in one sampling period (the denominator of the per-period
+  /// utilization percentages in the reports).
+  [[nodiscard]] double jiffiesPerPeriod() const {
+    return static_cast<double>(jiffyHz) *
+           std::chrono::duration<double>(period).count();
+  }
+};
+
+}  // namespace zerosum::core

@@ -1,0 +1,292 @@
+#include "core/contention.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/strings.hpp"
+
+namespace zerosum::core {
+
+std::string severityName(Severity severity) {
+  switch (severity) {
+    case Severity::kInfo: return "INFO";
+    case Severity::kWarning: return "WARNING";
+    case Severity::kCritical: return "CRITICAL";
+  }
+  return "UNKNOWN";
+}
+
+std::string renderFindings(const std::vector<Finding>& findings) {
+  if (findings.empty()) {
+    return "No findings: configuration looks healthy.\n";
+  }
+  std::ostringstream out;
+  for (const auto& f : findings) {
+    out << '[' << severityName(f.severity) << "] " << f.code << ": "
+        << f.message;
+    if (!f.tids.empty()) {
+      out << " (LWPs:";
+      for (int tid : f.tids) {
+        out << ' ' << tid;
+      }
+      out << ')';
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+std::vector<Finding> ContentionAnalyzer::analyze(
+    const std::map<int, LwpRecord>& lwps,
+    const std::map<std::size_t, HwtRecord>& hwts,
+    const CpuSet& processAffinity, double jiffiesPerPeriod,
+    double durationSeconds) const {
+  std::vector<Finding> findings;
+  if (jiffiesPerPeriod <= 0.0 || durationSeconds <= 0.0) {
+    return findings;
+  }
+
+  // Partition LWPs: busy ones, and among those, bound ones (affinity
+  // narrower than the whole process allocation).
+  std::vector<const LwpRecord*> busy;
+  auto cpuUseOf = [&](const LwpRecord& record) {
+    return (record.avgUtimePerPeriod() + record.avgStimePerPeriod()) /
+           jiffiesPerPeriod;
+  };
+  for (const auto& [tid, record] : lwps) {
+    if (cpuUseOf(record) >= params_.busyFraction) {
+      busy.push_back(&record);
+    }
+  }
+
+  // Rule: identical affinity sets shared by several busy LWPs (the paper's
+  // "easy benefit" — LWPs assigned to the same HWTs, contending).  The
+  // group is flagged when the members outnumber the slots and together
+  // saturate them — under time-slicing each member individually looks
+  // *underutilized*, which is why a per-thread threshold cannot catch it.
+  std::map<std::string, std::vector<const LwpRecord*>> byAffinity;
+  for (const LwpRecord* record : busy) {
+    byAffinity[record->lastAffinity().toList()].push_back(record);
+  }
+  for (const auto& [affinity, group] : byAffinity) {
+    const std::size_t slots = group.front()->lastAffinity().count();
+    double groupDemand = 0.0;
+    for (const LwpRecord* record : group) {
+      groupDemand += cpuUseOf(*record);
+    }
+    if (group.size() > slots &&
+        groupDemand >=
+            params_.groupDemandFraction * static_cast<double>(slots)) {
+      Finding f;
+      f.severity = Severity::kCritical;
+      f.code = "oversubscribed-hwt";
+      f.message = std::to_string(group.size()) +
+                  " busy threads share HWT set [" + affinity + "] with only " +
+                  std::to_string(slots) + " slot(s); the OS is time-slicing";
+      std::uint64_t nvctx = 0;
+      for (const LwpRecord* record : group) {
+        f.tids.push_back(record->tid);
+        nvctx += record->totalNonvoluntaryCtx();
+      }
+      f.message += " (" + std::to_string(nvctx) +
+                   " non-voluntary context switches observed)";
+      findings.push_back(std::move(f));
+    }
+  }
+
+  // Rule: per-LWP non-voluntary context switch rate.
+  for (const auto& [tid, record] : lwps) {
+    const double rate =
+        static_cast<double>(record.totalNonvoluntaryCtx()) / durationSeconds;
+    if (rate >= params_.nvctxRatePerSecond) {
+      Finding f;
+      f.severity = Severity::kWarning;
+      f.code = "high-nvctx-rate";
+      f.message = "LWP " + std::to_string(tid) + " (" +
+                  lwpTypeName(record.type) + ") preempted " +
+                  strings::fixed(rate, 1) +
+                  " times/s — it is competing for its HWT";
+      f.tids.push_back(tid);
+      findings.push_back(std::move(f));
+    }
+  }
+
+  // Rule: syscall-heavy threads.
+  for (const auto& [tid, record] : lwps) {
+    const double stimeFrac = record.avgStimePerPeriod() / jiffiesPerPeriod;
+    if (stimeFrac >= params_.stimeFraction) {
+      Finding f;
+      f.severity = Severity::kWarning;
+      f.code = "high-system-time";
+      f.message = "LWP " + std::to_string(tid) + " spends " +
+                  strings::fixed(stimeFrac * 100.0, 1) +
+                  "% of its time in system calls — contended kernel "
+                  "resources (I/O, synchronization, data movement)";
+      f.tids.push_back(tid);
+      findings.push_back(std::move(f));
+    }
+  }
+
+  // Rule: idle allocation next to oversubscription/time-slicing.
+  std::size_t idleHwts = 0;
+  for (const auto& [cpu, record] : hwts) {
+    if (record.avgIdlePct() >= params_.idleHwtPct) {
+      ++idleHwts;
+    }
+  }
+  const bool anyOversubscribed =
+      std::any_of(findings.begin(), findings.end(), [](const Finding& f) {
+        return f.code == "oversubscribed-hwt";
+      });
+  if (idleHwts > 0 && anyOversubscribed) {
+    Finding f;
+    f.severity = Severity::kCritical;
+    f.code = "undersubscribed-allocation";
+    f.message = std::to_string(idleHwts) +
+                " allocated HWT(s) sat idle while threads time-sliced "
+                "elsewhere — spread the threads (e.g. srun -c / "
+                "OMP_PROC_BIND)";
+    findings.push_back(std::move(f));
+  }
+
+  // Rule: the monitor's own thread perturbing an application thread.
+  const LwpRecord* zerosum = nullptr;
+  for (const auto& [tid, record] : lwps) {
+    if (record.type == LwpType::kZeroSum) {
+      zerosum = &record;
+      break;
+    }
+  }
+  if (zerosum != nullptr) {
+    for (const LwpRecord* record : busy) {
+      if (record->type == LwpType::kZeroSum) {
+        continue;
+      }
+      // One preemption per monitor wake is the expected signature; half
+      // that rate over the run is already attributable to the monitor.
+      if (record->lastAffinity().intersects(zerosum->lastAffinity()) &&
+          static_cast<double>(record->totalNonvoluntaryCtx()) >
+              durationSeconds / 2.0) {
+        Finding f;
+        f.severity = Severity::kInfo;
+        f.code = "monitor-collision";
+        f.message = "LWP " + std::to_string(record->tid) +
+                    " shares HWT [" + zerosum->lastAffinity().toList() +
+                    "] with the ZeroSum monitor thread; move the monitor "
+                    "with ZS_ASYNC_CORE to avoid the perturbation";
+        f.tids = {record->tid, zerosum->tid};
+        findings.push_back(std::move(f));
+        break;
+      }
+    }
+  }
+
+  // Rule: unbound threads migrating (Table 2's signature).
+  for (const LwpRecord* record : busy) {
+    if (record->lastAffinity() == processAffinity &&
+        processAffinity.count() > 1 && record->observedMigrations() > 0) {
+      Finding f;
+      f.severity = Severity::kInfo;
+      f.code = "unbound-thread-migrated";
+      f.message = "LWP " + std::to_string(record->tid) +
+                  " is unbound within the allocation and migrated " +
+                  std::to_string(record->observedMigrations()) +
+                  " time(s); binding (OMP_PROC_BIND=spread, "
+                  "OMP_PLACES=cores) would improve locality";
+      f.tids.push_back(record->tid);
+      findings.push_back(std::move(f));
+    }
+  }
+
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return static_cast<int>(a.severity) >
+                     static_cast<int>(b.severity);
+            });
+  return findings;
+}
+
+std::vector<Finding> ConfigEvaluator::evaluate(
+    const topology::Topology& topo,
+    const std::vector<sim::slurm::TaskPlacement>& plan,
+    const JobShape& shape) const {
+  std::vector<Finding> findings;
+
+  CpuSet jobPus;
+  for (const auto& tp : plan) {
+    jobPus |= tp.cpus;
+
+    // Oversubscription: more threads than PUs in the rank's allocation
+    // (Table 1: 8 threads, 1 core).
+    if (static_cast<std::size_t>(shape.threadsPerRank) > tp.cpus.count()) {
+      Finding f;
+      f.severity = Severity::kCritical;
+      f.code = "rank-oversubscribed";
+      f.message = "rank " + std::to_string(tp.rank) + " runs " +
+                  std::to_string(shape.threadsPerRank) + " threads on " +
+                  std::to_string(tp.cpus.count()) +
+                  " HWT(s) [" + tp.cpus.toList() +
+                  "]; request more cores per task (srun -c)";
+      findings.push_back(std::move(f));
+    } else if (!shape.threadsBound && tp.cpus.count() > 1) {
+      Finding f;
+      f.severity = Severity::kInfo;
+      f.code = "rank-threads-unbound";
+      f.message = "rank " + std::to_string(tp.rank) +
+                  " has enough HWTs but no thread binding; set "
+                  "OMP_PROC_BIND=spread and OMP_PLACES=cores";
+      findings.push_back(std::move(f));
+    }
+
+    // GPU locality: assigned GPU attached to a different NUMA domain.
+    for (int visible : tp.gpuVisibleIndexes) {
+      const auto& gpu = topo.gpuByVisibleIndex(visible);
+      if (gpu.numaAffinity >= 0 && gpu.numaAffinity != tp.numaDomain) {
+        Finding f;
+        f.severity = Severity::kWarning;
+        f.code = "gpu-numa-mismatch";
+        f.message =
+            "rank " + std::to_string(tp.rank) + " (NUMA " +
+            std::to_string(tp.numaDomain) + ") was assigned GPU visible#" +
+            std::to_string(visible) + " attached to NUMA " +
+            std::to_string(gpu.numaAffinity) +
+            "; use --gpu-bind=closest or reorder ranks";
+        findings.push_back(std::move(f));
+      }
+    }
+
+    // Reserved-core use (should be impossible through planSrun, but a
+    // hand-written plan can do it).
+    const CpuSet reservedUse = tp.cpus & topo.reservedPus();
+    if (!reservedUse.empty()) {
+      Finding f;
+      f.severity = Severity::kWarning;
+      f.code = "reserved-core-use";
+      f.message = "rank " + std::to_string(tp.rank) +
+                  " includes system-reserved HWTs [" + reservedUse.toList() +
+                  "]; expect OS noise";
+      findings.push_back(std::move(f));
+    }
+  }
+
+  // Node-level undersubscription: the job leaves most of the node idle.
+  const std::size_t available = topo.availablePus().count();
+  if (available > 0 && jobPus.count() * 2 < available) {
+    Finding f;
+    f.severity = Severity::kInfo;
+    f.code = "node-undersubscribed";
+    f.message = "job uses " + std::to_string(jobPus.count()) + " of " +
+                std::to_string(available) +
+                " available HWTs on the node; allocation time may be wasted";
+    findings.push_back(std::move(f));
+  }
+
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return static_cast<int>(a.severity) >
+                     static_cast<int>(b.severity);
+            });
+  return findings;
+}
+
+}  // namespace zerosum::core

@@ -1,0 +1,87 @@
+// Contention analysis and configuration evaluation.
+//
+// The paper's §3.2 describes configuration evaluation as future work but
+// names the "easy benefit": automatically detecting when multiple LWPs are
+// assigned to the same HWTs with measurable contention between them.  This
+// module implements that, plus the placement-level rule evaluation the
+// paper envisions (under/over-subscription, unbound threads, GPU/NUMA
+// mismatch) — the reproduction's §5 extension.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/records.hpp"
+#include "sim/slurm.hpp"
+#include "topology/hardware.hpp"
+
+namespace zerosum::core {
+
+enum class Severity { kInfo = 0, kWarning = 1, kCritical = 2 };
+
+std::string severityName(Severity severity);
+
+struct Finding {
+  Severity severity = Severity::kInfo;
+  /// Stable rule identifier, e.g. "oversubscribed-hwt".
+  std::string code;
+  std::string message;
+  /// LWPs implicated (empty for node-level findings).
+  std::vector<int> tids;
+};
+
+std::string renderFindings(const std::vector<Finding>& findings);
+
+/// Post-hoc analysis of a finished (or running) monitoring session.
+class ContentionAnalyzer {
+ public:
+  struct Params {
+    /// An LWP participates in contention analysis when its average CPU use
+    /// exceeds this fraction of a period.  Deliberately low: under heavy
+    /// time-slicing each victim only gets a small share (Table 1 shows
+    /// ~13% per thread), which is precisely when the analysis matters.
+    double busyFraction = 0.05;
+    /// An affinity group is oversubscribed when it has more busy members
+    /// than HWT slots *and* their combined demand exceeds this fraction of
+    /// the slots' capacity.
+    double groupDemandFraction = 0.80;
+    /// Non-voluntary context switches per second that indicate
+    /// time-slicing contention.
+    double nvctxRatePerSecond = 50.0;
+    /// System-time fraction of a period considered syscall-heavy.
+    double stimeFraction = 0.25;
+    /// Idle percentage above which a HWT counts as wasted.
+    double idleHwtPct = 90.0;
+  };
+
+  ContentionAnalyzer() : params_(Params{}) {}
+  explicit ContentionAnalyzer(const Params& params) : params_(params) {}
+
+  [[nodiscard]] std::vector<Finding> analyze(
+      const std::map<int, LwpRecord>& lwps,
+      const std::map<std::size_t, HwtRecord>& hwts,
+      const CpuSet& processAffinity, double jiffiesPerPeriod,
+      double durationSeconds) const;
+
+ private:
+  Params params_;
+};
+
+/// Pre-run (or any-time) evaluation of a placement plan against a node
+/// topology: the rules a user would check by hand against Figures 1-3.
+class ConfigEvaluator {
+ public:
+  struct JobShape {
+    int threadsPerRank = 1;
+    bool threadsBound = false;
+    int gpusPerRank = 0;
+  };
+
+  [[nodiscard]] std::vector<Finding> evaluate(
+      const topology::Topology& topo,
+      const std::vector<sim::slurm::TaskPlacement>& plan,
+      const JobShape& shape) const;
+};
+
+}  // namespace zerosum::core

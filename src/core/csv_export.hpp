@@ -1,0 +1,40 @@
+// CSV time-series export (paper §3.6): everything sampled per period is
+// dumped as comma-separated values in the per-process log, enabling the
+// post-hoc time-series analysis of Figures 6 and 7 and the heatmap of
+// Figure 5.
+#pragma once
+
+#include <map>
+#include <ostream>
+#include <vector>
+
+#include "core/records.hpp"
+#include "mpisim/recorder.hpp"
+
+namespace zerosum::core {
+
+class CsvExporter {
+ public:
+  /// time,tid,type,state,utime,stime,utime_delta,stime_delta,vctx,nvctx,
+  /// minflt,majflt,processor,affinity
+  static void writeLwpSeries(std::ostream& out,
+                             const std::map<int, LwpRecord>& lwps);
+
+  /// time,cpu,user_pct,system_pct,idle_pct
+  static void writeHwtSeries(std::ostream& out,
+                             const std::map<std::size_t, HwtRecord>& hwts);
+
+  /// time,mem_total_kb,mem_free_kb,mem_available_kb,rss_kb,hwm_kb
+  static void writeMemorySeries(std::ostream& out,
+                                const std::vector<MemSample>& samples);
+
+  /// time,gpu,metric,value
+  static void writeGpuSeries(std::ostream& out,
+                             const std::vector<GpuRecord>& gpus);
+
+  /// direction,peer,bytes,count — the rank's point-to-point totals.
+  static void writeCommSeries(std::ostream& out,
+                              const mpisim::Recorder& recorder);
+};
+
+}  // namespace zerosum::core

@@ -1,0 +1,46 @@
+// GpuTracker: periodic GPU metric sampling (paper §3.4-3.5).
+//
+// Queries every attached device each period, accumulating min/avg/max per
+// metric for the summary table (Listing 2) and retaining the raw series
+// for CSV export.  Also watches VRAM headroom for the contention report.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/records.hpp"
+#include "gpu/device.hpp"
+
+namespace zerosum::core {
+
+struct GpuMemoryEvent {
+  double timeSeconds = 0.0;
+  int visibleIndex = 0;
+  double usedFraction = 0.0;
+  std::string description;
+};
+
+class GpuTracker {
+ public:
+  /// `warnFraction` — VRAM-used fraction that triggers an event.
+  explicit GpuTracker(gpu::DeviceList devices, double warnFraction = 0.95);
+
+  void sample(double timeSeconds);
+
+  [[nodiscard]] const std::vector<GpuRecord>& records() const {
+    return records_;
+  }
+  [[nodiscard]] const std::vector<GpuMemoryEvent>& events() const {
+    return events_;
+  }
+  [[nodiscard]] bool empty() const { return devices_.empty(); }
+
+ private:
+  gpu::DeviceList devices_;
+  double warnFraction_;
+  std::vector<GpuRecord> records_;
+  std::vector<bool> inLowMemory_;
+  std::vector<GpuMemoryEvent> events_;
+};
+
+}  // namespace zerosum::core

@@ -1,0 +1,52 @@
+#include "core/hwt_tracker.hpp"
+
+namespace zerosum::core {
+
+HwtTracker::HwtTracker(const procfs::ProcFs& fs, CpuSet watched)
+    : fs_(fs), watched_(watched) {}
+
+void HwtTracker::sample(double timeSeconds) {
+  const procfs::StatSnapshot snapshot = fs_.stat();
+  for (const auto& [cpuInt, times] : snapshot.perCpu) {
+    const auto cpu = static_cast<std::size_t>(cpuInt);
+    if (!watched_.empty() && !watched_.test(cpu)) {
+      continue;
+    }
+    HwtSample sample;
+    sample.timeSeconds = timeSeconds;
+    sample.user = times.user + times.nice;
+    sample.system = times.system + times.irq + times.softirq;
+    sample.idle = times.idle + times.iowait;
+
+    const auto prevIt = previous_.find(cpu);
+    std::uint64_t du = sample.user;
+    std::uint64_t ds = sample.system;
+    std::uint64_t di = sample.idle;
+    if (prevIt != previous_.end()) {
+      const auto& p = prevIt->second;
+      const std::uint64_t pu = p.user + p.nice;
+      const std::uint64_t ps = p.system + p.irq + p.softirq;
+      const std::uint64_t pi = p.idle + p.iowait;
+      du = sample.user >= pu ? sample.user - pu : 0;
+      ds = sample.system >= ps ? sample.system - ps : 0;
+      di = sample.idle >= pi ? sample.idle - pi : 0;
+    }
+    const double total = static_cast<double>(du + ds + di);
+    if (total > 0.0) {
+      sample.userPct = 100.0 * static_cast<double>(du) / total;
+      sample.systemPct = 100.0 * static_cast<double>(ds) / total;
+      sample.idlePct = 100.0 * static_cast<double>(di) / total;
+    } else {
+      sample.idlePct = 100.0;
+    }
+    previous_[cpu] = times;
+
+    auto [it, isNew] = records_.try_emplace(cpu);
+    if (isNew) {
+      it->second.cpu = cpu;
+    }
+    it->second.samples.push_back(sample);
+  }
+}
+
+}  // namespace zerosum::core

@@ -1,0 +1,36 @@
+// HwtTracker: per-hardware-thread utilization from /proc/stat (paper §3.4).
+//
+// The HWT report is limited to the HWTs in the process affinity list —
+// those are the resources the job was given; the rest of the node belongs
+// to other jobs (the paper's report makes the same restriction).
+#pragma once
+
+#include <map>
+
+#include "common/cpuset.hpp"
+#include "core/records.hpp"
+#include "procfs/procfs.hpp"
+
+namespace zerosum::core {
+
+class HwtTracker {
+ public:
+  /// `watched` — the PU OS indexes to track (typically the process
+  /// affinity).  Empty means every CPU the provider reports.
+  HwtTracker(const procfs::ProcFs& fs, CpuSet watched);
+
+  void sample(double timeSeconds);
+
+  [[nodiscard]] const std::map<std::size_t, HwtRecord>& records() const {
+    return records_;
+  }
+  [[nodiscard]] const CpuSet& watched() const { return watched_; }
+
+ private:
+  const procfs::ProcFs& fs_;
+  CpuSet watched_;
+  std::map<std::size_t, HwtRecord> records_;
+  std::map<std::size_t, procfs::CpuTimes> previous_;
+};
+
+}  // namespace zerosum::core

@@ -1,0 +1,48 @@
+// LwpTracker: thread discovery and per-LWP sampling (paper §3.1.1).
+//
+// Threads are discovered by scanning /proc/<pid>/task each period — the
+// paper's deliberate alternative to intercepting pthread_create, trading
+// visibility of very short-lived threads for robustness.  Affinity is
+// re-read every period because a thread may be (re)bound after creation.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "core/records.hpp"
+#include "procfs/procfs.hpp"
+
+namespace zerosum::core {
+
+class LwpTracker {
+ public:
+  LwpTracker(const procfs::ProcFs& fs, int pid);
+
+  /// Classification hints.  Explicit hints (the monitor announcing its own
+  /// tid) take precedence over OMPT tids, which take precedence over
+  /// name-based heuristics.
+  void hintType(int tid, LwpType type);
+  void addOmpTids(const std::set<int>& tids);
+
+  /// Takes one sample of every live LWP.  Threads that vanished since the
+  /// last period are kept in the records with alive=false; threads that
+  /// appear are classified and begin their history.
+  void sample(double timeSeconds);
+
+  [[nodiscard]] const std::map<int, LwpRecord>& records() const {
+    return records_;
+  }
+  [[nodiscard]] std::size_t liveCount() const;
+
+ private:
+  [[nodiscard]] LwpType classify(int tid, const std::string& comm) const;
+
+  const procfs::ProcFs& fs_;
+  int pid_;
+  std::map<int, LwpRecord> records_;
+  std::map<int, LwpType> typeHints_;
+  std::set<int> ompTids_;
+};
+
+}  // namespace zerosum::core

@@ -1,0 +1,52 @@
+#include "core/memory_tracker.hpp"
+
+#include <algorithm>
+
+#include "common/strings.hpp"
+
+namespace zerosum::core {
+
+MemoryTracker::MemoryTracker(const procfs::ProcFs& fs, int pid,
+                             double warnFraction)
+    : fs_(fs), pid_(pid), warnFraction_(warnFraction) {}
+
+void MemoryTracker::sample(double timeSeconds) {
+  const procfs::MemInfo mem = fs_.memInfo();
+  const procfs::ProcStatus status = fs_.processStatus(pid_);
+
+  MemSample s;
+  s.timeSeconds = timeSeconds;
+  s.memTotalKb = mem.totalKb;
+  s.memFreeKb = mem.freeKb;
+  s.memAvailableKb = mem.availableKb;
+  s.processRssKb = status.vmRssKb;
+  s.processHwmKb = status.vmHwmKb;
+  samples_.push_back(s);
+  peakRssKb_ = std::max(peakRssKb_, status.vmRssKb);
+
+  if (mem.totalKb == 0) {
+    return;
+  }
+  const double usedFraction =
+      1.0 - static_cast<double>(mem.availableKb) /
+                static_cast<double>(mem.totalKb);
+  const bool low = usedFraction >= warnFraction_;
+  if (low && !inLowMemory_) {
+    MemoryEvent event;
+    event.timeSeconds = timeSeconds;
+    event.usedFraction = usedFraction;
+    const std::uint64_t usedKb = mem.totalKb - mem.availableKb;
+    event.attributedToProcess =
+        usedKb > 0 && status.vmRssKb * 2 >= usedKb;
+    event.description =
+        "node memory " + strings::fixed(usedFraction * 100.0, 1) +
+        "% used; process RSS " + std::to_string(status.vmRssKb) + " kB of " +
+        std::to_string(usedKb) + " kB used — likely " +
+        (event.attributedToProcess ? "the application itself"
+                                   : "external consumption");
+    events_.push_back(std::move(event));
+  }
+  inLowMemory_ = low;
+}
+
+}  // namespace zerosum::core

@@ -1,0 +1,52 @@
+// MemoryTracker: node and process memory watch (paper §3.5).
+//
+// Samples /proc/meminfo alongside the process VmRSS so an out-of-memory
+// condition can be *attributed*: did the application processes consume the
+// node, or did something external (another job, a system service)?
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/records.hpp"
+#include "procfs/procfs.hpp"
+
+namespace zerosum::core {
+
+/// A low-memory observation with attribution.
+struct MemoryEvent {
+  double timeSeconds = 0.0;
+  /// Fraction of node memory in use when the event fired.
+  double usedFraction = 0.0;
+  /// True when the monitored process's own RSS accounts for a majority of
+  /// the shortfall-relevant consumption on this node view.
+  bool attributedToProcess = false;
+  std::string description;
+};
+
+class MemoryTracker {
+ public:
+  /// `warnFraction` — used-memory fraction that triggers a MemoryEvent.
+  MemoryTracker(const procfs::ProcFs& fs, int pid, double warnFraction);
+
+  void sample(double timeSeconds);
+
+  [[nodiscard]] const std::vector<MemSample>& samples() const {
+    return samples_;
+  }
+  [[nodiscard]] const std::vector<MemoryEvent>& events() const {
+    return events_;
+  }
+  [[nodiscard]] std::uint64_t peakRssKb() const { return peakRssKb_; }
+
+ private:
+  const procfs::ProcFs& fs_;
+  int pid_;
+  double warnFraction_;
+  bool inLowMemory_ = false;  // edge-trigger events, don't repeat each period
+  std::uint64_t peakRssKb_ = 0;
+  std::vector<MemSample> samples_;
+  std::vector<MemoryEvent> events_;
+};
+
+}  // namespace zerosum::core

@@ -1,0 +1,217 @@
+#include "core/monitor.hpp"
+
+#include <pthread.h>
+#include <sched.h>
+#include <unistd.h>
+
+#include <fstream>
+#include <iostream>
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+#include "openmp/ompt.hpp"
+
+namespace zerosum::core {
+
+MonitorSession::MonitorSession(Config config,
+                               std::unique_ptr<procfs::ProcFs> fs,
+                               ProcessIdentity identity,
+                               gpu::DeviceList gpuDevices)
+    : config_(config), fs_(std::move(fs)), identity_(identity) {
+  if (!fs_) {
+    throw ConfigError("MonitorSession requires a ProcFs provider");
+  }
+  if (identity_.pid == 0) {
+    identity_.pid = fs_->selfPid();
+  }
+  if (identity_.hostname.empty() || identity_.hostname == "localhost") {
+    char host[256] = {0};
+    if (::gethostname(host, sizeof(host) - 1) == 0 && host[0] != '\0') {
+      identity_.hostname = host;
+    }
+  }
+  affinity_ = fs_->processStatus(identity_.pid).cpusAllowed;
+
+  lwpTracker_ = std::make_unique<LwpTracker>(*fs_, identity_.pid);
+  hwtTracker_ = std::make_unique<HwtTracker>(*fs_, affinity_);
+  memTracker_ = std::make_unique<MemoryTracker>(*fs_, identity_.pid,
+                                                config_.memWarnFraction);
+  gpuTracker_ = std::make_unique<GpuTracker>(std::move(gpuDevices));
+  progress_ = std::make_unique<ProgressDetector>(config_.deadlockPeriods);
+  if (config_.heartbeat) {
+    progress_->setHeartbeatSink(
+        [](const std::string& line) { std::cout << line << '\n'; });
+  }
+  // Pick up OpenMP threads announced before the session existed.
+  lwpTracker_->addOmpTids(openmp::ToolRegistry::instance().knownOmpTids());
+}
+
+MonitorSession::~MonitorSession() {
+  if (running()) {
+    try {
+      stop();
+    } catch (...) {  // NOLINT(bugprone-empty-catch) — destructor must not throw
+    }
+  }
+}
+
+void MonitorSession::addOmpTids(const std::set<int>& tids) {
+  lwpTracker_->addOmpTids(tids);
+}
+
+void MonitorSession::attachCommRecorder(const mpisim::Recorder* recorder) {
+  commRecorder_ = recorder;
+}
+
+void MonitorSession::setProgressSink(
+    std::function<void(const std::string&)> sink) {
+  progress_->setHeartbeatSink(std::move(sink));
+}
+
+void MonitorSession::setSampleCallback(
+    std::function<void(const MonitorSession&, double)> callback) {
+  sampleCallback_ = std::move(callback);
+}
+
+void MonitorSession::sampleOnce(double timeSeconds) {
+  lwpTracker_->sample(timeSeconds);
+  hwtTracker_->sample(timeSeconds);
+  if (config_.monitorMemory) {
+    memTracker_->sample(timeSeconds);
+  }
+  if (config_.monitorGpu) {
+    gpuTracker_->sample(timeSeconds);
+  }
+  progress_->observe(timeSeconds, lwpTracker_->records(),
+                     config_.heartbeatPeriods);
+  duration_ = timeSeconds;
+  if (sampleCallback_) {
+    sampleCallback_(*this, timeSeconds);
+  }
+}
+
+void MonitorSession::pinMonitorThread() {
+  std::size_t target;
+  if (config_.asyncCore >= 0) {
+    target = static_cast<std::size_t>(config_.asyncCore);
+  } else if (!affinity_.empty()) {
+    // Paper default: the last hardware thread assigned to the process.
+    target = affinity_.last();
+  } else {
+    return;
+  }
+  cpu_set_t mask;
+  CPU_ZERO(&mask);
+  if (target < CPU_SETSIZE) {
+    CPU_SET(target, &mask);
+    if (::pthread_setaffinity_np(::pthread_self(), sizeof(mask), &mask) != 0) {
+      log::info() << "could not pin monitor thread to HWT " << target;
+    }
+  }
+}
+
+void MonitorSession::monitorLoop() {
+  monitorTid_ = openmp::currentTid();
+  lwpTracker_->hintType(monitorTid_, LwpType::kZeroSum);
+  // Visible as the comm field in /proc — other tools (and our own
+  // name-based classifier) can identify the monitor without hints.
+  ::pthread_setname_np(::pthread_self(), "zerosum");
+  pinMonitorThread();
+  while (pacer_->waitPeriod(config_.period)) {
+    sampleOnce(pacer_->elapsedSeconds());
+  }
+}
+
+void MonitorSession::start(std::unique_ptr<Pacer> pacer) {
+  if (running()) {
+    throw StateError("monitor already running");
+  }
+  if (manualMode_ || stopped_) {
+    throw StateError("cannot start(): session was used in manual mode or "
+                     "already stopped");
+  }
+  pacer_ = pacer ? std::move(pacer) : std::make_unique<RealPacer>();
+  thread_ = std::thread([this] { monitorLoop(); });
+}
+
+void MonitorSession::stop() {
+  if (!running()) {
+    return;
+  }
+  pacer_->requestStop();
+  thread_.join();
+  // Final sample so short runs still produce a report.
+  sampleOnce(pacer_->elapsedSeconds());
+  stopped_ = true;
+}
+
+void MonitorSession::sampleNow(double timeSeconds) {
+  if (running()) {
+    throw StateError("cannot sampleNow() while the async monitor runs");
+  }
+  if (stopped_) {
+    throw StateError("session is stopped; results are frozen");
+  }
+  manualMode_ = true;
+  sampleOnce(timeSeconds);
+}
+
+std::vector<Finding> MonitorSession::analyze() const {
+  ContentionAnalyzer analyzer;
+  return analyzer.analyze(lwpTracker_->records(), hwtTracker_->records(),
+                          affinity_, config_.jiffiesPerPeriod(), duration_);
+}
+
+std::string MonitorSession::report() const {
+  ReportInput input;
+  input.identity = identity_;
+  input.durationSeconds = duration_;
+  input.processAffinity = affinity_;
+  input.lwps = &lwpTracker_->records();
+  input.hwts = &hwtTracker_->records();
+  if (config_.monitorGpu && !gpuTracker_->records().empty()) {
+    input.gpus = &gpuTracker_->records();
+  }
+  if (config_.monitorMemory) {
+    input.memory = &memTracker_->samples();
+  }
+  input.findings = analyze();
+  return Reporter::render(input);
+}
+
+void MonitorSession::writeLog(std::ostream& out) const {
+  out << report();
+  if (!config_.csvExport) {
+    return;
+  }
+  out << "\n=== CSV: LWP time series ===\n";
+  CsvExporter::writeLwpSeries(out, lwpTracker_->records());
+  out << "\n=== CSV: HWT time series ===\n";
+  CsvExporter::writeHwtSeries(out, hwtTracker_->records());
+  if (config_.monitorMemory) {
+    out << "\n=== CSV: memory time series ===\n";
+    CsvExporter::writeMemorySeries(out, memTracker_->samples());
+  }
+  if (config_.monitorGpu && !gpuTracker_->records().empty()) {
+    out << "\n=== CSV: GPU time series ===\n";
+    CsvExporter::writeGpuSeries(out, gpuTracker_->records());
+  }
+  if (commRecorder_ != nullptr) {
+    out << "\n=== CSV: MPI point-to-point ===\n";
+    CsvExporter::writeCommSeries(out, *commRecorder_);
+  }
+}
+
+std::string MonitorSession::writeLogFile() const {
+  const std::string path = config_.logPrefix + "." +
+                           std::to_string(identity_.rank) + "." +
+                           std::to_string(identity_.pid) + ".log";
+  std::ofstream out(path);
+  if (!out) {
+    throw StateError("cannot open log file " + path);
+  }
+  writeLog(out);
+  return path;
+}
+
+}  // namespace zerosum::core

@@ -1,0 +1,73 @@
+#include "core/progress.hpp"
+
+#include <sstream>
+
+#include "common/strings.hpp"
+
+namespace zerosum::core {
+
+void ProgressDetector::observe(double timeSeconds,
+                               const std::map<int, LwpRecord>& lwps,
+                               int heartbeatEvery) {
+  ++samplesSeen_;
+
+  std::size_t live = 0;
+  std::size_t busy = 0;
+  std::vector<int> idleTids;
+  bool anyProgress = false;
+  for (const auto& [tid, record] : lwps) {
+    if (!record.alive || record.samples.empty()) {
+      continue;
+    }
+    // The monitor's own thread always makes progress; exclude it so the
+    // detector judges the *application*.
+    if (record.type == LwpType::kZeroSum) {
+      continue;
+    }
+    ++live;
+    const LwpSample& s = record.samples.back();
+    if (s.utimeDelta + s.stimeDelta > 0) {
+      ++busy;
+      anyProgress = true;
+    } else {
+      idleTids.push_back(tid);
+    }
+  }
+
+  if (sink_ && heartbeatEvery > 0 && samplesSeen_ % heartbeatEvery == 0) {
+    std::ostringstream line;
+    line << "[zerosum] heartbeat t=" << strings::fixed(timeSeconds, 1)
+         << "s: " << live << " LWPs, " << busy << " making progress";
+    sink_(line.str());
+  }
+
+  if (live == 0) {
+    return;  // nothing to judge yet
+  }
+  if (anyProgress) {
+    noProgressStreak_ = 0;
+    stuck_ = false;
+    return;
+  }
+  if (noProgressStreak_ == 0) {
+    streakStart_ = timeSeconds;
+  }
+  ++noProgressStreak_;
+  if (noProgressStreak_ >= stuckPeriods_ && !stuck_) {
+    stuck_ = true;
+    StuckReport report;
+    report.sinceSeconds = streakStart_;
+    report.atSeconds = timeSeconds;
+    report.tids = idleTids;
+    report.description =
+        "no application LWP consumed CPU for " +
+        std::to_string(noProgressStreak_) + " consecutive periods (since t=" +
+        strings::fixed(streakStart_, 1) + "s) — possible deadlock";
+    reports_.push_back(std::move(report));
+    if (sink_) {
+      sink_("[zerosum] WARNING: " + reports_.back().description);
+    }
+  }
+}
+
+}  // namespace zerosum::core

@@ -1,0 +1,54 @@
+// Progress detection (paper §3.3): a positive heartbeat to stdout, plus the
+// stuck-progress heuristic the paper sketches as future work — if every
+// application LWP shows no CPU progress and a sleeping state for several
+// consecutive periods, the job is likely deadlocked and burning allocation.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/records.hpp"
+
+namespace zerosum::core {
+
+struct StuckReport {
+  double sinceSeconds = 0.0;  ///< first period of the stuck window
+  double atSeconds = 0.0;     ///< when the detector fired
+  std::vector<int> tids;      ///< the no-progress LWPs
+  std::string description;
+};
+
+class ProgressDetector {
+ public:
+  /// `stuckPeriods` — consecutive no-progress samples before reporting.
+  explicit ProgressDetector(int stuckPeriods) : stuckPeriods_(stuckPeriods) {}
+
+  /// Sink for heartbeat lines (default: nothing; the session wires stdout).
+  void setHeartbeatSink(std::function<void(const std::string&)> sink) {
+    sink_ = std::move(sink);
+  }
+
+  /// Called once per sample with the current LWP records.  Emits a
+  /// heartbeat every `heartbeatEvery` calls when a sink is set; tracks the
+  /// no-progress window for deadlock suspicion.
+  void observe(double timeSeconds, const std::map<int, LwpRecord>& lwps,
+               int heartbeatEvery);
+
+  [[nodiscard]] bool stuck() const { return stuck_; }
+  [[nodiscard]] const std::vector<StuckReport>& reports() const {
+    return reports_;
+  }
+
+ private:
+  int stuckPeriods_;
+  std::function<void(const std::string&)> sink_;
+  int samplesSeen_ = 0;
+  int noProgressStreak_ = 0;
+  double streakStart_ = 0.0;
+  bool stuck_ = false;
+  std::vector<StuckReport> reports_;
+};
+
+}  // namespace zerosum::core

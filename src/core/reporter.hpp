@@ -1,0 +1,55 @@
+// Report rendering (paper §3.4): the end-of-run utilization report in the
+// exact shape of Listing 2 — duration, process summary, LWP table, HWT
+// table, GPU min/avg/max table — plus the compact tabular form used by the
+// paper's Tables 1-3 and the contention findings section (§3.5).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/contention.hpp"
+#include "core/memory_tracker.hpp"
+#include "core/records.hpp"
+
+namespace zerosum::core {
+
+/// Who this process is within the job.
+struct ProcessIdentity {
+  int rank = 0;
+  int worldSize = 1;
+  int pid = 0;
+  std::string hostname = "localhost";
+};
+
+struct ReportInput {
+  ProcessIdentity identity;
+  double durationSeconds = 0.0;
+  CpuSet processAffinity;
+  const std::map<int, LwpRecord>* lwps = nullptr;
+  const std::map<std::size_t, HwtRecord>* hwts = nullptr;
+  const std::vector<GpuRecord>* gpus = nullptr;          // optional
+  const std::vector<MemSample>* memory = nullptr;        // optional
+  std::vector<Finding> findings;                         // optional
+};
+
+class Reporter {
+ public:
+  /// The full Listing-2-style report.
+  [[nodiscard]] static std::string render(const ReportInput& input);
+
+  /// The paper's table form (Tables 1-3): one row per LWP with columns
+  /// LWP, Type, stime, utime, nvctx, ctx, CPUs.
+  [[nodiscard]] static std::string renderLwpTable(
+      const std::map<int, LwpRecord>& lwps);
+
+  /// Hardware-only section (Figure 7's source data, aggregated).
+  [[nodiscard]] static std::string renderHwtSection(
+      const std::map<std::size_t, HwtRecord>& hwts);
+
+  /// GPU min/avg/max section in Listing 2's format.
+  [[nodiscard]] static std::string renderGpuSection(
+      const std::vector<GpuRecord>& gpus);
+};
+
+}  // namespace zerosum::core

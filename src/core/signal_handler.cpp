@@ -1,0 +1,79 @@
+#include "core/signal_handler.hpp"
+
+#include <execinfo.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <array>
+#include <atomic>
+#include <cstring>
+
+namespace zerosum::core {
+
+namespace {
+
+constexpr std::array<int, 4> kSignals = {SIGSEGV, SIGBUS, SIGABRT, SIGFPE};
+
+std::atomic<bool> gInstalled{false};
+
+void writeStderr(const char* text) {
+  // write(2) is async-signal-safe; the return value is deliberately
+  // ignored — there is no recovery path inside a crash handler.
+  const ssize_t rc = ::write(STDERR_FILENO, text, std::strlen(text));
+  (void)rc;
+}
+
+extern "C" void crashHandler(int signum) {
+  writeStderr("\n[zerosum] fatal signal ");
+  // Async-signal-safe integer rendering.
+  char digits[16];
+  int n = 0;
+  int v = signum;
+  do {
+    digits[n++] = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v > 0 && n < 15);
+  while (n > 0) {
+    const ssize_t rc = ::write(STDERR_FILENO, &digits[--n], 1);
+    (void)rc;
+  }
+  writeStderr(" — backtrace follows:\n");
+
+  void* frames[64];
+  const int depth = ::backtrace(frames, 64);
+  ::backtrace_symbols_fd(frames, depth, STDERR_FILENO);
+
+  // Restore default disposition and re-raise so the process terminates
+  // with the original signal (visible to the scheduler / core dumps).
+  ::signal(signum, SIG_DFL);
+  ::raise(signum);
+}
+
+}  // namespace
+
+void installCrashHandlers() {
+  bool expected = false;
+  if (!gInstalled.compare_exchange_strong(expected, true)) {
+    return;
+  }
+  struct sigaction action{};
+  action.sa_handler = crashHandler;
+  ::sigemptyset(&action.sa_mask);
+  action.sa_flags = SA_RESETHAND;
+  for (int sig : kSignals) {
+    ::sigaction(sig, &action, nullptr);
+  }
+}
+
+void removeCrashHandlers() {
+  if (!gInstalled.exchange(false)) {
+    return;
+  }
+  for (int sig : kSignals) {
+    ::signal(sig, SIG_DFL);
+  }
+}
+
+bool crashHandlersInstalled() { return gInstalled.load(); }
+
+}  // namespace zerosum::core

@@ -1,0 +1,20 @@
+// Crash backtrace handler (paper §3.1): optionally installed at
+// initialization to report a backtrace on segmentation violation, bus
+// error, or abnormal abort, then re-raise with default disposition so the
+// exit status is preserved for the job scheduler.
+#pragma once
+
+namespace zerosum::core {
+
+/// Installs handlers for SIGSEGV, SIGBUS, SIGABRT and SIGFPE.  Idempotent.
+/// The handler writes a backtrace to stderr using only async-signal-safe
+/// calls (backtrace_symbols_fd), then re-raises.
+void installCrashHandlers();
+
+/// Restores default dispositions (test hook).
+void removeCrashHandlers();
+
+/// True when installCrashHandlers() is active.
+bool crashHandlersInstalled();
+
+}  // namespace zerosum::core

@@ -1,0 +1,86 @@
+#include "core/zerosum.hpp"
+
+#include <mutex>
+
+#include "common/env.hpp"
+#include "common/error.hpp"
+#include "common/logging.hpp"
+#include "core/signal_handler.hpp"
+
+namespace zerosum {
+
+namespace {
+
+std::mutex gMutex;
+std::unique_ptr<core::MonitorSession> gSession;
+
+}  // namespace
+
+core::MonitorSession& initialize(core::ProcessIdentity identity) {
+  return initialize(core::Config::fromEnv(), identity);
+}
+
+core::MonitorSession& initialize(core::Config config,
+                                 core::ProcessIdentity identity,
+                                 gpu::DeviceList devices) {
+  std::lock_guard<std::mutex> lock(gMutex);
+  if (gSession) {
+    throw StateError("zerosum::initialize called twice");
+  }
+  if (config.signalHandler) {
+    core::installCrashHandlers();
+  }
+  gSession = std::make_unique<core::MonitorSession>(
+      config, procfs::makeRealProcFs(), identity, std::move(devices));
+  gSession->start();
+  return *gSession;
+}
+
+core::MonitorSession* session() {
+  std::lock_guard<std::mutex> lock(gMutex);
+  return gSession.get();
+}
+
+bool initialized() { return session() != nullptr; }
+
+std::string finalize() {
+  std::unique_ptr<core::MonitorSession> owned;
+  {
+    std::lock_guard<std::mutex> lock(gMutex);
+    owned = std::move(gSession);
+  }
+  if (!owned) {
+    return {};
+  }
+  owned->stop();
+  std::string report = owned->report();
+  try {
+    owned->writeLogFile();
+  } catch (const Error& e) {
+    log::warn() << "could not write log file: " << e.what();
+  }
+  return report;
+}
+
+namespace {
+
+/// The library-constructor analogue of the LD_PRELOAD static-initializer
+/// path (§3.1): opt-in so that merely linking the library never changes
+/// behaviour.
+struct AutoInit {
+  AutoInit() {
+    try {
+      if (env::getBool("ZS_AUTO_INIT", false)) {
+        initialize();
+      }
+    } catch (const std::exception& e) {
+      log::error() << "auto-initialization failed: " << e.what();
+    }
+  }
+};
+
+[[maybe_unused]] const AutoInit gAutoInit;
+
+}  // namespace
+
+}  // namespace zerosum

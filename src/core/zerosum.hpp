@@ -1,0 +1,48 @@
+// ZeroSum public facade.
+//
+// The paper's tool injects itself with LD_PRELOAD and initializes from a
+// static constructor or a __libc_start_main wrapper (§3.1).  As a linkable
+// library this reproduction exposes the same lifecycle explicitly:
+//
+//   #include "core/zerosum.hpp"
+//   int main() {
+//     zerosum::initialize();            // ZS_* env config, live /proc
+//     ... application ...
+//     std::cout << zerosum::finalize(); // report (rank 0 prints to stdout)
+//   }
+//
+// plus an opt-in auto-initialization path (export ZS_AUTO_INIT=1) that runs
+// from a library constructor — the closest safe analogue of the preload
+// trick inside a normal link step.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/monitor.hpp"
+
+namespace zerosum {
+
+/// Creates and starts the process-wide monitor session over the live
+/// /proc, with configuration from the ZS_* environment.  Installs the
+/// crash handlers when Config::signalHandler is set.  Throws StateError if
+/// already initialized.
+core::MonitorSession& initialize(core::ProcessIdentity identity = {});
+
+/// Same, but with an explicit configuration and (optionally) GPU devices.
+core::MonitorSession& initialize(core::Config config,
+                                 core::ProcessIdentity identity,
+                                 gpu::DeviceList devices = {});
+
+/// The active session; nullptr before initialize()/after finalize().
+core::MonitorSession* session();
+
+/// True between initialize() and finalize().
+bool initialized();
+
+/// Stops monitoring, writes the per-process log file, and returns the
+/// report text (the paper's rank-0 stdout summary).  No-op empty string if
+/// never initialized.
+std::string finalize();
+
+}  // namespace zerosum

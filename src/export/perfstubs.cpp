@@ -1,0 +1,107 @@
+#include "export/perfstubs.hpp"
+
+namespace zerosum::exporter {
+
+ToolApi& ToolApi::instance() {
+  static ToolApi api;
+  return api;
+}
+
+void ToolApi::registerBackend(std::shared_ptr<ToolBackend> backend) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  backend_ = std::move(backend);
+}
+
+void ToolApi::deregisterBackend() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  backend_.reset();
+}
+
+bool ToolApi::active() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return backend_ != nullptr;
+}
+
+void ToolApi::timerStart(const std::string& name) {
+  std::shared_ptr<ToolBackend> backend;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    backend = backend_;
+  }
+  if (backend) {
+    backend->timerStart(name);
+  }
+}
+
+void ToolApi::timerStop(const std::string& name) {
+  std::shared_ptr<ToolBackend> backend;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    backend = backend_;
+  }
+  if (backend) {
+    backend->timerStop(name);
+  }
+}
+
+void ToolApi::sampleCounter(const std::string& name, double value) {
+  std::shared_ptr<ToolBackend> backend;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    backend = backend_;
+  }
+  if (backend) {
+    backend->sampleCounter(name, value);
+  }
+}
+
+void ToolApi::metadata(const std::string& key, const std::string& value) {
+  std::shared_ptr<ToolBackend> backend;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    backend = backend_;
+  }
+  if (backend) {
+    backend->metadata(key, value);
+  }
+}
+
+void RecordingBackend::timerStart(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++timers_[name].starts;
+}
+
+void RecordingBackend::timerStop(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++timers_[name].stops;
+}
+
+void RecordingBackend::sampleCounter(const std::string& name, double value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  counters_[name].push_back(value);
+}
+
+void RecordingBackend::metadata(const std::string& key,
+                                const std::string& value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  metadata_[key] = value;
+}
+
+std::map<std::string, RecordingBackend::TimerStats>
+RecordingBackend::timers() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return timers_;
+}
+
+std::map<std::string, std::vector<double>> RecordingBackend::counters()
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_;
+}
+
+std::map<std::string, std::string> RecordingBackend::metadataMap() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return metadata_;
+}
+
+}  // namespace zerosum::exporter

@@ -1,0 +1,95 @@
+// PerfStubs-style tool interface (paper §6: "interfaces to ZeroSum could
+// make its data accessible to application performance tools like TAU.
+// Caliper or PerfStubs would be a good candidate for this purpose").
+//
+// PerfStubs is a header-only shim: the application (or here, the monitor)
+// calls timer/counter functions that resolve to a registered tool at
+// runtime, or to nothing.  This reproduction provides the same contract:
+// a process-global ToolApi with timer start/stop and counter sampling,
+// and a pluggable backend.  ZeroSum publishes its per-period metrics as
+// counters; a TAU-like tool (or the bundled recording backend used in
+// tests) registers to receive them.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace zerosum::exporter {
+
+/// The backend a performance tool registers.
+class ToolBackend {
+ public:
+  virtual ~ToolBackend() = default;
+  virtual void timerStart(const std::string& name) = 0;
+  virtual void timerStop(const std::string& name) = 0;
+  virtual void sampleCounter(const std::string& name, double value) = 0;
+  /// Free-form metadata ("hostname", "affinity", ...).
+  virtual void metadata(const std::string& key, const std::string& value) = 0;
+};
+
+/// Process-global dispatch.  All calls are no-ops until a backend
+/// registers (the PerfStubs "dormant" behaviour — zero cost when no tool
+/// is attached beyond one atomic load).
+class ToolApi {
+ public:
+  static ToolApi& instance();
+
+  void registerBackend(std::shared_ptr<ToolBackend> backend);
+  void deregisterBackend();
+  [[nodiscard]] bool active() const;
+
+  void timerStart(const std::string& name);
+  void timerStop(const std::string& name);
+  void sampleCounter(const std::string& name, double value);
+  void metadata(const std::string& key, const std::string& value);
+
+ private:
+  ToolApi() = default;
+  mutable std::mutex mutex_;
+  std::shared_ptr<ToolBackend> backend_;
+};
+
+/// RAII timer against the global api.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(std::string name) : name_(std::move(name)) {
+    ToolApi::instance().timerStart(name_);
+  }
+  ~ScopedTimer() { ToolApi::instance().timerStop(name_); }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  std::string name_;
+};
+
+/// A bundled backend that records everything (the test double, and a
+/// usable in-memory sink for post-run inspection).
+class RecordingBackend final : public ToolBackend {
+ public:
+  struct TimerStats {
+    std::uint64_t starts = 0;
+    std::uint64_t stops = 0;
+  };
+
+  void timerStart(const std::string& name) override;
+  void timerStop(const std::string& name) override;
+  void sampleCounter(const std::string& name, double value) override;
+  void metadata(const std::string& key, const std::string& value) override;
+
+  [[nodiscard]] std::map<std::string, TimerStats> timers() const;
+  [[nodiscard]] std::map<std::string, std::vector<double>> counters() const;
+  [[nodiscard]] std::map<std::string, std::string> metadataMap() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, TimerStats> timers_;
+  std::map<std::string, std::vector<double>> counters_;
+  std::map<std::string, std::string> metadata_;
+};
+
+}  // namespace zerosum::exporter

@@ -1,0 +1,125 @@
+#include "export/publisher.hpp"
+
+#include "common/error.hpp"
+#include "export/perfstubs.hpp"
+#include "gpu/metrics.hpp"
+
+namespace zerosum::exporter {
+
+namespace {
+
+/// True when the sample was taken in the current period (records carry
+/// the timestamp the tracker stamped them with).
+bool isCurrent(double sampleTime, double now) {
+  return sampleTime >= now - 1e-9;
+}
+
+}  // namespace
+
+SessionPublisher::SessionPublisher(MetricStream* stream, Options options)
+    : stream_(stream), options_(options) {
+  if (stream_ == nullptr) {
+    throw ConfigError("SessionPublisher requires a MetricStream");
+  }
+}
+
+void SessionPublisher::openStaging(const std::string& path) {
+  staging_ = std::make_unique<StagingWriter>(path);
+}
+
+void SessionPublisher::closeStaging() {
+  if (staging_) {
+    staging_->close();
+    staging_.reset();
+  }
+}
+
+Batch SessionPublisher::makeBatch(const core::MonitorSession& session,
+                                  double timeSeconds) const {
+  Batch batch;
+  const std::string source =
+      "rank." + std::to_string(session.identity().rank);
+  auto add = [&](const std::string& name, double value) {
+    Record record;
+    record.timeSeconds = timeSeconds;
+    record.source = source;
+    record.name = name;
+    record.value = value;
+    batch.push_back(std::move(record));
+  };
+
+  if (options_.lwp) {
+    for (const auto& [tid, record] : session.lwps().records()) {
+      if (!record.alive || record.samples.empty() ||
+          !isCurrent(record.samples.back().timeSeconds, timeSeconds)) {
+        continue;
+      }
+      const auto& s = record.samples.back();
+      const std::string prefix = "lwp." + std::to_string(tid) + ".";
+      add(prefix + "utime_delta", static_cast<double>(s.utimeDelta));
+      add(prefix + "stime_delta", static_cast<double>(s.stimeDelta));
+      add(prefix + "vctx", static_cast<double>(s.voluntaryCtx));
+      add(prefix + "nvctx", static_cast<double>(s.nonvoluntaryCtx));
+      add(prefix + "processor", static_cast<double>(s.processor));
+    }
+  }
+  if (options_.hwt) {
+    for (const auto& [cpu, record] : session.hwts().records()) {
+      if (record.samples.empty() ||
+          !isCurrent(record.samples.back().timeSeconds, timeSeconds)) {
+        continue;
+      }
+      const auto& s = record.samples.back();
+      const std::string prefix = "hwt." + std::to_string(cpu) + ".";
+      add(prefix + "user_pct", s.userPct);
+      add(prefix + "system_pct", s.systemPct);
+      add(prefix + "idle_pct", s.idlePct);
+    }
+  }
+  if (options_.memory && !session.memory().samples().empty()) {
+    const auto& s = session.memory().samples().back();
+    if (isCurrent(s.timeSeconds, timeSeconds)) {
+      add("mem.node_available_kb", static_cast<double>(s.memAvailableKb));
+      add("mem.process_rss_kb", static_cast<double>(s.processRssKb));
+    }
+  }
+  if (options_.gpu) {
+    for (const auto& record : session.gpus().records()) {
+      if (record.samples.empty() ||
+          !isCurrent(record.samples.back().first, timeSeconds)) {
+        continue;
+      }
+      const std::string prefix =
+          "gpu." + std::to_string(record.visibleIndex) + ".";
+      for (const auto& [metric, value] : record.samples.back().second) {
+        add(prefix + gpu::metricLabel(metric), value);
+      }
+    }
+  }
+  return batch;
+}
+
+void SessionPublisher::publish(const core::MonitorSession& session,
+                               double timeSeconds) {
+  const Batch batch = makeBatch(session, timeSeconds);
+  stream_->publish(batch);
+
+  if (options_.perfstubs && ToolApi::instance().active()) {
+    for (const auto& record : batch) {
+      ToolApi::instance().sampleCounter(record.name, record.value);
+    }
+  }
+
+  if (staging_) {
+    staging_->beginStep();
+    // One variable per record name: a 1x2 row [time, value]; downstream
+    // readers reassemble series across steps.
+    for (const auto& record : batch) {
+      staging_->put(record.name, {record.timeSeconds, record.value});
+    }
+    staging_->endStep();
+  }
+  ++periods_;
+}
+
+}  // namespace zerosum::exporter

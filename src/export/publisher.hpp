@@ -1,0 +1,56 @@
+// SessionPublisher: the glue between the monitor and the export paths —
+// after every sampling period it turns the newest observations into
+// (a) a MetricStream batch (LDMS-style service feed),
+// (b) PerfStubs counter samples (TAU-style tool feed), and
+// (c) one staging step (the ADIOS2-style refactored log).
+// Wire it with MonitorSession::setSampleCallback; in async mode the
+// callback runs on the monitor thread, so all three sinks are
+// thread-safe-by-construction (stream locks, ToolApi locks, the writer is
+// owned by the publisher).
+#pragma once
+
+#include <memory>
+
+#include "core/monitor.hpp"
+#include "export/staging.hpp"
+#include "export/stream.hpp"
+
+namespace zerosum::exporter {
+
+class SessionPublisher {
+ public:
+  struct Options {
+    bool lwp = true;
+    bool hwt = true;
+    bool memory = true;
+    bool gpu = true;
+    /// Also push counters through the PerfStubs ToolApi when a tool
+    /// backend is registered.
+    bool perfstubs = false;
+  };
+
+  explicit SessionPublisher(MetricStream* stream)
+      : SessionPublisher(stream, Options{}) {}
+  SessionPublisher(MetricStream* stream, Options options);
+
+  /// Adds an ADIOS2-style staging sink (one step per period).
+  void openStaging(const std::string& path);
+  void closeStaging();
+
+  /// Publishes the observations taken at `timeSeconds`.  Designed as the
+  /// MonitorSession sample callback.
+  void publish(const core::MonitorSession& session, double timeSeconds);
+
+  [[nodiscard]] std::uint64_t periodsPublished() const { return periods_; }
+
+ private:
+  [[nodiscard]] Batch makeBatch(const core::MonitorSession& session,
+                                double timeSeconds) const;
+
+  MetricStream* stream_;
+  Options options_;
+  std::unique_ptr<StagingWriter> staging_;
+  std::uint64_t periods_ = 0;
+};
+
+}  // namespace zerosum::exporter

@@ -1,0 +1,286 @@
+#include "export/staging.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace zerosum::exporter {
+
+namespace {
+
+constexpr std::uint64_t kMagic = 0x5A53535447313ULL;  // "ZSSTG1"-ish
+constexpr std::uint64_t kVersion = 1;
+constexpr std::uint64_t kStepMarker = 0x53544550ULL;   // "STEP"
+constexpr std::uint64_t kFooterMarker = 0x464F4F54ULL; // "FOOT"
+constexpr std::uint64_t kMaxName = 4096;
+constexpr std::uint64_t kMaxRows = 1ULL << 32;
+
+void fullWrite(int fd, const void* data, std::size_t bytes,
+               const char* what) {
+  const char* p = static_cast<const char*>(data);
+  while (bytes > 0) {
+    const ssize_t n = ::write(fd, p, bytes);
+    if (n <= 0) {
+      throw StateError(std::string("staging write failed: ") + what);
+    }
+    p += n;
+    bytes -= static_cast<std::size_t>(n);
+  }
+}
+
+void fullRead(int fd, void* data, std::size_t bytes, const char* what) {
+  char* p = static_cast<char*>(data);
+  while (bytes > 0) {
+    const ssize_t n = ::read(fd, p, bytes);
+    if (n < 0) {
+      throw ParseError(std::string("staging read failed: ") + what);
+    }
+    if (n == 0) {
+      throw ParseError(std::string("staging file truncated at: ") + what);
+    }
+    p += n;
+    bytes -= static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+// --- Writer ---------------------------------------------------------------
+
+StagingWriter::StagingWriter(const std::string& path) : path_(path) {
+  fd_ = ::open(path.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+  if (fd_ < 0) {
+    throw StateError("cannot create staging file " + path);
+  }
+  writeU64(kMagic);
+  writeU64(kVersion);
+}
+
+StagingWriter::~StagingWriter() {
+  try {
+    close();
+  } catch (...) {  // NOLINT(bugprone-empty-catch) — destructor must not throw
+  }
+}
+
+void StagingWriter::writeU64(std::uint64_t value) {
+  // Host order is little-endian on every supported target; fixed width.
+  fullWrite(fd_, &value, sizeof(value), "u64");
+}
+
+void StagingWriter::writeString(const std::string& value) {
+  writeU64(value.size());
+  fullWrite(fd_, value.data(), value.size(), "string");
+}
+
+void StagingWriter::beginStep() {
+  if (closed_) {
+    throw StateError("staging writer is closed");
+  }
+  if (stepOpen_) {
+    throw StateError("a staging step is already open");
+  }
+  stepOpen_ = true;
+  pending_.clear();
+}
+
+void StagingWriter::put(const std::string& variable,
+                        const VariableData& rows) {
+  if (!stepOpen_) {
+    throw StateError("put() outside beginStep/endStep");
+  }
+  if (variable.empty() || variable.size() > kMaxName) {
+    throw StateError("bad staging variable name");
+  }
+  for (const auto& existing : pending_) {
+    if (existing.name == variable) {
+      throw StateError("duplicate variable '" + variable + "' in step");
+    }
+  }
+  if (!rows.empty()) {
+    const std::size_t width = rows.front().size();
+    for (const auto& row : rows) {
+      if (row.size() != width) {
+        throw StateError("ragged rows for variable '" + variable + "'");
+      }
+    }
+  }
+  PendingVariable pv;
+  pv.name = variable;
+  pv.rows = rows;
+  pending_.push_back(std::move(pv));
+}
+
+void StagingWriter::put(const std::string& variable,
+                        const std::vector<double>& row) {
+  put(variable, VariableData{row});
+}
+
+void StagingWriter::endStep() {
+  if (!stepOpen_) {
+    throw StateError("endStep() without beginStep()");
+  }
+  const off_t offset = ::lseek(fd_, 0, SEEK_CUR);
+  if (offset < 0) {
+    throw StateError("staging lseek failed");
+  }
+  stepOffsets_.push_back(static_cast<std::uint64_t>(offset));
+
+  writeU64(kStepMarker);
+  writeU64(stepOffsets_.size() - 1);  // step index
+  writeU64(pending_.size());
+  for (const auto& pv : pending_) {
+    writeString(pv.name);
+    writeU64(pv.rows.size());
+    writeU64(pv.rows.empty() ? 0 : pv.rows.front().size());
+    for (const auto& row : pv.rows) {
+      fullWrite(fd_, row.data(), row.size() * sizeof(double), "row");
+    }
+  }
+  pending_.clear();
+  stepOpen_ = false;
+}
+
+void StagingWriter::close() {
+  if (closed_) {
+    return;
+  }
+  if (stepOpen_) {
+    endStep();
+  }
+  const off_t footerStart = ::lseek(fd_, 0, SEEK_CUR);
+  writeU64(kFooterMarker);
+  writeU64(stepOffsets_.size());
+  for (std::uint64_t offset : stepOffsets_) {
+    writeU64(offset);
+  }
+  writeU64(static_cast<std::uint64_t>(footerStart));
+  writeU64(kMagic);
+  ::close(fd_);
+  fd_ = -1;
+  closed_ = true;
+}
+
+// --- Reader ---------------------------------------------------------------
+
+StagingReader::StagingReader(const std::string& path) {
+  fd_ = ::open(path.c_str(), O_RDONLY);
+  if (fd_ < 0) {
+    throw NotFoundError("staging file " + path);
+  }
+  try {
+    if (readU64() != kMagic || readU64() != kVersion) {
+      throw ParseError("not a ZeroSum staging file: " + path);
+    }
+    // Trailer: footerStart + magic are the last 16 bytes.
+    const off_t size = ::lseek(fd_, -16, SEEK_END);
+    if (size < 0) {
+      throw ParseError("staging file too short: " + path);
+    }
+    const std::uint64_t footerStart = readU64();
+    if (readU64() != kMagic) {
+      throw ParseError("staging trailer magic mismatch: " + path);
+    }
+    seekTo(footerStart);
+    if (readU64() != kFooterMarker) {
+      throw ParseError("staging footer marker mismatch: " + path);
+    }
+    const std::uint64_t steps = readU64();
+    if (steps > kMaxRows) {
+      throw ParseError("implausible staging step count");
+    }
+    stepOffsets_.reserve(steps);
+    for (std::uint64_t i = 0; i < steps; ++i) {
+      stepOffsets_.push_back(readU64());
+    }
+  } catch (...) {
+    ::close(fd_);
+    fd_ = -1;
+    throw;
+  }
+}
+
+StagingReader::~StagingReader() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+}
+
+std::uint64_t StagingReader::readU64() {
+  std::uint64_t value = 0;
+  fullRead(fd_, &value, sizeof(value), "u64");
+  return value;
+}
+
+std::string StagingReader::readString() {
+  const std::uint64_t length = readU64();
+  if (length > kMaxName) {
+    throw ParseError("implausible staging string length");
+  }
+  std::string out(length, '\0');
+  fullRead(fd_, out.data(), length, "string");
+  return out;
+}
+
+void StagingReader::seekTo(std::uint64_t offset) {
+  if (::lseek(fd_, static_cast<off_t>(offset), SEEK_SET) < 0) {
+    throw ParseError("staging seek failed");
+  }
+}
+
+std::map<std::string, VariableData> StagingReader::getStep(
+    std::uint64_t step) {
+  if (step >= stepOffsets_.size()) {
+    throw NotFoundError("staging step " + std::to_string(step));
+  }
+  seekTo(stepOffsets_[step]);
+  if (readU64() != kStepMarker) {
+    throw ParseError("staging step marker mismatch");
+  }
+  if (readU64() != step) {
+    throw ParseError("staging step index mismatch");
+  }
+  const std::uint64_t varCount = readU64();
+  if (varCount > kMaxRows) {
+    throw ParseError("implausible staging variable count");
+  }
+  std::map<std::string, VariableData> out;
+  for (std::uint64_t v = 0; v < varCount; ++v) {
+    const std::string name = readString();
+    const std::uint64_t rows = readU64();
+    const std::uint64_t width = readU64();
+    if (rows > kMaxRows || width > kMaxRows) {
+      throw ParseError("implausible staging dimensions");
+    }
+    VariableData data(rows, std::vector<double>(width));
+    for (auto& row : data) {
+      fullRead(fd_, row.data(), width * sizeof(double), "row");
+    }
+    out.emplace(name, std::move(data));
+  }
+  return out;
+}
+
+std::vector<std::string> StagingReader::variables(std::uint64_t step) {
+  std::vector<std::string> out;
+  for (const auto& [name, rows] : getStep(step)) {
+    out.push_back(name);
+  }
+  return out;
+}
+
+VariableData StagingReader::get(std::uint64_t step,
+                                const std::string& variable) {
+  auto all = getStep(step);
+  const auto it = all.find(variable);
+  if (it == all.end()) {
+    throw NotFoundError("staging variable '" + variable + "' in step " +
+                        std::to_string(step));
+  }
+  return std::move(it->second);
+}
+
+}  // namespace zerosum::exporter

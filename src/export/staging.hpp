@@ -1,0 +1,98 @@
+// Step-based staging I/O — the paper's §6 plan to "refactor the log output
+// to utilize the time-series I/O staging library ADIOS2".
+//
+// A self-contained binary container with ADIOS2's usage shape:
+//   writer: beginStep() / put(variable, rows) / endStep() ... close()
+//   reader: stepCount() / variables(step) / get(step, variable)
+// Layout: a fixed header, append-only step blocks (each: step header,
+// variable blocks of named double-rows), and a footer index of step
+// offsets written at close so a reader can seek straight to any step.
+// All integers little-endian fixed-width; the format is versioned and the
+// reader validates magic/version/counts before trusting anything.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace zerosum::exporter {
+
+/// Rows of doubles under one variable name within a step.
+using VariableData = std::vector<std::vector<double>>;
+
+class StagingWriter {
+ public:
+  /// Creates/truncates the container file.  Throws StateError on I/O
+  /// failure.
+  explicit StagingWriter(const std::string& path);
+  ~StagingWriter();
+
+  StagingWriter(const StagingWriter&) = delete;
+  StagingWriter& operator=(const StagingWriter&) = delete;
+
+  /// Opens a new step.  Steps are numbered 0,1,2,... in call order.
+  /// Throws StateError when a step is already open.
+  void beginStep();
+  /// Adds one variable to the open step.  Row widths within a variable
+  /// must agree; a duplicate name within the step is an error.
+  void put(const std::string& variable, const VariableData& rows);
+  /// Convenience: single row.
+  void put(const std::string& variable, const std::vector<double>& row);
+  /// Seals the open step (flushes it to disk).
+  void endStep();
+  /// Writes the footer index and closes the file.  Idempotent; also runs
+  /// from the destructor.
+  void close();
+
+  [[nodiscard]] std::uint64_t stepsWritten() const { return stepOffsets_.size(); }
+
+ private:
+  struct PendingVariable {
+    std::string name;
+    VariableData rows;
+  };
+
+  void writeU64(std::uint64_t value);
+  void writeString(const std::string& value);
+
+  std::string path_;
+  int fd_ = -1;
+  bool stepOpen_ = false;
+  bool closed_ = false;
+  std::vector<PendingVariable> pending_;
+  std::vector<std::uint64_t> stepOffsets_;
+};
+
+class StagingReader {
+ public:
+  /// Opens and validates the container.  Throws ParseError on a corrupt
+  /// or truncated file, NotFoundError when the file is missing.
+  explicit StagingReader(const std::string& path);
+  ~StagingReader();
+
+  StagingReader(const StagingReader&) = delete;
+  StagingReader& operator=(const StagingReader&) = delete;
+
+  [[nodiscard]] std::uint64_t stepCount() const {
+    return stepOffsets_.size();
+  }
+  /// Variable names present in a step, in file order.
+  [[nodiscard]] std::vector<std::string> variables(std::uint64_t step);
+  /// Reads one variable of one step; throws NotFoundError when absent.
+  [[nodiscard]] VariableData get(std::uint64_t step,
+                                 const std::string& variable);
+  /// Reads a whole step at once.
+  [[nodiscard]] std::map<std::string, VariableData> getStep(
+      std::uint64_t step);
+
+ private:
+  [[nodiscard]] std::uint64_t readU64();
+  [[nodiscard]] std::string readString();
+  void seekTo(std::uint64_t offset);
+
+  int fd_ = -1;
+  std::vector<std::uint64_t> stepOffsets_;
+};
+
+}  // namespace zerosum::exporter

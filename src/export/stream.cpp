@@ -1,0 +1,66 @@
+#include "export/stream.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace zerosum::exporter {
+
+int MetricStream::subscribe(SubscriberFn subscriber) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Subscriber entry;
+  entry.handle = nextHandle_++;
+  entry.fn = std::move(subscriber);
+  subscribers_.push_back(std::move(entry));
+  return subscribers_.back().handle;
+}
+
+void MetricStream::unsubscribe(int handle) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  subscribers_.erase(
+      std::remove_if(subscribers_.begin(), subscribers_.end(),
+                     [handle](const Subscriber& s) {
+                       return s.handle == handle;
+                     }),
+      subscribers_.end());
+}
+
+void MetricStream::publish(const Batch& batch) {
+  std::vector<Subscriber> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++batches_;
+    records_ += batch.size();
+    snapshot = subscribers_;
+  }
+  std::vector<int> failed;
+  for (const auto& subscriber : snapshot) {
+    try {
+      subscriber.fn(batch);
+    } catch (const std::exception& e) {
+      log::warn() << "metric subscriber " << subscriber.handle
+                  << " threw (" << e.what() << "); dropping it";
+      failed.push_back(subscriber.handle);
+    }
+  }
+  for (int handle : failed) {
+    unsubscribe(handle);
+  }
+}
+
+std::size_t MetricStream::subscriberCount() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return subscribers_.size();
+}
+
+std::uint64_t MetricStream::batchesPublished() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return batches_;
+}
+
+std::uint64_t MetricStream::recordsPublished() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return records_;
+}
+
+}  // namespace zerosum::exporter

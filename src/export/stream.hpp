@@ -1,0 +1,61 @@
+// MetricStream: the "continuous stream of data reporting the current state
+// of the application" from paper §3.3, and the §6 vision of feeding
+// application-side data to system-side services (LDMS) and tools (TAU).
+//
+// A small in-process pub/sub bus: the monitor publishes one batch of
+// records per sampling period; any number of subscribers (a staging
+// writer, a dashboard, a test) receive the batches synchronously in
+// registration order.  Thread-safe: the monitor thread publishes while
+// subscribers come and go.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace zerosum::exporter {
+
+/// One metric observation.
+struct Record {
+  double timeSeconds = 0.0;
+  /// Producer identity ("rank.0", "node.frontier-sim").
+  std::string source;
+  /// Hierarchical metric name ("lwp.51334.utime_delta", "hwt.1.idle_pct").
+  std::string name;
+  double value = 0.0;
+};
+
+using Batch = std::vector<Record>;
+using SubscriberFn = std::function<void(const Batch&)>;
+
+class MetricStream {
+ public:
+  /// Registers a subscriber; returns a handle for unsubscribe().
+  int subscribe(SubscriberFn subscriber);
+  void unsubscribe(int handle);
+
+  /// Delivers a batch to every subscriber (synchronously, in registration
+  /// order).  A subscriber that throws is dropped and the error logged —
+  /// an export failure must never take down the monitored application.
+  void publish(const Batch& batch);
+
+  [[nodiscard]] std::size_t subscriberCount() const;
+  [[nodiscard]] std::uint64_t batchesPublished() const;
+  [[nodiscard]] std::uint64_t recordsPublished() const;
+
+ private:
+  struct Subscriber {
+    int handle = 0;
+    SubscriberFn fn;
+  };
+
+  mutable std::mutex mutex_;
+  std::vector<Subscriber> subscribers_;
+  int nextHandle_ = 1;
+  std::uint64_t batches_ = 0;
+  std::uint64_t records_ = 0;
+};
+
+}  // namespace zerosum::exporter

@@ -1,0 +1,45 @@
+// GpuDevice: the vendor-management-library boundary.
+//
+// ZeroSum talks to ROCm SMI, NVML, or the SYCL device API depending on
+// platform (paper §3.4); all three reduce to "enumerate devices, query a
+// metric snapshot, query memory".  This interface is that reduction; the
+// simulated implementation stands in for the vendor libraries in this
+// environment.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gpu/metrics.hpp"
+
+namespace zerosum::gpu {
+
+struct MemoryInfo {
+  std::uint64_t totalBytes = 0;
+  std::uint64_t usedBytes = 0;
+
+  [[nodiscard]] std::uint64_t freeBytes() const {
+    return usedBytes >= totalBytes ? 0 : totalBytes - usedBytes;
+  }
+};
+
+class GpuDevice {
+ public:
+  virtual ~GpuDevice() = default;
+
+  /// Index as the application runtime sees it (HIP/CUDA visible order).
+  [[nodiscard]] virtual int visibleIndex() const = 0;
+  /// True device index in the management library's enumeration.
+  [[nodiscard]] virtual int physicalIndex() const = 0;
+  [[nodiscard]] virtual std::string model() const = 0;
+
+  /// Instantaneous metric snapshot.
+  [[nodiscard]] virtual Sample query() = 0;
+  [[nodiscard]] virtual MemoryInfo memoryInfo() const = 0;
+};
+
+using DeviceList = std::vector<std::shared_ptr<GpuDevice>>;
+
+}  // namespace zerosum::gpu

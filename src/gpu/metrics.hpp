@@ -1,0 +1,74 @@
+// GPU metric enumeration.
+//
+// The set matches what the paper's tool samples through ROCm SMI on
+// Frontier (Listing 2), which is a superset of what it reads from NVML and
+// the SYCL API on the other platforms.  Every metric is a double; the
+// monitor accumulates min/avg/max per metric over the run.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace zerosum::gpu {
+
+enum class Metric : std::uint8_t {
+  kClockGfxMhz = 0,      ///< "Clock Frequency, GLX (MHz)"
+  kClockSocMhz,          ///< "Clock Frequency, SOC (MHz)"
+  kDeviceBusyPct,        ///< "Device Busy %"
+  kEnergyAverageJ,       ///< "Energy Average (J)" per sampling interval
+  kGfxActivity,          ///< "GFX Activity" (raw activity counter delta)
+  kGfxActivityPct,       ///< "GFX Activity %"
+  kMemoryActivity,       ///< "Memory Activity"
+  kMemoryBusyPct,        ///< "Memory Busy %"
+  kMemoryControllerActivity,  ///< "Memory Controller Activity"
+  kPowerAverageW,        ///< "Power Average (W)"
+  kTemperatureC,         ///< "Temperature (C)"
+  kVcnActivity,          ///< "UVD|VCN Activity"
+  kUsedGttBytes,         ///< "Used GTT Bytes"
+  kUsedVramBytes,        ///< "Used VRAM Bytes"
+  kUsedVisibleVramBytes, ///< "Used Visible VRAM Bytes"
+  kVoltageMv,            ///< "Voltage (mV)"
+};
+
+inline constexpr std::array<Metric, 16> kAllMetrics = {
+    Metric::kClockGfxMhz,
+    Metric::kClockSocMhz,
+    Metric::kDeviceBusyPct,
+    Metric::kEnergyAverageJ,
+    Metric::kGfxActivity,
+    Metric::kGfxActivityPct,
+    Metric::kMemoryActivity,
+    Metric::kMemoryBusyPct,
+    Metric::kMemoryControllerActivity,
+    Metric::kPowerAverageW,
+    Metric::kTemperatureC,
+    Metric::kVcnActivity,
+    Metric::kUsedGttBytes,
+    Metric::kUsedVramBytes,
+    Metric::kUsedVisibleVramBytes,
+    Metric::kVoltageMv,
+};
+
+/// Report label, exactly as Listing 2 prints it.
+std::string metricLabel(Metric metric);
+
+/// One sample: metric -> instantaneous value.
+using Sample = std::map<Metric, double>;
+
+/// The management libraries the paper integrates with (§3.4): ROCm SMI on
+/// Frontier, NVML on Summit/Perlmutter, the Intel SYCL device API on the
+/// Xe test system.  Each exposes a different subset of the metric space;
+/// the monitor's pipeline is identical regardless.
+enum class Vendor { kRocmSmi, kNvml, kSycl };
+
+std::string vendorName(Vendor vendor);
+
+/// Metrics a vendor's library reports.  ROCm SMI is the full Listing-2
+/// set; NVML lacks the raw activity counters and GTT; the SYCL API only
+/// reports memory and clocks.
+std::vector<Metric> vendorMetrics(Vendor vendor);
+
+}  // namespace zerosum::gpu

@@ -1,0 +1,150 @@
+#include "mpisim/comm.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <exception>
+#include <thread>
+
+#include "common/error.hpp"
+
+namespace zerosum::mpisim {
+
+int Comm::size() const { return world_->size(); }
+
+void Comm::send(int dest, std::span<const std::byte> data, int tag) {
+  world_->deliver(rank_, dest, data, tag);
+}
+
+void Comm::recv(int source, std::span<std::byte> data, int tag) {
+  world_->receive(source, rank_, data, tag);
+}
+
+void Comm::barrier() { world_->barrierWait(); }
+
+double Comm::allreduceSum(double value) {
+  {
+    std::lock_guard<std::mutex> lock(world_->reduceMutex_);
+    world_->reduceValue_ += value;
+  }
+  barrier();
+  const double result = world_->reduceValue_;
+  barrier();
+  // Rank 0 resets for the next reduction after everyone has read.
+  if (rank_ == 0) {
+    std::lock_guard<std::mutex> lock(world_->reduceMutex_);
+    world_->reduceValue_ = 0.0;
+  }
+  barrier();
+  return result;
+}
+
+World::World(int size) : size_(size) {
+  if (size < 1) {
+    throw ConfigError("World needs at least one rank");
+  }
+  mailboxes_.reserve(static_cast<std::size_t>(size));
+  for (int i = 0; i < size; ++i) {
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+  }
+}
+
+void World::attachRecorders(std::vector<Recorder>* recorders) {
+  if (recorders != nullptr &&
+      recorders->size() != static_cast<std::size_t>(size_)) {
+    throw ConfigError("recorder list size must equal world size");
+  }
+  recorders_ = recorders;
+}
+
+void World::deliver(int source, int dest, std::span<const std::byte> data,
+                    int tag) {
+  if (dest < 0 || dest >= size_) {
+    throw NotFoundError("rank " + std::to_string(dest));
+  }
+  if (recorders_ != nullptr) {
+    (*recorders_)[static_cast<std::size_t>(source)].recordSend(dest,
+                                                               data.size());
+  }
+  Mailbox& box = *mailboxes_[static_cast<std::size_t>(dest)];
+  {
+    std::lock_guard<std::mutex> lock(box.mutex);
+    Message msg;
+    msg.source = source;
+    msg.tag = tag;
+    msg.payload.assign(data.begin(), data.end());
+    box.messages.push_back(std::move(msg));
+  }
+  box.cv.notify_all();
+}
+
+void World::receive(int source, int dest, std::span<std::byte> data, int tag) {
+  if (source < 0 || source >= size_) {
+    throw NotFoundError("rank " + std::to_string(source));
+  }
+  Mailbox& box = *mailboxes_[static_cast<std::size_t>(dest)];
+  Message msg;
+  {
+    std::unique_lock<std::mutex> lock(box.mutex);
+    auto matching = box.messages.end();
+    box.cv.wait(lock, [&] {
+      matching = std::find_if(box.messages.begin(), box.messages.end(),
+                              [&](const Message& m) {
+                                return m.source == source && m.tag == tag;
+                              });
+      return matching != box.messages.end();
+    });
+    msg = std::move(*matching);
+    box.messages.erase(matching);
+  }
+  if (msg.payload.size() != data.size()) {
+    throw StateError("recv size mismatch: posted " +
+                     std::to_string(data.size()) + " bytes, got " +
+                     std::to_string(msg.payload.size()));
+  }
+  std::memcpy(data.data(), msg.payload.data(), msg.payload.size());
+  if (recorders_ != nullptr) {
+    (*recorders_)[static_cast<std::size_t>(dest)].recordRecv(
+        source, msg.payload.size());
+  }
+}
+
+void World::barrierWait() {
+  std::unique_lock<std::mutex> lock(barrierMutex_);
+  const std::uint64_t generation = barrierGeneration_;
+  if (++barrierArrived_ == size_) {
+    barrierArrived_ = 0;
+    ++barrierGeneration_;
+    barrierCv_.notify_all();
+    return;
+  }
+  barrierCv_.wait(lock, [&] { return barrierGeneration_ != generation; });
+}
+
+void World::run(const std::function<void(Comm&)>& rankMain) {
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(size_));
+  std::mutex errorMutex;
+  std::exception_ptr firstError;
+
+  for (int r = 0; r < size_; ++r) {
+    threads.emplace_back([&, r] {
+      try {
+        Comm comm(*this, r);
+        rankMain(comm);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(errorMutex);
+        if (!firstError) {
+          firstError = std::current_exception();
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  if (firstError) {
+    std::rethrow_exception(firstError);
+  }
+}
+
+}  // namespace zerosum::mpisim

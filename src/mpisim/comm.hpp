@@ -1,0 +1,112 @@
+// In-process MPI-like substrate.
+//
+// The paper wraps the MPI point-to-point API to capture bytes transferred
+// between ranks (§3.1.3).  This module provides the substrate being
+// wrapped: a World of N ranks (one thread each) with blocking tagged
+// point-to-point messaging, barrier, and reduction — enough to host the
+// proxy applications — plus the Recorder hook ZeroSum's interposition layer
+// attaches to every send/recv.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "mpisim/recorder.hpp"
+
+namespace zerosum::mpisim {
+
+class World;
+
+/// Per-rank communicator handle.  Only the owning rank's thread may use it.
+class Comm {
+ public:
+  [[nodiscard]] int rank() const { return rank_; }
+  [[nodiscard]] int size() const;
+
+  /// Blocking tagged send/recv.  recv() matches on (source, tag) and
+  /// requires the byte count to agree (a deliberate simplification: the
+  /// proxies always post matched sizes).
+  void send(int dest, std::span<const std::byte> data, int tag);
+  void recv(int source, std::span<std::byte> data, int tag);
+
+  /// Typed convenience overloads for trivially-copyable payloads.
+  template <typename T>
+  void send(int dest, const std::vector<T>& data, int tag) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    send(dest,
+         std::as_bytes(std::span<const T>(data.data(), data.size())), tag);
+  }
+  template <typename T>
+  void recv(int source, std::vector<T>& data, int tag) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    recv(source,
+         std::as_writable_bytes(std::span<T>(data.data(), data.size())), tag);
+  }
+
+  void barrier();
+  /// Sum-allreduce of one double (tree-free, O(N) via rank 0).
+  [[nodiscard]] double allreduceSum(double value);
+
+ private:
+  friend class World;
+  Comm(World& world, int rank) : world_(&world), rank_(rank) {}
+
+  World* world_;
+  int rank_;
+};
+
+/// An N-rank world.  run() executes `rankMain` once per rank on its own
+/// thread and joins them all; any exception in a rank propagates after all
+/// ranks complete or abort.
+class World {
+ public:
+  explicit World(int size);
+
+  [[nodiscard]] int size() const { return size_; }
+
+  /// Attaches a per-rank recorder list (ZeroSum's interposition).  Must be
+  /// called before run(); `recorders` must outlive the run and have one
+  /// entry per rank.
+  void attachRecorders(std::vector<Recorder>* recorders);
+
+  void run(const std::function<void(Comm&)>& rankMain);
+
+ private:
+  friend class Comm;
+
+  struct Message {
+    int source = 0;
+    int tag = 0;
+    std::vector<std::byte> payload;
+  };
+
+  struct Mailbox {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::deque<Message> messages;
+  };
+
+  void deliver(int source, int dest, std::span<const std::byte> data, int tag);
+  void receive(int source, int dest, std::span<std::byte> data, int tag);
+  void barrierWait();
+
+  int size_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::vector<Recorder>* recorders_ = nullptr;
+
+  std::mutex barrierMutex_;
+  std::condition_variable barrierCv_;
+  int barrierArrived_ = 0;
+  std::uint64_t barrierGeneration_ = 0;
+
+  std::mutex reduceMutex_;
+  double reduceValue_ = 0.0;
+};
+
+}  // namespace zerosum::mpisim

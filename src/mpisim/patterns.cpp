@@ -1,0 +1,131 @@
+#include "mpisim/patterns.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace zerosum::mpisim::patterns {
+
+namespace {
+
+int wrap(int rank, int ranks) {
+  return ((rank % ranks) + ranks) % ranks;
+}
+
+}  // namespace
+
+void nearestNeighbor(int ranks, const HaloParams& params, const SendFn& send) {
+  if (ranks < 2 || params.width < 1) {
+    throw ConfigError("nearestNeighbor: need >= 2 ranks and width >= 1");
+  }
+  for (int step = 0; step < params.steps; ++step) {
+    for (int r = 0; r < ranks; ++r) {
+      for (int w = 1; w <= params.width; ++w) {
+        for (int dir : {-w, w}) {
+          const int peer = r + dir;
+          if (params.periodic) {
+            send(r, wrap(peer, ranks), params.bytesPerExchange);
+          } else if (peer >= 0 && peer < ranks) {
+            send(r, peer, params.bytesPerExchange);
+          }
+        }
+      }
+    }
+  }
+}
+
+void ring(int ranks, std::uint64_t bytesPerStep, int steps,
+          const SendFn& send) {
+  if (ranks < 2) {
+    throw ConfigError("ring: need >= 2 ranks");
+  }
+  for (int step = 0; step < steps; ++step) {
+    for (int r = 0; r < ranks; ++r) {
+      send(r, wrap(r + 1, ranks), bytesPerStep);
+    }
+  }
+}
+
+void randomPairs(int ranks, int messages, std::uint64_t bytesPerMessage,
+                 std::uint64_t seed, const SendFn& send) {
+  if (ranks < 2) {
+    throw ConfigError("randomPairs: need >= 2 ranks");
+  }
+  stats::SplitMix64 rng(seed);
+  for (int m = 0; m < messages; ++m) {
+    const int src =
+        static_cast<int>(rng.nextBelow(static_cast<std::uint64_t>(ranks)));
+    int dst =
+        static_cast<int>(rng.nextBelow(static_cast<std::uint64_t>(ranks - 1)));
+    if (dst >= src) {
+      ++dst;  // never self
+    }
+    send(src, dst, bytesPerMessage);
+  }
+}
+
+void allToAll(int ranks, std::uint64_t bytesPerPair, const SendFn& send) {
+  for (int s = 0; s < ranks; ++s) {
+    for (int d = 0; d < ranks; ++d) {
+      if (s != d) {
+        send(s, d, bytesPerPair);
+      }
+    }
+  }
+}
+
+void transpose(int ranks, std::uint64_t bytesPerPair, const SendFn& send) {
+  const int side = static_cast<int>(std::lround(std::sqrt(ranks)));
+  if (side * side != ranks) {
+    throw ConfigError("transpose: ranks must be a perfect square");
+  }
+  for (int i = 0; i < side; ++i) {
+    for (int j = 0; j < side; ++j) {
+      const int src = i * side + j;
+      const int dst = j * side + i;
+      if (src != dst) {
+        send(src, dst, bytesPerPair);
+      }
+    }
+  }
+}
+
+void gyrokineticPic(int ranks, const GyrokineticParams& params,
+                    const SendFn& send) {
+  if (ranks < 2 || params.ranksPerPlane < 1) {
+    throw ConfigError("gyrokineticPic: bad configuration");
+  }
+  stats::SplitMix64 rng(0xF16U);  // deterministic background scatter
+  for (int step = 0; step < params.steps; ++step) {
+    for (int r = 0; r < ranks; ++r) {
+      // Particle shift: heavy ±1 exchanges within the torus.
+      send(r, wrap(r + 1, ranks), params.particleBytes);
+      send(r, wrap(r - 1, ranks), params.particleBytes);
+      // Field solve: matching rank of the adjacent poloidal planes.
+      if (params.ranksPerPlane < ranks) {
+        send(r, wrap(r + params.ranksPerPlane, ranks), params.fieldBytes);
+        send(r, wrap(r - params.ranksPerPlane, ranks), params.fieldBytes);
+      }
+      // Collision operator: occasional low-volume long-range exchange.
+      if (rng.nextDouble() < 0.10) {
+        const int peer = static_cast<int>(
+            rng.nextBelow(static_cast<std::uint64_t>(ranks)));
+        if (peer != r) {
+          send(r, peer, params.collisionBytes);
+        }
+      }
+    }
+  }
+}
+
+CommMatrix toMatrix(int ranks,
+                    const std::function<void(const SendFn&)>& generator) {
+  CommMatrix matrix(ranks);
+  generator([&matrix](int src, int dst, std::uint64_t bytes) {
+    matrix.addSend(src, dst, bytes);
+  });
+  return matrix;
+}
+
+}  // namespace zerosum::mpisim::patterns

@@ -1,0 +1,65 @@
+// Synthetic communication patterns.
+//
+// Figure 5 shows the P2P heatmap of a 512-rank gyrokinetic particle-in-cell
+// code with a strong nearest-neighbour diagonal.  These generators produce
+// that and other canonical HPC traffic shapes through an abstract send
+// callback, so they can drive either a live World (exercising the real
+// recorder path) or a CommMatrix directly at 512-rank scale.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "mpisim/recorder.hpp"
+
+namespace zerosum::mpisim::patterns {
+
+/// send(source, dest, bytes) — invoked once per message.
+using SendFn = std::function<void(int, int, std::uint64_t)>;
+
+struct HaloParams {
+  int width = 1;                     ///< neighbour distance exchanged
+  std::uint64_t bytesPerExchange = 1 << 20;
+  int steps = 10;
+  bool periodic = true;              ///< wrap at the ends (torus)
+};
+
+/// 1-D halo exchange: every rank sends to ranks ±1..±width each step.
+void nearestNeighbor(int ranks, const HaloParams& params, const SendFn& send);
+
+/// Ring: rank r -> r+1 (mod N).
+void ring(int ranks, std::uint64_t bytesPerStep, int steps,
+          const SendFn& send);
+
+/// Uniform random pairs, deterministic in `seed`.
+void randomPairs(int ranks, int messages, std::uint64_t bytesPerMessage,
+                 std::uint64_t seed, const SendFn& send);
+
+/// All-to-all personalized exchange (one shot).
+void allToAll(int ranks, std::uint64_t bytesPerPair, const SendFn& send);
+
+/// 2-D transpose on a sqrt(N)×sqrt(N) process grid: rank (i,j) -> (j,i).
+/// Requires ranks to be a perfect square.
+void transpose(int ranks, std::uint64_t bytesPerPair, const SendFn& send);
+
+struct GyrokineticParams {
+  /// Ranks per poloidal plane; particle exchange couples ranks ±1 within a
+  /// plane and field solves couple matching ranks of adjacent planes.
+  int ranksPerPlane = 32;
+  std::uint64_t particleBytes = 32ULL << 20;  ///< dominant near-diagonal load
+  std::uint64_t fieldBytes = 2ULL << 20;      ///< fainter ±plane bands
+  std::uint64_t collisionBytes = 64ULL << 10; ///< sparse background
+  int steps = 20;
+};
+
+/// Gyrokinetic-PIC-like traffic (the Figure 5 workload): heavy ±1
+/// nearest-neighbour diagonal, lighter bands at ±ranksPerPlane, sparse
+/// low-volume background.
+void gyrokineticPic(int ranks, const GyrokineticParams& params,
+                    const SendFn& send);
+
+/// Convenience: runs a generator straight into a CommMatrix.
+CommMatrix toMatrix(int ranks,
+                    const std::function<void(const SendFn&)>& generator);
+
+}  // namespace zerosum::mpisim::patterns

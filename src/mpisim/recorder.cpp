@@ -1,0 +1,141 @@
+#include "mpisim/recorder.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace zerosum::mpisim {
+
+void Recorder::recordSend(int dest, std::uint64_t bytes) {
+  sendBytes_[dest] += bytes;
+  sendCount_[dest] += 1;
+}
+
+void Recorder::recordRecv(int source, std::uint64_t bytes) {
+  recvBytes_[source] += bytes;
+  recvCount_[source] += 1;
+}
+
+std::uint64_t Recorder::bytesSentTo(int dest) const {
+  const auto it = sendBytes_.find(dest);
+  return it == sendBytes_.end() ? 0 : it->second;
+}
+
+std::uint64_t Recorder::bytesReceivedFrom(int source) const {
+  const auto it = recvBytes_.find(source);
+  return it == recvBytes_.end() ? 0 : it->second;
+}
+
+std::uint64_t Recorder::totalBytesSent() const {
+  std::uint64_t total = 0;
+  for (const auto& [peer, bytes] : sendBytes_) {
+    total += bytes;
+  }
+  return total;
+}
+
+std::uint64_t Recorder::totalMessagesSent() const {
+  std::uint64_t total = 0;
+  for (const auto& [peer, count] : sendCount_) {
+    total += count;
+  }
+  return total;
+}
+
+std::string Recorder::toCsv() const {
+  std::ostringstream out;
+  out << "direction,peer,bytes,count\n";
+  for (const auto& [peer, bytes] : sendBytes_) {
+    out << "send," << peer << ',' << bytes << ','
+        << sendCount_.at(peer) << '\n';
+  }
+  for (const auto& [peer, bytes] : recvBytes_) {
+    out << "recv," << peer << ',' << bytes << ','
+        << recvCount_.at(peer) << '\n';
+  }
+  return out.str();
+}
+
+CommMatrix::CommMatrix(int ranks) : ranks_(ranks) {
+  if (ranks < 1) {
+    throw ConfigError("CommMatrix needs at least one rank");
+  }
+  cells_.assign(static_cast<std::size_t>(ranks) *
+                    static_cast<std::size_t>(ranks),
+                0);
+}
+
+std::size_t CommMatrix::idx(int source, int dest) const {
+  if (source < 0 || source >= ranks_ || dest < 0 || dest >= ranks_) {
+    throw NotFoundError("CommMatrix cell (" + std::to_string(source) + "," +
+                        std::to_string(dest) + ")");
+  }
+  return static_cast<std::size_t>(source) * static_cast<std::size_t>(ranks_) +
+         static_cast<std::size_t>(dest);
+}
+
+void CommMatrix::addSend(int source, int dest, std::uint64_t bytes) {
+  cells_[idx(source, dest)] += bytes;
+}
+
+void CommMatrix::merge(const Recorder& recorder) {
+  for (const auto& [peer, bytes] : recorder.sendBytesByPeer()) {
+    addSend(recorder.rank(), peer, bytes);
+  }
+}
+
+std::uint64_t CommMatrix::bytes(int source, int dest) const {
+  return cells_[idx(source, dest)];
+}
+
+std::uint64_t CommMatrix::totalBytes() const {
+  std::uint64_t total = 0;
+  for (std::uint64_t cell : cells_) {
+    total += cell;
+  }
+  return total;
+}
+
+std::uint64_t CommMatrix::maxCell() const {
+  return cells_.empty() ? 0 : *std::max_element(cells_.begin(), cells_.end());
+}
+
+std::vector<std::vector<std::uint64_t>> CommMatrix::binned(int bins) const {
+  if (bins < 1 || bins > ranks_) {
+    throw ConfigError("CommMatrix::binned: bins must be in [1, ranks]");
+  }
+  std::vector<std::vector<std::uint64_t>> out(
+      static_cast<std::size_t>(bins),
+      std::vector<std::uint64_t>(static_cast<std::size_t>(bins), 0));
+  for (int s = 0; s < ranks_; ++s) {
+    const auto bs = static_cast<std::size_t>(
+        static_cast<long>(s) * bins / ranks_);
+    for (int d = 0; d < ranks_; ++d) {
+      const auto bd = static_cast<std::size_t>(
+          static_cast<long>(d) * bins / ranks_);
+      out[bs][bd] += cells_[idx(s, d)];
+    }
+  }
+  return out;
+}
+
+bool CommMatrix::diagonalDominance(int band, double fraction) const {
+  const std::uint64_t total = totalBytes();
+  if (total == 0) {
+    return false;
+  }
+  std::uint64_t near = 0;
+  for (int s = 0; s < ranks_; ++s) {
+    for (int d = 0; d < ranks_; ++d) {
+      const int dist = std::min(std::abs(s - d), ranks_ - std::abs(s - d));
+      if (dist <= band) {
+        near += cells_[idx(s, d)];
+      }
+    }
+  }
+  return static_cast<double>(near) >=
+         fraction * static_cast<double>(total);
+}
+
+}  // namespace zerosum::mpisim

@@ -1,0 +1,80 @@
+#include "openmp/ompt.hpp"
+
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <algorithm>
+
+namespace zerosum::openmp {
+
+ToolRegistry& ToolRegistry::instance() {
+  static ToolRegistry registry;
+  return registry;
+}
+
+int ToolRegistry::registerTool(ThreadBeginFn onBegin, ThreadEndFn onEnd) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Tool tool;
+  tool.handle = nextHandle_++;
+  tool.onBegin = std::move(onBegin);
+  tool.onEnd = std::move(onEnd);
+  tools_.push_back(std::move(tool));
+  return tools_.back().handle;
+}
+
+void ToolRegistry::deregisterTool(int handle) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  tools_.erase(std::remove_if(tools_.begin(), tools_.end(),
+                              [handle](const Tool& t) {
+                                return t.handle == handle;
+                              }),
+               tools_.end());
+}
+
+void ToolRegistry::threadBegin(const ThreadEvent& event) {
+  std::vector<ThreadBeginFn> callbacks;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    knownTids_.insert(event.tid);
+    for (const auto& tool : tools_) {
+      if (tool.onBegin) {
+        callbacks.push_back(tool.onBegin);
+      }
+    }
+  }
+  for (const auto& cb : callbacks) {
+    cb(event);
+  }
+}
+
+void ToolRegistry::threadEnd(const ThreadEvent& event) {
+  std::vector<ThreadEndFn> callbacks;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& tool : tools_) {
+      if (tool.onEnd) {
+        callbacks.push_back(tool.onEnd);
+      }
+    }
+  }
+  for (const auto& cb : callbacks) {
+    cb(event);
+  }
+}
+
+std::set<int> ToolRegistry::knownOmpTids() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return knownTids_;
+}
+
+void ToolRegistry::resetForTesting() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  tools_.clear();
+  knownTids_.clear();
+}
+
+int currentTid() {
+  return static_cast<int>(::syscall(SYS_gettid));
+}
+
+}  // namespace zerosum::openmp

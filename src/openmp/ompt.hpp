@@ -1,0 +1,68 @@
+// OMPT-style tool callbacks (paper §3.1.2).
+//
+// OpenMP 5.1 runtimes notify a registered tool when OpenMP threads begin
+// and end; ZeroSum uses the callback to classify the underlying POSIX
+// thread as an OpenMP thread.  This registry is the reproduction of that
+// interface: our team runtime invokes it, and ZeroSum's LwpTracker
+// subscribes to it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <set>
+#include <vector>
+
+namespace zerosum::openmp {
+
+enum class ThreadKind { kInitial, kWorker };
+
+struct ThreadEvent {
+  ThreadKind kind = ThreadKind::kWorker;
+  /// Kernel LWP id (gettid) of the thread.
+  int tid = 0;
+};
+
+using ThreadBeginFn = std::function<void(const ThreadEvent&)>;
+using ThreadEndFn = std::function<void(const ThreadEvent&)>;
+
+/// Process-wide callback registry.  Thread-safe.  Also remembers every tid
+/// ever announced, so a tool attaching late can classify existing threads
+/// (the paper's "pre-5.1 probe" path feeds the same set).
+class ToolRegistry {
+ public:
+  static ToolRegistry& instance();
+
+  /// Registers callbacks; returns a handle for deregistration.
+  int registerTool(ThreadBeginFn onBegin, ThreadEndFn onEnd);
+  void deregisterTool(int handle);
+
+  /// Called by the runtime.
+  void threadBegin(const ThreadEvent& event);
+  void threadEnd(const ThreadEvent& event);
+
+  /// All tids ever reported as OpenMP threads in this process.
+  [[nodiscard]] std::set<int> knownOmpTids() const;
+
+  /// Test hook: forget all callbacks and tids.
+  void resetForTesting();
+
+ private:
+  ToolRegistry() = default;
+
+  struct Tool {
+    int handle = 0;
+    ThreadBeginFn onBegin;
+    ThreadEndFn onEnd;
+  };
+
+  mutable std::mutex mutex_;
+  std::vector<Tool> tools_;
+  std::set<int> knownTids_;
+  int nextHandle_ = 1;
+};
+
+/// Current thread's kernel LWP id.
+int currentTid();
+
+}  // namespace zerosum::openmp

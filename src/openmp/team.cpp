@@ -1,0 +1,157 @@
+#include "openmp/team.hpp"
+
+#include <pthread.h>
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "openmp/ompt.hpp"
+
+namespace zerosum::openmp {
+
+ThreadTeam::ThreadTeam(int numThreads) : numThreads_(numThreads) {
+  if (numThreads < 1) {
+    throw ConfigError("ThreadTeam needs at least one thread");
+  }
+  tids_.assign(static_cast<std::size_t>(numThreads), 0);
+  tids_[0] = currentTid();
+  ToolRegistry::instance().threadBegin(
+      {ThreadKind::kInitial, tids_[0]});
+
+  workers_.reserve(static_cast<std::size_t>(numThreads - 1));
+  for (int t = 1; t < numThreads; ++t) {
+    workers_.emplace_back([this, t] { workerLoop(t); });
+  }
+  // Wait for every worker to have announced itself, so memberTids() is
+  // complete as soon as construction finishes (the property the probe
+  // discovery method depends on).
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [this] {
+    return std::count(tids_.begin(), tids_.end(), 0) == 0;
+  });
+}
+
+ThreadTeam::~ThreadTeam() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (auto& worker : workers_) {
+    worker.join();
+  }
+  ToolRegistry::instance().threadEnd({ThreadKind::kInitial, tids_[0]});
+}
+
+void ThreadTeam::workerLoop(int threadNum) {
+  // Linux limits comm to 15 chars; "omp-worker-NN" identifies the thread
+  // in /proc scans the same way vendor runtimes name their pools.
+  const std::string name = "omp-worker-" + std::to_string(threadNum);
+  ::pthread_setname_np(::pthread_self(), name.substr(0, 15).c_str());
+  const int tid = currentTid();
+  ToolRegistry::instance().threadBegin({ThreadKind::kWorker, tid});
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    tids_[static_cast<std::size_t>(threadNum)] = tid;
+  }
+  cv_.notify_all();
+
+  std::uint64_t seenGeneration = 0;
+  while (true) {
+    const RegionBody* body = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [&] {
+        return shutdown_ || regionGeneration_ != seenGeneration;
+      });
+      if (shutdown_) {
+        break;
+      }
+      seenGeneration = regionGeneration_;
+      body = activeBody_;
+    }
+    try {
+      (*body)(threadNum, numThreads_);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!firstError_) {
+        firstError_ = std::current_exception();
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --remaining_;
+    }
+    cv_.notify_all();
+  }
+  ToolRegistry::instance().threadEnd({ThreadKind::kWorker, tid});
+}
+
+void ThreadTeam::parallel(const RegionBody& body) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (activeBody_ != nullptr) {
+      throw StateError("nested/concurrent parallel regions are unsupported");
+    }
+    activeBody_ = &body;
+    remaining_ = numThreads_;
+    ++regionGeneration_;
+  }
+  cv_.notify_all();
+
+  // The caller is thread 0 of the team.
+  try {
+    body(0, numThreads_);
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!firstError_) {
+      firstError_ = std::current_exception();
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    --remaining_;
+  }
+  cv_.notify_all();
+
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return remaining_ == 0; });
+    activeBody_ = nullptr;
+    error = firstError_;
+    firstError_ = nullptr;
+  }
+  if (error) {
+    std::rethrow_exception(error);
+  }
+}
+
+void ThreadTeam::parallelFor(long begin, long end,
+                             const std::function<void(long)>& body) {
+  if (end <= begin) {
+    return;
+  }
+  const long n = numThreads_;
+  const long total = end - begin;
+  const long chunk = (total + n - 1) / n;
+  parallel([&](int threadNum, int) {
+    const long lo = begin + static_cast<long>(threadNum) * chunk;
+    const long hi = std::min(end, lo + chunk);
+    for (long i = lo; i < hi; ++i) {
+      body(i);
+    }
+  });
+}
+
+std::vector<int> ThreadTeam::memberTids() const { return tids_; }
+
+std::vector<int> probeTeamTids(ThreadTeam& team) {
+  std::vector<int> observed(static_cast<std::size_t>(team.numThreads()), 0);
+  team.parallel([&observed](int threadNum, int) {
+    observed[static_cast<std::size_t>(threadNum)] = currentTid();
+  });
+  return observed;
+}
+
+}  // namespace zerosum::openmp

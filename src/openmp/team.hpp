@@ -1,0 +1,69 @@
+// Thread-team runtime substrate.
+//
+// A minimal OpenMP-like runtime: a persistent team of worker threads
+// executing fork/join parallel regions, announcing thread begin/end through
+// the OMPT-style ToolRegistry.  The team persists between regions (like
+// real OpenMP runtimes keep their pool alive — the property ZeroSum's
+// /proc task scan relies on), and probeTeamTids() reproduces the paper's
+// pre-5.1 discovery trick of launching a trivial region to learn the
+// workers' LWP ids.
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace zerosum::openmp {
+
+/// Body of a parallel region: fn(threadNum, numThreads).  threadNum 0 runs
+/// on the calling thread (the "master"), like #pragma omp parallel.
+using RegionBody = std::function<void(int, int)>;
+
+class ThreadTeam {
+ public:
+  /// Spawns `numThreads - 1` workers (thread 0 is the caller).  Workers are
+  /// announced via ToolRegistry::threadBegin as they start.
+  explicit ThreadTeam(int numThreads);
+  ~ThreadTeam();
+
+  ThreadTeam(const ThreadTeam&) = delete;
+  ThreadTeam& operator=(const ThreadTeam&) = delete;
+
+  [[nodiscard]] int numThreads() const { return numThreads_; }
+
+  /// Runs one fork/join parallel region.  Blocks until every member has
+  /// finished the body.  Exceptions from any member propagate (first wins).
+  void parallel(const RegionBody& body);
+
+  /// Static loop scheduling over [begin, end): each member handles a
+  /// contiguous chunk, like #pragma omp parallel for schedule(static).
+  void parallelFor(long begin, long end,
+                   const std::function<void(long)>& body);
+
+  /// Kernel LWP ids of all team members, master first.  Workers' ids are
+  /// available once the constructor returns.
+  [[nodiscard]] std::vector<int> memberTids() const;
+
+ private:
+  void workerLoop(int threadNum);
+
+  int numThreads_;
+  std::vector<std::thread> workers_;
+  std::vector<int> tids_;  // index = threadNum; [0] set lazily per region
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::uint64_t regionGeneration_ = 0;
+  const RegionBody* activeBody_ = nullptr;
+  int remaining_ = 0;
+  bool shutdown_ = false;
+  std::exception_ptr firstError_;
+};
+
+/// The pre-OMPT discovery method (paper §3.1.2): run a trivial parallel
+/// region on `team` and return the member tids it observes.
+std::vector<int> probeTeamTids(ThreadTeam& team);
+
+}  // namespace zerosum::openmp

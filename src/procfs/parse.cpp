@@ -1,0 +1,208 @@
+#include "procfs/parse.hpp"
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace zerosum::procfs {
+
+namespace {
+
+std::uint64_t requireU64(std::string_view raw, const std::string& what) {
+  const auto v = strings::toU64(raw);
+  if (!v) {
+    throw ParseError(what + ": '" + std::string(raw) + "'");
+  }
+  return *v;
+}
+
+/// "1234 kB" -> 1234.
+std::uint64_t parseKb(const std::string& value, const std::string& what) {
+  const auto parts = strings::splitWs(value);
+  if (parts.empty()) {
+    throw ParseError(what + ": empty value");
+  }
+  return requireU64(parts[0], what);
+}
+
+}  // namespace
+
+ProcStatus parseStatus(const std::string& text) {
+  ProcStatus out;
+  bool sawList = false;
+  std::string hexMask;
+  for (const auto& line : strings::split(text, '\n')) {
+    const auto colon = line.find(':');
+    if (colon == std::string::npos) {
+      continue;
+    }
+    const std::string key = strings::trim(line.substr(0, colon));
+    const std::string value = strings::trim(line.substr(colon + 1));
+    if (key == "Name") {
+      out.name = value;
+    } else if (key == "State") {
+      if (value.empty()) {
+        throw ParseError("State: empty");
+      }
+      out.state = value[0];
+    } else if (key == "Tgid") {
+      out.tgid = static_cast<int>(requireU64(value, "Tgid"));
+    } else if (key == "Pid") {
+      out.pid = static_cast<int>(requireU64(value, "Pid"));
+    } else if (key == "VmRSS") {
+      out.vmRssKb = parseKb(value, "VmRSS");
+    } else if (key == "VmHWM") {
+      out.vmHwmKb = parseKb(value, "VmHWM");
+    } else if (key == "Threads") {
+      out.threads = static_cast<int>(requireU64(value, "Threads"));
+    } else if (key == "Cpus_allowed_list") {
+      out.cpusAllowed = CpuSet::fromList(value);
+      sawList = true;
+    } else if (key == "Cpus_allowed") {
+      hexMask = value;
+    } else if (key == "voluntary_ctxt_switches") {
+      out.voluntaryCtxSwitches = requireU64(value, "voluntary_ctxt_switches");
+    } else if (key == "nonvoluntary_ctxt_switches") {
+      out.nonvoluntaryCtxSwitches =
+          requireU64(value, "nonvoluntary_ctxt_switches");
+    }
+  }
+  // Older kernels only expose the hex mask; the list takes precedence.
+  if (!sawList && !hexMask.empty()) {
+    out.cpusAllowed = CpuSet::fromHexMask(hexMask);
+  }
+  return out;
+}
+
+TaskStat parseTaskStat(const std::string& text) {
+  TaskStat out;
+  const auto open = text.find('(');
+  const auto close = text.rfind(')');
+  if (open == std::string::npos || close == std::string::npos ||
+      close < open) {
+    throw ParseError("task stat: missing comm parentheses");
+  }
+  out.tid = static_cast<int>(
+      requireU64(strings::trim(text.substr(0, open)), "stat tid"));
+  out.comm = text.substr(open + 1, close - open - 1);
+
+  // Fields after the comm, 1-indexed from field 3 ("state").
+  const auto rest = strings::splitWs(text.substr(close + 1));
+  // state ppid pgrp session tty_nr tpgid flags minflt cminflt majflt
+  //  (0)   (1)  (2)   (3)    (4)    (5)   (6)   (7)    (8)     (9)
+  // cmajflt utime stime cutime cstime priority nice num_threads ...
+  //  (10)    (11)  (12)   (13)   (14)    (15)  (16)    (17)
+  // processor is stat field 39, i.e. rest index 36.
+  if (rest.size() < 18) {
+    throw ParseError("task stat: too few fields (" +
+                     std::to_string(rest.size()) + ")");
+  }
+  if (rest[0].empty()) {
+    throw ParseError("task stat: empty state");
+  }
+  out.state = rest[0][0];
+  out.minorFaults = requireU64(rest[7], "minflt");
+  out.majorFaults = requireU64(rest[9], "majflt");
+  out.utimeJiffies = requireU64(rest[11], "utime");
+  out.stimeJiffies = requireU64(rest[12], "stime");
+  out.numThreads = static_cast<long>(requireU64(rest[17], "num_threads"));
+  if (rest.size() > 36) {
+    out.processor = static_cast<int>(requireU64(rest[36], "processor"));
+  }
+  return out;
+}
+
+MemInfo parseMeminfo(const std::string& text) {
+  MemInfo out;
+  for (const auto& line : strings::split(text, '\n')) {
+    const auto colon = line.find(':');
+    if (colon == std::string::npos) {
+      continue;
+    }
+    const std::string key = strings::trim(line.substr(0, colon));
+    const std::string value = strings::trim(line.substr(colon + 1));
+    if (key == "MemTotal") {
+      out.totalKb = parseKb(value, "MemTotal");
+    } else if (key == "MemFree") {
+      out.freeKb = parseKb(value, "MemFree");
+    } else if (key == "MemAvailable") {
+      out.availableKb = parseKb(value, "MemAvailable");
+    }
+  }
+  if (out.totalKb == 0) {
+    throw ParseError("meminfo: missing MemTotal");
+  }
+  return out;
+}
+
+LoadAvg parseLoadavg(const std::string& text) {
+  const auto fields = strings::splitWs(text);
+  if (fields.size() < 4) {
+    throw ParseError("loadavg: too few fields in '" + text + "'");
+  }
+  LoadAvg out;
+  const auto l1 = strings::toDouble(fields[0]);
+  const auto l5 = strings::toDouble(fields[1]);
+  const auto l15 = strings::toDouble(fields[2]);
+  if (!l1 || !l5 || !l15) {
+    throw ParseError("loadavg: bad load value in '" + text + "'");
+  }
+  out.load1 = *l1;
+  out.load5 = *l5;
+  out.load15 = *l15;
+  const auto slash = fields[3].find('/');
+  if (slash == std::string::npos) {
+    throw ParseError("loadavg: bad task counts '" + fields[3] + "'");
+  }
+  const auto runnable =
+      strings::toU64(std::string_view(fields[3]).substr(0, slash));
+  const auto total =
+      strings::toU64(std::string_view(fields[3]).substr(slash + 1));
+  if (!runnable || !total) {
+    throw ParseError("loadavg: bad task counts '" + fields[3] + "'");
+  }
+  out.runnable = static_cast<int>(*runnable);
+  out.total = static_cast<int>(*total);
+  return out;
+}
+
+StatSnapshot parseStat(const std::string& text) {
+  StatSnapshot out;
+  bool sawAggregate = false;
+  for (const auto& line : strings::split(text, '\n')) {
+    if (!strings::startsWith(line, "cpu")) {
+      continue;
+    }
+    const auto fields = strings::splitWs(line);
+    if (fields.size() < 5) {
+      throw ParseError("/proc/stat cpu line too short: '" + line + "'");
+    }
+    CpuTimes t;
+    auto field = [&](std::size_t i) -> std::uint64_t {
+      return i < fields.size() ? requireU64(fields[i], "cpu jiffies") : 0;
+    };
+    t.user = field(1);
+    t.nice = field(2);
+    t.system = field(3);
+    t.idle = field(4);
+    t.iowait = field(5);
+    t.irq = field(6);
+    t.softirq = field(7);
+    t.steal = field(8);
+    if (fields[0] == "cpu") {
+      out.aggregate = t;
+      sawAggregate = true;
+    } else {
+      const auto idx = strings::toU64(std::string_view(fields[0]).substr(3));
+      if (!idx) {
+        throw ParseError("bad cpu label '" + fields[0] + "'");
+      }
+      out.perCpu[static_cast<int>(*idx)] = t;
+    }
+  }
+  if (!sawAggregate && out.perCpu.empty()) {
+    throw ParseError("/proc/stat: no cpu lines");
+  }
+  return out;
+}
+
+}  // namespace zerosum::procfs

@@ -1,0 +1,30 @@
+// Parsers for the kernel text formats.  Both providers (the live /proc and
+// the simulator's rendered files) funnel through these functions, so the
+// parsing logic is exercised by every simulated experiment as well as by
+// real-process monitoring.
+#pragma once
+
+#include <string>
+
+#include "procfs/types.hpp"
+
+namespace zerosum::procfs {
+
+/// Parses /proc/<pid>/status-format text.  Unknown keys are ignored (the
+/// real file has dozens of fields we do not use).  Throws ParseError when a
+/// known key has a malformed value.
+ProcStatus parseStatus(const std::string& text);
+
+/// Parses a /proc/<pid>/task/<tid>/stat line.  The comm field is delimited
+/// by parentheses and may itself contain spaces and ')' — parsing anchors
+/// on the *last* closing parenthesis, as the kernel documentation requires.
+TaskStat parseTaskStat(const std::string& text);
+
+MemInfo parseMeminfo(const std::string& text);
+
+/// Parses "/proc/loadavg" ("0.52 0.58 0.59 2/1345 12345").
+LoadAvg parseLoadavg(const std::string& text);
+
+StatSnapshot parseStat(const std::string& text);
+
+}  // namespace zerosum::procfs

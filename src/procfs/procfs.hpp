@@ -1,0 +1,53 @@
+// The provider interface between ZeroSum's trackers and the operating
+// system: everything the monitor reads comes through here, so the same
+// tracker code observes either the live kernel (RealProcFs) or the node
+// simulator (SimProcFs).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "procfs/parse.hpp"
+#include "procfs/types.hpp"
+
+namespace zerosum::procfs {
+
+class ProcFs {
+ public:
+  virtual ~ProcFs() = default;
+
+  /// Pid of the process being monitored ("self").
+  [[nodiscard]] virtual int selfPid() const = 0;
+
+  /// All pids visible to the provider.  The real provider only exposes
+  /// self (a user-space tool monitors its own process); the simulator
+  /// exposes every rank on the node.
+  [[nodiscard]] virtual std::vector<int> listPids() const = 0;
+
+  /// LWP ids of a process — the /proc/<pid>/task directory listing the
+  /// paper uses instead of intercepting pthread_create (§3.1.1).
+  [[nodiscard]] virtual std::vector<int> listTasks(int pid) const = 0;
+
+  // Raw file bodies in kernel text format.
+  [[nodiscard]] virtual std::string readProcessStatus(int pid) const = 0;
+  [[nodiscard]] virtual std::string readTaskStat(int pid, int tid) const = 0;
+  [[nodiscard]] virtual std::string readTaskStatus(int pid, int tid) const = 0;
+  [[nodiscard]] virtual std::string readMeminfo() const = 0;
+  [[nodiscard]] virtual std::string readStat() const = 0;
+  [[nodiscard]] virtual std::string readLoadavg() const = 0;
+
+  // Typed conveniences (parse the raw bodies).
+  [[nodiscard]] ProcStatus processStatus(int pid) const;
+  [[nodiscard]] TaskStat taskStat(int pid, int tid) const;
+  [[nodiscard]] ProcStatus taskStatus(int pid, int tid) const;
+  [[nodiscard]] MemInfo memInfo() const;
+  [[nodiscard]] StatSnapshot stat() const;
+  [[nodiscard]] LoadAvg loadAvg() const;
+};
+
+/// Provider over the live kernel /proc (optionally under an alternate root
+/// for tests).  listPids() returns {selfPid}.
+std::unique_ptr<ProcFs> makeRealProcFs(std::string procRoot = "/proc");
+
+}  // namespace zerosum::procfs

@@ -1,0 +1,110 @@
+#include <unistd.h>
+#include <algorithm>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+#include "procfs/procfs.hpp"
+
+namespace zerosum::procfs {
+
+ProcStatus ProcFs::processStatus(int pid) const {
+  return parseStatus(readProcessStatus(pid));
+}
+
+TaskStat ProcFs::taskStat(int pid, int tid) const {
+  return parseTaskStat(readTaskStat(pid, tid));
+}
+
+ProcStatus ProcFs::taskStatus(int pid, int tid) const {
+  return parseStatus(readTaskStatus(pid, tid));
+}
+
+MemInfo ProcFs::memInfo() const { return parseMeminfo(readMeminfo()); }
+
+StatSnapshot ProcFs::stat() const { return parseStat(readStat()); }
+
+LoadAvg ProcFs::loadAvg() const { return parseLoadavg(readLoadavg()); }
+
+namespace {
+
+class RealProcFs final : public ProcFs {
+ public:
+  explicit RealProcFs(std::string procRoot) : root_(std::move(procRoot)) {}
+
+  [[nodiscard]] int selfPid() const override {
+    return static_cast<int>(::getpid());
+  }
+
+  [[nodiscard]] std::vector<int> listPids() const override {
+    return {selfPid()};
+  }
+
+  [[nodiscard]] std::vector<int> listTasks(int pid) const override {
+    namespace fs = std::filesystem;
+    std::vector<int> out;
+    const fs::path dir = fs::path(root_) / std::to_string(pid) / "task";
+    std::error_code ec;
+    for (const auto& entry : fs::directory_iterator(dir, ec)) {
+      const auto tid = strings::toU64(entry.path().filename().string());
+      if (tid) {
+        out.push_back(static_cast<int>(*tid));
+      }
+    }
+    if (ec) {
+      throw NotFoundError(dir.string() + " (" + ec.message() + ")");
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  [[nodiscard]] std::string readProcessStatus(int pid) const override {
+    return readFile(root_ + "/" + std::to_string(pid) + "/status");
+  }
+
+  [[nodiscard]] std::string readTaskStat(int pid, int tid) const override {
+    return readFile(root_ + "/" + std::to_string(pid) + "/task/" +
+                    std::to_string(tid) + "/stat");
+  }
+
+  [[nodiscard]] std::string readTaskStatus(int pid, int tid) const override {
+    return readFile(root_ + "/" + std::to_string(pid) + "/task/" +
+                    std::to_string(tid) + "/status");
+  }
+
+  [[nodiscard]] std::string readMeminfo() const override {
+    return readFile(root_ + "/meminfo");
+  }
+
+  [[nodiscard]] std::string readStat() const override {
+    return readFile(root_ + "/stat");
+  }
+
+  [[nodiscard]] std::string readLoadavg() const override {
+    return readFile(root_ + "/loadavg");
+  }
+
+ private:
+  static std::string readFile(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) {
+      throw NotFoundError(path);
+    }
+    std::ostringstream body;
+    body << in.rdbuf();
+    return body.str();
+  }
+
+  std::string root_;
+};
+
+}  // namespace
+
+std::unique_ptr<ProcFs> makeRealProcFs(std::string procRoot) {
+  return std::make_unique<RealProcFs>(std::move(procRoot));
+}
+
+}  // namespace zerosum::procfs

@@ -1,0 +1,161 @@
+#include "procfs/simfs.hpp"
+
+#include <tuple>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace zerosum::procfs {
+
+namespace {
+
+class SimProcFs final : public ProcFs {
+ public:
+  SimProcFs(const sim::SimNode& node, int selfPid)
+      : node_(node), selfPid_(selfPid) {
+    if (selfPid_ == 0) {
+      const auto pids = node_.processIds();
+      if (pids.empty()) {
+        throw StateError("SimProcFs: node has no processes");
+      }
+      selfPid_ = pids.front();
+    } else {
+      std::ignore = node_.process(selfPid_);  // validates existence
+    }
+  }
+
+  [[nodiscard]] int selfPid() const override { return selfPid_; }
+
+  [[nodiscard]] std::vector<int> listPids() const override {
+    return node_.processIds();
+  }
+
+  [[nodiscard]] std::vector<int> listTasks(int pid) const override {
+    std::vector<int> out;
+    for (sim::Tid tid : node_.taskIds(pid)) {
+      if (!node_.task(tid).finished()) {
+        out.push_back(tid);
+      }
+    }
+    return out;
+  }
+
+  [[nodiscard]] std::string readProcessStatus(int pid) const override {
+    const auto& proc = node_.process(pid);
+    const auto& main = node_.task(proc.tasks.front());
+    std::ostringstream out;
+    out << "Name:\t" << proc.name << '\n';
+    out << "State:\t" << sim::stateCode(main.state) << " (simulated)\n";
+    out << "Tgid:\t" << pid << '\n';
+    out << "Pid:\t" << pid << '\n';
+    out << "VmHWM:\t" << proc.rssBytes(node_.now()) / 1024 << " kB\n";
+    out << "VmRSS:\t" << proc.rssBytes(node_.now()) / 1024 << " kB\n";
+    out << "Threads:\t" << listTasks(pid).size() << '\n';
+    out << "Cpus_allowed_list:\t" << proc.affinity.toList() << '\n';
+    out << "voluntary_ctxt_switches:\t" << main.voluntaryCtx << '\n';
+    out << "nonvoluntary_ctxt_switches:\t" << main.nonvoluntaryCtx << '\n';
+    return out.str();
+  }
+
+  [[nodiscard]] std::string readTaskStat(int pid, int tid) const override {
+    requireTaskOf(pid, tid);
+    const auto& t = node_.task(tid);
+    std::ostringstream out;
+    // Fields per proc(5); unsampled fields are rendered as zeros to keep
+    // positional parsing honest.  processor is field 39.
+    out << tid << " (" << t.name << ") " << sim::stateCode(t.state);
+    out << " " << pid        // ppid (4)
+        << " " << pid        // pgrp (5)
+        << " 0 0 0 0";       // session tty tpgid flags (6-9)
+    out << " " << t.minorFaults << " 0 " << t.majorFaults << " 0";  // 10-13
+    out << " " << t.utime << " " << t.stime << " 0 0";              // 14-17
+    out << " 20 0";                                                 // 18-19
+    out << " " << node_.taskIds(pid).size();                        // 20
+    out << " 0 0";                                                  // 21-22
+    out << " 0 0";  // vsize rss (23-24)
+    for (int f = 25; f <= 38; ++f) {
+      out << " 0";
+    }
+    out << " " << (t.lastCpu >= 0 ? t.lastCpu : 0);  // processor (39)
+    out << " 0 0 0 0 0\n";
+    return out.str();
+  }
+
+  [[nodiscard]] std::string readTaskStatus(int pid, int tid) const override {
+    requireTaskOf(pid, tid);
+    const auto& t = node_.task(tid);
+    std::ostringstream out;
+    out << "Name:\t" << t.name << '\n';
+    out << "State:\t" << sim::stateCode(t.state) << " (simulated)\n";
+    out << "Tgid:\t" << pid << '\n';
+    out << "Pid:\t" << tid << '\n';
+    out << "Threads:\t" << node_.taskIds(pid).size() << '\n';
+    out << "Cpus_allowed_list:\t" << t.affinity.toList() << '\n';
+    out << "voluntary_ctxt_switches:\t" << t.voluntaryCtx << '\n';
+    out << "nonvoluntary_ctxt_switches:\t" << t.nonvoluntaryCtx << '\n';
+    return out.str();
+  }
+
+  [[nodiscard]] std::string readMeminfo() const override {
+    const std::uint64_t totalKb = node_.memTotalBytes() / 1024;
+    const std::uint64_t freeKb = node_.memFreeBytes() / 1024;
+    std::ostringstream out;
+    out << "MemTotal:       " << totalKb << " kB\n";
+    out << "MemFree:        " << freeKb << " kB\n";
+    // The kernel's MemAvailable adds reclaimable caches; the simulator has
+    // none, so available == free.
+    out << "MemAvailable:   " << freeKb << " kB\n";
+    return out.str();
+  }
+
+  [[nodiscard]] std::string readLoadavg() const override {
+    const auto load = node_.loadAverages();
+    std::ostringstream out;
+    out << std::fixed;
+    out.precision(2);
+    out << load.load1 << ' ' << load.load5 << ' ' << load.load15 << ' '
+        << load.runnable << '/' << load.total << " 0\n";
+    return out.str();
+  }
+
+  [[nodiscard]] std::string readStat() const override {
+    std::ostringstream out;
+    sim::HwtCounters agg;
+    for (std::size_t hwt : node_.hwts().toVector()) {
+      const auto& c = node_.hwtCounters(hwt);
+      agg.user += c.user;
+      agg.system += c.system;
+      agg.idle += c.idle;
+    }
+    out << "cpu  " << agg.user << " 0 " << agg.system << " " << agg.idle
+        << " 0 0 0 0 0 0\n";
+    for (std::size_t hwt : node_.hwts().toVector()) {
+      const auto& c = node_.hwtCounters(hwt);
+      out << "cpu" << hwt << " " << c.user << " 0 " << c.system << " "
+          << c.idle << " 0 0 0 0 0 0\n";
+    }
+    return out.str();
+  }
+
+ private:
+  void requireTaskOf(int pid, int tid) const {
+    for (sim::Tid t : node_.taskIds(pid)) {
+      if (t == tid) {
+        return;
+      }
+    }
+    throw NotFoundError("tid " + std::to_string(tid) + " in pid " +
+                        std::to_string(pid));
+  }
+
+  const sim::SimNode& node_;
+  int selfPid_;
+};
+
+}  // namespace
+
+std::unique_ptr<ProcFs> makeSimProcFs(const sim::SimNode& node, int selfPid) {
+  return std::make_unique<SimProcFs>(node, selfPid);
+}
+
+}  // namespace zerosum::procfs

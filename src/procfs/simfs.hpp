@@ -1,0 +1,21 @@
+// SimProcFs: a /proc provider backed by the node simulator.
+//
+// It renders the simulator's state in the kernel's own text formats, so the
+// shared parsers (and therefore every tracker above them) execute the same
+// code path for simulated Frontier runs as for live monitoring.
+#pragma once
+
+#include <memory>
+
+#include "procfs/procfs.hpp"
+#include "sim/node.hpp"
+
+namespace zerosum::procfs {
+
+/// Creates a provider viewing `node`.  `selfPid` selects which simulated
+/// process plays the role of "self"; pass 0 to use the first process
+/// spawned.  The node must outlive the provider.
+std::unique_ptr<ProcFs> makeSimProcFs(const sim::SimNode& node,
+                                      int selfPid = 0);
+
+}  // namespace zerosum::procfs

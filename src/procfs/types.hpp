@@ -1,0 +1,82 @@
+// Parsed representations of the /proc records ZeroSum samples (paper §3.1,
+// §3.4, §3.5): /proc/<pid>/status, /proc/<pid>/task/<tid>/stat and status,
+// /proc/meminfo and /proc/stat.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/cpuset.hpp"
+
+namespace zerosum::procfs {
+
+/// Key fields of /proc/<pid>/status (and task-level status, which shares
+/// the format).
+struct ProcStatus {
+  int pid = 0;
+  int tgid = 0;
+  std::string name;
+  char state = '?';
+  CpuSet cpusAllowed;
+  std::uint64_t vmRssKb = 0;
+  std::uint64_t vmHwmKb = 0;
+  int threads = 0;
+  std::uint64_t voluntaryCtxSwitches = 0;
+  std::uint64_t nonvoluntaryCtxSwitches = 0;
+};
+
+/// Fields of /proc/<pid>/task/<tid>/stat used by the LWP tracker.
+struct TaskStat {
+  int tid = 0;
+  std::string comm;
+  char state = '?';
+  std::uint64_t minorFaults = 0;
+  std::uint64_t majorFaults = 0;
+  std::uint64_t utimeJiffies = 0;
+  std::uint64_t stimeJiffies = 0;
+  long numThreads = 0;
+  /// CPU the task last executed on (stat field 39).
+  int processor = -1;
+};
+
+/// /proc/meminfo subset (kB, as the kernel reports).
+struct MemInfo {
+  std::uint64_t totalKb = 0;
+  std::uint64_t freeKb = 0;
+  std::uint64_t availableKb = 0;
+};
+
+/// /proc/loadavg: run-queue averages plus the runnable/total task counts.
+struct LoadAvg {
+  double load1 = 0.0;
+  double load5 = 0.0;
+  double load15 = 0.0;
+  int runnable = 0;
+  int total = 0;
+};
+
+/// One "cpuN" (or aggregate "cpu") line of /proc/stat, in jiffies.
+struct CpuTimes {
+  std::uint64_t user = 0;
+  std::uint64_t nice = 0;
+  std::uint64_t system = 0;
+  std::uint64_t idle = 0;
+  std::uint64_t iowait = 0;
+  std::uint64_t irq = 0;
+  std::uint64_t softirq = 0;
+  std::uint64_t steal = 0;
+
+  [[nodiscard]] std::uint64_t busy() const {
+    return user + nice + system + irq + softirq + steal;
+  }
+  [[nodiscard]] std::uint64_t total() const { return busy() + idle + iowait; }
+};
+
+/// Parsed /proc/stat: aggregate plus per-CPU rows keyed by CPU index.
+struct StatSnapshot {
+  CpuTimes aggregate;
+  std::map<int, CpuTimes> perCpu;
+};
+
+}  // namespace zerosum::procfs

@@ -1,0 +1,192 @@
+#include "proxyapps/miniqmc.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <mutex>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+#include "openmp/team.hpp"
+
+namespace zerosum::proxyapps {
+
+namespace {
+
+/// One walker: electron positions plus its RNG stream.
+struct Walker {
+  std::vector<double> positions;  // 3 coordinates per electron
+  stats::SplitMix64 rng;
+  double energy = 0.0;
+  std::uint64_t accepted = 0;
+  std::uint64_t proposed = 0;
+
+  Walker(int electrons, std::uint64_t seed)
+      : rng(seed) {
+    positions.resize(static_cast<std::size_t>(electrons) * 3);
+    for (double& x : positions) {
+      x = rng.nextDouble();
+    }
+  }
+};
+
+/// Cubic-B-spline-like basis evaluation: the FLOP core of miniQMC's
+/// einspline.  `table` is the coefficient grid; evaluation mixes 64
+/// neighbouring coefficients with cubic weights.
+double evaluateSpline(const std::vector<double>& table, int gridSide,
+                      double x, double y, double z) {
+  auto weight = [](double t, int k) {
+    // Uniform cubic B-spline pieces.
+    switch (k) {
+      case 0: return (1 - t) * (1 - t) * (1 - t) / 6.0;
+      case 1: return (3 * t * t * t - 6 * t * t + 4) / 6.0;
+      case 2: return (-3 * t * t * t + 3 * t * t + 3 * t + 1) / 6.0;
+      default: return t * t * t / 6.0;
+    }
+  };
+  const double gx = x * static_cast<double>(gridSide - 3);
+  const double gy = y * static_cast<double>(gridSide - 3);
+  const double gz = z * static_cast<double>(gridSide - 3);
+  const int ix = static_cast<int>(gx);
+  const int iy = static_cast<int>(gy);
+  const int iz = static_cast<int>(gz);
+  const double tx = gx - ix;
+  const double ty = gy - iy;
+  const double tz = gz - iz;
+  double value = 0.0;
+  for (int a = 0; a < 4; ++a) {
+    const double wa = weight(tx, a);
+    for (int b = 0; b < 4; ++b) {
+      const double wb = weight(ty, b);
+      for (int c = 0; c < 4; ++c) {
+        const std::size_t idx =
+            (static_cast<std::size_t>(ix + a) * static_cast<std::size_t>(gridSide) +
+             static_cast<std::size_t>(iy + b)) *
+                static_cast<std::size_t>(gridSide) +
+            static_cast<std::size_t>(iz + c);
+        value += wa * wb * weight(tz, c) * table[idx];
+      }
+    }
+  }
+  return value;
+}
+
+}  // namespace
+
+MiniQmcResult runMiniQmc(const MiniQmcParams& params, mpisim::Comm* comm) {
+  if (params.threads < 1 || params.steps < 1 || params.walkersPerThread < 1 ||
+      params.tiling < 1 || params.electrons < 1) {
+    throw ConfigError("miniQMC: all parameters must be >= 1");
+  }
+
+  // Spline coefficient grid: side grows with the tiling (4 points per
+  // tile + padding), table size ~ side^3.
+  const int gridSide = 4 * params.tiling + 4;
+  std::vector<double> spline(static_cast<std::size_t>(gridSide) *
+                             static_cast<std::size_t>(gridSide) *
+                             static_cast<std::size_t>(gridSide));
+  stats::SplitMix64 seedRng(params.seed);
+  for (double& c : spline) {
+    c = seedRng.nextDouble() - 0.5;
+  }
+
+  // Per-thread walker populations.
+  std::vector<std::vector<Walker>> populations(
+      static_cast<std::size_t>(params.threads));
+  for (int t = 0; t < params.threads; ++t) {
+    for (int w = 0; w < params.walkersPerThread; ++w) {
+      populations[static_cast<std::size_t>(t)].emplace_back(
+          params.electrons,
+          params.seed ^ (static_cast<std::uint64_t>(t) << 32) ^
+              static_cast<std::uint64_t>(w));
+    }
+  }
+
+  openmp::ThreadTeam team(params.threads);
+  const auto start = std::chrono::steady_clock::now();
+
+  for (int step = 0; step < params.steps; ++step) {
+    // Each parallel region is one MC step; the implicit join is the team
+    // barrier the monitor observes.
+    team.parallel([&](int threadNum, int) {
+      for (Walker& walker : populations[static_cast<std::size_t>(threadNum)]) {
+        for (int e = 0; e < params.electrons; ++e) {
+          const auto base = static_cast<std::size_t>(e) * 3;
+          const double ox = walker.positions[base];
+          const double oy = walker.positions[base + 1];
+          const double oz = walker.positions[base + 2];
+          const double before = evaluateSpline(spline, gridSide, ox, oy, oz);
+
+          auto jitter = [&](double v) {
+            v += (walker.rng.nextDouble() - 0.5) * 0.1;
+            if (v < 0.0) v += 1.0;
+            if (v >= 1.0) v -= 1.0;
+            return v;
+          };
+          const double nx = jitter(ox);
+          const double ny = jitter(oy);
+          const double nz = jitter(oz);
+          const double after = evaluateSpline(spline, gridSide, nx, ny, nz);
+
+          ++walker.proposed;
+          // Metropolis on |psi|^2 proxy.
+          const double ratio = (after * after + 1e-12) /
+                               (before * before + 1e-12);
+          if (ratio >= 1.0 || walker.rng.nextDouble() < ratio) {
+            walker.positions[base] = nx;
+            walker.positions[base + 1] = ny;
+            walker.positions[base + 2] = nz;
+            walker.energy += after;
+            ++walker.accepted;
+          } else {
+            walker.energy += before;
+          }
+        }
+      }
+    });
+
+    if (params.haloExchange && comm != nullptr && comm->size() > 1) {
+      // Exchange per-rank walker energy summaries with both neighbours —
+      // the nearest-neighbour traffic the Figure 5 heatmap shows.
+      std::vector<double> summary(populations.size());
+      for (std::size_t t = 0; t < populations.size(); ++t) {
+        for (const Walker& w : populations[t]) {
+          summary[t] += w.energy;
+        }
+      }
+      const int next = (comm->rank() + 1) % comm->size();
+      const int prev = (comm->rank() + comm->size() - 1) % comm->size();
+      std::vector<double> fromPrev(summary.size());
+      std::vector<double> fromNext(summary.size());
+      comm->send(next, summary, /*tag=*/step * 2);
+      comm->send(prev, summary, /*tag=*/step * 2 + 1);
+      comm->recv(prev, fromPrev, /*tag=*/step * 2);
+      comm->recv(next, fromNext, /*tag=*/step * 2 + 1);
+    }
+  }
+
+  MiniQmcResult result;
+  result.seconds = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+  std::uint64_t accepted = 0;
+  std::uint64_t proposed = 0;
+  for (const auto& population : populations) {
+    for (const Walker& w : population) {
+      accepted += w.accepted;
+      proposed += w.proposed;
+      result.localEnergy += w.energy;
+    }
+  }
+  result.moves = proposed;
+  result.acceptanceRatio =
+      proposed > 0 ? static_cast<double>(accepted) /
+                         static_cast<double>(proposed)
+                   : 0.0;
+  if (comm != nullptr && comm->size() > 1) {
+    result.localEnergy = comm->allreduceSum(result.localEnergy);
+  }
+  return result;
+}
+
+}  // namespace zerosum::proxyapps

@@ -1,0 +1,49 @@
+// miniQMC proxy: a real-compute stand-in for the ECP miniQMC application
+// the paper evaluates with (§4).
+//
+// The kernel reproduces the *shape* of real-space quantum Monte Carlo that
+// matters to a monitor: a team of OpenMP threads (our openmp substrate),
+// each advancing a set of walkers; every step evaluates a B-spline-like
+// basis (genuine floating-point work), applies a Metropolis accept/reject,
+// and ends in a team barrier; optionally ranks exchange walker summaries
+// point-to-point through the mpisim substrate.  Problem size follows
+// miniQMC's [nx,ny,nz] tiling convention.
+#pragma once
+
+#include <cstdint>
+
+#include "mpisim/comm.hpp"
+
+namespace zerosum::proxyapps {
+
+struct MiniQmcParams {
+  /// OpenMP team size, including the master thread ("walkers are
+  /// controlled by the number of threads" — paper §3.4).
+  int threads = 4;
+  /// Outer Monte-Carlo steps.
+  int steps = 50;
+  int walkersPerThread = 2;
+  /// Tiling [n,n,n]: spline table scales with n^3 (paper uses [2,2,2]).
+  int tiling = 2;
+  /// Electrons per walker.
+  int electrons = 32;
+  /// Exchange walker summaries with neighbour ranks each step (requires a
+  /// Comm).
+  bool haloExchange = false;
+  std::uint64_t seed = 20230912;
+};
+
+struct MiniQmcResult {
+  double seconds = 0.0;        ///< wall-clock (self-reported runtime)
+  double acceptanceRatio = 0.0;
+  double localEnergy = 0.0;    ///< accumulated pseudo-energy (checksum)
+  std::uint64_t moves = 0;
+};
+
+/// Runs the proxy on the calling process.  When `comm` is non-null the
+/// rank participates in per-step halo exchanges and a final energy
+/// all-reduce; otherwise it runs standalone.
+MiniQmcResult runMiniQmc(const MiniQmcParams& params,
+                         mpisim::Comm* comm = nullptr);
+
+}  // namespace zerosum::proxyapps

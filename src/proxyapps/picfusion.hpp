@@ -1,0 +1,47 @@
+// picfusion: a gyrokinetic particle-in-cell proxy — the second workload of
+// the paper's evaluation (Figure 5 shows "MPI point-to-point heatmap data
+// of a gyrokinetic particle-in-cell code [XGC] launched with 512 ranks").
+//
+// Each rank owns a poloidal segment of a 1-D torus: a particle population
+// and a field mesh.  A step is
+//   push      — real floating-point particle advance in the local field,
+//   shift     — particles leaving the segment are sent to the ±1
+//               neighbours (the heavy near-diagonal traffic),
+//   fieldSolve— a Jacobi smoothing exchange with the matching rank of the
+//               adjacent planes (±ranksPerPlane, the faint bands),
+//   collisions— occasional long-range moment exchange (sparse background).
+// Run under mpisim with the interposition recorders attached, the traffic
+// reproduces the Figure 5 structure with real message payloads.
+#pragma once
+
+#include <cstdint>
+
+#include "mpisim/comm.hpp"
+
+namespace zerosum::proxyapps {
+
+struct PicParams {
+  int steps = 10;
+  int particlesPerRank = 2000;
+  int cellsPerRank = 64;
+  /// Ranks per poloidal plane (plane-coupling distance for field solves).
+  int ranksPerPlane = 8;
+  /// Fraction of the collision-moment exchange steps (sparse background).
+  double collisionProbability = 0.10;
+  std::uint64_t seed = 20231112;
+};
+
+struct PicResult {
+  double seconds = 0.0;
+  /// Total particles this rank sent to neighbours over the run.
+  std::uint64_t particlesShifted = 0;
+  /// Field residual after the final solve (checksum-grade).
+  double fieldResidual = 0.0;
+  /// Sum of particle kinetic-energy proxy (global after the allreduce).
+  double energy = 0.0;
+};
+
+/// Runs the proxy as one rank of `comm`'s world.  Requires >= 2 ranks.
+PicResult runPicFusion(const PicParams& params, mpisim::Comm& comm);
+
+}  // namespace zerosum::proxyapps

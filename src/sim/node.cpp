@@ -1,0 +1,467 @@
+#include "sim/node.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace zerosum::sim {
+
+char stateCode(TaskState state) {
+  switch (state) {
+    case TaskState::kRunning:
+    case TaskState::kRunnable:
+      return 'R';
+    case TaskState::kSleeping:
+      return 'S';
+    case TaskState::kDone:
+      return 'Z';
+  }
+  return '?';
+}
+
+std::uint64_t SimProcess::rssBytes(Jiffies now) const {
+  if (now <= spawnTick || rssRampJiffies == 0) {
+    return rssStartBytes;
+  }
+  const Jiffies age = now - spawnTick;
+  if (age >= rssRampJiffies) {
+    return rssTargetBytes;
+  }
+  const double frac =
+      static_cast<double>(age) / static_cast<double>(rssRampJiffies);
+  const double lo = static_cast<double>(rssStartBytes);
+  const double hi = static_cast<double>(rssTargetBytes);
+  return static_cast<std::uint64_t>(lo + frac * (hi - lo));
+}
+
+SimNode::SimNode(CpuSet hwts, std::uint64_t memTotalBytes,
+                 SchedulerParams params, std::uint64_t seed)
+    : hwts_(hwts),
+      hwtList_(hwts.toVector()),
+      memTotal_(memTotalBytes),
+      systemMemUsed_(memTotalBytes / 64),  // kernel + services baseline
+      params_(params),
+      rng_(seed) {
+  if (hwtList_.empty()) {
+    throw ConfigError("SimNode requires at least one hardware thread");
+  }
+  for (std::size_t hwt : hwtList_) {
+    hwtCounters_[hwt] = HwtCounters{};
+  }
+}
+
+Pid SimNode::spawnProcess(const std::string& name, const CpuSet& affinity) {
+  if (!affinity.empty() && !hwts_.containsAll(affinity)) {
+    throw ConfigError("process affinity includes HWTs absent from the node");
+  }
+  const Pid pid = nextPid_++;
+  SimProcess proc;
+  proc.pid = pid;
+  proc.name = name;
+  proc.affinity = affinity.empty() ? hwts_ : affinity;
+  proc.spawnTick = now_;
+  processes_[pid] = std::move(proc);
+  return pid;
+}
+
+Tid SimNode::spawnTask(Pid pid, const std::string& name, LwpType type,
+                       const Behavior& behavior, const CpuSet& affinity) {
+  auto procIt = processes_.find(pid);
+  if (procIt == processes_.end()) {
+    throw NotFoundError("pid " + std::to_string(pid));
+  }
+  if (behavior.teamId >= 0 &&
+      static_cast<std::size_t>(behavior.teamId) >= teams_.size()) {
+    throw ConfigError("behavior references unknown team " +
+                      std::to_string(behavior.teamId));
+  }
+  SimProcess& proc = procIt->second;
+  const Tid tid = proc.tasks.empty() ? pid : nextPid_++;
+
+  auto task = std::make_unique<SimTask>();
+  task->tid = tid;
+  task->pid = pid;
+  task->name = name;
+  task->type = type;
+  task->affinity = affinity.empty() ? proc.affinity : affinity;
+  if (!hwts_.containsAll(task->affinity)) {
+    throw ConfigError("task affinity includes HWTs absent from the node");
+  }
+  task->behavior = behavior;
+  task->state = TaskState::kSleeping;
+  task->wakeTick = now_ + behavior.startDelayJiffies;
+  proc.tasks.push_back(tid);
+  tasks_[tid] = std::move(task);
+  return tid;
+}
+
+void SimNode::setTaskAffinity(Tid tid, const CpuSet& affinity) {
+  if (affinity.empty()) {
+    throw ConfigError("cannot set an empty task affinity");
+  }
+  if (!hwts_.containsAll(affinity)) {
+    throw ConfigError("task affinity includes HWTs absent from the node");
+  }
+  SimTask& task = taskRef(tid);
+  task.affinity = affinity;
+  // A running task whose current HWT is no longer allowed is pulled off at
+  // once (the kernel migrates on sched_setaffinity the same way).
+  if (task.state == TaskState::kRunning && task.lastCpu >= 0 &&
+      !affinity.test(static_cast<std::size_t>(task.lastCpu))) {
+    task.state = TaskState::kRunnable;
+  }
+}
+
+void SimNode::setProcessRssModel(Pid pid, std::uint64_t startBytes,
+                                 std::uint64_t targetBytes,
+                                 Jiffies rampJiffies) {
+  auto it = processes_.find(pid);
+  if (it == processes_.end()) {
+    throw NotFoundError("pid " + std::to_string(pid));
+  }
+  it->second.rssStartBytes = startBytes;
+  it->second.rssTargetBytes = targetBytes;
+  it->second.rssRampJiffies = rampJiffies;
+}
+
+TeamId SimNode::createTeam(int members) {
+  if (members < 1) {
+    throw ConfigError("team needs at least one member");
+  }
+  Team team;
+  team.expected = members;
+  teams_.push_back(team);
+  return static_cast<TeamId>(teams_.size() - 1);
+}
+
+Jiffies SimNode::jitteredBurst(const Behavior& behavior) {
+  if (behavior.workJitter <= 0.0 || behavior.iterWorkJiffies == 0) {
+    return behavior.iterWorkJiffies;
+  }
+  const double u = rng_.nextDouble() * 2.0 - 1.0;
+  const double scaled =
+      static_cast<double>(behavior.iterWorkJiffies) *
+      (1.0 + behavior.workJitter * u);
+  return std::max<Jiffies>(1, static_cast<Jiffies>(scaled + 0.5));
+}
+
+void SimNode::terminateProcess(Pid pid) {
+  for (Tid tid : process(pid).tasks) {
+    SimTask& t = taskRef(tid);
+    if (!t.finished()) {
+      t.state = TaskState::kDone;
+      t.inBarrier = false;
+    }
+  }
+}
+
+SimTask& SimNode::taskRef(Tid tid) {
+  auto it = tasks_.find(tid);
+  if (it == tasks_.end()) {
+    throw NotFoundError("tid " + std::to_string(tid));
+  }
+  return *it->second;
+}
+
+const SimTask& SimNode::task(Tid tid) const {
+  auto it = tasks_.find(tid);
+  if (it == tasks_.end()) {
+    throw NotFoundError("tid " + std::to_string(tid));
+  }
+  return *it->second;
+}
+
+const SimProcess& SimNode::process(Pid pid) const {
+  auto it = processes_.find(pid);
+  if (it == processes_.end()) {
+    throw NotFoundError("pid " + std::to_string(pid));
+  }
+  return it->second;
+}
+
+std::vector<Pid> SimNode::processIds() const {
+  std::vector<Pid> out;
+  out.reserve(processes_.size());
+  for (const auto& [pid, proc] : processes_) {
+    out.push_back(pid);
+  }
+  return out;
+}
+
+std::vector<Tid> SimNode::taskIds(Pid pid) const { return process(pid).tasks; }
+
+const HwtCounters& SimNode::hwtCounters(std::size_t puOsIndex) const {
+  auto it = hwtCounters_.find(puOsIndex);
+  if (it == hwtCounters_.end()) {
+    throw NotFoundError("HWT " + std::to_string(puOsIndex));
+  }
+  return it->second;
+}
+
+std::uint64_t SimNode::memFreeBytes() const {
+  std::uint64_t used = systemMemUsed_;
+  for (const auto& [pid, proc] : processes_) {
+    used += proc.rssBytes(now_);
+  }
+  if (used >= memTotal_) {
+    return 0;
+  }
+  return memTotal_ - used;
+}
+
+void SimNode::setSystemMemoryUsage(std::uint64_t bytes) {
+  systemMemUsed_ = bytes;
+}
+
+SimNode::LoadAverages SimNode::loadAverages() const {
+  LoadAverages out;
+  out.load1 = load1_;
+  out.load5 = load5_;
+  out.load15 = load15_;
+  for (const auto& [tid, taskPtr] : tasks_) {
+    if (taskPtr->finished()) {
+      continue;
+    }
+    ++out.total;
+    if (taskPtr->state == TaskState::kRunning ||
+        taskPtr->state == TaskState::kRunnable) {
+      ++out.runnable;
+    }
+  }
+  return out;
+}
+
+bool SimNode::processFinished(Pid pid) const {
+  for (Tid tid : process(pid).tasks) {
+    const SimTask& t = task(tid);
+    if (!t.behavior.isDaemon() && !t.finished()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool SimNode::allWorkFinished() const {
+  for (const auto& [tid, task] : tasks_) {
+    if (!task->behavior.isDaemon() && !task->finished()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void SimNode::advance(Jiffies jiffies) {
+  for (Jiffies i = 0; i < jiffies; ++i) {
+    tick();
+    ++now_;
+  }
+}
+
+void SimNode::wakeSleepers() {
+  for (auto& [tid, taskPtr] : tasks_) {
+    SimTask& t = *taskPtr;
+    if (t.state != TaskState::kSleeping || t.wakeTick > now_ || t.inBarrier) {
+      continue;
+    }
+    if (t.behavior.iterWorkJiffies == 0) {
+      // Pure sleeper (e.g. an idle helper thread): wakes, finds nothing to
+      // do, and immediately blocks again — one voluntary switch per cycle.
+      ++t.voluntaryCtx;
+      const Jiffies napLen =
+          t.behavior.blockJiffies > 0 ? t.behavior.blockJiffies : kHz;
+      t.wakeTick = now_ + napLen;
+      continue;
+    }
+    t.state = TaskState::kRunnable;
+    t.burstRemaining = jitteredBurst(t.behavior);
+    t.sliceUsed = 0;
+  }
+}
+
+void SimNode::accountFaults(SimTask& task) {
+  task.minfltAcc += task.behavior.minorFaultsPerJiffy;
+  while (task.minfltAcc >= 1.0) {
+    ++task.minorFaults;
+    task.minfltAcc -= 1.0;
+  }
+  task.majfltAcc += task.behavior.majorFaultsPerKJiffy / 1000.0;
+  while (task.majfltAcc >= 1.0) {
+    ++task.majorFaults;
+    task.majfltAcc -= 1.0;
+  }
+}
+
+void SimNode::blockTask(SimTask& task) {
+  ++task.voluntaryCtx;
+  task.state = TaskState::kSleeping;
+  task.wakeTick = now_ + std::max<Jiffies>(1, task.behavior.blockJiffies);
+}
+
+void SimNode::arriveBarrier(SimTask& task) {
+  Team& team = teams_[static_cast<std::size_t>(task.behavior.teamId)];
+  if (static_cast<int>(team.waiting.size()) + 1 >= team.expected) {
+    // Last arriver releases everyone.  When the behaviour also carries a
+    // blockJiffies (modelling a GPU-offload synchronization after the team
+    // step), released members sleep it out before their next burst.
+    for (Tid waiterTid : team.waiting) {
+      SimTask& waiter = taskRef(waiterTid);
+      waiter.inBarrier = false;
+      waiter.burstRemaining = jitteredBurst(waiter.behavior);
+      waiter.sliceUsed = 0;
+      if (waiter.behavior.blockJiffies > 0) {
+        waiter.state = TaskState::kSleeping;
+        waiter.wakeTick = now_ + waiter.behavior.blockJiffies;
+      } else {
+        waiter.state = TaskState::kRunnable;
+      }
+    }
+    team.waiting.clear();
+    if (task.behavior.blockJiffies > 0) {
+      blockTask(task);
+    } else {
+      task.burstRemaining = jitteredBurst(task.behavior);
+    }
+  } else {
+    team.waiting.push_back(task.tid);
+    task.inBarrier = true;
+    ++task.voluntaryCtx;
+    task.state = TaskState::kSleeping;
+    task.wakeTick = std::numeric_limits<Jiffies>::max();
+  }
+}
+
+SimTask* SimNode::pickNext(std::size_t hwt, const std::vector<Tid>& runnable) {
+  SimTask* best = nullptr;
+  for (Tid tid : runnable) {
+    SimTask& t = taskRef(tid);
+    if (t.state != TaskState::kRunnable || !t.affinity.test(hwt)) {
+      continue;
+    }
+    if (best == nullptr || t.vruntime < best->vruntime ||
+        (t.vruntime == best->vruntime &&
+         t.lastCpu == static_cast<int>(hwt) &&
+         best->lastCpu != static_cast<int>(hwt))) {
+      best = &t;
+    }
+  }
+  return best;
+}
+
+void SimNode::tick() {
+  wakeSleepers();
+
+  // Kernel-style load accounting: EMA of the run-queue length (running +
+  // runnable tasks) over 1/5/15 minutes of virtual time.
+  {
+    int demand = 0;
+    for (const auto& [tid, taskPtr] : tasks_) {
+      if (taskPtr->state == TaskState::kRunning ||
+          taskPtr->state == TaskState::kRunnable) {
+        ++demand;
+      }
+    }
+    const double n = static_cast<double>(demand);
+    const double hz = static_cast<double>(kHz);
+    load1_ += (n - load1_) / (60.0 * hz);
+    load5_ += (n - load5_) / (300.0 * hz);
+    load15_ += (n - load15_) / (900.0 * hz);
+  }
+
+  // Remove tasks that blocked or finished from their HWTs.
+  for (auto it = running_.begin(); it != running_.end();) {
+    if (taskRef(it->second).state != TaskState::kRunning) {
+      it = running_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  // Runnable pool (not currently placed).
+  std::vector<Tid> runnable;
+  for (auto& [tid, taskPtr] : tasks_) {
+    if (taskPtr->state == TaskState::kRunnable) {
+      runnable.push_back(tid);
+    }
+  }
+
+  for (std::size_t hwt : hwtList_) {
+    SimTask* current = nullptr;
+    if (auto it = running_.find(hwt); it != running_.end()) {
+      current = &taskRef(it->second);
+    }
+
+    // Is anyone waiting who may run here?
+    SimTask* waiter = pickNext(hwt, runnable);
+
+    bool preempt = false;
+    if (current != nullptr && waiter != nullptr) {
+      const bool sliceExpired = current->sliceUsed >= params_.timesliceJiffies;
+      const bool wakeupPreempt =
+          waiter->vruntime + params_.wakeupPreemptMargin < current->vruntime;
+      preempt = sliceExpired || wakeupPreempt;
+    }
+
+    if (preempt) {
+      ++current->nonvoluntaryCtx;
+      current->state = TaskState::kRunnable;
+      current->sliceUsed = 0;
+      runnable.push_back(current->tid);
+      running_.erase(hwt);
+      current = nullptr;
+    }
+
+    if (current == nullptr && waiter != nullptr) {
+      waiter->state = TaskState::kRunning;
+      if (waiter->lastCpu >= 0 && waiter->lastCpu != static_cast<int>(hwt)) {
+        ++waiter->migrations;
+      }
+      waiter->lastCpu = static_cast<int>(hwt);
+      waiter->sliceUsed = 0;
+      running_[hwt] = waiter->tid;
+      current = waiter;
+    }
+
+    HwtCounters& counters = hwtCounters_[hwt];
+    if (current == nullptr) {
+      ++counters.idle;
+      continue;
+    }
+
+    // Execute one jiffy.
+    SimTask& t = *current;
+    t.vruntime += 1.0;
+    ++t.sliceUsed;
+    t.stimeAcc += t.behavior.systemFraction;
+    if (t.stimeAcc >= 1.0) {
+      ++t.stime;
+      ++counters.system;
+      t.stimeAcc -= 1.0;
+    } else {
+      ++t.utime;
+      ++counters.user;
+    }
+    accountFaults(t);
+
+    if (t.burstRemaining > 0) {
+      --t.burstRemaining;
+    }
+    if (t.burstRemaining == 0) {
+      ++t.iterationsDone;
+      const bool workDone = !t.behavior.isDaemon() &&
+                            t.iterationsDone >= t.behavior.iterations;
+      if (workDone) {
+        ++t.voluntaryCtx;  // exit is a voluntary switch
+        t.state = TaskState::kDone;
+      } else if (t.behavior.teamId >= 0) {
+        arriveBarrier(t);
+      } else if (t.behavior.blockJiffies > 0 || t.behavior.isDaemon()) {
+        blockTask(t);
+      } else {
+        t.burstRemaining = jitteredBurst(t.behavior);  // back-to-back bursts
+      }
+    }
+  }
+}
+
+}  // namespace zerosum::sim

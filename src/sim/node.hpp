@@ -1,0 +1,191 @@
+// SimNode: a discrete-time model of one compute node.
+//
+// The simulator is single-threaded and fully deterministic: advance() moves
+// the clock forward one jiffy at a time, running a CFS-like scheduler over
+// the node's hardware threads.  All quantities ZeroSum observes through
+// /proc are first-class state here; procfs::SimProcFs renders them in the
+// kernel's text formats so ZeroSum's parsers run unchanged.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/cpuset.hpp"
+#include "common/stats.hpp"
+#include "sim/types.hpp"
+
+namespace zerosum::sim {
+
+/// Per-HWT jiffy accounting (the /proc/stat "cpuN" line).
+struct HwtCounters {
+  Jiffies user = 0;
+  Jiffies system = 0;
+  Jiffies idle = 0;
+};
+
+/// One light-weight process.
+struct SimTask {
+  Tid tid = 0;
+  Pid pid = 0;
+  std::string name;
+  LwpType type = LwpType::kOther;
+  CpuSet affinity;
+  Behavior behavior;
+  TaskState state = TaskState::kSleeping;
+
+  // /proc-observable counters.
+  Jiffies utime = 0;
+  Jiffies stime = 0;
+  std::uint64_t voluntaryCtx = 0;
+  std::uint64_t nonvoluntaryCtx = 0;
+  std::uint64_t minorFaults = 0;
+  std::uint64_t majorFaults = 0;
+  int lastCpu = -1;
+  std::uint64_t migrations = 0;
+
+  // Scheduler-internal progress state.
+  std::uint64_t iterationsDone = 0;
+  Jiffies burstRemaining = 0;
+  Jiffies wakeTick = 0;
+  Jiffies sliceUsed = 0;
+  double vruntime = 0.0;
+  double stimeAcc = 0.0;   // fractional stime carry
+  double minfltAcc = 0.0;  // fractional fault carries
+  double majfltAcc = 0.0;
+  bool inBarrier = false;
+
+  [[nodiscard]] bool finished() const { return state == TaskState::kDone; }
+};
+
+struct SimProcess {
+  Pid pid = 0;
+  std::string name;
+  CpuSet affinity;
+  std::vector<Tid> tasks;
+  /// Resident set model: rss ramps linearly from rssStartBytes toward
+  /// rssTargetBytes over rssRampJiffies of process lifetime.
+  std::uint64_t rssStartBytes = 16ULL << 20;
+  std::uint64_t rssTargetBytes = 16ULL << 20;
+  Jiffies rssRampJiffies = 1;
+  Jiffies spawnTick = 0;
+
+  [[nodiscard]] std::uint64_t rssBytes(Jiffies now) const;
+};
+
+/// Scheduler tuning.
+struct SchedulerParams {
+  /// Continuous jiffies a task may hold a HWT while others wait; expiry
+  /// with waiters present is a non-voluntary context switch.
+  Jiffies timesliceJiffies = 6;
+  /// A waking task preempts the current one when its vruntime is lower by
+  /// this margin (models CFS wakeup preemption — the mechanism behind the
+  /// nvctx=208 on the core the ZeroSum thread shares in Table 3).
+  double wakeupPreemptMargin = 1.0;
+};
+
+class SimNode {
+ public:
+  /// `hwts` — the PU OS indexes that exist on the node (from a Topology).
+  /// `memTotalBytes` — node memory for the meminfo model.
+  SimNode(CpuSet hwts, std::uint64_t memTotalBytes,
+          SchedulerParams params = {}, std::uint64_t seed = 0x5eed);
+
+  // --- Construction of the software tree --------------------------------
+  Pid spawnProcess(const std::string& name, const CpuSet& affinity);
+  /// Spawns an LWP inside a process.  Empty affinity inherits the process
+  /// affinity.  Returns the new tid (tids are globally unique; the first
+  /// task of a process gets tid == pid, like the Linux main thread).
+  Tid spawnTask(Pid pid, const std::string& name, LwpType type,
+                const Behavior& behavior, const CpuSet& affinity = {});
+  void setTaskAffinity(Tid tid, const CpuSet& affinity);
+  void setProcessRssModel(Pid pid, std::uint64_t startBytes,
+                          std::uint64_t targetBytes, Jiffies rampJiffies);
+
+  /// Registers a barrier team with an expected arrival count.  Tasks whose
+  /// Behavior names this team block at the barrier until all `members`
+  /// arrive, then all release (one scheduler iteration later).
+  TeamId createTeam(int members);
+
+  /// Kills a process: every task (daemons included) exits immediately.
+  /// The §3.3 endgame — a detector that finds a wedged job can terminate
+  /// it "to prevent wasting of allocation resources".
+  void terminateProcess(Pid pid);
+
+  // --- Time --------------------------------------------------------------
+  void advance(Jiffies jiffies);
+  [[nodiscard]] Jiffies now() const { return now_; }
+  [[nodiscard]] double nowSeconds() const {
+    return static_cast<double>(now_) / static_cast<double>(kHz);
+  }
+
+  /// True when every non-daemon task of the process has completed.
+  [[nodiscard]] bool processFinished(Pid pid) const;
+  /// True when every non-daemon task on the node has completed.
+  [[nodiscard]] bool allWorkFinished() const;
+
+  // --- Observation (what /proc exposes) ----------------------------------
+  [[nodiscard]] std::vector<Pid> processIds() const;
+  [[nodiscard]] const SimProcess& process(Pid pid) const;
+  [[nodiscard]] std::vector<Tid> taskIds(Pid pid) const;
+  [[nodiscard]] const SimTask& task(Tid tid) const;
+  [[nodiscard]] const CpuSet& hwts() const { return hwts_; }
+  [[nodiscard]] const HwtCounters& hwtCounters(std::size_t puOsIndex) const;
+
+  [[nodiscard]] std::uint64_t memTotalBytes() const { return memTotal_; }
+  /// Node free memory: total minus system baseline minus all process RSS.
+  [[nodiscard]] std::uint64_t memFreeBytes() const;
+  /// Extra non-application consumption (the "noisy neighbour" knob used by
+  /// the OOM-attribution tests, paper §3.5).
+  void setSystemMemoryUsage(std::uint64_t bytes);
+
+  /// Exponentially-averaged run-queue lengths, kernel-style (1/5/15 min
+  /// windows of virtual time), plus instantaneous runnable/total counts.
+  struct LoadAverages {
+    double load1 = 0.0;
+    double load5 = 0.0;
+    double load15 = 0.0;
+    int runnable = 0;
+    int total = 0;
+  };
+  [[nodiscard]] LoadAverages loadAverages() const;
+
+ private:
+  struct Team {
+    int expected = 0;
+    std::vector<Tid> waiting;
+  };
+
+  SimTask& taskRef(Tid tid);
+  [[nodiscard]] Jiffies jitteredBurst(const Behavior& behavior);
+  void tick();
+  void wakeSleepers();
+  void accountFaults(SimTask& task);
+  void blockTask(SimTask& task);
+  void arriveBarrier(SimTask& task);
+  [[nodiscard]] SimTask* pickNext(std::size_t hwt,
+                                  const std::vector<Tid>& runnable);
+
+  CpuSet hwts_;
+  std::vector<std::size_t> hwtList_;  // ascending PU os indexes
+  std::uint64_t memTotal_;
+  std::uint64_t systemMemUsed_;
+  SchedulerParams params_;
+  stats::SplitMix64 rng_;
+
+  Jiffies now_ = 0;
+  Pid nextPid_ = 1000;
+  std::map<Pid, SimProcess> processes_;
+  std::map<Tid, std::unique_ptr<SimTask>> tasks_;
+  std::vector<Team> teams_;
+  std::map<std::size_t, Tid> running_;  // hwt -> tid currently placed
+  std::map<std::size_t, HwtCounters> hwtCounters_;
+  double load1_ = 0.0;
+  double load5_ = 0.0;
+  double load15_ = 0.0;
+};
+
+}  // namespace zerosum::sim

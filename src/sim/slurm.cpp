@@ -1,0 +1,195 @@
+#include "sim/slurm.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace zerosum::sim::slurm {
+
+namespace {
+
+/// Non-reserved cores in ascending OS-index order, each with the PUs the
+/// job may use on it (limited to threadsPerCore SMT siblings, lowest OS
+/// index first — the kernel's "first" hyperthread convention).
+struct UsableCore {
+  int coreOsIndex = 0;
+  CpuSet pus;
+  int numaDomain = 0;
+};
+
+std::vector<UsableCore> usableCores(const topology::Topology& topo,
+                                    int threadsPerCore) {
+  std::map<int, std::vector<std::size_t>> coreToPus;
+  for (std::size_t pu : topo.availablePus().toVector()) {
+    coreToPus[topo.coreOfPu(pu)].push_back(pu);
+  }
+  std::vector<UsableCore> out;
+  out.reserve(coreToPus.size());
+  for (auto& [core, pus] : coreToPus) {
+    std::sort(pus.begin(), pus.end());
+    UsableCore uc;
+    uc.coreOsIndex = core;
+    const auto keep =
+        std::min<std::size_t>(pus.size(), static_cast<std::size_t>(threadsPerCore));
+    for (std::size_t i = 0; i < keep; ++i) {
+      uc.pus.set(pus[i]);
+    }
+    uc.numaDomain = topo.numaOfPu(pus.front());
+    out.push_back(std::move(uc));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<TaskPlacement> planSrun(const topology::Topology& topo,
+                                    const SrunArgs& args) {
+  if (args.ntasks < 1 || args.cpusPerTask < 1 || args.threadsPerCore < 1) {
+    throw ConfigError("planSrun: counts must be >= 1");
+  }
+  const auto cores = usableCores(topo, args.threadsPerCore);
+  const std::size_t needed =
+      static_cast<std::size_t>(args.ntasks) *
+      static_cast<std::size_t>(args.cpusPerTask);
+  if (cores.size() < needed) {
+    throw ConfigError("planSrun: need " + std::to_string(needed) +
+                      " cores but only " + std::to_string(cores.size()) +
+                      " are available on " + topo.name());
+  }
+
+  std::vector<TaskPlacement> plan;
+  plan.reserve(static_cast<std::size_t>(args.ntasks));
+  std::size_t cursor = 0;
+  for (int rank = 0; rank < args.ntasks; ++rank) {
+    TaskPlacement tp;
+    tp.rank = rank;
+    for (int c = 0; c < args.cpusPerTask; ++c) {
+      tp.cpus |= cores[cursor].pus;
+      if (c == 0) {
+        tp.numaDomain = cores[cursor].numaDomain;
+      }
+      ++cursor;
+    }
+    plan.push_back(std::move(tp));
+  }
+
+  if (args.gpusPerTask > 0) {
+    if (!args.gpuBindClosest) {
+      // Simple global round-robin by visible index.
+      std::vector<int> visible;
+      for (const auto& gpu : topo.gpus()) {
+        visible.push_back(gpu.visibleIndex);
+      }
+      std::sort(visible.begin(), visible.end());
+      if (visible.empty()) {
+        throw ConfigError("planSrun: GPUs requested on a GPU-less node");
+      }
+      std::size_t gpuCursor = 0;
+      for (auto& tp : plan) {
+        for (int g = 0; g < args.gpusPerTask; ++g) {
+          tp.gpuVisibleIndexes.push_back(
+              visible[gpuCursor++ % visible.size()]);
+        }
+      }
+    } else {
+      // Closest binding: each task draws from its NUMA domain's GPUs.
+      std::map<int, std::vector<int>> numaGpus;  // numa -> visible indexes
+      for (const auto& gpu : topo.gpus()) {
+        if (gpu.numaAffinity >= 0) {
+          numaGpus[gpu.numaAffinity].push_back(gpu.visibleIndex);
+        }
+      }
+      for (auto& [numa, list] : numaGpus) {
+        std::sort(list.begin(), list.end());
+      }
+      std::map<int, std::size_t> numaCursor;
+      for (auto& tp : plan) {
+        auto it = numaGpus.find(tp.numaDomain);
+        if (it == numaGpus.end() || it->second.empty()) {
+          throw ConfigError("planSrun: no GPU attached to NUMA domain " +
+                            std::to_string(tp.numaDomain) +
+                            " for closest binding");
+        }
+        for (int g = 0; g < args.gpusPerTask; ++g) {
+          std::size_t& cur = numaCursor[tp.numaDomain];
+          tp.gpuVisibleIndexes.push_back(it->second[cur % it->second.size()]);
+          ++cur;
+        }
+      }
+    }
+  }
+  return plan;
+}
+
+std::vector<CpuSet> planOmpBinding(const topology::Topology& topo,
+                                   const CpuSet& taskCpus, int nThreads,
+                                   OmpBind bind, OmpPlaces places) {
+  if (nThreads < 1) {
+    throw ConfigError("planOmpBinding: nThreads must be >= 1");
+  }
+  std::vector<CpuSet> out(static_cast<std::size_t>(nThreads));
+  if (bind == OmpBind::kNone) {
+    for (auto& cpus : out) {
+      cpus = taskCpus;
+    }
+    return out;
+  }
+
+  // Build the place list within the task cpuset.
+  std::vector<CpuSet> placeList;
+  if (places == OmpPlaces::kThreads) {
+    for (std::size_t pu : taskCpus.toVector()) {
+      placeList.push_back(CpuSet::of({pu}));
+    }
+  } else {
+    std::map<int, CpuSet> byCore;
+    for (std::size_t pu : taskCpus.toVector()) {
+      byCore[topo.coreOfPu(pu)].set(pu);
+    }
+    for (auto& [core, pus] : byCore) {
+      placeList.push_back(pus);
+    }
+  }
+  if (placeList.empty()) {
+    throw ConfigError("planOmpBinding: task cpuset is empty");
+  }
+
+  const std::size_t nPlaces = placeList.size();
+  const auto n = static_cast<std::size_t>(nThreads);
+  for (std::size_t t = 0; t < n; ++t) {
+    std::size_t idx = 0;
+    if (bind == OmpBind::kSpread) {
+      // Even distribution across the place list (OpenMP spread semantics).
+      idx = t * nPlaces / n;
+    } else {  // kClose
+      idx = t % nPlaces;
+    }
+    out[t] = placeList[idx];
+  }
+  return out;
+}
+
+std::string renderPlan(const std::vector<TaskPlacement>& plan) {
+  std::ostringstream out;
+  for (const auto& tp : plan) {
+    out << "rank " << strings::zeroPad(static_cast<std::uint64_t>(tp.rank), 3)
+        << "  numa " << tp.numaDomain << "  cpus [" << tp.cpus.toList()
+        << "]";
+    if (!tp.gpuVisibleIndexes.empty()) {
+      out << "  gpus ";
+      for (std::size_t i = 0; i < tp.gpuVisibleIndexes.size(); ++i) {
+        if (i != 0) {
+          out << ',';
+        }
+        out << tp.gpuVisibleIndexes[i];
+      }
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace zerosum::sim::slurm

@@ -1,0 +1,65 @@
+// Slurm-like job placement planning.
+//
+// The paper's evaluation varies exactly this: `srun -n8`, `srun -n8 -c7`,
+// and `-c7` plus OMP_PROC_BIND=spread/OMP_PLACES=cores.  This module models
+// the placement decisions those launches produce on a node — which PUs each
+// rank's process may use, which GPU it is handed with --gpu-bind=closest,
+// and where an OpenMP runtime binds each team thread.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/cpuset.hpp"
+#include "topology/hardware.hpp"
+
+namespace zerosum::sim::slurm {
+
+struct SrunArgs {
+  int ntasks = 1;          ///< -n
+  int cpusPerTask = 1;     ///< -c (cores per task)
+  int threadsPerCore = 1;  ///< #SBATCH --threads-per-core
+  int gpusPerTask = 0;     ///< --gpus-per-task
+  bool gpuBindClosest = false;  ///< --gpu-bind=closest
+};
+
+struct TaskPlacement {
+  int rank = 0;
+  /// PU OS indexes the rank's process is allowed on ("Cpus_allowed_list").
+  CpuSet cpus;
+  /// NUMA domain of the rank's first core.
+  int numaDomain = 0;
+  /// Visible indexes of assigned GPUs (empty when none requested).
+  std::vector<int> gpuVisibleIndexes;
+};
+
+/// Plans placements the way Slurm does on the modelled systems: walk
+/// non-reserved cores in ascending OS-index order, hand each task
+/// `cpusPerTask` consecutive cores, expose `threadsPerCore` PUs per core.
+/// With gpuBindClosest, tasks receive the GPUs attached to their NUMA
+/// domain, round-robin among the domain's tasks (reproducing Listing 2's
+/// rank-0 → visible GPU 0 → physical GCD 4 chain on Frontier).
+/// Throws ConfigError when the node cannot satisfy the request.
+std::vector<TaskPlacement> planSrun(const topology::Topology& topo,
+                                    const SrunArgs& args);
+
+enum class OmpBind { kNone, kClose, kSpread };
+enum class OmpPlaces { kCores, kThreads };
+
+/// Plans per-thread binding for an OpenMP team of `nThreads` (entry 0 is
+/// the master thread) within a task's allowed PUs:
+///   * kNone   — every thread inherits the task cpuset (Tables 1 and 2);
+///   * kSpread — threads are distributed across distinct places, farthest
+///     apart first (Table 3);
+///   * kClose  — threads pack onto consecutive places.
+/// With OmpPlaces::kCores a place is all PUs of one core; with kThreads a
+/// place is a single PU.
+std::vector<CpuSet> planOmpBinding(const topology::Topology& topo,
+                                   const CpuSet& taskCpus, int nThreads,
+                                   OmpBind bind, OmpPlaces places);
+
+/// Renders a placement plan as text (one line per rank) for logs and the
+/// node_explorer example.
+std::string renderPlan(const std::vector<TaskPlacement>& plan);
+
+}  // namespace zerosum::sim::slurm

@@ -1,0 +1,69 @@
+// Core identifiers and task behaviour descriptions for the node simulator.
+//
+// The simulator substitutes for the Frontier compute node in the paper's
+// evaluation: it reproduces the *observable* quantities ZeroSum reads from
+// /proc — per-LWP utime/stime jiffies, voluntary and non-voluntary context
+// switches, page-fault counters, last-executed CPU, per-HWT idle/system/user
+// jiffies — under a CFS-like time-sliced scheduler, so the three launch
+// configurations of Tables 1-3 regenerate deterministically.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/lwp_type.hpp"
+
+namespace zerosum::sim {
+
+using Pid = int;
+using Tid = int;
+using TeamId = int;
+using Jiffies = std::uint64_t;
+
+/// Scheduler tick rate.  Mirrors the kernel's USER_HZ: /proc jiffy counters
+/// advance at this rate.
+inline constexpr std::uint64_t kHz = 100;
+
+enum class TaskState {
+  kRunning,    ///< currently on a HWT ("R" running in /proc terms)
+  kRunnable,   ///< wants CPU, waiting in a run queue (also "R")
+  kSleeping,   ///< blocked: barrier wait, I/O, GPU sync ("S")
+  kDone,       ///< exited ("Z"/gone)
+};
+
+/// One-letter /proc state code ("R", "S", "Z").
+char stateCode(TaskState state);
+
+/// Declarative description of how a task consumes resources.
+///
+/// A task executes `iterations` rounds of `iterWorkJiffies` of CPU demand.
+/// Between rounds it either joins its team barrier (teamId >= 0) — sleeping
+/// until all team members arrive — or sleeps `blockJiffies` on its own
+/// (models GPU synchronization / I/O).  Tasks with iterations == 0 are
+/// daemons: they wake every `blockJiffies`, run `iterWorkJiffies`, and never
+/// complete (MPI helper threads, the ZeroSum monitor thread itself).
+struct Behavior {
+  std::uint64_t iterations = 1;
+  Jiffies iterWorkJiffies = 100;
+  Jiffies blockJiffies = 0;
+  TeamId teamId = -1;
+  /// Share of consumed CPU accounted as system time (syscalls); the rest is
+  /// user time.  Listing 2 shows ~12% system for offloading threads, ~1%
+  /// for pure compute.
+  double systemFraction = 0.02;
+  /// Per-burst work jitter: each burst draws its length uniformly from
+  /// iterWorkJiffies * [1-j, 1+j].  Models walker-level load imbalance —
+  /// the slack that lets a lightly perturbed thread stay off the critical
+  /// path (the paper's no-overhead observation for one thread per core).
+  double workJitter = 0.0;
+  double minorFaultsPerJiffy = 1.0;
+  double majorFaultsPerKJiffy = 0.0;  ///< major faults per 1000 cpu jiffies
+  Jiffies startDelayJiffies = 0;
+
+  [[nodiscard]] bool isDaemon() const { return iterations == 0; }
+  [[nodiscard]] Jiffies totalWork() const {
+    return iterations * iterWorkJiffies;
+  }
+};
+
+}  // namespace zerosum::sim

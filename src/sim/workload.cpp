@@ -1,0 +1,108 @@
+#include "sim/workload.hpp"
+
+#include "common/error.hpp"
+
+namespace zerosum::sim {
+
+BuiltRank buildMiniQmcRank(SimNode& node, const CpuSet& processCpus,
+                           const MiniQmcConfig& config,
+                           const CpuSet& nodeWideCpus) {
+  if (config.ompThreads < 1) {
+    throw ConfigError("miniQMC rank needs at least one thread");
+  }
+  if (!config.threadBinding.empty() &&
+      config.threadBinding.size() !=
+          static_cast<std::size_t>(config.ompThreads)) {
+    throw ConfigError("threadBinding size must equal ompThreads");
+  }
+
+  BuiltRank rank;
+  rank.pid = node.spawnProcess("miniqmc", processCpus);
+  node.setProcessRssModel(rank.pid, 64ULL << 20, config.rssTargetBytes,
+                          /*rampJiffies=*/10 * kHz);
+
+  const TeamId team = node.createTeam(config.ompThreads);
+
+  Behavior walker;
+  walker.iterations = config.steps;
+  walker.iterWorkJiffies = config.workPerStep;
+  walker.teamId = team;
+  walker.systemFraction = config.systemFraction;
+  walker.workJitter = config.workJitter;
+  walker.blockJiffies = config.gpuOffload ? config.offloadSyncJiffies : 0;
+  if (config.gpuOffload) {
+    walker.systemFraction = std::max(config.systemFraction, 0.125);
+  }
+  walker.minorFaultsPerJiffy = 1.5;
+
+  const CpuSet mainCpus =
+      config.threadBinding.empty() ? CpuSet{} : config.threadBinding[0];
+  rank.mainTid = node.spawnTask(rank.pid, "miniqmc", LwpType::kMain, walker,
+                                mainCpus);
+
+  for (int t = 1; t < config.ompThreads; ++t) {
+    Behavior worker = walker;
+    // Workers start when the first parallel region opens.
+    worker.startDelayJiffies = 2;
+    const CpuSet cpus = config.threadBinding.empty()
+                            ? CpuSet{}
+                            : config.threadBinding[static_cast<std::size_t>(t)];
+    rank.ompTids.push_back(node.spawnTask(rank.pid, "omp-worker",
+                                          LwpType::kOpenMp, worker, cpus));
+  }
+
+  if (config.gpuOffload) {
+    // HIP/ROCr event thread: wakes briefly around kernel completions,
+    // unbound like the MPI helper (paper §3.4: "some threads, like MPI or
+    // GPU progress/helper threads are not restricted to any set of cores").
+    Behavior gpuHelper;
+    gpuHelper.iterations = 0;  // daemon
+    gpuHelper.iterWorkJiffies = 1;
+    gpuHelper.blockJiffies =
+        std::max<Jiffies>(10, config.offloadSyncJiffies * 4);
+    gpuHelper.systemFraction = 0.6;  // ioctl-heavy
+    rank.gpuHelperTid = node.spawnTask(rank.pid, "rocr-event",
+                                       LwpType::kGpuHelper, gpuHelper,
+                                       nodeWideCpus);
+  }
+
+  // MPI progress / runtime helper thread: unbound (paper: "not restricted
+  // to any set of cores"), practically always asleep.
+  Behavior helper;
+  helper.iterations = 0;  // daemon
+  helper.iterWorkJiffies = 0;
+  helper.blockJiffies = 5 * kHz;
+  rank.otherTid = node.spawnTask(rank.pid, "cray-mpich-helper",
+                                 LwpType::kOther, helper, nodeWideCpus);
+
+  if (config.withZeroSumThread) {
+    Behavior monitor;
+    monitor.iterations = 0;  // daemon
+    monitor.iterWorkJiffies = 1;
+    monitor.blockJiffies =
+        config.zeroSumPeriodJiffies > 1 ? config.zeroSumPeriodJiffies - 1 : 1;
+    monitor.systemFraction = 0.35;  // /proc reads are syscalls
+    CpuSet zsCpus;
+    if (config.zeroSumCpu >= 0) {
+      zsCpus.set(static_cast<std::size_t>(config.zeroSumCpu));
+    } else {
+      zsCpus.set(processCpus.last());
+    }
+    rank.zeroSumTid = node.spawnTask(rank.pid, "zerosum", LwpType::kZeroSum,
+                                     monitor, zsCpus);
+  }
+  return rank;
+}
+
+std::vector<BuiltRank> buildMiniQmcJob(
+    SimNode& node, const std::vector<slurm::TaskPlacement>& plan,
+    const MiniQmcConfig& config, const CpuSet& nodeWideCpus) {
+  std::vector<BuiltRank> out;
+  out.reserve(plan.size());
+  for (const auto& tp : plan) {
+    out.push_back(buildMiniQmcRank(node, tp.cpus, config, nodeWideCpus));
+  }
+  return out;
+}
+
+}  // namespace zerosum::sim

@@ -1,0 +1,68 @@
+// Workload construction: populates a SimNode with the process/thread
+// structure of the paper's evaluation application.
+//
+// miniQMC (MPI+OpenMP) appears to the monitor as, per rank: a main thread
+// that is also OpenMP thread 0, N-1 OpenMP worker threads, an unbound
+// helper thread ("Other" — the MPI progress thread), optionally a GPU
+// helper, and the ZeroSum monitor thread itself pinned to the last HWT of
+// the process affinity (paper §3.1).  Walkers advance in steps separated by
+// team barriers; with target offload each step ends in a GPU-sync sleep.
+#pragma once
+
+#include <vector>
+
+#include "sim/node.hpp"
+#include "sim/slurm.hpp"
+
+namespace zerosum::sim {
+
+struct MiniQmcConfig {
+  /// Threads per rank team, including the main thread.
+  int ompThreads = 7;
+  /// Outer Monte-Carlo steps (= team barrier count).
+  std::uint64_t steps = 120;
+  /// CPU jiffies each thread burns per step.
+  Jiffies workPerStep = 25;
+  /// Walker-level load imbalance (Behavior::workJitter).
+  double workJitter = 0.0;
+  /// System-call share of CPU time (≈1% CPU-only, ≈12.5% with offload).
+  double systemFraction = 0.012;
+  /// When true each step ends in a GPU synchronization sleep.
+  bool gpuOffload = false;
+  Jiffies offloadSyncJiffies = 8;
+  /// Per-thread binding, entry 0 = main thread.  Empty => inherit the
+  /// process affinity (Tables 1-2).  From slurm::planOmpBinding.
+  std::vector<CpuSet> threadBinding;
+  /// Add the ZeroSum monitor thread to the process (daemon, 1 jiffy of
+  /// sampling work per wake).
+  bool withZeroSumThread = true;
+  /// Sampling period of the monitor thread in jiffies (paper default 1 s).
+  Jiffies zeroSumPeriodJiffies = kHz;
+  /// Pin the monitor thread to this PU; -1 = last HWT of the process
+  /// affinity (the tool's default).
+  int zeroSumCpu = -1;
+  /// Memory model: per-rank resident set ramps to this target.
+  std::uint64_t rssTargetBytes = 900ULL << 20;
+};
+
+struct BuiltRank {
+  Pid pid = 0;
+  Tid mainTid = 0;
+  Tid zeroSumTid = 0;   ///< 0 when withZeroSumThread is false
+  Tid otherTid = 0;     ///< the unbound helper thread
+  Tid gpuHelperTid = 0; ///< 0 unless gpuOffload (HIP event thread)
+  std::vector<Tid> ompTids;  ///< worker threads (excludes main)
+};
+
+/// Builds one miniQMC-like rank process on the node.  `processCpus` is the
+/// rank's allowed PU set (from slurm::planSrun).
+BuiltRank buildMiniQmcRank(SimNode& node, const CpuSet& processCpus,
+                           const MiniQmcConfig& config,
+                           const CpuSet& nodeWideCpus);
+
+/// Builds all ranks of a placement plan.
+std::vector<BuiltRank> buildMiniQmcJob(
+    SimNode& node, const std::vector<slurm::TaskPlacement>& plan,
+    const MiniQmcConfig& config, const CpuSet& nodeWideCpus);
+
+}  // namespace zerosum::sim

@@ -1,0 +1,149 @@
+#include "topology/builder.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "common/error.hpp"
+
+namespace zerosum::topology {
+
+namespace {
+
+void validate(const MachineSpec& spec) {
+  if (spec.packages < 1 || spec.numaPerPackage < 1 || spec.coresPerNuma < 1) {
+    throw ConfigError("MachineSpec: counts must be >= 1");
+  }
+  if (spec.smt < 1) {
+    throw ConfigError("MachineSpec: smt must be >= 1");
+  }
+  if (spec.cache.coresPerL3 < 0) {
+    throw ConfigError("MachineSpec: coresPerL3 must be >= 0");
+  }
+  if (spec.cache.coresPerL3 > 0 &&
+      spec.coresPerNuma % spec.cache.coresPerL3 != 0) {
+    throw ConfigError("MachineSpec: coresPerL3 must divide coresPerNuma");
+  }
+  for (int core : spec.reservedCores) {
+    if (core < 0 || core >= spec.totalCores()) {
+      throw ConfigError("MachineSpec: reserved core " + std::to_string(core) +
+                        " out of range");
+    }
+  }
+  std::set<int> visible;
+  std::set<int> physical;
+  for (const auto& gpu : spec.gpus) {
+    if (!visible.insert(gpu.visibleIndex).second) {
+      throw ConfigError("MachineSpec: duplicate GPU visible index " +
+                        std::to_string(gpu.visibleIndex));
+    }
+    if (!physical.insert(gpu.physicalIndex).second) {
+      throw ConfigError("MachineSpec: duplicate GPU physical index " +
+                        std::to_string(gpu.physicalIndex));
+    }
+    const int numaCount = spec.packages * spec.numaPerPackage;
+    if (gpu.numaAffinity >= numaCount) {
+      throw ConfigError("MachineSpec: GPU NUMA affinity " +
+                        std::to_string(gpu.numaAffinity) + " out of range");
+    }
+  }
+}
+
+}  // namespace
+
+Topology buildTopology(const MachineSpec& spec) {
+  validate(spec);
+
+  auto root = std::make_unique<HwObject>();
+  root->type = ObjType::kMachine;
+  root->logicalIndex = 0;
+  root->sizeBytes = spec.memoryBytes;
+
+  const int totalCores = spec.totalCores();
+  const int coresPerL3 =
+      spec.cache.coresPerL3 > 0 ? spec.cache.coresPerL3 : spec.coresPerNuma;
+
+  int puLogical = 0;
+  int coreLogical = 0;
+  int l3Logical = 0;
+  int l2Logical = 0;
+  int l1Logical = 0;
+  int numaLogical = 0;
+  int coreOs = 0;
+
+  for (int pkg = 0; pkg < spec.packages; ++pkg) {
+    HwObject* package = root->addChild(ObjType::kPackage);
+    package->logicalIndex = pkg;
+    package->osIndex = pkg;
+
+    for (int nd = 0; nd < spec.numaPerPackage; ++nd) {
+      HwObject* numa = package->addChild(ObjType::kNumaNode);
+      numa->logicalIndex = numaLogical;
+      numa->osIndex = numaLogical;
+      numa->sizeBytes =
+          spec.memoryBytes /
+          static_cast<std::uint64_t>(spec.packages * spec.numaPerPackage);
+      ++numaLogical;
+
+      for (int l3Start = 0; l3Start < spec.coresPerNuma;
+           l3Start += coresPerL3) {
+        HwObject* l3 = numa->addChild(ObjType::kL3Cache);
+        l3->logicalIndex = l3Logical++;
+        l3->sizeBytes = spec.cache.l3Bytes;
+
+        for (int c = 0; c < coresPerL3; ++c) {
+          HwObject* l2 = l3->addChild(ObjType::kL2Cache);
+          l2->logicalIndex = l2Logical++;
+          l2->sizeBytes = spec.cache.l2Bytes;
+
+          HwObject* l1 = l2->addChild(ObjType::kL1Cache);
+          l1->logicalIndex = l1Logical++;
+          l1->sizeBytes = spec.cache.l1Bytes;
+
+          HwObject* core = l1->addChild(ObjType::kCore);
+          core->logicalIndex = coreLogical++;
+          core->osIndex = coreOs;
+
+          for (int t = 0; t < spec.smt; ++t) {
+            HwObject* pu = core->addChild(ObjType::kPu);
+            pu->logicalIndex = puLogical++;
+            pu->osIndex = spec.numbering == PuNumbering::kSmtInterleaved
+                              ? coreOs + t * totalCores
+                              : coreOs * spec.smt + t;
+          }
+          ++coreOs;
+        }
+      }
+    }
+  }
+
+  // Reserved cores expand to all their PUs.
+  CpuSet reserved;
+  for (int core : spec.reservedCores) {
+    for (int t = 0; t < spec.smt; ++t) {
+      const int pu = spec.numbering == PuNumbering::kSmtInterleaved
+                         ? core + t * totalCores
+                         : core * spec.smt + t;
+      reserved.set(static_cast<std::size_t>(pu));
+    }
+  }
+
+  std::vector<GpuInfo> gpus;
+  gpus.reserve(spec.gpus.size());
+  for (const auto& g : spec.gpus) {
+    GpuInfo info;
+    info.physicalIndex = g.physicalIndex;
+    info.visibleIndex = g.visibleIndex;
+    info.numaAffinity = g.numaAffinity;
+    info.model = g.model;
+    info.memoryBytes = g.memoryBytes;
+    gpus.push_back(info);
+  }
+  std::sort(gpus.begin(), gpus.end(),
+            [](const GpuInfo& a, const GpuInfo& b) {
+              return a.physicalIndex < b.physicalIndex;
+            });
+
+  return Topology(spec.name, std::move(root), std::move(gpus), reserved);
+}
+
+}  // namespace zerosum::topology

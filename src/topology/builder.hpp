@@ -1,0 +1,68 @@
+// Declarative topology construction.
+//
+// A MachineSpec describes a node the way a facility's node diagram does
+// (Figures 1-3): packages, NUMA domains, L3 regions, cores, SMT width, PU
+// numbering convention, reserved cores, and GPU attachment.  buildTopology()
+// expands it into the full hardware tree.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "topology/hardware.hpp"
+
+namespace zerosum::topology {
+
+/// How the kernel assigns PU OS indexes (P#) relative to cores.
+enum class PuNumbering {
+  /// P# = core + k * totalCores for SMT sibling k.  This is the common x86
+  /// scheme and produces the L#/P# skew of Listing 1 (PU L#1 is P#4).
+  kSmtInterleaved,
+  /// P# = core * smt + k: SMT siblings adjacent (POWER9/Summit scheme).
+  kSmtAdjacent,
+};
+
+struct CacheSpec {
+  std::uint64_t l3Bytes = 32ULL << 20;
+  std::uint64_t l2Bytes = 512ULL << 10;
+  std::uint64_t l1Bytes = 32ULL << 10;
+  /// Cores sharing one L3 ("L3 region"/CCD).  0 means all cores of a NUMA
+  /// domain share the L3.
+  int coresPerL3 = 0;
+};
+
+struct GpuSpec {
+  int physicalIndex = 0;
+  int visibleIndex = 0;
+  int numaAffinity = -1;
+  std::string model = "GenericGPU";
+  std::uint64_t memoryBytes = 16ULL << 30;
+};
+
+struct MachineSpec {
+  std::string name = "machine";
+  int packages = 1;
+  int numaPerPackage = 1;
+  int coresPerNuma = 4;
+  int smt = 1;
+  PuNumbering numbering = PuNumbering::kSmtInterleaved;
+  CacheSpec cache;
+  /// Core OS indexes reserved for system processes (scheduler policy);
+  /// expands to all their PUs in Topology::reservedPus().
+  std::vector<int> reservedCores;
+  std::vector<GpuSpec> gpus;
+  std::uint64_t memoryBytes = 64ULL << 30;
+
+  [[nodiscard]] int totalCores() const {
+    return packages * numaPerPackage * coresPerNuma;
+  }
+  [[nodiscard]] int totalPus() const { return totalCores() * smt; }
+};
+
+/// Expands a MachineSpec into a Topology.  Throws ConfigError on
+/// inconsistent specs (smt < 1, reserved core out of range, duplicate GPU
+/// visible indexes, coresPerL3 not dividing coresPerNuma).
+Topology buildTopology(const MachineSpec& spec);
+
+}  // namespace zerosum::topology

@@ -1,0 +1,131 @@
+#include "topology/discover.hpp"
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+
+#include "common/cpuset.hpp"
+#include "common/error.hpp"
+#include "common/logging.hpp"
+#include "common/strings.hpp"
+#include "topology/builder.hpp"
+
+namespace zerosum::topology {
+
+namespace {
+
+std::optional<std::string> readFirstLine(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return std::nullopt;
+  }
+  std::string line;
+  std::getline(in, line);
+  return line;
+}
+
+struct SysfsCpu {
+  std::size_t pu = 0;
+  int coreId = 0;
+  int packageId = 0;
+};
+
+/// Builds a topology from per-CPU core/package ids.  Caches are omitted
+/// (they are presentation-only for discovery purposes).
+Topology fromCpuList(const std::string& name,
+                     const std::vector<SysfsCpu>& cpus) {
+  auto root = std::make_unique<HwObject>();
+  root->type = ObjType::kMachine;
+
+  // Group PUs by (package, core).
+  std::map<int, std::map<int, std::vector<std::size_t>>> grouped;
+  for (const auto& cpu : cpus) {
+    grouped[cpu.packageId][cpu.coreId].push_back(cpu.pu);
+  }
+
+  int puLogical = 0;
+  int coreLogical = 0;
+  int pkgLogical = 0;
+  for (const auto& [pkgId, cores] : grouped) {
+    HwObject* package = root->addChild(ObjType::kPackage);
+    package->logicalIndex = pkgLogical++;
+    package->osIndex = pkgId;
+    HwObject* numa = package->addChild(ObjType::kNumaNode);
+    numa->logicalIndex = package->logicalIndex;
+    numa->osIndex = package->logicalIndex;
+    for (const auto& [coreId, pus] : cores) {
+      HwObject* core = numa->addChild(ObjType::kCore);
+      core->logicalIndex = coreLogical++;
+      core->osIndex = coreId;
+      for (std::size_t pu : pus) {
+        HwObject* puObj = core->addChild(ObjType::kPu);
+        puObj->logicalIndex = puLogical++;
+        puObj->osIndex = static_cast<int>(pu);
+      }
+    }
+  }
+  return Topology(name, std::move(root), {}, CpuSet{});
+}
+
+Topology flatFallback() {
+  const long online = ::sysconf(_SC_NPROCESSORS_ONLN);
+  const int n = online > 0 ? static_cast<int>(online) : 1;
+  MachineSpec spec;
+  spec.name = "host(flat)";
+  spec.coresPerNuma = n;
+  spec.smt = 1;
+  return buildTopology(spec);
+}
+
+}  // namespace
+
+Topology discoverFromSysfs(const std::string& sysfsCpuRoot) {
+  namespace fs = std::filesystem;
+  std::vector<SysfsCpu> cpus;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(sysfsCpuRoot, ec)) {
+    const std::string base = entry.path().filename().string();
+    if (!strings::startsWith(base, "cpu")) {
+      continue;
+    }
+    const auto idx = strings::toU64(std::string_view(base).substr(3));
+    if (!idx) {
+      continue;  // cpufreq, cpuidle, ...
+    }
+    SysfsCpu cpu;
+    cpu.pu = static_cast<std::size_t>(*idx);
+    const auto coreId = readFirstLine(entry.path() / "topology/core_id");
+    const auto pkgId =
+        readFirstLine(entry.path() / "topology/physical_package_id");
+    if (!coreId || !pkgId) {
+      continue;
+    }
+    const auto core = strings::toI64(strings::trim(*coreId));
+    const auto pkg = strings::toI64(strings::trim(*pkgId));
+    if (!core || !pkg) {
+      continue;
+    }
+    cpu.coreId = static_cast<int>(*core);
+    cpu.packageId = static_cast<int>(*pkg);
+    cpus.push_back(cpu);
+  }
+  if (ec || cpus.empty()) {
+    throw NotFoundError("sysfs cpu topology at " + sysfsCpuRoot);
+  }
+  return fromCpuList("host", cpus);
+}
+
+Topology discoverHost() {
+  try {
+    return discoverFromSysfs("/sys/devices/system/cpu");
+  } catch (const Error& e) {
+    log::info() << "sysfs discovery unavailable (" << e.what()
+                << "); using flat fallback";
+    return flatFallback();
+  }
+}
+
+}  // namespace zerosum::topology

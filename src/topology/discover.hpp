@@ -1,0 +1,22 @@
+// Host topology discovery.
+//
+// On the live machine ZeroSum uses hwloc; this reproduction reads the same
+// underlying kernel interfaces hwloc does (/sys/devices/system/cpu) and
+// falls back to a flat machine built from the online-CPU count when sysfs
+// is restricted (common inside containers).
+#pragma once
+
+#include "topology/hardware.hpp"
+
+namespace zerosum::topology {
+
+/// Discovers the current host.  Never throws for missing sysfs detail; the
+/// result degrades gracefully to a single-package, single-NUMA machine with
+/// one PU per online CPU.
+Topology discoverHost();
+
+/// Discovery against an alternate sysfs root (test hook: point it at a
+/// directory tree that mimics /sys/devices/system/cpu).
+Topology discoverFromSysfs(const std::string& sysfsCpuRoot);
+
+}  // namespace zerosum::topology

@@ -1,0 +1,126 @@
+#include "topology/hardware.hpp"
+
+#include <functional>
+
+#include "common/error.hpp"
+
+namespace zerosum::topology {
+
+std::string objTypeName(ObjType type) {
+  switch (type) {
+    case ObjType::kMachine: return "Machine";
+    case ObjType::kPackage: return "Package";
+    case ObjType::kNumaNode: return "NUMANode";
+    case ObjType::kL3Cache: return "L3Cache";
+    case ObjType::kL2Cache: return "L2Cache";
+    case ObjType::kL1Cache: return "L1Cache";
+    case ObjType::kCore: return "Core";
+    case ObjType::kPu: return "PU";
+  }
+  return "Unknown";
+}
+
+HwObject* HwObject::addChild(ObjType childType) {
+  children.push_back(std::make_unique<HwObject>());
+  HwObject* child = children.back().get();
+  child->type = childType;
+  return child;
+}
+
+Topology::Topology(std::string name, std::unique_ptr<HwObject> root,
+                   std::vector<GpuInfo> gpus, CpuSet reservedPus)
+    : name_(std::move(name)),
+      root_(std::move(root)),
+      gpus_(std::move(gpus)),
+      reservedPus_(reservedPus) {
+  if (!root_) {
+    throw StateError("Topology requires a root object");
+  }
+  indexTree();
+}
+
+void Topology::indexTree() {
+  // Walk the tree tracking the innermost enclosing NUMA node and core.
+  std::function<void(const HwObject&, int, int)> walk =
+      [&](const HwObject& obj, int numaOs, int coreOs) {
+        switch (obj.type) {
+          case ObjType::kNumaNode:
+            numaOs = obj.osIndex >= 0 ? obj.osIndex : obj.logicalIndex;
+            break;
+          case ObjType::kCore:
+            coreOs = obj.osIndex >= 0 ? obj.osIndex : obj.logicalIndex;
+            ++coreCount_;
+            break;
+          case ObjType::kPu: {
+            const int os = obj.osIndex >= 0 ? obj.osIndex : obj.logicalIndex;
+            const auto pu = static_cast<std::size_t>(os);
+            allPus_.set(pu);
+            puToNuma_[pu] = numaOs;
+            puToCore_[pu] = coreOs;
+            numaPus_[numaOs].set(pu);
+            corePus_[coreOs].set(pu);
+            break;
+          }
+          default:
+            break;
+        }
+        for (const auto& child : obj.children) {
+          walk(*child, numaOs, coreOs);
+        }
+      };
+  walk(*root_, /*numaOs=*/0, /*coreOs=*/-1);
+}
+
+const CpuSet& Topology::pusOfNuma(int numaOsIndex) const {
+  const auto it = numaPus_.find(numaOsIndex);
+  if (it == numaPus_.end()) {
+    throw NotFoundError("NUMA node " + std::to_string(numaOsIndex));
+  }
+  return it->second;
+}
+
+int Topology::numaOfPu(std::size_t puOsIndex) const {
+  const auto it = puToNuma_.find(puOsIndex);
+  if (it == puToNuma_.end()) {
+    throw NotFoundError("PU " + std::to_string(puOsIndex));
+  }
+  return it->second;
+}
+
+int Topology::coreOfPu(std::size_t puOsIndex) const {
+  const auto it = puToCore_.find(puOsIndex);
+  if (it == puToCore_.end()) {
+    throw NotFoundError("PU " + std::to_string(puOsIndex));
+  }
+  return it->second;
+}
+
+CpuSet Topology::pusOfCoreContaining(std::size_t puOsIndex) const {
+  const int core = coreOfPu(puOsIndex);
+  const auto it = corePus_.find(core);
+  if (it == corePus_.end()) {
+    throw NotFoundError("core " + std::to_string(core));
+  }
+  return it->second;
+}
+
+std::vector<GpuInfo> Topology::gpusOfNuma(int numaOsIndex) const {
+  std::vector<GpuInfo> out;
+  for (const auto& gpu : gpus_) {
+    if (gpu.numaAffinity == numaOsIndex) {
+      out.push_back(gpu);
+    }
+  }
+  return out;
+}
+
+const GpuInfo& Topology::gpuByVisibleIndex(int visibleIndex) const {
+  for (const auto& gpu : gpus_) {
+    if (gpu.visibleIndex == visibleIndex) {
+      return gpu;
+    }
+  }
+  throw NotFoundError("GPU visible index " + std::to_string(visibleIndex));
+}
+
+}  // namespace zerosum::topology

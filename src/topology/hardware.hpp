@@ -1,0 +1,115 @@
+// Hardware topology data model.
+//
+// ZeroSum uses hwloc to show users how cores are distributed among NUMA
+// domains, which caches are shared, how hardware threads are indexed, and
+// which GPUs are local to which NUMA domain (paper §3.1, Listing 1, Figures
+// 1-3).  This module is the reproduction's hwloc: the same tree shape
+// (Machine → Package → NUMANode → L3 → L2 → L1 → Core → PU) with both
+// logical (L#) and OS (P#) indexes, plus GPU attachment points.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/cpuset.hpp"
+
+namespace zerosum::topology {
+
+enum class ObjType {
+  kMachine,
+  kPackage,
+  kNumaNode,
+  kL3Cache,
+  kL2Cache,
+  kL1Cache,
+  kCore,
+  kPu,  ///< processing unit == hardware thread
+};
+
+/// Human-readable type name ("Machine", "L3Cache", "PU", ...).
+std::string objTypeName(ObjType type);
+
+/// One node of the hardware tree.  Owned exclusively by its parent.
+struct HwObject {
+  ObjType type = ObjType::kMachine;
+  /// Logical index (hwloc L#): dense, per-type, in tree traversal order.
+  int logicalIndex = 0;
+  /// OS index (hwloc P#): kernel numbering; meaningful for PUs, cores and
+  /// NUMA nodes.  -1 when not applicable.
+  int osIndex = -1;
+  /// Cache or memory capacity in bytes; 0 when not applicable.
+  std::uint64_t sizeBytes = 0;
+  std::vector<std::unique_ptr<HwObject>> children;
+
+  HwObject* addChild(ObjType childType);
+};
+
+/// A GPU (or GCD — one die of a multi-die package) attached to the node.
+struct GpuInfo {
+  /// True device index as the management library enumerates it.
+  int physicalIndex = 0;
+  /// Index as seen by the application runtime (HIP_VISIBLE_DEVICES order);
+  /// on Frontier visible 0 is physical GCD 4 (paper Listing 2).
+  int visibleIndex = 0;
+  /// NUMA domain with the direct physical connection, -1 if unknown (the
+  /// Perlmutter/Aurora public diagrams omit it — Figure 3 caption).
+  int numaAffinity = -1;
+  std::string model;
+  std::uint64_t memoryBytes = 0;
+};
+
+/// Immutable topology snapshot with query accelerators.
+class Topology {
+ public:
+  Topology(std::string name, std::unique_ptr<HwObject> root,
+           std::vector<GpuInfo> gpus, CpuSet reservedPus);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const HwObject& root() const { return *root_; }
+  [[nodiscard]] const std::vector<GpuInfo>& gpus() const { return gpus_; }
+
+  [[nodiscard]] std::size_t puCount() const { return puToCore_.size(); }
+  [[nodiscard]] std::size_t coreCount() const { return coreCount_; }
+  [[nodiscard]] std::size_t numaCount() const { return numaPus_.size(); }
+
+  /// All PU OS indexes on the machine.
+  [[nodiscard]] const CpuSet& allPus() const { return allPus_; }
+  /// PUs the scheduler reserves for system processes (e.g. first core of
+  /// each L3 region on Frontier).
+  [[nodiscard]] const CpuSet& reservedPus() const { return reservedPus_; }
+  /// allPus() minus reservedPus(): what jobs may use.
+  [[nodiscard]] CpuSet availablePus() const { return allPus_ - reservedPus_; }
+
+  /// PUs of one NUMA domain (by NUMA OS index).  Throws NotFoundError.
+  [[nodiscard]] const CpuSet& pusOfNuma(int numaOsIndex) const;
+  /// NUMA OS index owning a PU; throws NotFoundError for unknown PUs.
+  [[nodiscard]] int numaOfPu(std::size_t puOsIndex) const;
+  /// Core OS index owning a PU; throws NotFoundError.
+  [[nodiscard]] int coreOfPu(std::size_t puOsIndex) const;
+  /// All sibling PUs of the core that owns `puOsIndex` (including itself).
+  [[nodiscard]] CpuSet pusOfCoreContaining(std::size_t puOsIndex) const;
+
+  /// GPUs physically attached to a NUMA domain, ascending physical index.
+  [[nodiscard]] std::vector<GpuInfo> gpusOfNuma(int numaOsIndex) const;
+  /// GPU by visible (runtime) index; throws NotFoundError.
+  [[nodiscard]] const GpuInfo& gpuByVisibleIndex(int visibleIndex) const;
+
+ private:
+  void indexTree();
+
+  std::string name_;
+  std::unique_ptr<HwObject> root_;
+  std::vector<GpuInfo> gpus_;
+  CpuSet reservedPus_;
+  CpuSet allPus_;
+  std::size_t coreCount_ = 0;
+  std::map<int, CpuSet> numaPus_;            // numa os idx -> PUs
+  std::map<std::size_t, int> puToNuma_;      // pu os idx -> numa os idx
+  std::map<std::size_t, int> puToCore_;      // pu os idx -> core os idx
+  std::map<int, CpuSet> corePus_;            // core os idx -> sibling PUs
+};
+
+}  // namespace zerosum::topology

@@ -1,0 +1,158 @@
+#include "topology/presets.hpp"
+
+#include "common/error.hpp"
+
+namespace zerosum::topology::presets {
+
+MachineSpec frontierSpec() {
+  MachineSpec spec;
+  spec.name = "frontier";
+  spec.packages = 1;
+  spec.numaPerPackage = 4;
+  spec.coresPerNuma = 16;
+  spec.smt = 2;
+  spec.numbering = PuNumbering::kSmtInterleaved;
+  spec.cache.l3Bytes = 32ULL << 20;
+  spec.cache.l2Bytes = 512ULL << 10;
+  spec.cache.l1Bytes = 32ULL << 10;
+  spec.cache.coresPerL3 = 8;  // one CCD
+  spec.memoryBytes = 512ULL << 30;
+  // Slurm reserves the first core of each 8-core L3 region.
+  for (int core = 0; core < spec.totalCores(); core += 8) {
+    spec.reservedCores.push_back(core);
+  }
+  // Paper Figure 2: GCDs [[4,5],[2,3],[6,7],[0,1]] attach to NUMA [0,1,2,3].
+  const int numaOfGcd[8] = {3, 3, 1, 1, 0, 0, 2, 2};
+  // HIP enumerates visible devices in NUMA-proximity order, which is why
+  // Listing 2 reports visible index 0 for true GCD 4.
+  const int visibleOfGcd[8] = {6, 7, 2, 3, 0, 1, 4, 5};
+  for (int gcd = 0; gcd < 8; ++gcd) {
+    GpuSpec gpu;
+    gpu.physicalIndex = gcd;
+    gpu.visibleIndex = visibleOfGcd[gcd];
+    gpu.numaAffinity = numaOfGcd[gcd];
+    gpu.model = "AMD MI250X GCD";
+    gpu.memoryBytes = 64ULL << 30;
+    spec.gpus.push_back(gpu);
+  }
+  return spec;
+}
+
+Topology frontier() { return buildTopology(frontierSpec()); }
+
+MachineSpec summitSpec() {
+  MachineSpec spec;
+  spec.name = "summit";
+  spec.packages = 2;
+  spec.numaPerPackage = 1;
+  spec.coresPerNuma = 22;  // 21 usable + 1 reserved per socket
+  spec.smt = 4;
+  spec.numbering = PuNumbering::kSmtAdjacent;
+  spec.cache.l3Bytes = 10ULL << 20;
+  spec.cache.l2Bytes = 512ULL << 10;
+  spec.cache.l1Bytes = 32ULL << 10;
+  spec.cache.coresPerL3 = 2;  // POWER9 L3 slice shared by a core pair
+  spec.memoryBytes = 512ULL << 30;
+  // One core per socket is reserved for the OS; this produces the core
+  // numbering skip (83 -> 88) the Figure 1 caption notes.
+  spec.reservedCores = {21, 43};
+  for (int g = 0; g < 6; ++g) {
+    GpuSpec gpu;
+    gpu.physicalIndex = g;
+    gpu.visibleIndex = g;
+    gpu.numaAffinity = g < 3 ? 0 : 1;
+    gpu.model = "NVIDIA V100";
+    gpu.memoryBytes = 16ULL << 30;
+    spec.gpus.push_back(gpu);
+  }
+  return spec;
+}
+
+Topology summit() { return buildTopology(summitSpec()); }
+
+MachineSpec perlmutterSpec(bool assumeLocality) {
+  MachineSpec spec;
+  spec.name = "perlmutter";
+  spec.packages = 1;
+  spec.numaPerPackage = 4;
+  spec.coresPerNuma = 16;
+  spec.smt = 2;
+  spec.numbering = PuNumbering::kSmtInterleaved;
+  spec.cache.l3Bytes = 32ULL << 20;
+  spec.cache.l2Bytes = 512ULL << 10;
+  spec.cache.l1Bytes = 32ULL << 10;
+  spec.cache.coresPerL3 = 8;
+  spec.memoryBytes = 256ULL << 30;
+  for (int g = 0; g < 4; ++g) {
+    GpuSpec gpu;
+    gpu.physicalIndex = g;
+    gpu.visibleIndex = g;
+    // Figure 3 caption: "no information is given with respect to GPU
+    // ordering ... or how NUMA domains are associated with the GPUs".
+    gpu.numaAffinity = assumeLocality ? g : -1;
+    gpu.model = "NVIDIA A100";
+    gpu.memoryBytes = 40ULL << 30;
+    spec.gpus.push_back(gpu);
+  }
+  return spec;
+}
+
+Topology perlmutter(bool assumeLocality) {
+  return buildTopology(perlmutterSpec(assumeLocality));
+}
+
+MachineSpec auroraSpec() {
+  MachineSpec spec;
+  spec.name = "aurora";
+  spec.packages = 2;
+  spec.numaPerPackage = 1;
+  spec.coresPerNuma = 52;
+  spec.smt = 2;
+  spec.numbering = PuNumbering::kSmtInterleaved;
+  spec.cache.l3Bytes = 105ULL << 20;
+  spec.cache.l2Bytes = 2ULL << 20;
+  spec.cache.l1Bytes = 48ULL << 10;
+  spec.cache.coresPerL3 = 0;  // package-wide shared L3
+  spec.memoryBytes = 1024ULL << 30;
+  for (int g = 0; g < 6; ++g) {
+    GpuSpec gpu;
+    gpu.physicalIndex = g;
+    gpu.visibleIndex = g;
+    gpu.numaAffinity = g < 3 ? 0 : 1;
+    gpu.model = "Intel Data Center GPU Max";
+    gpu.memoryBytes = 128ULL << 30;
+    spec.gpus.push_back(gpu);
+  }
+  return spec;
+}
+
+Topology aurora() { return buildTopology(auroraSpec()); }
+
+MachineSpec i7_1165g7Spec() {
+  MachineSpec spec;
+  spec.name = "i7-1165g7";
+  spec.packages = 1;
+  spec.numaPerPackage = 1;
+  spec.coresPerNuma = 4;
+  spec.smt = 2;
+  spec.numbering = PuNumbering::kSmtInterleaved;
+  spec.cache.l3Bytes = 12ULL << 20;
+  spec.cache.l2Bytes = 1280ULL << 10;
+  spec.cache.l1Bytes = 48ULL << 10;
+  spec.cache.coresPerL3 = 0;  // all four cores share the 12 MB L3
+  spec.memoryBytes = 16ULL << 30;
+  return spec;
+}
+
+Topology i7_1165g7() { return buildTopology(i7_1165g7Spec()); }
+
+Topology byName(const std::string& name) {
+  if (name == "frontier") return frontier();
+  if (name == "summit") return summit();
+  if (name == "perlmutter") return perlmutter();
+  if (name == "aurora") return aurora();
+  if (name == "i7-1165g7") return i7_1165g7();
+  throw NotFoundError("topology preset '" + name + "'");
+}
+
+}  // namespace zerosum::topology::presets

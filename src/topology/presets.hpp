@@ -1,0 +1,48 @@
+// Machine-file presets for the systems the paper discusses.
+//
+// Each preset encodes the published node diagram (Figures 1-3 and Listing 1)
+// including the idiosyncrasies the paper calls out: Frontier's non-intuitive
+// GCD↔NUMA association, Summit's reserved core and index skip, and the
+// i7-1165G7's L#/P# SMT interleave.
+#pragma once
+
+#include "topology/builder.hpp"
+
+namespace zerosum::topology::presets {
+
+/// OLCF Frontier compute node (Figure 2): 1× 64-core EPYC "Trento", SMT2,
+/// 4 NUMA domains × 2 L3 regions (CCDs) of 8 cores, 512 GB DDR4, 4× MI250X
+/// = 8 GCDs.  The GCD physical indexes associated with NUMA domains
+/// [0,1,2,3] are [[4,5],[2,3],[6,7],[0,1]].  Slurm reserves the first core
+/// of each L3 region (8 cores: 0,8,...,56).
+MachineSpec frontierSpec();
+Topology frontier();
+
+/// OLCF Summit node (Figure 1): 2× POWER9 with 21 usable cores each (one
+/// reserved per socket for the OS), SMT4, adjacent PU numbering, 3 V100 per
+/// socket, 512 GB.
+MachineSpec summitSpec();
+Topology summit();
+
+/// NERSC Perlmutter GPU node (Figure 3 left): 1× 64-core EPYC Milan, SMT2,
+/// 4 NUMA domains, 4× A100; the public diagram omits GPU↔NUMA ordering, so
+/// affinity is recorded as documented (-1 = unspecified) unless
+/// `assumeLocality` fills in the natural 1:1 map.
+MachineSpec perlmutterSpec(bool assumeLocality = false);
+Topology perlmutter(bool assumeLocality = false);
+
+/// ANL Aurora node (Figure 3 right, pre-installation diagram): 2× 52-core
+/// Sapphire Rapids, SMT2, 6× PVC GPUs, 3 per socket.
+MachineSpec auroraSpec();
+Topology aurora();
+
+/// The paper's test box (Listing 1): one Intel Core i7-1165G7, 4 cores,
+/// SMT2 interleaved numbering, 12 MB shared L3, 1280 KB L2, 48 KB L1.
+MachineSpec i7_1165g7Spec();
+Topology i7_1165g7();
+
+/// Looks a preset up by name ("frontier", "summit", "perlmutter", "aurora",
+/// "i7-1165g7"); throws NotFoundError otherwise.
+Topology byName(const std::string& name);
+
+}  // namespace zerosum::topology::presets

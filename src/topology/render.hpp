@@ -1,0 +1,38 @@
+// lstopo-style text rendering (paper Listing 1) and node-diagram summaries
+// (Figures 1-3): NUMA↔core ranges↔GPU association tables that surface the
+// configuration pitfalls the paper motivates.
+#pragma once
+
+#include <string>
+
+#include "topology/hardware.hpp"
+
+namespace zerosum::topology {
+
+struct RenderOptions {
+  /// Include the "HWLOC Node topology:" banner line.
+  bool banner = true;
+  /// Show cache capacities next to cache levels.
+  bool showCacheSizes = true;
+  /// Append GPU attachments under the machine.
+  bool showGpus = true;
+  int indentWidth = 2;
+};
+
+/// Renders the hardware tree in the indented format of Listing 1:
+///   Machine L#0
+///     Package L#0
+///       L3Cache L#0 12MB
+///       ...
+///           PU L#0 P#0
+std::string renderTree(const Topology& topo, const RenderOptions& opts = {});
+
+/// Renders the node-diagram association table the paper argues users need:
+/// one row per NUMA domain with its core range, reserved cores, and the
+/// physically-attached GPUs (by physical and visible index).
+std::string renderNodeDiagram(const Topology& topo);
+
+/// Formats a byte capacity the way lstopo does: "12MB", "1280KB", "48KB".
+std::string formatCapacity(std::uint64_t bytes);
+
+}  // namespace zerosum::topology

@@ -1,0 +1,195 @@
+#include "core/adaptation.hpp"
+
+#include <gtest/gtest.h>
+
+namespace zerosum::core {
+namespace {
+
+constexpr double kJpp = 100.0;
+
+/// One period of observations: `threads` busy team threads sharing
+/// `slots` HWTs, each consuming `busy` jiffies with `nvctxPerPeriod` new
+/// preemptions.
+struct PeriodBuilder {
+  int periodIndex = 0;
+
+  void addPeriod(std::map<int, LwpRecord>& lwps,
+                 std::map<std::size_t, HwtRecord>& hwts, int threads,
+                 int slots, double busyJiffies, std::uint64_t nvctxPerPeriod,
+                 double idlePctOnFreeSlots = 99.0) {
+    ++periodIndex;
+    for (int t = 0; t < threads; ++t) {
+      LwpRecord& record = lwps[100 + t];
+      record.tid = 100 + t;
+      record.type = t == 0 ? LwpType::kMain : LwpType::kOpenMp;
+      LwpSample s;
+      s.timeSeconds = periodIndex;
+      s.utimeDelta = static_cast<std::uint64_t>(busyJiffies);
+      s.nonvoluntaryCtx =
+          (record.samples.empty() ? 0
+                                  : record.samples.back().nonvoluntaryCtx) +
+          nvctxPerPeriod;
+      record.samples.push_back(s);
+    }
+    const int busySlots = std::min(threads, slots);
+    for (int c = 0; c < slots; ++c) {
+      HwtRecord& record = hwts[static_cast<std::size_t>(c)];
+      record.cpu = static_cast<std::size_t>(c);
+      HwtSample s;
+      s.timeSeconds = periodIndex;
+      s.idlePct = c < busySlots ? 5.0 : idlePctOnFreeSlots;
+      s.userPct = 100.0 - s.idlePct;
+      record.samples.push_back(s);
+    }
+  }
+};
+
+AdaptationParams fastParams() {
+  AdaptationParams params;
+  params.confirmPeriods = 2;
+  params.cooldownPeriods = 2;
+  return params;
+}
+
+TEST(ConcurrencyController, RecommendsShrinkUnderOversubscription) {
+  ConcurrencyController controller(fastParams());
+  PeriodBuilder builder;
+  std::map<int, LwpRecord> lwps;
+  std::map<std::size_t, HwtRecord> hwts;
+  std::optional<Recommendation> rec;
+  for (int period = 0; period < 3 && !rec; ++period) {
+    builder.addPeriod(lwps, hwts, /*threads=*/8, /*slots=*/2,
+                      /*busy=*/24.0, /*nvctx=*/40);
+    rec = controller.observe(lwps, hwts, kJpp);
+  }
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->currentThreads, 8);
+  EXPECT_EQ(rec->recommendedThreads, 2);
+  EXPECT_NE(rec->reason.find("time-slice"), std::string::npos);
+}
+
+TEST(ConcurrencyController, RecommendsGrowWhenSaturatedWithIdleSlots) {
+  ConcurrencyController controller(fastParams());
+  PeriodBuilder builder;
+  std::map<int, LwpRecord> lwps;
+  std::map<std::size_t, HwtRecord> hwts;
+  std::optional<Recommendation> rec;
+  for (int period = 0; period < 3 && !rec; ++period) {
+    builder.addPeriod(lwps, hwts, /*threads=*/2, /*slots=*/8,
+                      /*busy=*/95.0, /*nvctx=*/0);
+    rec = controller.observe(lwps, hwts, kJpp);
+  }
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->currentThreads, 2);
+  EXPECT_EQ(rec->recommendedThreads, 8);
+  EXPECT_NE(rec->reason.find("grow"), std::string::npos);
+}
+
+TEST(ConcurrencyController, WellMatchedJobGetsNoRecommendation) {
+  ConcurrencyController controller(fastParams());
+  PeriodBuilder builder;
+  std::map<int, LwpRecord> lwps;
+  std::map<std::size_t, HwtRecord> hwts;
+  for (int period = 0; period < 10; ++period) {
+    builder.addPeriod(lwps, hwts, /*threads=*/4, /*slots=*/4,
+                      /*busy=*/92.0, /*nvctx=*/0);
+    EXPECT_FALSE(controller.observe(lwps, hwts, kJpp).has_value());
+  }
+  EXPECT_EQ(controller.recommendationsIssued(), 0);
+}
+
+TEST(ConcurrencyController, RequiresConfirmationStreak) {
+  AdaptationParams params = fastParams();
+  params.confirmPeriods = 3;
+  ConcurrencyController controller(params);
+  PeriodBuilder builder;
+  std::map<int, LwpRecord> lwps;
+  std::map<std::size_t, HwtRecord> hwts;
+  builder.addPeriod(lwps, hwts, 8, 2, 24.0, 40);
+  EXPECT_FALSE(controller.observe(lwps, hwts, kJpp).has_value());
+  builder.addPeriod(lwps, hwts, 8, 2, 24.0, 40);
+  EXPECT_FALSE(controller.observe(lwps, hwts, kJpp).has_value());
+  builder.addPeriod(lwps, hwts, 8, 2, 24.0, 40);
+  EXPECT_TRUE(controller.observe(lwps, hwts, kJpp).has_value());
+}
+
+TEST(ConcurrencyController, TransientSpikeDoesNotTrigger) {
+  AdaptationParams params = fastParams();
+  params.confirmPeriods = 3;
+  ConcurrencyController controller(params);
+  PeriodBuilder builder;
+  std::map<int, LwpRecord> lwps;
+  std::map<std::size_t, HwtRecord> hwts;
+  // Two contended periods, then a calm one resets the streak.
+  builder.addPeriod(lwps, hwts, 8, 2, 24.0, 40);
+  controller.observe(lwps, hwts, kJpp);
+  builder.addPeriod(lwps, hwts, 8, 2, 24.0, 40);
+  controller.observe(lwps, hwts, kJpp);
+  builder.addPeriod(lwps, hwts, 8, 2, 24.0, 0);  // no preemptions
+  EXPECT_FALSE(controller.observe(lwps, hwts, kJpp).has_value());
+  builder.addPeriod(lwps, hwts, 8, 2, 24.0, 40);
+  EXPECT_FALSE(controller.observe(lwps, hwts, kJpp).has_value());
+  EXPECT_EQ(controller.recommendationsIssued(), 0);
+}
+
+TEST(ConcurrencyController, CooldownBlocksBackToBackChanges) {
+  ConcurrencyController controller(fastParams());  // confirm 2, cooldown 2
+  PeriodBuilder builder;
+  std::map<int, LwpRecord> lwps;
+  std::map<std::size_t, HwtRecord> hwts;
+  int recommendations = 0;
+  for (int period = 0; period < 8; ++period) {
+    builder.addPeriod(lwps, hwts, 8, 2, 24.0, 40);
+    if (controller.observe(lwps, hwts, kJpp)) {
+      ++recommendations;
+    }
+  }
+  // 8 periods: confirm(2) -> rec, cooldown(2), confirm(2) -> rec, ...
+  EXPECT_LE(recommendations, 2);
+  EXPECT_GE(recommendations, 1);
+}
+
+TEST(ConcurrencyController, DaemonThreadsIgnored) {
+  ConcurrencyController controller(fastParams());
+  PeriodBuilder builder;
+  std::map<int, LwpRecord> lwps;
+  std::map<std::size_t, HwtRecord> hwts;
+  // Add a busy ZeroSum/Other thread pair that must not count as team.
+  for (int period = 0; period < 5; ++period) {
+    builder.addPeriod(lwps, hwts, 2, 2, 92.0, 0);
+    LwpRecord& monitor = lwps[999];
+    monitor.tid = 999;
+    monitor.type = LwpType::kZeroSum;
+    LwpSample s;
+    s.utimeDelta = 90;
+    monitor.samples.push_back(s);
+    EXPECT_FALSE(controller.observe(lwps, hwts, kJpp).has_value());
+  }
+}
+
+TEST(ConcurrencyController, EmptyObservationsSafe) {
+  ConcurrencyController controller;
+  std::map<int, LwpRecord> lwps;
+  std::map<std::size_t, HwtRecord> hwts;
+  EXPECT_FALSE(controller.observe(lwps, hwts, kJpp).has_value());
+  EXPECT_FALSE(controller.observe(lwps, hwts, 0.0).has_value());
+}
+
+TEST(ConcurrencyController, ClampsToBounds) {
+  AdaptationParams params = fastParams();
+  params.maxThreads = 4;  // allocation larger than the allowed team
+  ConcurrencyController controller(params);
+  PeriodBuilder builder;
+  std::map<int, LwpRecord> lwps;
+  std::map<std::size_t, HwtRecord> hwts;
+  std::optional<Recommendation> rec;
+  for (int period = 0; period < 3 && !rec; ++period) {
+    builder.addPeriod(lwps, hwts, 2, 8, 95.0, 0);
+    rec = controller.observe(lwps, hwts, kJpp);
+  }
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->recommendedThreads, 4);
+}
+
+}  // namespace
+}  // namespace zerosum::core

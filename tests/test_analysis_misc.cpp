@@ -1,0 +1,273 @@
+// Heatmap rendering, utilization charts, overhead comparison, and rank
+// aggregation.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "analysis/aggregate.hpp"
+#include "analysis/charts.hpp"
+#include "analysis/heatmap.hpp"
+#include "analysis/overhead.hpp"
+#include "common/error.hpp"
+#include "mpisim/patterns.hpp"
+#include "procfs/simfs.hpp"
+
+namespace zerosum::analysis {
+namespace {
+
+mpisim::CommMatrix diagonalMatrix(int ranks) {
+  mpisim::CommMatrix m(ranks);
+  for (int r = 0; r < ranks; ++r) {
+    m.addSend(r, (r + 1) % ranks, 1000000);
+    m.addSend(r, (r + ranks - 1) % ranks, 1000000);
+  }
+  return m;
+}
+
+TEST(Heatmap, AsciiShowsDiagonal) {
+  const auto m = diagonalMatrix(32);
+  HeatmapOptions opts;
+  opts.bins = 32;
+  const std::string out = renderAscii(m, opts);
+  EXPECT_NE(out.find("32 ranks"), std::string::npos);
+  // Row 0 has its hot cells at columns 1 and 31; the darkest ramp char is
+  // '@' for the max cell.
+  const auto firstLineEnd = out.find('\n');
+  const auto row0End = out.find('\n', firstLineEnd + 1);
+  const std::string row0 =
+      out.substr(firstLineEnd + 1, row0End - firstLineEnd - 1);
+  ASSERT_EQ(row0.size(), 32u);
+  EXPECT_EQ(row0[1], '@');
+  EXPECT_EQ(row0[31], '@');
+  EXPECT_EQ(row0[16], ' ');  // far off-diagonal is empty
+}
+
+TEST(Heatmap, BinsClampedToRanks) {
+  const auto m = diagonalMatrix(8);
+  HeatmapOptions opts;
+  opts.bins = 64;  // more bins than ranks
+  const std::string out = renderAscii(m, opts);
+  EXPECT_NE(out.find("8x8 bins"), std::string::npos);
+}
+
+TEST(Heatmap, EmptyMatrixRendersBlank) {
+  mpisim::CommMatrix m(4);
+  const std::string out = renderAscii(m, {});
+  EXPECT_NE(out.find("max cell 0"), std::string::npos);
+}
+
+TEST(Heatmap, PgmFormat) {
+  const auto m = diagonalMatrix(16);
+  HeatmapOptions opts;
+  opts.bins = 16;
+  const std::string pgm = renderPgm(m, opts);
+  EXPECT_EQ(pgm.substr(0, 3), "P2\n");
+  EXPECT_NE(pgm.find("16 16"), std::string::npos);
+  EXPECT_NE(pgm.find("255"), std::string::npos);
+}
+
+TEST(Heatmap, PgmFileWritten) {
+  const auto m = diagonalMatrix(8);
+  const std::string path = "/tmp/zs_heatmap_test.pgm";
+  writePgmFile(m, path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string magic;
+  in >> magic;
+  EXPECT_EQ(magic, "P2");
+  std::filesystem::remove(path);
+}
+
+TEST(Heatmap, PgmBadPathThrows) {
+  const auto m = diagonalMatrix(4);
+  EXPECT_THROW(writePgmFile(m, "/nonexistent_dir/x.pgm"), StateError);
+}
+
+TEST(Heatmap, LinearVsLogScale) {
+  // One dominant cell and one faint cell: log scale lifts the faint one.
+  mpisim::CommMatrix m(4);
+  m.addSend(0, 1, 1000000);
+  m.addSend(2, 3, 100);
+  HeatmapOptions log;
+  log.bins = 4;
+  HeatmapOptions linear;
+  linear.bins = 4;
+  linear.logScale = false;
+  const std::string logOut = renderAscii(m, log);
+  const std::string linOut = renderAscii(m, linear);
+  // In linear scale the faint cell rounds to background; in log it shows.
+  auto cellChar = [](const std::string& out, int row, int col) {
+    std::size_t pos = out.find('\n') + 1;
+    for (int r = 0; r < row; ++r) {
+      pos = out.find('\n', pos) + 1;
+    }
+    return out[pos + static_cast<std::size_t>(col)];
+  };
+  EXPECT_EQ(cellChar(linOut, 2, 3), ' ');
+  EXPECT_NE(cellChar(logOut, 2, 3), ' ');
+}
+
+TEST(Charts, LwpChartRendersBars) {
+  std::map<int, core::LwpRecord> lwps;
+  core::LwpRecord r;
+  r.tid = 7;
+  r.type = LwpType::kOpenMp;
+  core::LwpSample s;
+  s.timeSeconds = 1.0;
+  s.utimeDelta = 50;
+  s.stimeDelta = 25;
+  r.samples.push_back(s);
+  lwps[7] = r;
+  ChartOptions opts;
+  opts.width = 20;
+  opts.jiffiesPerPeriod = 100.0;
+  const std::string out = renderLwpUtilization(lwps, opts);
+  EXPECT_NE(out.find("LWP 7 (OpenMP):"), std::string::npos);
+  // 50% user = 10 '#', 25% system = 5 '+', rest '.'.
+  EXPECT_NE(out.find("|##########+++++.....|"), std::string::npos);
+}
+
+TEST(Charts, HwtChartRendersBars) {
+  std::map<std::size_t, core::HwtRecord> hwts;
+  core::HwtRecord r;
+  r.cpu = 2;
+  core::HwtSample s;
+  s.timeSeconds = 1.0;
+  s.userPct = 100.0;
+  r.samples.push_back(s);
+  hwts[2] = r;
+  ChartOptions opts;
+  opts.width = 10;
+  const std::string out = renderHwtUtilization(hwts, opts);
+  EXPECT_NE(out.find("CPU 002:"), std::string::npos);
+  EXPECT_NE(out.find("|##########|"), std::string::npos);
+}
+
+TEST(Charts, BarNeverOverflowsWidth) {
+  std::map<std::size_t, core::HwtRecord> hwts;
+  core::HwtRecord r;
+  r.cpu = 0;
+  core::HwtSample s;
+  s.userPct = 80.0;
+  s.systemPct = 40.0;  // pathological: sums over 100
+  r.samples.push_back(s);
+  hwts[0] = r;
+  ChartOptions opts;
+  opts.width = 10;
+  const std::string out = renderHwtUtilization(hwts, opts);
+  const auto barStart = out.find('|');
+  const auto barEnd = out.find('|', barStart + 1);
+  EXPECT_EQ(barEnd - barStart - 1, 10u);
+}
+
+TEST(Charts, NoiseExcessPositiveForAlternatingLwps) {
+  // Two LWPs alternating 100/0 jiffies in antiphase: individually noisy,
+  // aggregate flat — the Figure 6 observation.
+  std::map<int, core::LwpRecord> lwps;
+  for (int tid : {1, 2}) {
+    core::LwpRecord r;
+    r.tid = tid;
+    for (int i = 0; i < 20; ++i) {
+      core::LwpSample s;
+      s.timeSeconds = i;
+      const bool on = (i + tid) % 2 == 0;
+      s.utimeDelta = on ? 100 : 0;
+      r.samples.push_back(s);
+    }
+    lwps[tid] = r;
+  }
+  EXPECT_GT(lwpNoiseExcess(lwps, 100.0), 10.0);
+}
+
+TEST(Charts, NoiseExcessNearZeroForSteadyLwps) {
+  std::map<int, core::LwpRecord> lwps;
+  core::LwpRecord r;
+  r.tid = 1;
+  for (int i = 0; i < 20; ++i) {
+    core::LwpSample s;
+    s.utimeDelta = 90;
+    r.samples.push_back(s);
+  }
+  lwps[1] = r;
+  EXPECT_NEAR(lwpNoiseExcess(lwps, 100.0), 0.0, 1e-9);
+}
+
+TEST(Overhead, IndistinguishableDistributions) {
+  const std::vector<double> a = {27.31, 27.35, 27.30, 27.36, 27.37,
+                                 27.33, 27.35, 27.30, 27.36, 27.34};
+  const OverheadResult r = compareOverhead(a, a);
+  EXPECT_FALSE(r.significant);
+  EXPECT_NEAR(r.ttest.pValue, 1.0, 1e-6);
+  const std::string text = renderOverhead(r, "one thread per core");
+  EXPECT_NE(text.find("no statistically significant overhead"),
+            std::string::npos);
+}
+
+TEST(Overhead, SignificantShiftReported) {
+  std::vector<double> baseline;
+  std::vector<double> withTool;
+  for (int i = 0; i < 10; ++i) {
+    const double jitter = 0.02 * (i % 5 - 2);
+    baseline.push_back(57.0657 + jitter);
+    withTool.push_back(57.3409 + jitter);
+  }
+  const OverheadResult r = compareOverhead(baseline, withTool);
+  EXPECT_TRUE(r.significant);
+  EXPECT_NEAR(r.overheadAbs, 0.2752, 1e-3);
+  EXPECT_LT(r.overheadFraction, 0.005);  // the paper's "< 0.5%"
+  const std::string text = renderOverhead(r, "two threads per core");
+  EXPECT_NE(text.find("measurable overhead"), std::string::npos);
+  EXPECT_NE(text.find("0.48%"), std::string::npos);
+}
+
+TEST(Aggregate, EmptyThrows) {
+  EXPECT_THROW(aggregate({}), StateError);
+}
+
+TEST(Aggregate, SummarizesAcrossSessions) {
+  // Two simulated ranks monitored in lockstep on one shared node.
+  sim::SimNode node(CpuSet::fromList("0-3"), 8ULL << 30);
+  const sim::Pid p0 = node.spawnProcess("a", CpuSet::fromList("0-1"));
+  sim::Behavior busy;
+  busy.iterations = 1;
+  busy.iterWorkJiffies = 350;
+  node.spawnTask(p0, "a", LwpType::kMain, busy, CpuSet::fromList("0"));
+  const sim::Pid p1 = node.spawnProcess("b", CpuSet::fromList("2-3"));
+  node.spawnTask(p1, "b", LwpType::kMain, busy, CpuSet::fromList("2"));
+
+  // Drive both processes on the shared node; sessions sample in lockstep.
+  core::Config cfg;
+  cfg.jiffyHz = sim::kHz;
+  cfg.signalHandler = false;
+  core::ProcessIdentity id0;
+  id0.rank = 0;
+  id0.pid = p0;
+  core::ProcessIdentity id1;
+  id1.rank = 1;
+  id1.pid = p1;
+  core::MonitorSession s0(cfg, procfs::makeSimProcFs(node, p0), id0);
+  core::MonitorSession s1(cfg, procfs::makeSimProcFs(node, p1), id1);
+  for (int t = 1; t <= 4; ++t) {
+    node.advance(sim::kHz);
+    s0.sampleNow(t);
+    s1.sampleNow(t);
+  }
+
+  const core::MonitorSession* sessions[] = {&s0, &s1};
+  const JobSummary job = aggregate(sessions);
+  EXPECT_EQ(job.ranks.size(), 2u);
+  EXPECT_DOUBLE_EQ(job.minDuration, 4.0);
+  EXPECT_DOUBLE_EQ(job.maxDuration, 4.0);
+  EXPECT_DOUBLE_EQ(job.imbalance, 0.0);
+  // Each rank: one busy HWT of two -> ~44% mean busy (350 of 800 jiffies).
+  EXPECT_GT(job.avgCpuBusyPct, 30.0);
+  EXPECT_LT(job.avgCpuBusyPct, 60.0);
+
+  const std::string text = renderJobSummary(job);
+  EXPECT_NE(text.find("Job summary (2 ranks):"), std::string::npos);
+  EXPECT_NE(text.find("imbalance 0.0%"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace zerosum::analysis

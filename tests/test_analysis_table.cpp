@@ -1,0 +1,91 @@
+#include "analysis/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace zerosum::analysis {
+namespace {
+
+TEST(Table, ParsesHeaderAndRows) {
+  const Table t = Table::fromCsvText("a,b,c\n1,2,3\n4,5,6\n");
+  EXPECT_EQ(t.header(), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(t.rowCount(), 2u);
+  EXPECT_EQ(t.row(0)[1], "2");
+  EXPECT_EQ(t.row(1)[2], "6");
+}
+
+TEST(Table, QuotedFieldsWithCommas) {
+  const Table t = Table::fromCsvText("id,affinity\n1,\"1-3,7\"\n");
+  EXPECT_EQ(t.column("affinity")[0], "1-3,7");
+}
+
+TEST(Table, EscapedQuotes) {
+  const Table t = Table::fromCsvText("x\n\"say \"\"hi\"\"\"\n");
+  EXPECT_EQ(t.column("x")[0], "say \"hi\"");
+}
+
+TEST(Table, SkipsBlankLinesAndCr) {
+  const Table t = Table::fromCsvText("a,b\r\n1,2\r\n\n3,4\n");
+  EXPECT_EQ(t.rowCount(), 2u);
+  EXPECT_EQ(t.row(1)[1], "4");
+}
+
+TEST(Table, RaggedRowThrows) {
+  EXPECT_THROW(Table::fromCsvText("a,b\n1\n"), ParseError);
+  EXPECT_THROW(Table::fromCsvText("a\n1,2\n"), ParseError);
+}
+
+TEST(Table, EmptyInputThrows) {
+  EXPECT_THROW(Table::fromCsvText(""), ParseError);
+}
+
+TEST(Table, HeaderOnlyIsEmptyTable) {
+  const Table t = Table::fromCsvText("a,b\n");
+  EXPECT_EQ(t.rowCount(), 0u);
+}
+
+TEST(Table, ColumnLookup) {
+  const Table t = Table::fromCsvText("a,b\n1,x\n2,y\n");
+  EXPECT_EQ(t.columnIndex("b"), 1u);
+  EXPECT_THROW(t.columnIndex("z"), NotFoundError);
+  EXPECT_EQ(t.column("b"), (std::vector<std::string>{"x", "y"}));
+}
+
+TEST(Table, NumericColumn) {
+  const Table t = Table::fromCsvText("v\n1.5\n-2\n");
+  const auto xs = t.numericColumn("v");
+  EXPECT_DOUBLE_EQ(xs[0], 1.5);
+  EXPECT_DOUBLE_EQ(xs[1], -2.0);
+  const Table bad = Table::fromCsvText("v\nhello\n");
+  EXPECT_THROW(bad.numericColumn("v"), ParseError);
+}
+
+TEST(Table, Filter) {
+  const Table t = Table::fromCsvText("tid,v\n1,a\n2,b\n1,c\n");
+  const Table only1 = t.filter("tid", "1");
+  EXPECT_EQ(only1.rowCount(), 2u);
+  EXPECT_EQ(only1.column("v"), (std::vector<std::string>{"a", "c"}));
+  EXPECT_EQ(t.filter("tid", "9").rowCount(), 0u);
+}
+
+TEST(Table, RoundTripWithQuoting) {
+  const std::string csv = "a,b\nplain,\"quoted,comma\"\n\"has \"\"q\"\"\",2\n";
+  const Table t = Table::fromCsvText(csv);
+  const Table again = Table::fromCsvText(t.toCsv());
+  EXPECT_EQ(again.rowCount(), t.rowCount());
+  EXPECT_EQ(again.column("b")[0], "quoted,comma");
+  EXPECT_EQ(again.column("a")[1], "has \"q\"");
+}
+
+TEST(Table, RowOutOfRangeThrows) {
+  const Table t = Table::fromCsvText("a\n1\n");
+  EXPECT_THROW(t.row(1), NotFoundError);
+}
+
+TEST(Table, ConstructorValidatesWidths) {
+  EXPECT_THROW(Table({"a", "b"}, {{"1"}}), ParseError);
+}
+
+}  // namespace
+}  // namespace zerosum::analysis

@@ -1,0 +1,85 @@
+#include "common/clock.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/error.hpp"
+
+namespace zerosum {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(RealPacer, WaitsApproximatelyOnePeriod) {
+  RealPacer pacer;
+  const auto before = std::chrono::steady_clock::now();
+  EXPECT_TRUE(pacer.waitPeriod(20ms));
+  const auto elapsed = std::chrono::steady_clock::now() - before;
+  EXPECT_GE(elapsed, 15ms);
+}
+
+TEST(RealPacer, StopInterruptsWait) {
+  RealPacer pacer;
+  std::thread stopper([&pacer] {
+    std::this_thread::sleep_for(10ms);
+    pacer.requestStop();
+  });
+  const auto before = std::chrono::steady_clock::now();
+  EXPECT_FALSE(pacer.waitPeriod(10s));
+  const auto elapsed = std::chrono::steady_clock::now() - before;
+  stopper.join();
+  EXPECT_LT(elapsed, 5s);
+}
+
+TEST(RealPacer, StopBeforeWaitReturnsFalseImmediately) {
+  RealPacer pacer;
+  pacer.requestStop();
+  EXPECT_FALSE(pacer.waitPeriod(10s));
+}
+
+TEST(RealPacer, ElapsedGrows) {
+  RealPacer pacer;
+  const double t0 = pacer.elapsedSeconds();
+  std::this_thread::sleep_for(5ms);
+  EXPECT_GT(pacer.elapsedSeconds(), t0);
+}
+
+TEST(VirtualPacer, AdvancesThroughCallback) {
+  int calls = 0;
+  VirtualPacer pacer([&calls](std::chrono::milliseconds period) {
+    EXPECT_EQ(period, 1000ms);
+    ++calls;
+    return calls < 3;
+  });
+  EXPECT_TRUE(pacer.waitPeriod(1000ms));
+  EXPECT_TRUE(pacer.waitPeriod(1000ms));
+  EXPECT_FALSE(pacer.waitPeriod(1000ms));  // callback signalled completion
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(VirtualPacer, TracksVirtualElapsed) {
+  VirtualPacer pacer([](std::chrono::milliseconds) { return true; });
+  EXPECT_DOUBLE_EQ(pacer.elapsedSeconds(), 0.0);
+  pacer.waitPeriod(1500ms);
+  pacer.waitPeriod(500ms);
+  EXPECT_DOUBLE_EQ(pacer.elapsedSeconds(), 2.0);
+}
+
+TEST(VirtualPacer, StopPreventsFurtherAdvance) {
+  int calls = 0;
+  VirtualPacer pacer([&calls](std::chrono::milliseconds) {
+    ++calls;
+    return true;
+  });
+  pacer.requestStop();
+  EXPECT_FALSE(pacer.waitPeriod(1000ms));
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(VirtualPacer, NullCallbackThrows) {
+  EXPECT_THROW(VirtualPacer(nullptr), StateError);
+}
+
+}  // namespace
+}  // namespace zerosum

@@ -1,0 +1,151 @@
+#include "cluster/job.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/aggregate.hpp"
+#include "common/error.hpp"
+#include "topology/presets.hpp"
+
+namespace zerosum::cluster {
+namespace {
+
+ClusterJobConfig smallJob() {
+  ClusterJobConfig cfg;
+  cfg.nodes = 2;
+  cfg.ranksPerNode = 2;
+  cfg.cpusPerTask = 7;
+  cfg.workload.ompThreads = 4;
+  cfg.workload.steps = 40;
+  cfg.workload.workPerStep = 10;
+  return cfg;
+}
+
+TEST(ClusterJob, ValidatesConfig) {
+  const auto topo = topology::presets::frontier();
+  ClusterJobConfig cfg = smallJob();
+  cfg.nodes = 0;
+  EXPECT_THROW(ClusterJob(topo, cfg), ConfigError);
+}
+
+TEST(ClusterJob, RankToNodeMapping) {
+  const auto topo = topology::presets::frontier();
+  ClusterJob job(topo, smallJob());
+  EXPECT_EQ(job.totalRanks(), 4);
+  EXPECT_EQ(job.nodeOfRank(0), 0);
+  EXPECT_EQ(job.nodeOfRank(1), 0);
+  EXPECT_EQ(job.nodeOfRank(2), 1);
+  EXPECT_EQ(job.nodeOfRank(3), 1);
+  EXPECT_THROW(job.nodeOfRank(4), NotFoundError);
+  EXPECT_EQ(job.hostnameOf(1), "node0001");
+}
+
+TEST(ClusterJob, RunsToCompletionAndSamplesEveryRank) {
+  const auto topo = topology::presets::frontier();
+  ClusterJob job(topo, smallJob());
+  job.run();
+  EXPECT_GT(job.runtimeSeconds(), 0.0);
+  EXPECT_LT(job.runtimeSeconds(), 100.0);
+  for (int rank = 0; rank < job.totalRanks(); ++rank) {
+    const auto& session = job.session(rank);
+    EXPECT_FALSE(session.lwps().records().empty()) << rank;
+    EXPECT_EQ(session.identity().rank, rank);
+    EXPECT_EQ(session.identity().hostname,
+              job.hostnameOf(job.nodeOfRank(rank)));
+  }
+}
+
+TEST(ClusterJob, BalancedJobHasLowImbalance) {
+  const auto topo = topology::presets::frontier();
+  ClusterJob job(topo, smallJob());
+  job.run();
+  const auto summary = analysis::aggregate(job.sessions());
+  EXPECT_EQ(summary.ranks.size(), 4u);
+  EXPECT_LT(summary.imbalance, 0.15);
+}
+
+TEST(ClusterJob, DashboardShowsEveryNodeAndTotals) {
+  const auto topo = topology::presets::frontier();
+  ClusterJob job(topo, smallJob());
+  job.run();
+  const std::string dash = job.dashboard();
+  EXPECT_NE(dash.find("node0000"), std::string::npos);
+  EXPECT_NE(dash.find("node0001"), std::string::npos);
+  EXPECT_NE(dash.find("whole allocation"), std::string::npos);
+  EXPECT_NE(dash.find("Job summary (4 ranks):"), std::string::npos);
+}
+
+TEST(ClusterJob, NoisyNeighborSlowsOnlyItsNode) {
+  const auto topo = topology::presets::frontier();
+
+  // Baseline: clean job.
+  ClusterJob clean(topo, smallJob());
+  clean.run();
+
+  // Same job, but node 1 hosts an aggressive CPU hog overlapping the
+  // job's cores (a mis-pinned neighbour, the Bhatele scenario).
+  ClusterJob noisy(topo, smallJob());
+  Interference hog;
+  hog.node = 1;
+  hog.cpus = CpuSet::fromList("1-7,9-15");  // exactly the job's cores
+  hog.threads = 14;  // saturates every core the job owns
+  noisy.addInterference(hog);
+  noisy.run();
+
+  EXPECT_GT(noisy.runtimeSeconds(), clean.runtimeSeconds());
+
+  // The interference is attributable: node 1's ranks show non-voluntary
+  // context switches far beyond node 0's.
+  std::uint64_t nvctxNode0 = 0;
+  std::uint64_t nvctxNode1 = 0;
+  for (int rank = 0; rank < noisy.totalRanks(); ++rank) {
+    std::uint64_t total = 0;
+    for (const auto& [tid, record] : noisy.session(rank).lwps().records()) {
+      total += record.totalNonvoluntaryCtx();
+    }
+    (noisy.nodeOfRank(rank) == 0 ? nvctxNode0 : nvctxNode1) += total;
+  }
+  EXPECT_GT(nvctxNode1, 10 * (nvctxNode0 + 1));
+
+  // And the job-level imbalance rises: the slow node drags the job.
+  const auto summary = analysis::aggregate(noisy.sessions());
+  std::uint64_t maxNode1Nvctx = 0;
+  for (const auto& rank : summary.ranks) {
+    if (noisy.nodeOfRank(rank.rank) == 1) {
+      maxNode1Nvctx = std::max(maxNode1Nvctx, rank.totalNvctx);
+    }
+  }
+  EXPECT_GT(maxNode1Nvctx, 0u);
+}
+
+TEST(ClusterJob, InterferenceMemoryVisibleInMeminfo) {
+  const auto topo = topology::presets::frontier();
+  ClusterJob job(topo, smallJob());
+  Interference hog;
+  hog.node = 0;
+  hog.cpus = CpuSet::fromList("33-39");  // off the job's cores
+  hog.threads = 1;
+  hog.memoryBytes = 400ULL << 30;  // consumes most of the 512 GB node
+  job.addInterference(hog);
+  job.run();
+
+  // Rank 0 (node 0) observed the external memory pressure; rank 2
+  // (node 1) did not.
+  const auto& pressured = job.session(0).memory().samples().back();
+  const auto& clean = job.session(2).memory().samples().back();
+  EXPECT_LT(pressured.memAvailableKb, clean.memAvailableKb / 2);
+}
+
+TEST(ClusterJob, InterferenceValidation) {
+  const auto topo = topology::presets::frontier();
+  ClusterJob job(topo, smallJob());
+  Interference bad;
+  bad.node = 9;
+  EXPECT_THROW(job.addInterference(bad), ConfigError);
+  job.run();
+  Interference late;
+  late.node = 0;
+  EXPECT_THROW(job.addInterference(late), StateError);
+}
+
+}  // namespace
+}  // namespace zerosum::cluster

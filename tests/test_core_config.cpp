@@ -1,0 +1,86 @@
+#include "core/config.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/env.hpp"
+#include "common/error.hpp"
+
+namespace zerosum::core {
+namespace {
+
+class ConfigTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    for (const char* name :
+         {"ZS_PERIOD_MS", "ZS_ASYNC_CORE", "ZS_HEARTBEAT",
+          "ZS_HEARTBEAT_PERIODS", "ZS_SIGNAL_HANDLER", "ZS_DEADLOCK_DETECT",
+          "ZS_DEADLOCK_PERIODS", "ZS_LOG_PREFIX", "ZS_CSV", "ZS_MONITOR_GPU",
+          "ZS_MONITOR_MEMORY", "ZS_MEM_WARN_FRACTION"}) {
+      env::unsetForTesting(name);
+    }
+  }
+};
+
+TEST_F(ConfigTest, DefaultsMatchPaper) {
+  const Config cfg = Config::fromEnv();
+  EXPECT_EQ(cfg.period.count(), 1000);  // 1 s sampling, the paper's default
+  EXPECT_EQ(cfg.asyncCore, -1);         // last allowed HWT
+  EXPECT_FALSE(cfg.heartbeat);
+  EXPECT_TRUE(cfg.signalHandler);
+  EXPECT_TRUE(cfg.csvExport);
+  EXPECT_EQ(cfg.logPrefix, "zerosum");
+  EXPECT_DOUBLE_EQ(cfg.jiffiesPerPeriod(), 100.0);
+}
+
+TEST_F(ConfigTest, EnvOverrides) {
+  env::setForTesting("ZS_PERIOD_MS", "250");
+  env::setForTesting("ZS_ASYNC_CORE", "5");
+  env::setForTesting("ZS_HEARTBEAT", "1");
+  env::setForTesting("ZS_LOG_PREFIX", "myrun");
+  env::setForTesting("ZS_CSV", "off");
+  const Config cfg = Config::fromEnv();
+  EXPECT_EQ(cfg.period.count(), 250);
+  EXPECT_EQ(cfg.asyncCore, 5);
+  EXPECT_TRUE(cfg.heartbeat);
+  EXPECT_EQ(cfg.logPrefix, "myrun");
+  EXPECT_FALSE(cfg.csvExport);
+  EXPECT_DOUBLE_EQ(cfg.jiffiesPerPeriod(), 25.0);
+}
+
+TEST_F(ConfigTest, InvalidPeriodThrows) {
+  env::setForTesting("ZS_PERIOD_MS", "0");
+  EXPECT_THROW(Config::fromEnv(), ConfigError);
+  env::setForTesting("ZS_PERIOD_MS", "-5");
+  EXPECT_THROW(Config::fromEnv(), ConfigError);
+  env::setForTesting("ZS_PERIOD_MS", "fast");
+  EXPECT_THROW(Config::fromEnv(), ConfigError);
+}
+
+TEST_F(ConfigTest, InvalidHeartbeatPeriodsThrows) {
+  env::setForTesting("ZS_HEARTBEAT_PERIODS", "0");
+  EXPECT_THROW(Config::fromEnv(), ConfigError);
+}
+
+TEST_F(ConfigTest, InvalidDeadlockPeriodsThrows) {
+  env::setForTesting("ZS_DEADLOCK_PERIODS", "1");
+  EXPECT_THROW(Config::fromEnv(), ConfigError);
+}
+
+TEST_F(ConfigTest, MemWarnFractionBounds) {
+  env::setForTesting("ZS_MEM_WARN_FRACTION", "0");
+  EXPECT_THROW(Config::fromEnv(), ConfigError);
+  env::setForTesting("ZS_MEM_WARN_FRACTION", "1.5");
+  EXPECT_THROW(Config::fromEnv(), ConfigError);
+  env::setForTesting("ZS_MEM_WARN_FRACTION", "0.8");
+  EXPECT_DOUBLE_EQ(Config::fromEnv().memWarnFraction, 0.8);
+}
+
+TEST_F(ConfigTest, JiffiesPerPeriodUsesHz) {
+  Config cfg;
+  cfg.period = std::chrono::milliseconds(500);
+  cfg.jiffyHz = 1000;
+  EXPECT_DOUBLE_EQ(cfg.jiffiesPerPeriod(), 500.0);
+}
+
+}  // namespace
+}  // namespace zerosum::core

@@ -1,0 +1,114 @@
+#include "core/progress.hpp"
+
+#include <gtest/gtest.h>
+
+namespace zerosum::core {
+namespace {
+
+LwpRecord busyRecord(int tid, std::uint64_t delta) {
+  LwpRecord r;
+  r.tid = tid;
+  r.type = LwpType::kMain;
+  LwpSample s;
+  s.utimeDelta = delta;
+  r.samples.push_back(s);
+  return r;
+}
+
+std::map<int, LwpRecord> lwpsWithDelta(std::uint64_t delta) {
+  std::map<int, LwpRecord> lwps;
+  lwps[1] = busyRecord(1, delta);
+  return lwps;
+}
+
+TEST(ProgressDetector, HeartbeatEveryN) {
+  ProgressDetector detector(5);
+  std::vector<std::string> lines;
+  detector.setHeartbeatSink([&](const std::string& s) { lines.push_back(s); });
+  const auto lwps = lwpsWithDelta(10);
+  for (int i = 1; i <= 6; ++i) {
+    detector.observe(i, lwps, /*heartbeatEvery=*/3);
+  }
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("heartbeat"), std::string::npos);
+  EXPECT_NE(lines[0].find("1 LWPs, 1 making progress"), std::string::npos);
+}
+
+TEST(ProgressDetector, NoSinkNoCrash) {
+  ProgressDetector detector(3);
+  detector.observe(1.0, lwpsWithDelta(5), 1);
+}
+
+TEST(ProgressDetector, StuckAfterConsecutiveIdlePeriods) {
+  ProgressDetector detector(3);
+  const auto idle = lwpsWithDelta(0);
+  detector.observe(1.0, idle, 0);
+  detector.observe(2.0, idle, 0);
+  EXPECT_FALSE(detector.stuck());
+  detector.observe(3.0, idle, 0);
+  EXPECT_TRUE(detector.stuck());
+  ASSERT_EQ(detector.reports().size(), 1u);
+  EXPECT_DOUBLE_EQ(detector.reports().front().sinceSeconds, 1.0);
+  EXPECT_DOUBLE_EQ(detector.reports().front().atSeconds, 3.0);
+  EXPECT_EQ(detector.reports().front().tids, std::vector<int>{1});
+  EXPECT_NE(detector.reports().front().description.find("deadlock"),
+            std::string::npos);
+}
+
+TEST(ProgressDetector, ProgressResetsStreak) {
+  ProgressDetector detector(3);
+  detector.observe(1.0, lwpsWithDelta(0), 0);
+  detector.observe(2.0, lwpsWithDelta(0), 0);
+  detector.observe(3.0, lwpsWithDelta(7), 0);  // progress!
+  detector.observe(4.0, lwpsWithDelta(0), 0);
+  detector.observe(5.0, lwpsWithDelta(0), 0);
+  EXPECT_FALSE(detector.stuck());
+  EXPECT_TRUE(detector.reports().empty());
+}
+
+TEST(ProgressDetector, RecoveryClearsStuckFlag) {
+  ProgressDetector detector(2);
+  detector.observe(1.0, lwpsWithDelta(0), 0);
+  detector.observe(2.0, lwpsWithDelta(0), 0);
+  EXPECT_TRUE(detector.stuck());
+  detector.observe(3.0, lwpsWithDelta(4), 0);
+  EXPECT_FALSE(detector.stuck());
+  EXPECT_EQ(detector.reports().size(), 1u);  // history kept
+}
+
+TEST(ProgressDetector, ZeroSumThreadExcludedFromJudgement) {
+  // Only the monitor thread is busy: the application is still stuck.
+  ProgressDetector detector(2);
+  std::map<int, LwpRecord> lwps = lwpsWithDelta(0);
+  LwpRecord monitor = busyRecord(99, 5);
+  monitor.type = LwpType::kZeroSum;
+  lwps[99] = monitor;
+  detector.observe(1.0, lwps, 0);
+  detector.observe(2.0, lwps, 0);
+  EXPECT_TRUE(detector.stuck());
+}
+
+TEST(ProgressDetector, DeadRecordsIgnored) {
+  ProgressDetector detector(2);
+  std::map<int, LwpRecord> lwps;
+  LwpRecord dead = busyRecord(1, 0);
+  dead.alive = false;
+  lwps[1] = dead;
+  detector.observe(1.0, lwps, 0);
+  detector.observe(2.0, lwps, 0);
+  // Nothing live to judge: not stuck.
+  EXPECT_FALSE(detector.stuck());
+}
+
+TEST(ProgressDetector, WarningSentToSink) {
+  ProgressDetector detector(2);
+  std::vector<std::string> lines;
+  detector.setHeartbeatSink([&](const std::string& s) { lines.push_back(s); });
+  detector.observe(1.0, lwpsWithDelta(0), 0);
+  detector.observe(2.0, lwpsWithDelta(0), 0);
+  ASSERT_FALSE(lines.empty());
+  EXPECT_NE(lines.back().find("WARNING"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace zerosum::core

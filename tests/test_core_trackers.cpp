@@ -1,0 +1,279 @@
+// Tracker tests against the simulated node: the same provider interface the
+// real tool uses, but with a fully controlled ground truth.
+#include <gtest/gtest.h>
+
+#include "core/gpu_tracker.hpp"
+#include "core/hwt_tracker.hpp"
+#include "core/lwp_tracker.hpp"
+#include "core/memory_tracker.hpp"
+#include "gpu/simulated.hpp"
+#include "procfs/simfs.hpp"
+
+namespace zerosum::core {
+namespace {
+
+sim::Behavior compute(std::uint64_t iterations, sim::Jiffies work,
+                      double sysFrac = 0.1) {
+  sim::Behavior b;
+  b.iterations = iterations;
+  b.iterWorkJiffies = work;
+  b.systemFraction = sysFrac;
+  return b;
+}
+
+class TrackerTest : public ::testing::Test {
+ protected:
+  TrackerTest() : node_(CpuSet::fromList("0-3"), 4ULL << 30) {
+    pid_ = node_.spawnProcess("app", CpuSet::fromList("0-2"));
+    mainTid_ = node_.spawnTask(pid_, "app", LwpType::kMain, compute(1, 500),
+                               CpuSet::fromList("0"));
+    fs_ = procfs::makeSimProcFs(node_);
+  }
+
+  /// Advances one "second" (kHz jiffies) and samples.
+  void step(LwpTracker& tracker) {
+    node_.advance(sim::kHz);
+    tracker.sample(node_.nowSeconds());
+  }
+
+  sim::SimNode node_;
+  sim::Pid pid_ = 0;
+  sim::Tid mainTid_ = 0;
+  std::unique_ptr<procfs::ProcFs> fs_;
+};
+
+TEST_F(TrackerTest, LwpDiscoveryFindsAllThreads) {
+  node_.spawnTask(pid_, "omp-worker", LwpType::kOpenMp, compute(1, 500));
+  node_.spawnTask(pid_, "zerosum", LwpType::kZeroSum, compute(0, 0));
+  LwpTracker tracker(*fs_, pid_);
+  step(tracker);
+  EXPECT_EQ(tracker.records().size(), 3u);
+  EXPECT_EQ(tracker.liveCount(), 3u);
+}
+
+TEST_F(TrackerTest, LwpClassificationByNameAndPid) {
+  const sim::Tid worker =
+      node_.spawnTask(pid_, "omp-worker", LwpType::kOpenMp, compute(1, 500));
+  const sim::Tid monitor =
+      node_.spawnTask(pid_, "zerosum", LwpType::kZeroSum, compute(0, 0));
+  const sim::Tid helper =
+      node_.spawnTask(pid_, "cray-mpich-helper", LwpType::kOther,
+                      compute(0, 0));
+  LwpTracker tracker(*fs_, pid_);
+  step(tracker);
+  EXPECT_EQ(tracker.records().at(mainTid_).type, LwpType::kMain);
+  EXPECT_EQ(tracker.records().at(worker).type, LwpType::kOpenMp);
+  EXPECT_EQ(tracker.records().at(monitor).type, LwpType::kZeroSum);
+  EXPECT_EQ(tracker.records().at(helper).type, LwpType::kOther);
+}
+
+TEST_F(TrackerTest, ExplicitHintBeatsName) {
+  const sim::Tid t =
+      node_.spawnTask(pid_, "omp-worker", LwpType::kOpenMp, compute(1, 500));
+  LwpTracker tracker(*fs_, pid_);
+  tracker.hintType(t, LwpType::kGpuHelper);
+  step(tracker);
+  EXPECT_EQ(tracker.records().at(t).type, LwpType::kGpuHelper);
+}
+
+TEST_F(TrackerTest, OmpTidsClassifyAndDaggerMain) {
+  const sim::Tid anon =
+      node_.spawnTask(pid_, "thread7", LwpType::kOther, compute(1, 500));
+  LwpTracker tracker(*fs_, pid_);
+  tracker.addOmpTids({anon, mainTid_});
+  step(tracker);
+  EXPECT_EQ(tracker.records().at(anon).type, LwpType::kOpenMp);
+  // The main thread keeps type Main but gets the paper's dagger.
+  EXPECT_EQ(tracker.records().at(mainTid_).type, LwpType::kMain);
+  EXPECT_TRUE(tracker.records().at(mainTid_).alsoOpenMp);
+}
+
+TEST_F(TrackerTest, LateOmpTidsRetrofitDagger) {
+  LwpTracker tracker(*fs_, pid_);
+  step(tracker);
+  EXPECT_FALSE(tracker.records().at(mainTid_).alsoOpenMp);
+  tracker.addOmpTids({mainTid_});
+  EXPECT_TRUE(tracker.records().at(mainTid_).alsoOpenMp);
+}
+
+TEST_F(TrackerTest, DeltasComputedBetweenSamples) {
+  LwpTracker tracker(*fs_, pid_);
+  step(tracker);
+  step(tracker);
+  const auto& record = tracker.records().at(mainTid_);
+  ASSERT_EQ(record.samples.size(), 2u);
+  const auto& s = record.samples.back();
+  // One fully-busy period: deltas sum to ~kHz jiffies.
+  EXPECT_EQ(s.utimeDelta + s.stimeDelta, sim::kHz);
+  EXPECT_EQ(s.utime, s.utimeDelta + record.samples[0].utime);
+}
+
+TEST_F(TrackerTest, VanishedThreadMarkedDead) {
+  const sim::Tid shortLived =
+      node_.spawnTask(pid_, "tmp", LwpType::kOther, compute(1, 150));
+  LwpTracker tracker(*fs_, pid_);
+  step(tracker);
+  EXPECT_TRUE(tracker.records().at(shortLived).alive);
+  // Run until it exits.
+  for (int i = 0; i < 5; ++i) {
+    step(tracker);
+  }
+  EXPECT_FALSE(tracker.records().at(shortLived).alive);
+  EXPECT_TRUE(tracker.records().at(mainTid_).samples.size() >= 2);
+  // History is retained for the report.
+  EXPECT_FALSE(tracker.records().at(shortLived).samples.empty());
+}
+
+TEST_F(TrackerTest, AffinityAndProcessorRecorded) {
+  LwpTracker tracker(*fs_, pid_);
+  step(tracker);
+  const auto& record = tracker.records().at(mainTid_);
+  EXPECT_EQ(record.lastAffinity().toList(), "0");
+  EXPECT_EQ(record.samples.back().processor, 0);
+  EXPECT_EQ(record.observedMigrations(), 0u);
+}
+
+TEST_F(TrackerTest, AffinityChangeDetected) {
+  LwpTracker tracker(*fs_, pid_);
+  step(tracker);
+  node_.setTaskAffinity(mainTid_, CpuSet::fromList("1"));
+  step(tracker);
+  EXPECT_TRUE(tracker.records().at(mainTid_).affinityChanged());
+  EXPECT_GE(tracker.records().at(mainTid_).observedMigrations(), 1u);
+}
+
+TEST_F(TrackerTest, HwtTrackerLimitsToWatchedSet) {
+  HwtTracker tracker(*fs_, CpuSet::fromList("0-2"));
+  node_.advance(sim::kHz);
+  tracker.sample(1.0);
+  EXPECT_EQ(tracker.records().size(), 3u);  // HWT 3 excluded
+  EXPECT_EQ(tracker.records().count(3), 0u);
+}
+
+TEST_F(TrackerTest, HwtPercentagesReflectLoad) {
+  HwtTracker tracker(*fs_, CpuSet::fromList("0-2"));
+  node_.advance(sim::kHz);
+  tracker.sample(1.0);
+  node_.advance(sim::kHz);
+  tracker.sample(2.0);
+  // HWT 0 hosts the busy main task; HWT 1/2 are idle.
+  const auto& busy = tracker.records().at(0);
+  const auto& idle = tracker.records().at(1);
+  EXPECT_GT(busy.avgUserPct(), 80.0);
+  EXPECT_GT(busy.avgSystemPct(), 2.0);
+  EXPECT_NEAR(idle.avgIdlePct(), 100.0, 0.01);
+  // Percentages sum to 100 per sample.
+  for (const auto& s : busy.samples) {
+    EXPECT_NEAR(s.userPct + s.systemPct + s.idlePct, 100.0, 0.01);
+  }
+}
+
+TEST_F(TrackerTest, HwtEmptyWatchedMeansAll) {
+  HwtTracker tracker(*fs_, CpuSet{});
+  node_.advance(10);
+  tracker.sample(0.1);
+  EXPECT_EQ(tracker.records().size(), 4u);
+}
+
+TEST_F(TrackerTest, MemoryTrackerSamplesNodeAndProcess) {
+  node_.setProcessRssModel(pid_, 100 << 20, 100 << 20, 1);
+  MemoryTracker tracker(*fs_, pid_, 0.95);
+  tracker.sample(1.0);
+  ASSERT_EQ(tracker.samples().size(), 1u);
+  const auto& s = tracker.samples().front();
+  EXPECT_EQ(s.memTotalKb, (4ULL << 30) / 1024);
+  EXPECT_EQ(s.processRssKb, (100ULL << 20) / 1024);
+  EXPECT_TRUE(tracker.events().empty());
+}
+
+TEST_F(TrackerTest, MemoryEventAttributedToProcess) {
+  // The process itself consumes nearly the whole node.
+  node_.setProcessRssModel(pid_, 3900ULL << 20, 3900ULL << 20, 1);
+  MemoryTracker tracker(*fs_, pid_, 0.90);
+  tracker.sample(1.0);
+  ASSERT_EQ(tracker.events().size(), 1u);
+  EXPECT_TRUE(tracker.events().front().attributedToProcess);
+  EXPECT_NE(tracker.events().front().description.find("application"),
+            std::string::npos);
+}
+
+TEST_F(TrackerTest, MemoryEventAttributedExternally) {
+  // An external consumer (another job / system process) eats the node.
+  node_.setSystemMemoryUsage(3900ULL << 20);
+  MemoryTracker tracker(*fs_, pid_, 0.90);
+  tracker.sample(1.0);
+  ASSERT_EQ(tracker.events().size(), 1u);
+  EXPECT_FALSE(tracker.events().front().attributedToProcess);
+  EXPECT_NE(tracker.events().front().description.find("external"),
+            std::string::npos);
+}
+
+TEST_F(TrackerTest, MemoryEventEdgeTriggered) {
+  node_.setSystemMemoryUsage(3900ULL << 20);
+  MemoryTracker tracker(*fs_, pid_, 0.90);
+  tracker.sample(1.0);
+  tracker.sample(2.0);
+  tracker.sample(3.0);
+  EXPECT_EQ(tracker.events().size(), 1u);  // not repeated every period
+  // Recovery then re-entry fires again.
+  node_.setSystemMemoryUsage(64 << 20);
+  tracker.sample(4.0);
+  node_.setSystemMemoryUsage(3900ULL << 20);
+  tracker.sample(5.0);
+  EXPECT_EQ(tracker.events().size(), 2u);
+}
+
+TEST_F(TrackerTest, PeakRssTracked) {
+  node_.setProcessRssModel(pid_, 10 << 20, 200 << 20, 2 * sim::kHz);
+  MemoryTracker tracker(*fs_, pid_, 0.99);
+  for (int i = 0; i < 4; ++i) {
+    node_.advance(sim::kHz);
+    tracker.sample(static_cast<double>(i));
+  }
+  EXPECT_EQ(tracker.peakRssKb(), (200ULL << 20) / 1024);
+}
+
+TEST(GpuTrackerTest, AccumulatesMinAvgMax) {
+  auto device = std::make_shared<gpu::SimulatedGpu>(0, 4, "gcd");
+  GpuTracker tracker({device}, 0.95);
+  device->setActivity(0.0);
+  device->advance(1.0);
+  tracker.sample(1.0);
+  device->setActivity(1.0);
+  device->advance(1.0);
+  tracker.sample(2.0);
+  ASSERT_EQ(tracker.records().size(), 1u);
+  const auto& record = tracker.records().front();
+  EXPECT_EQ(record.visibleIndex, 0);
+  EXPECT_EQ(record.physicalIndex, 4);
+  const auto& busy = record.accumulators.at(gpu::Metric::kDeviceBusyPct);
+  EXPECT_EQ(busy.count(), 2u);
+  EXPECT_DOUBLE_EQ(busy.min(), 0.0);
+  EXPECT_GT(busy.max(), 90.0);
+  EXPECT_EQ(record.samples.size(), 2u);
+}
+
+TEST(GpuTrackerTest, VramEventFires) {
+  gpu::SimulatedGpuParams params;
+  params.vramTotalBytes = 1ULL << 30;
+  auto device = std::make_shared<gpu::SimulatedGpu>(0, 0, "gcd", params);
+  GpuTracker tracker({device}, 0.90);
+  tracker.sample(1.0);
+  EXPECT_TRUE(tracker.events().empty());
+  device->allocate((1ULL << 30) * 95 / 100);
+  tracker.sample(2.0);
+  ASSERT_EQ(tracker.events().size(), 1u);
+  EXPECT_EQ(tracker.events().front().visibleIndex, 0);
+  tracker.sample(3.0);
+  EXPECT_EQ(tracker.events().size(), 1u);  // edge-triggered
+}
+
+TEST(GpuTrackerTest, EmptyDeviceListIsFine) {
+  GpuTracker tracker({});
+  tracker.sample(1.0);
+  EXPECT_TRUE(tracker.empty());
+  EXPECT_TRUE(tracker.records().empty());
+}
+
+}  // namespace
+}  // namespace zerosum::core

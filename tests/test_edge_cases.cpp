@@ -1,0 +1,176 @@
+// Edge cases and failure-injection across module boundaries: kernel
+// counter wraparound, degenerate report inputs, concurrent stream
+// publication, and hostile provider data.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "core/hwt_tracker.hpp"
+#include "core/lwp_tracker.hpp"
+#include "core/reporter.hpp"
+#include "common/error.hpp"
+#include "export/stream.hpp"
+#include "procfs/procfs.hpp"
+
+namespace zerosum {
+namespace {
+
+/// A scriptable provider: returns whatever the test installs, so counter
+/// regressions and malformed records can be injected at will.
+class ScriptedProcFs : public procfs::ProcFs {
+ public:
+  [[nodiscard]] int selfPid() const override { return 100; }
+  [[nodiscard]] std::vector<int> listPids() const override { return {100}; }
+  [[nodiscard]] std::vector<int> listTasks(int) const override {
+    return tids;
+  }
+  [[nodiscard]] std::string readProcessStatus(int) const override {
+    return processStatusText;
+  }
+  [[nodiscard]] std::string readTaskStat(int, int tid) const override {
+    return taskStatText.at(tid);
+  }
+  [[nodiscard]] std::string readTaskStatus(int, int tid) const override {
+    return taskStatusText.at(tid);
+  }
+  [[nodiscard]] std::string readMeminfo() const override {
+    return "MemTotal: 1000 kB\nMemFree: 500 kB\nMemAvailable: 600 kB\n";
+  }
+  [[nodiscard]] std::string readStat() const override { return statText; }
+  [[nodiscard]] std::string readLoadavg() const override {
+    return "0.00 0.00 0.00 1/2 3\n";
+  }
+
+  std::vector<int> tids{100};
+  std::string processStatusText =
+      "Name:\tapp\nPid:\t100\nTgid:\t100\nThreads:\t1\n"
+      "Cpus_allowed_list:\t0\nVmRSS:\t10 kB\n";
+  std::map<int, std::string> taskStatText{
+      {100, "100 (app) R 1 1 1 0 1 0 5 0 0 0 10 2 0 0 20 0 1 0 0"}};
+  std::map<int, std::string> taskStatusText{
+      {100,
+       "Name:\tapp\nPid:\t100\nCpus_allowed_list:\t0\n"
+       "voluntary_ctxt_switches:\t1\nnonvoluntary_ctxt_switches:\t0\n"}};
+  std::string statText = "cpu0 10 0 2 88 0 0 0 0 0 0\n";
+};
+
+std::string statLine(int tid, std::uint64_t utime, std::uint64_t stime) {
+  return std::to_string(tid) + " (app) R 1 1 1 0 1 0 5 0 0 0 " +
+         std::to_string(utime) + " " + std::to_string(stime) +
+         " 0 0 20 0 1 0 0";
+}
+
+TEST(EdgeCases, LwpCounterRegressionClampsToZeroDelta) {
+  // A tid can be recycled by the kernel: the "same" tid reappears with
+  // *smaller* cumulative counters.  The tracker must not underflow.
+  ScriptedProcFs fs;
+  core::LwpTracker tracker(fs, 100);
+  fs.taskStatText[100] = statLine(100, 500, 50);
+  tracker.sample(1.0);
+  fs.taskStatText[100] = statLine(100, 20, 5);  // regression
+  tracker.sample(2.0);
+  const auto& record = tracker.records().at(100);
+  EXPECT_EQ(record.samples.back().utimeDelta, 0u);
+  EXPECT_EQ(record.samples.back().stimeDelta, 0u);
+}
+
+TEST(EdgeCases, HwtCounterRegressionClampsToIdle) {
+  ScriptedProcFs fs;
+  core::HwtTracker tracker(fs, CpuSet::fromList("0"));
+  fs.statText = "cpu0 100 0 50 850 0 0 0 0 0 0\n";
+  tracker.sample(1.0);
+  fs.statText = "cpu0 10 0 5 85 0 0 0 0 0 0\n";  // counters went backwards
+  tracker.sample(2.0);
+  const auto& record = tracker.records().at(0);
+  // All deltas clamp to zero: the period reads as 100% idle fallback.
+  EXPECT_DOUBLE_EQ(record.samples.back().idlePct, 100.0);
+}
+
+TEST(EdgeCases, MalformedTaskIsSkippedNotFatal) {
+  // One thread's record becomes unreadable mid-scan (raced with exit, or
+  // the kernel handed back a truncated read): monitoring must carry on
+  // with the remaining threads rather than kill the application's tool.
+  ScriptedProcFs fs;
+  fs.tids = {100, 101};
+  fs.taskStatText[101] = statLine(101, 7, 1);
+  fs.taskStatusText[101] = fs.taskStatusText[100];
+  core::LwpTracker tracker(fs, 100);
+  tracker.sample(1.0);
+  EXPECT_EQ(tracker.records().size(), 2u);
+
+  fs.taskStatText[101] = "garbage that cannot parse";
+  tracker.sample(2.0);  // must not throw
+  EXPECT_FALSE(tracker.records().at(101).alive);
+  EXPECT_TRUE(tracker.records().at(100).alive);
+  EXPECT_EQ(tracker.records().at(100).samples.size(), 2u);
+}
+
+TEST(EdgeCases, VanishedThreadIsTolerated) {
+  class VanishingFs final : public ScriptedProcFs {
+   public:
+    [[nodiscard]] std::string readTaskStat(int pid, int tid) const override {
+      if (tid == 101) {
+        throw NotFoundError("tid 101 exited");
+      }
+      return ScriptedProcFs::readTaskStat(pid, tid);
+    }
+  };
+  VanishingFs fs;
+  fs.tids = {100, 101};
+  core::LwpTracker tracker(fs, 100);
+  tracker.sample(1.0);  // must not throw
+  EXPECT_EQ(tracker.records().size(), 1u);
+  EXPECT_EQ(tracker.liveCount(), 1u);
+}
+
+TEST(EdgeCases, ReporterHandlesEmptyInputs) {
+  core::ReportInput input;
+  input.identity.pid = 1;
+  std::map<int, core::LwpRecord> lwps;
+  std::map<std::size_t, core::HwtRecord> hwts;
+  input.lwps = &lwps;
+  input.hwts = &hwts;
+  const std::string out = core::Reporter::render(input);
+  EXPECT_NE(out.find("Duration of execution: 0.000 s"), std::string::npos);
+  EXPECT_NE(out.find("CPUs allowed: []"), std::string::npos);
+}
+
+TEST(EdgeCases, ConcurrentStreamPublishAndSubscribe) {
+  // The monitor thread publishes while the application registers and
+  // removes consumers: no crash, no lost batch accounting.
+  exporter::MetricStream stream;
+  std::atomic<bool> stop{false};
+  std::thread publisher([&] {
+    exporter::Batch batch{exporter::Record{1.0, "rank.0", "x", 1.0}};
+    while (!stop.load()) {
+      stream.publish(batch);
+    }
+  });
+  while (stream.batchesPublished() == 0) {
+    std::this_thread::yield();  // publisher is demonstrably running
+  }
+  for (int i = 0; i < 200; ++i) {
+    const int handle = stream.subscribe([](const exporter::Batch&) {});
+    stream.unsubscribe(handle);
+  }
+  stop.store(true);
+  publisher.join();
+  EXPECT_GT(stream.batchesPublished(), 0u);
+  EXPECT_EQ(stream.subscriberCount(), 0u);
+}
+
+TEST(EdgeCases, TrackerAcceptsUnboundAffinityWiderThanWatched) {
+  // The "Other" helper thread reports an affinity covering HWTs outside
+  // the watched set (the paper's unbound MPI helper); the LWP tracker
+  // records it verbatim.
+  ScriptedProcFs fs;
+  fs.taskStatusText[100] =
+      "Name:\tapp\nPid:\t100\nCpus_allowed_list:\t0-127\n"
+      "voluntary_ctxt_switches:\t1\nnonvoluntary_ctxt_switches:\t0\n";
+  core::LwpTracker tracker(fs, 100);
+  tracker.sample(1.0);
+  EXPECT_EQ(tracker.records().at(100).lastAffinity().count(), 128u);
+}
+
+}  // namespace
+}  // namespace zerosum

@@ -1,0 +1,70 @@
+#include "common/env.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace zerosum::env {
+namespace {
+
+class EnvTest : public ::testing::Test {
+ protected:
+  void TearDown() override { unsetForTesting("ZS_TEST_VAR"); }
+};
+
+TEST_F(EnvTest, UnsetReturnsFallback) {
+  unsetForTesting("ZS_TEST_VAR");
+  EXPECT_FALSE(get("ZS_TEST_VAR"));
+  EXPECT_EQ(getString("ZS_TEST_VAR", "dflt"), "dflt");
+  EXPECT_EQ(getInt("ZS_TEST_VAR", 7), 7);
+  EXPECT_DOUBLE_EQ(getDouble("ZS_TEST_VAR", 1.5), 1.5);
+  EXPECT_TRUE(getBool("ZS_TEST_VAR", true));
+}
+
+TEST_F(EnvTest, StringRoundTrip) {
+  setForTesting("ZS_TEST_VAR", "hello");
+  EXPECT_EQ(getString("ZS_TEST_VAR", "x"), "hello");
+}
+
+TEST_F(EnvTest, IntParses) {
+  setForTesting("ZS_TEST_VAR", "250");
+  EXPECT_EQ(getInt("ZS_TEST_VAR", 0), 250);
+  setForTesting("ZS_TEST_VAR", "-3");
+  EXPECT_EQ(getInt("ZS_TEST_VAR", 0), -3);
+  setForTesting("ZS_TEST_VAR", " 42 ");
+  EXPECT_EQ(getInt("ZS_TEST_VAR", 0), 42);
+}
+
+TEST_F(EnvTest, MalformedIntThrows) {
+  setForTesting("ZS_TEST_VAR", "1s");
+  EXPECT_THROW(getInt("ZS_TEST_VAR", 0), ConfigError);
+}
+
+TEST_F(EnvTest, DoubleParses) {
+  setForTesting("ZS_TEST_VAR", "0.95");
+  EXPECT_DOUBLE_EQ(getDouble("ZS_TEST_VAR", 0.0), 0.95);
+}
+
+TEST_F(EnvTest, MalformedDoubleThrows) {
+  setForTesting("ZS_TEST_VAR", "95%");
+  EXPECT_THROW(getDouble("ZS_TEST_VAR", 0.0), ConfigError);
+}
+
+TEST_F(EnvTest, BoolAcceptsCommonSpellings) {
+  for (const char* truthy : {"1", "true", "TRUE", "yes", "on", "On"}) {
+    setForTesting("ZS_TEST_VAR", truthy);
+    EXPECT_TRUE(getBool("ZS_TEST_VAR", false)) << truthy;
+  }
+  for (const char* falsy : {"0", "false", "no", "OFF"}) {
+    setForTesting("ZS_TEST_VAR", falsy);
+    EXPECT_FALSE(getBool("ZS_TEST_VAR", true)) << falsy;
+  }
+}
+
+TEST_F(EnvTest, MalformedBoolThrows) {
+  setForTesting("ZS_TEST_VAR", "maybe");
+  EXPECT_THROW(getBool("ZS_TEST_VAR", false), ConfigError);
+}
+
+}  // namespace
+}  // namespace zerosum::env

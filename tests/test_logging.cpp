@@ -1,0 +1,57 @@
+#include "common/logging.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace zerosum::log {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    setSink(&sink_);
+    previous_ = threshold();
+  }
+  void TearDown() override {
+    setSink(nullptr);
+    setThreshold(previous_);
+  }
+
+  std::ostringstream sink_;
+  Level previous_ = Level::kWarn;
+};
+
+TEST_F(LoggingTest, BelowThresholdIsSuppressed) {
+  setThreshold(Level::kWarn);
+  write(Level::kInfo, "quiet");
+  EXPECT_TRUE(sink_.str().empty());
+}
+
+TEST_F(LoggingTest, AtThresholdIsEmitted) {
+  setThreshold(Level::kWarn);
+  write(Level::kWarn, "loud");
+  EXPECT_NE(sink_.str().find("loud"), std::string::npos);
+  EXPECT_NE(sink_.str().find("WARN"), std::string::npos);
+}
+
+TEST_F(LoggingTest, OffSilencesEverything) {
+  setThreshold(Level::kOff);
+  write(Level::kError, "nope");
+  EXPECT_TRUE(sink_.str().empty());
+}
+
+TEST_F(LoggingTest, StreamBuilderComposes) {
+  setThreshold(Level::kDebug);
+  debug() << "value=" << 42 << " name=" << "x";
+  EXPECT_NE(sink_.str().find("value=42 name=x"), std::string::npos);
+}
+
+TEST_F(LoggingTest, EachLevelTagged) {
+  setThreshold(Level::kDebug);
+  error() << "e";
+  EXPECT_NE(sink_.str().find("ERROR"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace zerosum::log

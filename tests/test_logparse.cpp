@@ -1,0 +1,142 @@
+#include "analysis/logparse.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "core/monitor.hpp"
+#include "procfs/simfs.hpp"
+#include "sim/workload.hpp"
+
+namespace zerosum::analysis {
+namespace {
+
+const char kSampleLog[] =
+    "Duration of execution: 210.878 s\n"
+    "\n"
+    "Process Summary:\n"
+    "MPI 003 - PID 51334 - Node frontier09085 - CPUs allowed: [1-7]\n"
+    "\n"
+    "LWP (thread) Summary:\n"
+    "LWP 51334: Main, OpenMP - stime: 12.48, utime: 63.94, nv_ctx: 4, "
+    "ctx: 365488, CPUs: [1]\n"
+    "\n"
+    "=== CSV: LWP time series ===\n"
+    "time,tid,type,state,utime,stime,utime_delta,stime_delta,vctx,nvctx,"
+    "minflt,majflt,processor,affinity\n"
+    "1.000,51334,Main,R,64,12,64,12,100,1,10,0,1,\"1\"\n"
+    "2.000,51334,Main,R,128,25,64,13,200,2,20,0,1,\"1\"\n"
+    "\n"
+    "=== CSV: HWT time series ===\n"
+    "time,cpu,user_pct,system_pct,idle_pct\n"
+    "1.000,1,64.52,12.42,23.06\n";
+
+TEST(LogParse, HeaderFields) {
+  const ParsedLog log = parseLogText(kSampleLog);
+  EXPECT_DOUBLE_EQ(log.durationSeconds, 210.878);
+  EXPECT_EQ(log.rank, 3);
+  EXPECT_EQ(log.pid, 51334);
+  EXPECT_EQ(log.hostname, "frontier09085");
+  EXPECT_EQ(log.cpusAllowed.toList(), "1-7");
+  EXPECT_NE(log.reportText.find("LWP (thread) Summary:"), std::string::npos);
+  // The CSV content is not part of the report text.
+  EXPECT_EQ(log.reportText.find("utime_delta"), std::string::npos);
+}
+
+TEST(LogParse, SectionsParseAsTables) {
+  const ParsedLog log = parseLogText(kSampleLog);
+  EXPECT_TRUE(log.hasSection("LWP time series"));
+  EXPECT_TRUE(log.hasSection("HWT time series"));
+  EXPECT_FALSE(log.hasSection("GPU time series"));
+  const Table& lwp = log.section("LWP time series");
+  EXPECT_EQ(lwp.rowCount(), 2u);
+  EXPECT_DOUBLE_EQ(lwp.numericColumn("utime_delta")[1], 64.0);
+  EXPECT_EQ(lwp.column("affinity")[0], "1");
+  EXPECT_THROW(log.section("nope"), NotFoundError);
+}
+
+TEST(LogParse, MissingDurationThrows) {
+  EXPECT_THROW(parseLogText("hello\nworld\n"), ParseError);
+}
+
+TEST(LogParse, MalformedHeaderThrows) {
+  EXPECT_THROW(parseLogText("Duration of execution: soon s\n"), ParseError);
+  EXPECT_THROW(
+      parseLogText("Duration of execution: 1.0 s\nMPI x - PID 1 - Node n - "
+                   "CPUs allowed: [1]\n"),
+      ParseError);
+}
+
+TEST(LogParse, MalformedSectionCsvNamesTheSection) {
+  const std::string bad =
+      "Duration of execution: 1.0 s\n"
+      "=== CSV: broken bit ===\n"
+      "a,b\n"
+      "1\n";
+  try {
+    parseLogText(bad);
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("broken bit"), std::string::npos);
+  }
+}
+
+TEST(LogParse, MissingFileThrows) {
+  EXPECT_THROW(parseLogFile("/no/such/zerosum.log"), NotFoundError);
+}
+
+TEST(LogParse, RoundTripsRealSessionLog) {
+  // Full circle: run a simulated session, writeLog(), parse it back, and
+  // check the parsed tables agree with the in-memory trackers.
+  sim::SimNode node(CpuSet::fromList("0-3"), 4ULL << 30);
+  sim::MiniQmcConfig qmc;
+  qmc.ompThreads = 2;
+  qmc.steps = 60;  // outlives the 4 sampling periods
+  qmc.workPerStep = 10;
+  const auto rank = sim::buildMiniQmcRank(node, CpuSet::fromList("0-1"), qmc,
+                                          node.hwts());
+  core::Config cfg;
+  cfg.jiffyHz = sim::kHz;
+  cfg.signalHandler = false;
+  core::ProcessIdentity identity;
+  identity.rank = 5;
+  identity.pid = rank.pid;
+  identity.hostname = "simnode";
+  core::MonitorSession session(cfg, procfs::makeSimProcFs(node, rank.pid),
+                               identity);
+  mpisim::Recorder recorder(5);
+  recorder.recordSend(6, 4096);
+  session.attachCommRecorder(&recorder);
+  for (int t = 1; t <= 4; ++t) {
+    node.advance(sim::kHz);
+    session.sampleNow(t);
+  }
+  std::ostringstream logStream;
+  session.writeLog(logStream);
+
+  const ParsedLog log = parseLogText(logStream.str());
+  EXPECT_EQ(log.rank, 5);
+  EXPECT_EQ(log.pid, rank.pid);
+  EXPECT_EQ(log.hostname, "simnode");
+  EXPECT_DOUBLE_EQ(log.durationSeconds, 4.0);
+  EXPECT_EQ(log.cpusAllowed.toList(), "0-1");
+
+  const Table& lwp = log.section("LWP time series");
+  // 4 samples for each live LWP; count rows for the main thread.
+  EXPECT_EQ(lwp.filter("tid", std::to_string(rank.mainTid)).rowCount(), 4u);
+
+  const Table& hwt = log.section("HWT time series");
+  EXPECT_EQ(hwt.rowCount(), 8u);  // 2 watched HWTs x 4 periods
+
+  const Table& mem = log.section("memory time series");
+  EXPECT_EQ(mem.rowCount(), 4u);
+
+  const Table& comm = log.section("MPI point-to-point");
+  EXPECT_EQ(comm.rowCount(), 1u);
+  EXPECT_EQ(comm.column("peer")[0], "6");
+  EXPECT_EQ(comm.column("bytes")[0], "4096");
+}
+
+}  // namespace
+}  // namespace zerosum::analysis

@@ -1,0 +1,191 @@
+#include "mpisim/comm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace zerosum::mpisim {
+namespace {
+
+TEST(World, RequiresPositiveSize) {
+  EXPECT_THROW(World(0), ConfigError);
+}
+
+TEST(World, RunsEveryRankOnce) {
+  World world(4);
+  std::atomic<int> count{0};
+  std::array<std::atomic<bool>, 4> seen{};
+  world.run([&](Comm& comm) {
+    seen[static_cast<std::size_t>(comm.rank())] = true;
+    EXPECT_EQ(comm.size(), 4);
+    ++count;
+  });
+  EXPECT_EQ(count.load(), 4);
+  for (const auto& s : seen) {
+    EXPECT_TRUE(s.load());
+  }
+}
+
+TEST(World, PointToPointDeliversPayload) {
+  World world(2);
+  world.run([](Comm& comm) {
+    if (comm.rank() == 0) {
+      std::vector<int> data(16);
+      std::iota(data.begin(), data.end(), 0);
+      comm.send(1, data, /*tag=*/7);
+    } else {
+      std::vector<int> data(16, -1);
+      comm.recv(0, data, /*tag=*/7);
+      EXPECT_EQ(data[0], 0);
+      EXPECT_EQ(data[15], 15);
+    }
+  });
+}
+
+TEST(World, TagsMatchIndependently) {
+  // Send tag 2 first, then tag 1; receiver asks for tag 1 first.
+  World world(2);
+  world.run([](Comm& comm) {
+    if (comm.rank() == 0) {
+      std::vector<int> a{111};
+      std::vector<int> b{222};
+      comm.send(1, a, 2);
+      comm.send(1, b, 1);
+    } else {
+      std::vector<int> x(1);
+      comm.recv(0, x, 1);
+      EXPECT_EQ(x[0], 222);
+      comm.recv(0, x, 2);
+      EXPECT_EQ(x[0], 111);
+    }
+  });
+}
+
+TEST(World, SizeMismatchThrows) {
+  World world(2);
+  EXPECT_THROW(world.run([](Comm& comm) {
+    if (comm.rank() == 0) {
+      std::vector<int> data(4);
+      comm.send(1, data, 0);
+    } else {
+      std::vector<int> data(8);
+      comm.recv(0, data, 0);
+    }
+  }),
+               StateError);
+}
+
+TEST(World, SendToInvalidRankThrows) {
+  World world(2);
+  EXPECT_THROW(world.run([](Comm& comm) {
+    std::vector<int> data(1);
+    comm.send(5, data, 0);
+  }),
+               NotFoundError);
+}
+
+TEST(World, BarrierSynchronizes) {
+  World world(4);
+  std::atomic<int> phase1{0};
+  std::atomic<bool> violated{false};
+  world.run([&](Comm& comm) {
+    ++phase1;
+    comm.barrier();
+    if (phase1.load() != 4) {
+      violated = true;
+    }
+    comm.barrier();
+  });
+  EXPECT_FALSE(violated.load());
+}
+
+TEST(World, RepeatedBarriersDoNotDeadlock) {
+  World world(3);
+  world.run([](Comm& comm) {
+    for (int i = 0; i < 50; ++i) {
+      comm.barrier();
+    }
+  });
+}
+
+TEST(World, AllreduceSumsAcrossRanks) {
+  World world(4);
+  world.run([](Comm& comm) {
+    const double mine = static_cast<double>(comm.rank() + 1);
+    EXPECT_DOUBLE_EQ(comm.allreduceSum(mine), 10.0);  // 1+2+3+4
+    // A second reduction starts clean.
+    EXPECT_DOUBLE_EQ(comm.allreduceSum(1.0), 4.0);
+  });
+}
+
+TEST(World, ExceptionInOneRankPropagates) {
+  World world(2);
+  EXPECT_THROW(world.run([](Comm& comm) {
+    if (comm.rank() == 1) {
+      throw StateError("rank 1 exploded");
+    }
+  }),
+               StateError);
+}
+
+TEST(World, RecordersCaptureTraffic) {
+  World world(2);
+  std::vector<Recorder> recorders;
+  recorders.emplace_back(0);
+  recorders.emplace_back(1);
+  world.attachRecorders(&recorders);
+  world.run([](Comm& comm) {
+    std::vector<char> data(1000);
+    if (comm.rank() == 0) {
+      comm.send(1, data, 0);
+      comm.send(1, data, 0);
+      comm.recv(1, data, 1);
+    } else {
+      comm.recv(0, data, 0);
+      comm.recv(0, data, 0);
+      comm.send(0, data, 1);
+    }
+  });
+  EXPECT_EQ(recorders[0].bytesSentTo(1), 2000u);
+  EXPECT_EQ(recorders[0].bytesReceivedFrom(1), 1000u);
+  EXPECT_EQ(recorders[1].bytesSentTo(0), 1000u);
+  EXPECT_EQ(recorders[1].bytesReceivedFrom(0), 2000u);
+  EXPECT_EQ(recorders[0].totalMessagesSent(), 2u);
+}
+
+TEST(World, RecorderSizeMismatchRejected) {
+  World world(3);
+  std::vector<Recorder> recorders(2);
+  EXPECT_THROW(world.attachRecorders(&recorders), ConfigError);
+}
+
+TEST(World, RingExchangeAllRanks) {
+  constexpr int kRanks = 8;
+  World world(kRanks);
+  std::vector<Recorder> recorders;
+  for (int r = 0; r < kRanks; ++r) {
+    recorders.emplace_back(r);
+  }
+  world.attachRecorders(&recorders);
+  world.run([](Comm& comm) {
+    std::vector<double> out(64, static_cast<double>(comm.rank()));
+    std::vector<double> in(64);
+    const int next = (comm.rank() + 1) % comm.size();
+    const int prev = (comm.rank() + comm.size() - 1) % comm.size();
+    comm.send(next, out, 3);
+    comm.recv(prev, in, 3);
+    EXPECT_DOUBLE_EQ(in[0], static_cast<double>(prev));
+  });
+  CommMatrix matrix(kRanks);
+  for (const auto& recorder : recorders) {
+    matrix.merge(recorder);
+  }
+  EXPECT_EQ(matrix.totalBytes(), kRanks * 64u * sizeof(double));
+  EXPECT_TRUE(matrix.diagonalDominance(1, 1.0));
+}
+
+}  // namespace
+}  // namespace zerosum::mpisim

@@ -1,0 +1,141 @@
+#include "mpisim/patterns.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace zerosum::mpisim::patterns {
+namespace {
+
+TEST(NearestNeighbor, PeriodicExchangesBothDirections) {
+  HaloParams params;
+  params.width = 1;
+  params.bytesPerExchange = 100;
+  params.steps = 1;
+  CommMatrix m = toMatrix(
+      4, [&](const SendFn& send) { nearestNeighbor(4, params, send); });
+  EXPECT_EQ(m.bytes(0, 1), 100u);
+  EXPECT_EQ(m.bytes(0, 3), 100u);  // wraps
+  EXPECT_EQ(m.bytes(1, 0), 100u);
+  EXPECT_EQ(m.totalBytes(), 4u * 2u * 100u);
+}
+
+TEST(NearestNeighbor, NonPeriodicClipsEnds) {
+  HaloParams params;
+  params.periodic = false;
+  params.bytesPerExchange = 10;
+  params.steps = 1;
+  CommMatrix m = toMatrix(
+      4, [&](const SendFn& send) { nearestNeighbor(4, params, send); });
+  EXPECT_EQ(m.bytes(0, 3), 0u);
+  EXPECT_EQ(m.bytes(3, 0), 0u);
+  EXPECT_EQ(m.bytes(0, 1), 10u);
+}
+
+TEST(NearestNeighbor, WidthReachesFurther) {
+  HaloParams params;
+  params.width = 2;
+  params.steps = 1;
+  params.bytesPerExchange = 1;
+  CommMatrix m = toMatrix(
+      8, [&](const SendFn& send) { nearestNeighbor(8, params, send); });
+  EXPECT_EQ(m.bytes(0, 2), 1u);
+  EXPECT_EQ(m.bytes(0, 6), 1u);  // -2 wrapped
+}
+
+TEST(NearestNeighbor, ValidatesInput) {
+  HaloParams params;
+  EXPECT_THROW(nearestNeighbor(1, params, [](int, int, std::uint64_t) {}),
+               ConfigError);
+}
+
+TEST(Ring, OneDirection) {
+  CommMatrix m =
+      toMatrix(4, [&](const SendFn& send) { ring(4, 50, 2, send); });
+  EXPECT_EQ(m.bytes(0, 1), 100u);
+  EXPECT_EQ(m.bytes(3, 0), 100u);
+  EXPECT_EQ(m.bytes(1, 0), 0u);
+}
+
+TEST(RandomPairs, DeterministicAndNeverSelf) {
+  auto build = [] {
+    return toMatrix(8, [&](const SendFn& send) {
+      randomPairs(8, 500, 10, /*seed=*/42, send);
+    });
+  };
+  const CommMatrix a = build();
+  const CommMatrix b = build();
+  for (int s = 0; s < 8; ++s) {
+    EXPECT_EQ(a.bytes(s, s), 0u);
+    for (int d = 0; d < 8; ++d) {
+      EXPECT_EQ(a.bytes(s, d), b.bytes(s, d));
+    }
+  }
+  EXPECT_EQ(a.totalBytes(), 5000u);
+}
+
+TEST(AllToAll, FullyPopulatedOffDiagonal) {
+  CommMatrix m =
+      toMatrix(4, [&](const SendFn& send) { allToAll(4, 5, send); });
+  for (int s = 0; s < 4; ++s) {
+    for (int d = 0; d < 4; ++d) {
+      EXPECT_EQ(m.bytes(s, d), s == d ? 0u : 5u);
+    }
+  }
+}
+
+TEST(Transpose, PerfectSquareRequired) {
+  EXPECT_THROW(transpose(5, 1, [](int, int, std::uint64_t) {}), ConfigError);
+}
+
+TEST(Transpose, MapsGridTranspose) {
+  CommMatrix m =
+      toMatrix(9, [&](const SendFn& send) { transpose(9, 10, send); });
+  // (0,1) -> rank 1 sends to rank 3 ((1,0)).
+  EXPECT_EQ(m.bytes(1, 3), 10u);
+  EXPECT_EQ(m.bytes(3, 1), 10u);
+  EXPECT_EQ(m.bytes(0, 0), 0u);  // diagonal ranks map to themselves
+  EXPECT_EQ(m.bytes(4, 4), 0u);
+}
+
+TEST(Gyrokinetic, DiagonalDominatesLikeFigure5) {
+  GyrokineticParams params;
+  CommMatrix m = toMatrix(
+      512, [&](const SendFn& send) { gyrokineticPic(512, params, send); });
+  // The Figure 5 observation as a predicate: the heavy traffic hugs the
+  // central diagonal.
+  EXPECT_TRUE(m.diagonalDominance(1, 0.90));
+  EXPECT_GT(m.totalBytes(), 0u);
+}
+
+TEST(Gyrokinetic, PlaneBandsPresentButLighter) {
+  GyrokineticParams params;
+  params.ranksPerPlane = 32;
+  CommMatrix m = toMatrix(
+      256, [&](const SendFn& send) { gyrokineticPic(256, params, send); });
+  EXPECT_GT(m.bytes(0, 32), 0u);
+  EXPECT_GT(m.bytes(0, 224), 0u);  // -32 wrapped
+  EXPECT_LT(m.bytes(0, 32), m.bytes(0, 1));
+}
+
+TEST(Gyrokinetic, Deterministic) {
+  GyrokineticParams params;
+  auto build = [&] {
+    return toMatrix(
+        64, [&](const SendFn& send) { gyrokineticPic(64, params, send); });
+  };
+  const CommMatrix a = build();
+  const CommMatrix b = build();
+  EXPECT_EQ(a.totalBytes(), b.totalBytes());
+  EXPECT_EQ(a.bytes(5, 6), b.bytes(5, 6));
+}
+
+TEST(Gyrokinetic, ValidatesInput) {
+  GyrokineticParams params;
+  params.ranksPerPlane = 0;
+  EXPECT_THROW(gyrokineticPic(8, params, [](int, int, std::uint64_t) {}),
+               ConfigError);
+}
+
+}  // namespace
+}  // namespace zerosum::mpisim::patterns

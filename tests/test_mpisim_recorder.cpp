@@ -1,0 +1,135 @@
+#include "mpisim/recorder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace zerosum::mpisim {
+namespace {
+
+TEST(Recorder, AccumulatesPerPeer) {
+  Recorder r(3);
+  r.recordSend(1, 100);
+  r.recordSend(1, 50);
+  r.recordSend(2, 7);
+  r.recordRecv(0, 9);
+  EXPECT_EQ(r.rank(), 3);
+  EXPECT_EQ(r.bytesSentTo(1), 150u);
+  EXPECT_EQ(r.bytesSentTo(2), 7u);
+  EXPECT_EQ(r.bytesSentTo(9), 0u);
+  EXPECT_EQ(r.bytesReceivedFrom(0), 9u);
+  EXPECT_EQ(r.totalBytesSent(), 157u);
+  EXPECT_EQ(r.totalMessagesSent(), 3u);
+}
+
+TEST(Recorder, CsvOutput) {
+  Recorder r(0);
+  r.recordSend(1, 64);
+  r.recordRecv(2, 32);
+  const std::string csv = r.toCsv();
+  EXPECT_NE(csv.find("direction,peer,bytes,count"), std::string::npos);
+  EXPECT_NE(csv.find("send,1,64,1"), std::string::npos);
+  EXPECT_NE(csv.find("recv,2,32,1"), std::string::npos);
+}
+
+TEST(CommMatrix, RequiresRanks) {
+  EXPECT_THROW(CommMatrix(0), ConfigError);
+}
+
+TEST(CommMatrix, AddAndQuery) {
+  CommMatrix m(4);
+  m.addSend(0, 1, 10);
+  m.addSend(0, 1, 5);
+  m.addSend(3, 2, 7);
+  EXPECT_EQ(m.bytes(0, 1), 15u);
+  EXPECT_EQ(m.bytes(3, 2), 7u);
+  EXPECT_EQ(m.bytes(1, 0), 0u);
+  EXPECT_EQ(m.totalBytes(), 22u);
+  EXPECT_EQ(m.maxCell(), 15u);
+}
+
+TEST(CommMatrix, OutOfRangeThrows) {
+  CommMatrix m(2);
+  EXPECT_THROW(m.addSend(2, 0, 1), NotFoundError);
+  EXPECT_THROW(m.bytes(0, -1), NotFoundError);
+}
+
+TEST(CommMatrix, MergeFoldsSendSide) {
+  Recorder r(1);
+  r.recordSend(0, 11);
+  r.recordSend(2, 22);
+  r.recordRecv(0, 99);  // recv side is not the matrix's source of truth
+  CommMatrix m(3);
+  m.merge(r);
+  EXPECT_EQ(m.bytes(1, 0), 11u);
+  EXPECT_EQ(m.bytes(1, 2), 22u);
+  EXPECT_EQ(m.totalBytes(), 33u);
+}
+
+TEST(CommMatrix, BinnedPreservesTotals) {
+  CommMatrix m(8);
+  for (int s = 0; s < 8; ++s) {
+    for (int d = 0; d < 8; ++d) {
+      m.addSend(s, d, static_cast<std::uint64_t>(s * 8 + d));
+    }
+  }
+  const auto bins = m.binned(2);
+  std::uint64_t total = 0;
+  for (const auto& row : bins) {
+    for (std::uint64_t cell : row) {
+      total += cell;
+    }
+  }
+  EXPECT_EQ(total, m.totalBytes());
+  // Top-left bin holds ranks 0-3 x 0-3.
+  std::uint64_t expected = 0;
+  for (int s = 0; s < 4; ++s) {
+    for (int d = 0; d < 4; ++d) {
+      expected += static_cast<std::uint64_t>(s * 8 + d);
+    }
+  }
+  EXPECT_EQ(bins[0][0], expected);
+}
+
+TEST(CommMatrix, BinnedValidatesBins) {
+  CommMatrix m(4);
+  EXPECT_THROW(m.binned(0), ConfigError);
+  EXPECT_THROW(m.binned(5), ConfigError);
+  EXPECT_EQ(m.binned(4).size(), 4u);
+}
+
+TEST(CommMatrix, DiagonalDominanceDetectsNeighborTraffic) {
+  CommMatrix m(16);
+  for (int r = 0; r < 16; ++r) {
+    m.addSend(r, (r + 1) % 16, 1000);
+    m.addSend(r, (r + 15) % 16, 1000);
+  }
+  EXPECT_TRUE(m.diagonalDominance(1, 0.99));
+  EXPECT_FALSE(m.diagonalDominance(0, 0.01));  // band 0 = self-sends only
+}
+
+TEST(CommMatrix, DiagonalDominanceWrapsTorus) {
+  CommMatrix m(16);
+  m.addSend(0, 15, 500);  // distance 1 around the wrap
+  EXPECT_TRUE(m.diagonalDominance(1, 1.0));
+}
+
+TEST(CommMatrix, DiagonalDominanceFalseForUniform) {
+  CommMatrix m(16);
+  for (int s = 0; s < 16; ++s) {
+    for (int d = 0; d < 16; ++d) {
+      if (s != d) {
+        m.addSend(s, d, 10);
+      }
+    }
+  }
+  EXPECT_FALSE(m.diagonalDominance(1, 0.5));
+}
+
+TEST(CommMatrix, EmptyMatrixHasNoDominance) {
+  CommMatrix m(4);
+  EXPECT_FALSE(m.diagonalDominance(1, 0.1));
+}
+
+}  // namespace
+}  // namespace zerosum::mpisim

@@ -1,0 +1,159 @@
+#include "openmp/team.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "common/error.hpp"
+#include "openmp/ompt.hpp"
+
+namespace zerosum::openmp {
+namespace {
+
+class OpenMpTest : public ::testing::Test {
+ protected:
+  void TearDown() override { ToolRegistry::instance().resetForTesting(); }
+};
+
+TEST_F(OpenMpTest, TeamRequiresThreads) {
+  EXPECT_THROW(ThreadTeam(0), ConfigError);
+}
+
+TEST_F(OpenMpTest, SingleThreadTeamRunsOnCaller) {
+  ThreadTeam team(1);
+  const int caller = currentTid();
+  int observed = 0;
+  team.parallel([&](int threadNum, int numThreads) {
+    EXPECT_EQ(threadNum, 0);
+    EXPECT_EQ(numThreads, 1);
+    observed = currentTid();
+  });
+  EXPECT_EQ(observed, caller);
+}
+
+TEST_F(OpenMpTest, AllMembersRunRegion) {
+  ThreadTeam team(4);
+  std::array<std::atomic<int>, 4> hits{};
+  team.parallel([&](int threadNum, int numThreads) {
+    EXPECT_EQ(numThreads, 4);
+    ++hits[static_cast<std::size_t>(threadNum)];
+  });
+  for (const auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST_F(OpenMpTest, SequentialRegionsReuseTeam) {
+  ThreadTeam team(3);
+  const auto tidsBefore = team.memberTids();
+  std::atomic<int> total{0};
+  for (int i = 0; i < 10; ++i) {
+    team.parallel([&](int, int) { ++total; });
+  }
+  EXPECT_EQ(total.load(), 30);
+  EXPECT_EQ(team.memberTids(), tidsBefore);  // pool persists (paper §3.1.2)
+}
+
+TEST_F(OpenMpTest, MemberTidsDistinctAndNonZero) {
+  ThreadTeam team(4);
+  const auto tids = team.memberTids();
+  const std::set<int> unique(tids.begin(), tids.end());
+  EXPECT_EQ(unique.size(), 4u);
+  for (int tid : tids) {
+    EXPECT_GT(tid, 0);
+  }
+}
+
+TEST_F(OpenMpTest, ProbeDiscoversSameTids) {
+  // The pre-5.1 discovery trick: a trivial region observes the pool tids.
+  ThreadTeam team(4);
+  const auto probed = probeTeamTids(team);
+  EXPECT_EQ(probed, team.memberTids());
+}
+
+TEST_F(OpenMpTest, OmptAnnouncesWorkers) {
+  ToolRegistry::instance().resetForTesting();
+  std::set<int> begun;
+  std::mutex mutex;
+  ToolRegistry::instance().registerTool(
+      [&](const ThreadEvent& e) {
+        std::lock_guard<std::mutex> lock(mutex);
+        begun.insert(e.tid);
+      },
+      {});
+  ThreadTeam team(3);
+  for (int tid : team.memberTids()) {
+    EXPECT_TRUE(begun.count(tid)) << tid;
+  }
+  EXPECT_EQ(ToolRegistry::instance().knownOmpTids().size(), 3u);
+}
+
+TEST_F(OpenMpTest, OmptThreadEndOnShutdown) {
+  ToolRegistry::instance().resetForTesting();
+  std::atomic<int> ends{0};
+  ToolRegistry::instance().registerTool(
+      {}, [&](const ThreadEvent&) { ++ends; });
+  {
+    ThreadTeam team(3);
+  }
+  EXPECT_EQ(ends.load(), 3);  // two workers + initial thread
+}
+
+TEST_F(OpenMpTest, DeregisteredToolNotCalled) {
+  ToolRegistry::instance().resetForTesting();
+  std::atomic<int> calls{0};
+  const int handle = ToolRegistry::instance().registerTool(
+      [&](const ThreadEvent&) { ++calls; }, {});
+  ToolRegistry::instance().deregisterTool(handle);
+  ThreadTeam team(2);
+  EXPECT_EQ(calls.load(), 0);
+  // Tids are still recorded for late-attaching tools.
+  EXPECT_EQ(ToolRegistry::instance().knownOmpTids().size(), 2u);
+}
+
+TEST_F(OpenMpTest, ParallelForCoversRangeExactlyOnce) {
+  ThreadTeam team(4);
+  std::vector<std::atomic<int>> hits(100);
+  team.parallelFor(0, 100, [&](long i) {
+    ++hits[static_cast<std::size_t>(i)];
+  });
+  for (const auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST_F(OpenMpTest, ParallelForEmptyRange) {
+  ThreadTeam team(2);
+  std::atomic<int> calls{0};
+  team.parallelFor(5, 5, [&](long) { ++calls; });
+  team.parallelFor(5, 3, [&](long) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST_F(OpenMpTest, ExceptionInWorkerPropagates) {
+  ThreadTeam team(3);
+  EXPECT_THROW(team.parallel([](int threadNum, int) {
+    if (threadNum == 2) {
+      throw StateError("worker failure");
+    }
+  }),
+               StateError);
+  // The team remains usable after the failed region.
+  std::atomic<int> ok{0};
+  team.parallel([&](int, int) { ++ok; });
+  EXPECT_EQ(ok.load(), 3);
+}
+
+TEST_F(OpenMpTest, ExceptionInMasterPropagates) {
+  ThreadTeam team(2);
+  EXPECT_THROW(team.parallel([](int threadNum, int) {
+    if (threadNum == 0) {
+      throw StateError("master failure");
+    }
+  }),
+               StateError);
+}
+
+}  // namespace
+}  // namespace zerosum::openmp

@@ -1,0 +1,141 @@
+// Integration test of the LD_PRELOAD injection path (paper §3.1): run the
+// uninstrumented demo_victim under zerosum-run and verify the monitor
+// initialized, discovered the victim's threads, and wrote the report.
+//
+// The tool binaries are located relative to this test binary
+// (build/tests/... -> build/tools/...).
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <array>
+#include <climits>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+fs::path buildDirectory() {
+  char buffer[PATH_MAX] = {0};
+  const ssize_t n = ::readlink("/proc/self/exe", buffer, sizeof(buffer) - 1);
+  EXPECT_GT(n, 0);
+  return fs::path(buffer).parent_path().parent_path();
+}
+
+struct RunResult {
+  int exitCode = -1;
+  std::string output;
+};
+
+RunResult runCommand(const std::string& command) {
+  RunResult result;
+  FILE* pipe = ::popen((command + " 2>&1").c_str(), "r");
+  if (pipe == nullptr) {
+    return result;
+  }
+  std::array<char, 4096> chunk{};
+  while (std::fgets(chunk.data(), chunk.size(), pipe) != nullptr) {
+    result.output += chunk.data();
+  }
+  result.exitCode = ::pclose(pipe);
+  return result;
+}
+
+class PreloadTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    tools_ = buildDirectory() / "tools";
+    if (!fs::exists(tools_ / "zerosum-run")) {
+      GTEST_SKIP() << "tools not built at " << tools_;
+    }
+    logPrefix_ = (fs::temp_directory_path() / "zs_preload_test").string();
+    cleanupLogs();
+  }
+  void TearDown() override { cleanupLogs(); }
+
+  void cleanupLogs() {
+    std::error_code ec;
+    for (const auto& entry :
+         fs::directory_iterator(fs::temp_directory_path(), ec)) {
+      const std::string name = entry.path().filename().string();
+      if (name.rfind("zs_preload_test", 0) == 0) {
+        fs::remove(entry.path(), ec);
+      }
+    }
+  }
+
+  [[nodiscard]] std::string logFileContents() const {
+    std::error_code ec;
+    for (const auto& entry :
+         fs::directory_iterator(fs::temp_directory_path(), ec)) {
+      const std::string name = entry.path().filename().string();
+      if (name.rfind("zs_preload_test", 0) == 0) {
+        std::ifstream in(entry.path());
+        std::ostringstream body;
+        body << in.rdbuf();
+        return body.str();
+      }
+    }
+    return {};
+  }
+
+  fs::path tools_;
+  std::string logPrefix_;
+};
+
+TEST_F(PreloadTest, WrapModeInjectsAndReports) {
+  const std::string cmd = "ZS_LOG_PREFIX=" + logPrefix_ + " " +
+                          (tools_ / "zerosum-run").string() +
+                          " --period 50 " +
+                          (tools_ / "demo_victim").string() + " 2 400";
+  const RunResult result = runCommand(cmd);
+  EXPECT_EQ(result.exitCode, 0) << result.output;
+  // The victim ran...
+  EXPECT_NE(result.output.find("victim finished"), std::string::npos);
+  // ...and the injected monitor reported around it.
+  EXPECT_NE(result.output.find("Duration of execution"), std::string::npos);
+  EXPECT_NE(result.output.find("LWP (thread) Summary:"), std::string::npos);
+  // The worker threads were discovered (main + 2 workers + monitor).
+  int lwpLines = 0;
+  std::istringstream lines(result.output);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.rfind("LWP ", 0) == 0 && line.find(':') != std::string::npos) {
+      ++lwpLines;
+    }
+  }
+  EXPECT_GE(lwpLines, 3);
+  // The per-process log file was written with CSV sections.
+  const std::string log = logFileContents();
+  EXPECT_NE(log.find("=== CSV: LWP time series ==="), std::string::npos);
+}
+
+TEST_F(PreloadTest, CtorModeInjects) {
+  const std::string cmd = "ZS_LOG_PREFIX=" + logPrefix_ + " " +
+                          (tools_ / "zerosum-run").string() +
+                          " --period 50 --ctor " +
+                          (tools_ / "demo_victim").string() + " 1 200";
+  const RunResult result = runCommand(cmd);
+  EXPECT_EQ(result.exitCode, 0) << result.output;
+  EXPECT_NE(result.output.find("Duration of execution"), std::string::npos);
+}
+
+TEST_F(PreloadTest, WrapperRejectsMissingProgram) {
+  const RunResult result =
+      runCommand((tools_ / "zerosum-run").string() + " --heartbeat");
+  EXPECT_NE(result.exitCode, 0);
+  EXPECT_NE(result.output.find("usage:"), std::string::npos);
+}
+
+TEST_F(PreloadTest, WrapperPropagatesExecFailure) {
+  const RunResult result = runCommand(
+      (tools_ / "zerosum-run").string() + " /nonexistent_binary_xyz");
+  EXPECT_NE(result.exitCode, 0);
+  EXPECT_NE(result.output.find("exec"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,193 @@
+#include "procfs/parse.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace zerosum::procfs {
+namespace {
+
+TEST(ParseStatus, RealWorldSample) {
+  const std::string text =
+      "Name:\tminiqmc\n"
+      "Umask:\t0022\n"
+      "State:\tR (running)\n"
+      "Tgid:\t51334\n"
+      "Ngid:\t0\n"
+      "Pid:\t51334\n"
+      "PPid:\t51300\n"
+      "VmHWM:\t  904532 kB\n"
+      "VmRSS:\t  881204 kB\n"
+      "Threads:\t9\n"
+      "Cpus_allowed:\tfe\n"
+      "Cpus_allowed_list:\t1-7\n"
+      "voluntary_ctxt_switches:\t365488\n"
+      "nonvoluntary_ctxt_switches:\t4\n";
+  const ProcStatus s = parseStatus(text);
+  EXPECT_EQ(s.name, "miniqmc");
+  EXPECT_EQ(s.state, 'R');
+  EXPECT_EQ(s.pid, 51334);
+  EXPECT_EQ(s.tgid, 51334);
+  EXPECT_EQ(s.vmRssKb, 881204u);
+  EXPECT_EQ(s.vmHwmKb, 904532u);
+  EXPECT_EQ(s.threads, 9);
+  EXPECT_EQ(s.cpusAllowed.toList(), "1-7");
+  EXPECT_EQ(s.voluntaryCtxSwitches, 365488u);
+  EXPECT_EQ(s.nonvoluntaryCtxSwitches, 4u);
+}
+
+TEST(ParseStatus, IgnoresUnknownKeys) {
+  const ProcStatus s = parseStatus("Name:\tx\nBogusKey:\tvalue\nPid:\t1\n");
+  EXPECT_EQ(s.name, "x");
+  EXPECT_EQ(s.pid, 1);
+}
+
+TEST(ParseStatus, MalformedKnownKeyThrows) {
+  EXPECT_THROW(parseStatus("Pid:\tabc\n"), ParseError);
+  EXPECT_THROW(parseStatus("VmRSS:\t\n"), ParseError);
+  EXPECT_THROW(parseStatus("Cpus_allowed_list:\tx-y\n"), ParseError);
+}
+
+TEST(ParseStatus, HexMaskFallbackWhenListAbsent) {
+  // Older kernels print only the hex mask.
+  const ProcStatus s = parseStatus("Pid:\t1\nCpus_allowed:\tfe\n");
+  EXPECT_EQ(s.cpusAllowed.toList(), "1-7");
+}
+
+TEST(ParseStatus, ListTakesPrecedenceOverMask) {
+  const ProcStatus s = parseStatus(
+      "Pid:\t1\nCpus_allowed:\tff\nCpus_allowed_list:\t1-7\n");
+  EXPECT_EQ(s.cpusAllowed.toList(), "1-7");
+}
+
+TEST(ParseStatus, EmptyInputYieldsDefaults) {
+  const ProcStatus s = parseStatus("");
+  EXPECT_EQ(s.pid, 0);
+  EXPECT_TRUE(s.cpusAllowed.empty());
+}
+
+TEST(ParseTaskStat, RealWorldSample) {
+  // A representative kernel stat line (52 fields).
+  const std::string text =
+      "51334 (miniqmc) R 51300 51334 51300 34816 51334 4194304 "
+      "881204 0 12 0 6394 1248 0 0 20 0 9 0 8941321 108000000 220301 "
+      "18446744073709551615 1 1 0 0 0 0 0 0 0 0 0 0 17 3 0 0 0 0 0 "
+      "0 0 0 0 0 0 0 0\n";
+  const TaskStat s = parseTaskStat(text);
+  EXPECT_EQ(s.tid, 51334);
+  EXPECT_EQ(s.comm, "miniqmc");
+  EXPECT_EQ(s.state, 'R');
+  EXPECT_EQ(s.minorFaults, 881204u);
+  EXPECT_EQ(s.majorFaults, 12u);
+  EXPECT_EQ(s.utimeJiffies, 6394u);
+  EXPECT_EQ(s.stimeJiffies, 1248u);
+  EXPECT_EQ(s.numThreads, 9);
+  EXPECT_EQ(s.processor, 3);
+}
+
+TEST(ParseTaskStat, CommWithSpacesAndParens) {
+  // The kernel documents that comm may contain ') ' — anchor on the LAST
+  // close paren.
+  const std::string text =
+      "7 (tricky (name) x) S 1 1 1 0 1 0 10 0 2 0 100 50 0 0 20 0 3 0 0";
+  const TaskStat s = parseTaskStat(text);
+  EXPECT_EQ(s.tid, 7);
+  EXPECT_EQ(s.comm, "tricky (name) x");
+  EXPECT_EQ(s.state, 'S');
+  EXPECT_EQ(s.utimeJiffies, 100u);
+  EXPECT_EQ(s.stimeJiffies, 50u);
+}
+
+TEST(ParseTaskStat, MissingProcessorFieldYieldsMinusOne) {
+  const std::string text =
+      "5 (x) S 1 1 1 0 1 0 10 0 2 0 100 50 0 0 20 0 3 0 0";
+  EXPECT_EQ(parseTaskStat(text).processor, -1);
+}
+
+TEST(ParseTaskStat, MalformedThrows) {
+  EXPECT_THROW(parseTaskStat("no parens at all"), ParseError);
+  EXPECT_THROW(parseTaskStat("1 (x) R 2 3"), ParseError);  // too few fields
+  EXPECT_THROW(parseTaskStat("x (y) R 1 1 1 0 1 0 1 0 1 0 1 1 0 0 1 0 1 0 0"),
+               ParseError);  // bad tid
+}
+
+TEST(ParseMeminfo, RealWorldSample) {
+  const std::string text =
+      "MemTotal:       527988388 kB\n"
+      "MemFree:        483178044 kB\n"
+      "MemAvailable:   508065400 kB\n"
+      "Buffers:            4088 kB\n"
+      "Cached:         22306832 kB\n";
+  const MemInfo m = parseMeminfo(text);
+  EXPECT_EQ(m.totalKb, 527988388u);
+  EXPECT_EQ(m.freeKb, 483178044u);
+  EXPECT_EQ(m.availableKb, 508065400u);
+}
+
+TEST(ParseMeminfo, MissingTotalThrows) {
+  EXPECT_THROW(parseMeminfo("MemFree: 5 kB\n"), ParseError);
+  EXPECT_THROW(parseMeminfo(""), ParseError);
+}
+
+TEST(ParseLoadavg, RealWorldSample) {
+  const LoadAvg l = parseLoadavg("0.52 0.58 0.59 2/1345 12345\n");
+  EXPECT_DOUBLE_EQ(l.load1, 0.52);
+  EXPECT_DOUBLE_EQ(l.load5, 0.58);
+  EXPECT_DOUBLE_EQ(l.load15, 0.59);
+  EXPECT_EQ(l.runnable, 2);
+  EXPECT_EQ(l.total, 1345);
+}
+
+TEST(ParseLoadavg, MalformedThrows) {
+  EXPECT_THROW(parseLoadavg(""), ParseError);
+  EXPECT_THROW(parseLoadavg("0.5 0.5"), ParseError);
+  EXPECT_THROW(parseLoadavg("a b c 1/2 3"), ParseError);
+  EXPECT_THROW(parseLoadavg("0.1 0.2 0.3 12 3"), ParseError);  // no slash
+}
+
+TEST(ParseStat, AggregateAndPerCpu) {
+  const std::string text =
+      "cpu  100 5 50 800 10 2 3 0 0 0\n"
+      "cpu0 60 5 30 400 5 1 2 0 0 0\n"
+      "cpu1 40 0 20 400 5 1 1 0 0 0\n"
+      "intr 12345 0 0\n"
+      "ctxt 999\n";
+  const StatSnapshot s = parseStat(text);
+  EXPECT_EQ(s.aggregate.user, 100u);
+  EXPECT_EQ(s.aggregate.system, 50u);
+  EXPECT_EQ(s.aggregate.idle, 800u);
+  ASSERT_EQ(s.perCpu.size(), 2u);
+  EXPECT_EQ(s.perCpu.at(0).user, 60u);
+  EXPECT_EQ(s.perCpu.at(1).idle, 400u);
+}
+
+TEST(ParseStat, BusyAndTotalHelpers) {
+  CpuTimes t;
+  t.user = 10;
+  t.nice = 1;
+  t.system = 4;
+  t.idle = 80;
+  t.iowait = 5;
+  EXPECT_EQ(t.busy(), 15u);
+  EXPECT_EQ(t.total(), 100u);
+}
+
+TEST(ParseStat, ShortFieldListTolerated) {
+  // Very old kernels have fewer columns; the first five are mandatory.
+  const StatSnapshot s = parseStat("cpu0 1 2 3 4\n");
+  EXPECT_EQ(s.perCpu.at(0).idle, 4u);
+}
+
+TEST(ParseStat, NoCpuLinesThrows) {
+  EXPECT_THROW(parseStat("intr 5\n"), ParseError);
+  EXPECT_THROW(parseStat(""), ParseError);
+}
+
+TEST(ParseStat, MalformedCountsThrow) {
+  EXPECT_THROW(parseStat("cpu0 1 x 3 4 5\n"), ParseError);
+  EXPECT_THROW(parseStat("cpuX 1 2 3 4 5\n"), ParseError);
+  EXPECT_THROW(parseStat("cpu0 1 2 3\n"), ParseError);
+}
+
+}  // namespace
+}  // namespace zerosum::procfs

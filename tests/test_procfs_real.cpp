@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <thread>
+
+#include "common/error.hpp"
+#include "procfs/procfs.hpp"
+
+namespace zerosum::procfs {
+namespace {
+
+TEST(RealProcFs, SelfPidMatchesGetpid) {
+  const auto fs = makeRealProcFs();
+  EXPECT_EQ(fs->selfPid(), static_cast<int>(::getpid()));
+  EXPECT_EQ(fs->listPids(), std::vector<int>{fs->selfPid()});
+}
+
+TEST(RealProcFs, SelfStatusParses) {
+  const auto fs = makeRealProcFs();
+  const ProcStatus s = fs->processStatus(fs->selfPid());
+  EXPECT_EQ(s.pid, fs->selfPid());
+  EXPECT_FALSE(s.name.empty());
+  EXPECT_GE(s.threads, 1);
+  EXPECT_FALSE(s.cpusAllowed.empty());
+  EXPECT_GT(s.vmRssKb, 0u);
+}
+
+TEST(RealProcFs, TaskScanSeesSelfThread) {
+  const auto fs = makeRealProcFs();
+  const auto tasks = fs->listTasks(fs->selfPid());
+  EXPECT_FALSE(tasks.empty());
+  EXPECT_NE(std::find(tasks.begin(), tasks.end(), fs->selfPid()),
+            tasks.end());
+}
+
+TEST(RealProcFs, TaskScanSeesSpawnedThread) {
+  // The paper's discovery method: a new pthread appears in
+  // /proc/<pid>/task without any interception.
+  const auto fs = makeRealProcFs();
+  const auto before = fs->listTasks(fs->selfPid()).size();
+  std::atomic<bool> stop{false};
+  std::thread worker([&stop] {
+    while (!stop.load()) {
+      std::this_thread::yield();
+    }
+  });
+  const auto during = fs->listTasks(fs->selfPid()).size();
+  stop.store(true);
+  worker.join();
+  EXPECT_EQ(during, before + 1);
+}
+
+TEST(RealProcFs, TaskStatParsesForSelf) {
+  const auto fs = makeRealProcFs();
+  const TaskStat s = fs->taskStat(fs->selfPid(), fs->selfPid());
+  EXPECT_EQ(s.tid, fs->selfPid());
+  EXPECT_NE(s.state, '?');
+  EXPECT_GE(s.numThreads, 1);
+}
+
+TEST(RealProcFs, MeminfoParses) {
+  const auto fs = makeRealProcFs();
+  const MemInfo m = fs->memInfo();
+  EXPECT_GT(m.totalKb, 0u);
+  EXPECT_LE(m.freeKb, m.totalKb);
+}
+
+TEST(RealProcFs, StatHasPerCpuRows) {
+  const auto fs = makeRealProcFs();
+  const StatSnapshot s = fs->stat();
+  EXPECT_FALSE(s.perCpu.empty());
+  EXPECT_GT(s.aggregate.total(), 0u);
+}
+
+TEST(RealProcFs, LoadavgParses) {
+  const auto fs = makeRealProcFs();
+  const LoadAvg l = fs->loadAvg();
+  EXPECT_GE(l.load1, 0.0);
+  EXPECT_GE(l.total, 1);
+}
+
+TEST(RealProcFs, UnknownPidThrows) {
+  const auto fs = makeRealProcFs();
+  EXPECT_THROW(fs->processStatus(999999999), Error);
+  EXPECT_THROW(fs->listTasks(999999999), Error);
+}
+
+TEST(RealProcFs, AlternateRootMissingThrows) {
+  const auto fs = makeRealProcFs("/nonexistent_proc_root");
+  EXPECT_THROW(fs->readMeminfo(), NotFoundError);
+}
+
+}  // namespace
+}  // namespace zerosum::procfs

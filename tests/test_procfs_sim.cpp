@@ -1,0 +1,149 @@
+#include "procfs/simfs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace zerosum::procfs {
+namespace {
+
+sim::Behavior compute(std::uint64_t iterations, sim::Jiffies work) {
+  sim::Behavior b;
+  b.iterations = iterations;
+  b.iterWorkJiffies = work;
+  b.systemFraction = 0.2;
+  b.minorFaultsPerJiffy = 1.0;
+  return b;
+}
+
+class SimProcFsTest : public ::testing::Test {
+ protected:
+  SimProcFsTest() : node_(CpuSet::fromList("0-3"), 4ULL << 30) {
+    pid_ = node_.spawnProcess("miniqmc", CpuSet::fromList("1-3"));
+    mainTid_ = node_.spawnTask(pid_, "miniqmc", LwpType::kMain,
+                               compute(1, 100), CpuSet::fromList("1"));
+    workerTid_ = node_.spawnTask(pid_, "omp-worker", LwpType::kOpenMp,
+                                 compute(1, 100), CpuSet::fromList("2"));
+    fs_ = makeSimProcFs(node_);
+  }
+
+  sim::SimNode node_;
+  sim::Pid pid_ = 0;
+  sim::Tid mainTid_ = 0;
+  sim::Tid workerTid_ = 0;
+  std::unique_ptr<ProcFs> fs_;
+};
+
+TEST_F(SimProcFsTest, SelfPidDefaultsToFirstProcess) {
+  EXPECT_EQ(fs_->selfPid(), pid_);
+}
+
+TEST_F(SimProcFsTest, ExplicitSelfPidValidated) {
+  EXPECT_THROW(makeSimProcFs(node_, 424242), NotFoundError);
+  const auto fs = makeSimProcFs(node_, pid_);
+  EXPECT_EQ(fs->selfPid(), pid_);
+}
+
+TEST_F(SimProcFsTest, EmptyNodeRejected) {
+  sim::SimNode empty(CpuSet::fromList("0"), 1 << 20);
+  EXPECT_THROW(makeSimProcFs(empty), StateError);
+}
+
+TEST_F(SimProcFsTest, ListTasksShowsLiveThreads) {
+  const auto tasks = fs_->listTasks(pid_);
+  EXPECT_EQ(tasks.size(), 2u);
+  node_.advance(300);  // both tasks complete
+  EXPECT_TRUE(fs_->listTasks(pid_).empty());
+}
+
+TEST_F(SimProcFsTest, ProcessStatusRoundTripsThroughParser) {
+  node_.advance(50);
+  const ProcStatus s = fs_->processStatus(pid_);
+  EXPECT_EQ(s.pid, pid_);
+  EXPECT_EQ(s.name, "miniqmc");
+  EXPECT_EQ(s.cpusAllowed.toList(), "1-3");
+  EXPECT_EQ(s.threads, 2);
+  EXPECT_GT(s.vmRssKb, 0u);
+}
+
+TEST_F(SimProcFsTest, TaskStatReflectsSimCounters) {
+  node_.advance(60);
+  const TaskStat s = fs_->taskStat(pid_, mainTid_);
+  EXPECT_EQ(s.tid, mainTid_);
+  EXPECT_EQ(s.comm, "miniqmc");
+  const auto& simTask = node_.task(mainTid_);
+  EXPECT_EQ(s.utimeJiffies, simTask.utime);
+  EXPECT_EQ(s.stimeJiffies, simTask.stime);
+  EXPECT_EQ(s.minorFaults, simTask.minorFaults);
+  EXPECT_EQ(s.processor, 1);
+}
+
+TEST_F(SimProcFsTest, TaskStatusReflectsAffinityAndCtx) {
+  node_.advance(60);
+  const ProcStatus s = fs_->taskStatus(pid_, workerTid_);
+  EXPECT_EQ(s.cpusAllowed.toList(), "2");
+  EXPECT_EQ(s.voluntaryCtxSwitches, node_.task(workerTid_).voluntaryCtx);
+}
+
+TEST_F(SimProcFsTest, TaskOfWrongProcessThrows) {
+  const sim::Pid other = node_.spawnProcess("other", CpuSet::fromList("3"));
+  node_.spawnTask(other, "o", LwpType::kMain, compute(1, 1));
+  EXPECT_THROW(fs_->readTaskStat(other, mainTid_), NotFoundError);
+}
+
+TEST_F(SimProcFsTest, MeminfoTracksNode) {
+  const MemInfo m = fs_->memInfo();
+  EXPECT_EQ(m.totalKb, node_.memTotalBytes() / 1024);
+  EXPECT_EQ(m.freeKb, node_.memFreeBytes() / 1024);
+  EXPECT_EQ(m.availableKb, m.freeKb);
+}
+
+TEST_F(SimProcFsTest, StatHasAllNodeHwts) {
+  node_.advance(100);
+  const StatSnapshot s = fs_->stat();
+  EXPECT_EQ(s.perCpu.size(), 4u);
+  // HWT 0 is outside every task's affinity: fully idle.
+  EXPECT_EQ(s.perCpu.at(0).idle, 100u);
+  EXPECT_EQ(s.perCpu.at(0).busy(), 0u);
+  // HWT 1 ran the main task.
+  EXPECT_GT(s.perCpu.at(1).busy(), 0u);
+  // Aggregate equals the sum of the rows.
+  std::uint64_t busySum = 0;
+  for (const auto& [cpu, t] : s.perCpu) {
+    busySum += t.busy();
+  }
+  EXPECT_EQ(s.aggregate.busy(), busySum);
+}
+
+TEST(SimProcFsLoad, LoadavgTracksRunQueue) {
+  // Two perpetual CPU-bound tasks: the 1-minute load climbs toward 2 over virtual
+  // time; the shorter window reacts faster; counts are instantaneous.
+  sim::SimNode node(CpuSet::fromList("0-1"), 1ULL << 30);
+  const sim::Pid pid = node.spawnProcess("busy", CpuSet::fromList("0-1"));
+  sim::Behavior forever;
+  forever.iterations = 1;
+  forever.iterWorkJiffies = 1ULL << 40;
+  node.spawnTask(pid, "a", LwpType::kMain, forever, CpuSet::fromList("0"));
+  node.spawnTask(pid, "b", LwpType::kOther, forever, CpuSet::fromList("1"));
+  const auto fs = makeSimProcFs(node);
+  node.advance(60 * sim::kHz);
+  const LoadAvg l = fs->loadAvg();
+  EXPECT_GT(l.load1, 1.0);
+  EXPECT_LE(l.load1, 2.01);
+  EXPECT_GT(l.load1, l.load5);   // shorter window reacts faster
+  EXPECT_GT(l.load5, l.load15);
+  EXPECT_EQ(l.total, 2);
+  EXPECT_EQ(l.runnable, 2);
+}
+
+TEST_F(SimProcFsTest, JiffiesConserveAcrossSamples) {
+  // Each HWT accrues exactly one jiffy per tick: user+system+idle == time.
+  node_.advance(137);
+  const StatSnapshot s = fs_->stat();
+  for (const auto& [cpu, t] : s.perCpu) {
+    EXPECT_EQ(t.total(), 137u) << "cpu " << cpu;
+  }
+}
+
+}  // namespace
+}  // namespace zerosum::procfs

@@ -1,0 +1,137 @@
+#include "proxyapps/miniqmc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "mpisim/comm.hpp"
+#include "openmp/ompt.hpp"
+
+namespace zerosum::proxyapps {
+namespace {
+
+class MiniQmcTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    openmp::ToolRegistry::instance().resetForTesting();
+  }
+};
+
+MiniQmcParams tiny() {
+  MiniQmcParams params;
+  params.threads = 2;
+  params.steps = 4;
+  params.walkersPerThread = 1;
+  params.electrons = 8;
+  params.tiling = 1;
+  return params;
+}
+
+TEST_F(MiniQmcTest, ValidatesParameters) {
+  MiniQmcParams params = tiny();
+  params.threads = 0;
+  EXPECT_THROW(runMiniQmc(params), ConfigError);
+  params = tiny();
+  params.steps = 0;
+  EXPECT_THROW(runMiniQmc(params), ConfigError);
+  params = tiny();
+  params.electrons = 0;
+  EXPECT_THROW(runMiniQmc(params), ConfigError);
+}
+
+TEST_F(MiniQmcTest, MoveAccountingIsExact) {
+  const MiniQmcParams params = tiny();
+  const MiniQmcResult result = runMiniQmc(params);
+  // moves = steps * threads * walkers * electrons proposals.
+  EXPECT_EQ(result.moves, 4u * 2u * 1u * 8u);
+  EXPECT_GT(result.seconds, 0.0);
+}
+
+TEST_F(MiniQmcTest, AcceptanceRatioIsPhysical) {
+  MiniQmcParams params = tiny();
+  params.steps = 30;
+  const MiniQmcResult result = runMiniQmc(params);
+  EXPECT_GT(result.acceptanceRatio, 0.05);
+  EXPECT_LT(result.acceptanceRatio, 1.0);
+}
+
+TEST_F(MiniQmcTest, DeterministicForSeed) {
+  MiniQmcParams params = tiny();
+  params.steps = 10;
+  const MiniQmcResult a = runMiniQmc(params);
+  const MiniQmcResult b = runMiniQmc(params);
+  EXPECT_DOUBLE_EQ(a.localEnergy, b.localEnergy);
+  EXPECT_DOUBLE_EQ(a.acceptanceRatio, b.acceptanceRatio);
+  params.seed += 1;
+  const MiniQmcResult c = runMiniQmc(params);
+  EXPECT_NE(a.localEnergy, c.localEnergy);
+}
+
+TEST_F(MiniQmcTest, ThreadCountChangesDecompositionNotSemantics) {
+  // Different team sizes process different walker sets, but the result
+  // stays physical and the work scales with the walker count.
+  MiniQmcParams params = tiny();
+  params.steps = 10;
+  params.threads = 1;
+  const MiniQmcResult one = runMiniQmc(params);
+  params.threads = 4;
+  const MiniQmcResult four = runMiniQmc(params);
+  EXPECT_EQ(four.moves, 4 * one.moves);
+}
+
+TEST_F(MiniQmcTest, TilingGrowsTheProblem) {
+  MiniQmcParams params = tiny();
+  params.steps = 12;
+  params.tiling = 1;
+  const MiniQmcResult small = runMiniQmc(params);
+  params.tiling = 4;
+  const MiniQmcResult large = runMiniQmc(params);
+  // Same move count; the spline table (and per-move cost) grows.
+  EXPECT_EQ(small.moves, large.moves);
+}
+
+TEST_F(MiniQmcTest, AnnouncesOpenMpThreads) {
+  openmp::ToolRegistry::instance().resetForTesting();
+  MiniQmcParams params = tiny();
+  params.threads = 3;
+  runMiniQmc(params);
+  // The team announced itself through the OMPT registry — the hook
+  // ZeroSum's LwpTracker classification uses.
+  EXPECT_EQ(openmp::ToolRegistry::instance().knownOmpTids().size(), 3u);
+}
+
+TEST_F(MiniQmcTest, HaloExchangeAcrossRanks) {
+  mpisim::World world(3);
+  std::vector<mpisim::Recorder> recorders;
+  for (int r = 0; r < 3; ++r) {
+    recorders.emplace_back(r);
+  }
+  world.attachRecorders(&recorders);
+  std::array<double, 3> energies{};
+  world.run([&energies](mpisim::Comm& comm) {
+    MiniQmcParams params;
+    params.threads = 1;
+    params.steps = 5;
+    params.walkersPerThread = 1;
+    params.electrons = 8;
+    params.haloExchange = true;
+    const MiniQmcResult result = runMiniQmc(params, &comm);
+    energies[static_cast<std::size_t>(comm.rank())] = result.localEnergy;
+  });
+  // The final allreduce gives every rank the same global energy.
+  EXPECT_DOUBLE_EQ(energies[0], energies[1]);
+  EXPECT_DOUBLE_EQ(energies[1], energies[2]);
+  // Halo traffic is nearest-neighbour: each rank sent to both neighbours.
+  EXPECT_GT(recorders[0].bytesSentTo(1), 0u);
+  EXPECT_GT(recorders[0].bytesSentTo(2), 0u);  // wrap
+  EXPECT_EQ(recorders[0].bytesSentTo(0), 0u);
+}
+
+TEST_F(MiniQmcTest, StandaloneIgnoresHaloFlagWithoutComm) {
+  MiniQmcParams params = tiny();
+  params.haloExchange = true;  // no comm passed: must not deadlock
+  const MiniQmcResult result = runMiniQmc(params);
+  EXPECT_GT(result.moves, 0u);
+}
+
+}  // namespace
+}  // namespace zerosum::proxyapps

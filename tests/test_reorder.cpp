@@ -1,0 +1,109 @@
+#include "analysis/reorder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "mpisim/patterns.hpp"
+
+namespace zerosum::analysis {
+namespace {
+
+mpisim::CommMatrix ringMatrix(int ranks, std::uint64_t bytes = 100) {
+  mpisim::CommMatrix m(ranks);
+  for (int r = 0; r < ranks; ++r) {
+    m.addSend(r, (r + 1) % ranks, bytes);
+  }
+  return m;
+}
+
+TEST(Reorder, MappingsHaveExpectedShape) {
+  EXPECT_EQ(blockMapping(8, 4), (RankMapping{0, 0, 0, 0, 1, 1, 1, 1}));
+  EXPECT_EQ(roundRobinMapping(6, 3), (RankMapping{0, 1, 2, 0, 1, 2}));
+  EXPECT_THROW(blockMapping(0, 4), ConfigError);
+  EXPECT_THROW(roundRobinMapping(4, 0), ConfigError);
+}
+
+TEST(Reorder, InterNodeBytesCountsCrossings) {
+  const auto m = ringMatrix(4);
+  // All on one node: nothing crosses.
+  EXPECT_EQ(interNodeBytes(m, {0, 0, 0, 0}), 0u);
+  // Two per node: edges 1->2 and 3->0 cross.
+  EXPECT_EQ(interNodeBytes(m, blockMapping(4, 2)), 200u);
+  // Alternating: every edge crosses.
+  EXPECT_EQ(interNodeBytes(m, roundRobinMapping(4, 2)), 400u);
+}
+
+TEST(Reorder, MappingSizeValidated) {
+  const auto m = ringMatrix(4);
+  EXPECT_THROW(interNodeBytes(m, {0, 0}), ConfigError);
+  EXPECT_THROW(interNodeBytes(m, {0, 0, 0, -1}), ConfigError);
+}
+
+TEST(Reorder, BlockBeatsRoundRobinForNeighborTraffic) {
+  // The paper's point: nearest-neighbour codes want consecutive ranks
+  // co-located.
+  mpisim::patterns::GyrokineticParams params;
+  const auto matrix = mpisim::patterns::toMatrix(
+      64, [&](const mpisim::patterns::SendFn& send) {
+        mpisim::patterns::gyrokineticPic(64, params, send);
+      });
+  const std::uint64_t block = interNodeBytes(matrix, blockMapping(64, 8));
+  const std::uint64_t rr = interNodeBytes(matrix, roundRobinMapping(64, 8));
+  EXPECT_LT(block, rr / 2);
+}
+
+TEST(Reorder, ImproveRecoversLocalityFromRoundRobin) {
+  const auto m = ringMatrix(16, 1000);
+  const auto start = roundRobinMapping(16, 4);
+  const ReorderResult result = improveMapping(m, start);
+  EXPECT_LT(result.interNodeBytesAfter, result.interNodeBytesBefore);
+  EXPECT_GT(result.swapsApplied, 0);
+  EXPECT_GT(result.improvement(), 0.4);
+  // Node capacities preserved: still 4 ranks per node.
+  std::map<int, int> counts;
+  for (int node : result.mapping) {
+    ++counts[node];
+  }
+  for (const auto& [node, count] : counts) {
+    EXPECT_EQ(count, 4);
+  }
+}
+
+TEST(Reorder, ImproveLeavesOptimalAlone) {
+  const auto m = ringMatrix(8, 10);
+  const auto block = blockMapping(8, 8);  // single node: already 0 cost
+  const ReorderResult result = improveMapping(m, block);
+  EXPECT_EQ(result.swapsApplied, 0);
+  EXPECT_EQ(result.interNodeBytesAfter, 0u);
+}
+
+TEST(Reorder, MaxSwapsRespected) {
+  const auto m = ringMatrix(32, 100);
+  const ReorderResult result =
+      improveMapping(m, roundRobinMapping(32, 4), /*maxSwaps=*/3);
+  EXPECT_LE(result.swapsApplied, 3);
+}
+
+TEST(Reorder, AdviceMentionsAllMappings) {
+  mpisim::patterns::GyrokineticParams params;
+  const auto matrix = mpisim::patterns::toMatrix(
+      32, [&](const mpisim::patterns::SendFn& send) {
+        mpisim::patterns::gyrokineticPic(32, params, send);
+      });
+  const std::string advice = renderReorderAdvice(matrix, 8);
+  EXPECT_NE(advice.find("round-robin mapping"), std::string::npos);
+  EXPECT_NE(advice.find("block mapping"), std::string::npos);
+  EXPECT_NE(advice.find("swap-improved"), std::string::npos);
+  EXPECT_NE(advice.find("keep consecutive ranks"), std::string::npos);
+}
+
+TEST(Reorder, EmptyMatrixIsHandled) {
+  mpisim::CommMatrix m(4);
+  const ReorderResult result = improveMapping(m, blockMapping(4, 2));
+  EXPECT_EQ(result.interNodeBytesBefore, 0u);
+  EXPECT_EQ(result.interNodeBytesAfter, 0u);
+  EXPECT_DOUBLE_EQ(result.improvement(), 0.0);
+}
+
+}  // namespace
+}  // namespace zerosum::analysis

@@ -1,0 +1,400 @@
+#include "sim/node.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace zerosum::sim {
+namespace {
+
+CpuSet cpus(const std::string& list) { return CpuSet::fromList(list); }
+
+Behavior compute(std::uint64_t iterations, Jiffies work) {
+  Behavior b;
+  b.iterations = iterations;
+  b.iterWorkJiffies = work;
+  b.systemFraction = 0.0;
+  b.minorFaultsPerJiffy = 0.0;
+  return b;
+}
+
+TEST(SimNode, RequiresHwts) {
+  EXPECT_THROW(SimNode(CpuSet{}, 1 << 30), ConfigError);
+}
+
+TEST(SimNode, SpawnValidation) {
+  SimNode node(cpus("0-3"), 1ULL << 30);
+  EXPECT_THROW(node.spawnProcess("p", cpus("0-7")), ConfigError);
+  const Pid pid = node.spawnProcess("p", cpus("0-1"));
+  // Task affinity naming HWTs that do not exist on the node is rejected.
+  EXPECT_THROW(
+      node.spawnTask(pid, "t", LwpType::kMain, Behavior{}, cpus("4-5")),
+      ConfigError);
+}
+
+TEST(SimNode, EmptyProcessAffinityMeansWholeNode) {
+  SimNode node(cpus("0-3"), 1ULL << 30);
+  const Pid pid = node.spawnProcess("p", CpuSet{});
+  EXPECT_EQ(node.process(pid).affinity.toList(), "0-3");
+}
+
+TEST(SimNode, FirstTaskGetsPidAsTid) {
+  SimNode node(cpus("0"), 1ULL << 30);
+  const Pid pid = node.spawnProcess("p", CpuSet{});
+  const Tid tid = node.spawnTask(pid, "main", LwpType::kMain, compute(1, 10));
+  EXPECT_EQ(tid, pid);
+  const Tid tid2 = node.spawnTask(pid, "w", LwpType::kOther, compute(1, 10));
+  EXPECT_NE(tid2, pid);
+}
+
+TEST(SimNode, TidsUniqueAcrossProcesses) {
+  SimNode node(cpus("0"), 1ULL << 30);
+  const Pid p1 = node.spawnProcess("a", CpuSet{});
+  node.spawnTask(p1, "a", LwpType::kMain, compute(1, 1));
+  const Pid p2 = node.spawnProcess("b", CpuSet{});
+  node.spawnTask(p2, "b", LwpType::kMain, compute(1, 1));
+  const Tid extra = node.spawnTask(p1, "x", LwpType::kOther, compute(1, 1));
+  EXPECT_NE(extra, p1);
+  EXPECT_NE(extra, p2);
+}
+
+TEST(SimNode, SingleTaskRunsToCompletion) {
+  SimNode node(cpus("0"), 1ULL << 30);
+  const Pid pid = node.spawnProcess("p", CpuSet{});
+  const Tid tid = node.spawnTask(pid, "t", LwpType::kMain, compute(1, 50));
+  EXPECT_FALSE(node.processFinished(pid));
+  node.advance(60);
+  EXPECT_TRUE(node.processFinished(pid));
+  const SimTask& t = node.task(tid);
+  EXPECT_EQ(t.utime + t.stime, 50u);
+  EXPECT_EQ(t.state, TaskState::kDone);
+}
+
+TEST(SimNode, SystemFractionSplitsTime) {
+  SimNode node(cpus("0"), 1ULL << 30);
+  const Pid pid = node.spawnProcess("p", CpuSet{});
+  Behavior b = compute(1, 1000);
+  b.systemFraction = 0.25;
+  const Tid tid = node.spawnTask(pid, "t", LwpType::kMain, b);
+  node.advance(1100);
+  const SimTask& t = node.task(tid);
+  EXPECT_EQ(t.utime + t.stime, 1000u);
+  EXPECT_NEAR(static_cast<double>(t.stime), 250.0, 2.0);
+}
+
+TEST(SimNode, IdleHwtsAccrueIdleJiffies) {
+  SimNode node(cpus("0-1"), 1ULL << 30);
+  const Pid pid = node.spawnProcess("p", cpus("0"));
+  node.spawnTask(pid, "t", LwpType::kMain, compute(1, 100));
+  node.advance(100);
+  EXPECT_EQ(node.hwtCounters(1).idle, 100u);
+  EXPECT_EQ(node.hwtCounters(0).user, 100u);
+}
+
+TEST(SimNode, ContendedCoreTimeSlicesWithNvctx) {
+  // Two CPU-bound tasks pinned to one HWT: both make progress, both get
+  // preempted (the Table 1 mechanism).
+  SimNode node(cpus("0"), 1ULL << 30);
+  const Pid pid = node.spawnProcess("p", cpus("0"));
+  const Tid a = node.spawnTask(pid, "a", LwpType::kMain, compute(1, 300));
+  const Tid b = node.spawnTask(pid, "b", LwpType::kOther, compute(1, 300));
+  node.advance(400);
+  EXPECT_FALSE(node.processFinished(pid));
+  const SimTask& ta = node.task(a);
+  const SimTask& tb = node.task(b);
+  // Fair scheduling: similar progress.
+  EXPECT_NEAR(static_cast<double>(ta.utime),
+              static_cast<double>(tb.utime), 10.0);
+  EXPECT_GT(ta.nonvoluntaryCtx, 20u);
+  EXPECT_GT(tb.nonvoluntaryCtx, 20u);
+  node.advance(300);
+  EXPECT_TRUE(node.processFinished(pid));
+}
+
+TEST(SimNode, UncontendedTasksHaveNoNvctx) {
+  SimNode node(cpus("0-1"), 1ULL << 30);
+  const Pid pid = node.spawnProcess("p", cpus("0-1"));
+  const Tid a =
+      node.spawnTask(pid, "a", LwpType::kMain, compute(1, 200), cpus("0"));
+  const Tid b =
+      node.spawnTask(pid, "b", LwpType::kOther, compute(1, 200), cpus("1"));
+  node.advance(250);
+  EXPECT_EQ(node.task(a).nonvoluntaryCtx, 0u);
+  EXPECT_EQ(node.task(b).nonvoluntaryCtx, 0u);
+}
+
+TEST(SimNode, ContentionStretchesMakespan) {
+  // Same total work; 4 tasks on 1 HWT take ~4x as long as on 4 HWTs.
+  auto runConfig = [](const std::string& taskCpus) {
+    SimNode node(cpus("0-3"), 1ULL << 30);
+    const Pid pid = node.spawnProcess("p", CpuSet{});
+    for (int i = 0; i < 4; ++i) {
+      const CpuSet aff = taskCpus == "each"
+                             ? cpus(std::to_string(i))
+                             : cpus(taskCpus);
+      node.spawnTask(pid, "t", LwpType::kOther, compute(1, 100), aff);
+    }
+    Jiffies elapsed = 0;
+    while (!node.processFinished(pid) && elapsed < 10000) {
+      node.advance(10);
+      elapsed += 10;
+    }
+    return elapsed;
+  };
+  const Jiffies contended = runConfig("0");
+  const Jiffies spread = runConfig("each");
+  EXPECT_GE(contended, 3 * spread);
+}
+
+TEST(SimNode, VoluntaryCtxOnBlocking) {
+  SimNode node(cpus("0"), 1ULL << 30);
+  const Pid pid = node.spawnProcess("p", CpuSet{});
+  Behavior b = compute(10, 5);
+  b.blockJiffies = 5;
+  const Tid tid = node.spawnTask(pid, "t", LwpType::kMain, b);
+  node.advance(200);
+  const SimTask& t = node.task(tid);
+  EXPECT_TRUE(t.finished());
+  // One voluntary switch per inter-burst block (9) plus exit (1).
+  EXPECT_EQ(t.voluntaryCtx, 10u);
+}
+
+TEST(SimNode, DaemonNeverCompletes) {
+  SimNode node(cpus("0"), 1ULL << 30);
+  const Pid pid = node.spawnProcess("p", CpuSet{});
+  Behavior d;
+  d.iterations = 0;  // daemon
+  d.iterWorkJiffies = 1;
+  d.blockJiffies = 10;
+  node.spawnTask(pid, "d", LwpType::kZeroSum, d);
+  node.advance(500);
+  EXPECT_TRUE(node.processFinished(pid));  // daemons don't block completion
+  EXPECT_FALSE(node.allWorkFinished() == false);  // no non-daemon work left
+}
+
+TEST(SimNode, PureSleeperAccruesOnlyVoluntaryCtx) {
+  // The "Other" MPI helper thread shape: utime 0, small ctx count.
+  SimNode node(cpus("0"), 1ULL << 30);
+  const Pid pid = node.spawnProcess("p", CpuSet{});
+  Behavior d;
+  d.iterations = 0;
+  d.iterWorkJiffies = 0;  // never wants CPU
+  d.blockJiffies = 50;
+  const Tid tid = node.spawnTask(pid, "other", LwpType::kOther, d);
+  node.advance(1000);
+  const SimTask& t = node.task(tid);
+  EXPECT_EQ(t.utime, 0u);
+  EXPECT_EQ(t.stime, 0u);
+  EXPECT_GT(t.voluntaryCtx, 10u);
+  EXPECT_LT(t.voluntaryCtx, 30u);
+  EXPECT_EQ(t.nonvoluntaryCtx, 0u);
+}
+
+TEST(SimNode, BarrierSynchronizesTeam) {
+  SimNode node(cpus("0-1"), 1ULL << 30);
+  const Pid pid = node.spawnProcess("p", CpuSet{});
+  const TeamId team = node.createTeam(2);
+  Behavior b = compute(5, 10);
+  b.teamId = team;
+  const Tid a = node.spawnTask(pid, "a", LwpType::kMain, b, cpus("0"));
+  // Second member starts late; the first must wait at the barrier.
+  Behavior b2 = b;
+  b2.startDelayJiffies = 20;
+  const Tid c = node.spawnTask(pid, "b", LwpType::kOpenMp, b2, cpus("1"));
+  node.advance(200);
+  EXPECT_TRUE(node.processFinished(pid));
+  // Both did the same amount of work.
+  EXPECT_EQ(node.task(a).utime + node.task(a).stime, 50u);
+  EXPECT_EQ(node.task(c).utime + node.task(c).stime, 50u);
+  // The early task blocked at barriers: voluntary switches recorded.
+  EXPECT_GE(node.task(a).voluntaryCtx, 4u);
+}
+
+TEST(SimNode, BarrierWithGpuSyncSleep) {
+  SimNode node(cpus("0-1"), 1ULL << 30);
+  const Pid pid = node.spawnProcess("p", CpuSet{});
+  const TeamId team = node.createTeam(2);
+  Behavior b = compute(5, 4);
+  b.teamId = team;
+  b.blockJiffies = 6;  // offload sync after each step
+  node.spawnTask(pid, "a", LwpType::kMain, b, cpus("0"));
+  node.spawnTask(pid, "b", LwpType::kOpenMp, b, cpus("1"));
+  Jiffies elapsed = 0;
+  while (!node.processFinished(pid) && elapsed < 1000) {
+    node.advance(5);
+    elapsed += 5;
+  }
+  EXPECT_TRUE(node.processFinished(pid));
+  // Offload sync forces the makespan well above the 20 jiffies of pure
+  // compute: four inter-step syncs of >= 5 jiffies each.
+  EXPECT_GE(elapsed, 35u);
+}
+
+TEST(SimNode, WakeupPreemptionByLowVruntimeTask) {
+  // A periodic monitor thread sharing a core with a busy thread preempts
+  // it on wake (the Table 3 nvctx=208 signature).
+  SimNode node(cpus("0"), 1ULL << 30);
+  const Pid pid = node.spawnProcess("p", CpuSet{});
+  const Tid busy =
+      node.spawnTask(pid, "busy", LwpType::kOpenMp, compute(1, 800));
+  Behavior mon;
+  mon.iterations = 0;
+  mon.iterWorkJiffies = 1;
+  mon.blockJiffies = 99;
+  const Tid monitor = node.spawnTask(pid, "zerosum", LwpType::kZeroSum, mon);
+  node.advance(900);
+  EXPECT_TRUE(node.task(busy).finished());
+  EXPECT_GT(node.task(busy).nonvoluntaryCtx, 3u);
+  EXPECT_GT(node.task(monitor).utime + node.task(monitor).stime, 3u);
+}
+
+TEST(SimNode, MigrationTrackedWhenUnbound) {
+  // Unbound tasks on multiple HWTs may migrate; bound tasks never do.
+  SimNode node(cpus("0-1"), 1ULL << 30);
+  const Pid pid = node.spawnProcess("p", cpus("0-1"));
+  // Three tasks on two HWTs force rotation.
+  const Tid a = node.spawnTask(pid, "a", LwpType::kOther, compute(1, 300));
+  node.spawnTask(pid, "b", LwpType::kOther, compute(1, 300));
+  node.spawnTask(pid, "c", LwpType::kOther, compute(1, 300));
+  node.advance(500);
+  const SimTask& t = node.task(a);
+  EXPECT_GT(t.migrations + node.task(a + 1).migrations, 0u);
+}
+
+TEST(SimNode, BoundTaskNeverMigrates) {
+  SimNode node(cpus("0-1"), 1ULL << 30);
+  const Pid pid = node.spawnProcess("p", cpus("0-1"));
+  const Tid a =
+      node.spawnTask(pid, "a", LwpType::kOther, compute(1, 100), cpus("1"));
+  node.advance(200);
+  EXPECT_EQ(node.task(a).migrations, 0u);
+  EXPECT_EQ(node.task(a).lastCpu, 1);
+}
+
+TEST(SimNode, MinorFaultsAccrue) {
+  SimNode node(cpus("0"), 1ULL << 30);
+  const Pid pid = node.spawnProcess("p", CpuSet{});
+  Behavior b = compute(1, 100);
+  b.minorFaultsPerJiffy = 2.0;
+  const Tid tid = node.spawnTask(pid, "t", LwpType::kMain, b);
+  node.advance(150);
+  EXPECT_EQ(node.task(tid).minorFaults, 200u);
+}
+
+TEST(SimNode, MajorFaultsAreRare) {
+  SimNode node(cpus("0"), 1ULL << 30);
+  const Pid pid = node.spawnProcess("p", CpuSet{});
+  Behavior b = compute(1, 2000);
+  b.majorFaultsPerKJiffy = 3.0;
+  const Tid tid = node.spawnTask(pid, "t", LwpType::kMain, b);
+  node.advance(2100);
+  EXPECT_EQ(node.task(tid).majorFaults, 6u);
+}
+
+TEST(SimNode, RssRampsTowardTarget) {
+  SimNode node(cpus("0"), 1ULL << 30);
+  const Pid pid = node.spawnProcess("p", CpuSet{});
+  node.setProcessRssModel(pid, 100 << 20, 200 << 20, 100);
+  EXPECT_EQ(node.process(pid).rssBytes(node.now()), 100u << 20);
+  node.advance(50);
+  const std::uint64_t mid = node.process(pid).rssBytes(node.now());
+  EXPECT_GT(mid, 100u << 20);
+  EXPECT_LT(mid, 200u << 20);
+  node.advance(100);
+  EXPECT_EQ(node.process(pid).rssBytes(node.now()), 200u << 20);
+}
+
+TEST(SimNode, MemFreeReflectsProcessRss) {
+  SimNode node(cpus("0"), 1ULL << 30);
+  const std::uint64_t before = node.memFreeBytes();
+  const Pid pid = node.spawnProcess("p", CpuSet{});
+  node.setProcessRssModel(pid, 256ULL << 20, 256ULL << 20, 1);
+  EXPECT_EQ(before - node.memFreeBytes(), 256ULL << 20);
+}
+
+TEST(SimNode, SystemMemoryUsageKnob) {
+  SimNode node(cpus("0"), 1ULL << 30);
+  node.setSystemMemoryUsage(1ULL << 30);  // external hog eats everything
+  EXPECT_EQ(node.memFreeBytes(), 0u);
+}
+
+TEST(SimNode, AffinityChangeTakesEffect) {
+  SimNode node(cpus("0-1"), 1ULL << 30);
+  const Pid pid = node.spawnProcess("p", cpus("0-1"));
+  const Tid tid =
+      node.spawnTask(pid, "t", LwpType::kMain, compute(1, 500), cpus("0"));
+  node.advance(50);
+  EXPECT_EQ(node.task(tid).lastCpu, 0);
+  node.setTaskAffinity(tid, cpus("1"));
+  node.advance(50);
+  EXPECT_EQ(node.task(tid).lastCpu, 1);
+  EXPECT_GE(node.task(tid).migrations, 1u);
+}
+
+TEST(SimNode, InvalidReferencesThrow) {
+  SimNode node(cpus("0"), 1ULL << 30);
+  EXPECT_THROW(node.process(42), NotFoundError);
+  EXPECT_THROW(node.task(42), NotFoundError);
+  EXPECT_THROW(node.taskIds(42), NotFoundError);
+  EXPECT_THROW(node.hwtCounters(9), NotFoundError);
+  EXPECT_THROW(node.setTaskAffinity(42, cpus("0")), NotFoundError);
+  EXPECT_THROW(node.createTeam(0), ConfigError);
+  const Pid pid = node.spawnProcess("p", CpuSet{});
+  Behavior bad;
+  bad.teamId = 7;  // never created
+  EXPECT_THROW(node.spawnTask(pid, "t", LwpType::kMain, bad), ConfigError);
+}
+
+TEST(SimNode, TerminateProcessKillsEveryTask) {
+  SimNode node(cpus("0-1"), 1ULL << 30);
+  const Pid pid = node.spawnProcess("p", CpuSet{});
+  const Tid worker = node.spawnTask(pid, "w", LwpType::kMain,
+                                    compute(1, 1ULL << 30));
+  Behavior daemon;
+  daemon.iterations = 0;
+  daemon.iterWorkJiffies = 1;
+  daemon.blockJiffies = 10;
+  const Tid helper =
+      node.spawnTask(pid, "d", LwpType::kZeroSum, daemon);
+  node.advance(50);
+  EXPECT_FALSE(node.processFinished(pid));
+  node.terminateProcess(pid);
+  EXPECT_TRUE(node.processFinished(pid));
+  EXPECT_TRUE(node.task(worker).finished());
+  EXPECT_TRUE(node.task(helper).finished());
+  // The freed HWTs go idle; no zombie keeps consuming.
+  const auto busyBefore = node.hwtCounters(0).user;
+  node.advance(50);
+  EXPECT_EQ(node.hwtCounters(0).user, busyBefore);
+  EXPECT_THROW(node.terminateProcess(424242), NotFoundError);
+}
+
+TEST(SimNode, DeterministicAcrossRuns) {
+  auto run = [] {
+    SimNode node(cpus("0-1"), 1ULL << 30, SchedulerParams{}, 99);
+    const Pid pid = node.spawnProcess("p", CpuSet{});
+    const TeamId team = node.createTeam(3);
+    Behavior b;
+    b.iterations = 20;
+    b.iterWorkJiffies = 7;
+    b.teamId = team;
+    b.systemFraction = 0.1;
+    for (int i = 0; i < 3; ++i) {
+      node.spawnTask(pid, "t", LwpType::kOpenMp, b);
+    }
+    node.advance(2000);
+    std::vector<std::uint64_t> out;
+    for (Tid tid : node.taskIds(pid)) {
+      const SimTask& t = node.task(tid);
+      out.push_back(t.utime);
+      out.push_back(t.stime);
+      out.push_back(t.voluntaryCtx);
+      out.push_back(t.nonvoluntaryCtx);
+    }
+    return out;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace zerosum::sim

@@ -1,0 +1,205 @@
+#include "sim/slurm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "topology/presets.hpp"
+
+namespace zerosum::sim::slurm {
+namespace {
+
+TEST(PlanSrun, DefaultGivesOneCorePerRank) {
+  // `srun -n8` on Frontier: each rank gets one core; rank 0's is core 1
+  // because core 0 of the first L3 region is reserved (Table 1).
+  const auto topo = topology::presets::frontier();
+  SrunArgs args;
+  args.ntasks = 8;
+  const auto plan = planSrun(topo, args);
+  ASSERT_EQ(plan.size(), 8u);
+  EXPECT_EQ(plan[0].cpus.toList(), "1");
+  EXPECT_EQ(plan[1].cpus.toList(), "2");
+  EXPECT_EQ(plan[7].cpus.toList(), "9");  // skips reserved core 8
+}
+
+TEST(PlanSrun, Cores7MatchesListing2) {
+  // `srun -n8 -c7` with --threads-per-core=1: rank 0 gets CPUs 1-7.
+  const auto topo = topology::presets::frontier();
+  SrunArgs args;
+  args.ntasks = 8;
+  args.cpusPerTask = 7;
+  const auto plan = planSrun(topo, args);
+  ASSERT_EQ(plan.size(), 8u);
+  EXPECT_EQ(plan[0].cpus.toList(), "1-7");
+  EXPECT_EQ(plan[1].cpus.toList(), "9-15");
+  EXPECT_EQ(plan[0].numaDomain, 0);
+  EXPECT_EQ(plan[2].numaDomain, 1);  // cores 17-23 live in NUMA 1
+}
+
+TEST(PlanSrun, TwoThreadsPerCoreExposesSmtSiblings) {
+  const auto topo = topology::presets::frontier();
+  SrunArgs args;
+  args.ntasks = 1;
+  args.cpusPerTask = 2;
+  args.threadsPerCore = 2;
+  const auto plan = planSrun(topo, args);
+  // Cores 1 and 2 with both SMT siblings (interleaved: +64).
+  EXPECT_EQ(plan[0].cpus.toList(), "1-2,65-66");
+}
+
+TEST(PlanSrun, GpuBindClosestFollowsNumaAssociation) {
+  // Listing 2's chain: rank 0 (NUMA 0) gets visible GPU 0 == physical GCD 4.
+  const auto topo = topology::presets::frontier();
+  SrunArgs args;
+  args.ntasks = 8;
+  args.cpusPerTask = 7;
+  args.gpusPerTask = 1;
+  args.gpuBindClosest = true;
+  const auto plan = planSrun(topo, args);
+  ASSERT_EQ(plan[0].gpuVisibleIndexes.size(), 1u);
+  EXPECT_EQ(plan[0].gpuVisibleIndexes[0], 0);
+  EXPECT_EQ(topo.gpuByVisibleIndex(plan[0].gpuVisibleIndexes[0]).physicalIndex,
+            4);
+  // Ranks 2,3 are on NUMA 1 whose GCDs are physical 2,3 = visible 2,3.
+  EXPECT_EQ(plan[2].gpuVisibleIndexes[0], 2);
+  EXPECT_EQ(plan[3].gpuVisibleIndexes[0], 3);
+  // Every rank gets a distinct GPU in this shape.
+  std::set<int> assigned;
+  for (const auto& tp : plan) {
+    assigned.insert(tp.gpuVisibleIndexes[0]);
+  }
+  EXPECT_EQ(assigned.size(), 8u);
+}
+
+TEST(PlanSrun, GpuRoundRobinWithoutClosest) {
+  const auto topo = topology::presets::frontier();
+  SrunArgs args;
+  args.ntasks = 4;
+  args.gpusPerTask = 1;
+  const auto plan = planSrun(topo, args);
+  EXPECT_EQ(plan[0].gpuVisibleIndexes[0], 0);
+  EXPECT_EQ(plan[1].gpuVisibleIndexes[0], 1);
+  EXPECT_EQ(plan[3].gpuVisibleIndexes[0], 3);
+}
+
+TEST(PlanSrun, InsufficientCoresThrows) {
+  const auto topo = topology::presets::i7_1165g7();  // 4 cores, none reserved
+  SrunArgs args;
+  args.ntasks = 3;
+  args.cpusPerTask = 2;  // needs 6
+  EXPECT_THROW(planSrun(topo, args), ConfigError);
+}
+
+TEST(PlanSrun, GpuRequestOnGpulessNodeThrows) {
+  const auto topo = topology::presets::i7_1165g7();
+  SrunArgs args;
+  args.ntasks = 1;
+  args.gpusPerTask = 1;
+  EXPECT_THROW(planSrun(topo, args), ConfigError);
+}
+
+TEST(PlanSrun, ClosestWithoutAffinityInfoThrows) {
+  // Perlmutter's public diagram omits GPU-NUMA association; closest
+  // binding cannot be planned.
+  const auto topo = topology::presets::perlmutter();
+  SrunArgs args;
+  args.ntasks = 1;
+  args.gpusPerTask = 1;
+  args.gpuBindClosest = true;
+  EXPECT_THROW(planSrun(topo, args), ConfigError);
+}
+
+TEST(PlanSrun, BadArgsThrow) {
+  const auto topo = topology::presets::i7_1165g7();
+  SrunArgs args;
+  args.ntasks = 0;
+  EXPECT_THROW(planSrun(topo, args), ConfigError);
+}
+
+TEST(PlanOmp, NoneInheritsTaskCpus) {
+  const auto topo = topology::presets::frontier();
+  const CpuSet task = CpuSet::fromList("1-7");
+  const auto binding =
+      planOmpBinding(topo, task, 7, OmpBind::kNone, OmpPlaces::kCores);
+  ASSERT_EQ(binding.size(), 7u);
+  for (const auto& cpus : binding) {
+    EXPECT_EQ(cpus.toList(), "1-7");
+  }
+}
+
+TEST(PlanOmp, SpreadOverCoresMatchesTable3) {
+  // Table 3: 7 threads over cores 1-7, thread i on core i+1.
+  const auto topo = topology::presets::frontier();
+  const CpuSet task = CpuSet::fromList("1-7");
+  const auto binding =
+      planOmpBinding(topo, task, 7, OmpBind::kSpread, OmpPlaces::kCores);
+  ASSERT_EQ(binding.size(), 7u);
+  EXPECT_EQ(binding[0].toList(), "1");
+  EXPECT_EQ(binding[1].toList(), "2");
+  EXPECT_EQ(binding[6].toList(), "7");
+}
+
+TEST(PlanOmp, SpreadDistributesWhenFewerThreadsThanPlaces) {
+  const auto topo = topology::presets::frontier();
+  const CpuSet task = CpuSet::fromList("1-7");
+  const auto binding =
+      planOmpBinding(topo, task, 3, OmpBind::kSpread, OmpPlaces::kCores);
+  // 3 threads over 7 places: indexes 0, 2, 4 (t*7/3).
+  EXPECT_EQ(binding[0].toList(), "1");
+  EXPECT_EQ(binding[1].toList(), "3");
+  EXPECT_EQ(binding[2].toList(), "5");
+}
+
+TEST(PlanOmp, PlacesCoresIncludeSmtSiblings) {
+  const auto topo = topology::presets::frontier();
+  // Task owns core 1 with both SMT siblings (PUs 1 and 65).
+  const CpuSet task = CpuSet::fromList("1,65");
+  const auto binding =
+      planOmpBinding(topo, task, 1, OmpBind::kSpread, OmpPlaces::kCores);
+  EXPECT_EQ(binding[0].toList(), "1,65");
+}
+
+TEST(PlanOmp, PlacesThreadsPinToSinglePu) {
+  const auto topo = topology::presets::frontier();
+  const CpuSet task = CpuSet::fromList("1,65");
+  const auto binding =
+      planOmpBinding(topo, task, 2, OmpBind::kSpread, OmpPlaces::kThreads);
+  EXPECT_EQ(binding[0].toList(), "1");
+  EXPECT_EQ(binding[1].toList(), "65");
+}
+
+TEST(PlanOmp, CloseWrapsAroundPlaces) {
+  const auto topo = topology::presets::frontier();
+  const CpuSet task = CpuSet::fromList("1-2");
+  const auto binding =
+      planOmpBinding(topo, task, 4, OmpBind::kClose, OmpPlaces::kCores);
+  EXPECT_EQ(binding[0].toList(), "1");
+  EXPECT_EQ(binding[1].toList(), "2");
+  EXPECT_EQ(binding[2].toList(), "1");
+  EXPECT_EQ(binding[3].toList(), "2");
+}
+
+TEST(PlanOmp, EmptyCpusetThrows) {
+  const auto topo = topology::presets::frontier();
+  EXPECT_THROW(
+      planOmpBinding(topo, CpuSet{}, 2, OmpBind::kSpread, OmpPlaces::kCores),
+      ConfigError);
+  EXPECT_THROW(planOmpBinding(topo, CpuSet::fromList("1"), 0, OmpBind::kNone,
+                              OmpPlaces::kCores),
+               ConfigError);
+}
+
+TEST(RenderPlan, ContainsRanksAndGpus) {
+  const auto topo = topology::presets::frontier();
+  SrunArgs args;
+  args.ntasks = 2;
+  args.cpusPerTask = 7;
+  args.gpusPerTask = 1;
+  args.gpuBindClosest = true;
+  const std::string out = renderPlan(planSrun(topo, args));
+  EXPECT_NE(out.find("rank 000"), std::string::npos);
+  EXPECT_NE(out.find("cpus [1-7]"), std::string::npos);
+  EXPECT_NE(out.find("gpus 0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace zerosum::sim::slurm

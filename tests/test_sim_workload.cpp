@@ -1,0 +1,161 @@
+#include "sim/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "topology/presets.hpp"
+
+namespace zerosum::sim {
+namespace {
+
+TEST(Workload, RankHasExpectedThreadStructure) {
+  SimNode node(CpuSet::fromList("0-7"), 8ULL << 30);
+  MiniQmcConfig cfg;
+  cfg.ompThreads = 4;
+  cfg.steps = 5;
+  cfg.workPerStep = 3;
+  const BuiltRank rank = buildMiniQmcRank(node, CpuSet::fromList("0-3"), cfg,
+                                          node.hwts());
+  // main + 3 workers + other + zerosum.
+  EXPECT_EQ(node.taskIds(rank.pid).size(), 6u);
+  EXPECT_EQ(node.task(rank.mainTid).type, LwpType::kMain);
+  EXPECT_EQ(node.task(rank.zeroSumTid).type, LwpType::kZeroSum);
+  EXPECT_EQ(node.task(rank.otherTid).type, LwpType::kOther);
+  EXPECT_EQ(rank.ompTids.size(), 3u);
+}
+
+TEST(Workload, ZeroSumThreadPinnedToLastHwtByDefault) {
+  SimNode node(CpuSet::fromList("0-7"), 8ULL << 30);
+  MiniQmcConfig cfg;
+  cfg.ompThreads = 2;
+  const BuiltRank rank = buildMiniQmcRank(node, CpuSet::fromList("1-7"), cfg,
+                                          node.hwts());
+  EXPECT_EQ(node.task(rank.zeroSumTid).affinity.toList(), "7");
+}
+
+TEST(Workload, ZeroSumCpuOverride) {
+  SimNode node(CpuSet::fromList("0-7"), 8ULL << 30);
+  MiniQmcConfig cfg;
+  cfg.ompThreads = 2;
+  cfg.zeroSumCpu = 3;
+  const BuiltRank rank = buildMiniQmcRank(node, CpuSet::fromList("0-7"), cfg,
+                                          node.hwts());
+  EXPECT_EQ(node.task(rank.zeroSumTid).affinity.toList(), "3");
+}
+
+TEST(Workload, OtherThreadUnbound) {
+  SimNode node(CpuSet::fromList("0-7"), 8ULL << 30);
+  MiniQmcConfig cfg;
+  cfg.ompThreads = 2;
+  const BuiltRank rank = buildMiniQmcRank(node, CpuSet::fromList("0-1"), cfg,
+                                          node.hwts());
+  // The helper thread roams the whole node (paper: "not bound ... not even
+  // the subset assigned to the process").
+  EXPECT_EQ(node.task(rank.otherTid).affinity.toList(), "0-7");
+}
+
+TEST(Workload, ThreadBindingApplied) {
+  SimNode node(CpuSet::fromList("0-7"), 8ULL << 30);
+  MiniQmcConfig cfg;
+  cfg.ompThreads = 3;
+  cfg.threadBinding = {CpuSet::fromList("1"), CpuSet::fromList("2"),
+                       CpuSet::fromList("3")};
+  const BuiltRank rank = buildMiniQmcRank(node, CpuSet::fromList("1-3"), cfg,
+                                          node.hwts());
+  EXPECT_EQ(node.task(rank.mainTid).affinity.toList(), "1");
+  EXPECT_EQ(node.task(rank.ompTids[0]).affinity.toList(), "2");
+  EXPECT_EQ(node.task(rank.ompTids[1]).affinity.toList(), "3");
+}
+
+TEST(Workload, BindingSizeMismatchThrows) {
+  SimNode node(CpuSet::fromList("0-7"), 8ULL << 30);
+  MiniQmcConfig cfg;
+  cfg.ompThreads = 3;
+  cfg.threadBinding = {CpuSet::fromList("1")};
+  EXPECT_THROW(
+      buildMiniQmcRank(node, CpuSet::fromList("1-3"), cfg, node.hwts()),
+      ConfigError);
+}
+
+TEST(Workload, RunCompletesAndConsumesExpectedWork) {
+  SimNode node(CpuSet::fromList("0-3"), 8ULL << 30);
+  MiniQmcConfig cfg;
+  cfg.ompThreads = 4;
+  cfg.steps = 10;
+  cfg.workPerStep = 5;
+  cfg.threadBinding = {CpuSet::fromList("0"), CpuSet::fromList("1"),
+                       CpuSet::fromList("2"), CpuSet::fromList("3")};
+  const BuiltRank rank =
+      buildMiniQmcRank(node, CpuSet::fromList("0-3"), cfg, node.hwts());
+  Jiffies elapsed = 0;
+  while (!node.processFinished(rank.pid) && elapsed < 5000) {
+    node.advance(10);
+    elapsed += 10;
+  }
+  EXPECT_TRUE(node.processFinished(rank.pid));
+  const SimTask& main = node.task(rank.mainTid);
+  EXPECT_EQ(main.utime + main.stime, 50u);
+}
+
+TEST(Workload, GpuOffloadRaisesSystemFractionAndBlocks) {
+  SimNode node(CpuSet::fromList("0-3"), 8ULL << 30);
+  MiniQmcConfig cfg;
+  cfg.ompThreads = 2;
+  cfg.steps = 20;
+  cfg.workPerStep = 4;
+  cfg.gpuOffload = true;
+  cfg.offloadSyncJiffies = 6;
+  const BuiltRank rank =
+      buildMiniQmcRank(node, CpuSet::fromList("0-1"), cfg, node.hwts());
+  Jiffies elapsed = 0;
+  while (!node.processFinished(rank.pid) && elapsed < 5000) {
+    node.advance(10);
+    elapsed += 10;
+  }
+  ASSERT_TRUE(node.processFinished(rank.pid));
+  const SimTask& main = node.task(rank.mainTid);
+  const double stimeFrac =
+      static_cast<double>(main.stime) /
+      static_cast<double>(main.stime + main.utime);
+  EXPECT_GT(stimeFrac, 0.10);  // Listing 2's ~12.5% syscall share
+  // Offload syncs add voluntary switches beyond barrier count.
+  EXPECT_GE(main.voluntaryCtx, 19u);
+}
+
+TEST(Workload, GpuHelperOnlyWithOffload) {
+  SimNode node(CpuSet::fromList("0-3"), 8ULL << 30);
+  MiniQmcConfig plain;
+  plain.ompThreads = 2;
+  const BuiltRank noGpu =
+      buildMiniQmcRank(node, CpuSet::fromList("0-1"), plain, node.hwts());
+  EXPECT_EQ(noGpu.gpuHelperTid, 0);
+
+  MiniQmcConfig offload = plain;
+  offload.gpuOffload = true;
+  const BuiltRank withGpu =
+      buildMiniQmcRank(node, CpuSet::fromList("2-3"), offload, node.hwts());
+  ASSERT_NE(withGpu.gpuHelperTid, 0);
+  const SimTask& helper = node.task(withGpu.gpuHelperTid);
+  EXPECT_EQ(helper.type, LwpType::kGpuHelper);
+  // Unbound, like the MPI helper (paper §3.4).
+  EXPECT_EQ(helper.affinity.toList(), "0-3");
+  EXPECT_TRUE(helper.behavior.isDaemon());
+}
+
+TEST(Workload, JobBuildsOneProcessPerPlacement) {
+  const auto topo = topology::presets::frontier();
+  SimNode node(topo.allPus(), 512ULL << 30);
+  slurm::SrunArgs args;
+  args.ntasks = 4;
+  args.cpusPerTask = 7;
+  const auto plan = slurm::planSrun(topo, args);
+  MiniQmcConfig cfg;
+  cfg.ompThreads = 7;
+  const auto ranks = buildMiniQmcJob(node, plan, cfg, node.hwts());
+  EXPECT_EQ(ranks.size(), 4u);
+  EXPECT_EQ(node.processIds().size(), 4u);
+  EXPECT_EQ(node.process(ranks[1].pid).affinity.toList(), "9-15");
+}
+
+}  // namespace
+}  // namespace zerosum::sim

@@ -1,0 +1,219 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace zerosum::stats {
+namespace {
+
+TEST(Accumulator, EmptyIsZero) {
+  Accumulator a;
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(a.min(), 0.0);
+  EXPECT_DOUBLE_EQ(a.max(), 0.0);
+  EXPECT_DOUBLE_EQ(a.variance(), 0.0);
+}
+
+TEST(Accumulator, SingleValue) {
+  Accumulator a;
+  a.add(5.0);
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(a.min(), 5.0);
+  EXPECT_DOUBLE_EQ(a.max(), 5.0);
+  EXPECT_DOUBLE_EQ(a.variance(), 0.0);
+}
+
+TEST(Accumulator, KnownMoments) {
+  Accumulator a;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    a.add(v);
+  }
+  EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+  // Sample variance with n-1: sum sq dev = 32, / 7.
+  EXPECT_NEAR(a.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(a.min(), 2.0);
+  EXPECT_DOUBLE_EQ(a.max(), 9.0);
+  EXPECT_DOUBLE_EQ(a.sum(), 40.0);
+}
+
+TEST(Accumulator, MergeMatchesSequential) {
+  Accumulator whole;
+  Accumulator left;
+  Accumulator right;
+  for (int i = 0; i < 100; ++i) {
+    const double v = std::sin(i) * 10.0 + i * 0.1;
+    whole.add(v);
+    (i < 37 ? left : right).add(v);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-10);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(Accumulator, MergeWithEmpty) {
+  Accumulator a;
+  a.add(1.0);
+  a.add(3.0);
+  Accumulator empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+}
+
+TEST(Summarize, Basics) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0, 5.0};
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.n, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+}
+
+TEST(Percentile, Interpolates) {
+  const std::vector<double> xs = {10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 25.0);
+}
+
+TEST(Percentile, UnsortedInput) {
+  const std::vector<double> xs = {40.0, 10.0, 30.0, 20.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 25.0);
+}
+
+TEST(Percentile, EmptyThrows) {
+  EXPECT_THROW(percentile({}, 50.0), StateError);
+}
+
+TEST(IncompleteBeta, BoundaryValues) {
+  EXPECT_DOUBLE_EQ(incompleteBeta(2.0, 3.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(incompleteBeta(2.0, 3.0, 1.0), 1.0);
+}
+
+TEST(IncompleteBeta, KnownValues) {
+  // I_x(1,1) = x (uniform CDF).
+  EXPECT_NEAR(incompleteBeta(1.0, 1.0, 0.3), 0.3, 1e-10);
+  // I_x(2,2) = 3x^2 - 2x^3.
+  EXPECT_NEAR(incompleteBeta(2.0, 2.0, 0.25),
+              3 * 0.0625 - 2 * 0.015625, 1e-10);
+}
+
+TEST(IncompleteBeta, OutOfDomainThrows) {
+  EXPECT_THROW(incompleteBeta(1.0, 1.0, -0.1), StateError);
+  EXPECT_THROW(incompleteBeta(1.0, 1.0, 1.1), StateError);
+}
+
+TEST(StudentT, ReferencePValues) {
+  // Two-sided p-values cross-checked against R's 2*pt(-t, df).
+  EXPECT_NEAR(studentTTwoSidedP(2.0, 10.0), 0.07338803, 1e-6);
+  EXPECT_NEAR(studentTTwoSidedP(0.0, 5.0), 1.0, 1e-12);
+  EXPECT_NEAR(studentTTwoSidedP(12.0, 18.0), 5.046511e-10, 1e-14);
+  // Symmetric in the sign of t.
+  EXPECT_NEAR(studentTTwoSidedP(-2.0, 10.0), studentTTwoSidedP(2.0, 10.0),
+              1e-12);
+}
+
+TEST(WelchTTest, IdenticalDistributionsHaveHighP) {
+  const std::vector<double> a = {27.31, 27.35, 27.33, 27.36, 27.34,
+                                 27.32, 27.37, 27.30, 27.35, 27.33};
+  TTest t = welchTTest(a, a);
+  EXPECT_NEAR(t.pValue, 1.0, 1e-9);
+}
+
+TEST(WelchTTest, ShiftedDistributionsHaveLowP) {
+  // Mimics the paper's two-threads-per-core overhead case: same spread,
+  // mean shifted by ~0.5%.
+  std::vector<double> baseline;
+  std::vector<double> withTool;
+  for (int i = 0; i < 10; ++i) {
+    const double jitter = 0.01 * (i % 5 - 2);
+    baseline.push_back(57.07 + jitter);
+    withTool.push_back(57.34 + jitter);
+  }
+  TTest t = welchTTest(baseline, withTool);
+  EXPECT_LT(t.pValue, 0.001);
+  EXPECT_LT(t.t, 0.0);  // baseline mean is smaller
+}
+
+TEST(WelchTTest, ConstantIdenticalSamples) {
+  const std::vector<double> a = {5.0, 5.0, 5.0};
+  TTest t = welchTTest(a, a);
+  EXPECT_DOUBLE_EQ(t.pValue, 1.0);
+}
+
+TEST(WelchTTest, TooFewSamplesThrows) {
+  const std::vector<double> one = {1.0};
+  const std::vector<double> two = {1.0, 2.0};
+  EXPECT_THROW(welchTTest(one, two), StateError);
+  EXPECT_THROW(welchTTest(two, one), StateError);
+}
+
+TEST(WelchTTest, KnownExample) {
+  // Welch's canonical example data.
+  const std::vector<double> a = {27.5, 21.0, 19.0, 23.6, 17.0, 17.9,
+                                 16.9, 20.1, 21.9, 22.6, 23.1, 19.6,
+                                 19.0, 21.7, 21.4};
+  const std::vector<double> b = {27.1, 22.0, 20.8, 23.4, 23.4, 23.5,
+                                 25.8, 22.0, 24.8, 20.2, 21.9, 22.1,
+                                 22.9, 30.5, 24.4};
+  TTest t = welchTTest(a, b);
+  EXPECT_NEAR(t.t, -2.8530, 0.001);
+  EXPECT_NEAR(t.df, 27.887, 0.01);
+  EXPECT_NEAR(t.pValue, 0.0080719, 1e-5);
+}
+
+TEST(SplitMix64, Deterministic) {
+  SplitMix64 a(42);
+  SplitMix64 b(42);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(SplitMix64, DifferentSeedsDiffer) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(SplitMix64, DoubleInUnitInterval) {
+  SplitMix64 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.nextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(SplitMix64, NextBelowRespectsBound) {
+  SplitMix64 rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.nextBelow(17), 17u);
+  }
+  EXPECT_EQ(rng.nextBelow(0), 0u);
+}
+
+TEST(SplitMix64, GaussianMomentsRoughlyStandard) {
+  SplitMix64 rng(11);
+  Accumulator acc;
+  for (int i = 0; i < 20000; ++i) {
+    acc.add(rng.nextGaussian());
+  }
+  EXPECT_NEAR(acc.mean(), 0.0, 0.05);
+  EXPECT_NEAR(acc.stddev(), 1.0, 0.05);
+}
+
+}  // namespace
+}  // namespace zerosum::stats

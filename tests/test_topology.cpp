@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "topology/builder.hpp"
+#include "topology/presets.hpp"
+
+namespace zerosum::topology {
+namespace {
+
+TEST(Builder, MinimalMachine) {
+  MachineSpec spec;
+  spec.coresPerNuma = 2;
+  spec.smt = 1;
+  const Topology topo = buildTopology(spec);
+  EXPECT_EQ(topo.puCount(), 2u);
+  EXPECT_EQ(topo.coreCount(), 2u);
+  EXPECT_EQ(topo.numaCount(), 1u);
+  EXPECT_EQ(topo.allPus().toList(), "0-1");
+  EXPECT_TRUE(topo.reservedPus().empty());
+}
+
+TEST(Builder, SmtInterleavedNumbering) {
+  // The i7-1165G7 scheme of Listing 1: PU L#1 on core 0 is P#4.
+  MachineSpec spec;
+  spec.coresPerNuma = 4;
+  spec.smt = 2;
+  spec.numbering = PuNumbering::kSmtInterleaved;
+  const Topology topo = buildTopology(spec);
+  EXPECT_EQ(topo.puCount(), 8u);
+  // Core 0 owns PUs {0, 4}.
+  EXPECT_EQ(topo.pusOfCoreContaining(0).toList(), "0,4");
+  EXPECT_EQ(topo.coreOfPu(4), 0);
+  EXPECT_EQ(topo.coreOfPu(5), 1);
+}
+
+TEST(Builder, SmtAdjacentNumbering) {
+  MachineSpec spec;
+  spec.coresPerNuma = 4;
+  spec.smt = 4;
+  spec.numbering = PuNumbering::kSmtAdjacent;
+  const Topology topo = buildTopology(spec);
+  // Core 1 owns PUs {4,5,6,7}.
+  EXPECT_EQ(topo.pusOfCoreContaining(4).toList(), "4-7");
+  EXPECT_EQ(topo.coreOfPu(7), 1);
+}
+
+TEST(Builder, NumaPartition) {
+  MachineSpec spec;
+  spec.numaPerPackage = 2;
+  spec.coresPerNuma = 4;
+  spec.smt = 1;
+  const Topology topo = buildTopology(spec);
+  EXPECT_EQ(topo.numaCount(), 2u);
+  EXPECT_EQ(topo.pusOfNuma(0).toList(), "0-3");
+  EXPECT_EQ(topo.pusOfNuma(1).toList(), "4-7");
+  EXPECT_EQ(topo.numaOfPu(5), 1);
+}
+
+TEST(Builder, ReservedCoresExpandToPus) {
+  MachineSpec spec;
+  spec.coresPerNuma = 4;
+  spec.smt = 2;
+  spec.numbering = PuNumbering::kSmtInterleaved;
+  spec.reservedCores = {0};
+  const Topology topo = buildTopology(spec);
+  EXPECT_EQ(topo.reservedPus().toList(), "0,4");
+  EXPECT_EQ(topo.availablePus().toList(), "1-3,5-7");
+}
+
+TEST(Builder, RejectsBadSpecs) {
+  MachineSpec spec;
+  spec.smt = 0;
+  EXPECT_THROW(buildTopology(spec), ConfigError);
+
+  spec = MachineSpec{};
+  spec.reservedCores = {99};
+  EXPECT_THROW(buildTopology(spec), ConfigError);
+
+  spec = MachineSpec{};
+  spec.coresPerNuma = 4;
+  spec.cache.coresPerL3 = 3;  // does not divide 4
+  EXPECT_THROW(buildTopology(spec), ConfigError);
+
+  spec = MachineSpec{};
+  GpuSpec g;
+  g.visibleIndex = 0;
+  spec.gpus = {g, g};  // duplicate indexes
+  EXPECT_THROW(buildTopology(spec), ConfigError);
+}
+
+TEST(Builder, UnknownPuQueriesThrow) {
+  const Topology topo = buildTopology(MachineSpec{});
+  EXPECT_THROW(topo.numaOfPu(999), NotFoundError);
+  EXPECT_THROW(topo.coreOfPu(999), NotFoundError);
+  EXPECT_THROW(topo.pusOfNuma(99), NotFoundError);
+  EXPECT_THROW(topo.gpuByVisibleIndex(0), NotFoundError);
+}
+
+TEST(Presets, FrontierShape) {
+  const Topology topo = presets::frontier();
+  EXPECT_EQ(topo.puCount(), 128u);
+  EXPECT_EQ(topo.coreCount(), 64u);
+  EXPECT_EQ(topo.numaCount(), 4u);
+  EXPECT_EQ(topo.gpus().size(), 8u);
+  // First core of each L3 region reserved: cores 0,8,...,56 -> PUs n,n+64.
+  EXPECT_TRUE(topo.reservedPus().test(0));
+  EXPECT_TRUE(topo.reservedPus().test(64));
+  EXPECT_TRUE(topo.reservedPus().test(8));
+  EXPECT_TRUE(topo.reservedPus().test(56));
+  EXPECT_EQ(topo.reservedPus().count(), 16u);
+  // A rank packed after the reserved core sees cores 1-7 (Listing 2).
+  EXPECT_FALSE(topo.availablePus().test(0));
+  EXPECT_TRUE(topo.availablePus().test(1));
+}
+
+TEST(Presets, FrontierGpuNumaAssociation) {
+  // Paper Figure 2: GCDs [[4,5],[2,3],[6,7],[0,1]] attach to NUMA [0,1,2,3].
+  const Topology topo = presets::frontier();
+  auto physOfNuma = [&](int numa) {
+    std::vector<int> out;
+    for (const auto& gpu : topo.gpusOfNuma(numa)) {
+      out.push_back(gpu.physicalIndex);
+    }
+    return out;
+  };
+  EXPECT_EQ(physOfNuma(0), (std::vector<int>{4, 5}));
+  EXPECT_EQ(physOfNuma(1), (std::vector<int>{2, 3}));
+  EXPECT_EQ(physOfNuma(2), (std::vector<int>{6, 7}));
+  EXPECT_EQ(physOfNuma(3), (std::vector<int>{0, 1}));
+}
+
+TEST(Presets, FrontierVisibleIndexChain) {
+  // Listing 2: the GPU the rank on NUMA 0 uses shows visible index 0 but
+  // true GCD index 4.
+  const Topology topo = presets::frontier();
+  const GpuInfo& gpu = topo.gpuByVisibleIndex(0);
+  EXPECT_EQ(gpu.physicalIndex, 4);
+  EXPECT_EQ(gpu.numaAffinity, 0);
+}
+
+TEST(Presets, SummitShape) {
+  const Topology topo = presets::summit();
+  EXPECT_EQ(topo.coreCount(), 44u);
+  EXPECT_EQ(topo.puCount(), 176u);
+  EXPECT_EQ(topo.gpus().size(), 6u);
+  // One reserved core per socket.
+  EXPECT_EQ(topo.reservedPus().count(), 8u);
+  // Figure 1 note: the usable core numbering skips across the reserved
+  // core — PUs 84-87 (core 21) are reserved.
+  EXPECT_TRUE(topo.reservedPus().test(84));
+  EXPECT_TRUE(topo.reservedPus().test(87));
+  EXPECT_FALSE(topo.availablePus().test(84));
+  EXPECT_TRUE(topo.availablePus().test(88));
+}
+
+TEST(Presets, PerlmutterGpuAffinityUnknownByDefault) {
+  const Topology topo = presets::perlmutter();
+  for (const auto& gpu : topo.gpus()) {
+    EXPECT_EQ(gpu.numaAffinity, -1);
+  }
+  const Topology assumed = presets::perlmutter(/*assumeLocality=*/true);
+  EXPECT_EQ(assumed.gpuByVisibleIndex(2).numaAffinity, 2);
+}
+
+TEST(Presets, AuroraShape) {
+  const Topology topo = presets::aurora();
+  EXPECT_EQ(topo.coreCount(), 104u);
+  EXPECT_EQ(topo.puCount(), 208u);
+  EXPECT_EQ(topo.gpus().size(), 6u);
+}
+
+TEST(Presets, I7Shape) {
+  const Topology topo = presets::i7_1165g7();
+  EXPECT_EQ(topo.coreCount(), 4u);
+  EXPECT_EQ(topo.puCount(), 8u);
+  EXPECT_EQ(topo.pusOfCoreContaining(0).toList(), "0,4");
+}
+
+TEST(Presets, ByName) {
+  EXPECT_EQ(presets::byName("frontier").name(), "frontier");
+  EXPECT_EQ(presets::byName("summit").name(), "summit");
+  EXPECT_THROW(presets::byName("elcapitan"), NotFoundError);
+}
+
+}  // namespace
+}  // namespace zerosum::topology

@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "common/error.hpp"
+#include "topology/discover.hpp"
+
+namespace zerosum::topology {
+namespace {
+
+namespace fs = std::filesystem;
+
+class DiscoverTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = fs::temp_directory_path() / "zs_sysfs_test";
+    fs::remove_all(root_);
+    fs::create_directories(root_);
+  }
+  void TearDown() override { fs::remove_all(root_); }
+
+  void addCpu(int cpu, int core, int pkg) {
+    const fs::path dir = root_ / ("cpu" + std::to_string(cpu)) / "topology";
+    fs::create_directories(dir);
+    std::ofstream(dir / "core_id") << core << '\n';
+    std::ofstream(dir / "physical_package_id") << pkg << '\n';
+  }
+
+  fs::path root_;
+};
+
+TEST_F(DiscoverTest, ParsesFakeSysfsTree) {
+  // 2 cores x 2 SMT, one package.
+  addCpu(0, 0, 0);
+  addCpu(1, 1, 0);
+  addCpu(2, 0, 0);
+  addCpu(3, 1, 0);
+  const Topology topo = discoverFromSysfs(root_.string());
+  EXPECT_EQ(topo.puCount(), 4u);
+  EXPECT_EQ(topo.coreCount(), 2u);
+  EXPECT_EQ(topo.pusOfCoreContaining(0).toList(), "0,2");
+  EXPECT_EQ(topo.pusOfCoreContaining(1).toList(), "1,3");
+}
+
+TEST_F(DiscoverTest, MultiPackage) {
+  addCpu(0, 0, 0);
+  addCpu(1, 0, 1);
+  const Topology topo = discoverFromSysfs(root_.string());
+  EXPECT_EQ(topo.numaCount(), 2u);
+}
+
+TEST_F(DiscoverTest, IgnoresNonTopologyEntries) {
+  addCpu(0, 0, 0);
+  fs::create_directories(root_ / "cpufreq");
+  fs::create_directories(root_ / "cpuidle");
+  const Topology topo = discoverFromSysfs(root_.string());
+  EXPECT_EQ(topo.puCount(), 1u);
+}
+
+TEST_F(DiscoverTest, MissingRootThrows) {
+  EXPECT_THROW(discoverFromSysfs((root_ / "nope").string()), NotFoundError);
+}
+
+TEST(DiscoverHost, NeverThrowsAndHasAtLeastOnePu) {
+  const Topology topo = discoverHost();
+  EXPECT_GE(topo.puCount(), 1u);
+}
+
+}  // namespace
+}  // namespace zerosum::topology

@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include "topology/presets.hpp"
+#include "topology/render.hpp"
+
+namespace zerosum::topology {
+namespace {
+
+TEST(FormatCapacity, Units) {
+  EXPECT_EQ(formatCapacity(12ULL << 20), "12MB");
+  EXPECT_EQ(formatCapacity(1280ULL << 10), "1280KB");
+  EXPECT_EQ(formatCapacity(48ULL << 10), "48KB");
+  EXPECT_EQ(formatCapacity(512ULL << 30), "512GB");
+  EXPECT_EQ(formatCapacity(100), "100B");
+}
+
+TEST(RenderTree, Listing1Structure) {
+  // The paper's Listing 1 machine: verify the exact structural lines.
+  const std::string out = renderTree(presets::i7_1165g7());
+  EXPECT_NE(out.find("HWLOC Node topology:"), std::string::npos);
+  EXPECT_NE(out.find("Machine L#0"), std::string::npos);
+  EXPECT_NE(out.find("Package L#0"), std::string::npos);
+  EXPECT_NE(out.find("L3Cache L#0 12MB"), std::string::npos);
+  EXPECT_NE(out.find("L2Cache L#0 1280KB"), std::string::npos);
+  EXPECT_NE(out.find("L1Cache L#0 48KB"), std::string::npos);
+  EXPECT_NE(out.find("Core L#0"), std::string::npos);
+  // The L#/P# skew the listing calls out: logical 1 is OS index 4.
+  EXPECT_NE(out.find("PU L#0 P#0"), std::string::npos);
+  EXPECT_NE(out.find("PU L#1 P#4"), std::string::npos);
+  EXPECT_NE(out.find("PU L#7 P#7"), std::string::npos);
+}
+
+TEST(RenderTree, IndentationReflectsDepth) {
+  const std::string out = renderTree(presets::i7_1165g7());
+  // PU lines are the deepest: Machine(0) Package(1) L3(2) L2(3) L1(4)
+  // Core(5) PU(6) -> 12 spaces of indent at width 2.
+  EXPECT_NE(out.find("            PU L#0 P#0"), std::string::npos);
+}
+
+TEST(RenderTree, OptionsControlOutput) {
+  RenderOptions opts;
+  opts.banner = false;
+  opts.showCacheSizes = false;
+  const std::string out = renderTree(presets::i7_1165g7(), opts);
+  EXPECT_EQ(out.find("HWLOC"), std::string::npos);
+  EXPECT_EQ(out.find("12MB"), std::string::npos);
+  EXPECT_NE(out.find("L3Cache L#0"), std::string::npos);
+}
+
+TEST(RenderTree, GpusListed) {
+  const std::string out = renderTree(presets::frontier());
+  EXPECT_NE(out.find("AMD MI250X GCD P#4 (visible #0, NUMA 0"),
+            std::string::npos);
+}
+
+TEST(RenderNodeDiagram, FrontierAssociations) {
+  const std::string out = renderNodeDiagram(presets::frontier());
+  // NUMA 0 row: GPUs physical 4 and 5 mapping to visible 0 and 1.
+  EXPECT_NE(out.find("4->0, 5->1"), std::string::npos);
+  EXPECT_NE(out.find("0->6, 1->7"), std::string::npos);  // NUMA 3
+}
+
+TEST(RenderNodeDiagram, UnknownAffinityNoted) {
+  const std::string out = renderNodeDiagram(presets::perlmutter());
+  EXPECT_NE(out.find("unspecified NUMA affinity"), std::string::npos);
+}
+
+TEST(RenderNodeDiagram, ReservedColumnShown) {
+  const std::string out = renderNodeDiagram(presets::frontier());
+  // NUMA 0's reserved PUs: cores 0 and 8 -> PUs 0,8,64,72.
+  EXPECT_NE(out.find("0,8,64,72"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace zerosum::topology

@@ -1,0 +1,38 @@
+// demo_victim — a deliberately uninstrumented threaded program, used to
+// demonstrate (and test) that `zerosum-run` can monitor an application
+// that knows nothing about ZeroSum, exactly like the paper's
+// `srun -n8 zerosum-mpi miniqmc` deployments.
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+int main(int argc, char** argv) {
+  const int threads = argc > 1 ? std::atoi(argv[1]) : 2;
+  const int millis = argc > 2 ? std::atoi(argv[2]) : 300;
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(threads));
+  std::atomic<double> sink{0.0};
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&stop, &sink] {
+      double local = 0.0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        for (int i = 1; i < 5000; ++i) {
+          local += 1.0 / static_cast<double>(i);
+        }
+      }
+      sink.store(local);
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(millis));
+  stop.store(true);
+  for (auto& worker : workers) {
+    worker.join();
+  }
+  std::cout << "victim finished (checksum " << sink.load() << ")\n";
+  return 0;
+}

@@ -1,0 +1,118 @@
+// libzerosum_preload.so — the paper's injection path (§3.1).
+//
+// "ZeroSum itself is a C++ library that is injected into an application
+// process space using the standard LD_PRELOAD technique … That library has
+// multiple ways to initialize itself, either by defining an alternate
+// implementation of the __libc_start_main() function — effectively
+// wrapping the main() function — or by defining a static global
+// constructor that will be executed when the library is loaded."
+//
+// This shared object implements BOTH mechanisms:
+//   * a __libc_start_main wrapper that interposes the application's main()
+//     and finalizes ZeroSum when main returns (covering exit paths that
+//     skip atexit is out of scope, as for the original tool), and
+//   * a constructor/destructor fallback (ZS_INIT_MODE=ctor) for libcs
+//     where the wrapper is unreliable — the tool picks "whichever method
+//     works reliably with a given operating system".
+//
+// Used through the `zerosum-run` wrapper:  zerosum-run ./app args...
+#include <dlfcn.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+
+#include "common/env.hpp"
+#include "common/logging.hpp"
+#include "core/zerosum.hpp"
+
+namespace {
+
+using MainFn = int (*)(int, char**, char**);
+
+MainFn gRealMain = nullptr;
+bool gInitializedHere = false;
+
+void preloadInitialize() {
+  if (zerosum::initialized()) {
+    return;  // the application links and initializes ZeroSum itself
+  }
+  try {
+    zerosum::initialize();
+    gInitializedHere = true;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "[zerosum-preload] initialization failed: %s\n",
+                 e.what());
+  }
+}
+
+void preloadFinalize() {
+  if (!gInitializedHere) {
+    return;
+  }
+  gInitializedHere = false;
+  try {
+    const std::string report = zerosum::finalize();
+    // Rank 0 semantics: the preload path has no MPI context, so every
+    // process prints (single-process usage is the porting-tool case).
+    std::fputs(report.c_str(), stdout);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "[zerosum-preload] finalization failed: %s\n",
+                 e.what());
+  }
+}
+
+int wrappedMain(int argc, char** argv, char** envp) {
+  preloadInitialize();
+  const int rc = gRealMain(argc, argv, envp);
+  preloadFinalize();
+  return rc;
+}
+
+[[nodiscard]] bool useCtorMode() {
+  return zerosum::env::getString("ZS_INIT_MODE", "wrap") == "ctor";
+}
+
+}  // namespace
+
+extern "C" {
+
+/// The glibc program entry calls __libc_start_main(main, ...); providing
+/// our own definition lets us substitute wrappedMain for the
+/// application's main.
+int __libc_start_main(MainFn mainFn, int argc, char** argv, MainFn initFn,
+                      void (*finiFn)(), void (*rtldFini)(), void* stackEnd) {
+  using StartMainFn = int (*)(MainFn, int, char**, MainFn, void (*)(),
+                              void (*)(), void*);
+  auto realStartMain = reinterpret_cast<StartMainFn>(
+      ::dlsym(RTLD_NEXT, "__libc_start_main"));
+  if (realStartMain == nullptr) {
+    std::fprintf(stderr,
+                 "[zerosum-preload] cannot resolve __libc_start_main\n");
+    std::abort();
+  }
+  if (useCtorMode()) {
+    // Constructor mode: initialization already happened in the ctor
+    // below; run main untouched.
+    return realStartMain(mainFn, argc, argv, initFn, finiFn, rtldFini,
+                         stackEnd);
+  }
+  gRealMain = mainFn;
+  return realStartMain(wrappedMain, argc, argv, initFn, finiFn, rtldFini,
+                       stackEnd);
+}
+
+__attribute__((constructor)) void zerosumPreloadCtor() {
+  if (useCtorMode()) {
+    preloadInitialize();
+  }
+}
+
+__attribute__((destructor)) void zerosumPreloadDtor() {
+  // Covers both modes: if main's return already finalized, this is a
+  // no-op; in ctor mode this is the only finalization point.
+  preloadFinalize();
+}
+
+}  // extern "C"

@@ -1,0 +1,203 @@
+// zerosum-post — post-processor for ZeroSum per-process logs (paper §3.6:
+// the CSV dump "allowing for time-series analysis of the periodic data"
+// and the P2P data that "can be post-processed to produce a heatmap like
+// the one shown in Figure 5").
+//
+//   zerosum-post [options] <log> [<log> ...]
+//
+//   --charts          render LWP/HWT utilization-over-time bars (Figs 6-7)
+//   --heatmap         build the P2P heatmap from all ranks' comm sections
+//   --reorder <rpn>   rank-placement advice at <rpn> ranks per node
+//   --pgm <path>      also write the heatmap as a PGM image
+#include <algorithm>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/heatmap.hpp"
+#include "analysis/logparse.hpp"
+#include "analysis/reorder.hpp"
+#include "common/error.hpp"
+#include "common/strings.hpp"
+#include "mpisim/recorder.hpp"
+
+using namespace zerosum;
+
+namespace {
+
+void printSummaryRow(const analysis::ParsedLog& log) {
+  std::cout << strings::padRight(std::to_string(log.rank), 6)
+            << strings::padRight(log.hostname, 16)
+            << strings::padLeft(strings::fixed(log.durationSeconds, 2), 10)
+            << strings::padLeft(std::to_string(log.pid), 9) << "  ["
+            << log.cpusAllowed.toList() << "]\n";
+}
+
+/// Renders utilization bars straight from a parsed CSV section.
+/// Jiffies per sampling period, inferred from the time column spacing
+/// (USER_HZ is 100 on every supported system).  Falls back to one second.
+double inferJiffiesPerPeriod(const analysis::Table& table) {
+  const auto times = table.numericColumn("time");
+  std::vector<double> deltas;
+  for (std::size_t i = 1; i < times.size(); ++i) {
+    const double d = times[i] - times[i - 1];
+    if (d > 1e-6) {
+      deltas.push_back(d);
+    }
+  }
+  if (deltas.empty()) {
+    return 100.0;
+  }
+  std::sort(deltas.begin(), deltas.end());
+  return 100.0 * deltas[deltas.size() / 2];
+}
+
+void renderBarsFromTable(const analysis::Table& table,
+                         const std::string& idColumn,
+                         const std::string& userColumn,
+                         const std::string& systemColumn, double scale) {
+  std::vector<std::string> ids = table.column(idColumn);
+  std::vector<std::string> uniqueIds = ids;
+  std::sort(uniqueIds.begin(), uniqueIds.end());
+  uniqueIds.erase(std::unique(uniqueIds.begin(), uniqueIds.end()),
+                  uniqueIds.end());
+  constexpr int kWidth = 50;
+  for (const auto& id : uniqueIds) {
+    const analysis::Table rows = table.filter(idColumn, id);
+    std::cout << "  " << idColumn << ' ' << id << ":\n";
+    const auto times = rows.numericColumn("time");
+    const auto user = rows.numericColumn(userColumn);
+    const auto system = rows.numericColumn(systemColumn);
+    for (std::size_t i = 0; i < times.size(); ++i) {
+      const int userCols = std::min(
+          kWidth, static_cast<int>(user[i] / scale * kWidth + 0.5));
+      const int sysCols = std::min(
+          kWidth - userCols,
+          static_cast<int>(system[i] / scale * kWidth + 0.5));
+      std::string bar(static_cast<std::size_t>(userCols), '#');
+      bar.append(static_cast<std::size_t>(sysCols), '+');
+      bar.append(static_cast<std::size_t>(kWidth - userCols - sysCols), '.');
+      std::cout << "    t=" << strings::padLeft(strings::fixed(times[i], 1), 7)
+                << " |" << bar << "|\n";
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool charts = false;
+  bool heatmap = false;
+  int reorderRanksPerNode = 0;
+  std::string pgmPath;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--charts") {
+      charts = true;
+    } else if (arg == "--heatmap") {
+      heatmap = true;
+    } else if (arg == "--reorder" && i + 1 < argc) {
+      reorderRanksPerNode = std::atoi(argv[++i]);
+    } else if (arg == "--pgm" && i + 1 < argc) {
+      pgmPath = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: " << argv[0]
+                << " [--charts] [--heatmap] [--reorder rpn] [--pgm path] "
+                   "<log>...\n";
+      return 0;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) {
+    std::cerr << "zerosum-post: no log files given (--help for usage)\n";
+    return 2;
+  }
+
+  std::vector<analysis::ParsedLog> logs;
+  for (const auto& path : paths) {
+    try {
+      logs.push_back(analysis::parseLogFile(path));
+    } catch (const Error& e) {
+      std::cerr << "zerosum-post: " << path << ": " << e.what() << '\n';
+      return 1;
+    }
+  }
+
+  std::cout << "Parsed " << logs.size() << " rank log(s):\n";
+  std::cout << strings::padRight("rank", 6) << strings::padRight("node", 16)
+            << strings::padLeft("duration", 10) << strings::padLeft("pid", 9)
+            << "  cpus\n";
+  for (const auto& log : logs) {
+    printSummaryRow(log);
+  }
+
+  if (charts) {
+    for (const auto& log : logs) {
+      std::cout << "\n--- rank " << log.rank
+                << ": LWP utilization over time (Figure 6 view) ---\n";
+      if (log.hasSection("LWP time series")) {
+        // LWP deltas are jiffies per period; a full bar is one period's
+        // worth of jiffies at the log's sampling rate.
+        const auto& table = log.section("LWP time series");
+        renderBarsFromTable(table, "tid", "utime_delta", "stime_delta",
+                            inferJiffiesPerPeriod(table));
+      }
+      std::cout << "\n--- rank " << log.rank
+                << ": HWT utilization over time (Figure 7 view) ---\n";
+      if (log.hasSection("HWT time series")) {
+        renderBarsFromTable(log.section("HWT time series"), "cpu",
+                            "user_pct", "system_pct", 100.0);
+      }
+    }
+  }
+
+  if (heatmap || reorderRanksPerNode > 0 || !pgmPath.empty()) {
+    int worldSize = 0;
+    for (const auto& log : logs) {
+      worldSize = std::max(worldSize, log.rank + 1);
+      if (log.hasSection("MPI point-to-point")) {
+        for (const auto& peer :
+             log.section("MPI point-to-point").column("peer")) {
+          const auto v = strings::toI64(peer);
+          if (v) {
+            worldSize = std::max(worldSize, static_cast<int>(*v) + 1);
+          }
+        }
+      }
+    }
+    if (worldSize == 0) {
+      std::cerr << "zerosum-post: no comm data in the given logs\n";
+      return 1;
+    }
+    mpisim::CommMatrix matrix(worldSize);
+    for (const auto& log : logs) {
+      if (!log.hasSection("MPI point-to-point")) {
+        continue;
+      }
+      const auto sends =
+          log.section("MPI point-to-point").filter("direction", "send");
+      const auto peers = sends.column("peer");
+      const auto bytes = sends.numericColumn("bytes");
+      for (std::size_t i = 0; i < peers.size(); ++i) {
+        matrix.addSend(log.rank, static_cast<int>(*strings::toI64(peers[i])),
+                       static_cast<std::uint64_t>(bytes[i]));
+      }
+    }
+    if (heatmap) {
+      std::cout << "\n--- P2P heatmap (Figure 5 view) ---\n"
+                << analysis::renderAscii(matrix, {});
+    }
+    if (!pgmPath.empty()) {
+      analysis::writePgmFile(matrix, pgmPath);
+      std::cout << "wrote " << pgmPath << '\n';
+    }
+    if (reorderRanksPerNode > 0) {
+      std::cout << '\n'
+                << analysis::renderReorderAdvice(matrix,
+                                                 reorderRanksPerNode);
+    }
+  }
+  return 0;
+}

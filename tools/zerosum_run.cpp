@@ -1,0 +1,93 @@
+// zerosum-run — the launcher wrapper (the paper's `zerosum-mpi` script):
+//
+//   zerosum-run [options] <program> [args...]
+//
+// Sets LD_PRELOAD to libzerosum_preload.so (resolved next to this binary)
+// plus any monitor configuration flags, then execs the program.  Options
+// mirror the wrapper script's runtime configuration ("the core/thread
+// where the ZeroSum thread executes is runtime configurable with an
+// option passed to the zerosum-mpi wrapper script"):
+//
+//   --period <ms>     sampling period            (ZS_PERIOD_MS)
+//   --core <hwt>      pin the monitor thread     (ZS_ASYNC_CORE)
+//   --heartbeat       periodic progress output   (ZS_HEARTBEAT)
+//   --log <prefix>    log file prefix            (ZS_LOG_PREFIX)
+//   --ctor            constructor-mode injection (ZS_INIT_MODE=ctor)
+#include <libgen.h>
+#include <unistd.h>
+
+#include <climits>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace {
+
+std::string selfDirectory() {
+  char buffer[PATH_MAX] = {0};
+  const ssize_t n = ::readlink("/proc/self/exe", buffer, sizeof(buffer) - 1);
+  if (n <= 0) {
+    return ".";
+  }
+  return ::dirname(buffer);
+}
+
+void usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " [--period ms] [--core hwt] [--heartbeat] [--log prefix] "
+               "[--ctor] <program> [args...]\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int i = 1;
+  bool ctorMode = false;
+  for (; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--period" && i + 1 < argc) {
+      ::setenv("ZS_PERIOD_MS", argv[++i], 1);
+    } else if (flag == "--core" && i + 1 < argc) {
+      ::setenv("ZS_ASYNC_CORE", argv[++i], 1);
+    } else if (flag == "--heartbeat") {
+      ::setenv("ZS_HEARTBEAT", "1", 1);
+    } else if (flag == "--log" && i + 1 < argc) {
+      ::setenv("ZS_LOG_PREFIX", argv[++i], 1);
+    } else if (flag == "--ctor") {
+      ctorMode = true;
+    } else if (flag == "--help" || flag == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else {
+      break;  // first non-flag token is the program
+    }
+  }
+  if (i >= argc) {
+    usage(argv[0]);
+    return 2;
+  }
+
+  const std::string preload = selfDirectory() + "/libzerosum_preload.so";
+  if (::access(preload.c_str(), R_OK) != 0) {
+    std::cerr << "zerosum-run: cannot find " << preload << '\n';
+    return 1;
+  }
+  // Chain with any preexisting preloads rather than clobbering them.
+  std::string chain = preload;
+  if (const char* existing = ::getenv("LD_PRELOAD");
+      existing != nullptr && existing[0] != '\0') {
+    chain += ":";
+    chain += existing;
+  }
+  ::setenv("LD_PRELOAD", chain.c_str(), 1);
+  if (ctorMode) {
+    ::setenv("ZS_INIT_MODE", "ctor", 1);
+  }
+
+  ::execvp(argv[i], &argv[i]);
+  std::cerr << "zerosum-run: exec " << argv[i] << " failed: "
+            << std::strerror(errno) << '\n';
+  return 127;
+}
