@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_timeslice.dir/bench_ablation_timeslice.cpp.o"
+  "CMakeFiles/bench_ablation_timeslice.dir/bench_ablation_timeslice.cpp.o.d"
+  "bench_ablation_timeslice"
+  "bench_ablation_timeslice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_timeslice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

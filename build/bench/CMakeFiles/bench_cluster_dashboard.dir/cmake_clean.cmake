@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cluster_dashboard.dir/bench_cluster_dashboard.cpp.o"
+  "CMakeFiles/bench_cluster_dashboard.dir/bench_cluster_dashboard.cpp.o.d"
+  "bench_cluster_dashboard"
+  "bench_cluster_dashboard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cluster_dashboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

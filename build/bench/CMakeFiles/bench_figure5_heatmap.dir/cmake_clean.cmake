@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figure5_heatmap.dir/bench_figure5_heatmap.cpp.o"
+  "CMakeFiles/bench_figure5_heatmap.dir/bench_figure5_heatmap.cpp.o.d"
+  "bench_figure5_heatmap"
+  "bench_figure5_heatmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure5_heatmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

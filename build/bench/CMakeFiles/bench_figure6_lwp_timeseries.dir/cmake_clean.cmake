@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figure6_lwp_timeseries.dir/bench_figure6_lwp_timeseries.cpp.o"
+  "CMakeFiles/bench_figure6_lwp_timeseries.dir/bench_figure6_lwp_timeseries.cpp.o.d"
+  "bench_figure6_lwp_timeseries"
+  "bench_figure6_lwp_timeseries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure6_lwp_timeseries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

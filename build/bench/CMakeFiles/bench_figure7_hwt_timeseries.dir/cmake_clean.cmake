@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figure7_hwt_timeseries.dir/bench_figure7_hwt_timeseries.cpp.o"
+  "CMakeFiles/bench_figure7_hwt_timeseries.dir/bench_figure7_hwt_timeseries.cpp.o.d"
+  "bench_figure7_hwt_timeseries"
+  "bench_figure7_hwt_timeseries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure7_hwt_timeseries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

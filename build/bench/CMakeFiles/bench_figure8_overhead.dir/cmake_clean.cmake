@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figure8_overhead.dir/bench_figure8_overhead.cpp.o"
+  "CMakeFiles/bench_figure8_overhead.dir/bench_figure8_overhead.cpp.o.d"
+  "bench_figure8_overhead"
+  "bench_figure8_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure8_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_node_diagrams.cpp" "bench/CMakeFiles/bench_node_diagrams.dir/bench_node_diagrams.cpp.o" "gcc" "bench/CMakeFiles/bench_node_diagrams.dir/bench_node_diagrams.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/zs_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/export/CMakeFiles/zs_export.dir/DependInfo.cmake"
+  "/root/repo/build/src/proxyapps/CMakeFiles/zs_proxyapps.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/zs_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/zs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/openmp/CMakeFiles/zs_openmp.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpisim/CMakeFiles/zs_mpisim.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/zs_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/procfs/CMakeFiles/zs_procfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/zs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/zs_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/zs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_node_diagrams.dir/bench_node_diagrams.cpp.o"
+  "CMakeFiles/bench_node_diagrams.dir/bench_node_diagrams.cpp.o.d"
+  "bench_node_diagrams"
+  "bench_node_diagrams.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_node_diagrams.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_reorder_advice.dir/bench_reorder_advice.cpp.o"
+  "CMakeFiles/bench_reorder_advice.dir/bench_reorder_advice.cpp.o.d"
+  "bench_reorder_advice"
+  "bench_reorder_advice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_reorder_advice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_default.dir/bench_table1_default.cpp.o"
+  "CMakeFiles/bench_table1_default.dir/bench_table1_default.cpp.o.d"
+  "bench_table1_default"
+  "bench_table1_default.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_default.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

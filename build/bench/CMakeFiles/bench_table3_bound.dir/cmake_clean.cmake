@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_bound.dir/bench_table3_bound.cpp.o"
+  "CMakeFiles/bench_table3_bound.dir/bench_table3_bound.cpp.o.d"
+  "bench_table3_bound"
+  "bench_table3_bound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comm_heatmap.dir/comm_heatmap.cpp.o"
+  "CMakeFiles/comm_heatmap.dir/comm_heatmap.cpp.o.d"
+  "comm_heatmap"
+  "comm_heatmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comm_heatmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

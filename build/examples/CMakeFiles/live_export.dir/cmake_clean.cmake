@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/live_export.dir/live_export.cpp.o"
+  "CMakeFiles/live_export.dir/live_export.cpp.o.d"
+  "live_export"
+  "live_export.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/live_export.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/miniqmc_frontier.dir/miniqmc_frontier.cpp.o"
+  "CMakeFiles/miniqmc_frontier.dir/miniqmc_frontier.cpp.o.d"
+  "miniqmc_frontier"
+  "miniqmc_frontier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/miniqmc_frontier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

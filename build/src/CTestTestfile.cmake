@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("topology")
+subdirs("sim")
+subdirs("procfs")
+subdirs("gpu")
+subdirs("mpisim")
+subdirs("openmp")
+subdirs("core")
+subdirs("analysis")
+subdirs("proxyapps")
+subdirs("export")
+subdirs("cluster")

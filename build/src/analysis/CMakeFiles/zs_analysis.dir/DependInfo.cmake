@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/aggregate.cpp" "src/analysis/CMakeFiles/zs_analysis.dir/aggregate.cpp.o" "gcc" "src/analysis/CMakeFiles/zs_analysis.dir/aggregate.cpp.o.d"
+  "/root/repo/src/analysis/charts.cpp" "src/analysis/CMakeFiles/zs_analysis.dir/charts.cpp.o" "gcc" "src/analysis/CMakeFiles/zs_analysis.dir/charts.cpp.o.d"
+  "/root/repo/src/analysis/heatmap.cpp" "src/analysis/CMakeFiles/zs_analysis.dir/heatmap.cpp.o" "gcc" "src/analysis/CMakeFiles/zs_analysis.dir/heatmap.cpp.o.d"
+  "/root/repo/src/analysis/logparse.cpp" "src/analysis/CMakeFiles/zs_analysis.dir/logparse.cpp.o" "gcc" "src/analysis/CMakeFiles/zs_analysis.dir/logparse.cpp.o.d"
+  "/root/repo/src/analysis/overhead.cpp" "src/analysis/CMakeFiles/zs_analysis.dir/overhead.cpp.o" "gcc" "src/analysis/CMakeFiles/zs_analysis.dir/overhead.cpp.o.d"
+  "/root/repo/src/analysis/reorder.cpp" "src/analysis/CMakeFiles/zs_analysis.dir/reorder.cpp.o" "gcc" "src/analysis/CMakeFiles/zs_analysis.dir/reorder.cpp.o.d"
+  "/root/repo/src/analysis/table.cpp" "src/analysis/CMakeFiles/zs_analysis.dir/table.cpp.o" "gcc" "src/analysis/CMakeFiles/zs_analysis.dir/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/zs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/zs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpisim/CMakeFiles/zs_mpisim.dir/DependInfo.cmake"
+  "/root/repo/build/src/procfs/CMakeFiles/zs_procfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/zs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/zs_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/zs_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/openmp/CMakeFiles/zs_openmp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zs_analysis.dir/aggregate.cpp.o"
+  "CMakeFiles/zs_analysis.dir/aggregate.cpp.o.d"
+  "CMakeFiles/zs_analysis.dir/charts.cpp.o"
+  "CMakeFiles/zs_analysis.dir/charts.cpp.o.d"
+  "CMakeFiles/zs_analysis.dir/heatmap.cpp.o"
+  "CMakeFiles/zs_analysis.dir/heatmap.cpp.o.d"
+  "CMakeFiles/zs_analysis.dir/logparse.cpp.o"
+  "CMakeFiles/zs_analysis.dir/logparse.cpp.o.d"
+  "CMakeFiles/zs_analysis.dir/overhead.cpp.o"
+  "CMakeFiles/zs_analysis.dir/overhead.cpp.o.d"
+  "CMakeFiles/zs_analysis.dir/reorder.cpp.o"
+  "CMakeFiles/zs_analysis.dir/reorder.cpp.o.d"
+  "CMakeFiles/zs_analysis.dir/table.cpp.o"
+  "CMakeFiles/zs_analysis.dir/table.cpp.o.d"
+  "libzs_analysis.a"
+  "libzs_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zs_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zs_cluster.dir/job.cpp.o"
+  "CMakeFiles/zs_cluster.dir/job.cpp.o.d"
+  "libzs_cluster.a"
+  "libzs_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zs_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

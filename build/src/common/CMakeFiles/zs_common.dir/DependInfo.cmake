@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/clock.cpp" "src/common/CMakeFiles/zs_common.dir/clock.cpp.o" "gcc" "src/common/CMakeFiles/zs_common.dir/clock.cpp.o.d"
+  "/root/repo/src/common/cpuset.cpp" "src/common/CMakeFiles/zs_common.dir/cpuset.cpp.o" "gcc" "src/common/CMakeFiles/zs_common.dir/cpuset.cpp.o.d"
+  "/root/repo/src/common/env.cpp" "src/common/CMakeFiles/zs_common.dir/env.cpp.o" "gcc" "src/common/CMakeFiles/zs_common.dir/env.cpp.o.d"
+  "/root/repo/src/common/logging.cpp" "src/common/CMakeFiles/zs_common.dir/logging.cpp.o" "gcc" "src/common/CMakeFiles/zs_common.dir/logging.cpp.o.d"
+  "/root/repo/src/common/lwp_type.cpp" "src/common/CMakeFiles/zs_common.dir/lwp_type.cpp.o" "gcc" "src/common/CMakeFiles/zs_common.dir/lwp_type.cpp.o.d"
+  "/root/repo/src/common/stats.cpp" "src/common/CMakeFiles/zs_common.dir/stats.cpp.o" "gcc" "src/common/CMakeFiles/zs_common.dir/stats.cpp.o.d"
+  "/root/repo/src/common/strings.cpp" "src/common/CMakeFiles/zs_common.dir/strings.cpp.o" "gcc" "src/common/CMakeFiles/zs_common.dir/strings.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

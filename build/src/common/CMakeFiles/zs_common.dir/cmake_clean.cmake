@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zs_common.dir/clock.cpp.o"
+  "CMakeFiles/zs_common.dir/clock.cpp.o.d"
+  "CMakeFiles/zs_common.dir/cpuset.cpp.o"
+  "CMakeFiles/zs_common.dir/cpuset.cpp.o.d"
+  "CMakeFiles/zs_common.dir/env.cpp.o"
+  "CMakeFiles/zs_common.dir/env.cpp.o.d"
+  "CMakeFiles/zs_common.dir/logging.cpp.o"
+  "CMakeFiles/zs_common.dir/logging.cpp.o.d"
+  "CMakeFiles/zs_common.dir/lwp_type.cpp.o"
+  "CMakeFiles/zs_common.dir/lwp_type.cpp.o.d"
+  "CMakeFiles/zs_common.dir/stats.cpp.o"
+  "CMakeFiles/zs_common.dir/stats.cpp.o.d"
+  "CMakeFiles/zs_common.dir/strings.cpp.o"
+  "CMakeFiles/zs_common.dir/strings.cpp.o.d"
+  "libzs_common.a"
+  "libzs_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zs_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adaptation.cpp" "src/core/CMakeFiles/zs_core.dir/adaptation.cpp.o" "gcc" "src/core/CMakeFiles/zs_core.dir/adaptation.cpp.o.d"
+  "/root/repo/src/core/config.cpp" "src/core/CMakeFiles/zs_core.dir/config.cpp.o" "gcc" "src/core/CMakeFiles/zs_core.dir/config.cpp.o.d"
+  "/root/repo/src/core/contention.cpp" "src/core/CMakeFiles/zs_core.dir/contention.cpp.o" "gcc" "src/core/CMakeFiles/zs_core.dir/contention.cpp.o.d"
+  "/root/repo/src/core/csv_export.cpp" "src/core/CMakeFiles/zs_core.dir/csv_export.cpp.o" "gcc" "src/core/CMakeFiles/zs_core.dir/csv_export.cpp.o.d"
+  "/root/repo/src/core/gpu_tracker.cpp" "src/core/CMakeFiles/zs_core.dir/gpu_tracker.cpp.o" "gcc" "src/core/CMakeFiles/zs_core.dir/gpu_tracker.cpp.o.d"
+  "/root/repo/src/core/hwt_tracker.cpp" "src/core/CMakeFiles/zs_core.dir/hwt_tracker.cpp.o" "gcc" "src/core/CMakeFiles/zs_core.dir/hwt_tracker.cpp.o.d"
+  "/root/repo/src/core/lwp_tracker.cpp" "src/core/CMakeFiles/zs_core.dir/lwp_tracker.cpp.o" "gcc" "src/core/CMakeFiles/zs_core.dir/lwp_tracker.cpp.o.d"
+  "/root/repo/src/core/memory_tracker.cpp" "src/core/CMakeFiles/zs_core.dir/memory_tracker.cpp.o" "gcc" "src/core/CMakeFiles/zs_core.dir/memory_tracker.cpp.o.d"
+  "/root/repo/src/core/monitor.cpp" "src/core/CMakeFiles/zs_core.dir/monitor.cpp.o" "gcc" "src/core/CMakeFiles/zs_core.dir/monitor.cpp.o.d"
+  "/root/repo/src/core/progress.cpp" "src/core/CMakeFiles/zs_core.dir/progress.cpp.o" "gcc" "src/core/CMakeFiles/zs_core.dir/progress.cpp.o.d"
+  "/root/repo/src/core/records.cpp" "src/core/CMakeFiles/zs_core.dir/records.cpp.o" "gcc" "src/core/CMakeFiles/zs_core.dir/records.cpp.o.d"
+  "/root/repo/src/core/reporter.cpp" "src/core/CMakeFiles/zs_core.dir/reporter.cpp.o" "gcc" "src/core/CMakeFiles/zs_core.dir/reporter.cpp.o.d"
+  "/root/repo/src/core/signal_handler.cpp" "src/core/CMakeFiles/zs_core.dir/signal_handler.cpp.o" "gcc" "src/core/CMakeFiles/zs_core.dir/signal_handler.cpp.o.d"
+  "/root/repo/src/core/zerosum.cpp" "src/core/CMakeFiles/zs_core.dir/zerosum.cpp.o" "gcc" "src/core/CMakeFiles/zs_core.dir/zerosum.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/zs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/zs_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/zs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/procfs/CMakeFiles/zs_procfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/zs_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpisim/CMakeFiles/zs_mpisim.dir/DependInfo.cmake"
+  "/root/repo/build/src/openmp/CMakeFiles/zs_openmp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

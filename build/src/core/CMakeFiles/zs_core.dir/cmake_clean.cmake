@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zs_core.dir/adaptation.cpp.o"
+  "CMakeFiles/zs_core.dir/adaptation.cpp.o.d"
+  "CMakeFiles/zs_core.dir/config.cpp.o"
+  "CMakeFiles/zs_core.dir/config.cpp.o.d"
+  "CMakeFiles/zs_core.dir/contention.cpp.o"
+  "CMakeFiles/zs_core.dir/contention.cpp.o.d"
+  "CMakeFiles/zs_core.dir/csv_export.cpp.o"
+  "CMakeFiles/zs_core.dir/csv_export.cpp.o.d"
+  "CMakeFiles/zs_core.dir/gpu_tracker.cpp.o"
+  "CMakeFiles/zs_core.dir/gpu_tracker.cpp.o.d"
+  "CMakeFiles/zs_core.dir/hwt_tracker.cpp.o"
+  "CMakeFiles/zs_core.dir/hwt_tracker.cpp.o.d"
+  "CMakeFiles/zs_core.dir/lwp_tracker.cpp.o"
+  "CMakeFiles/zs_core.dir/lwp_tracker.cpp.o.d"
+  "CMakeFiles/zs_core.dir/memory_tracker.cpp.o"
+  "CMakeFiles/zs_core.dir/memory_tracker.cpp.o.d"
+  "CMakeFiles/zs_core.dir/monitor.cpp.o"
+  "CMakeFiles/zs_core.dir/monitor.cpp.o.d"
+  "CMakeFiles/zs_core.dir/progress.cpp.o"
+  "CMakeFiles/zs_core.dir/progress.cpp.o.d"
+  "CMakeFiles/zs_core.dir/records.cpp.o"
+  "CMakeFiles/zs_core.dir/records.cpp.o.d"
+  "CMakeFiles/zs_core.dir/reporter.cpp.o"
+  "CMakeFiles/zs_core.dir/reporter.cpp.o.d"
+  "CMakeFiles/zs_core.dir/signal_handler.cpp.o"
+  "CMakeFiles/zs_core.dir/signal_handler.cpp.o.d"
+  "CMakeFiles/zs_core.dir/zerosum.cpp.o"
+  "CMakeFiles/zs_core.dir/zerosum.cpp.o.d"
+  "libzs_core.a"
+  "libzs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zs_export.dir/perfstubs.cpp.o"
+  "CMakeFiles/zs_export.dir/perfstubs.cpp.o.d"
+  "CMakeFiles/zs_export.dir/publisher.cpp.o"
+  "CMakeFiles/zs_export.dir/publisher.cpp.o.d"
+  "CMakeFiles/zs_export.dir/staging.cpp.o"
+  "CMakeFiles/zs_export.dir/staging.cpp.o.d"
+  "CMakeFiles/zs_export.dir/stream.cpp.o"
+  "CMakeFiles/zs_export.dir/stream.cpp.o.d"
+  "libzs_export.a"
+  "libzs_export.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zs_export.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

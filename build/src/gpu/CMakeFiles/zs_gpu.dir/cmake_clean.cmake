@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zs_gpu.dir/simulated.cpp.o"
+  "CMakeFiles/zs_gpu.dir/simulated.cpp.o.d"
+  "libzs_gpu.a"
+  "libzs_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zs_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

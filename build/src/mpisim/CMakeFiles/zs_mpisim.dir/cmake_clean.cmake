@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zs_mpisim.dir/comm.cpp.o"
+  "CMakeFiles/zs_mpisim.dir/comm.cpp.o.d"
+  "CMakeFiles/zs_mpisim.dir/patterns.cpp.o"
+  "CMakeFiles/zs_mpisim.dir/patterns.cpp.o.d"
+  "CMakeFiles/zs_mpisim.dir/recorder.cpp.o"
+  "CMakeFiles/zs_mpisim.dir/recorder.cpp.o.d"
+  "libzs_mpisim.a"
+  "libzs_mpisim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zs_mpisim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

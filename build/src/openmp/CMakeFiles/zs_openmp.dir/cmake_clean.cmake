@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zs_openmp.dir/ompt.cpp.o"
+  "CMakeFiles/zs_openmp.dir/ompt.cpp.o.d"
+  "CMakeFiles/zs_openmp.dir/team.cpp.o"
+  "CMakeFiles/zs_openmp.dir/team.cpp.o.d"
+  "libzs_openmp.a"
+  "libzs_openmp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zs_openmp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

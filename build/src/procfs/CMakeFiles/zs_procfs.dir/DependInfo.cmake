@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/procfs/parse.cpp" "src/procfs/CMakeFiles/zs_procfs.dir/parse.cpp.o" "gcc" "src/procfs/CMakeFiles/zs_procfs.dir/parse.cpp.o.d"
+  "/root/repo/src/procfs/real.cpp" "src/procfs/CMakeFiles/zs_procfs.dir/real.cpp.o" "gcc" "src/procfs/CMakeFiles/zs_procfs.dir/real.cpp.o.d"
+  "/root/repo/src/procfs/simfs.cpp" "src/procfs/CMakeFiles/zs_procfs.dir/simfs.cpp.o" "gcc" "src/procfs/CMakeFiles/zs_procfs.dir/simfs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/zs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/zs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/zs_topology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

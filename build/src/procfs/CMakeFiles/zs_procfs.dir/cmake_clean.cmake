@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zs_procfs.dir/parse.cpp.o"
+  "CMakeFiles/zs_procfs.dir/parse.cpp.o.d"
+  "CMakeFiles/zs_procfs.dir/real.cpp.o"
+  "CMakeFiles/zs_procfs.dir/real.cpp.o.d"
+  "CMakeFiles/zs_procfs.dir/simfs.cpp.o"
+  "CMakeFiles/zs_procfs.dir/simfs.cpp.o.d"
+  "libzs_procfs.a"
+  "libzs_procfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zs_procfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

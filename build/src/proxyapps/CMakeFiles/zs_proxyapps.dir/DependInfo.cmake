@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/proxyapps/miniqmc.cpp" "src/proxyapps/CMakeFiles/zs_proxyapps.dir/miniqmc.cpp.o" "gcc" "src/proxyapps/CMakeFiles/zs_proxyapps.dir/miniqmc.cpp.o.d"
+  "/root/repo/src/proxyapps/picfusion.cpp" "src/proxyapps/CMakeFiles/zs_proxyapps.dir/picfusion.cpp.o" "gcc" "src/proxyapps/CMakeFiles/zs_proxyapps.dir/picfusion.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/zs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/openmp/CMakeFiles/zs_openmp.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpisim/CMakeFiles/zs_mpisim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

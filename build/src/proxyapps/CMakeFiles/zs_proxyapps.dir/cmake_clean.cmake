@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zs_proxyapps.dir/miniqmc.cpp.o"
+  "CMakeFiles/zs_proxyapps.dir/miniqmc.cpp.o.d"
+  "CMakeFiles/zs_proxyapps.dir/picfusion.cpp.o"
+  "CMakeFiles/zs_proxyapps.dir/picfusion.cpp.o.d"
+  "libzs_proxyapps.a"
+  "libzs_proxyapps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zs_proxyapps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for zs_proxyapps.
+# This may be replaced when dependencies are built.

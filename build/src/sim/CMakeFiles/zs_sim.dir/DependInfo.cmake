@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/node.cpp" "src/sim/CMakeFiles/zs_sim.dir/node.cpp.o" "gcc" "src/sim/CMakeFiles/zs_sim.dir/node.cpp.o.d"
+  "/root/repo/src/sim/slurm.cpp" "src/sim/CMakeFiles/zs_sim.dir/slurm.cpp.o" "gcc" "src/sim/CMakeFiles/zs_sim.dir/slurm.cpp.o.d"
+  "/root/repo/src/sim/workload.cpp" "src/sim/CMakeFiles/zs_sim.dir/workload.cpp.o" "gcc" "src/sim/CMakeFiles/zs_sim.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/zs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/zs_topology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

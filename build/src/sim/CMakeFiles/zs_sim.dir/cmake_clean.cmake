@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zs_sim.dir/node.cpp.o"
+  "CMakeFiles/zs_sim.dir/node.cpp.o.d"
+  "CMakeFiles/zs_sim.dir/slurm.cpp.o"
+  "CMakeFiles/zs_sim.dir/slurm.cpp.o.d"
+  "CMakeFiles/zs_sim.dir/workload.cpp.o"
+  "CMakeFiles/zs_sim.dir/workload.cpp.o.d"
+  "libzs_sim.a"
+  "libzs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topology/builder.cpp" "src/topology/CMakeFiles/zs_topology.dir/builder.cpp.o" "gcc" "src/topology/CMakeFiles/zs_topology.dir/builder.cpp.o.d"
+  "/root/repo/src/topology/discover.cpp" "src/topology/CMakeFiles/zs_topology.dir/discover.cpp.o" "gcc" "src/topology/CMakeFiles/zs_topology.dir/discover.cpp.o.d"
+  "/root/repo/src/topology/hardware.cpp" "src/topology/CMakeFiles/zs_topology.dir/hardware.cpp.o" "gcc" "src/topology/CMakeFiles/zs_topology.dir/hardware.cpp.o.d"
+  "/root/repo/src/topology/presets.cpp" "src/topology/CMakeFiles/zs_topology.dir/presets.cpp.o" "gcc" "src/topology/CMakeFiles/zs_topology.dir/presets.cpp.o.d"
+  "/root/repo/src/topology/render.cpp" "src/topology/CMakeFiles/zs_topology.dir/render.cpp.o" "gcc" "src/topology/CMakeFiles/zs_topology.dir/render.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/zs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

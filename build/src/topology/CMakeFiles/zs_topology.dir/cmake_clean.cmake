@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zs_topology.dir/builder.cpp.o"
+  "CMakeFiles/zs_topology.dir/builder.cpp.o.d"
+  "CMakeFiles/zs_topology.dir/discover.cpp.o"
+  "CMakeFiles/zs_topology.dir/discover.cpp.o.d"
+  "CMakeFiles/zs_topology.dir/hardware.cpp.o"
+  "CMakeFiles/zs_topology.dir/hardware.cpp.o.d"
+  "CMakeFiles/zs_topology.dir/presets.cpp.o"
+  "CMakeFiles/zs_topology.dir/presets.cpp.o.d"
+  "CMakeFiles/zs_topology.dir/render.cpp.o"
+  "CMakeFiles/zs_topology.dir/render.cpp.o.d"
+  "libzs_topology.a"
+  "libzs_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zs_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_common.dir/test_clock.cpp.o"
+  "CMakeFiles/test_common.dir/test_clock.cpp.o.d"
+  "CMakeFiles/test_common.dir/test_cpuset.cpp.o"
+  "CMakeFiles/test_common.dir/test_cpuset.cpp.o.d"
+  "CMakeFiles/test_common.dir/test_env.cpp.o"
+  "CMakeFiles/test_common.dir/test_env.cpp.o.d"
+  "CMakeFiles/test_common.dir/test_logging.cpp.o"
+  "CMakeFiles/test_common.dir/test_logging.cpp.o.d"
+  "CMakeFiles/test_common.dir/test_stats.cpp.o"
+  "CMakeFiles/test_common.dir/test_stats.cpp.o.d"
+  "CMakeFiles/test_common.dir/test_strings.cpp.o"
+  "CMakeFiles/test_common.dir/test_strings.cpp.o.d"
+  "test_common"
+  "test_common.pdb"
+  "test_common[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

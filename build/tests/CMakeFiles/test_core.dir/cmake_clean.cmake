@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/test_core_config.cpp.o"
+  "CMakeFiles/test_core.dir/test_core_config.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_core_contention.cpp.o"
+  "CMakeFiles/test_core.dir/test_core_contention.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_core_misc.cpp.o"
+  "CMakeFiles/test_core.dir/test_core_misc.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_core_monitor.cpp.o"
+  "CMakeFiles/test_core.dir/test_core_monitor.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_core_progress.cpp.o"
+  "CMakeFiles/test_core.dir/test_core_progress.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_core_reporter.cpp.o"
+  "CMakeFiles/test_core.dir/test_core_reporter.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_core_trackers.cpp.o"
+  "CMakeFiles/test_core.dir/test_core_trackers.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

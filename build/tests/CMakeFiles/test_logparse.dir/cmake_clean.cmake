@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_logparse.dir/test_logparse.cpp.o"
+  "CMakeFiles/test_logparse.dir/test_logparse.cpp.o.d"
+  "test_logparse"
+  "test_logparse.pdb"
+  "test_logparse[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_logparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_openmp.dir/test_openmp.cpp.o"
+  "CMakeFiles/test_openmp.dir/test_openmp.cpp.o.d"
+  "test_openmp"
+  "test_openmp.pdb"
+  "test_openmp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_openmp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_post_tool.dir/test_post_tool.cpp.o"
+  "CMakeFiles/test_post_tool.dir/test_post_tool.cpp.o.d"
+  "test_post_tool"
+  "test_post_tool.pdb"
+  "test_post_tool[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_post_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

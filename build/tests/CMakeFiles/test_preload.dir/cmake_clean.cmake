@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_preload.dir/test_preload.cpp.o"
+  "CMakeFiles/test_preload.dir/test_preload.cpp.o.d"
+  "test_preload"
+  "test_preload.pdb"
+  "test_preload[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_preload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_procfs.dir/test_procfs_parse.cpp.o"
+  "CMakeFiles/test_procfs.dir/test_procfs_parse.cpp.o.d"
+  "CMakeFiles/test_procfs.dir/test_procfs_real.cpp.o"
+  "CMakeFiles/test_procfs.dir/test_procfs_real.cpp.o.d"
+  "CMakeFiles/test_procfs.dir/test_procfs_sim.cpp.o"
+  "CMakeFiles/test_procfs.dir/test_procfs_sim.cpp.o.d"
+  "test_procfs"
+  "test_procfs.pdb"
+  "test_procfs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_procfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

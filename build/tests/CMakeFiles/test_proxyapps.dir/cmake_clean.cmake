@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_proxyapps.dir/test_picfusion.cpp.o"
+  "CMakeFiles/test_proxyapps.dir/test_picfusion.cpp.o.d"
+  "CMakeFiles/test_proxyapps.dir/test_proxyapps.cpp.o"
+  "CMakeFiles/test_proxyapps.dir/test_proxyapps.cpp.o.d"
+  "test_proxyapps"
+  "test_proxyapps.pdb"
+  "test_proxyapps[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_proxyapps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

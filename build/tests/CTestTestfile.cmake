@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_topology[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_procfs[1]_include.cmake")
+include("/root/repo/build/tests/test_gpu[1]_include.cmake")
+include("/root/repo/build/tests/test_mpisim[1]_include.cmake")
+include("/root/repo/build/tests/test_openmp[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_analysis[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_export[1]_include.cmake")
+include("/root/repo/build/tests/test_preload[1]_include.cmake")
+include("/root/repo/build/tests/test_reorder[1]_include.cmake")
+include("/root/repo/build/tests/test_cluster[1]_include.cmake")
+include("/root/repo/build/tests/test_adaptation[1]_include.cmake")
+include("/root/repo/build/tests/test_logparse[1]_include.cmake")
+include("/root/repo/build/tests/test_proxyapps[1]_include.cmake")
+include("/root/repo/build/tests/test_post_tool[1]_include.cmake")
+include("/root/repo/build/tests/test_edge_cases[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/demo_victim.dir/demo_victim.cpp.o"
+  "CMakeFiles/demo_victim.dir/demo_victim.cpp.o.d"
+  "demo_victim"
+  "demo_victim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/demo_victim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zerosum-post.dir/zerosum_post.cpp.o"
+  "CMakeFiles/zerosum-post.dir/zerosum_post.cpp.o.d"
+  "zerosum-post"
+  "zerosum-post.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zerosum-post.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

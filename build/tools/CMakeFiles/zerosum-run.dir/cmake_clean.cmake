@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zerosum-run.dir/zerosum_run.cpp.o"
+  "CMakeFiles/zerosum-run.dir/zerosum_run.cpp.o.d"
+  "zerosum-run"
+  "zerosum-run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zerosum-run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zerosum_preload.dir/preload.cpp.o"
+  "CMakeFiles/zerosum_preload.dir/preload.cpp.o.d"
+  "libzerosum_preload.pdb"
+  "libzerosum_preload.so"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zerosum_preload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
