@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Full verification: the tier-1 build + test pass, then a sanitizer pass
+# (address + undefined) over the fault-tolerance-critical suites.
+#
+# Usage: scripts/check.sh [--no-sanitize]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+SANITIZE=1
+if [[ "${1:-}" == "--no-sanitize" ]]; then
+  SANITIZE=0
+fi
+
+echo "=== tier-1: build + full ctest ==="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$(nproc)"
+ctest --test-dir build --output-on-failure -j "$(nproc)"
+
+if [[ "$SANITIZE" == 1 ]]; then
+  echo "=== sanitizer pass (address,undefined) ==="
+  cmake -B build-asan -S . -DZEROSUM_SANITIZE=ON >/dev/null
+  cmake --build build-asan -j "$(nproc)"
+  # The suites that exercise the /proc parsers, fault injection, and the
+  # monitor thread — where memory bugs under fault load would hide.
+  # (Run the binaries directly: ctest registers individual gtest case
+  # names, so filtering by executable name matches nothing.)
+  for t in test_procfs test_fault_injection test_core; do
+    ./build-asan/tests/"$t"
+  done
+fi
+
+echo "=== check.sh: all passes complete ==="

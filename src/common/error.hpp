@@ -42,4 +42,18 @@ class ConfigError : public Error {
       : Error("config error: " + what) {}
 };
 
+/// Describes the exception currently being handled.  Only meaningful
+/// inside a catch block (it rethrows the active exception to inspect it);
+/// lets `catch (...)` handlers log what they caught instead of swallowing
+/// it invisibly.
+inline std::string currentExceptionMessage() {
+  try {
+    throw;
+  } catch (const std::exception& e) {
+    return e.what();
+  } catch (...) {
+    return "unknown exception";
+  }
+}
+
 }  // namespace zerosum

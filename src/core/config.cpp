@@ -35,6 +35,16 @@ Config Config::fromEnv() {
   if (cfg.memWarnFraction <= 0.0 || cfg.memWarnFraction > 1.0) {
     throw ConfigError("ZS_MEM_WARN_FRACTION must be in (0, 1]");
   }
+  cfg.maxConsecutiveErrors = static_cast<int>(
+      env::getInt("ZS_MAX_CONSECUTIVE_ERRORS", cfg.maxConsecutiveErrors));
+  if (cfg.maxConsecutiveErrors < 1) {
+    throw ConfigError("ZS_MAX_CONSECUTIVE_ERRORS must be >= 1");
+  }
+  cfg.retryBackoffPeriods = static_cast<int>(
+      env::getInt("ZS_RETRY_BACKOFF_PERIODS", cfg.retryBackoffPeriods));
+  if (cfg.retryBackoffPeriods < 1) {
+    throw ConfigError("ZS_RETRY_BACKOFF_PERIODS must be >= 1");
+  }
   return cfg;
 }
 

@@ -15,6 +15,18 @@
 //   ZS_MONITOR_MEMORY    sample meminfo/RSS (default on)
 //   ZS_MEM_WARN_FRACTION fraction of node memory in use that triggers a
 //                        low-memory finding (default 0.95)
+//   ZS_MAX_CONSECUTIVE_ERRORS
+//                        consecutive sampling failures before a subsystem
+//                        (LWP/HWT/memory/GPU/progress) is quarantined
+//                        (default 5)
+//   ZS_RETRY_BACKOFF_PERIODS
+//                        initial quarantine retry interval in sampling
+//                        periods; doubles per failed retry, capped at
+//                        kBackoffCapPeriods (default 4)
+//   ZS_FAULT_SPEC        fault-injection schedule applied to the /proc
+//                        provider, e.g. "taskstat:enoent@3,meminfo:
+//                        truncate@5.." (default off; see procfs/faultfs.hpp)
+//   ZS_FAULT_SEED        seed for the injected garbage bodies (default 1)
 #pragma once
 
 #include <chrono>
@@ -36,6 +48,11 @@ struct Config {
   bool monitorGpu = true;
   bool monitorMemory = true;
   double memWarnFraction = 0.95;
+  /// Consecutive failures before a sampling subsystem is quarantined.
+  int maxConsecutiveErrors = 5;
+  /// Initial quarantine retry interval, in sampling periods (doubles per
+  /// failed retry, capped at kBackoffCapPeriods).
+  int retryBackoffPeriods = 4;
   /// Jiffies per second of the monitored clock: USER_HZ for the live
   /// kernel, sim::kHz for the simulator.
   std::uint64_t jiffyHz = 100;

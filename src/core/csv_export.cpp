@@ -63,4 +63,15 @@ void CsvExporter::writeCommSeries(std::ostream& out,
   out << recorder.toCsv();
 }
 
+void CsvExporter::writeHealthSeries(std::ostream& out,
+                                    const std::vector<HealthSample>& samples) {
+  out << "time,samples_taken,samples_degraded,samples_dropped,loop_overruns,"
+         "subsystems_quarantined\n";
+  for (const auto& s : samples) {
+    out << strings::fixed(s.timeSeconds, 3) << ',' << s.samplesTaken << ','
+        << s.samplesDegraded << ',' << s.samplesDropped << ','
+        << s.loopOverruns << ',' << s.subsystemsQuarantined << '\n';
+  }
+}
+
 }  // namespace zerosum::core

@@ -8,6 +8,7 @@
 #include <ostream>
 #include <vector>
 
+#include "core/health.hpp"
 #include "core/records.hpp"
 #include "mpisim/recorder.hpp"
 
@@ -35,6 +36,11 @@ class CsvExporter {
   /// direction,peer,bytes,count — the rank's point-to-point totals.
   static void writeCommSeries(std::ostream& out,
                               const mpisim::Recorder& recorder);
+
+  /// time,samples_taken,samples_degraded,samples_dropped,loop_overruns,
+  /// subsystems_quarantined — the monitor's own health per sample.
+  static void writeHealthSeries(std::ostream& out,
+                                const std::vector<HealthSample>& samples);
 };
 
 }  // namespace zerosum::core

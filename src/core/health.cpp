@@ -1,0 +1,77 @@
+#include "core/health.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace zerosum::core {
+
+SubsystemGuard::SubsystemGuard(std::string name, int maxConsecutiveErrors,
+                               int backoffPeriods)
+    : maxConsecutive_(std::max(1, maxConsecutiveErrors)),
+      baseBackoff_(std::max(1, backoffPeriods)) {
+  health_.name = std::move(name);
+}
+
+bool SubsystemGuard::runOnce(const std::function<void()>& fn) {
+  if (health_.quarantined && periodsUntilRetry_ > 0) {
+    --periodsUntilRetry_;
+    ++health_.skipped;
+    return false;
+  }
+
+  ++health_.attempts;
+  bool ok = false;
+  try {
+    fn();
+    ok = true;
+  } catch (const std::exception& e) {
+    health_.lastError = e.what();
+  } catch (...) {
+    health_.lastError = "unknown exception";
+  }
+
+  if (ok) {
+    if (health_.quarantined) {
+      health_.quarantined = false;
+      ++health_.recoveries;
+      log::info() << "subsystem " << health_.name
+                  << " recovered after quarantine";
+    }
+    health_.consecutiveErrors = 0;
+    currentBackoff_ = 0;
+    return true;
+  }
+
+  ++health_.errors;
+  ++health_.consecutiveErrors;
+  if (health_.quarantined) {
+    // A failed retry: back off harder.
+    currentBackoff_ = std::min(currentBackoff_ * 2, kBackoffCapPeriods);
+    periodsUntilRetry_ = currentBackoff_;
+    log::debug() << "subsystem " << health_.name << " retry failed ("
+                 << health_.lastError << "); next retry in "
+                 << currentBackoff_ << " periods";
+  } else if (health_.consecutiveErrors >=
+             static_cast<std::uint64_t>(maxConsecutive_)) {
+    health_.quarantined = true;
+    ++health_.quarantines;
+    currentBackoff_ = baseBackoff_;
+    periodsUntilRetry_ = currentBackoff_;
+    log::warn() << "subsystem " << health_.name << " quarantined after "
+                << health_.consecutiveErrors << " consecutive errors ("
+                << health_.lastError << "); retrying in " << currentBackoff_
+                << " periods";
+  } else if (health_.consecutiveErrors == 1) {
+    // First failure of a streak is the interesting one; repeats stay at
+    // debug so a flapping subsystem cannot flood the diagnostics.
+    log::warn() << "subsystem " << health_.name
+                << " sample failed: " << health_.lastError;
+  } else {
+    log::debug() << "subsystem " << health_.name
+                 << " sample failed again: " << health_.lastError;
+  }
+  return false;
+}
+
+}  // namespace zerosum::core

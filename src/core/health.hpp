@@ -1,0 +1,91 @@
+// Monitor self-health: the machinery that keeps a failing subsystem from
+// taking down the sampling thread, plus the telemetry that makes the
+// degradation observable instead of silent.
+//
+// ZeroSum is injected into production jobs (paper §3.1); "do no harm"
+// means a single bad /proc read must never terminate the application.
+// Each sampling subsystem (LWP, HWT, memory, GPU, progress) therefore
+// runs inside a SubsystemGuard: an error boundary that counts failures,
+// quarantines the subsystem after ZS_MAX_CONSECUTIVE_ERRORS consecutive
+// ones, retries it with exponential backoff (starting at
+// ZS_RETRY_BACKOFF_PERIODS periods, doubling up to kBackoffCapPeriods),
+// and re-enables it on the first success.  The aggregate MonitorHealth is
+// rendered as a "Monitor health" report section and a CSV series.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace zerosum::core {
+
+/// Upper bound on the quarantine retry interval, in sampling periods.
+inline constexpr int kBackoffCapPeriods = 256;
+
+/// Counters for one guarded sampling subsystem.
+struct SubsystemHealth {
+  std::string name;
+  std::uint64_t attempts = 0;    ///< periods where the subsystem ran
+  std::uint64_t errors = 0;      ///< attempts that threw
+  std::uint64_t consecutiveErrors = 0;
+  std::uint64_t quarantines = 0;  ///< times the subsystem was quarantined
+  std::uint64_t recoveries = 0;   ///< quarantine exits on a successful retry
+  std::uint64_t skipped = 0;      ///< periods skipped while quarantined
+  bool quarantined = false;
+  std::string lastError;
+};
+
+/// Error boundary + quarantine state machine for one subsystem.  One
+/// runOnce() call corresponds to one sampling period.
+class SubsystemGuard {
+ public:
+  /// `maxConsecutiveErrors` failures in a row trigger quarantine;
+  /// `backoffPeriods` is the initial retry interval (doubles per failed
+  /// retry, capped at kBackoffCapPeriods).
+  SubsystemGuard(std::string name, int maxConsecutiveErrors,
+                 int backoffPeriods);
+
+  /// Runs `fn` unless the subsystem is quarantined and still backing off.
+  /// Catches everything `fn` throws.  Returns true when `fn` ran and
+  /// succeeded; false when it failed or was skipped.
+  bool runOnce(const std::function<void()>& fn);
+
+  [[nodiscard]] const SubsystemHealth& health() const { return health_; }
+
+ private:
+  int maxConsecutive_;
+  int baseBackoff_;
+  int currentBackoff_ = 0;   // doubles per failed retry while quarantined
+  int periodsUntilRetry_ = 0;
+  SubsystemHealth health_;
+};
+
+/// One row of the per-sample health time series.
+struct HealthSample {
+  double timeSeconds = 0.0;
+  std::uint64_t samplesTaken = 0;
+  std::uint64_t samplesDegraded = 0;
+  std::uint64_t samplesDropped = 0;
+  std::uint64_t loopOverruns = 0;
+  int subsystemsQuarantined = 0;
+};
+
+/// Aggregate self-health of one MonitorSession.
+struct MonitorHealth {
+  std::uint64_t samplesTaken = 0;    ///< sampleOnce completions
+  std::uint64_t samplesDegraded = 0; ///< samples with >=1 failed/skipped subsystem
+  std::uint64_t samplesDropped = 0;  ///< samples lost to an escaped exception
+  std::uint64_t loopOverruns = 0;    ///< samples that took longer than the period
+  std::vector<SubsystemHealth> subsystems;
+
+  [[nodiscard]] int quarantinedCount() const {
+    int count = 0;
+    for (const auto& s : subsystems) {
+      count += s.quarantined ? 1 : 0;
+    }
+    return count;
+  }
+};
+
+}  // namespace zerosum::core

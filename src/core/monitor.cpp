@@ -4,6 +4,7 @@
 #include <sched.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <fstream>
 #include <iostream>
 
@@ -17,7 +18,16 @@ MonitorSession::MonitorSession(Config config,
                                std::unique_ptr<procfs::ProcFs> fs,
                                ProcessIdentity identity,
                                gpu::DeviceList gpuDevices)
-    : config_(config), fs_(std::move(fs)), identity_(identity) {
+    : config_(config),
+      fs_(std::move(fs)),
+      identity_(identity),
+      lwpGuard_("lwp", config.maxConsecutiveErrors, config.retryBackoffPeriods),
+      hwtGuard_("hwt", config.maxConsecutiveErrors, config.retryBackoffPeriods),
+      memGuard_("memory", config.maxConsecutiveErrors,
+                config.retryBackoffPeriods),
+      gpuGuard_("gpu", config.maxConsecutiveErrors, config.retryBackoffPeriods),
+      progressGuard_("progress", config.maxConsecutiveErrors,
+                     config.retryBackoffPeriods) {
   if (!fs_) {
     throw ConfigError("MonitorSession requires a ProcFs provider");
   }
@@ -74,19 +84,43 @@ void MonitorSession::setSampleCallback(
 }
 
 void MonitorSession::sampleOnce(double timeSeconds) {
-  lwpTracker_->sample(timeSeconds);
-  hwtTracker_->sample(timeSeconds);
+  // Each subsystem samples inside its own error boundary: a bad /proc
+  // read degrades that subsystem for this period (and may quarantine it),
+  // but the sample as a whole — and the application — carries on.
+  bool degraded = false;
+  degraded |= !lwpGuard_.runOnce([&] { lwpTracker_->sample(timeSeconds); });
+  degraded |= !hwtGuard_.runOnce([&] { hwtTracker_->sample(timeSeconds); });
   if (config_.monitorMemory) {
-    memTracker_->sample(timeSeconds);
+    degraded |= !memGuard_.runOnce([&] { memTracker_->sample(timeSeconds); });
   }
   if (config_.monitorGpu) {
-    gpuTracker_->sample(timeSeconds);
+    degraded |= !gpuGuard_.runOnce([&] { gpuTracker_->sample(timeSeconds); });
   }
-  progress_->observe(timeSeconds, lwpTracker_->records(),
-                     config_.heartbeatPeriods);
+  degraded |= !progressGuard_.runOnce([&] {
+    progress_->observe(timeSeconds, lwpTracker_->records(),
+                       config_.heartbeatPeriods);
+  });
   duration_ = timeSeconds;
+  ++samplesTaken_;
+  if (degraded) {
+    ++samplesDegraded_;
+  }
+  HealthSample hs;
+  hs.timeSeconds = timeSeconds;
+  hs.samplesTaken = samplesTaken_;
+  hs.samplesDegraded = samplesDegraded_;
+  hs.samplesDropped = samplesDropped_;
+  hs.loopOverruns = loopOverruns_;
+  hs.subsystemsQuarantined = health().quarantinedCount();
+  healthSeries_.push_back(hs);
   if (sampleCallback_) {
-    sampleCallback_(*this, timeSeconds);
+    try {
+      sampleCallback_(*this, timeSeconds);
+    } catch (const std::exception& e) {
+      log::debug() << "sample callback threw: " << e.what();
+    } catch (...) {
+      log::debug() << "sample callback threw an unknown exception";
+    }
   }
 }
 
@@ -117,8 +151,28 @@ void MonitorSession::monitorLoop() {
   // name-based classifier) can identify the monitor without hints.
   ::pthread_setname_np(::pthread_self(), "zerosum");
   pinMonitorThread();
-  while (pacer_->waitPeriod(config_.period)) {
-    sampleOnce(pacer_->elapsedSeconds());
+  // Nothing may cross the thread boundary: std::terminate here would take
+  // the monitored application down with the monitor.
+  try {
+    while (pacer_->waitPeriod(config_.period)) {
+      const auto begin = std::chrono::steady_clock::now();
+      try {
+        sampleOnce(pacer_->elapsedSeconds());
+      } catch (const std::exception& e) {
+        ++samplesDropped_;
+        log::warn() << "sample dropped: " << e.what();
+      } catch (...) {
+        ++samplesDropped_;
+        log::warn() << "sample dropped: unknown exception";
+      }
+      if (std::chrono::steady_clock::now() - begin > config_.period) {
+        ++loopOverruns_;
+      }
+    }
+  } catch (const std::exception& e) {
+    log::error() << "monitor loop aborted: " << e.what();
+  } catch (...) {
+    log::error() << "monitor loop aborted: unknown exception";
   }
 }
 
@@ -140,8 +194,17 @@ void MonitorSession::stop() {
   }
   pacer_->requestStop();
   thread_.join();
-  // Final sample so short runs still produce a report.
-  sampleOnce(pacer_->elapsedSeconds());
+  // Final sample so short runs still produce a report.  stop() is called
+  // from application shutdown paths; it must never throw.
+  try {
+    sampleOnce(pacer_->elapsedSeconds());
+  } catch (const std::exception& e) {
+    ++samplesDropped_;
+    log::warn() << "final sample dropped: " << e.what();
+  } catch (...) {
+    ++samplesDropped_;
+    log::warn() << "final sample dropped: unknown exception";
+  }
   stopped_ = true;
 }
 
@@ -154,6 +217,23 @@ void MonitorSession::sampleNow(double timeSeconds) {
   }
   manualMode_ = true;
   sampleOnce(timeSeconds);
+}
+
+MonitorHealth MonitorSession::health() const {
+  MonitorHealth out;
+  out.samplesTaken = samplesTaken_;
+  out.samplesDegraded = samplesDegraded_;
+  out.samplesDropped = samplesDropped_;
+  out.loopOverruns = loopOverruns_;
+  out.subsystems = {lwpGuard_.health(), hwtGuard_.health()};
+  if (config_.monitorMemory) {
+    out.subsystems.push_back(memGuard_.health());
+  }
+  if (config_.monitorGpu) {
+    out.subsystems.push_back(gpuGuard_.health());
+  }
+  out.subsystems.push_back(progressGuard_.health());
+  return out;
 }
 
 std::vector<Finding> MonitorSession::analyze() const {
@@ -176,6 +256,8 @@ std::string MonitorSession::report() const {
     input.memory = &memTracker_->samples();
   }
   input.findings = analyze();
+  const MonitorHealth health = this->health();
+  input.health = &health;
   return Reporter::render(input);
 }
 
@@ -200,6 +282,8 @@ void MonitorSession::writeLog(std::ostream& out) const {
     out << "\n=== CSV: MPI point-to-point ===\n";
     CsvExporter::writeCommSeries(out, *commRecorder_);
   }
+  out << "\n=== CSV: monitor health ===\n";
+  CsvExporter::writeHealthSeries(out, healthSeries_);
 }
 
 std::string MonitorSession::writeLogFile() const {

@@ -23,6 +23,7 @@
 #include "core/contention.hpp"
 #include "core/csv_export.hpp"
 #include "core/gpu_tracker.hpp"
+#include "core/health.hpp"
 #include "core/hwt_tracker.hpp"
 #include "core/lwp_tracker.hpp"
 #include "core/memory_tracker.hpp"
@@ -83,6 +84,16 @@ class MonitorSession {
   [[nodiscard]] const GpuTracker& gpus() const { return *gpuTracker_; }
   [[nodiscard]] const ProgressDetector& progress() const { return *progress_; }
 
+  /// Self-health snapshot: samples taken/degraded/dropped, loop overruns,
+  /// and per-subsystem error/quarantine/recovery counters.  Call after
+  /// stop() (or between manual samples); the monitor thread mutates the
+  /// underlying counters while running.
+  [[nodiscard]] MonitorHealth health() const;
+  /// Per-sample health time series (one row per completed sampleOnce).
+  [[nodiscard]] const std::vector<HealthSample>& healthSeries() const {
+    return healthSeries_;
+  }
+
   /// Runs the contention analyzer over everything sampled so far.
   [[nodiscard]] std::vector<Finding> analyze() const;
 
@@ -109,6 +120,18 @@ class MonitorSession {
   std::unique_ptr<MemoryTracker> memTracker_;
   std::unique_ptr<GpuTracker> gpuTracker_;
   std::unique_ptr<ProgressDetector> progress_;
+
+  // Error boundaries around each sampling subsystem ("do no harm").
+  SubsystemGuard lwpGuard_;
+  SubsystemGuard hwtGuard_;
+  SubsystemGuard memGuard_;
+  SubsystemGuard gpuGuard_;
+  SubsystemGuard progressGuard_;
+  std::uint64_t samplesTaken_ = 0;
+  std::uint64_t samplesDegraded_ = 0;
+  std::uint64_t samplesDropped_ = 0;
+  std::uint64_t loopOverruns_ = 0;
+  std::vector<HealthSample> healthSeries_;
   std::function<void(const MonitorSession&, double)> sampleCallback_;
   const mpisim::Recorder* commRecorder_ = nullptr;
 

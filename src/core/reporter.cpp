@@ -73,6 +73,29 @@ std::string Reporter::render(const ReportInput& input) {
     out << "Contention / Configuration Findings:\n"
         << renderFindings(input.findings) << '\n';
   }
+
+  if (input.health != nullptr) {
+    out << renderHealthSection(*input.health) << '\n';
+  }
+  return out.str();
+}
+
+std::string Reporter::renderHealthSection(const MonitorHealth& health) {
+  std::ostringstream out;
+  out << "Monitor health:\n";
+  out << "Samples: " << health.samplesTaken << " taken, "
+      << health.samplesDegraded << " degraded, " << health.samplesDropped
+      << " dropped; loop overruns: " << health.loopOverruns << '\n';
+  for (const auto& s : health.subsystems) {
+    out << strings::padRight(s.name, 10)
+        << (s.quarantined ? "quarantined" : "ok") << " - errors: " << s.errors
+        << ", quarantines: " << s.quarantines
+        << ", recoveries: " << s.recoveries << ", skipped: " << s.skipped;
+    if (!s.lastError.empty()) {
+      out << " (last error: " << s.lastError << ")";
+    }
+    out << '\n';
+  }
   return out.str();
 }
 

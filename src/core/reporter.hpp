@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/contention.hpp"
+#include "core/health.hpp"
 #include "core/memory_tracker.hpp"
 #include "core/records.hpp"
 
@@ -31,6 +32,7 @@ struct ReportInput {
   const std::vector<GpuRecord>* gpus = nullptr;          // optional
   const std::vector<MemSample>* memory = nullptr;        // optional
   std::vector<Finding> findings;                         // optional
+  const MonitorHealth* health = nullptr;                 // optional
 };
 
 class Reporter {
@@ -50,6 +52,10 @@ class Reporter {
   /// GPU min/avg/max section in Listing 2's format.
   [[nodiscard]] static std::string renderGpuSection(
       const std::vector<GpuRecord>& gpus);
+
+  /// Monitor self-health: sample and per-subsystem degradation counters.
+  [[nodiscard]] static std::string renderHealthSection(
+      const MonitorHealth& health);
 };
 
 }  // namespace zerosum::core

@@ -6,6 +6,7 @@
 #include "common/error.hpp"
 #include "common/logging.hpp"
 #include "core/signal_handler.hpp"
+#include "procfs/faultfs.hpp"
 
 namespace zerosum {
 
@@ -30,8 +31,11 @@ core::MonitorSession& initialize(core::Config config,
   if (config.signalHandler) {
     core::installCrashHandlers();
   }
+  // ZS_FAULT_SPEC (normally unset) wraps the provider with the fault
+  // injector, so the degradation machinery can be exercised in situ.
   gSession = std::make_unique<core::MonitorSession>(
-      config, procfs::makeRealProcFs(), identity, std::move(devices));
+      config, procfs::wrapFaultsFromEnv(procfs::makeRealProcFs()), identity,
+      std::move(devices));
   gSession->start();
   return *gSession;
 }

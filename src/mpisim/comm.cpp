@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "common/error.hpp"
+#include "common/logging.hpp"
 
 namespace zerosum::mpisim {
 
@@ -132,6 +133,8 @@ void World::run(const std::function<void(Comm&)>& rankMain) {
         Comm comm(*this, r);
         rankMain(comm);
       } catch (...) {
+        log::debug() << "rank " << r
+                     << " main threw: " << currentExceptionMessage();
         std::lock_guard<std::mutex> lock(errorMutex);
         if (!firstError) {
           firstError = std::current_exception();

@@ -5,6 +5,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "common/logging.hpp"
 #include "openmp/ompt.hpp"
 
 namespace zerosum::openmp {
@@ -73,6 +74,9 @@ void ThreadTeam::workerLoop(int threadNum) {
     try {
       (*body)(threadNum, numThreads_);
     } catch (...) {
+      log::debug() << "team thread " << threadNum
+                   << " threw in parallel region: "
+                   << currentExceptionMessage();
       std::lock_guard<std::mutex> lock(mutex_);
       if (!firstError_) {
         firstError_ = std::current_exception();
@@ -103,6 +107,8 @@ void ThreadTeam::parallel(const RegionBody& body) {
   try {
     body(0, numThreads_);
   } catch (...) {
+    log::debug() << "team thread 0 threw in parallel region: "
+                 << currentExceptionMessage();
     std::lock_guard<std::mutex> lock(mutex_);
     if (!firstError_) {
       firstError_ = std::current_exception();

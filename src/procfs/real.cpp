@@ -48,13 +48,24 @@ class RealProcFs final : public ProcFs {
     std::vector<int> out;
     const fs::path dir = fs::path(root_) / std::to_string(pid) / "task";
     std::error_code ec;
-    for (const auto& entry : fs::directory_iterator(dir, ec)) {
-      const auto tid = strings::toU64(entry.path().filename().string());
+    fs::directory_iterator it(dir, ec);
+    if (ec) {
+      throw NotFoundError(dir.string() + " (" + ec.message() + ")");
+    }
+    // Iterate manually: a tid directory vanishing mid-listing (thread
+    // exit race) must not discard the tasks already collected.  Only a
+    // missing process directory is fatal.
+    for (const fs::directory_iterator end; it != end; it.increment(ec)) {
+      if (ec) {
+        break;
+      }
+      const auto tid = strings::toU64(it->path().filename().string());
       if (tid) {
         out.push_back(static_cast<int>(*tid));
       }
     }
-    if (ec) {
+    std::error_code existsEc;
+    if (ec && !fs::exists(dir, existsEc)) {
       throw NotFoundError(dir.string() + " (" + ec.message() + ")");
     }
     std::sort(out.begin(), out.end());

@@ -15,7 +15,8 @@ class ConfigTest : public ::testing::Test {
          {"ZS_PERIOD_MS", "ZS_ASYNC_CORE", "ZS_HEARTBEAT",
           "ZS_HEARTBEAT_PERIODS", "ZS_SIGNAL_HANDLER", "ZS_DEADLOCK_DETECT",
           "ZS_DEADLOCK_PERIODS", "ZS_LOG_PREFIX", "ZS_CSV", "ZS_MONITOR_GPU",
-          "ZS_MONITOR_MEMORY", "ZS_MEM_WARN_FRACTION"}) {
+          "ZS_MONITOR_MEMORY", "ZS_MEM_WARN_FRACTION",
+          "ZS_MAX_CONSECUTIVE_ERRORS", "ZS_RETRY_BACKOFF_PERIODS"}) {
       env::unsetForTesting(name);
     }
   }
@@ -30,6 +31,22 @@ TEST_F(ConfigTest, DefaultsMatchPaper) {
   EXPECT_TRUE(cfg.csvExport);
   EXPECT_EQ(cfg.logPrefix, "zerosum");
   EXPECT_DOUBLE_EQ(cfg.jiffiesPerPeriod(), 100.0);
+  EXPECT_EQ(cfg.maxConsecutiveErrors, 5);
+  EXPECT_EQ(cfg.retryBackoffPeriods, 4);
+}
+
+TEST_F(ConfigTest, FaultToleranceKnobs) {
+  env::setForTesting("ZS_MAX_CONSECUTIVE_ERRORS", "2");
+  env::setForTesting("ZS_RETRY_BACKOFF_PERIODS", "8");
+  const Config cfg = Config::fromEnv();
+  EXPECT_EQ(cfg.maxConsecutiveErrors, 2);
+  EXPECT_EQ(cfg.retryBackoffPeriods, 8);
+
+  env::setForTesting("ZS_MAX_CONSECUTIVE_ERRORS", "0");
+  EXPECT_THROW(Config::fromEnv(), ConfigError);
+  env::setForTesting("ZS_MAX_CONSECUTIVE_ERRORS", "2");
+  env::setForTesting("ZS_RETRY_BACKOFF_PERIODS", "0");
+  EXPECT_THROW(Config::fromEnv(), ConfigError);
 }
 
 TEST_F(ConfigTest, EnvOverrides) {

@@ -189,5 +189,70 @@ TEST(ParseStat, MalformedCountsThrow) {
   EXPECT_THROW(parseStat("cpu0 1 2 3\n"), ParseError);
 }
 
+// --- Corrupt-body matrix --------------------------------------------------
+// Every parser must reject truncated, empty, and garbage /proc bodies with
+// ParseError — never UB, a crash, or a silently wrong record.  These are
+// the body shapes FaultInjectingProcFs manufactures.
+
+TEST(ParseCorruptBodies, TaskStatTable) {
+  const struct {
+    const char* name;
+    const char* body;
+  } kCases[] = {
+      {"truncated mid-fields", "51334 (miniqmc) R 51300 51334 51300 34816"},
+      {"truncated before comm close", "51334 (miniqm"},
+      {"only tid", "51334"},
+      {"garbage", "#corrupt 7f3a9b ###\n#corrupt 19 ###\n"},
+      {"empty", ""},
+      {"non-numeric utime",
+       "1 (x) R 1 1 1 0 1 0 10 0 2 0 abc 50 0 0 20 0 3 0 0"},
+      {"non-numeric minflt",
+       "1 (x) R 1 1 1 0 1 0 xyz 0 2 0 100 50 0 0 20 0 3 0 0"},
+  };
+  for (const auto& c : kCases) {
+    EXPECT_THROW(parseTaskStat(c.body), ParseError) << c.name;
+  }
+}
+
+TEST(ParseCorruptBodies, StatusTable) {
+  const struct {
+    const char* name;
+    const char* body;
+  } kCases[] = {
+      {"malformed Cpus_allowed mask", "Pid:\t1\nCpus_allowed:\tzz\n"},
+      {"oversized Cpus_allowed word", "Pid:\t1\nCpus_allowed:\t123456789\n"},
+      {"malformed Cpus_allowed_list", "Pid:\t1\nCpus_allowed_list:\t4-2\n"},
+      {"empty State", "State:\t\n"},
+      {"non-numeric ctx switches", "voluntary_ctxt_switches:\tmany\n"},
+      {"truncated VmRSS value", "VmRSS:\t\n"},
+  };
+  for (const auto& c : kCases) {
+    EXPECT_THROW(parseStatus(c.body), ParseError) << c.name;
+  }
+}
+
+TEST(ParseCorruptBodies, MeminfoTable) {
+  const struct {
+    const char* name;
+    const char* body;
+  } kCases[] = {
+      {"empty", ""},
+      {"garbage", "#corrupt 42 ###\n"},
+      {"non-numeric MemTotal", "MemTotal:\tlots kB\n"},
+      {"truncated after key", "MemTotal:\n"},
+      {"non-numeric MemFree", "MemTotal: 10 kB\nMemFree: ?? kB\n"},
+  };
+  for (const auto& c : kCases) {
+    EXPECT_THROW(parseMeminfo(c.body), ParseError) << c.name;
+  }
+}
+
+TEST(ParseCorruptBodies, StatAndLoadavgTable) {
+  EXPECT_THROW(parseStat("cpu  1 2\n"), ParseError);       // truncated line
+  EXPECT_THROW(parseStat("#corrupt ###\n"), ParseError);   // garbage
+  EXPECT_THROW(parseLoadavg("0.1 0.2\n"), ParseError);     // truncated
+  EXPECT_THROW(parseLoadavg("#corrupt ###\n"), ParseError); // garbage
+}
+
 }  // namespace
 }  // namespace zerosum::procfs
