@@ -17,10 +17,12 @@
 // default 1 s period the bound is already ~1%, and it vanishes as the
 // period grows — consistent with the paper's "< 0.5% at 1 s" with the
 // true per-sample cost.
+#include <fstream>
 #include <iostream>
 #include <vector>
 
 #include "analysis/overhead.hpp"
+#include "common/json.hpp"
 #include "common/strings.hpp"
 #include "core/monitor.hpp"
 #include "procfs/procfs.hpp"
@@ -86,6 +88,33 @@ double simulatedRuntime(sim::Jiffies monitorPeriodJiffies,
   return node.nowSeconds();
 }
 
+void writeSummary(json::Writer& w, const char* key,
+                  const stats::Summary& s) {
+  w.key(key).beginObject();
+  w.field("n", static_cast<std::uint64_t>(s.n));
+  w.field("mean", s.mean);
+  w.field("stddev", s.stddev);
+  w.field("min", s.min);
+  w.field("max", s.max);
+  w.field("median", s.median);
+  w.endObject();
+}
+
+void writeComparison(json::Writer& w, const std::string& label,
+                     const analysis::OverheadResult& r) {
+  w.beginObject();
+  w.field("label", label);
+  writeSummary(w, "baseline", r.baseline);
+  writeSummary(w, "with_tool", r.withTool);
+  w.field("t", r.ttest.t);
+  w.field("df", r.ttest.df);
+  w.field("p_value", r.ttest.pValue);
+  w.field("overhead_abs", r.overheadAbs);
+  w.field("overhead_fraction", r.overheadFraction);
+  w.field("significant", r.significant);
+  w.endObject();
+}
+
 }  // namespace
 
 int main() {
@@ -104,8 +133,9 @@ int main() {
         timedProxyRun(true, 1000 + static_cast<std::uint64_t>(i)));
   }
   const auto live = analysis::compareOverhead(baseline, withTool);
-  std::cout << analysis::renderOverhead(
-      live, "live miniQMC proxy, 10 runs each, 100 ms sampling");
+  const std::string liveLabel =
+      "live miniQMC proxy, 10 runs each, 100 ms sampling";
+  std::cout << analysis::renderOverhead(live, liveLabel);
   std::cout << "(paper, 1 thread/core, 1 s sampling: p = 0.998, no "
                "measurable overhead;\n paper, 2 threads/core: p = 0.0006, "
                "+0.2752 s = < 0.5%)\n\n";
@@ -116,6 +146,7 @@ int main() {
     simBaseline.push_back(
         simulatedRuntime(0, static_cast<std::uint64_t>(100 + i)));
   }
+  std::vector<std::pair<std::string, analysis::OverheadResult>> simResults;
   for (sim::Jiffies period : {sim::Jiffies{500}, sim::Jiffies{100},
                               sim::Jiffies{10}}) {
     std::vector<double> simTool;
@@ -124,16 +155,42 @@ int main() {
           simulatedRuntime(period, static_cast<std::uint64_t>(100 + i)));
     }
     const auto sim = analysis::compareOverhead(simBaseline, simTool);
-    std::cout << analysis::renderOverhead(
-        sim, "simulated Frontier rank, monitor period " +
-                 strings::fixed(static_cast<double>(period) /
-                                    static_cast<double>(sim::kHz),
-                                1) +
-                 " s");
+    const std::string label =
+        "simulated Frontier rank, monitor period " +
+        strings::fixed(static_cast<double>(period) /
+                           static_cast<double>(sim::kHz),
+                       1) +
+        " s";
+    std::cout << analysis::renderOverhead(sim, label);
+    simResults.emplace_back(label, sim);
   }
   std::cout << "(The simulator charges a full 10 ms jiffy per monitor "
                "wake — ~50x the tool's\n real ~0.2 ms sample cost — so "
                "these simulated overheads are upper bounds; the\n paper's "
                "1 s period lands under 0.5% with the true cost.)\n";
+
+  // Machine-readable companion to the prose above, for regression
+  // tracking across runs (same spirit as the google-benchmark JSON from
+  // bench_micro).
+  const std::string jsonPath = "BENCH_overhead.json";
+  std::ofstream jsonOut(jsonPath);
+  if (jsonOut) {
+    json::Writer w(jsonOut);
+    w.beginObject();
+    w.field("benchmark", "figure8_overhead");
+    w.field("runs_per_config", static_cast<std::uint64_t>(kRuns));
+    w.key("live");
+    writeComparison(w, liveLabel, live);
+    w.key("simulated").beginArray();
+    for (const auto& [label, result] : simResults) {
+      writeComparison(w, label, result);
+    }
+    w.endArray();
+    w.endObject();
+    jsonOut << '\n';
+    std::cout << "wrote " << jsonPath << '\n';
+  } else {
+    std::cerr << "could not write " << jsonPath << '\n';
+  }
   return 0;
 }

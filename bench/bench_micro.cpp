@@ -4,7 +4,11 @@
 // parsing, and the simulator's scheduler tick.
 #include <benchmark/benchmark.h>
 
+#include <iostream>
 #include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
 
 #include "common/cpuset.hpp"
 #include "core/monitor.hpp"
@@ -197,4 +201,33 @@ BENCHMARK(BM_TopologyBuildFrontier);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN() expanded by hand so the run also leaves a
+// machine-readable result file behind by default: unless the caller
+// already chose an output, inject --benchmark_out=BENCH_micro.json.
+// Explicit --benchmark_out/--benchmark_format flags win.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool hasOut = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]).rfind("--benchmark_out", 0) == 0) {
+      hasOut = true;
+    }
+  }
+  std::string outFlag = "--benchmark_out=BENCH_micro.json";
+  std::string formatFlag = "--benchmark_out_format=json";
+  if (!hasOut) {
+    args.push_back(outFlag.data());
+    args.push_back(formatFlag.data());
+  }
+  int count = static_cast<int>(args.size());
+  benchmark::Initialize(&count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(count, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (!hasOut) {
+    std::cout << "wrote BENCH_micro.json\n";
+  }
+  return 0;
+}

@@ -1,0 +1,201 @@
+#include "analysis/selfprofile.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <sstream>
+#include <string_view>
+
+#include "common/error.hpp"
+#include "common/json.hpp"
+#include "common/strings.hpp"
+
+namespace zerosum::analysis {
+
+namespace {
+
+struct Accum {
+  std::uint64_t count = 0;
+  double totalMicros = 0.0;
+  double maxMicros = 0.0;
+
+  void add(double micros) {
+    ++count;
+    totalMicros += micros;
+    maxMicros = std::max(maxMicros, micros);
+  }
+};
+
+std::vector<SubsystemShare> toShares(const std::map<std::string, Accum>& in,
+                                     double loopTotalMicros) {
+  std::vector<SubsystemShare> out;
+  out.reserve(in.size());
+  for (const auto& [name, a] : in) {
+    SubsystemShare s;
+    s.name = name;
+    s.count = a.count;
+    s.totalMicros = a.totalMicros;
+    s.meanMicros = a.count > 0 ? a.totalMicros / static_cast<double>(a.count)
+                               : 0.0;
+    s.maxMicros = a.maxMicros;
+    s.shareOfLoop =
+        loopTotalMicros > 0.0 ? a.totalMicros / loopTotalMicros : 0.0;
+    out.push_back(std::move(s));
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.totalMicros > b.totalMicros;
+  });
+  return out;
+}
+
+}  // namespace
+
+SelfProfile attributeOverhead(const std::vector<trace::Event>& events) {
+  // Group the span events per thread: nesting is only meaningful within
+  // one thread's call stack.
+  std::map<int, std::vector<const trace::Event*>> byTid;
+  for (const auto& e : events) {
+    if (e.kind == trace::EventKind::kSpan) {
+      byTid[e.tid].push_back(&e);
+    }
+  }
+
+  SelfProfile profile;
+  std::map<std::string, Accum> children;
+  std::map<std::string, Accum> outside;
+  double attributedMicros = 0.0;
+
+  for (auto& [tid, spans] : byTid) {
+    (void)tid;
+    // Parent-first order: by start time, longer (enclosing) span first on
+    // a tie.  RAII guarantees a child's interval lies inside its parent's.
+    std::sort(spans.begin(), spans.end(),
+              [](const trace::Event* a, const trace::Event* b) {
+                if (a->startNanos != b->startNanos) {
+                  return a->startNanos < b->startNanos;
+                }
+                return a->durationNanos > b->durationNanos;
+              });
+    struct Open {
+      const char* name;
+      std::uint64_t endNanos;
+      bool isLoop;
+    };
+    std::vector<Open> stack;
+    for (const trace::Event* s : spans) {
+      while (!stack.empty() && stack.back().endNanos <= s->startNanos) {
+        stack.pop_back();
+      }
+      const bool isLoop = std::string_view(s->name) == kLoopSpanName;
+      const double micros = static_cast<double>(s->durationNanos) / 1000.0;
+      if (isLoop) {
+        ++profile.loopCount;
+        profile.loopTotalMicros += micros;
+      } else if (!stack.empty() && stack.back().isLoop) {
+        // A direct child of a loop iteration: this is the attribution.
+        children[s->name].add(micros);
+        attributedMicros += micros;
+      } else if (stack.empty()) {
+        outside[s->name].add(micros);
+      }
+      // Deeper descendants ride inside their parent's share; nothing to
+      // credit, but they still need to be on the stack for their own
+      // children's sake.
+      stack.push_back(Open{s->name, s->startNanos + s->durationNanos,
+                           isLoop});
+    }
+  }
+
+  profile.shares = toShares(children, profile.loopTotalMicros);
+  // Whatever loop time no child claimed is the loop's own bookkeeping
+  // (guard state machines, health-series append, timestamps).  This keeps
+  // the invariant: sum(shares.totalMicros) == loopTotalMicros.
+  SubsystemShare bookkeeping;
+  bookkeeping.name = kBookkeepingName;
+  bookkeeping.count = profile.loopCount;
+  bookkeeping.totalMicros =
+      std::max(0.0, profile.loopTotalMicros - attributedMicros);
+  bookkeeping.meanMicros =
+      profile.loopCount > 0
+          ? bookkeeping.totalMicros / static_cast<double>(profile.loopCount)
+          : 0.0;
+  bookkeeping.shareOfLoop = profile.loopTotalMicros > 0.0
+                                ? bookkeeping.totalMicros /
+                                      profile.loopTotalMicros
+                                : 0.0;
+  profile.shares.push_back(std::move(bookkeeping));
+  std::sort(profile.shares.begin(), profile.shares.end(),
+            [](const auto& a, const auto& b) {
+              return a.totalMicros > b.totalMicros;
+            });
+  profile.outsideLoop = toShares(outside, 0.0);
+  return profile;
+}
+
+SelfProfile attributeOverheadFromChromeTrace(const std::string& jsonText) {
+  const json::Value doc = json::parse(jsonText);
+  const json::Value* traceEvents = doc.find("traceEvents");
+  if (traceEvents == nullptr || !traceEvents->isArray()) {
+    throw ParseError("not a Chrome trace document: no traceEvents array");
+  }
+  // Event::name is a borrowed pointer; the deque gives the strings stable
+  // addresses for the lifetime of this call.
+  std::deque<std::string> names;
+  std::vector<trace::Event> events;
+  for (const auto& entry : traceEvents->asArray()) {
+    if (entry.stringOr("ph", "") != "X") {
+      continue;  // only complete spans participate in attribution
+    }
+    trace::Event e;
+    names.push_back(entry.stringOr("name", ""));
+    e.name = names.back().c_str();
+    e.kind = trace::EventKind::kSpan;
+    e.startNanos =
+        static_cast<std::uint64_t>(entry.numberOr("ts", 0.0) * 1000.0);
+    e.durationNanos =
+        static_cast<std::uint64_t>(entry.numberOr("dur", 0.0) * 1000.0);
+    e.tid = static_cast<int>(entry.numberOr("tid", 0.0));
+    events.push_back(e);
+  }
+  return attributeOverhead(events);
+}
+
+std::string renderAttribution(const SelfProfile& profile) {
+  std::ostringstream out;
+  out << "=== Monitor overhead attribution ===\n";
+  out << "loop iterations: " << profile.loopCount << "\n";
+  out << "loop total     : " << strings::fixed(profile.loopTotalMicros / 1000.0, 3)
+      << " ms\n";
+  if (profile.shares.empty() && profile.outsideLoop.empty()) {
+    out << "(no span events recorded)\n";
+    return out.str();
+  }
+  const auto row = [&out](const SubsystemShare& s, bool withShare) {
+    out << strings::padRight(s.name, 26)
+        << strings::padLeft(std::to_string(s.count), 8)
+        << strings::padLeft(strings::fixed(s.totalMicros / 1000.0, 3), 12)
+        << strings::padLeft(strings::fixed(s.meanMicros, 1), 11)
+        << strings::padLeft(strings::fixed(s.maxMicros, 1), 11);
+    if (withShare) {
+      out << strings::padLeft(strings::fixed(s.shareOfLoop * 100.0, 1), 8)
+          << '%';
+    }
+    out << '\n';
+  };
+  out << strings::padRight("subsystem", 26) << strings::padLeft("count", 8)
+      << strings::padLeft("total ms", 12) << strings::padLeft("mean us", 11)
+      << strings::padLeft("max us", 11) << strings::padLeft("share", 9)
+      << '\n';
+  for (const auto& s : profile.shares) {
+    row(s, true);
+  }
+  if (!profile.outsideLoop.empty()) {
+    out << "outside the sampling loop:\n";
+    for (const auto& s : profile.outsideLoop) {
+      row(s, false);
+    }
+  }
+  return out.str();
+}
+
+}  // namespace zerosum::analysis

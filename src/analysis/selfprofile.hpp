@@ -1,0 +1,69 @@
+// Overhead attribution from the monitor's own trace (tentpole of the
+// self-observability layer): given the span events recorded by
+// zerosum::trace, break the monitor's total sampling-loop time down per
+// subsystem.  Where analysis/overhead.hpp measures the paper's Figure 8
+// claim from the *outside* (application run-time with vs without the
+// tool), this pass explains it from the *inside*: which fraction of the
+// monitor's wall-clock went to LWP sampling, HWT sampling, memory, GPU,
+// progress detection, and the loop's own bookkeeping.
+//
+// The attribution is exact by construction: every direct child span of a
+// "zs.sample" loop iteration is credited to its name, and whatever loop
+// time no child claims is the "(bookkeeping)" share — so the shares
+// always sum to the loop total.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace zerosum::analysis {
+
+/// One attributed share of the monitor's loop time.
+struct SubsystemShare {
+  std::string name;          ///< span name, e.g. "zs.sample.lwp"
+  std::uint64_t count = 0;   ///< completed spans
+  double totalMicros = 0.0;  ///< summed duration
+  double meanMicros = 0.0;
+  double maxMicros = 0.0;
+  /// Fraction of the loop total in [0, 1]; 0 when the loop total is 0.
+  double shareOfLoop = 0.0;
+};
+
+/// The full attribution result.
+struct SelfProfile {
+  std::uint64_t loopCount = 0;    ///< "zs.sample" iterations seen
+  double loopTotalMicros = 0.0;   ///< summed "zs.sample" durations
+  /// Direct children of the loop span plus one synthetic "(bookkeeping)"
+  /// entry for unattributed loop time, largest total first.
+  /// Invariant: the totals sum to loopTotalMicros (within rounding).
+  std::vector<SubsystemShare> shares;
+  /// Spans outside any loop iteration (report rendering, CSV export,
+  /// publisher), largest total first.  Not part of the loop total.
+  std::vector<SubsystemShare> outsideLoop;
+};
+
+/// Name of the span that brackets one sampling-loop iteration.
+inline constexpr const char* kLoopSpanName = "zs.sample";
+/// Name of the synthetic share for unattributed loop time.
+inline constexpr const char* kBookkeepingName = "(bookkeeping)";
+
+/// Attributes `events` (a TraceRecorder::snapshot(), or events re-read
+/// from a Chrome trace file).  Only span events participate; instants and
+/// counters are ignored.  Nesting is computed per thread from the span
+/// intervals, so only *direct* children of a loop iteration are credited
+/// — a grandchild span is part of its parent's share, not double-counted.
+SelfProfile attributeOverhead(const std::vector<trace::Event>& events);
+
+/// Parses a Chrome trace_event document (the format our exporter writes)
+/// and attributes it.  Throws ParseError on malformed JSON or a document
+/// without a traceEvents array.
+SelfProfile attributeOverheadFromChromeTrace(const std::string& jsonText);
+
+/// Renders the attribution as the table zerosum-post prints for
+/// --trace-summary.
+std::string renderAttribution(const SelfProfile& profile);
+
+}  // namespace zerosum::analysis

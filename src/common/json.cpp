@@ -1,0 +1,425 @@
+#include "common/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "common/error.hpp"
+
+namespace zerosum::json {
+
+std::string quote(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+// --- Writer ----------------------------------------------------------------
+
+void Writer::beforeValue() {
+  if (stack_.empty()) {
+    return;  // top-level document value
+  }
+  if (stack_.back() == Frame::kObject && !keyPending_) {
+    throw StateError("json: value inside an object requires a key");
+  }
+  if (stack_.back() == Frame::kArray) {
+    if (!first_.back()) {
+      out_ << ',';
+    }
+    first_.back() = false;
+  }
+  keyPending_ = false;
+}
+
+Writer& Writer::beginObject() {
+  beforeValue();
+  out_ << '{';
+  stack_.push_back(Frame::kObject);
+  first_.push_back(true);
+  return *this;
+}
+
+Writer& Writer::endObject() {
+  if (stack_.empty() || stack_.back() != Frame::kObject || keyPending_) {
+    throw StateError("json: endObject without matching beginObject");
+  }
+  out_ << '}';
+  stack_.pop_back();
+  first_.pop_back();
+  return *this;
+}
+
+Writer& Writer::beginArray() {
+  beforeValue();
+  out_ << '[';
+  stack_.push_back(Frame::kArray);
+  first_.push_back(true);
+  return *this;
+}
+
+Writer& Writer::endArray() {
+  if (stack_.empty() || stack_.back() != Frame::kArray) {
+    throw StateError("json: endArray without matching beginArray");
+  }
+  out_ << ']';
+  stack_.pop_back();
+  first_.pop_back();
+  return *this;
+}
+
+Writer& Writer::key(const std::string& k) {
+  if (stack_.empty() || stack_.back() != Frame::kObject || keyPending_) {
+    throw StateError("json: key() outside an object");
+  }
+  if (!first_.back()) {
+    out_ << ',';
+  }
+  first_.back() = false;
+  out_ << quote(k) << ':';
+  keyPending_ = true;
+  return *this;
+}
+
+Writer& Writer::value(const std::string& v) {
+  beforeValue();
+  out_ << quote(v);
+  return *this;
+}
+
+Writer& Writer::value(const char* v) { return value(std::string(v)); }
+
+Writer& Writer::value(double v) {
+  beforeValue();
+  if (!std::isfinite(v)) {
+    // JSON has no Infinity/NaN; null is the conventional substitute.
+    out_ << "null";
+    return *this;
+  }
+  char buf[32];
+  const auto [ptr, ec] =
+      std::to_chars(buf, buf + sizeof(buf), v, std::chars_format::general, 15);
+  if (ec != std::errc{}) {
+    throw StateError("json: cannot format number");
+  }
+  out_.write(buf, ptr - buf);
+  return *this;
+}
+
+Writer& Writer::value(std::int64_t v) {
+  beforeValue();
+  out_ << v;
+  return *this;
+}
+
+Writer& Writer::value(std::uint64_t v) {
+  beforeValue();
+  out_ << v;
+  return *this;
+}
+
+Writer& Writer::value(bool v) {
+  beforeValue();
+  out_ << (v ? "true" : "false");
+  return *this;
+}
+
+Writer& Writer::null() {
+  beforeValue();
+  out_ << "null";
+  return *this;
+}
+
+// --- Value -----------------------------------------------------------------
+
+bool Value::asBool() const {
+  if (kind_ != Kind::kBool) {
+    throw ParseError("json: value is not a bool");
+  }
+  return bool_;
+}
+
+double Value::asNumber() const {
+  if (kind_ != Kind::kNumber) {
+    throw ParseError("json: value is not a number");
+  }
+  return number_;
+}
+
+const std::string& Value::asString() const {
+  if (kind_ != Kind::kString) {
+    throw ParseError("json: value is not a string");
+  }
+  return string_;
+}
+
+const Value::Array& Value::asArray() const {
+  if (kind_ != Kind::kArray) {
+    throw ParseError("json: value is not an array");
+  }
+  return *array_;
+}
+
+const Value::Object& Value::asObject() const {
+  if (kind_ != Kind::kObject) {
+    throw ParseError("json: value is not an object");
+  }
+  return *object_;
+}
+
+const Value* Value::find(const std::string& name) const {
+  if (kind_ != Kind::kObject) {
+    return nullptr;
+  }
+  const auto it = object_->find(name);
+  return it == object_->end() ? nullptr : &it->second;
+}
+
+double Value::numberOr(const std::string& name, double fallback) const {
+  const Value* v = find(name);
+  return (v != nullptr && v->kind() == Kind::kNumber) ? v->asNumber()
+                                                      : fallback;
+}
+
+std::string Value::stringOr(const std::string& name,
+                            const std::string& fallback) const {
+  const Value* v = find(name);
+  return (v != nullptr && v->kind() == Kind::kString) ? v->asString()
+                                                      : fallback;
+}
+
+// --- parse -----------------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Value parseDocument() {
+    Value v = parseValue();
+    skipWs();
+    if (pos_ != text_.size()) {
+      fail("trailing characters after document");
+    }
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw ParseError("json at offset " + std::to_string(pos_) + ": " + why);
+  }
+
+  void skipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) {
+      fail("unexpected end of input");
+    }
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) {
+      fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+  }
+
+  bool consumeLiteral(const char* lit) {
+    const std::size_t n = std::char_traits<char>::length(lit);
+    if (text_.compare(pos_, n, lit) == 0) {
+      pos_ += n;
+      return true;
+    }
+    return false;
+  }
+
+  Value parseValue() {
+    skipWs();
+    const char c = peek();
+    switch (c) {
+      case '{': return parseObject();
+      case '[': return parseArray();
+      case '"': return Value(parseString());
+      case 't':
+        if (consumeLiteral("true")) {
+          return Value(true);
+        }
+        fail("bad literal");
+      case 'f':
+        if (consumeLiteral("false")) {
+          return Value(false);
+        }
+        fail("bad literal");
+      case 'n':
+        if (consumeLiteral("null")) {
+          return Value();
+        }
+        fail("bad literal");
+      default: return parseNumber();
+    }
+  }
+
+  Value parseObject() {
+    expect('{');
+    Value::Object members;
+    skipWs();
+    if (peek() == '}') {
+      ++pos_;
+      return Value(std::move(members));
+    }
+    while (true) {
+      skipWs();
+      std::string name = parseString();
+      skipWs();
+      expect(':');
+      members.insert_or_assign(std::move(name), parseValue());
+      skipWs();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return Value(std::move(members));
+    }
+  }
+
+  Value parseArray() {
+    expect('[');
+    Value::Array items;
+    skipWs();
+    if (peek() == ']') {
+      ++pos_;
+      return Value(std::move(items));
+    }
+    while (true) {
+      items.push_back(parseValue());
+      skipWs();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return Value(std::move(items));
+    }
+  }
+
+  std::string parseString() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) {
+        fail("unterminated string");
+      }
+      const char c = text_[pos_++];
+      if (c == '"') {
+        return out;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail("raw control character in string");
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        fail("unterminated escape");
+      }
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            fail("truncated \\u escape");
+          }
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4U;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              fail("bad \\u escape digit");
+            }
+          }
+          // We only ever emit \u00xx (control characters); decode the low
+          // byte and ignore the (never-emitted) high planes.
+          out.push_back(static_cast<char>(code & 0xFFU));
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  Value parseNumber() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    double out = 0.0;
+    const auto [ptr, ec] =
+        std::from_chars(text_.data() + start, text_.data() + pos_, out);
+    if (ec != std::errc{} || ptr != text_.data() + pos_ || pos_ == start) {
+      pos_ = start;
+      fail("bad number");
+    }
+    return Value(out);
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Value parse(const std::string& text) { return Parser(text).parseDocument(); }
+
+}  // namespace zerosum::json

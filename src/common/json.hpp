@@ -1,0 +1,128 @@
+// Minimal JSON support for the self-observability layer.
+//
+// Two halves, both deliberately small:
+//   * json::Writer — streaming emitter with correct string escaping, used
+//     by the Chrome trace_event exporter (trace/chrome_export) and the
+//     machine-readable bench result files (BENCH_*.json).
+//   * json::Value / json::parse — a strict recursive-descent reader for
+//     the documents this repository itself emits (trace files, bench
+//     results), so zerosum-post can summarize a trace without a external
+//     JSON dependency.  Full RFC 8259 grammar minus \u surrogate pairs
+//     (which we never emit; lone \uXXXX escapes are decoded as Latin-1).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace zerosum::json {
+
+/// Escapes and double-quotes `s` per JSON string rules.
+std::string quote(const std::string& s);
+
+/// Streaming JSON emitter.  The caller provides structure through
+/// beginObject/beginArray and key/value calls; the writer tracks comma
+/// placement.  Misuse (value without key inside an object, unbalanced
+/// end) throws StateError — emitting a malformed trace file silently
+/// would defeat the purpose of the exporter.
+class Writer {
+ public:
+  explicit Writer(std::ostream& out) : out_(out) {}
+
+  Writer& beginObject();
+  Writer& endObject();
+  Writer& beginArray();
+  Writer& endArray();
+
+  /// Emits the key of the next key/value pair (objects only).
+  Writer& key(const std::string& k);
+
+  Writer& value(const std::string& v);
+  Writer& value(const char* v);
+  Writer& value(double v);
+  Writer& value(std::int64_t v);
+  Writer& value(std::uint64_t v);
+  Writer& value(bool v);
+  Writer& null();
+
+  /// key() + value() in one call.
+  template <typename T>
+  Writer& field(const std::string& k, const T& v) {
+    key(k);
+    return value(v);
+  }
+
+  /// Depth of open containers (0 when the document is complete).
+  [[nodiscard]] int depth() const { return static_cast<int>(stack_.size()); }
+
+ private:
+  enum class Frame : std::uint8_t { kObject, kArray };
+  void beforeValue();
+
+  std::ostream& out_;
+  std::vector<Frame> stack_;
+  std::vector<bool> first_;
+  bool keyPending_ = false;
+};
+
+/// A parsed JSON document node.
+class Value {
+ public:
+  enum class Kind : std::uint8_t {
+    kNull,
+    kBool,
+    kNumber,
+    kString,
+    kArray,
+    kObject
+  };
+
+  using Array = std::vector<Value>;
+  using Object = std::map<std::string, Value>;
+
+  Value() = default;
+  explicit Value(bool b) : kind_(Kind::kBool), bool_(b) {}
+  explicit Value(double n) : kind_(Kind::kNumber), number_(n) {}
+  explicit Value(std::string s) : kind_(Kind::kString), string_(std::move(s)) {}
+  explicit Value(Array a)
+      : kind_(Kind::kArray), array_(std::make_shared<Array>(std::move(a))) {}
+  explicit Value(Object o)
+      : kind_(Kind::kObject), object_(std::make_shared<Object>(std::move(o))) {}
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool isNull() const { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool isObject() const { return kind_ == Kind::kObject; }
+  [[nodiscard]] bool isArray() const { return kind_ == Kind::kArray; }
+
+  /// Typed accessors; throw ParseError when the kind does not match.
+  [[nodiscard]] bool asBool() const;
+  [[nodiscard]] double asNumber() const;
+  [[nodiscard]] const std::string& asString() const;
+  [[nodiscard]] const Array& asArray() const;
+  [[nodiscard]] const Object& asObject() const;
+
+  /// Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const Value* find(const std::string& name) const;
+  /// Member `name` as a number/string with a fallback.
+  [[nodiscard]] double numberOr(const std::string& name,
+                                double fallback) const;
+  [[nodiscard]] std::string stringOr(const std::string& name,
+                                     const std::string& fallback) const;
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::shared_ptr<Array> array_;
+  std::shared_ptr<Object> object_;
+};
+
+/// Parses one JSON document; trailing non-whitespace, unterminated
+/// containers, or any grammar violation throws ParseError.
+Value parse(const std::string& text);
+
+}  // namespace zerosum::json

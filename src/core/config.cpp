@@ -45,6 +45,8 @@ Config Config::fromEnv() {
   if (cfg.retryBackoffPeriods < 1) {
     throw ConfigError("ZS_RETRY_BACKOFF_PERIODS must be >= 1");
   }
+  cfg.traceFile = env::getString("ZS_TRACE_FILE", cfg.traceFile);
+  cfg.trace = env::getBool("ZS_TRACE", cfg.trace) || !cfg.traceFile.empty();
   return cfg;
 }
 

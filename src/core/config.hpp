@@ -27,6 +27,12 @@
 //                        provider, e.g. "taskstat:enoent@3,meminfo:
 //                        truncate@5.." (default off; see procfs/faultfs.hpp)
 //   ZS_FAULT_SEED        seed for the injected garbage bodies (default 1)
+//   ZS_TRACE             record the monitor's own spans/counters with the
+//                        trace subsystem (default off; see trace/trace.hpp)
+//   ZS_TRACE_FILE        write a Chrome trace_event JSON at finalize;
+//                        setting this implies ZS_TRACE
+//   ZS_TRACE_RING        per-thread trace ring capacity in events
+//                        (default 8192, rounded up to a power of two)
 #pragma once
 
 #include <chrono>
@@ -53,6 +59,11 @@ struct Config {
   /// Initial quarantine retry interval, in sampling periods (doubles per
   /// failed retry, capped at kBackoffCapPeriods).
   int retryBackoffPeriods = 4;
+  /// Enable the self-instrumentation recorder (trace/trace.hpp) for this
+  /// session; also enabled implicitly when `traceFile` is non-empty.
+  bool trace = false;
+  /// Chrome trace_event JSON written by zerosum::finalize(); empty = none.
+  std::string traceFile;
   /// Jiffies per second of the monitored clock: USER_HZ for the live
   /// kernel, sim::kHz for the simulator.
   std::uint64_t jiffyHz = 100;

@@ -66,11 +66,12 @@ void CsvExporter::writeCommSeries(std::ostream& out,
 void CsvExporter::writeHealthSeries(std::ostream& out,
                                     const std::vector<HealthSample>& samples) {
   out << "time,samples_taken,samples_degraded,samples_dropped,loop_overruns,"
-         "subsystems_quarantined\n";
+         "subsystems_quarantined,quarantines,recoveries\n";
   for (const auto& s : samples) {
     out << strings::fixed(s.timeSeconds, 3) << ',' << s.samplesTaken << ','
         << s.samplesDegraded << ',' << s.samplesDropped << ','
-        << s.loopOverruns << ',' << s.subsystemsQuarantined << '\n';
+        << s.loopOverruns << ',' << s.subsystemsQuarantined << ','
+        << s.quarantines << ',' << s.recoveries << '\n';
   }
 }
 

@@ -38,7 +38,8 @@ class CsvExporter {
                               const mpisim::Recorder& recorder);
 
   /// time,samples_taken,samples_degraded,samples_dropped,loop_overruns,
-  /// subsystems_quarantined — the monitor's own health per sample.
+  /// subsystems_quarantined,quarantines,recoveries — the monitor's own
+  /// health per sample.
   static void writeHealthSeries(std::ostream& out,
                                 const std::vector<HealthSample>& samples);
 };

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hpp"
+#include "trace/trace.hpp"
 
 namespace zerosum::core {
 
@@ -11,6 +12,13 @@ SubsystemGuard::SubsystemGuard(std::string name, int maxConsecutiveErrors,
     : maxConsecutive_(std::max(1, maxConsecutiveErrors)),
       baseBackoff_(std::max(1, backoffPeriods)) {
   health_.name = std::move(name);
+  // Interned once here so the hot-path instant events in runOnce() can
+  // carry a per-subsystem name without allocating.
+  auto& recorder = trace::TraceRecorder::instance();
+  traceError_ = recorder.intern("zs.fault." + health_.name + ".error");
+  traceQuarantine_ =
+      recorder.intern("zs.fault." + health_.name + ".quarantine");
+  traceRecovery_ = recorder.intern("zs.fault." + health_.name + ".recovery");
 }
 
 bool SubsystemGuard::runOnce(const std::function<void()>& fn) {
@@ -35,6 +43,7 @@ bool SubsystemGuard::runOnce(const std::function<void()>& fn) {
     if (health_.quarantined) {
       health_.quarantined = false;
       ++health_.recoveries;
+      ZS_TRACE_INSTANT(traceRecovery_);
       log::info() << "subsystem " << health_.name
                   << " recovered after quarantine";
     }
@@ -45,6 +54,7 @@ bool SubsystemGuard::runOnce(const std::function<void()>& fn) {
 
   ++health_.errors;
   ++health_.consecutiveErrors;
+  ZS_TRACE_INSTANT(traceError_);
   if (health_.quarantined) {
     // A failed retry: back off harder.
     currentBackoff_ = std::min(currentBackoff_ * 2, kBackoffCapPeriods);
@@ -56,6 +66,7 @@ bool SubsystemGuard::runOnce(const std::function<void()>& fn) {
              static_cast<std::uint64_t>(maxConsecutive_)) {
     health_.quarantined = true;
     ++health_.quarantines;
+    ZS_TRACE_INSTANT(traceQuarantine_);
     currentBackoff_ = baseBackoff_;
     periodsUntilRetry_ = currentBackoff_;
     log::warn() << "subsystem " << health_.name << " quarantined after "

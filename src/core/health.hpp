@@ -59,6 +59,10 @@ class SubsystemGuard {
   int currentBackoff_ = 0;   // doubles per failed retry while quarantined
   int periodsUntilRetry_ = 0;
   SubsystemHealth health_;
+  // Interned trace-event names (stable storage; see trace/trace.hpp).
+  const char* traceError_ = nullptr;
+  const char* traceQuarantine_ = nullptr;
+  const char* traceRecovery_ = nullptr;
 };
 
 /// One row of the per-sample health time series.
@@ -69,6 +73,10 @@ struct HealthSample {
   std::uint64_t samplesDropped = 0;
   std::uint64_t loopOverruns = 0;
   int subsystemsQuarantined = 0;
+  /// Cumulative quarantine entries / exits summed over all subsystems, so
+  /// the time series shows *when* the degradation machinery fired.
+  std::uint64_t quarantines = 0;
+  std::uint64_t recoveries = 0;
 };
 
 /// Aggregate self-health of one MonitorSession.
@@ -85,6 +93,22 @@ struct MonitorHealth {
       count += s.quarantined ? 1 : 0;
     }
     return count;
+  }
+
+  [[nodiscard]] std::uint64_t totalQuarantines() const {
+    std::uint64_t total = 0;
+    for (const auto& s : subsystems) {
+      total += s.quarantines;
+    }
+    return total;
+  }
+
+  [[nodiscard]] std::uint64_t totalRecoveries() const {
+    std::uint64_t total = 0;
+    for (const auto& s : subsystems) {
+      total += s.recoveries;
+    }
+    return total;
   }
 };
 

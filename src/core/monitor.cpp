@@ -11,6 +11,7 @@
 #include "common/error.hpp"
 #include "common/logging.hpp"
 #include "openmp/ompt.hpp"
+#include "trace/trace.hpp"
 
 namespace zerosum::core {
 
@@ -30,6 +31,9 @@ MonitorSession::MonitorSession(Config config,
                      config.retryBackoffPeriods) {
   if (!fs_) {
     throw ConfigError("MonitorSession requires a ProcFs provider");
+  }
+  if (config_.trace || !config_.traceFile.empty()) {
+    trace::TraceRecorder::instance().enable();
   }
   if (identity_.pid == 0) {
     identity_.pid = fs_->selfPid();
@@ -84,19 +88,36 @@ void MonitorSession::setSampleCallback(
 }
 
 void MonitorSession::sampleOnce(double timeSeconds) {
+  ZS_TRACE_SCOPE("zs.sample");
   // Each subsystem samples inside its own error boundary: a bad /proc
   // read degrades that subsystem for this period (and may quarantine it),
-  // but the sample as a whole — and the application — carries on.
+  // but the sample as a whole — and the application — carries on.  The
+  // spans sit inside the guard lambdas, so a quarantined (skipped)
+  // subsystem contributes no trace time — exactly what the overhead
+  // attribution should see.
   bool degraded = false;
-  degraded |= !lwpGuard_.runOnce([&] { lwpTracker_->sample(timeSeconds); });
-  degraded |= !hwtGuard_.runOnce([&] { hwtTracker_->sample(timeSeconds); });
+  degraded |= !lwpGuard_.runOnce([&] {
+    ZS_TRACE_SCOPE("zs.sample.lwp");
+    lwpTracker_->sample(timeSeconds);
+  });
+  degraded |= !hwtGuard_.runOnce([&] {
+    ZS_TRACE_SCOPE("zs.sample.hwt");
+    hwtTracker_->sample(timeSeconds);
+  });
   if (config_.monitorMemory) {
-    degraded |= !memGuard_.runOnce([&] { memTracker_->sample(timeSeconds); });
+    degraded |= !memGuard_.runOnce([&] {
+      ZS_TRACE_SCOPE("zs.sample.memory");
+      memTracker_->sample(timeSeconds);
+    });
   }
   if (config_.monitorGpu) {
-    degraded |= !gpuGuard_.runOnce([&] { gpuTracker_->sample(timeSeconds); });
+    degraded |= !gpuGuard_.runOnce([&] {
+      ZS_TRACE_SCOPE("zs.sample.gpu");
+      gpuTracker_->sample(timeSeconds);
+    });
   }
   degraded |= !progressGuard_.runOnce([&] {
+    ZS_TRACE_SCOPE("zs.sample.progress");
     progress_->observe(timeSeconds, lwpTracker_->records(),
                        config_.heartbeatPeriods);
   });
@@ -105,15 +126,23 @@ void MonitorSession::sampleOnce(double timeSeconds) {
   if (degraded) {
     ++samplesDegraded_;
   }
+  const MonitorHealth currentHealth = health();
   HealthSample hs;
   hs.timeSeconds = timeSeconds;
   hs.samplesTaken = samplesTaken_;
   hs.samplesDegraded = samplesDegraded_;
   hs.samplesDropped = samplesDropped_;
   hs.loopOverruns = loopOverruns_;
-  hs.subsystemsQuarantined = health().quarantinedCount();
+  hs.subsystemsQuarantined = currentHealth.quarantinedCount();
+  hs.quarantines = currentHealth.totalQuarantines();
+  hs.recoveries = currentHealth.totalRecoveries();
   healthSeries_.push_back(hs);
+  ZS_TRACE_COUNTER("zs.samples_degraded",
+                   static_cast<double>(samplesDegraded_));
+  ZS_TRACE_COUNTER("zs.subsystems_quarantined",
+                   static_cast<double>(hs.subsystemsQuarantined));
   if (sampleCallback_) {
+    ZS_TRACE_SCOPE("zs.export.callback");
     try {
       sampleCallback_(*this, timeSeconds);
     } catch (const std::exception& e) {
@@ -243,6 +272,7 @@ std::vector<Finding> MonitorSession::analyze() const {
 }
 
 std::string MonitorSession::report() const {
+  ZS_TRACE_SCOPE("zs.report");
   ReportInput input;
   input.identity = identity_;
   input.durationSeconds = duration_;
@@ -258,10 +288,15 @@ std::string MonitorSession::report() const {
   input.findings = analyze();
   const MonitorHealth health = this->health();
   input.health = &health;
-  return Reporter::render(input);
+  std::string rendered = Reporter::render(input);
+  if (trace::TraceRecorder::instance().enabled()) {
+    rendered += trace::renderSelfProfile();
+  }
+  return rendered;
 }
 
 void MonitorSession::writeLog(std::ostream& out) const {
+  ZS_TRACE_SCOPE("zs.export.csv");
   out << report();
   if (!config_.csvExport) {
     return;

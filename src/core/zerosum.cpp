@@ -1,12 +1,17 @@
 #include "core/zerosum.hpp"
 
+#include <map>
 #include <mutex>
+#include <string>
 
 #include "common/env.hpp"
 #include "common/error.hpp"
 #include "common/logging.hpp"
 #include "core/signal_handler.hpp"
+#include "export/perfstubs.hpp"
 #include "procfs/faultfs.hpp"
+#include "trace/chrome_export.hpp"
+#include "trace/trace.hpp"
 
 namespace zerosum {
 
@@ -14,6 +19,59 @@ namespace {
 
 std::mutex gMutex;
 std::unique_ptr<core::MonitorSession> gSession;
+
+/// Final telemetry push at shutdown (paper §6): a registered ToolApi
+/// backend receives the run's identity as metadata plus the monitor's
+/// own health counters, and — when tracing is on — the aggregated
+/// self-instrumentation statistics.
+void flushFinalTelemetry(const core::MonitorSession& session) {
+  auto& api = exporter::ToolApi::instance();
+  const auto& id = session.identity();
+  api.metadata("rank", std::to_string(id.rank));
+  api.metadata("hostname", id.hostname);
+  api.metadata("pid", std::to_string(id.pid));
+  api.metadata("period_ms",
+               std::to_string(session.config().period.count()));
+  api.metadata("duration_s",
+               std::to_string(session.durationSeconds()));
+  const core::MonitorHealth health = session.health();
+  api.sampleCounter("zs.samples_taken",
+                    static_cast<double>(health.samplesTaken));
+  api.sampleCounter("zs.samples_degraded",
+                    static_cast<double>(health.samplesDegraded));
+  api.sampleCounter("zs.samples_dropped",
+                    static_cast<double>(health.samplesDropped));
+  api.sampleCounter("zs.loop_overruns",
+                    static_cast<double>(health.loopOverruns));
+  trace::flushToToolApi();
+}
+
+/// Writes the Chrome trace_event file when requested.  The path comes
+/// from the session's Config; the ZS_TRACE_FILE environment variable is
+/// the fallback for sessions built from a hand-rolled Config (quickstart
+/// style) rather than Config::fromEnv().
+void writeTraceFileIfRequested(const core::MonitorSession& session) {
+  std::string path = session.config().traceFile;
+  if (path.empty()) {
+    path = env::getString("ZS_TRACE_FILE", "");
+  }
+  if (path.empty() || !trace::TraceRecorder::instance().enabled()) {
+    return;
+  }
+  const auto& id = session.identity();
+  const std::map<std::string, std::string> metadata = {
+      {"rank", std::to_string(id.rank)},
+      {"hostname", id.hostname},
+      {"pid", std::to_string(id.pid)},
+  };
+  try {
+    const std::size_t events =
+        trace::writeChromeTraceFile(path, "zerosum", metadata);
+    log::info() << "wrote " << events << " trace events to " << path;
+  } catch (const Error& e) {
+    log::warn() << "could not write trace file: " << e.what();
+  }
+}
 
 }  // namespace
 
@@ -63,6 +121,8 @@ std::string finalize() {
   } catch (const Error& e) {
     log::warn() << "could not write log file: " << e.what();
   }
+  flushFinalTelemetry(*owned);
+  writeTraceFileIfRequested(*owned);
   return report;
 }
 

@@ -3,6 +3,7 @@
 #include "common/error.hpp"
 #include "export/perfstubs.hpp"
 #include "gpu/metrics.hpp"
+#include "trace/trace.hpp"
 
 namespace zerosum::exporter {
 
@@ -101,6 +102,7 @@ Batch SessionPublisher::makeBatch(const core::MonitorSession& session,
 
 void SessionPublisher::publish(const core::MonitorSession& session,
                                double timeSeconds) {
+  ZS_TRACE_SCOPE("zs.export.publish");
   const Batch batch = makeBatch(session, timeSeconds);
   stream_->publish(batch);
 
@@ -111,6 +113,7 @@ void SessionPublisher::publish(const core::MonitorSession& session,
   }
 
   if (staging_) {
+    ZS_TRACE_SCOPE("zs.export.staging");
     staging_->beginStep();
     // One variable per record name: a 1x2 row [time, value]; downstream
     // readers reassemble series across steps.

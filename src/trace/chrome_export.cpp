@@ -1,0 +1,82 @@
+#include "trace/chrome_export.hpp"
+
+#include <unistd.h>
+
+#include <fstream>
+
+#include "common/error.hpp"
+#include "common/json.hpp"
+
+namespace zerosum::trace {
+
+namespace {
+
+const char* phaseFor(EventKind kind) {
+  switch (kind) {
+    case EventKind::kSpan: return "X";
+    case EventKind::kInstant: return "i";
+    case EventKind::kCounter: return "C";
+  }
+  return "X";
+}
+
+}  // namespace
+
+void writeChromeTrace(std::ostream& out, const std::vector<Event>& events,
+                      const std::string& processName,
+                      const std::map<std::string, std::string>& metadata) {
+  const std::uint64_t pid = static_cast<std::uint64_t>(::getpid());
+  json::Writer w(out);
+  w.beginObject();
+  w.field("displayTimeUnit", "ms");
+  w.key("otherData").beginObject();
+  for (const auto& [k, v] : metadata) {
+    w.field(k, v);
+  }
+  w.endObject();
+  w.key("traceEvents").beginArray();
+  // A process_name metadata record labels the row in the viewer.
+  w.beginObject();
+  w.field("name", "process_name");
+  w.field("ph", "M");
+  w.field("pid", pid);
+  w.key("args").beginObject().field("name", processName).endObject();
+  w.endObject();
+  for (const Event& e : events) {
+    w.beginObject();
+    w.field("name", e.name != nullptr ? e.name : "?");
+    w.field("ph", phaseFor(e.kind));
+    // trace_event timestamps are microseconds (double precision is fine
+    // for the sub-hour runs this tool produces).
+    w.field("ts", static_cast<double>(e.startNanos) / 1000.0);
+    if (e.kind == EventKind::kSpan) {
+      w.field("dur", static_cast<double>(e.durationNanos) / 1000.0);
+    }
+    w.field("pid", pid);
+    w.field("tid", static_cast<std::int64_t>(e.tid));
+    if (e.kind == EventKind::kInstant) {
+      w.field("s", "t");  // thread-scoped instant
+    }
+    if (e.kind == EventKind::kCounter) {
+      w.key("args").beginObject().field("value", e.value).endObject();
+    }
+    w.endObject();
+  }
+  w.endArray();
+  w.endObject();
+}
+
+std::size_t writeChromeTraceFile(
+    const std::string& path, const std::string& processName,
+    const std::map<std::string, std::string>& metadata) {
+  const auto events = TraceRecorder::instance().snapshot();
+  std::ofstream out(path);
+  if (!out) {
+    throw StateError("cannot open trace file " + path);
+  }
+  writeChromeTrace(out, events, processName, metadata);
+  out << '\n';
+  return events.size();
+}
+
+}  // namespace zerosum::trace

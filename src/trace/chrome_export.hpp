@@ -1,0 +1,32 @@
+// Chrome trace_event JSON export (the "JSON Array with metadata" object
+// format): the recorder's event snapshot becomes a file loadable in
+// chrome://tracing or https://ui.perfetto.dev, giving the monitor's own
+// sampling loop the same flame-chart treatment the monitor gives the
+// application.  Span events use phase "X" (complete), instants "i",
+// counters "C"; timestamps are microseconds from the recorder epoch.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace zerosum::trace {
+
+/// Writes the trace_event document for `events`.  `processName` labels
+/// the process row in the viewer; `metadata` lands in "otherData"
+/// (rank, hostname, config — free-form).
+void writeChromeTrace(std::ostream& out, const std::vector<Event>& events,
+                      const std::string& processName,
+                      const std::map<std::string, std::string>& metadata);
+
+/// Snapshot + write to `path`; throws StateError when the file cannot be
+/// opened.  Returns the number of events written.
+std::size_t writeChromeTraceFile(
+    const std::string& path, const std::string& processName,
+    const std::map<std::string, std::string>& metadata);
+
+}  // namespace zerosum::trace

@@ -1,0 +1,80 @@
+#include "trace/metrics.hpp"
+
+#include "common/error.hpp"
+
+namespace zerosum::trace {
+
+MetricsRegistry& MetricsRegistry::instance() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+MetricsRegistry::Entry& MetricsRegistry::entry(const std::string& name,
+                                               MetricKind kind) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    Entry e;
+    e.kind = kind;
+    switch (kind) {
+      case MetricKind::kCounter:
+        e.counter = std::make_unique<Counter>();
+        break;
+      case MetricKind::kGauge:
+        e.gauge = std::make_unique<Gauge>();
+        break;
+      case MetricKind::kHistogram:
+        e.histogram = std::make_unique<Histogram>();
+        break;
+    }
+    it = entries_.emplace(name, std::move(e)).first;
+  } else if (it->second.kind != kind) {
+    throw StateError("metric '" + name +
+                     "' already registered with a different kind");
+  }
+  return it->second;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  return *entry(name, MetricKind::kCounter).counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  return *entry(name, MetricKind::kGauge).gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  return *entry(name, MetricKind::kHistogram).histogram;
+}
+
+std::vector<MetricSnapshot> MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<MetricSnapshot> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, e] : entries_) {
+    MetricSnapshot s;
+    s.name = name;
+    s.kind = e.kind;
+    switch (e.kind) {
+      case MetricKind::kCounter:
+        s.count = e.counter->value();
+        break;
+      case MetricKind::kGauge:
+        s.value = e.gauge->value();
+        break;
+      case MetricKind::kHistogram:
+        s.histogram = e.histogram->accumulator();
+        s.count = s.histogram.count();
+        break;
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+}
+
+}  // namespace zerosum::trace

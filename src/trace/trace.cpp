@@ -1,0 +1,290 @@
+#include "trace/trace.hpp"
+
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/env.hpp"
+#include "common/strings.hpp"
+#include "export/perfstubs.hpp"
+#include "trace/metrics.hpp"
+
+namespace zerosum::trace {
+
+namespace detail {
+
+ThreadRing::ThreadRing(int tid, std::size_t capacityPow2)
+    : tid_(tid), mask_(capacityPow2 - 1) {
+  slots_.resize(capacityPow2);  // the warm-up allocation; push() never grows
+}
+
+void ThreadRing::push(const Event& e) {
+  lock_.lock();
+  slots_[written_ & mask_] = e;
+  ++written_;
+  lock_.unlock();
+}
+
+std::vector<Event> ThreadRing::drainCopy() const {
+  lock_.lock();
+  std::vector<Event> out;
+  const std::uint64_t capacity = slots_.size();
+  const std::uint64_t live = std::min(written_, capacity);
+  out.reserve(live);
+  const std::uint64_t first = written_ - live;
+  for (std::uint64_t i = first; i < written_; ++i) {
+    out.push_back(slots_[i & mask_]);
+  }
+  lock_.unlock();
+  return out;
+}
+
+RingStats ThreadRing::stats() const {
+  lock_.lock();
+  RingStats s;
+  s.tid = tid_;
+  s.capacity = slots_.size();
+  s.recorded = written_;
+  s.overwritten = written_ > slots_.size() ? written_ - slots_.size() : 0;
+  lock_.unlock();
+  return s;
+}
+
+}  // namespace detail
+
+namespace {
+
+int currentKernelTid() {
+  return static_cast<int>(::syscall(SYS_gettid));
+}
+
+std::size_t roundUpPow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) {
+    p <<= 1U;
+  }
+  return p;
+}
+
+/// The ring of the calling thread, or nullptr before first registration.
+thread_local detail::ThreadRing* tRing = nullptr;
+/// Guards against a stale tRing after TraceRecorder::reset().
+thread_local std::uint64_t tRingGeneration = 0;
+std::atomic<std::uint64_t> gGeneration{1};
+
+}  // namespace
+
+TraceRecorder::TraceRecorder()
+    : epoch_(std::chrono::steady_clock::now()) {
+  // Self-configure from the environment: ZS_TRACE_FILE implies tracing.
+  const bool envTrace = env::getBool("ZS_TRACE", false);
+  const std::string envFile = env::getString("ZS_TRACE_FILE", "");
+  if (envTrace || !envFile.empty()) {
+    enabled_.store(true, std::memory_order_relaxed);
+  }
+  const auto ringEvents = env::getInt("ZS_TRACE_RING", 8192);
+  ringCapacity_ = roundUpPow2(static_cast<std::size_t>(
+      std::max<std::int64_t>(ringEvents, 16)));
+}
+
+TraceRecorder& TraceRecorder::instance() {
+  static TraceRecorder* recorder = new TraceRecorder();  // never destroyed:
+  return *recorder;  // worker threads may record during static teardown
+}
+
+std::uint64_t TraceRecorder::nowNanos() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+detail::ThreadRing& TraceRecorder::thisThreadRing() {
+  const std::uint64_t generation = gGeneration.load(std::memory_order_acquire);
+  if (tRing == nullptr || tRingGeneration != generation) {
+    std::lock_guard<std::mutex> lock(registryMutex_);
+    rings_.push_back(std::make_unique<detail::ThreadRing>(currentKernelTid(),
+                                                          ringCapacity_));
+    tRing = rings_.back().get();
+    tRingGeneration = generation;
+  }
+  return *tRing;
+}
+
+void TraceRecorder::completeSpan(const char* name, std::uint64_t startNanos,
+                                 std::uint64_t durationNanos) {
+  auto& ring = thisThreadRing();
+  Event e;
+  e.name = name;
+  e.startNanos = startNanos;
+  e.durationNanos = durationNanos;
+  e.tid = ring.tid();
+  e.seq = ring.nextSeq();
+  e.kind = EventKind::kSpan;
+  ring.push(e);
+  // Aggregate stats survive ring wrap; resolving the histogram by name
+  // costs one map lookup per span — fine at once-per-period rates.
+  MetricsRegistry::instance()
+      .histogram(name)
+      .observe(static_cast<double>(durationNanos) / 1000.0);  // microseconds
+}
+
+void TraceRecorder::instant(const char* name) {
+  auto& ring = thisThreadRing();
+  Event e;
+  e.name = name;
+  e.startNanos = nowNanos();
+  e.tid = ring.tid();
+  e.seq = ring.nextSeq();
+  e.kind = EventKind::kInstant;
+  ring.push(e);
+}
+
+void TraceRecorder::counter(const char* name, double value) {
+  auto& ring = thisThreadRing();
+  Event e;
+  e.name = name;
+  e.startNanos = nowNanos();
+  e.value = value;
+  e.tid = ring.tid();
+  e.seq = ring.nextSeq();
+  e.kind = EventKind::kCounter;
+  ring.push(e);
+}
+
+const char* TraceRecorder::intern(const std::string& name) {
+  std::lock_guard<std::mutex> lock(registryMutex_);
+  for (const auto& existing : internedNames_) {
+    if (*existing == name) {
+      return existing->c_str();
+    }
+  }
+  internedNames_.push_back(std::make_unique<std::string>(name));
+  return internedNames_.back()->c_str();
+}
+
+std::vector<Event> TraceRecorder::snapshot() const {
+  std::vector<Event> out;
+  {
+    std::lock_guard<std::mutex> lock(registryMutex_);
+    for (const auto& ring : rings_) {
+      const auto events = ring->drainCopy();
+      out.insert(out.end(), events.begin(), events.end());
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const Event& a, const Event& b) {
+    if (a.startNanos != b.startNanos) {
+      return a.startNanos < b.startNanos;
+    }
+    if (a.tid != b.tid) {
+      return a.tid < b.tid;
+    }
+    return a.seq < b.seq;
+  });
+  return out;
+}
+
+std::vector<RingStats> TraceRecorder::ringStats() const {
+  std::lock_guard<std::mutex> lock(registryMutex_);
+  std::vector<RingStats> out;
+  out.reserve(rings_.size());
+  for (const auto& ring : rings_) {
+    out.push_back(ring->stats());
+  }
+  return out;
+}
+
+RingStats TraceRecorder::thisThreadRingStats() {
+  return thisThreadRing().stats();
+}
+
+void TraceRecorder::reset() {
+  std::lock_guard<std::mutex> lock(registryMutex_);
+  rings_.clear();
+  internedNames_.clear();
+  // Invalidate every thread's cached ring pointer.
+  gGeneration.fetch_add(1, std::memory_order_acq_rel);
+}
+
+std::string renderSelfProfile() {
+  const auto metrics = MetricsRegistry::instance().snapshot();
+  std::vector<const MetricSnapshot*> spans;
+  for (const auto& m : metrics) {
+    if (m.kind == MetricKind::kHistogram && m.count > 0) {
+      spans.push_back(&m);
+    }
+  }
+  if (spans.empty()) {
+    return {};
+  }
+  std::ostringstream out;
+  out << "Monitor self-profile (span durations, microseconds):\n";
+  out << strings::padRight("span", 28) << strings::padLeft("count", 8)
+      << strings::padLeft("total ms", 12) << strings::padLeft("mean us", 10)
+      << strings::padLeft("max us", 10) << strings::padLeft("stddev", 10)
+      << '\n';
+  for (const MetricSnapshot* m : spans) {
+    const auto& h = m->histogram;
+    out << strings::padRight(m->name, 28)
+        << strings::padLeft(std::to_string(h.count()), 8)
+        << strings::padLeft(strings::fixed(h.sum() / 1000.0, 3), 12)
+        << strings::padLeft(strings::fixed(h.mean(), 1), 10)
+        << strings::padLeft(strings::fixed(h.max(), 1), 10)
+        << strings::padLeft(strings::fixed(h.stddev(), 1), 10) << '\n';
+  }
+  const auto rings = TraceRecorder::instance().ringStats();
+  std::uint64_t recorded = 0;
+  std::uint64_t overwritten = 0;
+  for (const auto& r : rings) {
+    recorded += r.recorded;
+    overwritten += r.overwritten;
+  }
+  out << "Trace rings: " << rings.size() << " thread(s), " << recorded
+      << " event(s) recorded, " << overwritten << " overwritten (capacity "
+      << TraceRecorder::instance().ringCapacity() << "/thread)\n";
+  return out.str();
+}
+
+void flushToToolApi() {
+  auto& api = exporter::ToolApi::instance();
+  if (!api.active()) {
+    return;
+  }
+  for (const auto& m : MetricsRegistry::instance().snapshot()) {
+    switch (m.kind) {
+      case MetricKind::kCounter:
+        api.sampleCounter("zs.trace." + m.name,
+                          static_cast<double>(m.count));
+        break;
+      case MetricKind::kGauge:
+        api.sampleCounter("zs.trace." + m.name, m.value);
+        break;
+      case MetricKind::kHistogram:
+        if (m.count > 0) {
+          api.sampleCounter("zs.trace." + m.name + ".count",
+                            static_cast<double>(m.count));
+          api.sampleCounter("zs.trace." + m.name + ".total_us",
+                            m.histogram.sum());
+          api.sampleCounter("zs.trace." + m.name + ".mean_us",
+                            m.histogram.mean());
+          api.sampleCounter("zs.trace." + m.name + ".max_us",
+                            m.histogram.max());
+        }
+        break;
+    }
+  }
+  std::uint64_t recorded = 0;
+  std::uint64_t overwritten = 0;
+  for (const auto& r : TraceRecorder::instance().ringStats()) {
+    recorded += r.recorded;
+    overwritten += r.overwritten;
+  }
+  api.sampleCounter("zs.trace.events_recorded",
+                    static_cast<double>(recorded));
+  api.sampleCounter("zs.trace.events_overwritten",
+                    static_cast<double>(overwritten));
+}
+
+}  // namespace zerosum::trace

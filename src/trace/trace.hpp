@@ -1,0 +1,235 @@
+// zerosum::trace — the monitor's self-instrumentation layer.
+//
+// The paper's headline operational claim is < 0.5 % monitoring overhead
+// (Figure 8); this subsystem records *where inside the monitor* that time
+// goes, so the claim can be attributed per sampling subsystem instead of
+// only being measured from the outside.  Design constraints, in order:
+//
+//   1. Do no harm: recording an event on the monitor thread's hot path
+//      must be O(1), lock-light, and allocation-free after warm-up.  Each
+//      thread writes into its own fixed-capacity ring buffer guarded by a
+//      spinlock that is only ever contended by an end-of-run snapshot;
+//      when the ring wraps, the oldest events are overwritten (and
+//      counted) rather than the buffer growing.
+//   2. Zero cost when off: every recording site checks one relaxed atomic
+//      load; with -DZEROSUM_TRACING=OFF the ZS_TRACE_* macros compile to
+//      nothing at all.
+//   3. Everything visible: spans carry per-thread sequence numbers, and
+//      the recorder exports to Chrome trace_event JSON (chrome://tracing,
+//      Perfetto), to the "Monitor self-profile" report section (via the
+//      metrics registry in trace/metrics.hpp), and to a registered
+//      exporter::ToolApi backend.
+//
+// Runtime configuration (see also core/config.hpp):
+//   ZS_TRACE        enable the recorder (default off)
+//   ZS_TRACE_FILE   Chrome trace output path; implies ZS_TRACE
+//   ZS_TRACE_RING   per-thread ring capacity in events (default 8192,
+//                   rounded up to a power of two)
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace zerosum::trace {
+
+enum class EventKind : std::uint8_t {
+  kSpan,     ///< a completed duration (Chrome "X")
+  kInstant,  ///< a point event (Chrome "i")
+  kCounter,  ///< a sampled value (Chrome "C")
+};
+
+/// One recorded event.  `name` must have static storage duration (string
+/// literals, or strings interned via TraceRecorder::intern) — the hot
+/// path stores the pointer, never a copy.
+struct Event {
+  const char* name = nullptr;
+  std::uint64_t startNanos = 0;  ///< relative to the recorder epoch
+  std::uint64_t durationNanos = 0;
+  double value = 0.0;  ///< counter events only
+  int tid = 0;
+  std::uint64_t seq = 0;  ///< per-thread sequence number
+  EventKind kind = EventKind::kSpan;
+};
+
+/// Occupancy counters of one thread's ring.
+struct RingStats {
+  int tid = 0;
+  std::size_t capacity = 0;
+  std::uint64_t recorded = 0;     ///< events ever written by this thread
+  std::uint64_t overwritten = 0;  ///< oldest events lost to ring wrap
+};
+
+namespace detail {
+
+/// Test-and-set spinlock: one uncontended atomic exchange per event, and
+/// the only writer is the owning thread — a snapshot is the sole source
+/// of contention.
+class SpinLock {
+ public:
+  void lock() {
+    while (flag_.test_and_set(std::memory_order_acquire)) {
+    }
+  }
+  void unlock() { flag_.clear(std::memory_order_release); }
+
+ private:
+  std::atomic_flag flag_ = ATOMIC_FLAG_INIT;
+};
+
+/// Fixed-capacity per-thread event ring.  All storage is allocated in the
+/// constructor (the "warm-up"); push() never allocates.
+class ThreadRing {
+ public:
+  ThreadRing(int tid, std::size_t capacityPow2);
+
+  void push(const Event& e);
+
+  /// Events in record order (oldest surviving first).  Takes the ring
+  /// lock; meant for end-of-run snapshots and tests.
+  [[nodiscard]] std::vector<Event> drainCopy() const;
+  [[nodiscard]] RingStats stats() const;
+  [[nodiscard]] int tid() const { return tid_; }
+
+  /// Next per-thread sequence number (owner thread only).
+  std::uint64_t nextSeq() { return seq_++; }
+
+ private:
+  int tid_;
+  std::size_t mask_;
+  std::vector<Event> slots_;
+  std::uint64_t written_ = 0;
+  std::uint64_t seq_ = 0;
+  mutable SpinLock lock_;
+};
+
+}  // namespace detail
+
+/// Process-global event recorder.
+class TraceRecorder {
+ public:
+  /// The singleton self-configures from ZS_TRACE / ZS_TRACE_FILE /
+  /// ZS_TRACE_RING on first access.
+  static TraceRecorder& instance();
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  [[nodiscard]] bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  void enable() { enabled_.store(true, std::memory_order_relaxed); }
+  void disable() { enabled_.store(false, std::memory_order_relaxed); }
+
+  /// Nanoseconds since the recorder epoch (steady clock).
+  [[nodiscard]] std::uint64_t nowNanos() const;
+
+  /// Records a completed span [startNanos, startNanos + durationNanos).
+  /// Also feeds the span-duration histogram in the metrics registry, so
+  /// full-run statistics survive ring wrap.
+  void completeSpan(const char* name, std::uint64_t startNanos,
+                    std::uint64_t durationNanos);
+  void instant(const char* name);
+  void counter(const char* name, double value);
+
+  /// Copies a name with non-static lifetime into storage that lives as
+  /// long as the recorder; the returned pointer is usable as Event::name.
+  /// Interning allocates — call it at setup time, not on the hot path.
+  const char* intern(const std::string& name);
+
+  /// All threads' surviving events merged and sorted by start time.
+  [[nodiscard]] std::vector<Event> snapshot() const;
+  /// Ring occupancy for every thread that has recorded.
+  [[nodiscard]] std::vector<RingStats> ringStats() const;
+  /// This thread's ring stats (creates the ring if needed).
+  [[nodiscard]] RingStats thisThreadRingStats();
+
+  /// Per-thread ring capacity (events), set once at construction.
+  [[nodiscard]] std::size_t ringCapacity() const { return ringCapacity_; }
+
+  /// Drops all recorded events and interned names; rings stay allocated.
+  /// Test hook — not thread-safe against concurrent recording.
+  void reset();
+
+ private:
+  TraceRecorder();
+  detail::ThreadRing& thisThreadRing();
+
+  std::atomic<bool> enabled_{false};
+  std::chrono::steady_clock::time_point epoch_;
+  std::size_t ringCapacity_;
+
+  mutable std::mutex registryMutex_;
+  std::vector<std::unique_ptr<detail::ThreadRing>> rings_;
+  std::vector<std::unique_ptr<std::string>> internedNames_;
+};
+
+/// RAII span against the global recorder.  Captures the start time only
+/// when the recorder is enabled at construction.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name) {
+    auto& rec = TraceRecorder::instance();
+    if (rec.enabled()) {
+      name_ = name;
+      startNanos_ = rec.nowNanos();
+    }
+  }
+  ~ScopedSpan() {
+    if (name_ != nullptr) {
+      auto& rec = TraceRecorder::instance();
+      rec.completeSpan(name_, startNanos_,
+                       rec.nowNanos() - startNanos_);
+    }
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  std::uint64_t startNanos_ = 0;
+};
+
+/// Renders the "Monitor self-profile" report section from the span
+/// histograms accumulated in the metrics registry; empty string when
+/// nothing was recorded.
+std::string renderSelfProfile();
+
+/// Pushes the trace's aggregate view into a registered exporter::ToolApi
+/// backend: one counter per metrics-registry entry (count/total/mean for
+/// histograms) and the per-thread ring occupancy.  No-op when no backend
+/// is attached.
+void flushToToolApi();
+
+}  // namespace zerosum::trace
+
+// --- Macros ----------------------------------------------------------------
+// Compiled out entirely when the build sets ZEROSUM_TRACING=OFF.
+#if defined(ZEROSUM_TRACING_DISABLED)
+#define ZS_TRACE_SCOPE(name) ((void)0)
+#define ZS_TRACE_INSTANT(name) ((void)0)
+#define ZS_TRACE_COUNTER(name, value) ((void)0)
+#else
+#define ZS_TRACE_CONCAT_IMPL(a, b) a##b
+#define ZS_TRACE_CONCAT(a, b) ZS_TRACE_CONCAT_IMPL(a, b)
+#define ZS_TRACE_SCOPE(name) \
+  ::zerosum::trace::ScopedSpan ZS_TRACE_CONCAT(zsTraceSpan_, __LINE__)(name)
+#define ZS_TRACE_INSTANT(name)                                  \
+  do {                                                          \
+    auto& zsTraceRec = ::zerosum::trace::TraceRecorder::instance(); \
+    if (zsTraceRec.enabled()) {                                 \
+      zsTraceRec.instant(name);                                 \
+    }                                                           \
+  } while (0)
+#define ZS_TRACE_COUNTER(name, value)                           \
+  do {                                                          \
+    auto& zsTraceRec = ::zerosum::trace::TraceRecorder::instance(); \
+    if (zsTraceRec.enabled()) {                                 \
+      zsTraceRec.counter(name, value);                          \
+    }                                                           \
+  } while (0)
+#endif

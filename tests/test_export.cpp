@@ -10,6 +10,7 @@
 #include "export/publisher.hpp"
 #include "export/staging.hpp"
 #include "export/stream.hpp"
+#include "core/zerosum.hpp"
 #include "procfs/simfs.hpp"
 #include "sim/workload.hpp"
 
@@ -342,6 +343,52 @@ TEST_F(PublisherTest, StagingStepsMirrorPeriods) {
   // The rank is busy: utime deltas are substantial each period.
   for (double v : series) {
     EXPECT_GT(v, 10.0);
+  }
+}
+
+TEST(Finalize, FlushesIdentityAndHealthToToolApi) {
+  // A registered backend must receive the final metadata dump and health
+  // counters when the facade shuts the session down (paper §6: the tool
+  // API is how AMD uProf / Score-P-style consumers see ZeroSum data).
+  auto backend = std::make_shared<RecordingBackend>();
+  ToolApi::instance().registerBackend(backend);
+
+  core::Config cfg;
+  cfg.period = std::chrono::milliseconds(50);
+  cfg.signalHandler = false;
+  cfg.csvExport = false;
+  cfg.monitorGpu = false;
+  cfg.logPrefix =
+      (std::filesystem::temp_directory_path() / "zs_finalize_test").string();
+  core::ProcessIdentity identity;
+  identity.rank = 7;
+  identity.hostname = "flushhost";
+  zerosum::initialize(cfg, identity);
+  const std::string report = zerosum::finalize();
+  ToolApi::instance().deregisterBackend();
+  EXPECT_FALSE(report.empty());
+  EXPECT_FALSE(zerosum::initialized());
+
+  const auto metadata = backend->metadataMap();
+  EXPECT_EQ(metadata.at("rank"), "7");
+  EXPECT_EQ(metadata.at("hostname"), "flushhost");
+  EXPECT_EQ(metadata.count("pid"), 1u);
+  EXPECT_EQ(metadata.at("period_ms"), "50");
+
+  const auto counters = backend->counters();
+  ASSERT_EQ(counters.count("zs.samples_taken"), 1u);
+  // stop() always takes a final sample, so at least one was recorded.
+  EXPECT_GE(counters.at("zs.samples_taken").back(), 1.0);
+  EXPECT_EQ(counters.count("zs.samples_dropped"), 1u);
+  EXPECT_EQ(counters.count("zs.loop_overruns"), 1u);
+
+  // Clean up the log file finalize wrote under the temp prefix.
+  for (const auto& entry : std::filesystem::directory_iterator(
+           std::filesystem::temp_directory_path())) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("zs_finalize_test.", 0) == 0) {
+      std::filesystem::remove(entry.path());
+    }
   }
 }
 

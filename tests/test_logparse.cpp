@@ -6,6 +6,7 @@
 
 #include "common/error.hpp"
 #include "core/monitor.hpp"
+#include "procfs/faultfs.hpp"
 #include "procfs/simfs.hpp"
 #include "sim/workload.hpp"
 
@@ -136,6 +137,66 @@ TEST(LogParse, RoundTripsRealSessionLog) {
   EXPECT_EQ(comm.rowCount(), 1u);
   EXPECT_EQ(comm.column("peer")[0], "6");
   EXPECT_EQ(comm.column("bytes")[0], "4096");
+}
+
+TEST(LogParse, HealthSeriesRoundTripsQuarantineAndRecoveryCounters) {
+  // The monitor-health CSV must survive the full write-then-parse cycle,
+  // including the quarantine/recovery columns: memory reads fail for
+  // samples 2-4, quarantining the subsystem, then succeed again so it
+  // recovers inside the run.
+  sim::SimNode node(CpuSet::fromList("0-1"), 2ULL << 30);
+  const sim::Pid pid = node.spawnProcess("app", CpuSet::fromList("0"));
+  sim::Behavior b;
+  b.iterations = 20;
+  b.iterWorkJiffies = 50;
+  node.spawnTask(pid, "app", LwpType::kMain, b);
+
+  core::Config cfg;
+  cfg.jiffyHz = sim::kHz;
+  cfg.signalHandler = false;
+  cfg.monitorGpu = false;
+  cfg.maxConsecutiveErrors = 2;
+  cfg.retryBackoffPeriods = 1;
+  core::ProcessIdentity identity;
+  identity.rank = 0;
+  identity.pid = pid;
+  identity.hostname = "simnode";
+  auto fs = std::make_unique<procfs::FaultInjectingProcFs>(
+      procfs::makeSimProcFs(node, pid),
+      procfs::parseFaultSpec("meminfo:enoent@2..4"));
+  core::MonitorSession session(cfg, std::move(fs), identity);
+  for (int t = 1; t <= 8; ++t) {
+    node.advance(sim::kHz);
+    session.sampleNow(t);
+  }
+  const core::MonitorHealth health = session.health();
+  ASSERT_GE(health.totalQuarantines(), 1u);
+  ASSERT_GE(health.totalRecoveries(), 1u);
+
+  std::ostringstream logStream;
+  session.writeLog(logStream);
+  const ParsedLog log = parseLogText(logStream.str());
+  ASSERT_TRUE(log.hasSection("monitor health"));
+  const Table& table = log.section("monitor health");
+  EXPECT_EQ(table.rowCount(), 8u);
+
+  // The final row carries the cumulative counters the session reports.
+  const auto quarantines = table.numericColumn("quarantines");
+  const auto recoveries = table.numericColumn("recoveries");
+  ASSERT_EQ(quarantines.size(), 8u);
+  EXPECT_DOUBLE_EQ(quarantines.back(),
+                   static_cast<double>(health.totalQuarantines()));
+  EXPECT_DOUBLE_EQ(recoveries.back(),
+                   static_cast<double>(health.totalRecoveries()));
+  // Counters are cumulative: monotonically non-decreasing over time, and
+  // the quarantine fires before the recovery.
+  for (std::size_t i = 1; i < quarantines.size(); ++i) {
+    EXPECT_GE(quarantines[i], quarantines[i - 1]);
+    EXPECT_GE(recoveries[i], recoveries[i - 1]);
+  }
+  EXPECT_DOUBLE_EQ(quarantines.front(), 0.0);
+  const auto degraded = table.numericColumn("samples_degraded");
+  EXPECT_GT(degraded.back(), 0.0);
 }
 
 }  // namespace

@@ -1,0 +1,472 @@
+// The self-observability layer: ring-buffer recorder, metrics registry,
+// Chrome trace export, overhead attribution, and the JSON support they
+// ride on.  The monitor-integration tests at the bottom assert the
+// acceptance shape: a traced sampling session produces spans for all five
+// sampling subsystems.
+#include "trace/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "analysis/selfprofile.hpp"
+#include "common/error.hpp"
+#include "common/json.hpp"
+#include "core/monitor.hpp"
+#include "gpu/simulated.hpp"
+#include "procfs/faultfs.hpp"
+#include "procfs/simfs.hpp"
+#include "sim/workload.hpp"
+#include "trace/chrome_export.hpp"
+#include "trace/metrics.hpp"
+
+namespace zerosum {
+namespace {
+
+/// Every test starts from a clean recorder + registry; the singletons are
+/// process-global, so isolation is explicit.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    trace::TraceRecorder::instance().reset();
+    trace::MetricsRegistry::instance().reset();
+    trace::TraceRecorder::instance().enable();
+  }
+  void TearDown() override {
+    trace::TraceRecorder::instance().disable();
+    trace::TraceRecorder::instance().reset();
+    trace::MetricsRegistry::instance().reset();
+  }
+};
+
+// --- ThreadRing: the hot-path allocation contract ------------------------
+
+TEST(ThreadRing, NeverGrowsAfterConstruction) {
+  trace::detail::ThreadRing ring(42, 16);
+  trace::Event e;
+  e.name = "x";
+  e.kind = trace::EventKind::kInstant;
+  // 3x capacity: the ring must wrap (counting the overwrites), never grow.
+  for (int i = 0; i < 48; ++i) {
+    e.seq = ring.nextSeq();
+    e.startNanos = static_cast<std::uint64_t>(i);
+    ring.push(e);
+  }
+  const trace::RingStats stats = ring.stats();
+  EXPECT_EQ(stats.tid, 42);
+  EXPECT_EQ(stats.capacity, 16u);
+  EXPECT_EQ(stats.recorded, 48u);
+  EXPECT_EQ(stats.overwritten, 32u);
+  const auto events = ring.drainCopy();
+  ASSERT_EQ(events.size(), 16u);
+  // Oldest surviving first: events 32..47.
+  EXPECT_EQ(events.front().startNanos, 32u);
+  EXPECT_EQ(events.back().startNanos, 47u);
+}
+
+TEST_F(TraceTest, RecorderRingStaysAtWarmupCapacityUnderWrap) {
+  auto& rec = trace::TraceRecorder::instance();
+  const std::size_t capacity = rec.ringCapacity();
+  // First event allocates this thread's ring (the warm-up)...
+  rec.instant("warmup");
+  const trace::RingStats warm = rec.thisThreadRingStats();
+  EXPECT_EQ(warm.capacity, capacity);
+  // ...after which pushing far past capacity must not change it.
+  for (std::size_t i = 0; i < 3 * capacity; ++i) {
+    rec.instant("flood");
+  }
+  const trace::RingStats after = rec.thisThreadRingStats();
+  EXPECT_EQ(after.capacity, capacity);
+  EXPECT_EQ(after.recorded, 3 * capacity + 1);
+  EXPECT_EQ(after.overwritten, 2 * capacity + 1);
+  EXPECT_EQ(rec.snapshot().size(), capacity);
+}
+
+// --- Recorder semantics ---------------------------------------------------
+
+TEST_F(TraceTest, DisabledRecorderRecordsNothing) {
+  auto& rec = trace::TraceRecorder::instance();
+  rec.disable();
+  { ZS_TRACE_SCOPE("zs.test.span"); }
+  ZS_TRACE_INSTANT("zs.test.instant");
+  ZS_TRACE_COUNTER("zs.test.counter", 1.0);
+  EXPECT_TRUE(rec.snapshot().empty());
+  rec.enable();
+  { ZS_TRACE_SCOPE("zs.test.span"); }
+  EXPECT_EQ(rec.snapshot().size(), 1u);
+}
+
+TEST_F(TraceTest, ScopedSpanRecordsNameKindAndFeedsHistogram) {
+  { ZS_TRACE_SCOPE("zs.test.work"); }
+  const auto events = trace::TraceRecorder::instance().snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].name, "zs.test.work");
+  EXPECT_EQ(events[0].kind, trace::EventKind::kSpan);
+  // The span also lands in the registry, so full-run statistics survive
+  // ring wrap.
+  const auto acc =
+      trace::MetricsRegistry::instance().histogram("zs.test.work")
+          .accumulator();
+  EXPECT_EQ(acc.count(), 1u);
+}
+
+TEST_F(TraceTest, CounterEventCarriesValue) {
+  ZS_TRACE_COUNTER("zs.test.gauge", 7.5);
+  const auto events = trace::TraceRecorder::instance().snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, trace::EventKind::kCounter);
+  EXPECT_DOUBLE_EQ(events[0].value, 7.5);
+}
+
+TEST_F(TraceTest, MultipleThreadsRecordIntoSeparateRings) {
+  auto& rec = trace::TraceRecorder::instance();
+  constexpr int kThreads = 4;
+  constexpr int kEventsPerThread = 32;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&rec] {
+      for (int i = 0; i < kEventsPerThread; ++i) {
+        rec.instant("zs.test.mt");
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  const auto events = rec.snapshot();
+  EXPECT_EQ(events.size(),
+            static_cast<std::size_t>(kThreads * kEventsPerThread));
+  std::set<int> tids;
+  for (const auto& e : events) {
+    tids.insert(e.tid);
+  }
+  EXPECT_EQ(tids.size(), static_cast<std::size_t>(kThreads));
+  // Snapshot is globally sorted by start time.
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LE(events[i - 1].startNanos, events[i].startNanos);
+  }
+}
+
+TEST_F(TraceTest, InternedNamesAreStableAndReusable) {
+  auto& rec = trace::TraceRecorder::instance();
+  const std::string dynamic = "zs.test." + std::to_string(123);
+  const char* name = rec.intern(dynamic);
+  rec.instant(name);
+  const auto events = rec.snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].name, "zs.test.123");
+}
+
+// --- Metrics registry -----------------------------------------------------
+
+TEST_F(TraceTest, RegistryCountsGaugesAndHistograms) {
+  auto& reg = trace::MetricsRegistry::instance();
+  reg.counter("c").add();
+  reg.counter("c").add(4);
+  reg.gauge("g").set(2.5);
+  reg.histogram("h").observe(1.0);
+  reg.histogram("h").observe(3.0);
+
+  const auto snap = reg.snapshot();
+  ASSERT_EQ(snap.size(), 3u);  // sorted by name: c, g, h
+  EXPECT_EQ(snap[0].name, "c");
+  EXPECT_EQ(snap[0].kind, trace::MetricKind::kCounter);
+  EXPECT_EQ(snap[0].count, 5u);
+  EXPECT_EQ(snap[1].name, "g");
+  EXPECT_DOUBLE_EQ(snap[1].value, 2.5);
+  EXPECT_EQ(snap[2].name, "h");
+  EXPECT_EQ(snap[2].histogram.count(), 2u);
+  EXPECT_DOUBLE_EQ(snap[2].histogram.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(snap[2].histogram.max(), 3.0);
+}
+
+TEST_F(TraceTest, RegistryKindMismatchThrows) {
+  auto& reg = trace::MetricsRegistry::instance();
+  reg.counter("zs.test.metric");
+  EXPECT_THROW(reg.gauge("zs.test.metric"), StateError);
+  EXPECT_THROW(reg.histogram("zs.test.metric"), StateError);
+}
+
+TEST_F(TraceTest, HandlesHaveStableAddresses) {
+  auto& reg = trace::MetricsRegistry::instance();
+  trace::Counter* first = &reg.counter("stable");
+  for (int i = 0; i < 100; ++i) {
+    reg.counter("filler." + std::to_string(i));
+  }
+  EXPECT_EQ(&reg.counter("stable"), first);
+}
+
+TEST_F(TraceTest, SelfProfileSectionRendersSpanStatistics) {
+  { ZS_TRACE_SCOPE("zs.test.section"); }
+  const std::string section = trace::renderSelfProfile();
+  EXPECT_NE(section.find("Monitor self-profile"), std::string::npos);
+  EXPECT_NE(section.find("zs.test.section"), std::string::npos);
+}
+
+// --- Chrome trace export --------------------------------------------------
+
+TEST_F(TraceTest, ChromeExportIsValidJsonWithAllEventPhases) {
+  auto& rec = trace::TraceRecorder::instance();
+  { ZS_TRACE_SCOPE("zs.test.span"); }
+  rec.instant("zs.test.instant");
+  rec.counter("zs.test.counter", 42.0);
+
+  std::ostringstream out;
+  trace::writeChromeTrace(out, rec.snapshot(), "unit-test",
+                          {{"rank", "0"}, {"hostname", "testhost"}});
+  const json::Value doc = json::parse(out.str());  // throws if malformed
+  const json::Value* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  // process_name metadata record + the three events.
+  ASSERT_EQ(events->asArray().size(), 4u);
+  std::set<std::string> phases;
+  std::set<std::string> names;
+  for (const auto& e : events->asArray()) {
+    phases.insert(e.stringOr("ph", ""));
+    names.insert(e.stringOr("name", ""));
+  }
+  EXPECT_EQ(phases, (std::set<std::string>{"M", "X", "i", "C"}));
+  EXPECT_TRUE(names.count("zs.test.span"));
+  const json::Value* other = doc.find("otherData");
+  ASSERT_NE(other, nullptr);
+  EXPECT_EQ(other->stringOr("hostname", ""), "testhost");
+}
+
+TEST_F(TraceTest, ChromeExportFileRoundTrip) {
+  { ZS_TRACE_SCOPE("zs.test.file"); }
+  const std::string path = ::testing::TempDir() + "zs_trace_roundtrip.json";
+  const std::size_t written =
+      trace::writeChromeTraceFile(path, "zerosum", {{"rank", "3"}});
+  EXPECT_EQ(written, 1u);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::ostringstream text;
+  text << in.rdbuf();
+  const json::Value doc = json::parse(text.str());
+  EXPECT_EQ(doc.find("otherData")->stringOr("rank", ""), "3");
+  std::remove(path.c_str());
+}
+
+TEST_F(TraceTest, ChromeExportUnwritablePathThrows) {
+  EXPECT_THROW(
+      trace::writeChromeTraceFile("/nonexistent/dir/trace.json", "x", {}),
+      StateError);
+}
+
+// --- JSON writer/parser ---------------------------------------------------
+
+TEST(Json, WriterEscapesAndNests) {
+  std::ostringstream out;
+  json::Writer w(out);
+  w.beginObject();
+  w.field("s", "a\"b\\c\n\t");
+  w.key("arr").beginArray().value(std::int64_t{1}).value(2.5).value(true)
+      .null().endArray();
+  w.endObject();
+  EXPECT_EQ(w.depth(), 0);
+  const json::Value doc = json::parse(out.str());
+  EXPECT_EQ(doc.find("s")->asString(), "a\"b\\c\n\t");
+  ASSERT_EQ(doc.find("arr")->asArray().size(), 4u);
+  EXPECT_DOUBLE_EQ(doc.find("arr")->asArray()[1].asNumber(), 2.5);
+  EXPECT_TRUE(doc.find("arr")->asArray()[3].isNull());
+}
+
+TEST(Json, WriterMisuseThrows) {
+  std::ostringstream out;
+  json::Writer w(out);
+  w.beginObject();
+  EXPECT_THROW(w.value(1.0), StateError);  // value without a key
+  EXPECT_THROW(w.endArray(), StateError);  // mismatched container
+}
+
+TEST(Json, ParserRejectsMalformedDocuments) {
+  EXPECT_THROW(json::parse(""), ParseError);
+  EXPECT_THROW(json::parse("{"), ParseError);
+  EXPECT_THROW(json::parse("{\"a\": 1,}"), ParseError);
+  EXPECT_THROW(json::parse("[1, 2] garbage"), ParseError);
+  EXPECT_THROW(json::parse("nul"), ParseError);
+}
+
+// --- Overhead attribution -------------------------------------------------
+
+trace::Event span(const char* name, std::uint64_t startUs,
+                  std::uint64_t durUs, int tid = 1) {
+  trace::Event e;
+  e.name = name;
+  e.kind = trace::EventKind::kSpan;
+  e.startNanos = startUs * 1000;
+  e.durationNanos = durUs * 1000;
+  e.tid = tid;
+  return e;
+}
+
+TEST(SelfProfile, SharesSumToLoopTotal) {
+  // Two loop iterations with nested subsystem spans and slack.
+  const std::vector<trace::Event> events = {
+      span("zs.sample", 0, 100),
+      span("zs.sample.lwp", 10, 30),
+      span("zs.sample.hwt", 50, 20),
+      span("zs.sample", 200, 100),
+      span("zs.sample.lwp", 210, 40),
+      span("zs.report", 400, 50),  // outside any loop iteration
+  };
+  const auto profile = analysis::attributeOverhead(events);
+  EXPECT_EQ(profile.loopCount, 2u);
+  EXPECT_DOUBLE_EQ(profile.loopTotalMicros, 200.0);
+  double sum = 0.0;
+  double shareSum = 0.0;
+  for (const auto& s : profile.shares) {
+    sum += s.totalMicros;
+    shareSum += s.shareOfLoop;
+  }
+  EXPECT_DOUBLE_EQ(sum, profile.loopTotalMicros);
+  EXPECT_NEAR(shareSum, 1.0, 1e-12);
+  // lwp 70us, hwt 20us, bookkeeping 110us.
+  ASSERT_EQ(profile.shares.size(), 3u);
+  EXPECT_EQ(profile.shares[0].name, "(bookkeeping)");
+  EXPECT_DOUBLE_EQ(profile.shares[0].totalMicros, 110.0);
+  EXPECT_EQ(profile.shares[1].name, "zs.sample.lwp");
+  EXPECT_DOUBLE_EQ(profile.shares[1].totalMicros, 70.0);
+  ASSERT_EQ(profile.outsideLoop.size(), 1u);
+  EXPECT_EQ(profile.outsideLoop[0].name, "zs.report");
+}
+
+TEST(SelfProfile, GrandchildSpansAreNotDoubleCounted) {
+  const std::vector<trace::Event> events = {
+      span("zs.sample", 0, 100),
+      span("zs.export.callback", 10, 60),
+      span("zs.export.publish", 20, 40),  // child of callback, not of loop
+  };
+  const auto profile = analysis::attributeOverhead(events);
+  double sum = 0.0;
+  for (const auto& s : profile.shares) {
+    sum += s.totalMicros;
+  }
+  EXPECT_DOUBLE_EQ(sum, 100.0);
+  ASSERT_EQ(profile.shares.size(), 2u);  // callback + bookkeeping
+  EXPECT_EQ(profile.shares[0].name, "zs.export.callback");
+  EXPECT_DOUBLE_EQ(profile.shares[0].totalMicros, 60.0);
+}
+
+TEST(SelfProfile, EmptyEventsProduceEmptyProfile) {
+  const auto profile = analysis::attributeOverhead({});
+  EXPECT_EQ(profile.loopCount, 0u);
+  EXPECT_DOUBLE_EQ(profile.loopTotalMicros, 0.0);
+  const std::string rendered = analysis::renderAttribution(profile);
+  EXPECT_NE(rendered.find("overhead attribution"), std::string::npos);
+}
+
+TEST_F(TraceTest, AttributionFromChromeTraceRoundTrip) {
+  {
+    ZS_TRACE_SCOPE("zs.sample");
+    ZS_TRACE_SCOPE("zs.sample.lwp");
+  }
+  std::ostringstream out;
+  trace::writeChromeTrace(out, trace::TraceRecorder::instance().snapshot(),
+                          "zerosum", {});
+  const auto profile = analysis::attributeOverheadFromChromeTrace(out.str());
+  EXPECT_EQ(profile.loopCount, 1u);
+  bool sawLwp = false;
+  for (const auto& s : profile.shares) {
+    sawLwp |= s.name == "zs.sample.lwp";
+  }
+  EXPECT_TRUE(sawLwp);
+  const std::string rendered = analysis::renderAttribution(profile);
+  EXPECT_NE(rendered.find("zs.sample.lwp"), std::string::npos);
+}
+
+// --- Monitor integration --------------------------------------------------
+
+TEST_F(TraceTest, TracedSessionEmitsSpansForAllFiveSubsystems) {
+  sim::SimNode node(CpuSet::fromList("0-3"), 4ULL << 30);
+  const sim::Pid pid = node.spawnProcess("app", CpuSet::fromList("0-1"));
+  sim::Behavior b;
+  b.iterations = 5;
+  b.iterWorkJiffies = 50;
+  node.spawnTask(pid, "app", LwpType::kMain, b);
+
+  core::Config cfg;
+  cfg.period = std::chrono::milliseconds(1000);
+  cfg.jiffyHz = sim::kHz;
+  cfg.signalHandler = false;
+  cfg.trace = true;
+  auto device = std::make_shared<gpu::SimulatedGpu>(0, 4, "gcd");
+  core::MonitorSession session(cfg, procfs::makeSimProcFs(node), {},
+                               {device});
+  for (int i = 1; i <= 3; ++i) {
+    device->setActivity(0.5);
+    device->advance(1.0);
+    node.advance(sim::kHz);
+    session.sampleNow(i);
+  }
+
+  std::set<std::string> names;
+  for (const auto& e : trace::TraceRecorder::instance().snapshot()) {
+    if (e.kind == trace::EventKind::kSpan) {
+      names.insert(e.name);
+    }
+  }
+  for (const char* expected :
+       {"zs.sample", "zs.sample.lwp", "zs.sample.hwt", "zs.sample.memory",
+        "zs.sample.gpu", "zs.sample.progress"}) {
+    EXPECT_TRUE(names.count(expected)) << "missing span " << expected;
+  }
+
+  // The report carries the self-profile section when tracing is on.
+  const std::string report = session.report();
+  EXPECT_NE(report.find("Monitor self-profile"), std::string::npos);
+
+  // And the attribution over the real recorded events keeps its invariant.
+  const auto profile =
+      analysis::attributeOverhead(trace::TraceRecorder::instance().snapshot());
+  EXPECT_EQ(profile.loopCount, 3u);
+  double sum = 0.0;
+  for (const auto& s : profile.shares) {
+    sum += s.totalMicros;
+  }
+  EXPECT_NEAR(sum, profile.loopTotalMicros, 1e-6);
+}
+
+TEST_F(TraceTest, QuarantineEmitsFaultInstantEvents) {
+  sim::SimNode node(CpuSet::fromList("0-1"), 2ULL << 30);
+  const sim::Pid pid = node.spawnProcess("app", CpuSet::fromList("0"));
+  sim::Behavior b;
+  b.iterations = 10;
+  b.iterWorkJiffies = 50;
+  node.spawnTask(pid, "app", LwpType::kMain, b);
+
+  core::Config cfg;
+  cfg.period = std::chrono::milliseconds(1000);
+  cfg.jiffyHz = sim::kHz;
+  cfg.signalHandler = false;
+  cfg.trace = true;
+  cfg.monitorGpu = false;
+  cfg.maxConsecutiveErrors = 2;
+  cfg.retryBackoffPeriods = 1;
+  // Memory reads fail from sample 2 on: the guard quarantines.
+  auto fs = std::make_unique<procfs::FaultInjectingProcFs>(
+      procfs::makeSimProcFs(node),
+      procfs::parseFaultSpec("meminfo:enoent@2.."));
+  core::MonitorSession session(cfg, std::move(fs), {});
+  for (int i = 1; i <= 6; ++i) {
+    node.advance(sim::kHz);
+    session.sampleNow(i);
+  }
+  std::set<std::string> names;
+  for (const auto& e : trace::TraceRecorder::instance().snapshot()) {
+    if (e.kind == trace::EventKind::kInstant) {
+      names.insert(e.name);
+    }
+  }
+  EXPECT_TRUE(names.count("zs.fault.memory.error"));
+  EXPECT_TRUE(names.count("zs.fault.memory.quarantine"));
+}
+
+}  // namespace
+}  // namespace zerosum

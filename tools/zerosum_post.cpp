@@ -9,14 +9,20 @@
 //   --heatmap         build the P2P heatmap from all ranks' comm sections
 //   --reorder <rpn>   rank-placement advice at <rpn> ranks per node
 //   --pgm <path>      also write the heatmap as a PGM image
+//   --trace-summary <trace.json>
+//                     attribute the monitor's own overhead per subsystem
+//                     from a ZS_TRACE_FILE Chrome trace (needs no logs)
 #include <algorithm>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "analysis/heatmap.hpp"
 #include "analysis/logparse.hpp"
 #include "analysis/reorder.hpp"
+#include "analysis/selfprofile.hpp"
 #include "common/error.hpp"
 #include "common/strings.hpp"
 #include "mpisim/recorder.hpp"
@@ -90,6 +96,7 @@ int main(int argc, char** argv) {
   bool heatmap = false;
   int reorderRanksPerNode = 0;
   std::string pgmPath;
+  std::string traceSummaryPath;
   std::vector<std::string> paths;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -101,15 +108,41 @@ int main(int argc, char** argv) {
       reorderRanksPerNode = std::atoi(argv[++i]);
     } else if (arg == "--pgm" && i + 1 < argc) {
       pgmPath = argv[++i];
+    } else if (arg == "--trace-summary" && i + 1 < argc) {
+      traceSummaryPath = argv[++i];
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: " << argv[0]
                 << " [--charts] [--heatmap] [--reorder rpn] [--pgm path] "
-                   "<log>...\n";
+                   "[--trace-summary trace.json] <log>...\n";
       return 0;
     } else {
       paths.push_back(arg);
     }
   }
+
+  if (!traceSummaryPath.empty()) {
+    std::ifstream in(traceSummaryPath);
+    if (!in) {
+      std::cerr << "zerosum-post: cannot open " << traceSummaryPath << '\n';
+      return 1;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    try {
+      const analysis::SelfProfile profile =
+          analysis::attributeOverheadFromChromeTrace(text.str());
+      std::cout << analysis::renderAttribution(profile);
+    } catch (const Error& e) {
+      std::cerr << "zerosum-post: " << traceSummaryPath << ": " << e.what()
+                << '\n';
+      return 1;
+    }
+    if (paths.empty()) {
+      return 0;  // a trace summary needs no log files
+    }
+    std::cout << '\n';
+  }
+
   if (paths.empty()) {
     std::cerr << "zerosum-post: no log files given (--help for usage)\n";
     return 2;

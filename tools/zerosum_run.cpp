@@ -12,6 +12,7 @@
 //   --core <hwt>      pin the monitor thread     (ZS_ASYNC_CORE)
 //   --heartbeat       periodic progress output   (ZS_HEARTBEAT)
 //   --log <prefix>    log file prefix            (ZS_LOG_PREFIX)
+//   --trace <file>    monitor self-trace output  (ZS_TRACE_FILE)
 //   --ctor            constructor-mode injection (ZS_INIT_MODE=ctor)
 #include <libgen.h>
 #include <unistd.h>
@@ -37,7 +38,7 @@ std::string selfDirectory() {
 void usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " [--period ms] [--core hwt] [--heartbeat] [--log prefix] "
-               "[--ctor] <program> [args...]\n";
+               "[--trace file] [--ctor] <program> [args...]\n";
 }
 
 }  // namespace
@@ -55,6 +56,8 @@ int main(int argc, char** argv) {
       ::setenv("ZS_HEARTBEAT", "1", 1);
     } else if (flag == "--log" && i + 1 < argc) {
       ::setenv("ZS_LOG_PREFIX", argv[++i], 1);
+    } else if (flag == "--trace" && i + 1 < argc) {
+      ::setenv("ZS_TRACE_FILE", argv[++i], 1);
     } else if (flag == "--ctor") {
       ctorMode = true;
     } else if (flag == "--help" || flag == "-h") {
