@@ -1,0 +1,181 @@
+// Aggregation-daemon ingest throughput (§6 cross-process collection).
+//
+// Measures the two halves of the ingest path separately so regressions
+// can be attributed:
+//   * store  — RollupStore::ingest alone: samples/s merged into the
+//     two-resolution rollup windows, at several series cardinalities
+//     (1, 64, and 1024 distinct (rank, metric) series).
+//   * wire   — the full daemon path over the in-memory pipe transport:
+//     client enqueue -> frame encode -> transport -> decode -> store,
+//     with 8 ranks publishing concurrently, records/s through poll().
+//
+// Emits BENCH_aggregator.json (json::Writer) for regression tracking,
+// same spirit as BENCH_overhead.json from bench_figure8_overhead.
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "aggregator/client.hpp"
+#include "aggregator/daemon.hpp"
+#include "aggregator/store.hpp"
+#include "aggregator/transport.hpp"
+#include "common/json.hpp"
+
+using namespace zerosum;
+using namespace zerosum::aggregator;
+
+namespace {
+
+double secondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+struct StoreResult {
+  std::size_t series = 0;
+  std::uint64_t samples = 0;
+  double seconds = 0.0;
+  [[nodiscard]] double ratePerSecond() const {
+    return seconds > 0.0 ? static_cast<double>(samples) / seconds : 0.0;
+  }
+};
+
+/// Raw store ingest: `samples` merges spread round-robin over `series`
+/// distinct keys, timestamps advancing so windows roll and eviction runs.
+StoreResult benchStore(std::size_t series, std::uint64_t samples) {
+  RollupStore store;
+  std::vector<SeriesKey> keys;
+  keys.reserve(series);
+  for (std::size_t s = 0; s < series; ++s) {
+    keys.push_back({"bench", static_cast<int>(s % 8),
+                    "metric." + std::to_string(s)});
+  }
+  const auto start = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < samples; ++i) {
+    const double t = static_cast<double>(i) * 0.001;
+    store.ingest(keys[i % series], t, static_cast<double>(i % 100));
+  }
+  StoreResult result;
+  result.series = series;
+  result.samples = samples;
+  result.seconds = secondsSince(start);
+  return result;
+}
+
+struct WireResult {
+  int ranks = 0;
+  std::uint64_t records = 0;
+  double seconds = 0.0;
+  std::uint64_t drops = 0;
+  [[nodiscard]] double ratePerSecond() const {
+    return seconds > 0.0 ? static_cast<double>(records) / seconds : 0.0;
+  }
+};
+
+/// End-to-end: N clients batch-publish through the pipe transport into
+/// one Aggregator; measures records/s landing in the store.
+WireResult benchWire(int ranks, int periods, std::size_t recordsPerPeriod) {
+  auto hub = std::make_shared<PipeHub>();
+  Aggregator daemon(hub->makeServer());
+  std::vector<std::unique_ptr<Client>> clients;
+  clients.reserve(static_cast<std::size_t>(ranks));
+  for (int rank = 0; rank < ranks; ++rank) {
+    Hello hello;
+    hello.job = "bench";
+    hello.rank = rank;
+    hello.worldSize = ranks;
+    hello.hostname = "node0000";
+    hello.pid = 1000 + rank;
+    ClientOptions options;
+    options.batchRecords = recordsPerPeriod;  // one batch per period
+    clients.push_back(std::make_unique<Client>(hub->makeClientTransport(),
+                                               hello, options));
+  }
+  std::vector<WireRecord> batch(recordsPerPeriod);
+  const auto start = std::chrono::steady_clock::now();
+  for (int period = 0; period < periods; ++period) {
+    const double t = static_cast<double>(period);
+    for (std::size_t i = 0; i < recordsPerPeriod; ++i) {
+      batch[i] = {t, "metric." + std::to_string(i), static_cast<double>(i)};
+    }
+    for (auto& client : clients) {
+      client->enqueue(batch, t);
+    }
+    daemon.poll(t);
+  }
+  WireResult result;
+  result.ranks = ranks;
+  result.seconds = secondsSince(start);
+  result.records = daemon.counters().recordsIngested;
+  for (const auto& client : clients) {
+    result.drops += client->counters().recordsDropped;
+  }
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== aggregator ingest throughput ===\n\n";
+
+  std::cout << "-- RollupStore::ingest (store only) --\n";
+  std::vector<StoreResult> storeResults;
+  for (const std::size_t series : {std::size_t{1}, std::size_t{64},
+                                   std::size_t{1024}}) {
+    storeResults.push_back(benchStore(series, 400000));
+    const auto& r = storeResults.back();
+    std::cout << "  " << r.series << " series: " << r.samples
+              << " samples in " << r.seconds << " s  ("
+              << static_cast<std::uint64_t>(r.ratePerSecond())
+              << " samples/s)\n";
+  }
+
+  std::cout << "\n-- client -> pipe transport -> daemon (end to end) --\n";
+  const WireResult wire = benchWire(8, 400, 250);
+  std::cout << "  " << wire.ranks << " ranks x 250 records x 400 periods: "
+            << wire.records << " records in " << wire.seconds << " s  ("
+            << static_cast<std::uint64_t>(wire.ratePerSecond())
+            << " records/s, " << wire.drops << " dropped)\n";
+  if (wire.drops != 0 ||
+      wire.records != static_cast<std::uint64_t>(wire.ranks) * 400U * 250U) {
+    std::cerr << "ERROR: lossless in-memory path dropped records\n";
+    return 1;
+  }
+
+  const std::string jsonPath = "BENCH_aggregator.json";
+  std::ofstream jsonOut(jsonPath);
+  if (jsonOut) {
+    json::Writer w(jsonOut);
+    w.beginObject();
+    w.field("benchmark", "aggregator_ingest");
+    w.key("store").beginArray();
+    for (const auto& r : storeResults) {
+      w.beginObject();
+      w.field("series", static_cast<std::uint64_t>(r.series));
+      w.field("samples", r.samples);
+      w.field("seconds", r.seconds);
+      w.field("samples_per_second", r.ratePerSecond());
+      w.endObject();
+    }
+    w.endArray();
+    w.key("wire").beginObject();
+    w.field("ranks", static_cast<std::int64_t>(wire.ranks));
+    w.field("records", wire.records);
+    w.field("seconds", wire.seconds);
+    w.field("records_per_second", wire.ratePerSecond());
+    w.field("records_dropped", wire.drops);
+    w.endObject();
+    w.endObject();
+    jsonOut << '\n';
+    std::cout << "\nwrote " << jsonPath << '\n';
+  } else {
+    std::cerr << "could not write " << jsonPath << '\n';
+    return 1;
+  }
+  return 0;
+}

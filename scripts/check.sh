@@ -21,13 +21,18 @@ if [[ "$SANITIZE" == 1 ]]; then
   echo "=== sanitizer pass (address,undefined) ==="
   cmake -B build-asan -S . -DZEROSUM_SANITIZE=ON >/dev/null
   cmake --build build-asan -j "$(nproc)"
-  # The suites that exercise the /proc parsers, fault injection, and the
-  # monitor thread — where memory bugs under fault load would hide.
+  # The suites that exercise the /proc parsers, fault injection, the
+  # monitor thread, and the concurrent publish/subscribe + aggregation
+  # paths — where memory bugs under fault load would hide.
   # (Run the binaries directly: ctest registers individual gtest case
   # names, so filtering by executable name matches nothing.)
-  for t in test_procfs test_fault_injection test_core; do
+  for t in test_procfs test_fault_injection test_core test_export \
+           test_aggregator; do
     ./build-asan/tests/"$t"
   done
 fi
+
+echo "=== aggregator ingest benchmark ==="
+(cd build/bench && ./bench_aggregator_ingest)
 
 echo "=== check.sh: all passes complete ==="

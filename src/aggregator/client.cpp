@@ -1,0 +1,183 @@
+#include "aggregator/client.hpp"
+
+#include "common/error.hpp"
+#include "trace/metrics.hpp"
+#include "trace/trace.hpp"
+
+namespace zerosum::aggregator {
+
+namespace {
+
+trace::Counter& counterEnqueued() {
+  static trace::Counter& c =
+      trace::MetricsRegistry::instance().counter("zs.agg.client.enqueued");
+  return c;
+}
+trace::Counter& counterDropped() {
+  static trace::Counter& c =
+      trace::MetricsRegistry::instance().counter("zs.agg.client.dropped");
+  return c;
+}
+trace::Counter& counterReconnects() {
+  static trace::Counter& c =
+      trace::MetricsRegistry::instance().counter("zs.agg.client.reconnects");
+  return c;
+}
+
+}  // namespace
+
+Client::Client(std::unique_ptr<Transport> transport, Hello identity,
+               ClientOptions options)
+    : transport_(std::move(transport)),
+      identity_(std::move(identity)),
+      options_(options) {
+  if (!transport_) {
+    throw ConfigError("aggregator::Client requires a transport");
+  }
+  if (options_.maxQueueRecords == 0 || options_.batchRecords == 0) {
+    throw ConfigError("aggregator::Client queue/batch bounds must be >= 1");
+  }
+}
+
+Client::~Client() = default;
+
+bool Client::ensureConnected(double nowSeconds) {
+  if (transport_->connected()) {
+    return true;
+  }
+  if (nowSeconds < nextConnectAt_) {
+    return false;  // backing off
+  }
+  ZS_TRACE_SCOPE("zs.agg.client.connect");
+  if (!transport_->connect()) {
+    // Exponential backoff: an absent daemon costs one failed connect per
+    // backoff interval, not one per record.
+    currentBackoff_ =
+        currentBackoff_ <= 0.0
+            ? options_.reconnectBackoffSeconds
+            : std::min(currentBackoff_ * 2.0,
+                       options_.reconnectBackoffCapSeconds);
+    nextConnectAt_ = nowSeconds + currentBackoff_;
+    return false;
+  }
+  currentBackoff_ = 0.0;
+  nextConnectAt_ = 0.0;
+  if (everConnected_) {
+    ++counters_.reconnects;
+    counterReconnects().add();
+  }
+  everConnected_ = true;
+  // Re-announce identity on every new connection: the daemon binds the
+  // connection to a source via the Hello.
+  Frame hello;
+  hello.kind = FrameKind::kHello;
+  hello.hello = identity_;
+  if (!transport_->send(encodeFrame(hello))) {
+    ++counters_.sendFailures;
+    transport_->close();
+    return false;
+  }
+  return true;
+}
+
+void Client::dropOverflow() {
+  while (queue_.size() > options_.maxQueueRecords) {
+    queue_.pop_front();
+    ++counters_.recordsDropped;
+    counterDropped().add();
+  }
+}
+
+void Client::enqueue(const std::vector<WireRecord>& records,
+                     double nowSeconds) {
+  ZS_TRACE_SCOPE("zs.agg.client.enqueue");
+  for (const auto& record : records) {
+    queue_.push_back({record, nowSeconds});
+  }
+  counters_.recordsEnqueued += records.size();
+  counterEnqueued().add(records.size());
+  dropOverflow();
+  pump(nowSeconds);
+}
+
+void Client::flush(double nowSeconds, bool force) {
+  while (!queue_.empty()) {
+    const bool countDue = queue_.size() >= options_.batchRecords;
+    const bool ageDue =
+        nowSeconds - queue_.front().enqueuedAt >= options_.batchAgeSeconds;
+    if (!force && !countDue && !ageDue) {
+      return;
+    }
+    if (!ensureConnected(nowSeconds)) {
+      if (force) {
+        // Final flush with no daemon: the records are lost; count them.
+        counters_.recordsDropped += queue_.size();
+        counterDropped().add(queue_.size());
+        queue_.clear();
+      }
+      return;
+    }
+    Frame batch;
+    batch.kind = FrameKind::kBatch;
+    batch.timeSeconds = nowSeconds;
+    const std::size_t n = std::min(queue_.size(), options_.batchRecords);
+    batch.records.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      batch.records.push_back(queue_[i].record);
+    }
+    if (!transport_->send(encodeFrame(batch))) {
+      // The records of the failed batch are gone with the connection;
+      // requeueing them would grow the queue unboundedly against a dead
+      // daemon.  Count and drop, then back off.
+      ++counters_.sendFailures;
+      counters_.recordsDropped += n;
+      counterDropped().add(n);
+      queue_.erase(queue_.begin(),
+                   queue_.begin() + static_cast<std::ptrdiff_t>(n));
+      transport_->close();
+      currentBackoff_ = currentBackoff_ <= 0.0
+                            ? options_.reconnectBackoffSeconds
+                            : currentBackoff_;
+      nextConnectAt_ = nowSeconds + currentBackoff_;
+      return;
+    }
+    queue_.erase(queue_.begin(),
+                 queue_.begin() + static_cast<std::ptrdiff_t>(n));
+    ++counters_.batchesSent;
+    counters_.recordsSent += n;
+  }
+}
+
+void Client::pump(double nowSeconds) {
+  ZS_TRACE_SCOPE("zs.agg.client.pump");
+  flush(nowSeconds, /*force=*/false);
+}
+
+void Client::sendHealth(const HealthUpdate& health, double nowSeconds) {
+  if (!ensureConnected(nowSeconds)) {
+    return;
+  }
+  Frame frame;
+  frame.kind = FrameKind::kHealth;
+  frame.health = health;
+  if (!transport_->send(encodeFrame(frame))) {
+    ++counters_.sendFailures;
+    transport_->close();
+  }
+}
+
+void Client::goodbye(double nowSeconds) {
+  flush(nowSeconds, /*force=*/true);
+  if (!transport_->connected()) {
+    return;
+  }
+  Frame frame;
+  frame.kind = FrameKind::kGoodbye;
+  frame.timeSeconds = nowSeconds;
+  if (!transport_->send(encodeFrame(frame))) {
+    ++counters_.sendFailures;
+  }
+  transport_->close();
+}
+
+}  // namespace zerosum::aggregator

@@ -1,0 +1,100 @@
+// Aggregation client embedded in the monitored process ("do no harm",
+// paper §3.1): a bounded send queue drained synchronously from the
+// publish path.  Nothing here can stall or crash the application —
+//
+//   * enqueue() is O(records) copies into a bounded deque; when the
+//     queue is full the oldest records are dropped and counted;
+//   * pump() flushes batches by count/age through the Transport; a
+//     failed send marks the connection dead, requeues nothing (the
+//     records are counted as dropped), and schedules a reconnect with
+//     exponential backoff so an absent daemon costs one cheap failed
+//     connect() every backoff interval, not one per period.
+//
+// The client is not a thread: the owner (SessionPublisher) calls
+// enqueue()+pump() per sampling period on whatever thread publishes.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+
+#include "aggregator/transport.hpp"
+#include "aggregator/wire.hpp"
+
+namespace zerosum::aggregator {
+
+struct ClientOptions {
+  /// Queue bound, in records; overflow drops the oldest.
+  std::size_t maxQueueRecords = 8192;
+  /// Flush when this many records are queued...
+  std::size_t batchRecords = 256;
+  /// ...or when the oldest queued record is this old.
+  double batchAgeSeconds = 1.0;
+  /// First reconnect delay; doubles per failure up to the cap.
+  double reconnectBackoffSeconds = 1.0;
+  double reconnectBackoffCapSeconds = 30.0;
+};
+
+struct ClientCounters {
+  std::uint64_t recordsEnqueued = 0;
+  std::uint64_t recordsSent = 0;
+  std::uint64_t recordsDropped = 0;  ///< queue overflow + failed sends
+  std::uint64_t batchesSent = 0;
+  std::uint64_t sendFailures = 0;
+  std::uint64_t reconnects = 0;  ///< successful (re)connects after the first
+};
+
+class Client {
+ public:
+  /// The client owns the transport; `identity` is announced on every
+  /// (re)connect.
+  Client(std::unique_ptr<Transport> transport, Hello identity,
+         ClientOptions options = {});
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Queues records for delivery (bounded; drops oldest on overflow) and
+  /// pumps.  `nowSeconds` is the caller's clock — virtual time in the
+  /// simulator, wall time live — and drives batch age and backoff.
+  void enqueue(const std::vector<WireRecord>& records, double nowSeconds);
+
+  /// Flushes due batches and handles reconnect scheduling.  Safe to call
+  /// every period regardless of connection state.
+  void pump(double nowSeconds);
+
+  /// Sends a health update (best-effort, never queued).
+  void sendHealth(const HealthUpdate& health, double nowSeconds);
+
+  /// Flushes everything still queued and sends kGoodbye.
+  void goodbye(double nowSeconds);
+
+  [[nodiscard]] bool connected() const { return transport_->connected(); }
+  [[nodiscard]] const ClientCounters& counters() const { return counters_; }
+
+ private:
+  /// True when connected (connecting if due).  Sends Hello on a fresh
+  /// connection.
+  bool ensureConnected(double nowSeconds);
+  void flush(double nowSeconds, bool force);
+  void dropOverflow();
+
+  std::unique_ptr<Transport> transport_;
+  Hello identity_;
+  ClientOptions options_;
+  ClientCounters counters_;
+
+  struct Queued {
+    WireRecord record;
+    double enqueuedAt = 0.0;
+  };
+  std::deque<Queued> queue_;
+
+  bool everConnected_ = false;
+  double nextConnectAt_ = 0.0;   ///< earliest next connect attempt
+  double currentBackoff_ = 0.0;  ///< 0 = connect immediately
+};
+
+}  // namespace zerosum::aggregator

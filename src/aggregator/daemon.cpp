@@ -1,0 +1,279 @@
+#include "aggregator/daemon.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "aggregator/query.hpp"
+#include "common/error.hpp"
+#include "common/logging.hpp"
+#include "common/strings.hpp"
+#include "trace/metrics.hpp"
+#include "trace/trace.hpp"
+
+namespace zerosum::aggregator {
+
+const char* sourceStateName(SourceState state) {
+  switch (state) {
+    case SourceState::kActive: return "active";
+    case SourceState::kStale: return "STALE";
+    case SourceState::kDeparted: return "departed";
+  }
+  return "?";
+}
+
+Aggregator::Aggregator(std::unique_ptr<TransportServer> server,
+                       StoreOptions storeOptions)
+    : server_(std::move(server)), store_(storeOptions) {
+  if (!server_) {
+    throw ConfigError("Aggregator requires a transport server");
+  }
+}
+
+SourceInfo* Aggregator::sourceOf(const std::string& job, int rank) {
+  const auto it = sources_.find({job, rank});
+  return it == sources_.end() ? nullptr : &it->second;
+}
+
+void Aggregator::handleFrame(std::uint64_t connection, ConnState& conn,
+                             const Frame& frame, double nowSeconds) {
+  ++counters_.framesIngested;
+  if (frame.kind == FrameKind::kQuery) {
+    ++counters_.queriesServed;
+    Frame response;
+    response.kind = FrameKind::kResponse;
+    response.text = query(frame.text);
+    server_->send(connection, encodeFrame(response));
+    return;
+  }
+  if (frame.kind == FrameKind::kHello) {
+    conn.helloSeen = true;
+    conn.job = frame.hello.job;
+    conn.rank = frame.hello.rank;
+    SourceInfo& info = sources_[{conn.job, conn.rank}];
+    const bool fresh = info.lastSeenSeconds == 0.0 && info.batches == 0;
+    info.hello = frame.hello;
+    info.state = SourceState::kActive;
+    if (fresh) {
+      info.firstSeenSeconds = nowSeconds;
+    }
+    info.lastSeenSeconds = nowSeconds;
+    int& expected = expectedRanks_[conn.job];
+    expected = std::max(expected, frame.hello.worldSize);
+    return;
+  }
+  if (!conn.helloSeen) {
+    // Data frames before the Hello have no source to bind to.
+    ++counters_.orphanFrames;
+    return;
+  }
+  SourceInfo* info = sourceOf(conn.job, conn.rank);
+  if (info == nullptr) {
+    ++counters_.orphanFrames;
+    return;
+  }
+  info->lastSeenSeconds = nowSeconds;
+  if (info->state == SourceState::kStale) {
+    info->state = SourceState::kActive;  // the rank came back
+  }
+  switch (frame.kind) {
+    case FrameKind::kBatch: {
+      ZS_TRACE_SCOPE("zs.agg.daemon.ingest");
+      ++counters_.batchesIngested;
+      counters_.recordsIngested += frame.records.size();
+      static trace::Counter& ingested =
+          trace::MetricsRegistry::instance().counter(
+              "zs.agg.daemon.records_ingested");
+      ingested.add(frame.records.size());
+      SeriesKey key;
+      key.job = conn.job;
+      key.rank = conn.rank;
+      for (const auto& record : frame.records) {
+        key.metric = record.name;
+        store_.ingest(key, record.timeSeconds, record.value);
+      }
+      break;
+    }
+    case FrameKind::kHealth:
+      info->health = frame.health;
+      break;
+    case FrameKind::kHeartbeat:
+      ++counters_.heartbeats;
+      break;
+    case FrameKind::kGoodbye:
+      info->state = SourceState::kDeparted;
+      break;
+    default:
+      break;
+  }
+  if (frame.kind == FrameKind::kBatch) {
+    ++info->batches;
+    info->records += frame.records.size();
+  }
+}
+
+void Aggregator::poll(double nowSeconds) {
+  ZS_TRACE_SCOPE("zs.agg.daemon.poll");
+  for (auto& delivery : server_->poll()) {
+    auto& conn = connections_[delivery.connection];
+    if (!delivery.bytes.empty()) {
+      conn.reader.feed(delivery.bytes);
+      try {
+        Frame frame;
+        while (conn.reader.next(frame)) {
+          handleFrame(delivery.connection, conn, frame, nowSeconds);
+        }
+      } catch (const Error& e) {
+        // Malformed bytes poison the whole connection (framing is lost);
+        // count it and cut the source off rather than guessing.
+        ++counters_.decodeErrors;
+        log::warn() << "aggregator: dropping connection "
+                    << delivery.connection << ": " << e.what();
+        server_->disconnect(delivery.connection);
+        connections_.erase(delivery.connection);
+        continue;
+      }
+    }
+    if (delivery.closed) {
+      connections_.erase(delivery.connection);
+    }
+  }
+
+  // Staleness sweep: a silent source is flagged and its series evicted —
+  // the store serves live dashboards, not archaeology.
+  for (auto& [key, info] : sources_) {
+    if (info.state != SourceState::kActive) {
+      continue;
+    }
+    if (nowSeconds - info.lastSeenSeconds > store_.options().staleSeconds) {
+      ZS_TRACE_INSTANT("zs.agg.daemon.evict_stale");
+      info.state = SourceState::kStale;
+      ++counters_.sourcesEvicted;
+      static trace::Counter& evictions =
+          trace::MetricsRegistry::instance().counter(
+              "zs.agg.daemon.sources_evicted");
+      evictions.add();
+      store_.evictSource(key.first, key.second);
+    }
+  }
+}
+
+std::vector<SourceInfo> Aggregator::sources() const {
+  std::vector<SourceInfo> out;
+  out.reserve(sources_.size());
+  for (const auto& [key, info] : sources_) {
+    out.push_back(info);
+  }
+  return out;
+}
+
+bool Aggregator::allDeparted() const {
+  if (sources_.empty()) {
+    return false;
+  }
+  return std::all_of(sources_.begin(), sources_.end(), [](const auto& kv) {
+    return kv.second.state == SourceState::kDeparted;
+  });
+}
+
+std::vector<int> Aggregator::missingRanks(const std::string& job) const {
+  std::vector<int> missing;
+  const auto it = expectedRanks_.find(job);
+  if (it == expectedRanks_.end()) {
+    return missing;
+  }
+  std::set<int> seen;
+  for (const auto& [key, info] : sources_) {
+    if (key.first == job) {
+      seen.insert(key.second);
+    }
+  }
+  for (int rank = 0; rank < it->second; ++rank) {
+    if (seen.count(rank) == 0) {
+      missing.push_back(rank);
+    }
+  }
+  return missing;
+}
+
+std::string Aggregator::dashboard(double nowSeconds) const {
+  std::ostringstream out;
+  out << "Aggregator dashboard: " << sources_.size() << " source(s), "
+      << store_.seriesCount() << " series, "
+      << counters_.recordsIngested << " records ingested, t="
+      << strings::fixed(nowSeconds, 1) << "s\n";
+  std::string lastJob;
+  for (const auto& [key, info] : sources_) {
+    if (key.first != lastJob) {
+      lastJob = key.first;
+      out << "=== job " << (lastJob.empty() ? "(default)" : lastJob)
+          << " ===\n";
+      out << strings::padRight("rank", 6) << strings::padRight("node", 14)
+          << strings::padRight("state", 10)
+          << strings::padLeft("last seen", 11)
+          << strings::padLeft("records", 10)
+          << strings::padLeft("cpu avg%", 10)
+          << strings::padLeft("degraded", 10)
+          << strings::padLeft("quarant.", 10) << '\n';
+    }
+    // Per-rank utilization: mean of the newest coarse windows of every
+    // hwt.*.user_pct series this rank reports (the Figure-7 view rolled
+    // up to one number).
+    double cpuSum = 0.0;
+    int cpuCount = 0;
+    for (const auto& seriesKey : store_.keysOf(key.first, key.second)) {
+      if (seriesKey.metric.rfind("hwt.", 0) == 0 &&
+          seriesKey.metric.size() > 9 &&
+          seriesKey.metric.compare(seriesKey.metric.size() - 9, 9,
+                                   ".user_pct") == 0) {
+        const auto latest = store_.latest(seriesKey, Resolution::kCoarse);
+        if (latest) {
+          cpuSum += latest->rollup.avg();
+          ++cpuCount;
+        }
+      }
+    }
+    out << strings::padRight(std::to_string(key.second), 6)
+        << strings::padRight(info.hello.hostname, 14)
+        << strings::padRight(sourceStateName(info.state), 10)
+        << strings::padLeft(strings::fixed(info.lastSeenSeconds, 1), 11)
+        << strings::padLeft(std::to_string(info.records), 10)
+        << strings::padLeft(
+               cpuCount > 0 ? strings::fixed(cpuSum / cpuCount, 1) : "-", 10)
+        << strings::padLeft(std::to_string(info.health.samplesDegraded), 10)
+        << strings::padLeft(std::to_string(info.health.quarantined), 10)
+        << '\n';
+  }
+  // Pathology findings across ranks (stale and missing).
+  bool findings = false;
+  for (const auto& [key, info] : sources_) {
+    if (info.state == SourceState::kStale) {
+      out << "finding: rank " << key.second << " of job '" << key.first
+          << "' is stale (last seen t="
+          << strings::fixed(info.lastSeenSeconds, 1) << "s)\n";
+      findings = true;
+    }
+  }
+  for (const auto& [job, expected] : expectedRanks_) {
+    const auto missing = missingRanks(job);
+    if (!missing.empty()) {
+      out << "finding: job '" << job << "' expected " << expected
+          << " rank(s); never heard from:";
+      for (const int rank : missing) {
+        out << ' ' << rank;
+      }
+      out << '\n';
+      findings = true;
+    }
+  }
+  if (!findings) {
+    out << "no cross-rank pathologies detected\n";
+  }
+  return out.str();
+}
+
+std::string Aggregator::query(const std::string& requestJson) const {
+  return runQuery(*this, requestJson);
+}
+
+}  // namespace zerosum::aggregator

@@ -1,0 +1,106 @@
+// Aggregator: the daemon core behind `zerosum-aggd` (cctools
+// catalog-server style).  Owns a TransportServer and a RollupStore;
+// poll() drains the transport, decodes frames, binds connections to
+// sources via their Hello, merges batches into the store, answers
+// queries, and evicts sources that stop reporting.  Single-threaded by
+// design: the owner drives poll() from its event loop (the tool's main
+// loop, a test, or the lockstep cluster simulation).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "aggregator/store.hpp"
+#include "aggregator/transport.hpp"
+#include "aggregator/wire.hpp"
+
+namespace zerosum::aggregator {
+
+enum class SourceState : std::uint8_t {
+  kActive,    ///< reporting normally
+  kStale,     ///< silent past the staleness horizon (Table-1 pathology
+              ///< visible across ranks: a wedged or dead rank)
+  kDeparted,  ///< said goodbye (orderly exit)
+};
+
+const char* sourceStateName(SourceState state);
+
+/// Registry entry for one (job, rank) source.
+struct SourceInfo {
+  Hello hello;
+  SourceState state = SourceState::kActive;
+  double firstSeenSeconds = 0.0;
+  double lastSeenSeconds = 0.0;
+  std::uint64_t batches = 0;
+  std::uint64_t records = 0;
+  HealthUpdate health;
+};
+
+struct DaemonCounters {
+  std::uint64_t framesIngested = 0;
+  std::uint64_t batchesIngested = 0;
+  std::uint64_t recordsIngested = 0;
+  std::uint64_t heartbeats = 0;
+  std::uint64_t decodeErrors = 0;   ///< connections dropped for bad bytes
+  std::uint64_t orphanFrames = 0;   ///< data frames before any Hello
+  std::uint64_t sourcesEvicted = 0; ///< stale sources purged from the store
+  std::uint64_t queriesServed = 0;
+};
+
+class Aggregator {
+ public:
+  Aggregator(std::unique_ptr<TransportServer> server,
+             StoreOptions storeOptions = {});
+
+  /// Drains the transport and advances staleness bookkeeping to
+  /// `nowSeconds` (the owner's clock: virtual or wall).
+  void poll(double nowSeconds);
+
+  [[nodiscard]] const RollupStore& store() const { return store_; }
+  [[nodiscard]] const DaemonCounters& counters() const { return counters_; }
+
+  /// All known sources, ordered by (job, rank).
+  [[nodiscard]] std::vector<SourceInfo> sources() const;
+
+  /// True once at least one source was seen and every known source has
+  /// departed — the `zerosum-aggd --exit-on-goodbye` condition.
+  [[nodiscard]] bool allDeparted() const;
+
+  /// Ranks expected (max worldSize announced) but never seen; the
+  /// missing-rank half of the dashboard's pathology detection.
+  [[nodiscard]] std::vector<int> missingRanks(const std::string& job) const;
+
+  /// The live allocation dashboard: per-rank utilization, health, and
+  /// stale/missing-rank findings.
+  [[nodiscard]] std::string dashboard(double nowSeconds) const;
+
+  /// Executes one JSON query against the store (see query.hpp) — also
+  /// reachable over the wire via kQuery frames.
+  [[nodiscard]] std::string query(const std::string& requestJson) const;
+
+ private:
+  struct ConnState {
+    FrameReader reader;
+    bool helloSeen = false;
+    std::string job;
+    int rank = 0;
+  };
+
+  void handleFrame(std::uint64_t connection, ConnState& conn,
+                   const Frame& frame, double nowSeconds);
+  SourceInfo* sourceOf(const std::string& job, int rank);
+
+  std::unique_ptr<TransportServer> server_;
+  RollupStore store_;
+  DaemonCounters counters_;
+  std::map<std::uint64_t, ConnState> connections_;
+  /// (job, rank) -> registry entry.
+  std::map<std::pair<std::string, int>, SourceInfo> sources_;
+  /// Highest worldSize announced per job (missing-rank detection).
+  std::map<std::string, int> expectedRanks_;
+};
+
+}  // namespace zerosum::aggregator

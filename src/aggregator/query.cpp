@@ -1,0 +1,209 @@
+#include "aggregator/query.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "aggregator/daemon.hpp"
+#include "common/error.hpp"
+#include "common/json.hpp"
+
+namespace zerosum::aggregator {
+
+namespace {
+
+std::string errorResponse(const std::string& message) {
+  std::ostringstream out;
+  json::Writer w(out);
+  w.beginObject().field("error", message).endObject();
+  return out.str();
+}
+
+void writeRollup(json::Writer& w, const WindowRollup& row) {
+  w.beginObject()
+      .field("t", row.windowStartSeconds)
+      .field("window_s", row.windowSeconds)
+      .field("min", row.rollup.min)
+      .field("avg", row.rollup.avg())
+      .field("max", row.rollup.max)
+      .field("count", row.rollup.count)
+      .endObject();
+}
+
+std::string handleSources(const Aggregator& daemon) {
+  std::ostringstream out;
+  json::Writer w(out);
+  w.beginObject().key("sources").beginArray();
+  for (const auto& info : daemon.sources()) {
+    w.beginObject()
+        .field("job", info.hello.job)
+        .field("rank", static_cast<std::int64_t>(info.hello.rank))
+        .field("world_size",
+               static_cast<std::int64_t>(info.hello.worldSize))
+        .field("hostname", info.hello.hostname)
+        .field("pid", static_cast<std::int64_t>(info.hello.pid))
+        .field("state", std::string(sourceStateName(info.state)))
+        .field("first_seen_s", info.firstSeenSeconds)
+        .field("last_seen_s", info.lastSeenSeconds)
+        .field("batches", info.batches)
+        .field("records", info.records)
+        .key("health")
+        .beginObject()
+        .field("samples_taken", info.health.samplesTaken)
+        .field("samples_degraded", info.health.samplesDegraded)
+        .field("samples_dropped", info.health.samplesDropped)
+        .field("loop_overruns", info.health.loopOverruns)
+        .field("quarantined",
+               static_cast<std::uint64_t>(info.health.quarantined))
+        .endObject()
+        .endObject();
+  }
+  w.endArray().endObject();
+  return out.str();
+}
+
+std::string handleSnapshot(const Aggregator& daemon, const json::Value& req) {
+  const json::Value* jobFilter = req.find("job");
+  const json::Value* rankFilter = req.find("rank");
+  std::ostringstream out;
+  json::Writer w(out);
+  w.beginObject().key("series").beginArray();
+  for (const auto& key : daemon.store().keys()) {
+    if (jobFilter != nullptr && key.job != jobFilter->asString()) {
+      continue;
+    }
+    if (rankFilter != nullptr &&
+        key.rank != static_cast<int>(rankFilter->asNumber())) {
+      continue;
+    }
+    w.beginObject()
+        .field("job", key.job)
+        .field("rank", static_cast<std::int64_t>(key.rank))
+        .field("metric", key.metric);
+    if (const auto fine = daemon.store().latest(key, Resolution::kFine)) {
+      w.key("fine");
+      writeRollup(w, *fine);
+    }
+    if (const auto coarse = daemon.store().latest(key, Resolution::kCoarse)) {
+      w.key("coarse");
+      writeRollup(w, *coarse);
+    }
+    w.endObject();
+  }
+  w.endArray().endObject();
+  return out.str();
+}
+
+std::string handleRange(const Aggregator& daemon, const json::Value& req) {
+  const json::Value* metric = req.find("metric");
+  if (metric == nullptr) {
+    return errorResponse("range query requires \"metric\"");
+  }
+  SeriesKey key;
+  key.job = req.stringOr("job", "");
+  key.rank = static_cast<int>(req.numberOr("rank", 0.0));
+  key.metric = metric->asString();
+  const double t0 = req.numberOr("t0", 0.0);
+  const double t1 = req.numberOr("t1", 1e18);
+  const std::string res = req.stringOr("resolution", "fine");
+  if (res != "fine" && res != "coarse") {
+    return errorResponse("resolution must be \"fine\" or \"coarse\"");
+  }
+  const Resolution resolution =
+      res == "coarse" ? Resolution::kCoarse : Resolution::kFine;
+  std::ostringstream out;
+  json::Writer w(out);
+  w.beginObject()
+      .field("job", key.job)
+      .field("rank", static_cast<std::int64_t>(key.rank))
+      .field("metric", key.metric)
+      .field("resolution", res)
+      .key("windows")
+      .beginArray();
+  for (const auto& row : daemon.store().range(key, t0, t1, resolution)) {
+    writeRollup(w, row);
+  }
+  w.endArray().endObject();
+  return out.str();
+}
+
+std::string handleDashboard(const Aggregator& daemon) {
+  double now = 0.0;
+  for (const auto& info : daemon.sources()) {
+    now = std::max(now, info.lastSeenSeconds);
+  }
+  std::ostringstream out;
+  json::Writer w(out);
+  w.beginObject().field("text", daemon.dashboard(now)).endObject();
+  return out.str();
+}
+
+}  // namespace
+
+std::string runQuery(const Aggregator& daemon,
+                     const std::string& requestJson) {
+  try {
+    const json::Value req = json::parse(requestJson);
+    if (!req.isObject()) {
+      return errorResponse("request must be a JSON object");
+    }
+    const std::string op = req.stringOr("op", "");
+    if (op == "sources") {
+      return handleSources(daemon);
+    }
+    if (op == "snapshot") {
+      return handleSnapshot(daemon, req);
+    }
+    if (op == "range") {
+      return handleRange(daemon, req);
+    }
+    if (op == "dashboard") {
+      return handleDashboard(daemon);
+    }
+    return errorResponse("unknown op \"" + op + "\"");
+  } catch (const Error& e) {
+    return errorResponse(e.what());
+  } catch (const std::exception& e) {
+    return errorResponse(std::string("internal: ") + e.what());
+  }
+}
+
+std::optional<std::string> requestOverTransport(
+    Transport& transport, const std::string& requestJson,
+    const std::function<void()>& idle, int maxIdles) {
+  if (!transport.connect()) {
+    return std::nullopt;
+  }
+  Frame query;
+  query.kind = FrameKind::kQuery;
+  query.text = requestJson;
+  if (!transport.send(encodeFrame(query))) {
+    return std::nullopt;
+  }
+  FrameReader reader;
+  std::string bytes;
+  for (int round = 0; round < maxIdles; ++round) {
+    bytes.clear();
+    const bool open = transport.receive(bytes);
+    reader.feed(bytes);
+    Frame frame;
+    try {
+      if (reader.next(frame)) {
+        if (frame.kind == FrameKind::kResponse) {
+          return frame.text;
+        }
+        return std::nullopt;  // protocol violation
+      }
+    } catch (const Error&) {
+      return std::nullopt;
+    }
+    if (!open) {
+      return std::nullopt;
+    }
+    if (idle) {
+      idle();
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace zerosum::aggregator

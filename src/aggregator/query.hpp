@@ -1,0 +1,44 @@
+// Query service: the read side of the aggregation daemon.
+//
+// Requests and responses are JSON (common/json), so `zerosum-post
+// --agg-query` and the dashboard can speak to a daemon with nothing but
+// a socket.  The request grammar is one small object:
+//
+//   {"op":"sources"}
+//       -> every known source with identity, state, and health
+//   {"op":"snapshot", "job":"...", "rank":N}        (filters optional)
+//       -> newest fine+coarse rollup per matching series
+//   {"op":"range", "metric":"...", "rank":N, "job":"...",
+//    "t0":0, "t1":60, "resolution":"fine"|"coarse"}
+//       -> all retained windows intersecting [t0, t1]
+//   {"op":"dashboard"}
+//       -> the rendered allocation dashboard as {"text": "..."}
+//
+// Untrusted input: the JSON arrives off the wire, so the parse is
+// depth-limited and any malformed or unknown request yields an
+// {"error": "..."} object instead of an exception escaping the daemon.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+
+namespace zerosum::aggregator {
+
+class Aggregator;
+class Transport;
+
+/// Executes one JSON request against the daemon's store; always returns
+/// a JSON object (possibly {"error": ...}).  Never throws.
+std::string runQuery(const Aggregator& daemon, const std::string& requestJson);
+
+/// Client-side helper: connects `transport`, sends one kQuery frame, and
+/// drains until the kResponse arrives.  `idle()` runs between receive
+/// attempts — a short sleep against a TCP daemon, an Aggregator::poll
+/// against the in-memory pipe.  nullopt when the daemon is unreachable,
+/// the connection drops, or `maxIdles` rounds pass without a response.
+std::optional<std::string> requestOverTransport(
+    Transport& transport, const std::string& requestJson,
+    const std::function<void()>& idle, int maxIdles = 200);
+
+}  // namespace zerosum::aggregator

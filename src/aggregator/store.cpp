@@ -1,0 +1,205 @@
+#include "aggregator/store.hpp"
+
+#include <cmath>
+#include <functional>
+
+#include "common/error.hpp"
+
+namespace zerosum::aggregator {
+
+RollupStore::RollupStore(StoreOptions options) : options_(options) {
+  if (options_.fineWindowSeconds <= 0.0) {
+    throw ConfigError("RollupStore fine window must be positive");
+  }
+  if (options_.coarseFactor < 2) {
+    throw ConfigError("RollupStore coarse factor must be >= 2");
+  }
+  if (options_.fineRetentionWindows < 1 ||
+      options_.coarseRetentionWindows < 1) {
+    throw ConfigError("RollupStore retention must be >= 1 window");
+  }
+  if (options_.shards < 1) {
+    throw ConfigError("RollupStore needs >= 1 shard");
+  }
+  shards_.reserve(static_cast<std::size_t>(options_.shards));
+  for (int i = 0; i < options_.shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+RollupStore::Shard& RollupStore::shardOf(const SeriesKey& key) {
+  const std::size_t h = std::hash<std::string>{}(key.metric) ^
+                        (std::hash<int>{}(key.rank) << 1U) ^
+                        (std::hash<std::string>{}(key.job) << 2U);
+  return *shards_[h % shards_.size()];
+}
+
+const RollupStore::Shard& RollupStore::shardOf(const SeriesKey& key) const {
+  return const_cast<RollupStore*>(this)->shardOf(key);
+}
+
+double RollupStore::windowSeconds(Resolution resolution) const {
+  return resolution == Resolution::kFine
+             ? options_.fineWindowSeconds
+             : options_.fineWindowSeconds * options_.coarseFactor;
+}
+
+void RollupStore::mergeBounded(std::map<std::int64_t, Rollup>& windows,
+                               std::int64_t index, double value,
+                               int retention, std::uint64_t& evicted) {
+  const std::int64_t newest =
+      windows.empty() ? index : std::max(index, windows.rbegin()->first);
+  const std::int64_t oldestKept = newest - retention + 1;
+  if (index < oldestKept) {
+    return;  // beyond the retention horizon: too old to matter
+  }
+  windows[index].merge(value);
+  // Evict windows that fell off the horizon (at most a handful per
+  // ingest; amortized O(1)).
+  while (!windows.empty() && windows.begin()->first < oldestKept) {
+    windows.erase(windows.begin());
+    ++evicted;
+  }
+}
+
+void RollupStore::ingest(const SeriesKey& key, double timeSeconds,
+                         double value) {
+  if (!std::isfinite(timeSeconds) || !std::isfinite(value) ||
+      timeSeconds < 0.0) {
+    return;  // hostile or corrupt input: ignore, never throw on ingest
+  }
+  Shard& shard = shardOf(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  Series& series = shard.series[key];
+  const auto fineIndex = static_cast<std::int64_t>(
+      std::floor(timeSeconds / options_.fineWindowSeconds));
+  mergeBounded(series.fine, fineIndex, value, options_.fineRetentionWindows,
+               shard.evicted);
+  const std::int64_t coarseIndex =
+      fineIndex >= 0 ? fineIndex / options_.coarseFactor
+                     : (fineIndex - options_.coarseFactor + 1) /
+                           options_.coarseFactor;
+  mergeBounded(series.coarse, coarseIndex, value,
+               options_.coarseRetentionWindows, shard.evicted);
+  ++shard.ingested;
+}
+
+std::size_t RollupStore::evictSource(const std::string& job, int rank) {
+  std::size_t dropped = 0;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    for (auto it = shard->series.begin(); it != shard->series.end();) {
+      if (it->first.job == job && it->first.rank == rank) {
+        shard->evicted += it->second.fine.size() + it->second.coarse.size();
+        it = shard->series.erase(it);
+        ++dropped;
+      } else {
+        ++it;
+      }
+    }
+  }
+  return dropped;
+}
+
+std::optional<WindowRollup> RollupStore::latest(const SeriesKey& key,
+                                                Resolution resolution) const {
+  const Shard& shard = shardOf(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.series.find(key);
+  if (it == shard.series.end()) {
+    return std::nullopt;
+  }
+  const auto& windows =
+      resolution == Resolution::kFine ? it->second.fine : it->second.coarse;
+  if (windows.empty()) {
+    return std::nullopt;
+  }
+  const double width = windowSeconds(resolution);
+  WindowRollup out;
+  out.windowStartSeconds =
+      static_cast<double>(windows.rbegin()->first) * width;
+  out.windowSeconds = width;
+  out.rollup = windows.rbegin()->second;
+  return out;
+}
+
+std::vector<WindowRollup> RollupStore::range(const SeriesKey& key, double t0,
+                                             double t1,
+                                             Resolution resolution) const {
+  std::vector<WindowRollup> out;
+  if (t1 < t0) {
+    return out;
+  }
+  const Shard& shard = shardOf(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.series.find(key);
+  if (it == shard.series.end()) {
+    return out;
+  }
+  const auto& windows =
+      resolution == Resolution::kFine ? it->second.fine : it->second.coarse;
+  const double width = windowSeconds(resolution);
+  const auto first = static_cast<std::int64_t>(std::floor(t0 / width));
+  const auto last = static_cast<std::int64_t>(std::floor(t1 / width));
+  for (auto w = windows.lower_bound(first);
+       w != windows.end() && w->first <= last; ++w) {
+    WindowRollup row;
+    row.windowStartSeconds = static_cast<double>(w->first) * width;
+    row.windowSeconds = width;
+    row.rollup = w->second;
+    out.push_back(row);
+  }
+  return out;
+}
+
+std::vector<SeriesKey> RollupStore::keys() const {
+  std::vector<SeriesKey> out;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    for (const auto& [key, series] : shard->series) {
+      out.push_back(key);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<SeriesKey> RollupStore::keysOf(const std::string& job,
+                                           int rank) const {
+  std::vector<SeriesKey> out;
+  for (const auto& key : keys()) {
+    if (key.job == job && key.rank == rank) {
+      out.push_back(key);
+    }
+  }
+  return out;
+}
+
+std::size_t RollupStore::seriesCount() const {
+  std::size_t count = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    count += shard->series.size();
+  }
+  return count;
+}
+
+std::uint64_t RollupStore::samplesIngested() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    total += shard->ingested;
+  }
+  return total;
+}
+
+std::uint64_t RollupStore::windowsEvicted() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    total += shard->evicted;
+  }
+  return total;
+}
+
+}  // namespace zerosum::aggregator

@@ -1,0 +1,137 @@
+// RollupStore: the aggregation daemon's time-series state.
+//
+// Series are keyed by (job, rank, metric) and sharded by key hash so
+// concurrent ingest from many connections contends on different locks.
+// Each series keeps fixed-window rollups — min/avg/max/count, the paper's
+// Listing-2 statistic set — at two resolutions (a fine window and a
+// coarse window of `coarseFactor` fine widths), with bounded retention
+// per resolution: windows older than the newest minus the retention
+// depth are evicted, and out-of-order arrivals inside the retention
+// horizon merge into the correct window.  Sources that stop reporting
+// are evicted wholesale after `staleSeconds` (deltadb-style history
+// truncation: the store answers "now" and "recently", not "ever").
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace zerosum::aggregator {
+
+struct StoreOptions {
+  double fineWindowSeconds = 1.0;
+  /// Coarse window = fine window x this factor.
+  int coarseFactor = 10;
+  /// Retention depth, in windows, per resolution.
+  int fineRetentionWindows = 600;
+  int coarseRetentionWindows = 360;
+  /// A source is evicted after this long without any frame.
+  double staleSeconds = 30.0;
+  /// Shard count (power of two); more shards = less ingest contention.
+  int shards = 8;
+};
+
+/// min/avg/max/count over one window (avg derived from sum/count).
+struct Rollup {
+  double min = 0.0;
+  double max = 0.0;
+  double sum = 0.0;
+  std::uint64_t count = 0;
+
+  [[nodiscard]] double avg() const {
+    return count == 0 ? 0.0 : sum / static_cast<double>(count);
+  }
+
+  void merge(double value) {
+    if (count == 0) {
+      min = max = value;
+    } else {
+      min = std::min(min, value);
+      max = std::max(max, value);
+    }
+    sum += value;
+    ++count;
+  }
+};
+
+struct SeriesKey {
+  std::string job;
+  int rank = 0;
+  std::string metric;
+
+  friend bool operator==(const SeriesKey&, const SeriesKey&) = default;
+  friend auto operator<=>(const SeriesKey&, const SeriesKey&) = default;
+};
+
+/// One window of one series, as returned by queries.
+struct WindowRollup {
+  double windowStartSeconds = 0.0;
+  double windowSeconds = 0.0;
+  Rollup rollup;
+};
+
+enum class Resolution : std::uint8_t { kFine, kCoarse };
+
+class RollupStore {
+ public:
+  explicit RollupStore(StoreOptions options = {});
+
+  /// Merges one observation into both resolutions.
+  void ingest(const SeriesKey& key, double timeSeconds, double value);
+
+  /// Removes every series belonging to (job, rank).  Returns the number
+  /// of series dropped.
+  std::size_t evictSource(const std::string& job, int rank);
+
+  /// Newest window of a series at the given resolution.
+  [[nodiscard]] std::optional<WindowRollup> latest(
+      const SeriesKey& key, Resolution resolution = Resolution::kFine) const;
+
+  /// Windows intersecting [t0, t1], oldest first.
+  [[nodiscard]] std::vector<WindowRollup> range(
+      const SeriesKey& key, double t0, double t1,
+      Resolution resolution = Resolution::kFine) const;
+
+  /// All series keys, sorted (job, rank, metric).
+  [[nodiscard]] std::vector<SeriesKey> keys() const;
+  /// Keys restricted to one (job, rank).
+  [[nodiscard]] std::vector<SeriesKey> keysOf(const std::string& job,
+                                              int rank) const;
+
+  [[nodiscard]] std::size_t seriesCount() const;
+  [[nodiscard]] std::uint64_t samplesIngested() const;
+  [[nodiscard]] std::uint64_t windowsEvicted() const;
+  [[nodiscard]] const StoreOptions& options() const { return options_; }
+
+ private:
+  struct Series {
+    /// windowIndex -> rollup, bounded by the retention depth.
+    std::map<std::int64_t, Rollup> fine;
+    std::map<std::int64_t, Rollup> coarse;
+  };
+
+  struct Shard {
+    mutable std::mutex mutex;
+    std::map<SeriesKey, Series> series;
+    std::uint64_t ingested = 0;
+    std::uint64_t evicted = 0;
+  };
+
+  [[nodiscard]] Shard& shardOf(const SeriesKey& key);
+  [[nodiscard]] const Shard& shardOf(const SeriesKey& key) const;
+  [[nodiscard]] double windowSeconds(Resolution resolution) const;
+
+  static void mergeBounded(std::map<std::int64_t, Rollup>& windows,
+                           std::int64_t index, double value, int retention,
+                           std::uint64_t& evicted);
+
+  StoreOptions options_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace zerosum::aggregator

@@ -1,0 +1,64 @@
+// Loopback-TCP implementations of the aggregation transports.
+//
+// TcpServer listens on 127.0.0.1 (port 0 = kernel-assigned, reported by
+// port()); accept and reads are non-blocking, driven by the daemon's
+// poll() loop.  TcpTransport is the client side: best-effort connect
+// (ECONNREFUSED is a normal "daemon absent" outcome, not an error) and
+// sends that report failure instead of raising SIGPIPE, so a dead daemon
+// degrades to counted drops in the client.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "aggregator/transport.hpp"
+
+namespace zerosum::aggregator {
+
+class TcpTransport final : public Transport {
+ public:
+  TcpTransport(std::string host, int port);
+  ~TcpTransport() override;
+
+  bool connect() override;
+  [[nodiscard]] bool connected() const override { return fd_ >= 0; }
+  bool send(const std::string& bytes) override;
+  bool receive(std::string& out) override;
+  void close() override;
+
+ private:
+  std::string host_;
+  int port_;
+  int fd_ = -1;
+};
+
+class TcpServer final : public TransportServer {
+ public:
+  /// Binds and listens on 127.0.0.1:`port` (0 = ephemeral).  Throws
+  /// StateError when the socket cannot be bound.
+  explicit TcpServer(int port);
+  ~TcpServer() override;
+
+  /// The actual listening port (useful with port 0).
+  [[nodiscard]] int port() const { return port_; }
+
+  std::vector<Delivery> poll() override;
+  bool send(std::uint64_t connection, const std::string& bytes) override;
+  void disconnect(std::uint64_t connection) override;
+
+ private:
+  struct Conn {
+    int fd = -1;
+    bool openedReported = false;
+  };
+
+  int listenFd_ = -1;
+  int port_ = 0;
+  std::uint64_t nextId_ = 1;
+  std::map<std::uint64_t, Conn> conns_;
+};
+
+}  // namespace zerosum::aggregator

@@ -1,0 +1,196 @@
+#include "aggregator/transport.hpp"
+
+#include <algorithm>
+
+namespace zerosum::aggregator {
+
+// --- PipeTransport ---------------------------------------------------------
+
+class PipeTransport final : public Transport {
+ public:
+  explicit PipeTransport(PipeHub* hub) : hub_(hub) {}
+
+  ~PipeTransport() override { close(); }
+
+  bool connect() override {
+    std::lock_guard<std::mutex> lock(hub_->mutex_);
+    if (hub_->down_) {
+      return false;
+    }
+    if (id_ != 0) {
+      auto it = hub_->connections_.find(id_);
+      if (it != hub_->connections_.end() && !it->second.serverClosed &&
+          !it->second.clientClosed) {
+        return true;  // already connected
+      }
+    }
+    PipeHub::Connection conn;
+    conn.id = hub_->nextId_++;
+    conn.clientOpen = true;
+    id_ = conn.id;
+    hub_->connections_.emplace(conn.id, std::move(conn));
+    hub_->noteNews(id_);
+    return true;
+  }
+
+  [[nodiscard]] bool connected() const override {
+    std::lock_guard<std::mutex> lock(hub_->mutex_);
+    if (id_ == 0 || hub_->down_) {
+      return false;
+    }
+    const auto it = hub_->connections_.find(id_);
+    return it != hub_->connections_.end() && !it->second.serverClosed &&
+           !it->second.clientClosed;
+  }
+
+  bool send(const std::string& bytes) override {
+    std::lock_guard<std::mutex> lock(hub_->mutex_);
+    if (id_ == 0 || hub_->down_) {
+      return false;
+    }
+    auto it = hub_->connections_.find(id_);
+    if (it == hub_->connections_.end() || it->second.serverClosed ||
+        it->second.clientClosed) {
+      return false;
+    }
+    it->second.toServer.append(bytes);
+    hub_->noteNews(id_);
+    return true;
+  }
+
+  bool receive(std::string& out) override {
+    std::lock_guard<std::mutex> lock(hub_->mutex_);
+    if (id_ == 0) {
+      return false;
+    }
+    auto it = hub_->connections_.find(id_);
+    if (it == hub_->connections_.end()) {
+      return false;
+    }
+    out.append(it->second.toClient);
+    it->second.toClient.clear();
+    return !it->second.serverClosed && !hub_->down_;
+  }
+
+  void close() override {
+    std::lock_guard<std::mutex> lock(hub_->mutex_);
+    if (id_ == 0) {
+      return;
+    }
+    auto it = hub_->connections_.find(id_);
+    if (it != hub_->connections_.end()) {
+      it->second.clientClosed = true;
+      hub_->noteNews(id_);
+    }
+    id_ = 0;
+  }
+
+ private:
+  PipeHub* hub_;
+  std::uint64_t id_ = 0;
+};
+
+// --- PipeServer ------------------------------------------------------------
+
+class PipeServer final : public TransportServer {
+ public:
+  explicit PipeServer(PipeHub* hub) : hub_(hub) {}
+
+  std::vector<Delivery> poll() override {
+    std::lock_guard<std::mutex> lock(hub_->mutex_);
+    std::vector<Delivery> out;
+    if (hub_->down_) {
+      hub_->arrivalOrder_.clear();
+      return out;
+    }
+    std::vector<std::uint64_t> ids;
+    while (!hub_->arrivalOrder_.empty()) {
+      const std::uint64_t id = hub_->arrivalOrder_.front();
+      hub_->arrivalOrder_.pop_front();
+      if (std::find(ids.begin(), ids.end(), id) == ids.end()) {
+        ids.push_back(id);
+      }
+    }
+    for (const std::uint64_t id : ids) {
+      auto it = hub_->connections_.find(id);
+      if (it == hub_->connections_.end()) {
+        continue;
+      }
+      auto& conn = it->second;
+      Delivery d;
+      d.connection = id;
+      if (!conn.serverSawOpen) {
+        conn.serverSawOpen = true;
+        d.opened = true;
+      }
+      d.bytes = std::move(conn.toServer);
+      conn.toServer.clear();
+      if (conn.clientClosed && !conn.serverSawClose) {
+        conn.serverSawClose = true;
+        d.closed = true;
+      }
+      out.push_back(std::move(d));
+      if (conn.clientClosed && conn.serverSawClose &&
+          conn.toClient.empty()) {
+        hub_->connections_.erase(it);
+      }
+    }
+    return out;
+  }
+
+  bool send(std::uint64_t connection, const std::string& bytes) override {
+    std::lock_guard<std::mutex> lock(hub_->mutex_);
+    auto it = hub_->connections_.find(connection);
+    if (it == hub_->connections_.end() || it->second.clientClosed ||
+        hub_->down_) {
+      return false;
+    }
+    it->second.toClient.append(bytes);
+    return true;
+  }
+
+  void disconnect(std::uint64_t connection) override {
+    std::lock_guard<std::mutex> lock(hub_->mutex_);
+    auto it = hub_->connections_.find(connection);
+    if (it != hub_->connections_.end()) {
+      it->second.serverClosed = true;
+    }
+  }
+
+ private:
+  PipeHub* hub_;
+};
+
+// --- PipeHub ---------------------------------------------------------------
+
+void PipeHub::setDown(bool down) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  down_ = down;
+  if (down) {
+    // The daemon died: every established connection is severed and any
+    // in-flight bytes are lost with it.
+    for (auto& [id, conn] : connections_) {
+      conn.serverClosed = true;
+      conn.toServer.clear();
+      conn.toClient.clear();
+    }
+    arrivalOrder_.clear();
+  }
+}
+
+bool PipeHub::down() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return down_;
+}
+
+std::unique_ptr<Transport> PipeHub::makeClientTransport() {
+  return std::make_unique<PipeTransport>(this);
+}
+
+std::unique_ptr<TransportServer> PipeHub::makeServer() {
+  return std::make_unique<PipeServer>(this);
+}
+
+void PipeHub::noteNews(std::uint64_t id) { arrivalOrder_.push_back(id); }
+
+}  // namespace zerosum::aggregator

@@ -1,0 +1,115 @@
+// Transport abstraction for the aggregation daemon.
+//
+// The client side is a byte pipe that may fail: connect() is best-effort
+// (a missing daemon is a normal condition, not an error — "do no harm"),
+// send() reports failure so the client can count drops and schedule a
+// reconnect.  The server side is poll-driven: poll() returns whatever
+// bytes arrived per connection since the last call, plus open/close
+// edges, so the daemon never blocks on a slow or dead source.
+//
+// Two implementations:
+//   * PipeHub / PipeTransport — deterministic in-memory queues, no
+//     threads, no OS; what the tests and the lockstep cluster simulation
+//     use.
+//   * TcpServer / TcpTransport (tcp.hpp) — loopback sockets for real
+//     multi-process runs.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace zerosum::aggregator {
+
+/// Client-side byte pipe to the daemon.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Attempts to (re)connect; false when the daemon is unreachable.
+  virtual bool connect() = 0;
+  [[nodiscard]] virtual bool connected() const = 0;
+
+  /// Sends one encoded frame; false on any failure (the connection is
+  /// considered dead afterwards until connect() succeeds again).
+  virtual bool send(const std::string& bytes) = 0;
+
+  /// Bytes the daemon pushed back to this client (query responses).
+  /// Appends to `out`; returns false once the peer has closed.
+  virtual bool receive(std::string& out) = 0;
+
+  virtual void close() = 0;
+};
+
+/// One server-side poll result: bytes received on a connection, plus
+/// connection lifecycle edges.
+struct Delivery {
+  std::uint64_t connection = 0;  ///< stable per-connection id
+  std::string bytes;             ///< may be empty on open/close edges
+  bool opened = false;           ///< first delivery for this connection
+  bool closed = false;           ///< peer closed (after `bytes`)
+};
+
+/// Server-side endpoint the daemon drains.
+class TransportServer {
+ public:
+  virtual ~TransportServer() = default;
+
+  /// Everything that arrived since the last poll, in arrival order.
+  virtual std::vector<Delivery> poll() = 0;
+
+  /// Pushes bytes back to a connection (query responses); false when the
+  /// connection is gone.
+  virtual bool send(std::uint64_t connection, const std::string& bytes) = 0;
+
+  /// Closes one connection from the server side.
+  virtual void disconnect(std::uint64_t connection) = 0;
+};
+
+/// In-memory rendezvous point: clients attach PipeTransports, the daemon
+/// drains a PipeServer.  Deterministic (no threads of its own) but fully
+/// thread-safe, so async monitor threads can publish through it too.
+class PipeHub {
+ public:
+  /// Daemon availability switch: while down, connect() fails and every
+  /// established connection reads as closed — the test hook for the
+  /// "killed daemon" scenarios.
+  void setDown(bool down);
+  [[nodiscard]] bool down() const;
+
+  /// Creates a client endpoint bound to this hub.  The hub must outlive
+  /// the transport.
+  std::unique_ptr<Transport> makeClientTransport();
+
+  /// Creates the (single) server endpoint.
+  std::unique_ptr<TransportServer> makeServer();
+
+ private:
+  friend class PipeTransport;
+  friend class PipeServer;
+
+  struct Connection {
+    std::uint64_t id = 0;
+    std::string toServer;    ///< bytes awaiting server poll
+    std::string toClient;    ///< bytes awaiting client receive
+    bool clientOpen = false;
+    bool serverSawOpen = false;
+    bool clientClosed = false;  ///< client closed its end
+    bool serverClosed = false;  ///< server closed its end
+    bool serverSawClose = false;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::uint64_t, Connection> connections_;
+  std::deque<std::uint64_t> arrivalOrder_;  ///< connections with news
+  std::uint64_t nextId_ = 1;
+  bool down_ = false;
+
+  void noteNews(std::uint64_t id);
+};
+
+}  // namespace zerosum::aggregator

@@ -1,0 +1,307 @@
+#include "aggregator/wire.hpp"
+
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace zerosum::aggregator {
+
+namespace {
+
+// --- encode helpers (little-endian, fixed width) ---------------------------
+
+void putU8(std::string& out, std::uint8_t v) {
+  out.push_back(static_cast<char>(v));
+}
+
+void putU16(std::string& out, std::uint16_t v) {
+  out.push_back(static_cast<char>(v & 0xFFU));
+  out.push_back(static_cast<char>((v >> 8U) & 0xFFU));
+}
+
+void putU32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8U * static_cast<unsigned>(i))) &
+                                    0xFFU));
+  }
+}
+
+void putU64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8U * static_cast<unsigned>(i))) &
+                                    0xFFU));
+  }
+}
+
+void putI32(std::string& out, std::int32_t v) {
+  putU32(out, static_cast<std::uint32_t>(v));
+}
+
+void putF64(std::string& out, double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  putU64(out, bits);
+}
+
+void putString(std::string& out, const std::string& s) {
+  if (s.size() > 0xFFFFU) {
+    throw ParseError("wire: string exceeds 65535 bytes");
+  }
+  putU16(out, static_cast<std::uint16_t>(s.size()));
+  out.append(s);
+}
+
+// --- decode helpers --------------------------------------------------------
+
+class PayloadReader {
+ public:
+  PayloadReader(const char* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  std::uint8_t u8() {
+    need(1);
+    return static_cast<std::uint8_t>(data_[pos_++]);
+  }
+
+  std::uint16_t u16() {
+    need(2);
+    const auto lo = static_cast<std::uint16_t>(
+        static_cast<std::uint8_t>(data_[pos_]));
+    const auto hi = static_cast<std::uint16_t>(
+        static_cast<std::uint8_t>(data_[pos_ + 1]));
+    pos_ += 2;
+    return static_cast<std::uint16_t>(lo | (hi << 8U));
+  }
+
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(
+               data_[pos_ + static_cast<std::size_t>(i)]))
+           << (8U * static_cast<unsigned>(i));
+    }
+    pos_ += 4;
+    return v;
+  }
+
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(
+               data_[pos_ + static_cast<std::size_t>(i)]))
+           << (8U * static_cast<unsigned>(i));
+    }
+    pos_ += 8;
+    return v;
+  }
+
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v = 0.0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  std::string str() {
+    const std::uint16_t n = u16();
+    need(n);
+    std::string s(data_ + pos_, n);
+    pos_ += n;
+    return s;
+  }
+
+  void done() const {
+    if (pos_ != size_) {
+      throw ParseError("wire: " + std::to_string(size_ - pos_) +
+                       " trailing payload byte(s)");
+    }
+  }
+
+ private:
+  void need(std::size_t n) const {
+    if (pos_ + n > size_) {
+      throw ParseError("wire: truncated payload");
+    }
+  }
+
+  const char* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+std::string encodePayload(const Frame& frame) {
+  std::string p;
+  switch (frame.kind) {
+    case FrameKind::kHello:
+      putString(p, frame.hello.job);
+      putI32(p, frame.hello.rank);
+      putI32(p, frame.hello.worldSize);
+      putString(p, frame.hello.hostname);
+      putI32(p, frame.hello.pid);
+      break;
+    case FrameKind::kBatch:
+      putF64(p, frame.timeSeconds);
+      putU32(p, static_cast<std::uint32_t>(frame.records.size()));
+      for (const auto& r : frame.records) {
+        putF64(p, r.timeSeconds);
+        putString(p, r.name);
+        putF64(p, r.value);
+      }
+      break;
+    case FrameKind::kHealth:
+      putU64(p, frame.health.samplesTaken);
+      putU64(p, frame.health.samplesDegraded);
+      putU64(p, frame.health.samplesDropped);
+      putU64(p, frame.health.loopOverruns);
+      putU32(p, frame.health.quarantined);
+      break;
+    case FrameKind::kHeartbeat:
+    case FrameKind::kGoodbye:
+      putF64(p, frame.timeSeconds);
+      break;
+    case FrameKind::kQuery:
+    case FrameKind::kResponse:
+      // JSON payloads can exceed the u16 string limit; length is implied
+      // by the frame length.
+      p.append(frame.text);
+      break;
+  }
+  return p;
+}
+
+Frame decodePayload(FrameKind kind, const char* data, std::size_t size) {
+  Frame frame;
+  frame.kind = kind;
+  PayloadReader in(data, size);
+  switch (kind) {
+    case FrameKind::kHello:
+      frame.hello.job = in.str();
+      frame.hello.rank = in.i32();
+      frame.hello.worldSize = in.i32();
+      frame.hello.hostname = in.str();
+      frame.hello.pid = in.i32();
+      in.done();
+      break;
+    case FrameKind::kBatch: {
+      frame.timeSeconds = in.f64();
+      const std::uint32_t count = in.u32();
+      // 18 bytes = the minimum encoded record (two f64 + empty name).
+      if (static_cast<std::size_t>(count) * 18 > size) {
+        throw ParseError("wire: batch record count exceeds payload");
+      }
+      frame.records.reserve(count);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        WireRecord r;
+        r.timeSeconds = in.f64();
+        r.name = in.str();
+        r.value = in.f64();
+        frame.records.push_back(std::move(r));
+      }
+      in.done();
+      break;
+    }
+    case FrameKind::kHealth:
+      frame.health.samplesTaken = in.u64();
+      frame.health.samplesDegraded = in.u64();
+      frame.health.samplesDropped = in.u64();
+      frame.health.loopOverruns = in.u64();
+      frame.health.quarantined = in.u32();
+      in.done();
+      break;
+    case FrameKind::kHeartbeat:
+    case FrameKind::kGoodbye:
+      frame.timeSeconds = in.f64();
+      in.done();
+      break;
+    case FrameKind::kQuery:
+    case FrameKind::kResponse:
+      frame.text.assign(data, size);
+      break;
+  }
+  return frame;
+}
+
+bool validKind(std::uint8_t k) {
+  return k >= static_cast<std::uint8_t>(FrameKind::kHello) &&
+         k <= static_cast<std::uint8_t>(FrameKind::kResponse);
+}
+
+}  // namespace
+
+std::string encodeFrame(const Frame& frame) {
+  const std::string payload = encodePayload(frame);
+  if (payload.size() > kMaxPayloadBytes) {
+    throw ParseError("wire: frame payload exceeds " +
+                     std::to_string(kMaxPayloadBytes) + " bytes");
+  }
+  std::string out;
+  out.reserve(payload.size() + 6);
+  putU32(out, static_cast<std::uint32_t>(payload.size()));
+  putU8(out, kWireVersion);
+  putU8(out, static_cast<std::uint8_t>(frame.kind));
+  out.append(payload);
+  return out;
+}
+
+void FrameReader::feed(const char* data, std::size_t size) {
+  // Compact the buffer once the consumed prefix dominates, so a
+  // long-lived connection does not grow the buffer without bound.
+  if (consumed_ > 0 && consumed_ >= buffer_.size() / 2) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  buffer_.append(data, size);
+}
+
+bool FrameReader::next(Frame& out) {
+  const std::size_t avail = buffer_.size() - consumed_;
+  if (avail < 6) {
+    return false;
+  }
+  const char* head = buffer_.data() + consumed_;
+  std::uint32_t length = 0;
+  for (int i = 0; i < 4; ++i) {
+    length |= static_cast<std::uint32_t>(
+                  static_cast<std::uint8_t>(head[i]))
+              << (8U * static_cast<unsigned>(i));
+  }
+  if (length > kMaxPayloadBytes) {
+    throw ParseError("wire: frame length " + std::to_string(length) +
+                     " exceeds limit");
+  }
+  const std::uint8_t version = static_cast<std::uint8_t>(head[4]);
+  if (version != kWireVersion) {
+    throw ParseError("wire: version " + std::to_string(version) +
+                     " (expected " + std::to_string(kWireVersion) + ")");
+  }
+  const std::uint8_t kind = static_cast<std::uint8_t>(head[5]);
+  if (!validKind(kind)) {
+    throw ParseError("wire: unknown frame kind " + std::to_string(kind));
+  }
+  if (avail < 6 + static_cast<std::size_t>(length)) {
+    return false;
+  }
+  out = decodePayload(static_cast<FrameKind>(kind), head + 6, length);
+  consumed_ += 6 + static_cast<std::size_t>(length);
+  return true;
+}
+
+Frame decodeFrame(const std::string& bytes) {
+  FrameReader reader;
+  reader.feed(bytes);
+  Frame frame;
+  if (!reader.next(frame)) {
+    throw ParseError("wire: incomplete frame");
+  }
+  if (reader.pendingBytes() != 0) {
+    throw ParseError("wire: trailing bytes after frame");
+  }
+  return frame;
+}
+
+}  // namespace zerosum::aggregator

@@ -1,0 +1,115 @@
+// Aggregation wire protocol (paper §6: collecting ZeroSum data "from
+// across the application processes" into a node/job-level service).
+//
+// Compact length-prefixed binary frames, modeled on the catalog-server /
+// deltadb split in cctools: a client announces itself once (kHello),
+// streams metric batches and health updates, and says goodbye; queries
+// and their responses ride the same framing as JSON payloads.  Every
+// frame is self-delimiting so the daemon can decode from a byte stream
+// that arrives in arbitrary chunks:
+//
+//   [u32 payload length][u8 version][u8 kind][payload...]
+//
+// Integers are little-endian fixed width; strings are u16-length-prefixed.
+// Decoding is strict: a truncated payload, an unknown kind, or a version
+// mismatch throws ParseError — the daemon drops the offending connection
+// and counts the error rather than guessing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace zerosum::aggregator {
+
+/// Protocol version; bumped on any incompatible layout change.
+inline constexpr std::uint8_t kWireVersion = 1;
+
+/// Hard ceiling on a single frame's payload (defense against a corrupt
+/// or hostile length prefix allocating gigabytes).
+inline constexpr std::uint32_t kMaxPayloadBytes = 4U << 20;
+
+enum class FrameKind : std::uint8_t {
+  kHello = 1,      ///< source identity; first frame on every connection
+  kBatch = 2,      ///< one sampling period's metric records
+  kHealth = 3,     ///< monitor self-health counters
+  kHeartbeat = 4,  ///< liveness when a period produced no records
+  kGoodbye = 5,    ///< orderly shutdown of the source
+  kQuery = 6,      ///< JSON query request (reader connections)
+  kResponse = 7,   ///< JSON query response (daemon -> reader)
+};
+
+/// Source identity carried by kHello.
+struct Hello {
+  std::string job;       ///< allocation/job identifier
+  std::int32_t rank = 0;
+  std::int32_t worldSize = 0;
+  std::string hostname;
+  std::int32_t pid = 0;
+
+  friend bool operator==(const Hello&, const Hello&) = default;
+};
+
+/// One metric observation on the wire.  The source identity comes from
+/// the connection's Hello, so records carry only time/name/value.
+struct WireRecord {
+  double timeSeconds = 0.0;
+  std::string name;
+  double value = 0.0;
+
+  friend bool operator==(const WireRecord&, const WireRecord&) = default;
+};
+
+/// Monitor self-health counters (core::MonitorHealth, flattened).
+struct HealthUpdate {
+  std::uint64_t samplesTaken = 0;
+  std::uint64_t samplesDegraded = 0;
+  std::uint64_t samplesDropped = 0;
+  std::uint64_t loopOverruns = 0;
+  std::uint32_t quarantined = 0;
+
+  friend bool operator==(const HealthUpdate&, const HealthUpdate&) = default;
+};
+
+/// A decoded frame.  Only the members matching `kind` are meaningful
+/// (a tagged union spelled as a struct: the payloads are small and the
+/// decode path stays trivially safe).
+struct Frame {
+  FrameKind kind = FrameKind::kHeartbeat;
+  Hello hello;                      ///< kHello
+  std::vector<WireRecord> records;  ///< kBatch
+  HealthUpdate health;              ///< kHealth
+  double timeSeconds = 0.0;         ///< kBatch / kHeartbeat / kGoodbye
+  std::string text;                 ///< kQuery / kResponse (JSON)
+};
+
+/// Serializes one frame, length prefix included.
+std::string encodeFrame(const Frame& frame);
+
+/// Incremental decoder: feed() arbitrary byte chunks, then next() yields
+/// completed frames until it returns false.  Throws ParseError on a
+/// malformed frame; the caller should drop the connection.
+class FrameReader {
+ public:
+  void feed(const char* data, std::size_t size);
+  void feed(const std::string& bytes) { feed(bytes.data(), bytes.size()); }
+
+  /// Decodes the next complete frame into `out`; false when more bytes
+  /// are needed.
+  bool next(Frame& out);
+
+  /// Bytes buffered but not yet decoded.
+  [[nodiscard]] std::size_t pendingBytes() const {
+    return buffer_.size() - consumed_;
+  }
+
+ private:
+  std::string buffer_;
+  std::size_t consumed_ = 0;
+};
+
+/// Convenience for tests: decodes exactly one frame from `bytes`;
+/// throws ParseError when bytes hold anything other than one frame.
+Frame decodeFrame(const std::string& bytes);
+
+}  // namespace zerosum::aggregator

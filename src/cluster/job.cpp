@@ -86,6 +86,41 @@ void ClusterJob::addInterference(const Interference& interference) {
   }
 }
 
+void ClusterJob::enableAggregation(const std::string& jobName,
+                                   aggregator::StoreOptions storeOptions) {
+  if (ran_) {
+    throw StateError("enableAggregation after run()");
+  }
+  if (aggHub_) {
+    throw StateError("enableAggregation called twice");
+  }
+  aggHub_ = std::make_unique<aggregator::PipeHub>();
+  aggDaemon_ = std::make_unique<aggregator::Aggregator>(aggHub_->makeServer(),
+                                                        storeOptions);
+  aggDeparted_.assign(static_cast<std::size_t>(totalRanks()), false);
+  for (int rank = 0; rank < totalRanks(); ++rank) {
+    auto& session = *sessions_[static_cast<std::size_t>(rank)];
+    aggregator::Hello hello;
+    hello.job = jobName;
+    hello.rank = rank;
+    hello.worldSize = totalRanks();
+    hello.hostname = session.identity().hostname;
+    hello.pid = session.identity().pid;
+    auto stream = std::make_unique<exporter::MetricStream>();
+    auto publisher =
+        std::make_unique<exporter::SessionPublisher>(stream.get());
+    publisher->attachAggregator(std::make_unique<aggregator::Client>(
+        aggHub_->makeClientTransport(), hello));
+    exporter::SessionPublisher* raw = publisher.get();
+    session.setSampleCallback(
+        [raw](const core::MonitorSession& s, double timeSeconds) {
+          raw->publish(s, timeSeconds);
+        });
+    aggStreams_.push_back(std::move(stream));
+    aggPublishers_.push_back(std::move(publisher));
+  }
+}
+
 void ClusterJob::run(double maxSeconds) {
   ran_ = true;
   auto jobFinished = [&] {
@@ -114,8 +149,29 @@ void ClusterJob::run(double maxSeconds) {
       if (!nodes_[static_cast<std::size_t>(n)]->processFinished(
               ranks_[static_cast<std::size_t>(rank)].pid)) {
         sessions_[static_cast<std::size_t>(rank)]->sampleNow(runtime_);
+      } else if (aggDaemon_ &&
+                 !aggDeparted_[static_cast<std::size_t>(rank)]) {
+        // The rank's tool exits with its process: flush and say goodbye.
+        aggPublishers_[static_cast<std::size_t>(rank)]->closeAggregator(
+            runtime_);
+        aggDeparted_[static_cast<std::size_t>(rank)] = true;
       }
     }
+    if (aggDaemon_) {
+      aggDaemon_->poll(runtime_);
+    }
+  }
+  if (aggDaemon_) {
+    // Orderly end of job: any rank still attached departs now, and the
+    // daemon drains the final goodbyes.
+    for (int rank = 0; rank < totalRanks(); ++rank) {
+      if (!aggDeparted_[static_cast<std::size_t>(rank)]) {
+        aggPublishers_[static_cast<std::size_t>(rank)]->closeAggregator(
+            runtime_);
+        aggDeparted_[static_cast<std::size_t>(rank)] = true;
+      }
+    }
+    aggDaemon_->poll(runtime_);
   }
   // No catch-up sampling: each rank's duration freezes at the last period
   // in which its process was alive, so the per-rank durations expose the

@@ -15,7 +15,11 @@
 #include <string>
 #include <vector>
 
+#include "aggregator/daemon.hpp"
+#include "aggregator/transport.hpp"
 #include "core/monitor.hpp"
+#include "export/publisher.hpp"
+#include "export/stream.hpp"
 #include "sim/workload.hpp"
 #include "topology/hardware.hpp"
 
@@ -50,6 +54,20 @@ class ClusterJob {
   /// Adds a noisy neighbour before run().
   void addInterference(const Interference& interference);
 
+  /// Stands up an in-job aggregation daemon (in-memory transport) and
+  /// wires every rank's publisher into it, before run().  Each rank
+  /// publishes its per-period metrics through its own embedded client;
+  /// the daemon is polled once per lockstep step and receives a goodbye
+  /// when a rank's process finishes — the §6 cross-rank collection path,
+  /// driven in virtual time.
+  void enableAggregation(const std::string& jobName = "simjob",
+                         aggregator::StoreOptions storeOptions = {});
+
+  /// The in-job daemon; nullptr unless enableAggregation() was called.
+  [[nodiscard]] aggregator::Aggregator* aggregatorDaemon() {
+    return aggDaemon_.get();
+  }
+
   /// Advances all nodes in lockstep, sampling every rank's monitor once
   /// per virtual second, until the job finishes or maxSeconds elapses.
   void run(double maxSeconds = 900.0);
@@ -76,6 +94,13 @@ class ClusterJob {
   std::vector<std::unique_ptr<core::MonitorSession>> sessions_;
   double runtime_ = 0.0;
   bool ran_ = false;
+
+  // Aggregation plumbing (enableAggregation); indexed by global rank.
+  std::unique_ptr<aggregator::PipeHub> aggHub_;
+  std::unique_ptr<aggregator::Aggregator> aggDaemon_;
+  std::vector<std::unique_ptr<exporter::MetricStream>> aggStreams_;
+  std::vector<std::unique_ptr<exporter::SessionPublisher>> aggPublishers_;
+  std::vector<bool> aggDeparted_;
 };
 
 }  // namespace zerosum::cluster

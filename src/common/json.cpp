@@ -229,6 +229,24 @@ class Parser {
   }
 
  private:
+  /// Container nesting bound: the recursive descent otherwise turns
+  /// attacker-sized documents (the aggregation query path parses bytes
+  /// straight off a socket) into stack exhaustion.  64 is far beyond
+  /// anything this repository emits.
+  static constexpr int kMaxDepth = 64;
+
+  struct DepthGuard {
+    explicit DepthGuard(Parser& p) : parser(p) {
+      if (++parser.depth_ > kMaxDepth) {
+        parser.fail("nesting deeper than " + std::to_string(kMaxDepth));
+      }
+    }
+    ~DepthGuard() { --parser.depth_; }
+    DepthGuard(const DepthGuard&) = delete;
+    DepthGuard& operator=(const DepthGuard&) = delete;
+    Parser& parser;
+  };
+
   [[noreturn]] void fail(const std::string& why) const {
     throw ParseError("json at offset " + std::to_string(pos_) + ": " + why);
   }
@@ -268,8 +286,14 @@ class Parser {
     skipWs();
     const char c = peek();
     switch (c) {
-      case '{': return parseObject();
-      case '[': return parseArray();
+      case '{': {
+        DepthGuard guard(*this);
+        return parseObject();
+      }
+      case '[': {
+        DepthGuard guard(*this);
+        return parseArray();
+      }
       case '"': return Value(parseString());
       case 't':
         if (consumeLiteral("true")) {
@@ -416,6 +440,7 @@ class Parser {
 
   const std::string& text_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace

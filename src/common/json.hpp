@@ -9,6 +9,10 @@
 //     results), so zerosum-post can summarize a trace without a external
 //     JSON dependency.  Full RFC 8259 grammar minus \u surrogate pairs
 //     (which we never emit; lone \uXXXX escapes are decoded as Latin-1).
+//     Also fed untrusted bytes by the aggregation query service, hence
+//     the hardening guarantees: container nesting is limited to 64
+//     levels, duplicate object keys resolve to the last occurrence, and
+//     any bytes after the document are an error.
 #pragma once
 
 #include <cstdint>

@@ -47,6 +47,24 @@ Config Config::fromEnv() {
   }
   cfg.traceFile = env::getString("ZS_TRACE_FILE", cfg.traceFile);
   cfg.trace = env::getBool("ZS_TRACE", cfg.trace) || !cfg.traceFile.empty();
+  cfg.aggHost = env::getString("ZS_AGG_HOST", cfg.aggHost);
+  cfg.aggPort = static_cast<int>(env::getInt("ZS_AGG_PORT", cfg.aggPort));
+  if (cfg.aggPort < 0 || cfg.aggPort > 65535) {
+    throw ConfigError("ZS_AGG_PORT must be in [0, 65535]");
+  }
+  cfg.aggJob = env::getString(
+      "ZS_AGG_JOB", env::getString("SLURM_JOB_ID", "default"));
+  cfg.aggQueueRecords = static_cast<int>(
+      env::getInt("ZS_AGG_QUEUE", cfg.aggQueueRecords));
+  cfg.aggBatchRecords = static_cast<int>(
+      env::getInt("ZS_AGG_BATCH", cfg.aggBatchRecords));
+  cfg.aggBatchAgeMs = static_cast<int>(
+      env::getInt("ZS_AGG_BATCH_AGE_MS", cfg.aggBatchAgeMs));
+  if (cfg.aggQueueRecords < 1 || cfg.aggBatchRecords < 1 ||
+      cfg.aggBatchAgeMs < 1) {
+    throw ConfigError("ZS_AGG_QUEUE/ZS_AGG_BATCH/ZS_AGG_BATCH_AGE_MS must "
+                      "be >= 1");
+  }
   return cfg;
 }
 

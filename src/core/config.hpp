@@ -33,6 +33,16 @@
 //                        setting this implies ZS_TRACE
 //   ZS_TRACE_RING        per-thread trace ring capacity in events
 //                        (default 8192, rounded up to a power of two)
+//   ZS_AGG_PORT          aggregation daemon TCP port; > 0 enables the
+//                        embedded aggregation client (default 0 = off)
+//   ZS_AGG_HOST          daemon address (default 127.0.0.1)
+//   ZS_AGG_JOB           job identifier announced to the daemon (default
+//                        SLURM_JOB_ID, else "default")
+//   ZS_AGG_QUEUE         client send-queue bound in records; overflow
+//                        drops oldest with a counter (default 8192)
+//   ZS_AGG_BATCH         records per wire batch (default 256)
+//   ZS_AGG_BATCH_AGE_MS  flush queued records older than this (default
+//                        1000)
 #pragma once
 
 #include <chrono>
@@ -64,6 +74,15 @@ struct Config {
   bool trace = false;
   /// Chrome trace_event JSON written by zerosum::finalize(); empty = none.
   std::string traceFile;
+  /// Aggregation daemon endpoint; port 0 disables the embedded client.
+  std::string aggHost = "127.0.0.1";
+  int aggPort = 0;
+  /// Job identifier announced in the aggregation Hello.
+  std::string aggJob;
+  /// Client send-queue bound (records) and batching knobs.
+  int aggQueueRecords = 8192;
+  int aggBatchRecords = 256;
+  int aggBatchAgeMs = 1000;
   /// Jiffies per second of the monitored clock: USER_HZ for the live
   /// kernel, sim::kHz for the simulator.
   std::uint64_t jiffyHz = 100;

@@ -4,11 +4,13 @@
 #include <mutex>
 #include <string>
 
+#include "aggregator/tcp.hpp"
 #include "common/env.hpp"
 #include "common/error.hpp"
 #include "common/logging.hpp"
 #include "core/signal_handler.hpp"
 #include "export/perfstubs.hpp"
+#include "export/publisher.hpp"
 #include "procfs/faultfs.hpp"
 #include "trace/chrome_export.hpp"
 #include "trace/trace.hpp"
@@ -19,6 +21,56 @@ namespace {
 
 std::mutex gMutex;
 std::unique_ptr<core::MonitorSession> gSession;
+
+/// The aggregation export path (ZS_AGG_PORT): a MetricStream feeding a
+/// SessionPublisher whose embedded aggregator::Client streams batches to
+/// the daemon over loopback TCP.  Owned at file scope because the sample
+/// callback runs on the monitor thread for the session's whole life.
+exporter::MetricStream* gAggStream = nullptr;
+std::unique_ptr<exporter::SessionPublisher> gAggPublisher;
+
+void wireAggregation(core::MonitorSession& session) {
+  const core::Config& cfg = session.config();
+  if (cfg.aggPort <= 0) {
+    return;
+  }
+  static exporter::MetricStream stream;
+  gAggStream = &stream;
+  gAggPublisher = std::make_unique<exporter::SessionPublisher>(&stream);
+
+  aggregator::Hello hello;
+  hello.job = cfg.aggJob.empty() ? "default" : cfg.aggJob;
+  hello.rank = session.identity().rank;
+  hello.worldSize = session.identity().worldSize;
+  hello.hostname = session.identity().hostname;
+  hello.pid = session.identity().pid;
+  aggregator::ClientOptions options;
+  options.maxQueueRecords = static_cast<std::size_t>(cfg.aggQueueRecords);
+  options.batchRecords = static_cast<std::size_t>(cfg.aggBatchRecords);
+  options.batchAgeSeconds = static_cast<double>(cfg.aggBatchAgeMs) / 1000.0;
+  gAggPublisher->attachAggregator(std::make_unique<aggregator::Client>(
+      std::make_unique<aggregator::TcpTransport>(cfg.aggHost, cfg.aggPort),
+      hello, options));
+  session.setSampleCallback(
+      [](const core::MonitorSession& s, double timeSeconds) {
+        gAggPublisher->publish(s, timeSeconds);
+      });
+}
+
+void closeAggregation(const core::MonitorSession& session) {
+  if (!gAggPublisher) {
+    return;
+  }
+  const auto client =
+      gAggPublisher->closeAggregator(session.durationSeconds());
+  if (client != nullptr && client->counters().recordsDropped > 0) {
+    log::info() << "aggregation client dropped "
+                << client->counters().recordsDropped
+                << " record(s) (daemon slow or absent)";
+  }
+  gAggPublisher.reset();
+  gAggStream = nullptr;
+}
 
 /// Final telemetry push at shutdown (paper §6): a registered ToolApi
 /// backend receives the run's identity as metadata plus the monitor's
@@ -94,6 +146,7 @@ core::MonitorSession& initialize(core::Config config,
   gSession = std::make_unique<core::MonitorSession>(
       config, procfs::wrapFaultsFromEnv(procfs::makeRealProcFs()), identity,
       std::move(devices));
+  wireAggregation(*gSession);
   gSession->start();
   return *gSession;
 }
@@ -115,6 +168,7 @@ std::string finalize() {
     return {};
   }
   owned->stop();
+  closeAggregation(*owned);
   std::string report = owned->report();
   try {
     owned->writeLogFile();

@@ -35,6 +35,22 @@ void SessionPublisher::closeStaging() {
   }
 }
 
+void SessionPublisher::attachAggregator(
+    std::unique_ptr<aggregator::Client> client) {
+  if (client == nullptr) {
+    throw ConfigError("attachAggregator requires a client");
+  }
+  aggregator_ = std::move(client);
+}
+
+std::unique_ptr<aggregator::Client> SessionPublisher::closeAggregator(
+    double timeSeconds) {
+  if (aggregator_) {
+    aggregator_->goodbye(timeSeconds);
+  }
+  return std::move(aggregator_);
+}
+
 Batch SessionPublisher::makeBatch(const core::MonitorSession& session,
                                   double timeSeconds) const {
   Batch batch;
@@ -121,6 +137,31 @@ void SessionPublisher::publish(const core::MonitorSession& session,
       staging_->put(record.name, {record.timeSeconds, record.value});
     }
     staging_->endStep();
+  }
+
+  if (aggregator_) {
+    ZS_TRACE_SCOPE("zs.export.aggregate");
+    // The Hello carried the source identity; the wire records are just
+    // (time, name, value).
+    std::vector<aggregator::WireRecord> wire;
+    wire.reserve(batch.size());
+    for (const auto& record : batch) {
+      wire.push_back({record.timeSeconds, record.name, record.value});
+    }
+    if (wire.empty()) {
+      aggregator_->pump(timeSeconds);  // heartbeat path: keep flushing
+    } else {
+      aggregator_->enqueue(wire, timeSeconds);
+    }
+    const core::MonitorHealth health = session.health();
+    aggregator::HealthUpdate update;
+    update.samplesTaken = health.samplesTaken;
+    update.samplesDegraded = health.samplesDegraded;
+    update.samplesDropped = health.samplesDropped;
+    update.loopOverruns = health.loopOverruns;
+    update.quarantined =
+        static_cast<std::uint32_t>(health.quarantinedCount());
+    aggregator_->sendHealth(update, timeSeconds);
   }
   ++periods_;
 }

@@ -11,6 +11,7 @@
 
 #include <memory>
 
+#include "aggregator/client.hpp"
 #include "core/monitor.hpp"
 #include "export/staging.hpp"
 #include "export/stream.hpp"
@@ -37,6 +38,18 @@ class SessionPublisher {
   void openStaging(const std::string& path);
   void closeStaging();
 
+  /// Attaches an aggregation client (paper §6: cross-process collection).
+  /// Every published batch is also forwarded to the daemon, along with a
+  /// per-period health update.  The client's bounded queue and drop
+  /// counters guarantee a dead daemon cannot stall the publish path.
+  void attachAggregator(std::unique_ptr<aggregator::Client> client);
+  /// Final flush + kGoodbye; detaches the client and returns it (for
+  /// counter inspection).  nullptr when none was attached.
+  std::unique_ptr<aggregator::Client> closeAggregator(double timeSeconds);
+  [[nodiscard]] aggregator::Client* aggregatorClient() {
+    return aggregator_.get();
+  }
+
   /// Publishes the observations taken at `timeSeconds`.  Designed as the
   /// MonitorSession sample callback.
   void publish(const core::MonitorSession& session, double timeSeconds);
@@ -50,6 +63,7 @@ class SessionPublisher {
   MetricStream* stream_;
   Options options_;
   std::unique_ptr<StagingWriter> staging_;
+  std::unique_ptr<aggregator::Client> aggregator_;
   std::uint64_t periods_ = 0;
 };
 

@@ -8,25 +8,41 @@ namespace zerosum::exporter {
 
 int MetricStream::subscribe(SubscriberFn subscriber) {
   std::lock_guard<std::mutex> lock(mutex_);
-  Subscriber entry;
-  entry.handle = nextHandle_++;
-  entry.fn = std::move(subscriber);
+  auto entry = std::make_shared<Subscriber>();
+  entry->handle = nextHandle_++;
+  entry->fn = std::move(subscriber);
   subscribers_.push_back(std::move(entry));
-  return subscribers_.back().handle;
+  return subscribers_.back()->handle;
 }
 
 void MetricStream::unsubscribe(int handle) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  subscribers_.erase(
-      std::remove_if(subscribers_.begin(), subscribers_.end(),
-                     [handle](const Subscriber& s) {
-                       return s.handle == handle;
-                     }),
-      subscribers_.end());
+  std::shared_ptr<Subscriber> entry;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = std::find_if(
+        subscribers_.begin(), subscribers_.end(),
+        [handle](const auto& s) { return s->handle == handle; });
+    if (it == subscribers_.end()) {
+      return;
+    }
+    entry = *it;
+    subscribers_.erase(it);
+  }
+  if (entry->callingThread.load() == std::this_thread::get_id()) {
+    // Self-unsubscribe from inside the callback: this thread already
+    // holds entry->callMutex in publish(), so flipping `active` here is
+    // ordered correctly and re-locking would deadlock.
+    entry->active = false;
+    return;
+  }
+  // Block until any in-flight delivery on another thread drains, so the
+  // caller may destroy captured state once we return.
+  std::lock_guard<std::mutex> call(entry->callMutex);
+  entry->active = false;
 }
 
 void MetricStream::publish(const Batch& batch) {
-  std::vector<Subscriber> snapshot;
+  std::vector<std::shared_ptr<Subscriber>> snapshot;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     ++batches_;
@@ -35,13 +51,19 @@ void MetricStream::publish(const Batch& batch) {
   }
   std::vector<int> failed;
   for (const auto& subscriber : snapshot) {
-    try {
-      subscriber.fn(batch);
-    } catch (const std::exception& e) {
-      log::warn() << "metric subscriber " << subscriber.handle
-                  << " threw (" << e.what() << "); dropping it";
-      failed.push_back(subscriber.handle);
+    std::lock_guard<std::mutex> call(subscriber->callMutex);
+    if (!subscriber->active) {
+      continue;  // unsubscribed between the snapshot and now
     }
+    subscriber->callingThread.store(std::this_thread::get_id());
+    try {
+      subscriber->fn(batch);
+    } catch (const std::exception& e) {
+      log::warn() << "metric subscriber " << subscriber->handle
+                  << " threw (" << e.what() << "); dropping it";
+      failed.push_back(subscriber->handle);
+    }
+    subscriber->callingThread.store(std::thread::id{});
   }
   for (int handle : failed) {
     unsubscribe(handle);

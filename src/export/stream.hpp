@@ -6,13 +6,18 @@
 // records per sampling period; any number of subscribers (a staging
 // writer, a dashboard, a test) receive the batches synchronously in
 // registration order.  Thread-safe: the monitor thread publishes while
-// subscribers come and go.
+// subscribers come and go, and unsubscribe() does not return while the
+// subscriber is mid-delivery on another thread — after it returns, the
+// callback will never run again, so the caller may free captured state.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace zerosum::exporter {
@@ -34,6 +39,11 @@ class MetricStream {
  public:
   /// Registers a subscriber; returns a handle for unsubscribe().
   int subscribe(SubscriberFn subscriber);
+
+  /// Deregisters.  Blocks until any in-flight delivery to this
+  /// subscriber on another thread has finished; calling it from inside
+  /// the subscriber's own callback (self-unsubscribe) is allowed and
+  /// does not deadlock.
   void unsubscribe(int handle);
 
   /// Delivers a batch to every subscriber (synchronously, in registration
@@ -46,13 +56,22 @@ class MetricStream {
   [[nodiscard]] std::uint64_t recordsPublished() const;
 
  private:
+  /// Shared between the registry and any publish() currently delivering:
+  /// `callMutex` serializes invocations and gates `active`, so a
+  /// subscriber that unsubscribes mid-delivery waits for the delivery
+  /// rather than racing it.  `callingThread` identifies the thread
+  /// currently inside fn, which lets that thread self-unsubscribe
+  /// without re-locking its own callMutex.
   struct Subscriber {
     int handle = 0;
     SubscriberFn fn;
+    std::mutex callMutex;
+    bool active = true;  ///< guarded by callMutex
+    std::atomic<std::thread::id> callingThread{};
   };
 
   mutable std::mutex mutex_;
-  std::vector<Subscriber> subscribers_;
+  std::vector<std::shared_ptr<Subscriber>> subscribers_;
   int nextHandle_ = 1;
   std::uint64_t batches_ = 0;
   std::uint64_t records_ = 0;

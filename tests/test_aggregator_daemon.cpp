@@ -1,0 +1,443 @@
+// Aggregator daemon + query service + end-to-end paths:
+//   * source lifecycle over the pipe transport (hello, batches, stale
+//     eviction, goodbye, missing ranks)
+//   * the JSON query service, inline and over the wire
+//   * the cluster-simulation e2e: 4 ranks publishing through their
+//     SessionPublishers into one daemon, rollups answered per rank
+//   * loopback TCP: connect, batch, and reconnect across a daemon
+//     restart
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "aggregator/client.hpp"
+#include "aggregator/daemon.hpp"
+#include "aggregator/query.hpp"
+#include "aggregator/tcp.hpp"
+#include "aggregator/transport.hpp"
+#include "aggregator/wire.hpp"
+#include "cluster/job.hpp"
+#include "common/error.hpp"
+#include "common/json.hpp"
+#include "topology/presets.hpp"
+
+using namespace zerosum;
+using namespace zerosum::aggregator;
+
+namespace {
+
+Hello rankIdentity(int rank, int worldSize = 4,
+                   const std::string& job = "job") {
+  Hello hello;
+  hello.job = job;
+  hello.rank = rank;
+  hello.worldSize = worldSize;
+  hello.hostname = "node000" + std::to_string(rank / 2);
+  hello.pid = 100 + rank;
+  return hello;
+}
+
+/// A raw pipe endpoint speaking frames directly (no Client batching),
+/// so tests control exactly what the daemon sees.
+struct RawSource {
+  explicit RawSource(PipeHub& hub) : transport(hub.makeClientTransport()) {
+    EXPECT_TRUE(transport->connect());
+  }
+  void send(const Frame& frame) {
+    EXPECT_TRUE(transport->send(encodeFrame(frame)));
+  }
+  void hello(int rank, int worldSize = 4) {
+    Frame frame;
+    frame.kind = FrameKind::kHello;
+    frame.hello = rankIdentity(rank, worldSize);
+    send(frame);
+  }
+  void batch(double t, const std::string& metric, double value) {
+    Frame frame;
+    frame.kind = FrameKind::kBatch;
+    frame.timeSeconds = t;
+    frame.records.push_back({t, metric, value});
+    send(frame);
+  }
+  std::unique_ptr<Transport> transport;
+};
+
+}  // namespace
+
+TEST(AggDaemon, BindsSourcesViaHelloAndFillsStore) {
+  PipeHub hub;
+  Aggregator daemon(hub.makeServer());
+  RawSource r0(hub);
+  RawSource r1(hub);
+  r0.hello(0);
+  r1.hello(1);
+  r0.batch(1.5, "hwt.0.user_pct", 80.0);
+  r0.batch(1.5, "hwt.0.user_pct", 90.0);
+  r1.batch(1.5, "hwt.0.user_pct", 10.0);
+  daemon.poll(2.0);
+
+  EXPECT_EQ(daemon.counters().batchesIngested, 3U);
+  EXPECT_EQ(daemon.counters().recordsIngested, 3U);
+  const auto sources = daemon.sources();
+  ASSERT_EQ(sources.size(), 2U);
+  EXPECT_EQ(sources[0].hello.rank, 0);
+  EXPECT_EQ(sources[0].records, 2U);
+  EXPECT_EQ(sources[1].records, 1U);
+
+  // Rollups are per rank: rank 0 averages 85, rank 1 reads 10.
+  const auto w0 = daemon.store().latest({"job", 0, "hwt.0.user_pct"});
+  const auto w1 = daemon.store().latest({"job", 1, "hwt.0.user_pct"});
+  ASSERT_TRUE(w0 && w1);
+  EXPECT_DOUBLE_EQ(w0->rollup.avg(), 85.0);
+  EXPECT_DOUBLE_EQ(w0->rollup.min, 80.0);
+  EXPECT_DOUBLE_EQ(w1->rollup.avg(), 10.0);
+}
+
+TEST(AggDaemon, DataBeforeHelloCountsAsOrphan) {
+  PipeHub hub;
+  Aggregator daemon(hub.makeServer());
+  RawSource source(hub);
+  source.batch(1.0, "m", 1.0);  // never said hello
+  daemon.poll(1.0);
+  EXPECT_EQ(daemon.counters().orphanFrames, 1U);
+  EXPECT_EQ(daemon.store().seriesCount(), 0U);
+}
+
+TEST(AggDaemon, MalformedBytesDropTheConnectionOnly) {
+  PipeHub hub;
+  Aggregator daemon(hub.makeServer());
+  RawSource good(hub);
+  good.hello(0);
+  RawSource bad(hub);
+  std::string garbage = encodeFrame([] {
+    Frame f;
+    f.kind = FrameKind::kHeartbeat;
+    f.timeSeconds = 1.0;
+    return f;
+  }());
+  garbage[4] = 99;  // bad version
+  EXPECT_TRUE(bad.transport->send(garbage));
+  good.batch(1.0, "m", 1.0);
+  daemon.poll(1.0);
+  EXPECT_EQ(daemon.counters().decodeErrors, 1U);
+  // The good source is unaffected.
+  EXPECT_EQ(daemon.counters().recordsIngested, 1U);
+  // The bad connection was cut from the server side.
+  std::string out;
+  EXPECT_FALSE(bad.transport->receive(out));
+}
+
+TEST(AggDaemon, SilentSourceGoesStaleAndItsSeriesAreEvicted) {
+  PipeHub hub;
+  StoreOptions options;
+  options.staleSeconds = 5.0;
+  Aggregator daemon(hub.makeServer(), options);
+  RawSource r0(hub);
+  RawSource r1(hub);
+  r0.hello(0);
+  r1.hello(1);
+  r0.batch(1.0, "m", 1.0);
+  r1.batch(1.0, "m", 2.0);
+  daemon.poll(1.0);
+  EXPECT_EQ(daemon.store().seriesCount(), 2U);
+
+  // Rank 1 keeps reporting; rank 0 goes silent past the horizon.
+  r1.batch(8.0, "m", 2.0);
+  daemon.poll(8.0);
+  EXPECT_EQ(daemon.counters().sourcesEvicted, 1U);
+  const auto sources = daemon.sources();
+  EXPECT_EQ(sources[0].state, SourceState::kStale);
+  EXPECT_EQ(sources[1].state, SourceState::kActive);
+  EXPECT_EQ(daemon.store().seriesCount(), 1U);
+  EXPECT_TRUE(daemon.store().keysOf("job", 0).empty());
+
+  // The dashboard reports the pathology.
+  const std::string dash = daemon.dashboard(8.0);
+  EXPECT_NE(dash.find("rank 0 of job 'job' is stale"), std::string::npos);
+
+  // A returning rank flips back to active.
+  r0.batch(9.0, "m", 3.0);
+  daemon.poll(9.0);
+  EXPECT_EQ(daemon.sources()[0].state, SourceState::kActive);
+}
+
+TEST(AggDaemon, GoodbyeMarksDepartedAndAllDeparted) {
+  PipeHub hub;
+  Aggregator daemon(hub.makeServer());
+  EXPECT_FALSE(daemon.allDeparted());  // vacuously false: nobody seen
+  RawSource r0(hub);
+  r0.hello(0, 1);
+  daemon.poll(1.0);
+  EXPECT_FALSE(daemon.allDeparted());
+  Frame goodbye;
+  goodbye.kind = FrameKind::kGoodbye;
+  goodbye.timeSeconds = 2.0;
+  r0.send(goodbye);
+  daemon.poll(2.0);
+  EXPECT_EQ(daemon.sources()[0].state, SourceState::kDeparted);
+  EXPECT_TRUE(daemon.allDeparted());
+}
+
+TEST(AggDaemon, MissingRanksComeFromAnnouncedWorldSize) {
+  PipeHub hub;
+  Aggregator daemon(hub.makeServer());
+  RawSource r0(hub);
+  RawSource r2(hub);
+  r0.hello(0, 4);
+  r2.hello(2, 4);
+  daemon.poll(1.0);
+  const auto missing = daemon.missingRanks("job");
+  ASSERT_EQ(missing.size(), 2U);
+  EXPECT_EQ(missing[0], 1);
+  EXPECT_EQ(missing[1], 3);
+  const std::string dash = daemon.dashboard(1.0);
+  EXPECT_NE(dash.find("never heard from: 1 3"), std::string::npos);
+}
+
+TEST(AggQuery, SnapshotRangeSourcesAndErrors) {
+  PipeHub hub;
+  Aggregator daemon(hub.makeServer());
+  RawSource r0(hub);
+  r0.hello(0);
+  r0.batch(1.5, "hwt.0.user_pct", 50.0);
+  r0.batch(2.5, "hwt.0.user_pct", 70.0);
+  daemon.poll(3.0);
+
+  // snapshot, filtered by rank
+  const json::Value snap =
+      json::parse(daemon.query(R"({"op":"snapshot","rank":0})"));
+  const auto& series = snap.find("series")->asArray();
+  ASSERT_EQ(series.size(), 1U);
+  EXPECT_EQ(series[0].stringOr("metric", ""), "hwt.0.user_pct");
+  EXPECT_DOUBLE_EQ(series[0].find("fine")->numberOr("avg", -1.0), 70.0);
+  // the coarse window spans both samples
+  EXPECT_DOUBLE_EQ(series[0].find("coarse")->numberOr("avg", -1.0), 60.0);
+  EXPECT_DOUBLE_EQ(series[0].find("coarse")->numberOr("count", -1.0), 2.0);
+
+  // snapshot filtered to a rank with no series
+  const json::Value empty =
+      json::parse(daemon.query(R"({"op":"snapshot","rank":9})"));
+  EXPECT_TRUE(empty.find("series")->asArray().empty());
+
+  // range
+  const json::Value range = json::parse(daemon.query(
+      R"({"op":"range","job":"job","rank":0,"metric":"hwt.0.user_pct",)"
+      R"("t0":0,"t1":10})"));
+  ASSERT_EQ(range.find("windows")->asArray().size(), 2U);
+  EXPECT_DOUBLE_EQ(
+      range.find("windows")->asArray()[0].numberOr("min", -1.0), 50.0);
+
+  // sources
+  const json::Value sources =
+      json::parse(daemon.query(R"({"op":"sources"})"));
+  ASSERT_EQ(sources.find("sources")->asArray().size(), 1U);
+  EXPECT_EQ(sources.find("sources")->asArray()[0].stringOr("state", ""),
+            "active");
+
+  // dashboard rides the query path too
+  const json::Value dash =
+      json::parse(daemon.query(R"({"op":"dashboard"})"));
+  EXPECT_NE(dash.stringOr("text", "").find("Aggregator dashboard"),
+            std::string::npos);
+
+  // errors: unknown op, malformed JSON, range without metric, non-object
+  EXPECT_NE(daemon.query(R"({"op":"nope"})").find("error"),
+            std::string::npos);
+  EXPECT_NE(daemon.query("{{{").find("error"), std::string::npos);
+  EXPECT_NE(daemon.query(R"({"op":"range"})").find("error"),
+            std::string::npos);
+  EXPECT_NE(daemon.query("[1,2]").find("error"), std::string::npos);
+}
+
+TEST(AggQuery, RequestOverPipeTransportRoundTrips) {
+  PipeHub hub;
+  Aggregator daemon(hub.makeServer());
+  RawSource r0(hub);
+  r0.hello(0);
+  r0.batch(1.0, "m", 42.0);
+  daemon.poll(1.0);
+
+  auto reader = hub.makeClientTransport();
+  const auto response = requestOverTransport(
+      *reader, R"({"op":"snapshot"})", [&] { daemon.poll(2.0); });
+  ASSERT_TRUE(response.has_value());
+  const json::Value doc = json::parse(*response);
+  ASSERT_EQ(doc.find("series")->asArray().size(), 1U);
+  EXPECT_EQ(daemon.counters().queriesServed, 1U);
+}
+
+TEST(AggQuery, UnreachableDaemonYieldsNullopt) {
+  PipeHub hub;
+  hub.setDown(true);
+  auto reader = hub.makeClientTransport();
+  EXPECT_FALSE(
+      requestOverTransport(*reader, R"({"op":"sources"})", nullptr, 3)
+          .has_value());
+}
+
+// --- the e2e acceptance path: 4 simulated ranks -> one aggregator ----------
+
+TEST(AggE2E, ClusterJobRanksPublishIntoOneAggregator) {
+  cluster::ClusterJobConfig cfg;
+  cfg.nodes = 2;
+  cfg.ranksPerNode = 2;
+  cfg.cpusPerTask = 7;
+  cfg.workload.ompThreads = 4;
+  cfg.workload.steps = 40;
+  cfg.workload.workPerStep = 10;
+  const auto topo = topology::presets::frontier();
+  cluster::ClusterJob job(topo, cfg);
+  job.enableAggregation("e2e");
+  ASSERT_NE(job.aggregatorDaemon(), nullptr);
+  job.run();
+
+  Aggregator& daemon = *job.aggregatorDaemon();
+  // Every rank announced itself, streamed batches, and said goodbye.
+  const auto sources = daemon.sources();
+  ASSERT_EQ(sources.size(), 4U);
+  for (int rank = 0; rank < 4; ++rank) {
+    const auto& info = sources[static_cast<std::size_t>(rank)];
+    EXPECT_EQ(info.hello.rank, rank);
+    EXPECT_EQ(info.hello.worldSize, 4);
+    EXPECT_EQ(info.hello.hostname, job.hostnameOf(rank / 2)) << rank;
+    EXPECT_EQ(info.state, SourceState::kDeparted) << rank;
+    EXPECT_GT(info.records, 0U) << rank;
+    EXPECT_GT(info.health.samplesTaken, 0U) << rank;
+  }
+  EXPECT_TRUE(daemon.allDeparted());
+  EXPECT_TRUE(daemon.missingRanks("e2e").empty());
+  EXPECT_EQ(daemon.counters().decodeErrors, 0U);
+  EXPECT_EQ(daemon.counters().orphanFrames, 0U);
+
+  // Per-rank rollups: each rank publishes its RSS once per sampled
+  // period, so the total count across retained fine windows matches the
+  // samples the rank's own monitor took.
+  for (int rank = 0; rank < 4; ++rank) {
+    const SeriesKey key{"e2e", rank, "mem.process_rss_kb"};
+    const auto windows =
+        daemon.store().range(key, 0.0, job.runtimeSeconds() + 1.0);
+    ASSERT_FALSE(windows.empty()) << rank;
+    std::uint64_t samples = 0;
+    for (const auto& w : windows) {
+      samples += w.rollup.count;
+      EXPECT_LE(w.rollup.min, w.rollup.max);
+      EXPECT_GT(w.rollup.min, 0.0);  // a live process has RSS
+    }
+    EXPECT_EQ(samples, job.session(rank).health().samplesTaken) << rank;
+  }
+
+  // The snapshot query answers per-rank series (the acceptance check).
+  const json::Value snap =
+      json::parse(daemon.query(R"({"op":"snapshot","rank":2})"));
+  const auto& series = snap.find("series")->asArray();
+  ASSERT_FALSE(series.empty());
+  for (const auto& entry : series) {
+    EXPECT_EQ(entry.numberOr("rank", -1.0), 2.0);
+    EXPECT_EQ(entry.stringOr("job", ""), "e2e");
+  }
+  // HWT utilization made it through with plausible percentages.
+  bool sawHwt = false;
+  for (const auto& entry : series) {
+    const std::string metric = entry.stringOr("metric", "");
+    if (metric.rfind("hwt.", 0) == 0 &&
+        metric.find(".user_pct") != std::string::npos) {
+      sawHwt = true;
+      const double avg = entry.find("fine")->numberOr("avg", -1.0);
+      EXPECT_GE(avg, 0.0);
+      EXPECT_LE(avg, 100.0);
+    }
+  }
+  EXPECT_TRUE(sawHwt);
+
+  // The dashboard renders all four ranks with no pathologies.
+  const std::string dash = daemon.dashboard(job.runtimeSeconds());
+  EXPECT_NE(dash.find("4 source(s)"), std::string::npos);
+  EXPECT_NE(dash.find("no cross-rank pathologies detected"),
+            std::string::npos);
+}
+
+// --- loopback TCP: live transport, daemon restart ---------------------------
+
+namespace {
+
+/// Polls the daemon until its counters satisfy `done` or rounds expire.
+template <typename Pred>
+bool pollUntil(Aggregator& daemon, double now, Pred done) {
+  for (int i = 0; i < 200; ++i) {
+    daemon.poll(now);
+    if (done()) {
+      return true;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return false;
+}
+
+}  // namespace
+
+TEST(AggTcp, ConnectBatchQueryAndReconnectAcrossDaemonRestart) {
+  auto server = std::make_unique<TcpServer>(0);
+  const int port = server->port();
+  ASSERT_GT(port, 0);
+  auto daemon = std::make_unique<Aggregator>(std::move(server));
+
+  ClientOptions options;
+  options.batchRecords = 1;  // flush immediately
+  options.reconnectBackoffSeconds = 0.01;
+  Client client(std::make_unique<TcpTransport>("127.0.0.1", port),
+                rankIdentity(0, 1), options);
+  client.enqueue({{1.0, "m", 5.0}}, 1.0);
+  ASSERT_TRUE(pollUntil(*daemon, 1.0, [&] {
+    return daemon->counters().recordsIngested >= 1;
+  }));
+  EXPECT_EQ(daemon->sources().size(), 1U);
+
+  // Query over the same TCP framing.
+  TcpTransport reader("127.0.0.1", port);
+  std::optional<std::string> response;
+  std::thread querier([&] {
+    response = requestOverTransport(
+        reader, R"({"op":"snapshot"})",
+        [] { std::this_thread::sleep_for(std::chrono::milliseconds(2)); });
+  });
+  pollUntil(*daemon, 2.0,
+            [&] { return daemon->counters().queriesServed >= 1; });
+  querier.join();
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(json::parse(*response).find("series")->asArray().size(), 1U);
+
+  // Kill the daemon: sends fail and are counted, nothing throws.  The
+  // first send after the peer dies can still land in the socket buffer,
+  // so push until the failure surfaces.
+  daemon.reset();
+  bool failureSeen = false;
+  for (int attempt = 0; attempt < 50 && !failureSeen; ++attempt) {
+    client.enqueue({{2.0, "m", 6.0}}, 2.0 + static_cast<double>(attempt));
+    failureSeen = client.counters().sendFailures +
+                      client.counters().recordsDropped >
+                  0;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_TRUE(failureSeen);
+
+  // Restart on the same port: the client reconnects, re-announces, and
+  // resumes streaming.
+  auto restarted = std::make_unique<Aggregator>(
+      std::make_unique<TcpServer>(port));
+  bool delivered = false;
+  for (int attempt = 0; attempt < 200 && !delivered; ++attempt) {
+    client.enqueue({{3.0, "m", 7.0}},
+                   3.0 + static_cast<double>(attempt));  // past any backoff
+    restarted->poll(3.0);
+    delivered = restarted->counters().recordsIngested >= 1;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_TRUE(delivered);
+  ASSERT_EQ(restarted->sources().size(), 1U);  // Hello re-announced
+  EXPECT_EQ(restarted->sources()[0].hello.rank, 0);
+  EXPECT_GE(client.counters().reconnects, 1U);
+}

@@ -1,0 +1,239 @@
+// RollupStore: the rollup math is checked against a brute-force
+// reference model (hold every sample, recompute windows from scratch)
+// across window boundaries, eviction, and out-of-order arrival.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <random>
+#include <vector>
+
+#include "aggregator/store.hpp"
+
+using namespace zerosum::aggregator;
+
+namespace {
+
+/// Brute-force reference: remembers every (time, value) and recomputes
+/// the retained windows exactly as documented.
+class ReferenceModel {
+ public:
+  explicit ReferenceModel(const StoreOptions& options) : options_(options) {}
+
+  void ingest(double timeSeconds, double value) {
+    samples_.emplace_back(timeSeconds, value);
+  }
+
+  /// windowIndex -> rollup at the given resolution, retention applied.
+  [[nodiscard]] std::map<std::int64_t, Rollup> windows(
+      Resolution resolution) const {
+    const double width = resolution == Resolution::kFine
+                             ? options_.fineWindowSeconds
+                             : options_.fineWindowSeconds *
+                                   options_.coarseFactor;
+    const int retention = resolution == Resolution::kFine
+                              ? options_.fineRetentionWindows
+                              : options_.coarseRetentionWindows;
+    // Replay in arrival order, applying the store's rule: a sample
+    // older than (newest seen so far) - retention + 1 is rejected;
+    // otherwise it merges, and everything below the horizon is evicted.
+    std::map<std::int64_t, Rollup> out;
+    std::int64_t newest = std::numeric_limits<std::int64_t>::min();
+    for (const auto& [t, v] : samples_) {
+      const auto index =
+          static_cast<std::int64_t>(std::floor(t / width));
+      if (newest != std::numeric_limits<std::int64_t>::min() &&
+          index <= newest - retention) {
+        continue;  // too old: outside the retention horizon
+      }
+      out[index].merge(v);
+      newest = std::max(newest, index);
+      const std::int64_t horizon = newest - retention + 1;
+      while (!out.empty() && out.begin()->first < horizon) {
+        out.erase(out.begin());
+      }
+    }
+    return out;
+  }
+
+ private:
+  StoreOptions options_;
+  std::vector<std::pair<double, double>> samples_;
+};
+
+void expectMatchesReference(const RollupStore& store,
+                            const ReferenceModel& model,
+                            const SeriesKey& key, Resolution resolution) {
+  const double width = resolution == Resolution::kFine
+                           ? store.options().fineWindowSeconds
+                           : store.options().fineWindowSeconds *
+                                 store.options().coarseFactor;
+  const auto expected = model.windows(resolution);
+  const auto actual = store.range(
+      key, -1e12, 1e12, resolution);
+  ASSERT_EQ(actual.size(), expected.size());
+  std::size_t i = 0;
+  for (const auto& [index, rollup] : expected) {
+    const auto& window = actual[i++];
+    EXPECT_DOUBLE_EQ(window.windowStartSeconds,
+                     static_cast<double>(index) * width);
+    EXPECT_DOUBLE_EQ(window.windowSeconds, width);
+    EXPECT_DOUBLE_EQ(window.rollup.min, rollup.min);
+    EXPECT_DOUBLE_EQ(window.rollup.max, rollup.max);
+    EXPECT_DOUBLE_EQ(window.rollup.sum, rollup.sum);
+    EXPECT_EQ(window.rollup.count, rollup.count);
+  }
+}
+
+const SeriesKey kKey{"job", 0, "hwt.0.user_pct"};
+
+}  // namespace
+
+TEST(AggStore, SingleWindowStatisticsMatchListing2) {
+  RollupStore store;
+  for (double v : {10.0, 50.0, 30.0}) {
+    store.ingest(kKey, 0.25, v);
+  }
+  const auto window = store.latest(kKey);
+  ASSERT_TRUE(window.has_value());
+  EXPECT_DOUBLE_EQ(window->rollup.min, 10.0);
+  EXPECT_DOUBLE_EQ(window->rollup.max, 50.0);
+  EXPECT_DOUBLE_EQ(window->rollup.avg(), 30.0);
+  EXPECT_EQ(window->rollup.count, 3U);
+}
+
+TEST(AggStore, SamplesSplitAcrossWindowBoundaries) {
+  StoreOptions options;
+  options.fineWindowSeconds = 1.0;
+  RollupStore store(options);
+  ReferenceModel model(options);
+  // Values straddling t=1.0 and t=2.0 boundaries, including exactly on
+  // a boundary (belongs to the window it starts).
+  for (const auto& [t, v] : std::vector<std::pair<double, double>>{
+           {0.1, 1.0}, {0.9, 2.0}, {1.0, 3.0}, {1.999, 4.0}, {2.0, 5.0}}) {
+    store.ingest(kKey, t, v);
+    model.ingest(t, v);
+  }
+  expectMatchesReference(store, model, kKey, Resolution::kFine);
+  expectMatchesReference(store, model, kKey, Resolution::kCoarse);
+}
+
+TEST(AggStore, RandomizedStreamMatchesBruteForceAtBothResolutions) {
+  StoreOptions options;
+  options.fineWindowSeconds = 1.0;
+  options.coarseFactor = 5;
+  options.fineRetentionWindows = 20;
+  options.coarseRetentionWindows = 8;
+  RollupStore store(options);
+  ReferenceModel model(options);
+  std::mt19937 rng(0xC0FFEEU);
+  std::uniform_real_distribution<double> jitter(-3.0, 3.0);
+  std::uniform_real_distribution<double> value(0.0, 100.0);
+  double clock = 0.0;
+  for (int i = 0; i < 2000; ++i) {
+    clock += 0.05;
+    // Out-of-order arrivals: up to 3 s of backwards jitter.
+    const double t = std::max(0.0, clock + jitter(rng));
+    const double v = value(rng);
+    store.ingest(kKey, t, v);
+    model.ingest(t, v);
+  }
+  expectMatchesReference(store, model, kKey, Resolution::kFine);
+  expectMatchesReference(store, model, kKey, Resolution::kCoarse);
+  EXPECT_EQ(store.samplesIngested(), 2000U);
+}
+
+TEST(AggStore, RetentionEvictsOldWindows) {
+  StoreOptions options;
+  options.fineWindowSeconds = 1.0;
+  options.fineRetentionWindows = 5;
+  RollupStore store(options);
+  ReferenceModel model(options);
+  for (int t = 0; t < 50; ++t) {
+    store.ingest(kKey, static_cast<double>(t) + 0.5, 1.0);
+    model.ingest(static_cast<double>(t) + 0.5, 1.0);
+  }
+  const auto windows = store.range(kKey, 0.0, 100.0);
+  EXPECT_EQ(windows.size(), 5U);
+  EXPECT_DOUBLE_EQ(windows.front().windowStartSeconds, 45.0);
+  EXPECT_GT(store.windowsEvicted(), 0U);
+  expectMatchesReference(store, model, kKey, Resolution::kFine);
+}
+
+TEST(AggStore, ArrivalOlderThanRetentionHorizonIsRejected) {
+  StoreOptions options;
+  options.fineWindowSeconds = 1.0;
+  options.fineRetentionWindows = 5;
+  RollupStore store(options);
+  ReferenceModel model(options);
+  store.ingest(kKey, 100.0, 1.0);
+  model.ingest(100.0, 1.0);
+  store.ingest(kKey, 10.0, 2.0);  // far below the horizon: dropped
+  model.ingest(10.0, 2.0);
+  const auto windows = store.range(kKey, 0.0, 200.0);
+  ASSERT_EQ(windows.size(), 1U);
+  EXPECT_DOUBLE_EQ(windows[0].windowStartSeconds, 100.0);
+  expectMatchesReference(store, model, kKey, Resolution::kFine);
+}
+
+TEST(AggStore, OutOfOrderWithinHorizonMergesIntoCorrectWindow) {
+  RollupStore store;
+  store.ingest(kKey, 10.5, 1.0);
+  store.ingest(kKey, 8.5, 3.0);  // late but retained
+  store.ingest(kKey, 8.7, 5.0);
+  const auto windows = store.range(kKey, 8.0, 11.0);
+  ASSERT_EQ(windows.size(), 2U);
+  EXPECT_DOUBLE_EQ(windows[0].windowStartSeconds, 8.0);
+  EXPECT_EQ(windows[0].rollup.count, 2U);
+  EXPECT_DOUBLE_EQ(windows[0].rollup.min, 3.0);
+  EXPECT_DOUBLE_EQ(windows[0].rollup.max, 5.0);
+}
+
+TEST(AggStore, NonFiniteValuesAndNegativeTimesAreIgnored) {
+  RollupStore store;
+  store.ingest(kKey, 1.0, std::numeric_limits<double>::quiet_NaN());
+  store.ingest(kKey, 1.0, std::numeric_limits<double>::infinity());
+  store.ingest(kKey, -5.0, 1.0);
+  store.ingest(kKey, std::numeric_limits<double>::quiet_NaN(), 1.0);
+  EXPECT_EQ(store.samplesIngested(), 0U);
+  EXPECT_FALSE(store.latest(kKey).has_value());
+}
+
+TEST(AggStore, EvictSourceDropsAllSeriesOfThatRankOnly) {
+  RollupStore store;
+  store.ingest({"job", 0, "a"}, 1.0, 1.0);
+  store.ingest({"job", 0, "b"}, 1.0, 1.0);
+  store.ingest({"job", 1, "a"}, 1.0, 1.0);
+  store.ingest({"other", 0, "a"}, 1.0, 1.0);
+  EXPECT_EQ(store.evictSource("job", 0), 2U);
+  EXPECT_EQ(store.seriesCount(), 2U);
+  EXPECT_TRUE(store.keysOf("job", 0).empty());
+  EXPECT_EQ(store.keysOf("job", 1).size(), 1U);
+}
+
+TEST(AggStore, KeysAreSortedAndFiltered) {
+  RollupStore store;
+  store.ingest({"b", 1, "m"}, 1.0, 1.0);
+  store.ingest({"a", 2, "m"}, 1.0, 1.0);
+  store.ingest({"a", 1, "z"}, 1.0, 1.0);
+  store.ingest({"a", 1, "m"}, 1.0, 1.0);
+  const auto keys = store.keys();
+  ASSERT_EQ(keys.size(), 4U);
+  EXPECT_EQ(keys[0], (SeriesKey{"a", 1, "m"}));
+  EXPECT_EQ(keys[1], (SeriesKey{"a", 1, "z"}));
+  EXPECT_EQ(keys[2], (SeriesKey{"a", 2, "m"}));
+  EXPECT_EQ(keys[3], (SeriesKey{"b", 1, "m"}));
+}
+
+TEST(AggStore, RangeQuerySelectsIntersectingWindowsOnly) {
+  RollupStore store;
+  for (int t = 0; t < 10; ++t) {
+    store.ingest(kKey, static_cast<double>(t) + 0.5, 1.0);
+  }
+  const auto windows = store.range(kKey, 3.2, 5.8);
+  ASSERT_EQ(windows.size(), 3U);  // windows starting at 3, 4, 5
+  EXPECT_DOUBLE_EQ(windows.front().windowStartSeconds, 3.0);
+  EXPECT_DOUBLE_EQ(windows.back().windowStartSeconds, 5.0);
+}

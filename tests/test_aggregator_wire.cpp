@@ -1,0 +1,185 @@
+// Wire protocol: roundtrips, incremental decoding, and the strictness
+// guarantees the daemon relies on (truncation, version mismatch, and
+// hostile length prefixes all throw instead of guessing).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "aggregator/wire.hpp"
+#include "common/error.hpp"
+
+using namespace zerosum;
+using namespace zerosum::aggregator;
+
+namespace {
+
+Frame sampleHello() {
+  Frame frame;
+  frame.kind = FrameKind::kHello;
+  frame.hello.job = "job-42";
+  frame.hello.rank = 3;
+  frame.hello.worldSize = 8;
+  frame.hello.hostname = "node0003";
+  frame.hello.pid = 51334;
+  return frame;
+}
+
+Frame sampleBatch() {
+  Frame frame;
+  frame.kind = FrameKind::kBatch;
+  frame.timeSeconds = 12.5;
+  frame.records.push_back({12.5, "hwt.0.user_pct", 87.5});
+  frame.records.push_back({12.5, "lwp.51334.utime_delta", 99.0});
+  frame.records.push_back({12.5, "mem.process_rss_kb", 1.25e6});
+  return frame;
+}
+
+}  // namespace
+
+TEST(AggWire, HelloRoundTrip) {
+  const Frame in = sampleHello();
+  const Frame out = decodeFrame(encodeFrame(in));
+  EXPECT_EQ(out.kind, FrameKind::kHello);
+  EXPECT_EQ(out.hello, in.hello);
+}
+
+TEST(AggWire, BatchRoundTripPreservesRecordsAndTime) {
+  const Frame in = sampleBatch();
+  const Frame out = decodeFrame(encodeFrame(in));
+  EXPECT_EQ(out.kind, FrameKind::kBatch);
+  EXPECT_DOUBLE_EQ(out.timeSeconds, 12.5);
+  EXPECT_EQ(out.records, in.records);
+}
+
+TEST(AggWire, HealthHeartbeatGoodbyeAndQueryRoundTrip) {
+  Frame health;
+  health.kind = FrameKind::kHealth;
+  health.timeSeconds = 3.0;
+  health.health = {100, 5, 2, 1, 3};
+  EXPECT_EQ(decodeFrame(encodeFrame(health)).health, health.health);
+
+  Frame heartbeat;
+  heartbeat.kind = FrameKind::kHeartbeat;
+  heartbeat.timeSeconds = 4.5;
+  EXPECT_DOUBLE_EQ(decodeFrame(encodeFrame(heartbeat)).timeSeconds, 4.5);
+
+  Frame goodbye;
+  goodbye.kind = FrameKind::kGoodbye;
+  goodbye.timeSeconds = 9.0;
+  EXPECT_EQ(decodeFrame(encodeFrame(goodbye)).kind, FrameKind::kGoodbye);
+
+  Frame query;
+  query.kind = FrameKind::kQuery;
+  query.text = R"({"op":"snapshot","rank":1})";
+  EXPECT_EQ(decodeFrame(encodeFrame(query)).text, query.text);
+
+  Frame response;
+  response.kind = FrameKind::kResponse;
+  response.text = R"({"series":[]})";
+  EXPECT_EQ(decodeFrame(encodeFrame(response)).text, response.text);
+}
+
+TEST(AggWire, ReaderReassemblesFramesFedByteByByte) {
+  const std::string bytes =
+      encodeFrame(sampleHello()) + encodeFrame(sampleBatch());
+  FrameReader reader;
+  std::vector<Frame> seen;
+  Frame frame;
+  for (char c : bytes) {
+    reader.feed(&c, 1);
+    while (reader.next(frame)) {
+      seen.push_back(frame);
+    }
+  }
+  ASSERT_EQ(seen.size(), 2U);
+  EXPECT_EQ(seen[0].kind, FrameKind::kHello);
+  EXPECT_EQ(seen[0].hello.job, "job-42");
+  EXPECT_EQ(seen[1].kind, FrameKind::kBatch);
+  EXPECT_EQ(seen[1].records.size(), 3U);
+  EXPECT_EQ(reader.pendingBytes(), 0U);
+}
+
+TEST(AggWire, ReaderReturnsFalseOnIncompleteFrame) {
+  const std::string bytes = encodeFrame(sampleBatch());
+  FrameReader reader;
+  reader.feed(bytes.data(), bytes.size() - 1);  // all but the last byte
+  Frame frame;
+  EXPECT_FALSE(reader.next(frame));
+  reader.feed(bytes.data() + bytes.size() - 1, 1);
+  EXPECT_TRUE(reader.next(frame));
+  EXPECT_EQ(frame.kind, FrameKind::kBatch);
+}
+
+TEST(AggWire, TruncatedPayloadThrows) {
+  std::string bytes = encodeFrame(sampleHello());
+  // Shrink the payload but leave the length prefix claiming more: the
+  // standalone decoder must refuse.
+  bytes.resize(bytes.size() - 2);
+  EXPECT_THROW(decodeFrame(bytes), ParseError);
+}
+
+TEST(AggWire, VersionMismatchThrows) {
+  std::string bytes = encodeFrame(sampleHello());
+  bytes[4] = static_cast<char>(kWireVersion + 1);  // version byte
+  FrameReader reader;
+  reader.feed(bytes);
+  Frame frame;
+  EXPECT_THROW(reader.next(frame), ParseError);
+}
+
+TEST(AggWire, UnknownKindThrows) {
+  std::string bytes = encodeFrame(sampleHello());
+  bytes[5] = 99;  // kind byte
+  FrameReader reader;
+  reader.feed(bytes);
+  Frame frame;
+  EXPECT_THROW(reader.next(frame), ParseError);
+}
+
+TEST(AggWire, HostileLengthPrefixThrowsBeforeBuffering) {
+  // A length prefix beyond kMaxPayloadBytes must be rejected up front,
+  // not allocated.
+  std::string bytes(6, '\0');
+  const std::uint32_t huge = kMaxPayloadBytes + 1;
+  for (int i = 0; i < 4; ++i) {
+    bytes[static_cast<std::size_t>(i)] =
+        static_cast<char>((huge >> (8 * i)) & 0xFFU);
+  }
+  bytes[4] = static_cast<char>(kWireVersion);
+  bytes[5] = static_cast<char>(FrameKind::kHeartbeat);
+  FrameReader reader;
+  reader.feed(bytes);
+  Frame frame;
+  EXPECT_THROW(reader.next(frame), ParseError);
+}
+
+TEST(AggWire, TrailingPayloadBytesThrow) {
+  // Append a byte inside the declared payload region of a heartbeat.
+  Frame heartbeat;
+  heartbeat.kind = FrameKind::kHeartbeat;
+  heartbeat.timeSeconds = 1.0;
+  std::string bytes = encodeFrame(heartbeat);
+  // Grow payload length by one and append a stray byte.
+  bytes[0] = static_cast<char>(bytes[0] + 1);
+  bytes.push_back('\x7f');
+  EXPECT_THROW(decodeFrame(bytes), ParseError);
+}
+
+TEST(AggWire, RecordCountMismatchThrows) {
+  // Corrupt a batch's record count to claim more records than the
+  // payload can hold.
+  Frame batch = sampleBatch();
+  std::string bytes = encodeFrame(batch);
+  // Payload layout: f64 time, then u32 record count at offset 6+8.
+  bytes[6 + 8] = '\x7f';
+  EXPECT_THROW(decodeFrame(bytes), ParseError);
+}
+
+TEST(AggWire, EmptyBatchRoundTrips) {
+  Frame frame;
+  frame.kind = FrameKind::kBatch;
+  frame.timeSeconds = 2.0;
+  const Frame out = decodeFrame(encodeFrame(frame));
+  EXPECT_TRUE(out.records.empty());
+}

@@ -2,8 +2,14 @@
 // ADIOS2-style staging container, and the SessionPublisher glue.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <cstdint>
 #include <filesystem>
 #include <fstream>
+#include <memory>
+#include <thread>
+#include <vector>
 
 #include "common/error.hpp"
 #include "export/perfstubs.hpp"
@@ -52,6 +58,101 @@ TEST(MetricStream, UnsubscribeStopsDelivery) {
   stream.publish({makeRecord("x", 2)});
   EXPECT_EQ(count, 1);
   EXPECT_EQ(stream.subscriberCount(), 0u);
+}
+
+TEST(MetricStream, SelfUnsubscribeFromCallbackDoesNotDeadlock) {
+  MetricStream stream;
+  int calls = 0;
+  int handle = 0;
+  handle = stream.subscribe([&](const Batch&) {
+    ++calls;
+    stream.unsubscribe(handle);
+  });
+  stream.publish({makeRecord("x", 1)});
+  stream.publish({makeRecord("x", 2)});
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(stream.subscriberCount(), 0u);
+}
+
+TEST(MetricStream, UnsubscribeWaitsForInFlightDeliveryOnOtherThread) {
+  // The contract that makes SessionPublisher teardown safe: once
+  // unsubscribe() returns, the callback will never run (or be running)
+  // again, so captured state may be freed immediately.
+  MetricStream stream;
+  std::atomic<bool> inCallback{false};
+  std::atomic<bool> release{false};
+  auto state = std::make_unique<std::atomic<int>>(0);
+  auto* raw = state.get();
+  const int handle = stream.subscribe([&, raw](const Batch&) {
+    inCallback = true;
+    while (!release) {
+      std::this_thread::yield();
+    }
+    raw->fetch_add(1);  // would be a use-after-free if unsubscribe raced
+  });
+  std::thread publisher([&] { stream.publish({makeRecord("x", 1)}); });
+  while (!inCallback) {
+    std::this_thread::yield();
+  }
+  std::thread unsubscriber([&] {
+    stream.unsubscribe(handle);
+    state.reset();  // legal: delivery is guaranteed drained
+  });
+  // Give unsubscribe a moment to block on the in-flight delivery.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_NE(state, nullptr);  // still blocked, state not yet freed
+  release = true;
+  publisher.join();
+  unsubscriber.join();
+  EXPECT_EQ(state, nullptr);
+  stream.publish({makeRecord("x", 2)});  // must not touch freed state
+}
+
+TEST(MetricStream, SurvivesConcurrentPublishAndSubscriberChurn) {
+  // Stress for the publish/subscribe/unsubscribe races: publishers
+  // hammer the stream while churn threads register short-lived
+  // subscribers whose captured counters die right after unsubscribe.
+  // Run under ASan (ZEROSUM_SANITIZE=address) to catch use-after-free.
+  MetricStream stream;
+  constexpr int kPublishers = 4;
+  constexpr int kChurners = 4;
+  constexpr int kRounds = 200;
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> delivered{0};
+
+  std::vector<std::thread> threads;
+  threads.reserve(kPublishers + kChurners);
+  for (int p = 0; p < kPublishers; ++p) {
+    threads.emplace_back([&] {
+      const Batch batch{makeRecord("stress", 1.0)};
+      while (!stop) {
+        stream.publish(batch);
+      }
+    });
+  }
+  for (int c = 0; c < kChurners; ++c) {
+    threads.emplace_back([&] {
+      for (int round = 0; round < kRounds; ++round) {
+        auto count = std::make_unique<std::uint64_t>(0);
+        auto* raw = count.get();
+        const int handle =
+            stream.subscribe([raw](const Batch& b) { *raw += b.size(); });
+        std::this_thread::yield();
+        stream.unsubscribe(handle);
+        delivered += *count;  // safe: no delivery can be in flight now
+        count.reset();
+      }
+    });
+  }
+  for (int c = 0; c < kChurners; ++c) {
+    threads[static_cast<std::size_t>(kPublishers + c)].join();
+  }
+  stop = true;
+  for (int p = 0; p < kPublishers; ++p) {
+    threads[static_cast<std::size_t>(p)].join();
+  }
+  EXPECT_EQ(stream.subscriberCount(), 0u);
+  EXPECT_GT(stream.batchesPublished(), 0u);
 }
 
 TEST(MetricStream, ThrowingSubscriberIsDroppedOthersSurvive) {

@@ -293,6 +293,40 @@ TEST(Json, ParserRejectsMalformedDocuments) {
   EXPECT_THROW(json::parse("nul"), ParseError);
 }
 
+TEST(Json, ParserLimitsContainerNesting) {
+  // The parser accepts documents up to 64 container levels and refuses
+  // anything deeper — it is fed untrusted bytes by the aggregation
+  // query service, and unbounded recursion would be a stack overflow.
+  auto nested = [](int depth) {
+    return std::string(static_cast<std::size_t>(depth), '[') +
+           std::string(static_cast<std::size_t>(depth), ']');
+  };
+  EXPECT_NO_THROW(json::parse(nested(64)));
+  EXPECT_THROW(json::parse(nested(65)), ParseError);
+  // Mixed object/array nesting counts the same way.
+  std::string mixed = "1";
+  for (int i = 0; i < 40; ++i) {
+    mixed = "{\"k\":[" + mixed + "]}";  // two levels per wrap
+  }
+  EXPECT_THROW(json::parse(mixed), ParseError);
+}
+
+TEST(Json, DuplicateObjectKeysLastOneWins) {
+  const json::Value doc = json::parse(R"({"a": 1, "b": 2, "a": 3})");
+  EXPECT_DOUBLE_EQ(doc.find("a")->asNumber(), 3.0);
+  EXPECT_DOUBLE_EQ(doc.find("b")->asNumber(), 2.0);
+  EXPECT_EQ(doc.asObject().size(), 2u);
+}
+
+TEST(Json, TrailingGarbageAfterAnyDocumentKindThrows) {
+  EXPECT_THROW(json::parse("{} {}"), ParseError);
+  EXPECT_THROW(json::parse("123 4"), ParseError);
+  EXPECT_THROW(json::parse("\"s\"x"), ParseError);
+  EXPECT_THROW(json::parse("true,"), ParseError);
+  // Trailing whitespace (including newlines) is fine.
+  EXPECT_NO_THROW(json::parse("{\"a\": 1}\n  \t"));
+}
+
 // --- Overhead attribution -------------------------------------------------
 
 trace::Event span(const char* name, std::uint64_t startUs,

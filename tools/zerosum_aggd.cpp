@@ -1,0 +1,125 @@
+// zerosum-aggd — the aggregation daemon (paper §6: collecting ZeroSum
+// data from across the application processes; cctools catalog-server
+// style).  Listens on loopback TCP, ingests metric batches from the
+// embedded clients ranks carry (ZS_AGG_PORT), maintains the rollup
+// store, and answers JSON queries over the same socket.
+//
+//   zerosum-aggd [options]
+//
+//   --port <n>           listen port (default ZS_AGG_PORT, else 8990;
+//                        0 = kernel-assigned, printed on startup)
+//   --duration <s>       exit after this many seconds (default 0 = run
+//                        until signalled)
+//   --exit-on-goodbye    exit once at least one source was seen and all
+//                        known sources have departed
+//   --dump [interval_s]  print the live allocation dashboard every
+//                        interval (default 2 s)
+//   --stale <s>          staleness horizon before a silent source is
+//                        evicted (default 30)
+//
+// The final dashboard and ingest counters are printed on exit.
+#include <csignal>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <thread>
+
+#include "aggregator/daemon.hpp"
+#include "aggregator/tcp.hpp"
+#include "common/env.hpp"
+#include "common/error.hpp"
+
+using namespace zerosum;
+
+namespace {
+
+volatile std::sig_atomic_t gStop = 0;
+
+void onSignal(int) { gStop = 1; }
+
+double nowSeconds() {
+  const auto t = std::chrono::steady_clock::now().time_since_epoch();
+  return std::chrono::duration<double>(t).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int port = static_cast<int>(env::getInt("ZS_AGG_PORT", 8990));
+  double duration = 0.0;
+  bool exitOnGoodbye = false;
+  double dumpInterval = 0.0;
+  aggregator::StoreOptions storeOptions;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--port" && i + 1 < argc) {
+      port = std::atoi(argv[++i]);
+    } else if (arg == "--duration" && i + 1 < argc) {
+      duration = std::atof(argv[++i]);
+    } else if (arg == "--exit-on-goodbye") {
+      exitOnGoodbye = true;
+    } else if (arg == "--dump") {
+      dumpInterval = 2.0;
+      if (i + 1 < argc && argv[i + 1][0] != '-') {
+        dumpInterval = std::atof(argv[++i]);
+      }
+    } else if (arg == "--stale" && i + 1 < argc) {
+      storeOptions.staleSeconds = std::atof(argv[++i]);
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: " << argv[0]
+                << " [--port n] [--duration s] [--exit-on-goodbye]"
+                   " [--dump [interval_s]] [--stale s]\n";
+      return 0;
+    } else {
+      std::cerr << "zerosum-aggd: unknown option " << arg
+                << " (--help for usage)\n";
+      return 2;
+    }
+  }
+
+  std::unique_ptr<aggregator::TcpServer> server;
+  try {
+    server = std::make_unique<aggregator::TcpServer>(port);
+  } catch (const Error& e) {
+    std::cerr << "zerosum-aggd: " << e.what() << '\n';
+    return 1;
+  }
+  std::cout << "zerosum-aggd: listening on 127.0.0.1:" << server->port()
+            << std::endl;
+
+  aggregator::Aggregator daemon(std::move(server), storeOptions);
+  std::signal(SIGINT, onSignal);
+  std::signal(SIGTERM, onSignal);
+
+  const double start = nowSeconds();
+  double nextDump = dumpInterval > 0.0 ? start + dumpInterval : 0.0;
+  bool everSawSource = false;
+  while (gStop == 0) {
+    const double now = nowSeconds();
+    daemon.poll(now - start);
+    everSawSource = everSawSource || !daemon.sources().empty();
+    if (duration > 0.0 && now - start >= duration) {
+      break;
+    }
+    if (exitOnGoodbye && everSawSource && daemon.allDeparted()) {
+      break;
+    }
+    if (nextDump > 0.0 && now >= nextDump) {
+      std::cout << daemon.dashboard(now - start) << std::endl;
+      nextDump = now + dumpInterval;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+
+  const double elapsed = nowSeconds() - start;
+  const auto& c = daemon.counters();
+  std::cout << daemon.dashboard(elapsed);
+  std::cout << "zerosum-aggd: " << c.recordsIngested << " record(s) in "
+            << c.batchesIngested << " batch(es) from "
+            << daemon.sources().size() << " source(s); " << c.decodeErrors
+            << " decode error(s), " << c.sourcesEvicted
+            << " source(s) evicted, " << c.queriesServed
+            << " query(ies) served\n";
+  return 0;
+}

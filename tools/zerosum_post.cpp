@@ -12,18 +12,31 @@
 //   --trace-summary <trace.json>
 //                     attribute the monitor's own overhead per subsystem
 //                     from a ZS_TRACE_FILE Chrome trace (needs no logs)
+//   --agg-query <json>
+//                     send one JSON query to a live zerosum-aggd and
+//                     print the response (needs no logs); the daemon
+//                     address comes from --agg-host/--agg-port or
+//                     ZS_AGG_HOST/ZS_AGG_PORT.  Shorthand: the words
+//                     sources, snapshot, or dashboard expand to the
+//                     corresponding {"op": ...} request.
 #include <algorithm>
+#include <chrono>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "aggregator/query.hpp"
+#include "aggregator/tcp.hpp"
 #include "analysis/heatmap.hpp"
 #include "analysis/logparse.hpp"
 #include "analysis/reorder.hpp"
 #include "analysis/selfprofile.hpp"
+#include "common/env.hpp"
 #include "common/error.hpp"
+#include "common/json.hpp"
 #include "common/strings.hpp"
 #include "mpisim/recorder.hpp"
 
@@ -97,6 +110,9 @@ int main(int argc, char** argv) {
   int reorderRanksPerNode = 0;
   std::string pgmPath;
   std::string traceSummaryPath;
+  std::string aggQuery;
+  std::string aggHost = env::getString("ZS_AGG_HOST", "127.0.0.1");
+  int aggPort = static_cast<int>(env::getInt("ZS_AGG_PORT", 8990));
   std::vector<std::string> paths;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -110,14 +126,53 @@ int main(int argc, char** argv) {
       pgmPath = argv[++i];
     } else if (arg == "--trace-summary" && i + 1 < argc) {
       traceSummaryPath = argv[++i];
+    } else if (arg == "--agg-query" && i + 1 < argc) {
+      aggQuery = argv[++i];
+    } else if (arg == "--agg-host" && i + 1 < argc) {
+      aggHost = argv[++i];
+    } else if (arg == "--agg-port" && i + 1 < argc) {
+      aggPort = std::atoi(argv[++i]);
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: " << argv[0]
                 << " [--charts] [--heatmap] [--reorder rpn] [--pgm path] "
-                   "[--trace-summary trace.json] <log>...\n";
+                   "[--trace-summary trace.json] [--agg-query json "
+                   "[--agg-host h] [--agg-port p]] <log>...\n";
       return 0;
     } else {
       paths.push_back(arg);
     }
+  }
+
+  if (!aggQuery.empty()) {
+    // Bare-word shorthand for the common requests.
+    if (aggQuery == "sources" || aggQuery == "snapshot" ||
+        aggQuery == "dashboard") {
+      aggQuery = "{\"op\":\"" + aggQuery + "\"}";
+    }
+    aggregator::TcpTransport transport(aggHost, aggPort);
+    const auto response = aggregator::requestOverTransport(
+        transport, aggQuery,
+        [] { std::this_thread::sleep_for(std::chrono::milliseconds(10)); });
+    if (!response) {
+      std::cerr << "zerosum-post: no response from " << aggHost << ':'
+                << aggPort << " (is zerosum-aggd running?)\n";
+      return 1;
+    }
+    // A dashboard response carries rendered text; print it as text.
+    bool printed = false;
+    try {
+      const json::Value doc = json::parse(*response);
+      if (const json::Value* text = doc.find("text")) {
+        std::cout << text->asString();
+        printed = true;
+      }
+    } catch (const Error&) {
+      // fall through to raw output
+    }
+    if (!printed) {
+      std::cout << *response << '\n';
+    }
+    return 0;
   }
 
   if (!traceSummaryPath.empty()) {

@@ -14,7 +14,11 @@
 //   --log <prefix>    log file prefix            (ZS_LOG_PREFIX)
 //   --trace <file>    monitor self-trace output  (ZS_TRACE_FILE)
 //   --ctor            constructor-mode injection (ZS_INIT_MODE=ctor)
+//   --aggregate       spawn zerosum-aggd on a free loopback port and
+//                     point the embedded client at it (ZS_AGG_PORT)
 #include <libgen.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <climits>
@@ -38,7 +42,61 @@ std::string selfDirectory() {
 void usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " [--period ms] [--core hwt] [--heartbeat] [--log prefix] "
-               "[--trace file] [--ctor] <program> [args...]\n";
+               "[--trace file] [--ctor] [--aggregate] <program> [args...]\n";
+}
+
+/// Picks a currently-free loopback port by binding port 0 and reading
+/// the assignment back.  The daemon re-binds it a moment later; the
+/// window where another process could steal it is acceptable for a
+/// launcher convenience flag (use ZS_AGG_PORT for a fixed port).
+int pickFreePort() {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return -1;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  int port = -1;
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) ==
+      0) {
+    socklen_t len = sizeof(addr);
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
+      port = static_cast<int>(ntohs(addr.sin_port));
+    }
+  }
+  ::close(fd);
+  return port;
+}
+
+/// Forks zerosum-aggd (next to this binary) listening on `port`; the
+/// daemon exits on its own once every source has said goodbye.  Returns
+/// false when the daemon binary is missing or fork fails.
+bool spawnAggregator(const std::string& selfDir, int port) {
+  const std::string daemon = selfDir + "/zerosum-aggd";
+  if (::access(daemon.c_str(), X_OK) != 0) {
+    std::cerr << "zerosum-run: cannot find " << daemon << '\n';
+    return false;
+  }
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    std::cerr << "zerosum-run: fork failed: " << std::strerror(errno)
+              << '\n';
+    return false;
+  }
+  if (pid == 0) {
+    const std::string portStr = std::to_string(port);
+    // --duration is a backstop against an application that dies without
+    // a goodbye (the daemon would otherwise linger forever).
+    ::execl(daemon.c_str(), daemon.c_str(), "--port", portStr.c_str(),
+            "--exit-on-goodbye", "--duration", "3600",
+            static_cast<char*>(nullptr));
+    std::cerr << "zerosum-run: exec " << daemon << " failed: "
+              << std::strerror(errno) << '\n';
+    ::_exit(127);
+  }
+  return true;
 }
 
 }  // namespace
@@ -46,6 +104,7 @@ void usage(const char* argv0) {
 int main(int argc, char** argv) {
   int i = 1;
   bool ctorMode = false;
+  bool aggregate = false;
   for (; i < argc; ++i) {
     const std::string flag = argv[i];
     if (flag == "--period" && i + 1 < argc) {
@@ -60,6 +119,8 @@ int main(int argc, char** argv) {
       ::setenv("ZS_TRACE_FILE", argv[++i], 1);
     } else if (flag == "--ctor") {
       ctorMode = true;
+    } else if (flag == "--aggregate") {
+      aggregate = true;
     } else if (flag == "--help" || flag == "-h") {
       usage(argv[0]);
       return 0;
@@ -72,10 +133,31 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  const std::string preload = selfDirectory() + "/libzerosum_preload.so";
+  const std::string selfDir = selfDirectory();
+  const std::string preload = selfDir + "/libzerosum_preload.so";
   if (::access(preload.c_str(), R_OK) != 0) {
     std::cerr << "zerosum-run: cannot find " << preload << '\n';
     return 1;
+  }
+
+  if (aggregate) {
+    // An explicit ZS_AGG_PORT wins (shared daemon across launches);
+    // otherwise pick a free port and spawn a private daemon.
+    int port = 0;
+    if (const char* fixed = ::getenv("ZS_AGG_PORT");
+        fixed != nullptr && std::atoi(fixed) > 0) {
+      port = std::atoi(fixed);
+    } else {
+      port = pickFreePort();
+      if (port <= 0) {
+        std::cerr << "zerosum-run: could not pick an aggregation port\n";
+        return 1;
+      }
+    }
+    if (!spawnAggregator(selfDir, port)) {
+      return 1;
+    }
+    ::setenv("ZS_AGG_PORT", std::to_string(port).c_str(), 1);
   }
   // Chain with any preexisting preloads rather than clobbering them.
   std::string chain = preload;
