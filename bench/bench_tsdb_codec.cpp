@@ -1,0 +1,187 @@
+// tsdb codec throughput + compression ratio (persistence tentpole).
+//
+// Measures the three column codecs (delta-of-delta timestamps, Gorilla
+// XOR doubles, varint counts) over a realistic monitoring shape: many
+// series of slowly-varying utilization values sampled on a regular
+// cadence with jitter.  Reports
+//   * encode / decode throughput in MB/s of raw column bytes, and
+//   * compressed size as a fraction of the equivalent CSV text — the
+//     format zerosum-post would otherwise persist.
+//
+// Emits BENCH_tsdb.json for regression tracking and exits nonzero when
+// the acceptance floors are missed (encode >= 100 MB/s, compressed
+// < 35% of CSV bytes), so scripts/check.sh fails loudly on a codec
+// regression.
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "tsdb/codec.hpp"
+
+using namespace zerosum;
+using namespace zerosum::tsdb;
+
+namespace {
+
+double secondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+struct Series {
+  std::vector<std::int64_t> timestamps;  // window indices, mostly regular
+  std::vector<double> values;            // slowly-varying utilization
+  std::vector<std::uint64_t> counts;     // samples per window
+};
+
+/// One series per (rank, metric): regular 1 s windows with occasional
+/// gaps, values random-walking in the quantized steps /proc counters
+/// actually produce (jiffy-derived percentages) and holding steady
+/// about a third of the time, the way an idle-ish core reads.
+std::vector<Series> makeWorkload(std::size_t series, std::size_t windows) {
+  std::mt19937_64 rng(8990);
+  std::vector<Series> out(series);
+  for (auto& s : out) {
+    std::int64_t t = static_cast<std::int64_t>(rng() % 1000);
+    double v = static_cast<double>(rng() % 100);
+    s.timestamps.reserve(windows);
+    s.values.reserve(windows);
+    s.counts.reserve(windows);
+    for (std::size_t i = 0; i < windows; ++i) {
+      t += 1 + (rng() % 50 == 0 ? static_cast<std::int64_t>(rng() % 5) : 0);
+      if (rng() % 3 != 0) {
+        v += (static_cast<double>(rng() % 9) - 4.0) * 0.25;
+      }
+      s.timestamps.push_back(t);
+      s.values.push_back(v);
+      s.counts.push_back(1 + rng() % 10);
+    }
+  }
+  return out;
+}
+
+/// The text a CSV export of the same windows would occupy (the
+/// compression baseline): "t,value,count\n" per window.
+std::uint64_t csvBytes(const std::vector<Series>& workload) {
+  std::uint64_t bytes = 0;
+  char buf[96];
+  for (const auto& s : workload) {
+    for (std::size_t i = 0; i < s.timestamps.size(); ++i) {
+      bytes += static_cast<std::uint64_t>(std::snprintf(
+          buf, sizeof(buf), "%lld,%.17g,%llu\n",
+          static_cast<long long>(s.timestamps[i]), s.values[i],
+          static_cast<unsigned long long>(s.counts[i])));
+    }
+  }
+  return bytes;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== tsdb codec throughput ===\n\n";
+
+  constexpr std::size_t kSeries = 256;
+  constexpr std::size_t kWindows = 4096;
+  const auto workload = makeWorkload(kSeries, kWindows);
+
+  // Raw column payload: 8 bytes per timestamp + 8 per value + 8 per
+  // count (the in-memory representation the codec consumes).
+  const std::uint64_t rawBytes =
+      static_cast<std::uint64_t>(kSeries) * kWindows * (8 + 8 + 8);
+
+  std::vector<std::string> encoded(workload.size());
+  const auto encodeStart = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < workload.size(); ++i) {
+    encodeTimestamps(workload[i].timestamps, encoded[i]);
+    encodeValues(workload[i].values, encoded[i]);
+    encodeCounts(workload[i].counts, encoded[i]);
+  }
+  const double encodeSeconds = secondsSince(encodeStart);
+
+  std::uint64_t compressedBytes = 0;
+  for (const auto& bytes : encoded) {
+    compressedBytes += bytes.size();
+  }
+
+  const auto decodeStart = std::chrono::steady_clock::now();
+  std::uint64_t decodedWindows = 0;
+  for (std::size_t i = 0; i < workload.size(); ++i) {
+    std::size_t pos = 0;
+    const auto ts = decodeTimestamps(encoded[i], pos);
+    const auto values = decodeValues(encoded[i], pos);
+    const auto counts = decodeCounts(encoded[i], pos);
+    decodedWindows += ts.size();
+    if (ts != workload[i].timestamps || counts != workload[i].counts ||
+        values.size() != workload[i].values.size()) {
+      std::cerr << "ERROR: decode mismatch in series " << i << '\n';
+      return 1;
+    }
+  }
+  const double decodeSeconds = secondsSince(decodeStart);
+
+  const double mb = 1024.0 * 1024.0;
+  const double encodeMbps =
+      static_cast<double>(rawBytes) / mb / encodeSeconds;
+  const double decodeMbps =
+      static_cast<double>(rawBytes) / mb / decodeSeconds;
+  const std::uint64_t csv = csvBytes(workload);
+  const double csvFraction =
+      static_cast<double>(compressedBytes) / static_cast<double>(csv);
+  const double bytesPerWindow = static_cast<double>(compressedBytes) /
+                                static_cast<double>(kSeries * kWindows);
+
+  std::cout << "  " << kSeries << " series x " << kWindows << " windows ("
+            << rawBytes / (1 << 20) << " MiB raw columns)\n";
+  std::cout << "  encode: " << encodeSeconds << " s  ("
+            << static_cast<std::uint64_t>(encodeMbps) << " MB/s)\n";
+  std::cout << "  decode: " << decodeSeconds << " s  ("
+            << static_cast<std::uint64_t>(decodeMbps) << " MB/s, "
+            << decodedWindows << " windows verified)\n";
+  std::cout << "  compressed: " << compressedBytes << " bytes  ("
+            << bytesPerWindow << " bytes/window, "
+            << static_cast<int>(csvFraction * 100.0) << "% of " << csv
+            << " CSV bytes)\n";
+
+  const std::string jsonPath = "BENCH_tsdb.json";
+  std::ofstream jsonOut(jsonPath);
+  if (!jsonOut) {
+    std::cerr << "could not write " << jsonPath << '\n';
+    return 1;
+  }
+  {
+    json::Writer w(jsonOut);
+    w.beginObject();
+    w.field("benchmark", "tsdb_codec");
+    w.field("series", static_cast<std::uint64_t>(kSeries));
+    w.field("windows_per_series", static_cast<std::uint64_t>(kWindows));
+    w.field("raw_bytes", rawBytes);
+    w.field("compressed_bytes", compressedBytes);
+    w.field("csv_bytes", csv);
+    w.field("csv_fraction", csvFraction);
+    w.field("bytes_per_window", bytesPerWindow);
+    w.field("encode_seconds", encodeSeconds);
+    w.field("decode_seconds", decodeSeconds);
+    w.field("encode_mb_per_second", encodeMbps);
+    w.field("decode_mb_per_second", decodeMbps);
+    w.endObject();
+    jsonOut << '\n';
+  }
+  std::cout << "\nwrote " << jsonPath << '\n';
+
+  if (encodeMbps < 100.0) {
+    std::cerr << "ERROR: encode throughput below 100 MB/s floor\n";
+    return 1;
+  }
+  if (csvFraction >= 0.35) {
+    std::cerr << "ERROR: compressed size not under 35% of CSV\n";
+    return 1;
+  }
+  return 0;
+}

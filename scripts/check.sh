@@ -27,12 +27,15 @@ if [[ "$SANITIZE" == 1 ]]; then
   # (Run the binaries directly: ctest registers individual gtest case
   # names, so filtering by executable name matches nothing.)
   for t in test_procfs test_fault_injection test_core test_export \
-           test_aggregator; do
+           test_aggregator test_tsdb; do
     ./build-asan/tests/"$t"
   done
 fi
 
 echo "=== aggregator ingest benchmark ==="
 (cd build/bench && ./bench_aggregator_ingest)
+
+echo "=== tsdb codec benchmark ==="
+(cd build/bench && ./bench_tsdb_codec)
 
 echo "=== check.sh: all passes complete ==="

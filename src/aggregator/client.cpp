@@ -126,14 +126,11 @@ void Client::flush(double nowSeconds, bool force) {
       batch.records.push_back(queue_[i].record);
     }
     if (!transport_->send(encodeFrame(batch))) {
-      // The records of the failed batch are gone with the connection;
-      // requeueing them would grow the queue unboundedly against a dead
-      // daemon.  Count and drop, then back off.
+      // Keep the batch queued for the next connection: the queue bound
+      // (dropOverflow) caps memory against a daemon that never comes
+      // back, so retaining these records costs nothing unbounded — and a
+      // daemon restart then loses no records the client still holds.
       ++counters_.sendFailures;
-      counters_.recordsDropped += n;
-      counterDropped().add(n);
-      queue_.erase(queue_.begin(),
-                   queue_.begin() + static_cast<std::ptrdiff_t>(n));
       transport_->close();
       currentBackoff_ = currentBackoff_ <= 0.0
                             ? options_.reconnectBackoffSeconds

@@ -5,10 +5,12 @@
 //   * enqueue() is O(records) copies into a bounded deque; when the
 //     queue is full the oldest records are dropped and counted;
 //   * pump() flushes batches by count/age through the Transport; a
-//     failed send marks the connection dead, requeues nothing (the
-//     records are counted as dropped), and schedules a reconnect with
-//     exponential backoff so an absent daemon costs one cheap failed
-//     connect() every backoff interval, not one per period.
+//     failed send marks the connection dead, keeps the batch queued for
+//     the next connection (the queue bound still caps memory — overflow
+//     drops oldest), and schedules a reconnect with exponential backoff
+//     so an absent daemon costs one cheap failed connect() every backoff
+//     interval, not one per period.  A daemon restart therefore loses no
+//     records the client still holds.
 //
 // The client is not a thread: the owner (SessionPublisher) calls
 // enqueue()+pump() per sampling period on whatever thread publishes.
@@ -39,7 +41,7 @@ struct ClientOptions {
 struct ClientCounters {
   std::uint64_t recordsEnqueued = 0;
   std::uint64_t recordsSent = 0;
-  std::uint64_t recordsDropped = 0;  ///< queue overflow + failed sends
+  std::uint64_t recordsDropped = 0;  ///< queue overflow + unflushable goodbye
   std::uint64_t batchesSent = 0;
   std::uint64_t sendFailures = 0;
   std::uint64_t reconnects = 0;  ///< successful (re)connects after the first

@@ -10,6 +10,7 @@
 #include "common/strings.hpp"
 #include "trace/metrics.hpp"
 #include "trace/trace.hpp"
+#include "tsdb/engine.hpp"
 
 namespace zerosum::aggregator {
 
@@ -33,6 +34,49 @@ Aggregator::Aggregator(std::unique_ptr<TransportServer> server,
 SourceInfo* Aggregator::sourceOf(const std::string& job, int rank) {
   const auto it = sources_.find({job, rank});
   return it == sources_.end() ? nullptr : &it->second;
+}
+
+void Aggregator::attachEngine(tsdb::Engine* engine) {
+  engine_ = engine;
+  if (engine_ == nullptr) {
+    return;
+  }
+  for (const tsdb::SourceRecord& record : engine_->sources()) {
+    SourceInfo& info = sources_[{record.job, record.rank}];
+    if (info.batches != 0 || info.lastSeenSeconds != 0.0) {
+      continue;  // live connection already outranks the recovered entry
+    }
+    info.hello.job = record.job;
+    info.hello.rank = record.rank;
+    info.hello.worldSize = record.worldSize;
+    info.hello.hostname = record.hostname;
+    info.hello.pid = record.pid;
+    info.state = SourceState::kStale;
+    info.firstSeenSeconds = record.firstSeenSeconds;
+    info.lastSeenSeconds = record.lastSeenSeconds;
+    info.batches = record.batches;
+    info.records = record.records;
+    int& expected = expectedRanks_[record.job];
+    expected = std::max(expected, record.worldSize);
+  }
+}
+
+void Aggregator::persistSource(const std::pair<std::string, int>& key,
+                               const SourceInfo& info) {
+  if (engine_ == nullptr) {
+    return;
+  }
+  tsdb::SourceRecord record;
+  record.job = key.first;
+  record.rank = key.second;
+  record.worldSize = info.hello.worldSize;
+  record.hostname = info.hello.hostname;
+  record.pid = info.hello.pid;
+  record.firstSeenSeconds = info.firstSeenSeconds;
+  record.lastSeenSeconds = info.lastSeenSeconds;
+  record.batches = info.batches;
+  record.records = info.records;
+  engine_->noteSource(record);
 }
 
 void Aggregator::handleFrame(std::uint64_t connection, ConnState& conn,
@@ -60,6 +104,7 @@ void Aggregator::handleFrame(std::uint64_t connection, ConnState& conn,
     info.lastSeenSeconds = nowSeconds;
     int& expected = expectedRanks_[conn.job];
     expected = std::max(expected, frame.hello.worldSize);
+    persistSource({conn.job, conn.rank}, info);
     return;
   }
   if (!conn.helloSeen) {
@@ -92,6 +137,17 @@ void Aggregator::handleFrame(std::uint64_t connection, ConnState& conn,
         key.metric = record.name;
         store_.ingest(key, record.timeSeconds, record.value);
       }
+      if (engine_ != nullptr) {
+        // Durable before the batch is acknowledged as ingested: the WAL
+        // append happens in the same poll() that merges the records, so
+        // anything a client saw accepted survives a crash.
+        std::vector<tsdb::Sample> samples;
+        samples.reserve(frame.records.size());
+        for (const auto& record : frame.records) {
+          samples.push_back({record.timeSeconds, record.name, record.value});
+        }
+        engine_->append(conn.job, conn.rank, samples);
+      }
       break;
     }
     case FrameKind::kHealth:
@@ -109,6 +165,9 @@ void Aggregator::handleFrame(std::uint64_t connection, ConnState& conn,
   if (frame.kind == FrameKind::kBatch) {
     ++info->batches;
     info->records += frame.records.size();
+  }
+  if (frame.kind == FrameKind::kBatch || frame.kind == FrameKind::kGoodbye) {
+    persistSource({conn.job, conn.rank}, *info);
   }
 }
 
@@ -155,6 +214,10 @@ void Aggregator::poll(double nowSeconds) {
       evictions.add();
       store_.evictSource(key.first, key.second);
     }
+  }
+
+  if (engine_ != nullptr) {
+    engine_->maybeCompact();
   }
 }
 

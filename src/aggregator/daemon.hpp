@@ -17,6 +17,10 @@
 #include "aggregator/transport.hpp"
 #include "aggregator/wire.hpp"
 
+namespace zerosum::tsdb {
+class Engine;
+}
+
 namespace zerosum::aggregator {
 
 enum class SourceState : std::uint8_t {
@@ -59,6 +63,17 @@ class Aggregator {
   /// `nowSeconds` (the owner's clock: virtual or wall).
   void poll(double nowSeconds);
 
+  /// Attaches a persistence engine (non-owning; the caller keeps it
+  /// alive past the daemon).  Every ingested batch is then WAL-logged
+  /// before it becomes queryable, poll() drives incremental compaction,
+  /// range/snapshot queries are answered from the engine (disk + hot
+  /// windows — deeper history than the store's bounded retention), and
+  /// the engine's recovered source registry seeds sources().  Recovered
+  /// sources start kStale: they were alive once, but this daemon hasn't
+  /// heard from them yet.
+  void attachEngine(tsdb::Engine* engine);
+  [[nodiscard]] const tsdb::Engine* engine() const { return engine_; }
+
   [[nodiscard]] const RollupStore& store() const { return store_; }
   [[nodiscard]] const DaemonCounters& counters() const { return counters_; }
 
@@ -92,8 +107,11 @@ class Aggregator {
   void handleFrame(std::uint64_t connection, ConnState& conn,
                    const Frame& frame, double nowSeconds);
   SourceInfo* sourceOf(const std::string& job, int rank);
+  void persistSource(const std::pair<std::string, int>& key,
+                     const SourceInfo& info);
 
   std::unique_ptr<TransportServer> server_;
+  tsdb::Engine* engine_ = nullptr;
   RollupStore store_;
   DaemonCounters counters_;
   std::map<std::uint64_t, ConnState> connections_;

@@ -6,6 +6,7 @@
 #include "aggregator/daemon.hpp"
 #include "common/error.hpp"
 #include "common/json.hpp"
+#include "tsdb/engine.hpp"
 
 namespace zerosum::aggregator {
 
@@ -64,10 +65,16 @@ std::string handleSources(const Aggregator& daemon) {
 std::string handleSnapshot(const Aggregator& daemon, const json::Value& req) {
   const json::Value* jobFilter = req.find("job");
   const json::Value* rankFilter = req.find("rank");
+  // With a persistence engine attached, the engine is a strict superset
+  // of the store (everything ingested was appended), so snapshots come
+  // from it — series survive daemon restarts and store retention.
+  const tsdb::Engine* engine = daemon.engine();
   std::ostringstream out;
   json::Writer w(out);
   w.beginObject().key("series").beginArray();
-  for (const auto& key : daemon.store().keys()) {
+  const auto keys =
+      engine != nullptr ? engine->seriesKeys() : daemon.store().keys();
+  for (const auto& key : keys) {
     if (jobFilter != nullptr && key.job != jobFilter->asString()) {
       continue;
     }
@@ -79,11 +86,17 @@ std::string handleSnapshot(const Aggregator& daemon, const json::Value& req) {
         .field("job", key.job)
         .field("rank", static_cast<std::int64_t>(key.rank))
         .field("metric", key.metric);
-    if (const auto fine = daemon.store().latest(key, Resolution::kFine)) {
+    const auto fine = engine != nullptr
+                          ? engine->latest(key, Resolution::kFine)
+                          : daemon.store().latest(key, Resolution::kFine);
+    if (fine) {
       w.key("fine");
       writeRollup(w, *fine);
     }
-    if (const auto coarse = daemon.store().latest(key, Resolution::kCoarse)) {
+    const auto coarse = engine != nullptr
+                            ? engine->latest(key, Resolution::kCoarse)
+                            : daemon.store().latest(key, Resolution::kCoarse);
+    if (coarse) {
       w.key("coarse");
       writeRollup(w, *coarse);
     }
@@ -119,7 +132,10 @@ std::string handleRange(const Aggregator& daemon, const json::Value& req) {
       .field("resolution", res)
       .key("windows")
       .beginArray();
-  for (const auto& row : daemon.store().range(key, t0, t1, resolution)) {
+  const auto rows = daemon.engine() != nullptr
+                        ? daemon.engine()->range(key, t0, t1, resolution)
+                        : daemon.store().range(key, t0, t1, resolution);
+  for (const auto& row : rows) {
     writeRollup(w, row);
   }
   w.endArray().endObject();

@@ -87,17 +87,27 @@ void ClusterJob::addInterference(const Interference& interference) {
 }
 
 void ClusterJob::enableAggregation(const std::string& jobName,
-                                   aggregator::StoreOptions storeOptions) {
+                                   aggregator::StoreOptions storeOptions,
+                                   const std::string& dataDir,
+                                   tsdb::EngineOptions engineOptions) {
   if (ran_) {
     throw StateError("enableAggregation after run()");
   }
   if (aggHub_) {
     throw StateError("enableAggregation called twice");
   }
+  aggStoreOptions_ = storeOptions;
+  aggEngineOptions_ = engineOptions;
+  aggDataDir_ = dataDir;
   aggHub_ = std::make_unique<aggregator::PipeHub>();
   aggDaemon_ = std::make_unique<aggregator::Aggregator>(aggHub_->makeServer(),
                                                         storeOptions);
+  if (!aggDataDir_.empty()) {
+    aggEngine_ = std::make_unique<tsdb::Engine>(aggDataDir_, engineOptions);
+    aggDaemon_->attachEngine(aggEngine_.get());
+  }
   aggDeparted_.assign(static_cast<std::size_t>(totalRanks()), false);
+  aggClosedClients_.resize(static_cast<std::size_t>(totalRanks()));
   for (int rank = 0; rank < totalRanks(); ++rank) {
     auto& session = *sessions_[static_cast<std::size_t>(rank)];
     aggregator::Hello hello;
@@ -121,22 +131,80 @@ void ClusterJob::enableAggregation(const std::string& jobName,
   }
 }
 
-void ClusterJob::run(double maxSeconds) {
-  ran_ = true;
-  auto jobFinished = [&] {
-    for (std::size_t n = 0; n < nodes_.size(); ++n) {
-      for (int r = 0; r < config_.ranksPerNode; ++r) {
-        const auto& rank =
-            ranks_[n * static_cast<std::size_t>(config_.ranksPerNode) +
-                   static_cast<std::size_t>(r)];
-        if (!nodes_[n]->processFinished(rank.pid)) {
-          return false;
-        }
+bool ClusterJob::jobFinished() const {
+  for (std::size_t n = 0; n < nodes_.size(); ++n) {
+    for (int r = 0; r < config_.ranksPerNode; ++r) {
+      const auto& rank =
+          ranks_[n * static_cast<std::size_t>(config_.ranksPerNode) +
+                 static_cast<std::size_t>(r)];
+      if (!nodes_[n]->processFinished(rank.pid)) {
+        return false;
       }
     }
-    return true;
-  };
+  }
+  return true;
+}
 
+void ClusterJob::crashAggregator() {
+  if (!aggHub_) {
+    throw StateError("crashAggregator without enableAggregation");
+  }
+  if (!aggDaemon_) {
+    throw StateError("crashAggregator: daemon already down");
+  }
+  // Sever every connection first (clients observe a dead daemon), then
+  // drop the daemon and engine with no seal/flush — a hard kill keeps
+  // only what append() already write()'d into the WAL file.
+  aggHub_->setDown(true);
+  aggDaemon_.reset();
+  aggEngine_.reset();
+}
+
+void ClusterJob::restartAggregation() {
+  if (!aggHub_ || aggDaemon_) {
+    throw StateError("restartAggregation without a crashed daemon");
+  }
+  aggDaemon_ = std::make_unique<aggregator::Aggregator>(aggHub_->makeServer(),
+                                                        aggStoreOptions_);
+  if (!aggDataDir_.empty()) {
+    // Recovery happens here: segments verified, WAL tail repaired and
+    // replayed, source registry reloaded.
+    aggEngine_ = std::make_unique<tsdb::Engine>(aggDataDir_,
+                                                aggEngineOptions_);
+    aggDaemon_->attachEngine(aggEngine_.get());
+  }
+  aggHub_->setDown(false);
+}
+
+exporter::MetricStream& ClusterJob::aggStream(int rank) {
+  if (!aggHub_ || rank < 0 || rank >= totalRanks()) {
+    throw NotFoundError("aggregation stream for rank " +
+                        std::to_string(rank));
+  }
+  return *aggStreams_[static_cast<std::size_t>(rank)];
+}
+
+const aggregator::Client& ClusterJob::aggClient(int rank) const {
+  if (!aggHub_ || rank < 0 || rank >= totalRanks()) {
+    throw NotFoundError("aggregation client for rank " +
+                        std::to_string(rank));
+  }
+  const auto index = static_cast<std::size_t>(rank);
+  if (aggClosedClients_[index]) {
+    return *aggClosedClients_[index];
+  }
+  const aggregator::Client* live =
+      const_cast<exporter::SessionPublisher&>(*aggPublishers_[index])
+          .aggregatorClient();
+  if (live == nullptr) {
+    throw NotFoundError("aggregation client for rank " +
+                        std::to_string(rank));
+  }
+  return *live;
+}
+
+void ClusterJob::run(double maxSeconds) {
+  ran_ = true;
   while (!jobFinished() && runtime_ < maxSeconds) {
     for (auto& node : nodes_) {
       node->advance(sim::kHz);
@@ -152,8 +220,9 @@ void ClusterJob::run(double maxSeconds) {
       } else if (aggDaemon_ &&
                  !aggDeparted_[static_cast<std::size_t>(rank)]) {
         // The rank's tool exits with its process: flush and say goodbye.
-        aggPublishers_[static_cast<std::size_t>(rank)]->closeAggregator(
-            runtime_);
+        aggClosedClients_[static_cast<std::size_t>(rank)] =
+            aggPublishers_[static_cast<std::size_t>(rank)]->closeAggregator(
+                runtime_);
         aggDeparted_[static_cast<std::size_t>(rank)] = true;
       }
     }
@@ -161,17 +230,23 @@ void ClusterJob::run(double maxSeconds) {
       aggDaemon_->poll(runtime_);
     }
   }
-  if (aggDaemon_) {
-    // Orderly end of job: any rank still attached departs now, and the
-    // daemon drains the final goodbyes.
+  // Orderly end of job: any rank still attached departs now, and the
+  // daemon drains the final goodbyes.  Only when the job actually
+  // finished — run() returning at maxSeconds is a pause (the caller may
+  // resume, or crash/restart the daemon in between), not an exit.
+  if (aggDaemon_ && jobFinished()) {
     for (int rank = 0; rank < totalRanks(); ++rank) {
       if (!aggDeparted_[static_cast<std::size_t>(rank)]) {
-        aggPublishers_[static_cast<std::size_t>(rank)]->closeAggregator(
-            runtime_);
+        aggClosedClients_[static_cast<std::size_t>(rank)] =
+            aggPublishers_[static_cast<std::size_t>(rank)]->closeAggregator(
+                runtime_);
         aggDeparted_[static_cast<std::size_t>(rank)] = true;
       }
     }
     aggDaemon_->poll(runtime_);
+    if (aggEngine_) {
+      aggEngine_->seal();
+    }
   }
   // No catch-up sampling: each rank's duration freezes at the last period
   // in which its process was alive, so the per-rank durations expose the

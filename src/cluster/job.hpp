@@ -22,6 +22,7 @@
 #include "export/stream.hpp"
 #include "sim/workload.hpp"
 #include "topology/hardware.hpp"
+#include "tsdb/engine.hpp"
 
 namespace zerosum::cluster {
 
@@ -60,13 +61,44 @@ class ClusterJob {
   /// the daemon is polled once per lockstep step and receives a goodbye
   /// when a rank's process finishes — the §6 cross-rank collection path,
   /// driven in virtual time.
+  ///
+  /// A non-empty `dataDir` turns on persistence: a tsdb::Engine under the
+  /// daemon WAL-logs every ingested batch and serves range/snapshot
+  /// queries from disk + hot windows, which is what makes
+  /// crashAggregator()/restartAggregation() lossless for acked batches.
   void enableAggregation(const std::string& jobName = "simjob",
-                         aggregator::StoreOptions storeOptions = {});
+                         aggregator::StoreOptions storeOptions = {},
+                         const std::string& dataDir = "",
+                         tsdb::EngineOptions engineOptions = {});
 
-  /// The in-job daemon; nullptr unless enableAggregation() was called.
+  /// Hard-kills the in-job daemon mid-run (between lockstep steps): the
+  /// daemon and its storage engine are destroyed with no orderly seal —
+  /// exactly what SIGKILL leaves behind (the WAL bytes already written,
+  /// nothing else) — and the transport hub goes down so clients see dead
+  /// connections and start their reconnect backoff.
+  void crashAggregator();
+
+  /// Brings a fresh daemon back up over the same data dir: the engine
+  /// recovers segments + WAL, seeds the daemon's source registry, and the
+  /// hub comes back up so clients reconnect and drain their queues.
+  void restartAggregation();
+
+  /// The in-job daemon; nullptr unless enableAggregation() was called
+  /// (or after crashAggregator() until restartAggregation()).
   [[nodiscard]] aggregator::Aggregator* aggregatorDaemon() {
     return aggDaemon_.get();
   }
+
+  /// The persistence engine; nullptr unless a dataDir was given.
+  [[nodiscard]] tsdb::Engine* aggEngine() { return aggEngine_.get(); }
+
+  /// Rank-local metric stream feeding that rank's aggregation client;
+  /// tests subscribe to it for a brute-force reference of everything the
+  /// rank published.  Throws unless aggregation is enabled.
+  [[nodiscard]] exporter::MetricStream& aggStream(int rank);
+
+  /// That rank's embedded aggregation client (counters for tests).
+  [[nodiscard]] const aggregator::Client& aggClient(int rank) const;
 
   /// Advances all nodes in lockstep, sampling every rank's monitor once
   /// per virtual second, until the job finishes or maxSeconds elapses.
@@ -88,6 +120,8 @@ class ClusterJob {
   [[nodiscard]] std::string dashboard() const;
 
  private:
+  [[nodiscard]] bool jobFinished() const;
+
   ClusterJobConfig config_;
   std::vector<std::unique_ptr<sim::SimNode>> nodes_;
   std::vector<sim::BuiltRank> ranks_;                   // global rank order
@@ -98,9 +132,15 @@ class ClusterJob {
   // Aggregation plumbing (enableAggregation); indexed by global rank.
   std::unique_ptr<aggregator::PipeHub> aggHub_;
   std::unique_ptr<aggregator::Aggregator> aggDaemon_;
+  std::unique_ptr<tsdb::Engine> aggEngine_;
   std::vector<std::unique_ptr<exporter::MetricStream>> aggStreams_;
   std::vector<std::unique_ptr<exporter::SessionPublisher>> aggPublishers_;
+  std::vector<std::unique_ptr<aggregator::Client>> aggClosedClients_;
   std::vector<bool> aggDeparted_;
+  // Retained for restartAggregation().
+  aggregator::StoreOptions aggStoreOptions_;
+  tsdb::EngineOptions aggEngineOptions_;
+  std::string aggDataDir_;
 };
 
 }  // namespace zerosum::cluster

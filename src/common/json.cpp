@@ -119,9 +119,12 @@ Writer& Writer::value(double v) {
     out_ << "null";
     return *this;
   }
+  // Shortest round-trip form (Ryū via to_chars): the fewest digits that
+  // parse back to exactly `v`, so persisted rollups survive a
+  // write→parse cycle bit-for-bit and never carry padding digits.
   char buf[32];
   const auto [ptr, ec] =
-      std::to_chars(buf, buf + sizeof(buf), v, std::chars_format::general, 15);
+      std::to_chars(buf, buf + sizeof(buf), v, std::chars_format::general);
   if (ec != std::errc{}) {
     throw StateError("json: cannot format number");
   }

@@ -1,0 +1,176 @@
+// TsdbEngine: the durable single-writer time-series engine under the
+// aggregation daemon (and, read-only, under zerosum-post).
+//
+// Write path: append() frames each batch into the WAL (CRC32,
+// ZS_TSDB_FSYNC policy) and merges the samples into in-memory fine +
+// coarse rollup windows — the same windowing as aggregator::RollupStore.
+// When the active WAL grows past `walRotateBytes`, maybeCompact() seals
+// the hot windows into an immutable compressed segment (codec.hpp),
+// publishes it with an atomic rename, deletes the WAL files the segment
+// covers, and starts a fresh WAL.  No background threads: the owner
+// drives compaction from its poll loop, so the engine is deterministic
+// under the lockstep cluster simulation.
+//
+// Recovery (the constructor): open every segment whose footer verifies
+// (a segment missing its footer is dropped whole and counted), compute
+// the covered-WAL frontier, delete stale WAL files the segments already
+// contain, replay the remaining WAL — tolerating a truncated, torn, or
+// CRC-corrupt tail by dropping only the damaged suffix (counted) — and
+// load the persisted source registry.  Because windows are mergeable
+// aggregates (min/max/sum/count), a window split across a segment and
+// the replayed WAL recombines exactly on read.
+//
+// Read path: range()/latest() merge all matching segment blocks with the
+// hot windows; seriesKeys() unions both.  Not thread-safe: one owner
+// (the daemon's poll loop or an offline tool) does everything.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "aggregator/store.hpp"
+#include "tsdb/segment.hpp"
+#include "tsdb/wal.hpp"
+
+namespace zerosum::tsdb {
+
+using aggregator::WindowRollup;
+
+struct EngineOptions {
+  /// Rollup window widths, mirroring aggregator::StoreOptions.
+  double fineWindowSeconds = 1.0;
+  int coarseFactor = 10;
+  /// WAL durability (ZS_TSDB_FSYNC).
+  FsyncPolicy fsync = FsyncPolicy::kBatch;
+  std::uint64_t fsyncBatchBytes = 256 * 1024;
+  /// Compact once the active WAL reaches this size.
+  std::uint64_t walRotateBytes = 1U << 20;
+  /// On-disk retention: oldest segments beyond either bound are deleted.
+  int maxSegments = 64;
+  std::uint64_t maxDiskBytes = 256ULL << 20;
+  /// Read-only: never create, repair, or delete anything (offline
+  /// queries over a data dir whose daemon is gone — or still running).
+  bool readOnly = false;
+};
+
+/// Persisted registry entry for one (job, rank) source.
+struct SourceRecord {
+  std::string job;
+  std::int32_t rank = 0;
+  std::int32_t worldSize = 0;
+  std::string hostname;
+  std::int32_t pid = 0;
+  double firstSeenSeconds = 0.0;
+  double lastSeenSeconds = 0.0;
+  std::uint64_t batches = 0;
+  std::uint64_t records = 0;
+
+  friend bool operator==(const SourceRecord&, const SourceRecord&) = default;
+};
+
+struct EngineCounters {
+  std::uint64_t batchesAppended = 0;
+  std::uint64_t samplesAppended = 0;
+  std::uint64_t compactions = 0;
+  std::uint64_t segmentsWritten = 0;
+  std::uint64_t segmentsDropped = 0;   ///< retention deletions
+  std::uint64_t walReplayedBatches = 0;
+  std::uint64_t walDamagedBytes = 0;   ///< recovery: dropped WAL suffix
+  std::uint64_t walRepairs = 0;        ///< recovery: tails truncated
+  std::uint64_t segmentsRejected = 0;  ///< recovery: unreadable segments
+};
+
+class Engine {
+ public:
+  /// Opens (recovering) or creates the data dir.  Throws ConfigError on
+  /// bad options, StateError when the dir cannot be created/opened.
+  explicit Engine(const std::string& dir, EngineOptions options = {});
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  // --- write side ----------------------------------------------------------
+
+  /// Durably logs one batch and merges it into the hot windows.  Samples
+  /// with non-finite or negative times/values are ignored (RollupStore
+  /// parity).  Throws StateError in read-only mode or on I/O failure.
+  void append(const std::string& job, std::int32_t rank,
+              const std::vector<Sample>& samples);
+
+  /// Compacts when the active WAL is past the rotate threshold; returns
+  /// true when a segment was written.
+  bool maybeCompact();
+  /// Unconditional WAL -> segment compaction (no-op when nothing is hot).
+  void compact();
+
+  /// Final flush: fsync the WAL, seal the hot windows into a segment,
+  /// persist the registry.  The engine remains usable afterwards.
+  void seal();
+
+  /// Upserts one source registry entry (persisted at compact/seal).
+  void noteSource(const SourceRecord& source);
+
+  // --- read side -----------------------------------------------------------
+
+  /// Windows intersecting [t0, t1], oldest first, merged across segments
+  /// and the hot state.
+  [[nodiscard]] std::vector<WindowRollup> range(
+      const SeriesKey& key, double t0, double t1,
+      Resolution resolution = Resolution::kFine) const;
+
+  /// Newest window of a series.
+  [[nodiscard]] std::optional<WindowRollup> latest(
+      const SeriesKey& key, Resolution resolution = Resolution::kFine) const;
+
+  /// All series keys, sorted (union of disk and memory).
+  [[nodiscard]] std::vector<SeriesKey> seriesKeys() const;
+
+  /// Registry entries, sorted by (job, rank).
+  [[nodiscard]] std::vector<SourceRecord> sources() const;
+
+  [[nodiscard]] const EngineCounters& counters() const { return counters_; }
+  [[nodiscard]] const EngineOptions& options() const { return options_; }
+  [[nodiscard]] const std::string& dir() const { return dir_; }
+  [[nodiscard]] std::size_t segmentCount() const { return segments_.size(); }
+  [[nodiscard]] std::uint64_t walSizeBytes() const {
+    return wal_ ? wal_->sizeBytes() : 0;
+  }
+  /// Total bytes across sealed segments.
+  [[nodiscard]] std::uint64_t segmentBytes() const;
+
+ private:
+  struct LiveSegment {
+    std::uint64_t seq = 0;
+    std::unique_ptr<SegmentReader> reader;
+  };
+
+  [[nodiscard]] double windowSeconds(Resolution resolution) const;
+  [[nodiscard]] std::string walPath(std::uint64_t seq) const;
+  [[nodiscard]] std::string segmentPath(std::uint64_t seq) const;
+  void recover();
+  void replayWal(std::uint64_t seq, bool repairTail);
+  void mergeSamples(const std::string& job, std::int32_t rank,
+                    const std::vector<Sample>& samples);
+  void enforceRetention();
+  void persistRegistry() const;
+  void loadRegistry();
+  void openWal();
+
+  std::string dir_;
+  EngineOptions options_;
+  EngineCounters counters_;
+
+  std::vector<LiveSegment> segments_;   ///< seq ascending
+  std::map<SeriesKey, SeriesWindows> hot_;
+  std::map<std::pair<std::string, std::int32_t>, SourceRecord> sources_;
+  std::unique_ptr<WalWriter> wal_;
+  std::uint64_t activeWalSeq_ = 1;
+  std::uint64_t nextSegmentSeq_ = 1;
+};
+
+}  // namespace zerosum::tsdb

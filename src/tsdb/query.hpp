@@ -1,0 +1,29 @@
+// Offline query service over a tsdb data directory: the same JSON
+// request/response dialect as the aggregation daemon's query port
+// (aggregator/query.hpp), answered from disk so zerosum-post can
+// interrogate a run after — or independently of — the daemon.
+//
+// Supported ops:
+//   {"op":"sources"}                          — persisted source registry
+//   {"op":"snapshot", "job"?, "rank"?}        — newest fine+coarse window
+//                                               per series
+//   {"op":"range", "metric", "job"?, "rank"?,
+//    "t0"?, "t1"?, "resolution"?}             — windows in [t0, t1]
+//   {"op":"stats"}                            — engine/recovery counters
+//
+// Responses match the daemon's shapes field for field (minus the
+// liveness-only bits: health telemetry and source state), so tooling
+// written against the live port reads offline answers unchanged.
+#pragma once
+
+#include <string>
+
+namespace zerosum::tsdb {
+
+class Engine;
+
+/// Answers one JSON request against a recovered engine.  Never throws:
+/// malformed requests produce {"error": ...}.
+std::string runQuery(const Engine& engine, const std::string& requestJson);
+
+}  // namespace zerosum::tsdb

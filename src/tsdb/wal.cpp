@@ -1,0 +1,293 @@
+#include "tsdb/wal.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "tsdb/codec.hpp"
+#include "tsdb/crc32.hpp"
+
+namespace zerosum::tsdb {
+
+namespace {
+
+constexpr std::uint8_t kWalVersion = 1;
+/// Hard ceiling on one record (a corrupt length prefix must not turn
+/// into a gigabyte allocation during recovery).
+constexpr std::uint32_t kMaxWalRecordBytes = 16U << 20;
+
+void putU32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8U * static_cast<unsigned>(i))) &
+                                    0xFFU));
+  }
+}
+
+std::uint32_t getU32(const char* data) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(
+             data[i]))
+         << (8U * static_cast<unsigned>(i));
+  }
+  return v;
+}
+
+void putF64(std::string& out, double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((bits >> (8U * static_cast<unsigned>(i))) &
+                                    0xFFU));
+  }
+}
+
+double getF64(const std::string& data, std::size_t& pos) {
+  if (pos + 8 > data.size()) {
+    throw ParseError("wal: f64 truncated");
+  }
+  std::uint64_t bits = 0;
+  for (int i = 0; i < 8; ++i) {
+    bits |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(
+                data[pos + static_cast<std::size_t>(i)]))
+            << (8U * static_cast<unsigned>(i));
+  }
+  pos += 8;
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+void putStr(std::string& out, const std::string& s) {
+  putVarint(out, s.size());
+  out.append(s);
+}
+
+std::string getStr(const std::string& data, std::size_t& pos) {
+  const std::uint64_t n = getVarint(data, pos);
+  if (n > data.size() - pos) {
+    throw ParseError("wal: string truncated");
+  }
+  std::string s = data.substr(pos, n);
+  pos += n;
+  return s;
+}
+
+}  // namespace
+
+FsyncPolicy fsyncPolicyFromString(const std::string& name) {
+  if (name == "always") {
+    return FsyncPolicy::kAlways;
+  }
+  if (name == "batch") {
+    return FsyncPolicy::kBatch;
+  }
+  if (name == "off") {
+    return FsyncPolicy::kOff;
+  }
+  throw ConfigError("ZS_TSDB_FSYNC must be always|batch|off, got \"" + name +
+                    "\"");
+}
+
+const char* fsyncPolicyName(FsyncPolicy policy) {
+  switch (policy) {
+    case FsyncPolicy::kAlways: return "always";
+    case FsyncPolicy::kBatch: return "batch";
+    case FsyncPolicy::kOff: return "off";
+  }
+  return "?";
+}
+
+std::string encodeWalPayload(const WalBatch& batch) {
+  std::string out;
+  out.push_back(static_cast<char>(kWalVersion));
+  putStr(out, batch.job);
+  putVarint(out, zigzag(batch.rank));
+  putVarint(out, batch.samples.size());
+  for (const Sample& sample : batch.samples) {
+    putF64(out, sample.timeSeconds);
+    putStr(out, sample.metric);
+    putF64(out, sample.value);
+  }
+  return out;
+}
+
+WalBatch decodeWalPayload(const std::string& payload) {
+  std::size_t pos = 0;
+  if (payload.empty()) {
+    throw ParseError("wal: empty payload");
+  }
+  const auto version = static_cast<std::uint8_t>(payload[pos++]);
+  if (version != kWalVersion) {
+    throw ParseError("wal: unknown payload version " +
+                     std::to_string(version));
+  }
+  WalBatch batch;
+  batch.job = getStr(payload, pos);
+  batch.rank = static_cast<std::int32_t>(unzigzag(getVarint(payload, pos)));
+  const std::uint64_t count = getVarint(payload, pos);
+  if (count > payload.size() - pos) {
+    // Every sample costs >= 17 bytes; a count beyond the remaining bytes
+    // is corruption.
+    throw ParseError("wal: sample count exceeds payload");
+  }
+  batch.samples.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    Sample sample;
+    sample.timeSeconds = getF64(payload, pos);
+    sample.metric = getStr(payload, pos);
+    sample.value = getF64(payload, pos);
+    batch.samples.push_back(std::move(sample));
+  }
+  if (pos != payload.size()) {
+    throw ParseError("wal: trailing bytes in payload");
+  }
+  return batch;
+}
+
+// --- WalWriter -------------------------------------------------------------
+
+WalWriter::WalWriter(const std::string& path, FsyncPolicy policy,
+                     std::uint64_t batchBytes)
+    : path_(path), policy_(policy), batchBytes_(batchBytes) {
+  fd_ = ::open(path.c_str(), O_CREAT | O_WRONLY | O_APPEND | O_CLOEXEC, 0644);
+  if (fd_ < 0) {
+    throw StateError("wal: cannot open " + path + ": " +
+                     std::strerror(errno));
+  }
+  const off_t end = ::lseek(fd_, 0, SEEK_END);
+  sizeBytes_ = end > 0 ? static_cast<std::uint64_t>(end) : 0;
+}
+
+WalWriter::~WalWriter() {
+  try {
+    close();
+  } catch (...) {
+    // Destructor must not throw; close() errors surface via explicit
+    // close() calls on the orderly path.
+  }
+}
+
+void WalWriter::append(const WalBatch& batch) {
+  if (fd_ < 0) {
+    throw StateError("wal: append after close");
+  }
+  const std::string payload = encodeWalPayload(batch);
+  if (payload.size() > kMaxWalRecordBytes) {
+    throw StateError("wal: record exceeds " +
+                     std::to_string(kMaxWalRecordBytes) + " bytes");
+  }
+  std::string frame;
+  frame.reserve(payload.size() + 8);
+  putU32(frame, static_cast<std::uint32_t>(payload.size()));
+  putU32(frame, crc32(payload));
+  frame.append(payload);
+  // One write() per record: O_APPEND makes the frame land contiguously,
+  // and an interrupted process tears at most this one record's tail.
+  std::size_t written = 0;
+  while (written < frame.size()) {
+    const ssize_t n =
+        ::write(fd_, frame.data() + written, frame.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      throw StateError("wal: write to " + path_ + " failed: " +
+                       std::strerror(errno));
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  sizeBytes_ += frame.size();
+  dirtyBytes_ += frame.size();
+  ++appended_;
+  if (policy_ == FsyncPolicy::kAlways ||
+      (policy_ == FsyncPolicy::kBatch && dirtyBytes_ >= batchBytes_)) {
+    sync();
+  }
+}
+
+void WalWriter::sync() {
+  if (fd_ < 0 || dirtyBytes_ == 0) {
+    return;
+  }
+  if (::fdatasync(fd_) != 0) {
+    throw StateError("wal: fdatasync failed: " +
+                     std::string(std::strerror(errno)));
+  }
+  dirtyBytes_ = 0;
+}
+
+void WalWriter::close() {
+  if (fd_ < 0) {
+    return;
+  }
+  if (policy_ != FsyncPolicy::kOff) {
+    sync();
+  }
+  ::close(fd_);
+  fd_ = -1;
+}
+
+// --- readWal ---------------------------------------------------------------
+
+WalReadResult readWal(const std::string& path) {
+  WalReadResult result;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return result;  // a missing log is an empty log
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string bytes = buffer.str();
+
+  std::size_t pos = 0;
+  const auto damaged = [&](const std::string& why) {
+    result.goodBytes = pos;
+    result.damagedBytes = bytes.size() - pos;
+    result.damage = why;
+    return result;
+  };
+  while (pos < bytes.size()) {
+    if (bytes.size() - pos < 8) {
+      return damaged("truncated record header");
+    }
+    const std::uint32_t len = getU32(bytes.data() + pos);
+    const std::uint32_t storedCrc = getU32(bytes.data() + pos + 4);
+    if (len == 0 || len > kMaxWalRecordBytes) {
+      return damaged("implausible record length " + std::to_string(len));
+    }
+    if (bytes.size() - pos - 8 < len) {
+      return damaged("torn record (" + std::to_string(bytes.size() - pos - 8) +
+                     " of " + std::to_string(len) + " payload bytes)");
+    }
+    const std::string payload = bytes.substr(pos + 8, len);
+    if (crc32(payload) != storedCrc) {
+      return damaged("crc mismatch");
+    }
+    try {
+      result.batches.push_back(decodeWalPayload(payload));
+    } catch (const ParseError& e) {
+      return damaged(e.what());
+    }
+    pos += 8 + len;
+  }
+  result.goodBytes = pos;
+  return result;
+}
+
+void repairWal(const std::string& path, const WalReadResult& result) {
+  if (result.damagedBytes == 0) {
+    return;
+  }
+  if (::truncate(path.c_str(), static_cast<off_t>(result.goodBytes)) != 0) {
+    throw StateError("wal: cannot truncate " + path + ": " +
+                     std::strerror(errno));
+  }
+}
+
+}  // namespace zerosum::tsdb

@@ -3,6 +3,8 @@
 // hostile length prefixes all throw instead of guessing).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <random>
 #include <string>
 #include <vector>
 
@@ -98,6 +100,72 @@ TEST(AggWire, ReaderReassemblesFramesFedByteByByte) {
   EXPECT_EQ(seen[1].kind, FrameKind::kBatch);
   EXPECT_EQ(seen[1].records.size(), 3U);
   EXPECT_EQ(reader.pendingBytes(), 0U);
+}
+
+TEST(AggWire, ReaderReassemblesAcrossEverySplitPoint) {
+  // A TCP read can hand the reader any prefix/suffix split of the
+  // stream; every boundary must reassemble to the same three frames.
+  Frame goodbye;
+  goodbye.kind = FrameKind::kGoodbye;
+  goodbye.timeSeconds = 9.0;
+  const std::string bytes = encodeFrame(sampleHello()) +
+                            encodeFrame(sampleBatch()) +
+                            encodeFrame(goodbye);
+  for (std::size_t split = 0; split <= bytes.size(); ++split) {
+    FrameReader reader;
+    reader.feed(bytes.data(), split);
+    std::vector<Frame> seen;
+    Frame frame;
+    while (reader.next(frame)) {
+      seen.push_back(frame);
+    }
+    reader.feed(bytes.data() + split, bytes.size() - split);
+    while (reader.next(frame)) {
+      seen.push_back(frame);
+    }
+    ASSERT_EQ(seen.size(), 3U) << "split " << split;
+    EXPECT_EQ(seen[0].hello, sampleHello().hello) << "split " << split;
+    EXPECT_EQ(seen[1].records, sampleBatch().records) << "split " << split;
+    EXPECT_EQ(seen[2].kind, FrameKind::kGoodbye) << "split " << split;
+    EXPECT_EQ(reader.pendingBytes(), 0U) << "split " << split;
+  }
+}
+
+TEST(AggWire, ReaderReassemblesRandomFragmentation) {
+  // Seeded random 1–7 byte chunks over a longer multi-frame stream —
+  // the arbitrary-fragmentation shape a loaded loopback socket
+  // actually produces.
+  std::string bytes;
+  std::vector<Frame> expected;
+  for (int i = 0; i < 25; ++i) {
+    Frame frame = (i % 2 == 0) ? sampleHello() : sampleBatch();
+    frame.timeSeconds = static_cast<double>(i);
+    expected.push_back(frame);
+    bytes += encodeFrame(frame);
+  }
+  std::mt19937_64 rng(987654321);
+  for (int trial = 0; trial < 20; ++trial) {
+    FrameReader reader;
+    std::vector<Frame> seen;
+    Frame frame;
+    std::size_t pos = 0;
+    while (pos < bytes.size()) {
+      const std::size_t chunk =
+          std::min<std::size_t>(1 + rng() % 7, bytes.size() - pos);
+      reader.feed(bytes.data() + pos, chunk);
+      pos += chunk;
+      while (reader.next(frame)) {
+        seen.push_back(frame);
+      }
+    }
+    ASSERT_EQ(seen.size(), expected.size()) << "trial " << trial;
+    for (std::size_t i = 0; i < seen.size(); ++i) {
+      EXPECT_EQ(seen[i].kind, expected[i].kind);
+      EXPECT_EQ(seen[i].hello, expected[i].hello);
+      EXPECT_EQ(seen[i].records, expected[i].records);
+    }
+    EXPECT_EQ(reader.pendingBytes(), 0U);
+  }
 }
 
 TEST(AggWire, ReaderReturnsFalseOnIncompleteFrame) {

@@ -48,7 +48,13 @@ class PostToolTest : public ::testing::Test {
     if (!fs::exists(tool_)) {
       GTEST_SKIP() << "zerosum-post not built";
     }
-    dir_ = fs::temp_directory_path() / "zs_post_test";
+    // Unique per test case: ctest runs cases of this binary as separate
+    // parallel processes, and a shared directory name makes them delete
+    // each other's logs mid-run.
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = fs::temp_directory_path() /
+           (std::string("zs_post_test_") + info->name() + "_" +
+            std::to_string(::getpid()));
     fs::remove_all(dir_);
     fs::create_directories(dir_);
   }

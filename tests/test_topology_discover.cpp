@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <filesystem>
 #include <fstream>
+#include <string>
 
 #include "common/error.hpp"
 #include "topology/discover.hpp"
@@ -14,7 +17,13 @@ namespace fs = std::filesystem;
 class DiscoverTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    root_ = fs::temp_directory_path() / "zs_sysfs_test";
+    // Unique per test and per process: gtest_discover_tests runs each
+    // case as its own ctest process, so a shared path would race under
+    // `ctest -j`.
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    root_ = fs::temp_directory_path() /
+            (std::string("zs_sysfs_test_") + info->name() + "_" +
+             std::to_string(::getpid()));
     fs::remove_all(root_);
     fs::create_directories(root_);
   }

@@ -8,7 +8,9 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
 #include <fstream>
+#include <limits>
 #include <set>
 #include <sstream>
 #include <thread>
@@ -325,6 +327,69 @@ TEST(Json, TrailingGarbageAfterAnyDocumentKindThrows) {
   EXPECT_THROW(json::parse("true,"), ParseError);
   // Trailing whitespace (including newlines) is fine.
   EXPECT_NO_THROW(json::parse("{\"a\": 1}\n  \t"));
+}
+
+namespace {
+
+/// Prints one double through json::Writer and returns the literal.
+std::string printedNumber(double v) {
+  std::ostringstream out;
+  json::Writer w(out);
+  w.beginArray().value(v).endArray();
+  const std::string s = out.str();  // "[<literal>]"
+  return s.substr(1, s.size() - 2);
+}
+
+std::uint64_t doubleBits(double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+}  // namespace
+
+TEST(Json, DoublesPrintShortestRoundTripForm) {
+  // Shortest form: the fewest digits that parse back exactly — no
+  // %.17g padding on representable values.
+  EXPECT_EQ(printedNumber(0.1), "0.1");
+  EXPECT_EQ(printedNumber(2.5), "2.5");
+  EXPECT_EQ(printedNumber(100.0), "100");
+  EXPECT_EQ(printedNumber(-0.0), "-0");  // the sign survives
+}
+
+TEST(Json, DoubleRoundTripIsBitExact) {
+  const std::vector<double> cases = {
+      0.0,
+      -0.0,
+      1e-7,
+      -1e-7,
+      0.1,
+      1.0 / 3.0,
+      static_cast<double>((1ULL << 53) - 1),
+      static_cast<double>(1ULL << 53),
+      static_cast<double>((1ULL << 53) + 1),  // rounds to 2^53; still exact
+      9007199254740993.0,
+      std::numeric_limits<double>::max(),
+      std::numeric_limits<double>::min(),
+      std::numeric_limits<double>::denorm_min(),
+      std::numeric_limits<double>::epsilon(),
+      -12345.678901234567,
+  };
+  for (const double v : cases) {
+    const std::string doc = "[" + printedNumber(v) + "]";
+    const double back = json::parse(doc).asArray()[0].asNumber();
+    EXPECT_EQ(doubleBits(back), doubleBits(v)) << "value " << doc;
+  }
+}
+
+TEST(Json, NonFiniteDoublesPrintAsNull) {
+  // JSON has no Infinity/NaN literal; the writer substitutes null
+  // rather than emitting an unparseable document.
+  EXPECT_EQ(printedNumber(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(printedNumber(-std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(printedNumber(std::numeric_limits<double>::quiet_NaN()), "null");
+  EXPECT_NO_THROW(json::parse(
+      "[" + printedNumber(std::numeric_limits<double>::quiet_NaN()) + "]"));
 }
 
 // --- Overhead attribution -------------------------------------------------

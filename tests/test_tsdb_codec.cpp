@@ -1,0 +1,321 @@
+// Exhaustive round-trip tests for the tsdb compression kernels: bit
+// I/O, varint/zigzag, delta-of-delta timestamps, and the Gorilla-style
+// XOR value codec — including every special double (-0.0, infinities,
+// NaN payloads, denormals) and seeded random fuzz.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <random>
+#include <vector>
+
+#include "common/error.hpp"
+#include "tsdb/codec.hpp"
+
+using namespace zerosum;
+using namespace zerosum::tsdb;
+
+namespace {
+
+std::uint64_t bitsOf(double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+/// Bitwise equality — EXPECT_EQ on doubles would call NaN != NaN and
+/// -0.0 == 0.0, both wrong for a lossless codec.
+void expectSameBits(const std::vector<double>& a,
+                    const std::vector<double>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(bitsOf(a[i]), bitsOf(b[i])) << "index " << i;
+  }
+}
+
+std::vector<double> roundTripValues(const std::vector<double>& values) {
+  std::string bytes;
+  encodeValues(values, bytes);
+  std::size_t pos = 0;
+  auto out = decodeValues(bytes, pos);
+  EXPECT_EQ(pos, bytes.size()) << "decoder must consume the whole column";
+  return out;
+}
+
+std::vector<std::int64_t> roundTripTimestamps(
+    const std::vector<std::int64_t>& ts) {
+  std::string bytes;
+  encodeTimestamps(ts, bytes);
+  std::size_t pos = 0;
+  auto out = decodeTimestamps(bytes, pos);
+  EXPECT_EQ(pos, bytes.size());
+  return out;
+}
+
+}  // namespace
+
+// --- bit I/O ---------------------------------------------------------------
+
+TEST(TsdbBits, WriteReadAcrossByteBoundaries) {
+  std::string bytes;
+  {
+    BitWriter w(bytes);
+    w.write(0b101, 3);
+    w.write(0b1, 1);
+    w.write(0xDEADBEEFCAFEF00DULL, 64);
+    w.write(0x3FF, 10);
+  }
+  BitReader r(bytes);
+  EXPECT_EQ(r.read(3), 0b101U);
+  EXPECT_EQ(r.read(1), 0b1U);
+  EXPECT_EQ(r.read(64), 0xDEADBEEFCAFEF00DULL);
+  EXPECT_EQ(r.read(10), 0x3FFU);
+}
+
+TEST(TsdbBits, EveryWidthRoundTrips) {
+  std::mt19937_64 rng(42);
+  for (unsigned width = 1; width <= 64; ++width) {
+    const std::uint64_t mask =
+        width == 64 ? ~0ULL : ((1ULL << width) - 1);
+    std::vector<std::uint64_t> values;
+    for (int i = 0; i < 16; ++i) {
+      values.push_back(rng() & mask);
+    }
+    std::string bytes;
+    {
+      BitWriter w(bytes);
+      for (const auto v : values) {
+        w.write(v, width);
+      }
+    }
+    BitReader r(bytes);
+    for (const auto v : values) {
+      EXPECT_EQ(r.read(width), v) << "width " << width;
+    }
+  }
+}
+
+TEST(TsdbBits, ReadPastEndThrows) {
+  std::string bytes;
+  {
+    BitWriter w(bytes);
+    w.write(1, 4);
+  }
+  BitReader r(bytes);
+  (void)r.read(8);  // the padded byte is readable
+  EXPECT_THROW(r.read(1), ParseError);
+}
+
+// --- varint / zigzag -------------------------------------------------------
+
+TEST(TsdbVarint, BoundaryValuesRoundTrip) {
+  const std::vector<std::uint64_t> cases = {
+      0,    1,    127,  128,   129,  16383, 16384, (1ULL << 32) - 1,
+      1ULL << 32, (1ULL << 53) - 1, (1ULL << 53),  (1ULL << 53) + 1,
+      ~0ULL - 1,  ~0ULL};
+  for (const auto v : cases) {
+    std::string bytes;
+    putVarint(bytes, v);
+    std::size_t pos = 0;
+    EXPECT_EQ(getVarint(bytes, pos), v);
+    EXPECT_EQ(pos, bytes.size());
+  }
+}
+
+TEST(TsdbVarint, TruncatedThrows) {
+  std::string bytes;
+  putVarint(bytes, ~0ULL);
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    const std::string prefix = bytes.substr(0, cut);
+    std::size_t pos = 0;
+    EXPECT_THROW(getVarint(prefix, pos), ParseError) << "cut " << cut;
+  }
+}
+
+TEST(TsdbVarint, OverlongThrows) {
+  const std::string bad(11, '\x80');  // 11 continuation bytes
+  std::size_t pos = 0;
+  EXPECT_THROW(getVarint(bad, pos), ParseError);
+}
+
+TEST(TsdbZigzag, MapsSignBitToLsbBothWays) {
+  const std::vector<std::int64_t> cases = {
+      0,  -1, 1,  -2, 2,  std::numeric_limits<std::int64_t>::max(),
+      std::numeric_limits<std::int64_t>::min()};
+  for (const auto v : cases) {
+    EXPECT_EQ(unzigzag(zigzag(v)), v);
+  }
+  EXPECT_EQ(zigzag(0), 0U);
+  EXPECT_EQ(zigzag(-1), 1U);
+  EXPECT_EQ(zigzag(1), 2U);
+}
+
+// --- timestamps ------------------------------------------------------------
+
+TEST(TsdbTimestamps, RegularSequenceIsOneBytePerEntry) {
+  std::vector<std::int64_t> ts;
+  for (int i = 0; i < 1000; ++i) {
+    ts.push_back(5000 + i);  // perfectly regular
+  }
+  std::string bytes;
+  encodeTimestamps(ts, bytes);
+  // count + first + delta0 + 998 zero ddeltas: ~1 byte each after the
+  // header, the whole point of delta-of-delta.
+  EXPECT_LT(bytes.size(), 1010U);
+  EXPECT_EQ(roundTripTimestamps(ts), ts);
+}
+
+TEST(TsdbTimestamps, IrregularNegativeAndExtremeRoundTrip) {
+  const std::vector<std::int64_t> ts = {
+      std::numeric_limits<std::int64_t>::min(),
+      std::numeric_limits<std::int64_t>::max(),
+      0,
+      -1,
+      1,
+      1LL << 62,
+      -(1LL << 62)};
+  EXPECT_EQ(roundTripTimestamps(ts), ts);
+}
+
+TEST(TsdbTimestamps, EmptyAndSingle) {
+  EXPECT_TRUE(roundTripTimestamps({}).empty());
+  EXPECT_EQ(roundTripTimestamps({-42}), std::vector<std::int64_t>{-42});
+}
+
+TEST(TsdbTimestamps, FuzzRoundTrip) {
+  std::mt19937_64 rng(1234);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<std::int64_t> ts;
+    const std::size_t n = rng() % 200;
+    std::int64_t t = static_cast<std::int64_t>(rng());
+    for (std::size_t i = 0; i < n; ++i) {
+      // Mostly-regular with jitter — the production shape.
+      t += static_cast<std::int64_t>(rng() % 7) - 3 + 10;
+      ts.push_back(t);
+    }
+    EXPECT_EQ(roundTripTimestamps(ts), ts);
+  }
+}
+
+TEST(TsdbTimestamps, TruncatedColumnThrows) {
+  std::vector<std::int64_t> ts = {1, 2, 3, 5, 8};
+  std::string bytes;
+  encodeTimestamps(ts, bytes);
+  for (std::size_t cut = 1; cut < bytes.size(); ++cut) {
+    std::size_t pos = 0;
+    EXPECT_THROW(decodeTimestamps(bytes.substr(0, cut), pos), ParseError);
+  }
+}
+
+// --- values (Gorilla XOR) --------------------------------------------------
+
+TEST(TsdbValues, SpecialDoublesAreLossless) {
+  const double qnan = std::numeric_limits<double>::quiet_NaN();
+  const double snanish = std::nan("0x12345");  // distinct NaN payload
+  const std::vector<double> values = {
+      0.0,
+      -0.0,
+      1.0,
+      -1.0,
+      std::numeric_limits<double>::infinity(),
+      -std::numeric_limits<double>::infinity(),
+      qnan,
+      snanish,
+      std::numeric_limits<double>::denorm_min(),
+      -std::numeric_limits<double>::denorm_min(),
+      std::numeric_limits<double>::max(),
+      std::numeric_limits<double>::lowest(),
+      std::numeric_limits<double>::min(),
+      std::numeric_limits<double>::epsilon(),
+      1e-7,
+      static_cast<double>((1ULL << 53) + 1),
+  };
+  expectSameBits(roundTripValues(values), values);
+}
+
+TEST(TsdbValues, RepeatsUseOneBit) {
+  const std::vector<double> values(10000, 98.6);
+  std::string bytes;
+  encodeValues(values, bytes);
+  // 1 control bit per repeat after the first: ~1250 bytes + header.
+  EXPECT_LT(bytes.size(), 1300U);
+  expectSameBits(roundTripValues(values), values);
+}
+
+TEST(TsdbValues, SlowlyVaryingCompresses) {
+  std::vector<double> values;
+  double v = 250.0;
+  std::mt19937_64 rng(7);
+  for (int i = 0; i < 2000; ++i) {
+    v += (static_cast<double>(rng() % 100) - 50.0) / 100.0;
+    values.push_back(v);
+  }
+  std::string bytes;
+  encodeValues(values, bytes);
+  EXPECT_LT(bytes.size(), values.size() * sizeof(double));
+  expectSameBits(roundTripValues(values), values);
+}
+
+TEST(TsdbValues, EmptyAndSingle) {
+  EXPECT_TRUE(roundTripValues({}).empty());
+  expectSameBits(roundTripValues({-0.0}), {-0.0});
+}
+
+TEST(TsdbValues, FuzzAllBitPatterns) {
+  std::mt19937_64 rng(20240807);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<double> values;
+    const std::size_t n = rng() % 300;
+    for (std::size_t i = 0; i < n; ++i) {
+      // Raw random 64-bit patterns: exercises NaNs, denormals, infs.
+      const std::uint64_t bits = rng();
+      double v = 0.0;
+      std::memcpy(&v, &bits, sizeof(v));
+      values.push_back(v);
+    }
+    expectSameBits(roundTripValues(values), values);
+  }
+}
+
+TEST(TsdbValues, TruncatedColumnThrows) {
+  std::vector<double> values = {1.5, 2.25, -3.75, 1e300, 5e-324};
+  std::string bytes;
+  encodeValues(values, bytes);
+  for (std::size_t cut = 1; cut + 1 < bytes.size(); ++cut) {
+    std::size_t pos = 0;
+    EXPECT_THROW(decodeValues(bytes.substr(0, cut), pos), ParseError)
+        << "cut " << cut;
+  }
+}
+
+// --- counts ----------------------------------------------------------------
+
+TEST(TsdbCounts, RoundTripIncludingExtremes) {
+  const std::vector<std::uint64_t> counts = {0, 1, 127, 128, 300, ~0ULL};
+  std::string bytes;
+  encodeCounts(counts, bytes);
+  std::size_t pos = 0;
+  EXPECT_EQ(decodeCounts(bytes, pos), counts);
+  EXPECT_EQ(pos, bytes.size());
+}
+
+// --- composition -----------------------------------------------------------
+
+TEST(TsdbCodec, ColumnsConcatenateAndDecodeInSequence) {
+  // The segment writer lays columns back to back in one buffer; each
+  // decoder must stop exactly at its own boundary.
+  const std::vector<std::int64_t> ts = {100, 101, 102, 104};
+  const std::vector<double> mins = {1.0, 1.0, 0.5, -0.0};
+  const std::vector<std::uint64_t> counts = {3, 3, 2, 1};
+  std::string bytes;
+  encodeTimestamps(ts, bytes);
+  encodeValues(mins, bytes);
+  encodeCounts(counts, bytes);
+
+  std::size_t pos = 0;
+  EXPECT_EQ(decodeTimestamps(bytes, pos), ts);
+  expectSameBits(decodeValues(bytes, pos), mins);
+  EXPECT_EQ(decodeCounts(bytes, pos), counts);
+  EXPECT_EQ(pos, bytes.size());
+}

@@ -1,0 +1,641 @@
+// Engine tests: the durable write path (WAL -> hot windows -> sealed
+// segments), the full crash-recovery matrix with MetricsRegistry
+// counters, retention, read-only mode, the offline query service, and
+// the acceptance e2e — a ClusterJob whose aggregation daemon is
+// hard-killed mid-run, restarted over the same data dir, and must end
+// with every published record accounted for against a brute-force
+// reference built from the ranks' own metric streams.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cluster/job.hpp"
+#include "common/error.hpp"
+#include "common/json.hpp"
+#include "topology/presets.hpp"
+#include "trace/metrics.hpp"
+#include "tsdb/engine.hpp"
+#include "tsdb/query.hpp"
+
+using namespace zerosum;
+using namespace zerosum::tsdb;
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::uint64_t metricValue(const char* name) {
+  return trace::MetricsRegistry::instance().counter(name).value();
+}
+
+class TsdbEngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    root_ = fs::temp_directory_path() /
+            (std::string("zs_engine_test_") + info->name() + "_" +
+             std::to_string(::getpid()));
+    fs::remove_all(root_);
+    fs::create_directories(root_);
+    dir_ = (root_ / "data").string();
+  }
+  void TearDown() override { fs::remove_all(root_); }
+
+  static std::vector<Sample> samplesAt(double t0, int n, double base) {
+    std::vector<Sample> samples;
+    for (int i = 0; i < n; ++i) {
+      samples.push_back(
+          {t0 + 0.1 * i, "cpu.util", base + static_cast<double>(i)});
+    }
+    return samples;
+  }
+
+  void truncateFile(const std::string& path, std::uint64_t size) const {
+    std::ifstream in(path, std::ios::binary);
+    std::string bytes(std::istreambuf_iterator<char>(in), {});
+    ASSERT_LE(size, bytes.size());
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(size));
+  }
+
+  void flipByte(const std::string& path, std::uint64_t offset) const {
+    std::fstream file(path, std::ios::binary | std::ios::in | std::ios::out);
+    file.seekg(static_cast<std::streamoff>(offset));
+    char byte = 0;
+    file.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x5A);
+    file.seekp(static_cast<std::streamoff>(offset));
+    file.write(&byte, 1);
+  }
+
+  [[nodiscard]] std::string walFile(int seq) const {
+    char name[32];
+    std::snprintf(name, sizeof(name), "wal-%08d.log", seq);
+    return dir_ + "/" + name;
+  }
+
+  [[nodiscard]] std::string segmentFile(int seq) const {
+    char name[40];
+    std::snprintf(name, sizeof(name), "segment-%08d.zss", seq);
+    return dir_ + "/" + name;
+  }
+
+  fs::path root_;
+  std::string dir_;
+};
+
+TEST_F(TsdbEngineTest, BadOptionsThrow) {
+  EngineOptions bad;
+  bad.fineWindowSeconds = 0.0;
+  EXPECT_THROW(Engine(dir_, bad), ConfigError);
+  bad = {};
+  bad.coarseFactor = 1;
+  EXPECT_THROW(Engine(dir_, bad), ConfigError);
+  bad = {};
+  bad.maxSegments = 0;
+  EXPECT_THROW(Engine(dir_, bad), ConfigError);
+  bad = {};
+  bad.walRotateBytes = 0;
+  EXPECT_THROW(Engine(dir_, bad), ConfigError);
+  // Read-only over a directory that does not exist is a state error, not
+  // a silent empty store.
+  EngineOptions ro;
+  ro.readOnly = true;
+  EXPECT_THROW(Engine((root_ / "absent").string(), ro), StateError);
+}
+
+TEST_F(TsdbEngineTest, EmptyDirStartsClean) {
+  Engine engine(dir_);
+  EXPECT_TRUE(engine.seriesKeys().empty());
+  EXPECT_TRUE(engine.sources().empty());
+  EXPECT_EQ(engine.segmentCount(), 0U);
+  EXPECT_EQ(engine.counters().walReplayedBatches, 0U);
+  EXPECT_EQ(engine.counters().walDamagedBytes, 0U);
+  EXPECT_EQ(engine.counters().segmentsRejected, 0U);
+  EXPECT_TRUE(engine.range({"j", 0, "m"}, 0.0, 100.0).empty());
+  EXPECT_FALSE(engine.latest({"j", 0, "m"}).has_value());
+}
+
+TEST_F(TsdbEngineTest, AppendThenQueryHot) {
+  EngineOptions options;
+  options.fsync = FsyncPolicy::kOff;
+  Engine engine(dir_, options);
+  engine.append("job", 0, samplesAt(1.0, 5, 10.0));    // windows 1
+  engine.append("job", 1, {{2.5, "mem.rss", 400.0}});  // window 2
+  engine.append("job", 0, {{3.5, "cpu.util", 99.0}});  // window 3
+
+  const auto keys = engine.seriesKeys();
+  ASSERT_EQ(keys.size(), 2U);
+  EXPECT_EQ(keys[0], (SeriesKey{"job", 0, "cpu.util"}));
+  EXPECT_EQ(keys[1], (SeriesKey{"job", 1, "mem.rss"}));
+
+  const auto windows = engine.range({"job", 0, "cpu.util"}, 0.0, 10.0);
+  ASSERT_EQ(windows.size(), 2U);
+  EXPECT_DOUBLE_EQ(windows[0].windowStartSeconds, 1.0);
+  EXPECT_EQ(windows[0].rollup.count, 5U);
+  EXPECT_DOUBLE_EQ(windows[0].rollup.min, 10.0);
+  EXPECT_DOUBLE_EQ(windows[0].rollup.max, 14.0);
+  EXPECT_DOUBLE_EQ(windows[1].rollup.max, 99.0);
+
+  const auto newest = engine.latest({"job", 0, "cpu.util"});
+  ASSERT_TRUE(newest.has_value());
+  EXPECT_DOUBLE_EQ(newest->windowStartSeconds, 3.0);
+
+  // Hostile samples are ignored, never stored, never thrown on.
+  engine.append("job", 0, {{-5.0, "cpu.util", 1.0},
+                           {1.0, "cpu.util", std::nan("")},
+                           {std::nan(""), "cpu.util", 1.0}});
+  EXPECT_EQ(engine.range({"job", 0, "cpu.util"}, 0.0, 10.0)[0].rollup.count,
+            5U);
+  EXPECT_EQ(engine.counters().batchesAppended, 4U);
+  EXPECT_EQ(engine.counters().samplesAppended, 7U);
+}
+
+TEST_F(TsdbEngineTest, CompactServesFromDiskAndRotatesWal) {
+  EngineOptions options;
+  options.fsync = FsyncPolicy::kOff;
+  Engine engine(dir_, options);
+  engine.append("job", 0, samplesAt(1.0, 5, 10.0));
+  const auto before = engine.range({"job", 0, "cpu.util"}, 0.0, 10.0);
+
+  engine.compact();
+  EXPECT_EQ(engine.segmentCount(), 1U);
+  EXPECT_EQ(engine.counters().compactions, 1U);
+  EXPECT_EQ(engine.walSizeBytes(), 0U);  // fresh WAL
+  EXPECT_FALSE(fs::exists(walFile(1)));  // covered WAL deleted
+  EXPECT_TRUE(fs::exists(walFile(2)));
+  EXPECT_TRUE(fs::exists(segmentFile(1)));
+
+  const auto after = engine.range({"job", 0, "cpu.util"}, 0.0, 10.0);
+  ASSERT_EQ(after.size(), before.size());
+  for (std::size_t i = 0; i < after.size(); ++i) {
+    EXPECT_DOUBLE_EQ(after[i].rollup.min, before[i].rollup.min);
+    EXPECT_DOUBLE_EQ(after[i].rollup.max, before[i].rollup.max);
+    EXPECT_DOUBLE_EQ(after[i].rollup.sum, before[i].rollup.sum);
+    EXPECT_EQ(after[i].rollup.count, before[i].rollup.count);
+  }
+  // Compacting with nothing hot is a no-op.
+  engine.compact();
+  EXPECT_EQ(engine.segmentCount(), 1U);
+}
+
+TEST_F(TsdbEngineTest, WindowSplitAcrossCompactionRecombines) {
+  EngineOptions options;
+  options.fsync = FsyncPolicy::kOff;
+  Engine engine(dir_, options);
+  engine.append("job", 0, {{5.25, "m", 1.0}});
+  engine.compact();
+  engine.append("job", 0, {{5.75, "m", 3.0}});  // same fine window, hot
+
+  const auto windows = engine.range({"job", 0, "m"}, 5.0, 6.0);
+  ASSERT_EQ(windows.size(), 1U);
+  EXPECT_EQ(windows[0].rollup.count, 2U);
+  EXPECT_DOUBLE_EQ(windows[0].rollup.min, 1.0);
+  EXPECT_DOUBLE_EQ(windows[0].rollup.max, 3.0);
+  EXPECT_DOUBLE_EQ(windows[0].rollup.sum, 4.0);
+
+  // And across two segments as well.
+  engine.compact();
+  engine.append("job", 0, {{5.5, "m", 2.0}});
+  engine.compact();
+  const auto merged = engine.range({"job", 0, "m"}, 5.0, 6.0);
+  ASSERT_EQ(merged.size(), 1U);
+  EXPECT_EQ(merged[0].rollup.count, 3U);
+  EXPECT_DOUBLE_EQ(merged[0].rollup.sum, 6.0);
+}
+
+TEST_F(TsdbEngineTest, MaybeCompactHonoursThreshold) {
+  EngineOptions options;
+  options.fsync = FsyncPolicy::kOff;
+  options.walRotateBytes = 512;
+  Engine engine(dir_, options);
+  engine.append("job", 0, {{1.0, "m", 1.0}});
+  EXPECT_FALSE(engine.maybeCompact());
+  for (int i = 0; i < 30; ++i) {
+    engine.append("job", 0, samplesAt(static_cast<double>(i), 4, 1.0));
+  }
+  EXPECT_TRUE(engine.maybeCompact());
+  EXPECT_GE(engine.segmentCount(), 1U);
+  EXPECT_FALSE(engine.maybeCompact());  // fresh WAL is below threshold
+}
+
+TEST_F(TsdbEngineTest, SealRecoverRoundTrip) {
+  SourceRecord source;
+  source.job = "job";
+  source.rank = 3;
+  source.worldSize = 8;
+  source.hostname = "node0003";
+  source.pid = 4242;
+  source.firstSeenSeconds = 1.0;
+  source.lastSeenSeconds = 9.0;
+  source.batches = 2;
+  source.records = 7;
+
+  std::vector<WindowRollup> written;
+  {
+    Engine engine(dir_);
+    engine.append("job", 3, samplesAt(1.0, 5, 10.0));
+    engine.append("job", 3, samplesAt(7.0, 2, -4.0));
+    engine.noteSource(source);
+    engine.seal();
+    written = engine.range({"job", 3, "cpu.util"}, 0.0, 100.0);
+  }
+
+  Engine engine(dir_);
+  // Everything was sealed into a segment: nothing left to replay.
+  EXPECT_EQ(engine.counters().walReplayedBatches, 0U);
+  EXPECT_EQ(engine.counters().walDamagedBytes, 0U);
+  EXPECT_EQ(engine.segmentCount(), 1U);
+
+  const auto recovered = engine.range({"job", 3, "cpu.util"}, 0.0, 100.0);
+  ASSERT_EQ(recovered.size(), written.size());
+  for (std::size_t i = 0; i < recovered.size(); ++i) {
+    EXPECT_DOUBLE_EQ(recovered[i].windowStartSeconds,
+                     written[i].windowStartSeconds);
+    EXPECT_DOUBLE_EQ(recovered[i].rollup.min, written[i].rollup.min);
+    EXPECT_DOUBLE_EQ(recovered[i].rollup.max, written[i].rollup.max);
+    EXPECT_DOUBLE_EQ(recovered[i].rollup.sum, written[i].rollup.sum);
+    EXPECT_EQ(recovered[i].rollup.count, written[i].rollup.count);
+  }
+  const auto sources = engine.sources();
+  ASSERT_EQ(sources.size(), 1U);
+  EXPECT_EQ(sources[0], source);
+}
+
+TEST_F(TsdbEngineTest, UnsealedWalReplaysOnRecovery) {
+  {
+    EngineOptions options;
+    options.fsync = FsyncPolicy::kOff;
+    Engine engine(dir_, options);
+    engine.append("job", 0, samplesAt(1.0, 3, 5.0));
+    engine.append("job", 0, samplesAt(2.0, 3, 6.0));
+    // No seal: the process dies here; the write()'d WAL bytes survive.
+  }
+  Engine engine(dir_);
+  EXPECT_EQ(engine.counters().walReplayedBatches, 2U);
+  EXPECT_EQ(engine.counters().walDamagedBytes, 0U);
+  const auto windows = engine.range({"job", 0, "cpu.util"}, 0.0, 10.0);
+  ASSERT_EQ(windows.size(), 2U);
+  EXPECT_EQ(windows[0].rollup.count, 3U);
+  EXPECT_EQ(windows[1].rollup.count, 3U);
+}
+
+TEST_F(TsdbEngineTest, RecoveryTruncatedOrTornWalTailKeepsPrefix) {
+  // Cut at +3 bytes = mid-header of record 3; +12 = torn mid-payload.
+  for (const std::uint64_t extra : {3ULL, 12ULL}) {
+    fs::remove_all(dir_);
+    std::uint64_t twoRecordsEnd = 0;
+    {
+      EngineOptions options;
+      options.fsync = FsyncPolicy::kOff;
+      Engine engine(dir_, options);
+      engine.append("job", 0, samplesAt(1.0, 3, 5.0));
+      engine.append("job", 0, samplesAt(2.0, 3, 6.0));
+      twoRecordsEnd = engine.walSizeBytes();
+      engine.append("job", 0, samplesAt(3.0, 3, 7.0));
+    }
+    truncateFile(walFile(1), twoRecordsEnd + extra);
+
+    const auto truncationsBefore =
+        metricValue("zs.tsdb.recovery.wal_truncations");
+    Engine engine(dir_);
+    EXPECT_EQ(metricValue("zs.tsdb.recovery.wal_truncations"),
+              truncationsBefore + 1)
+        << "cut +" << extra;
+    EXPECT_EQ(engine.counters().walReplayedBatches, 2U);
+    EXPECT_EQ(engine.counters().walDamagedBytes, extra);
+    EXPECT_EQ(engine.counters().walRepairs, 1U);
+    EXPECT_EQ(fs::file_size(walFile(1)), twoRecordsEnd);  // tail truncated
+
+    // Windows 1 and 2 survived whole; window 3 is gone with its record.
+    const auto windows = engine.range({"job", 0, "cpu.util"}, 0.0, 10.0);
+    ASSERT_EQ(windows.size(), 2U) << "cut +" << extra;
+    EXPECT_DOUBLE_EQ(windows[1].rollup.min, 6.0);
+
+    // The repaired WAL accepts appends, and the whole thing survives
+    // another restart cleanly.
+    engine.append("job", 0, samplesAt(4.0, 1, 8.0));
+    engine.seal();
+    Engine again(dir_);
+    EXPECT_EQ(again.counters().walDamagedBytes, 0U);
+    EXPECT_EQ(again.range({"job", 0, "cpu.util"}, 0.0, 10.0).size(), 3U);
+  }
+}
+
+TEST_F(TsdbEngineTest, RecoveryCorruptedCrcDropsSuffix) {
+  std::uint64_t oneRecordEnd = 0;
+  std::uint64_t fileEnd = 0;
+  {
+    EngineOptions options;
+    options.fsync = FsyncPolicy::kOff;
+    Engine engine(dir_, options);
+    engine.append("job", 0, samplesAt(1.0, 3, 5.0));
+    oneRecordEnd = engine.walSizeBytes();
+    engine.append("job", 0, samplesAt(2.0, 3, 6.0));
+    engine.append("job", 0, samplesAt(3.0, 3, 7.0));
+    fileEnd = engine.walSizeBytes();
+  }
+  flipByte(walFile(1), oneRecordEnd + 10);  // inside record 2's payload
+
+  const auto truncationsBefore =
+      metricValue("zs.tsdb.recovery.wal_truncations");
+  Engine engine(dir_);
+  EXPECT_EQ(metricValue("zs.tsdb.recovery.wal_truncations"),
+            truncationsBefore + 1);
+  // Damage mid-file is never resynchronized past: record 3 drops too.
+  EXPECT_EQ(engine.counters().walReplayedBatches, 1U);
+  EXPECT_EQ(engine.counters().walDamagedBytes, fileEnd - oneRecordEnd);
+  ASSERT_EQ(engine.range({"job", 0, "cpu.util"}, 0.0, 10.0).size(), 1U);
+}
+
+TEST_F(TsdbEngineTest, SegmentWithoutFooterIsDroppedWholeAndCounted) {
+  {
+    EngineOptions options;
+    options.fsync = FsyncPolicy::kOff;
+    Engine engine(dir_, options);
+    engine.append("job", 0, samplesAt(1.0, 4, 5.0));
+    engine.seal();
+  }
+  // Chop the footer off the sealed segment — an interrupted write can
+  // never produce this (rename is the commit point), but disk damage can.
+  truncateFile(segmentFile(1), fs::file_size(segmentFile(1)) - 20);
+
+  const auto droppedBefore = metricValue("zs.tsdb.recovery.segments_dropped");
+  Engine engine(dir_);
+  EXPECT_EQ(metricValue("zs.tsdb.recovery.segments_dropped"),
+            droppedBefore + 1);
+  EXPECT_EQ(engine.counters().segmentsRejected, 1U);
+  EXPECT_EQ(engine.segmentCount(), 0U);
+  EXPECT_TRUE(engine.seriesKeys().empty());  // dropped whole, by design
+
+  // The engine is still usable, and a new seal writes a fresh segment
+  // with a higher sequence (the damaged file is never overwritten).
+  engine.append("job", 0, {{9.0, "m", 1.0}});
+  engine.seal();
+  EXPECT_EQ(engine.segmentCount(), 1U);
+  EXPECT_TRUE(fs::exists(segmentFile(2)));
+}
+
+TEST_F(TsdbEngineTest, CorruptRegistryLosesOnlySourceMetadata) {
+  {
+    Engine engine(dir_);
+    engine.append("job", 0, samplesAt(1.0, 2, 5.0));
+    SourceRecord source;
+    source.job = "job";
+    source.rank = 0;
+    engine.noteSource(source);
+    engine.seal();
+  }
+  {
+    std::ofstream out(dir_ + "/registry.json", std::ios::trunc);
+    out << "{ this is not json";
+  }
+  const auto droppedBefore = metricValue("zs.tsdb.recovery.registry_dropped");
+  Engine engine(dir_);
+  EXPECT_EQ(metricValue("zs.tsdb.recovery.registry_dropped"),
+            droppedBefore + 1);
+  EXPECT_TRUE(engine.sources().empty());
+  // ...but never samples.
+  EXPECT_EQ(engine.range({"job", 0, "cpu.util"}, 0.0, 10.0).size(), 1U);
+}
+
+TEST_F(TsdbEngineTest, RetentionDropsOldestSegments) {
+  EngineOptions options;
+  options.fsync = FsyncPolicy::kOff;
+  options.maxSegments = 2;
+  Engine engine(dir_, options);
+  for (int round = 0; round < 5; ++round) {
+    engine.append("job", 0,
+                  {{static_cast<double>(round) + 0.5, "m",
+                    static_cast<double>(round)}});
+    engine.compact();
+  }
+  EXPECT_EQ(engine.segmentCount(), 2U);
+  EXPECT_EQ(engine.counters().segmentsDropped, 3U);
+  // Newest two rounds remain; the oldest three are gone from disk.
+  const auto windows = engine.range({"job", 0, "m"}, 0.0, 100.0);
+  ASSERT_EQ(windows.size(), 2U);
+  EXPECT_DOUBLE_EQ(windows[0].rollup.min, 3.0);
+  EXPECT_DOUBLE_EQ(windows[1].rollup.min, 4.0);
+}
+
+TEST_F(TsdbEngineTest, ReadOnlyRecoversWithoutMutating) {
+  std::uint64_t twoRecordsEnd = 0;
+  std::uint64_t damagedSize = 0;
+  {
+    EngineOptions options;
+    options.fsync = FsyncPolicy::kOff;
+    options.fineWindowSeconds = 0.5;  // non-default: the reader must adopt
+    options.coarseFactor = 4;
+    Engine engine(dir_, options);
+    engine.append("job", 0, samplesAt(1.0, 4, 5.0));
+    engine.seal();  // segment 1 carries the widths
+    engine.append("job", 0, samplesAt(6.0, 2, 9.0));
+    twoRecordsEnd = engine.walSizeBytes();
+  }
+  // Damage the WAL tail; a read-only open must not repair it.
+  {
+    std::ofstream out(walFile(2), std::ios::binary | std::ios::app);
+    out.write("torn", 4);
+  }
+  damagedSize = fs::file_size(walFile(2));
+
+  EngineOptions ro;
+  ro.readOnly = true;
+  Engine reader(dir_, ro);
+  EXPECT_DOUBLE_EQ(reader.options().fineWindowSeconds, 0.5);
+  EXPECT_EQ(reader.options().coarseFactor, 4);
+  EXPECT_EQ(reader.counters().walReplayedBatches, 1U);
+  EXPECT_EQ(reader.counters().walDamagedBytes, 4U);
+  EXPECT_EQ(reader.counters().walRepairs, 0U);
+  EXPECT_EQ(fs::file_size(walFile(2)), damagedSize);  // untouched
+  (void)twoRecordsEnd;
+
+  // Disk + replayed-WAL data both answer, indexed by the adopted widths:
+  // one 0.5 s window from the segment, one replayed from the WAL.
+  EXPECT_EQ(reader.range({"job", 0, "cpu.util"}, 0.0, 100.0).size(), 2U);
+  EXPECT_THROW(reader.append("job", 0, {{1.0, "m", 1.0}}), StateError);
+  EXPECT_THROW(reader.compact(), StateError);
+  reader.seal();  // no-op, must not write anything
+  EXPECT_FALSE(fs::exists(walFile(3)));
+}
+
+TEST_F(TsdbEngineTest, OfflineQueryAnswersAllOps) {
+  {
+    Engine engine(dir_);
+    engine.append("job", 0, samplesAt(1.0, 5, 10.0));
+    engine.append("job", 1, {{2.5, "mem.rss", 400.0}});
+    SourceRecord source;
+    source.job = "job";
+    source.rank = 0;
+    source.hostname = "node0000";
+    source.records = 5;
+    engine.noteSource(source);
+    engine.seal();
+  }
+  EngineOptions ro;
+  ro.readOnly = true;
+  Engine engine(dir_, ro);
+
+  const json::Value sources =
+      json::parse(runQuery(engine, R"({"op":"sources"})"));
+  ASSERT_EQ(sources.find("sources")->asArray().size(), 1U);
+  EXPECT_EQ(sources.find("sources")->asArray()[0].stringOr("hostname", ""),
+            "node0000");
+
+  const json::Value snap =
+      json::parse(runQuery(engine, R"({"op":"snapshot","rank":0})"));
+  const auto& series = snap.find("series")->asArray();
+  ASSERT_EQ(series.size(), 1U);
+  EXPECT_EQ(series[0].stringOr("metric", ""), "cpu.util");
+  EXPECT_DOUBLE_EQ(series[0].find("fine")->numberOr("max", -1.0), 14.0);
+
+  const json::Value range = json::parse(runQuery(
+      engine,
+      R"({"op":"range","metric":"cpu.util","job":"job","rank":0,"t0":0,"t1":60})"));
+  const auto& windows = range.find("windows")->asArray();
+  ASSERT_EQ(windows.size(), 1U);
+  EXPECT_DOUBLE_EQ(windows[0].numberOr("count", 0.0), 5.0);
+
+  const json::Value stats =
+      json::parse(runQuery(engine, R"({"op":"stats"})"));
+  EXPECT_GE(stats.numberOr("segments", -1.0), 1.0);
+
+  // Hostile input: always an error object, never a throw.
+  EXPECT_NE(runQuery(engine, "{{{").find("error"), std::string::npos);
+  EXPECT_NE(runQuery(engine, R"({"op":"nope"})").find("error"),
+            std::string::npos);
+  EXPECT_NE(runQuery(engine, R"({"op":"range"})").find("error"),
+            std::string::npos);
+  EXPECT_NE(runQuery(engine, "[1]").find("error"), std::string::npos);
+}
+
+// --- the acceptance e2e: hard kill mid-run, restart, lose nothing ----------
+
+namespace e2e {
+
+struct Reference {
+  std::map<SeriesKey, std::map<std::int64_t, aggregator::Rollup>> fine;
+
+  void add(const std::string& job, int rank, const exporter::Record& r) {
+    if (!std::isfinite(r.timeSeconds) || !std::isfinite(r.value) ||
+        r.timeSeconds < 0.0) {
+      return;  // mirrors RollupStore::ingest / Engine::mergeSamples
+    }
+    const auto index =
+        static_cast<std::int64_t>(std::floor(r.timeSeconds / 1.0));
+    fine[SeriesKey{job, rank, r.name}][index].merge(r.value);
+  }
+};
+
+}  // namespace e2e
+
+TEST_F(TsdbEngineTest, ClusterJobSurvivesAggregatorCrashWithZeroLoss) {
+  cluster::ClusterJobConfig cfg;
+  cfg.nodes = 1;
+  cfg.ranksPerNode = 2;
+  cfg.cpusPerTask = 7;
+  cfg.workload.ompThreads = 4;
+  cfg.workload.steps = 80;
+  cfg.workload.workPerStep = 10;
+  const auto topo = topology::presets::frontier();
+  cluster::ClusterJob job(topo, cfg);
+
+  EngineOptions engineOptions;
+  engineOptions.fsync = FsyncPolicy::kOff;  // crash = process death, not
+                                            // power loss: write() is enough
+  engineOptions.walRotateBytes = 64 * 1024;  // force mid-run compactions
+  job.enableAggregation("crashjob", {}, dir_, engineOptions);
+
+  // Brute-force reference: everything every rank ever published, rolled
+  // up with the same windowing the engine uses.
+  e2e::Reference reference;
+  for (int rank = 0; rank < job.totalRanks(); ++rank) {
+    job.aggStream(rank).subscribe([&reference, rank](const exporter::Batch& b) {
+      for (const auto& record : b) {
+        reference.add("crashjob", rank, record);
+      }
+    });
+  }
+
+  // Run a while, hard-kill the daemon+engine, keep running (clients queue
+  // and back off against the dead hub), restart, run to completion.
+  job.run(3.0);
+  ASSERT_NE(job.aggEngine(), nullptr);
+  job.crashAggregator();
+  EXPECT_EQ(job.aggEngine(), nullptr);
+  job.run(5.0);
+  job.restartAggregation();
+  ASSERT_NE(job.aggEngine(), nullptr);
+  // Recovery found the crash's leftovers: WAL batches to replay, and/or
+  // segments a mid-run compaction already sealed.
+  EXPECT_GT(job.aggEngine()->counters().walReplayedBatches +
+                job.aggEngine()->segmentCount(),
+            0U);
+  job.run(900.0);
+
+  // Nothing was dropped anywhere: the queue bound was never hit, so the
+  // engine must hold every published record.
+  for (int rank = 0; rank < job.totalRanks(); ++rank) {
+    EXPECT_EQ(job.aggClient(rank).counters().recordsDropped, 0U) << rank;
+  }
+  ASSERT_FALSE(reference.fine.empty());
+
+  const Engine& engine = *job.aggEngine();
+  const auto keys = engine.seriesKeys();
+  ASSERT_EQ(keys.size(), reference.fine.size());
+
+  std::uint64_t checkedWindows = 0;
+  for (const auto& [key, expected] : reference.fine) {
+    const auto windows =
+        engine.range(key, 0.0, job.runtimeSeconds() + 10.0);
+    ASSERT_EQ(windows.size(), expected.size())
+        << key.metric << " rank " << key.rank;
+    auto expectedIt = expected.begin();
+    for (const auto& w : windows) {
+      EXPECT_DOUBLE_EQ(
+          w.windowStartSeconds,
+          static_cast<double>(expectedIt->first) * 1.0);
+      EXPECT_EQ(w.rollup.count, expectedIt->second.count)
+          << key.metric << " @ " << w.windowStartSeconds;
+      EXPECT_DOUBLE_EQ(w.rollup.min, expectedIt->second.min);
+      EXPECT_DOUBLE_EQ(w.rollup.max, expectedIt->second.max);
+      // A window split across a segment and the hot state re-adds sums
+      // in a different association order: exact to a relative ulp or so.
+      EXPECT_NEAR(w.rollup.sum, expectedIt->second.sum,
+                  1e-9 * std::max(1.0, std::fabs(expectedIt->second.sum)));
+      ++expectedIt;
+      ++checkedWindows;
+    }
+  }
+  EXPECT_GT(checkedWindows, 100U);  // the check actually covered the run
+
+  // The daemon's query path answers from the persistent engine.
+  const json::Value snap = json::parse(
+      job.aggregatorDaemon()->query(R"({"op":"snapshot","rank":1})"));
+  EXPECT_FALSE(snap.find("series")->asArray().empty());
+
+  // And a cold offline reader over the sealed dir sees the same world.
+  EngineOptions ro;
+  ro.readOnly = true;
+  Engine offline(dir_, ro);
+  EXPECT_EQ(offline.seriesKeys().size(), keys.size());
+  const SeriesKey probe = reference.fine.begin()->first;
+  const auto live = engine.range(probe, 0.0, job.runtimeSeconds() + 10.0);
+  const auto cold = offline.range(probe, 0.0, job.runtimeSeconds() + 10.0);
+  ASSERT_EQ(cold.size(), live.size());
+  for (std::size_t i = 0; i < cold.size(); ++i) {
+    EXPECT_EQ(cold[i].rollup.count, live[i].rollup.count);
+    EXPECT_DOUBLE_EQ(cold[i].rollup.min, live[i].rollup.min);
+    EXPECT_DOUBLE_EQ(cold[i].rollup.max, live[i].rollup.max);
+  }
+}
+
+}  // namespace

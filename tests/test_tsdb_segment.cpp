@@ -1,0 +1,220 @@
+// Segment tests: write/read round-trip, footer verification (missing
+// footer, corrupted CRC, truncated file), atomic publish, mergeRollup
+// associativity, and the mmap-or-buffered read path.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "common/error.hpp"
+#include "tsdb/segment.hpp"
+
+using namespace zerosum;
+using namespace zerosum::tsdb;
+
+namespace {
+
+namespace fs = std::filesystem;
+
+Rollup rollupOf(std::initializer_list<double> values) {
+  Rollup r;
+  for (const double v : values) {
+    r.merge(v);
+  }
+  return r;
+}
+
+void expectRollupEq(const Rollup& a, const Rollup& b) {
+  EXPECT_DOUBLE_EQ(a.min, b.min);
+  EXPECT_DOUBLE_EQ(a.max, b.max);
+  EXPECT_DOUBLE_EQ(a.sum, b.sum);
+  EXPECT_EQ(a.count, b.count);
+}
+
+class TsdbSegmentTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = fs::temp_directory_path() /
+           (std::string("zs_seg_test_") + info->name() + "_" +
+            std::to_string(::getpid()));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+    path_ = (dir_ / "segment-00000001.zss").string();
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  static std::map<SeriesKey, SeriesWindows> sampleSeries() {
+    std::map<SeriesKey, SeriesWindows> series;
+    SeriesWindows& cpu = series[{"job", 0, "cpu.util"}];
+    for (std::int64_t w = 100; w < 160; ++w) {
+      cpu.fine[w] = rollupOf({50.0 + static_cast<double>(w % 7),
+                              60.0 - static_cast<double>(w % 5)});
+    }
+    for (std::int64_t w = 10; w < 16; ++w) {
+      cpu.coarse[w] = rollupOf({55.0, 52.0, 58.0});
+    }
+    SeriesWindows& mem = series[{"job", 1, "mem.rss"}];
+    mem.fine[-3] = rollupOf({1.0});  // negative window indices survive
+    mem.fine[0] = rollupOf({2.0, 4.0});
+    return series;
+  }
+
+  std::string readFileBytes() const {
+    std::ifstream in(path_, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in), {});
+  }
+
+  void writeFileBytes(const std::string& bytes) const {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  fs::path dir_;
+  std::string path_;
+};
+
+TEST_F(TsdbSegmentTest, MergeRollupMatchesScalarMergeAndIsAssociative) {
+  Rollup whole = rollupOf({3.0, -1.0, 7.0, 2.0, 2.0});
+  Rollup left = rollupOf({3.0, -1.0});
+  Rollup right = rollupOf({7.0, 2.0, 2.0});
+  Rollup merged = left;
+  mergeRollup(merged, right);
+  expectRollupEq(merged, whole);
+
+  // Merging into an empty rollup adopts the other side verbatim.
+  Rollup empty;
+  mergeRollup(empty, right);
+  expectRollupEq(empty, right);
+  // And merging an empty right side is a no-op.
+  Rollup copy = left;
+  mergeRollup(copy, Rollup{});
+  expectRollupEq(copy, left);
+}
+
+TEST_F(TsdbSegmentTest, WriteReadRoundTrip) {
+  const auto series = sampleSeries();
+  SegmentMeta meta;
+  meta.fineWindowSeconds = 0.5;
+  meta.coarseFactor = 10;
+  meta.walSeqCovered = 42;
+  const std::uint64_t size = writeSegment(path_, series, meta);
+  EXPECT_EQ(size, fs::file_size(path_));
+
+  SegmentReader reader(path_);
+  EXPECT_DOUBLE_EQ(reader.meta().fineWindowSeconds, 0.5);
+  EXPECT_EQ(reader.meta().coarseFactor, 10);
+  EXPECT_EQ(reader.meta().walSeqCovered, 42U);
+  EXPECT_EQ(reader.sizeBytes(), size);
+
+  // One entry per non-empty (series, resolution): cpu fine+coarse,
+  // mem fine.
+  ASSERT_EQ(reader.entries().size(), 3U);
+
+  for (const auto& entry : reader.entries()) {
+    const auto it = series.find(entry.key);
+    ASSERT_NE(it, series.end());
+    const auto& expected = entry.resolution == Resolution::kFine
+                               ? it->second.fine
+                               : it->second.coarse;
+    EXPECT_EQ(entry.windows, expected.size());
+    EXPECT_EQ(entry.minWindow, expected.begin()->first);
+    EXPECT_EQ(entry.maxWindow, expected.rbegin()->first);
+
+    const auto windows = reader.readWindows(entry);
+    ASSERT_EQ(windows.size(), expected.size());
+    auto expectedIt = expected.begin();
+    for (const auto& [index, rollup] : windows) {
+      EXPECT_EQ(index, expectedIt->first);
+      expectRollupEq(rollup, expectedIt->second);
+      ++expectedIt;
+    }
+  }
+}
+
+TEST_F(TsdbSegmentTest, EmptySeriesMapWritesValidSegment) {
+  SegmentMeta meta;
+  meta.walSeqCovered = 7;
+  writeSegment(path_, {}, meta);
+  SegmentReader reader(path_);
+  EXPECT_TRUE(reader.entries().empty());
+  EXPECT_EQ(reader.meta().walSeqCovered, 7U);
+}
+
+TEST_F(TsdbSegmentTest, NoTmpFileSurvivesPublish) {
+  writeSegment(path_, sampleSeries(), {});
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    EXPECT_EQ(entry.path().extension(), ".zss") << entry.path();
+  }
+}
+
+TEST_F(TsdbSegmentTest, MissingFileThrows) {
+  EXPECT_THROW(SegmentReader((dir_ / "absent.zss").string()), ParseError);
+}
+
+TEST_F(TsdbSegmentTest, MissingFooterThrows) {
+  writeSegment(path_, sampleSeries(), {});
+  const std::string intact = readFileBytes();
+  // An interrupted write: data blocks present, footer never landed.
+  writeFileBytes(intact.substr(0, intact.size() - 24));
+  EXPECT_THROW(SegmentReader reader(path_), ParseError);
+}
+
+TEST_F(TsdbSegmentTest, CorruptedFooterCrcThrows) {
+  writeSegment(path_, sampleSeries(), {});
+  std::string bytes = readFileBytes();
+  // Flip a byte inside the footer (just before the trailing
+  // [u32 crc][u32 len]["ZSFT"] = 12 bytes).
+  bytes[bytes.size() - 16] ^= 0x01;
+  writeFileBytes(bytes);
+  EXPECT_THROW(SegmentReader reader(path_), ParseError);
+}
+
+TEST_F(TsdbSegmentTest, GarbageFileThrows) {
+  writeFileBytes("this is not a segment at all, not even close");
+  EXPECT_THROW(SegmentReader reader(path_), ParseError);
+}
+
+TEST_F(TsdbSegmentTest, CorruptedBlockFailsOnReadNotOpen) {
+  writeSegment(path_, sampleSeries(), {});
+  std::string bytes = readFileBytes();
+  // Damage the first data block (past the 5-byte file header) but leave
+  // the footer intact: open succeeds, the strict column decode throws.
+  bytes[6] = static_cast<char>(bytes[6] ^ 0xFF);
+  bytes[7] = static_cast<char>(bytes[7] ^ 0xFF);
+  bytes[8] = static_cast<char>(bytes[8] ^ 0xFF);
+  writeFileBytes(bytes);
+  SegmentReader reader(path_);
+  ASSERT_FALSE(reader.entries().empty());
+  bool anyThrew = false;
+  for (const auto& entry : reader.entries()) {
+    try {
+      const auto windows = reader.readWindows(entry);
+      // Decode may survive a flip that lands in slack bits; the damaged
+      // first block must not silently produce the original data though.
+      (void)windows;
+    } catch (const ParseError&) {
+      anyThrew = true;
+    }
+  }
+  EXPECT_TRUE(anyThrew);
+}
+
+TEST_F(TsdbSegmentTest, ReaderWorksWhetherMappedOrBuffered) {
+  writeSegment(path_, sampleSeries(), {});
+  SegmentReader reader(path_);
+  // mmap is expected on Linux; the assertion documents that the test
+  // exercised the mapped path (the buffered path is covered by decode
+  // sharing the same pointer-based code).
+  EXPECT_TRUE(reader.mapped());
+  EXPECT_FALSE(reader.entries().empty());
+  for (const auto& entry : reader.entries()) {
+    EXPECT_FALSE(reader.readWindows(entry).empty());
+  }
+}
+
+}  // namespace

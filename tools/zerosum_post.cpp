@@ -19,6 +19,14 @@
 //                     ZS_AGG_HOST/ZS_AGG_PORT.  Shorthand: the words
 //                     sources, snapshot, or dashboard expand to the
 //                     corresponding {"op": ...} request.
+//   --tsdb-query <json>
+//                     answer one JSON query offline from a tsdb data dir
+//                     (--data-dir or ZS_TSDB_DIR) written by
+//                     zerosum-aggd --data-dir; no daemon needed, the dir
+//                     is opened read-only.  Same request dialect as
+//                     --agg-query (ops: sources, snapshot, range, stats)
+//                     and the same bare-word shorthand.
+//   --data-dir <dir>  the tsdb data dir for --tsdb-query
 #include <algorithm>
 #include <chrono>
 #include <fstream>
@@ -39,6 +47,8 @@
 #include "common/json.hpp"
 #include "common/strings.hpp"
 #include "mpisim/recorder.hpp"
+#include "tsdb/engine.hpp"
+#include "tsdb/query.hpp"
 
 using namespace zerosum;
 
@@ -111,6 +121,8 @@ int main(int argc, char** argv) {
   std::string pgmPath;
   std::string traceSummaryPath;
   std::string aggQuery;
+  std::string tsdbQuery;
+  std::string tsdbDir = env::getString("ZS_TSDB_DIR", "");
   std::string aggHost = env::getString("ZS_AGG_HOST", "127.0.0.1");
   int aggPort = static_cast<int>(env::getInt("ZS_AGG_PORT", 8990));
   std::vector<std::string> paths;
@@ -128,6 +140,10 @@ int main(int argc, char** argv) {
       traceSummaryPath = argv[++i];
     } else if (arg == "--agg-query" && i + 1 < argc) {
       aggQuery = argv[++i];
+    } else if (arg == "--tsdb-query" && i + 1 < argc) {
+      tsdbQuery = argv[++i];
+    } else if (arg == "--data-dir" && i + 1 < argc) {
+      tsdbDir = argv[++i];
     } else if (arg == "--agg-host" && i + 1 < argc) {
       aggHost = argv[++i];
     } else if (arg == "--agg-port" && i + 1 < argc) {
@@ -136,11 +152,34 @@ int main(int argc, char** argv) {
       std::cout << "usage: " << argv[0]
                 << " [--charts] [--heatmap] [--reorder rpn] [--pgm path] "
                    "[--trace-summary trace.json] [--agg-query json "
-                   "[--agg-host h] [--agg-port p]] <log>...\n";
+                   "[--agg-host h] [--agg-port p]] [--tsdb-query json "
+                   "--data-dir dir] <log>...\n";
       return 0;
     } else {
       paths.push_back(arg);
     }
+  }
+
+  if (!tsdbQuery.empty()) {
+    if (tsdbDir.empty()) {
+      std::cerr << "zerosum-post: --tsdb-query needs --data-dir (or "
+                   "ZS_TSDB_DIR)\n";
+      return 2;
+    }
+    if (tsdbQuery == "sources" || tsdbQuery == "snapshot" ||
+        tsdbQuery == "stats") {
+      tsdbQuery = "{\"op\":\"" + tsdbQuery + "\"}";
+    }
+    try {
+      tsdb::EngineOptions options;
+      options.readOnly = true;
+      const tsdb::Engine engine(tsdbDir, options);
+      std::cout << tsdb::runQuery(engine, tsdbQuery) << '\n';
+    } catch (const Error& e) {
+      std::cerr << "zerosum-post: " << tsdbDir << ": " << e.what() << '\n';
+      return 1;
+    }
+    return 0;
   }
 
   if (!aggQuery.empty()) {
