@@ -120,7 +120,13 @@ WireResult benchWire(int ranks, int periods, std::size_t recordsPerPeriod) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string jsonPath = "BENCH_aggregator.json";
+  for (int i = 1; i < argc - 1; ++i) {
+    if (std::string(argv[i]) == "--out") {
+      jsonPath = argv[i + 1];
+    }
+  }
   std::cout << "=== aggregator ingest throughput ===\n\n";
 
   std::cout << "-- RollupStore::ingest (store only) --\n";
@@ -147,7 +153,6 @@ int main() {
     return 1;
   }
 
-  const std::string jsonPath = "BENCH_aggregator.json";
   std::ofstream jsonOut(jsonPath);
   if (jsonOut) {
     json::Writer w(jsonOut);

@@ -84,7 +84,13 @@ std::uint64_t csvBytes(const std::vector<Series>& workload) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string jsonPath = "BENCH_tsdb.json";
+  for (int i = 1; i < argc - 1; ++i) {
+    if (std::string(argv[i]) == "--out") {
+      jsonPath = argv[i + 1];
+    }
+  }
   std::cout << "=== tsdb codec throughput ===\n\n";
 
   constexpr std::size_t kSeries = 256;
@@ -149,7 +155,6 @@ int main() {
             << static_cast<int>(csvFraction * 100.0) << "% of " << csv
             << " CSV bytes)\n";
 
-  const std::string jsonPath = "BENCH_tsdb.json";
   std::ofstream jsonOut(jsonPath);
   if (!jsonOut) {
     std::cerr << "could not write " << jsonPath << '\n';

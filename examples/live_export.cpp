@@ -38,8 +38,8 @@ int main(int argc, char** argv) {
   stream.subscribe([](const exporter::Batch& batch) {
     double busiest = 0.0;
     for (const auto& record : batch) {
-      if (record.name.rfind("hwt.", 0) == 0 &&
-          record.name.find("user_pct") != std::string::npos) {
+      if (record.nameView().rfind("hwt.", 0) == 0 &&
+          record.nameView().find("user_pct") != std::string_view::npos) {
         busiest = std::max(busiest, record.value);
       }
     }

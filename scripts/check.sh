@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
 # Full verification: the tier-1 build + test pass, then a sanitizer pass
-# (address + undefined) over the fault-tolerance-critical suites.
+# (address + undefined) over the fault-tolerance-critical suites, then
+# the JSON-emitting benchmarks and the performance-regression gate
+# (scripts/bench_gate.py against bench/baselines/).
 #
 # Usage: scripts/check.sh [--no-sanitize]
 set -euo pipefail
@@ -32,10 +34,23 @@ if [[ "$SANITIZE" == 1 ]]; then
   done
 fi
 
+# Every JSON-emitting bench takes an explicit --out path, so the
+# artifacts land in build/bench/ regardless of the caller's cwd.
+BENCH_OUT="$PWD/build/bench"
+
+echo "=== sampling hot-path benchmark (zero-alloc contract) ==="
+./build/bench/bench_sampling_loop --out "$BENCH_OUT/BENCH_sampling.json"
+
 echo "=== aggregator ingest benchmark ==="
-(cd build/bench && ./bench_aggregator_ingest)
+./build/bench/bench_aggregator_ingest --out "$BENCH_OUT/BENCH_aggregator.json"
 
 echo "=== tsdb codec benchmark ==="
-(cd build/bench && ./bench_tsdb_codec)
+./build/bench/bench_tsdb_codec --out "$BENCH_OUT/BENCH_tsdb.json"
+
+echo "=== monitoring overhead benchmark (< 0.5% budget) ==="
+./build/bench/bench_figure8_overhead --out "$BENCH_OUT/BENCH_overhead.json"
+
+echo "=== performance-regression gate ==="
+python3 scripts/bench_gate.py --fresh "$BENCH_OUT"
 
 echo "=== check.sh: all passes complete ==="

@@ -1,6 +1,9 @@
 #include "aggregator/client.hpp"
 
+#include <algorithm>
+
 #include "common/error.hpp"
+#include "common/interning.hpp"
 #include "trace/metrics.hpp"
 #include "trace/trace.hpp"
 
@@ -80,16 +83,46 @@ bool Client::ensureConnected(double nowSeconds) {
   return true;
 }
 
+void Client::popFront(std::size_t n) {
+  head_ += n;
+  if (head_ >= queue_.size()) {
+    queue_.clear();
+    head_ = 0;
+  } else if (head_ >= queue_.size() - head_) {
+    // The dead prefix outweighs the live tail: slide the tail down (a
+    // move, no allocation) so the existing capacity is reused instead of
+    // the vector growing without bound.
+    queue_.erase(queue_.begin(),
+                 queue_.begin() + static_cast<std::ptrdiff_t>(head_));
+    head_ = 0;
+  }
+}
+
 void Client::dropOverflow() {
-  while (queue_.size() > options_.maxQueueRecords) {
-    queue_.pop_front();
-    ++counters_.recordsDropped;
-    counterDropped().add();
+  if (queueSize() > options_.maxQueueRecords) {
+    const std::size_t excess = queueSize() - options_.maxQueueRecords;
+    counters_.recordsDropped += excess;
+    counterDropped().add(excess);
+    popFront(excess);
   }
 }
 
 void Client::enqueue(const std::vector<WireRecord>& records,
                      double nowSeconds) {
+  ZS_TRACE_SCOPE("zs.agg.client.enqueue");
+  for (const auto& record : records) {
+    queue_.push_back(
+        {{record.timeSeconds, names::intern(record.name), record.value},
+         nowSeconds});
+  }
+  counters_.recordsEnqueued += records.size();
+  counterEnqueued().add(records.size());
+  dropOverflow();
+  pump(nowSeconds);
+}
+
+void Client::enqueueIds(const std::vector<IdRecord>& records,
+                        double nowSeconds) {
   ZS_TRACE_SCOPE("zs.agg.client.enqueue");
   for (const auto& record : records) {
     queue_.push_back({record, nowSeconds});
@@ -101,29 +134,34 @@ void Client::enqueue(const std::vector<WireRecord>& records,
 }
 
 void Client::flush(double nowSeconds, bool force) {
-  while (!queue_.empty()) {
-    const bool countDue = queue_.size() >= options_.batchRecords;
+  while (queueSize() > 0) {
+    const bool countDue = queueSize() >= options_.batchRecords;
     const bool ageDue =
-        nowSeconds - queue_.front().enqueuedAt >= options_.batchAgeSeconds;
+        nowSeconds - queue_[head_].enqueuedAt >= options_.batchAgeSeconds;
     if (!force && !countDue && !ageDue) {
       return;
     }
     if (!ensureConnected(nowSeconds)) {
       if (force) {
         // Final flush with no daemon: the records are lost; count them.
-        counters_.recordsDropped += queue_.size();
-        counterDropped().add(queue_.size());
+        counters_.recordsDropped += queueSize();
+        counterDropped().add(queueSize());
         queue_.clear();
+        head_ = 0;
       }
       return;
     }
     Frame batch;
     batch.kind = FrameKind::kBatch;
     batch.timeSeconds = nowSeconds;
-    const std::size_t n = std::min(queue_.size(), options_.batchRecords);
+    const std::size_t n = std::min(queueSize(), options_.batchRecords);
     batch.records.reserve(n);
     for (std::size_t i = 0; i < n; ++i) {
-      batch.records.push_back(queue_[i].record);
+      const IdRecord& r = queue_[head_ + i].record;
+      // The wire edge: the interned id becomes name text here, and only
+      // here — queued records never hold strings.
+      batch.records.push_back(
+          {r.timeSeconds, std::string(names::lookup(r.name)), r.value});
     }
     if (!transport_->send(encodeFrame(batch))) {
       // Keep the batch queued for the next connection: the queue bound
@@ -138,8 +176,7 @@ void Client::flush(double nowSeconds, bool force) {
       nextConnectAt_ = nowSeconds + currentBackoff_;
       return;
     }
-    queue_.erase(queue_.begin(),
-                 queue_.begin() + static_cast<std::ptrdiff_t>(n));
+    popFront(n);
     ++counters_.batchesSent;
     counters_.recordsSent += n;
   }

@@ -17,9 +17,9 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "aggregator/transport.hpp"
 #include "aggregator/wire.hpp"
@@ -63,6 +63,11 @@ class Client {
   /// simulator, wall time live — and drives batch age and backoff.
   void enqueue(const std::vector<WireRecord>& records, double nowSeconds);
 
+  /// Same contract as enqueue(), but names arrive as interned ids and
+  /// stay ids until flush materializes the outgoing frame — the
+  /// steady-state publish path queues without touching a string.
+  void enqueueIds(const std::vector<IdRecord>& records, double nowSeconds);
+
   /// Flushes due batches and handles reconnect scheduling.  Safe to call
   /// every period regardless of connection state.
   void pump(double nowSeconds);
@@ -89,10 +94,21 @@ class Client {
   ClientCounters counters_;
 
   struct Queued {
-    WireRecord record;
+    IdRecord record;
     double enqueuedAt = 0.0;
   };
-  std::deque<Queued> queue_;
+  /// FIFO spelled as vector + head index: pops advance head_ and
+  /// popFront() recycles the dead prefix with a move once it outweighs
+  /// the live tail, so the buffer reaches a fixed capacity and then the
+  /// steady state allocates nothing (a deque allocates and frees blocks
+  /// every period).
+  std::vector<Queued> queue_;
+  std::size_t head_ = 0;
+
+  [[nodiscard]] std::size_t queueSize() const {
+    return queue_.size() - head_;
+  }
+  void popFront(std::size_t n);
 
   bool everConnected_ = false;
   double nextConnectAt_ = 0.0;   ///< earliest next connect attempt

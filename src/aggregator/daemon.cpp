@@ -130,23 +130,30 @@ void Aggregator::handleFrame(std::uint64_t connection, ConnState& conn,
           trace::MetricsRegistry::instance().counter(
               "zs.agg.daemon.records_ingested");
       ingested.add(frame.records.size());
-      SeriesKey key;
-      key.job = conn.job;
-      key.rank = conn.rank;
+      keyScratch_.job.assign(conn.job);
+      keyScratch_.rank = conn.rank;
       for (const auto& record : frame.records) {
-        key.metric = record.name;
-        store_.ingest(key, record.timeSeconds, record.value);
+        // One intern per record resolves the per-connection series ref;
+        // the ref then skips the store's key hash and string compares.
+        RollupStore::SeriesRef& ref =
+            conn.seriesRefs[names::intern(record.name)];
+        keyScratch_.metric.assign(record.name);
+        store_.ingest(keyScratch_, ref, record.timeSeconds, record.value);
       }
       if (engine_ != nullptr) {
         // Durable before the batch is acknowledged as ingested: the WAL
         // append happens in the same poll() that merges the records, so
-        // anything a client saw accepted survives a crash.
-        std::vector<tsdb::Sample> samples;
-        samples.reserve(frame.records.size());
-        for (const auto& record : frame.records) {
-          samples.push_back({record.timeSeconds, record.name, record.value});
+        // anything a client saw accepted survives a crash.  The scratch
+        // vector (and each sample's metric string) keeps its capacity
+        // across batches.
+        samplesScratch_.resize(frame.records.size());
+        for (std::size_t i = 0; i < frame.records.size(); ++i) {
+          tsdb::Sample& s = samplesScratch_[i];
+          s.timeSeconds = frame.records[i].timeSeconds;
+          s.metric.assign(frame.records[i].name);
+          s.value = frame.records[i].value;
         }
-        engine_->append(conn.job, conn.rank, samples);
+        engine_->append(conn.job, conn.rank, samplesScratch_);
       }
       break;
     }

@@ -16,6 +16,7 @@
 #include "aggregator/store.hpp"
 #include "aggregator/transport.hpp"
 #include "aggregator/wire.hpp"
+#include "tsdb/wal.hpp"
 
 namespace zerosum::tsdb {
 class Engine;
@@ -102,6 +103,12 @@ class Aggregator {
     bool helloSeen = false;
     std::string job;
     int rank = 0;
+    /// Per-connection ingest cache: interned metric name -> resolved
+    /// store series.  A connection is bound to one (job, rank), so the
+    /// metric id alone identifies the series; steady-state ingest does
+    /// one intern lookup per record instead of hashing and comparing
+    /// the (job, rank, metric) strings.
+    std::map<names::Id, RollupStore::SeriesRef> seriesRefs;
   };
 
   void handleFrame(std::uint64_t connection, ConnState& conn,
@@ -115,6 +122,9 @@ class Aggregator {
   RollupStore store_;
   DaemonCounters counters_;
   std::map<std::uint64_t, ConnState> connections_;
+  /// Ingest scratch, reused every batch (strings keep their capacity).
+  SeriesKey keyScratch_;
+  std::vector<tsdb::Sample> samplesScratch_;
   /// (job, rank) -> registry entry.
   std::map<std::pair<std::string, int>, SourceInfo> sources_;
   /// Highest worldSize announced per job (missing-rank detection).

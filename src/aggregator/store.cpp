@@ -62,15 +62,8 @@ void RollupStore::mergeBounded(std::map<std::int64_t, Rollup>& windows,
   }
 }
 
-void RollupStore::ingest(const SeriesKey& key, double timeSeconds,
-                         double value) {
-  if (!std::isfinite(timeSeconds) || !std::isfinite(value) ||
-      timeSeconds < 0.0) {
-    return;  // hostile or corrupt input: ignore, never throw on ingest
-  }
-  Shard& shard = shardOf(key);
-  std::lock_guard<std::mutex> lock(shard.mutex);
-  Series& series = shard.series[key];
+void RollupStore::mergeLocked(Series& series, double timeSeconds,
+                              double value, Shard& shard) {
   const auto fineIndex = static_cast<std::int64_t>(
       std::floor(timeSeconds / options_.fineWindowSeconds));
   mergeBounded(series.fine, fineIndex, value, options_.fineRetentionWindows,
@@ -84,8 +77,42 @@ void RollupStore::ingest(const SeriesKey& key, double timeSeconds,
   ++shard.ingested;
 }
 
+void RollupStore::ingest(const SeriesKey& key, double timeSeconds,
+                         double value) {
+  if (!std::isfinite(timeSeconds) || !std::isfinite(value) ||
+      timeSeconds < 0.0) {
+    return;  // hostile or corrupt input: ignore, never throw on ingest
+  }
+  Shard& shard = shardOf(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  mergeLocked(shard.series[key], timeSeconds, value, shard);
+}
+
+void RollupStore::ingest(const SeriesKey& key, SeriesRef& ref,
+                         double timeSeconds, double value) {
+  if (!std::isfinite(timeSeconds) || !std::isfinite(value) ||
+      timeSeconds < 0.0) {
+    return;  // hostile or corrupt input: ignore, never throw on ingest
+  }
+  if (ref.shard == nullptr) {
+    ref.shard = &shardOf(key);  // a key's shard never changes
+  }
+  std::lock_guard<std::mutex> lock(ref.shard->mutex);
+  // Revalidate under the shard lock: evictSource bumps the generation
+  // before erasing, so a stale ref re-resolves rather than following a
+  // freed node.
+  const std::uint64_t gen = generation_.load(std::memory_order_acquire);
+  if (ref.series == nullptr || ref.generation != gen) {
+    ref.series = &ref.shard->series[key];
+    ref.generation = gen;
+  }
+  mergeLocked(*ref.series, timeSeconds, value, *ref.shard);
+}
+
 std::size_t RollupStore::evictSource(const std::string& job, int rank) {
   std::size_t dropped = 0;
+  // Invalidate outstanding SeriesRefs before any node is freed.
+  generation_.fetch_add(1, std::memory_order_release);
   for (auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mutex);
     for (auto it = shard->series.begin(); it != shard->series.end();) {

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -78,11 +79,33 @@ struct WindowRollup {
 enum class Resolution : std::uint8_t { kFine, kCoarse };
 
 class RollupStore {
+ private:
+  struct Series;
+  struct Shard;
+
  public:
+  /// A resolved series handle for repeat ingestion.  The shard a key
+  /// hashes to never changes, so it is cached once; the series node is
+  /// cached until an eviction bumps the store generation, and then
+  /// re-resolved lazily.  Callers that ingest the same series every
+  /// period (the daemon) keep one ref per series and skip the per-record
+  /// key hash and string-compare map walk.  Treat as opaque.
+  struct SeriesRef {
+    std::uint64_t generation = 0;
+    Shard* shard = nullptr;
+    Series* series = nullptr;
+  };
+
   explicit RollupStore(StoreOptions options = {});
 
   /// Merges one observation into both resolutions.
   void ingest(const SeriesKey& key, double timeSeconds, double value);
+
+  /// Same, through a cached handle: resolves `ref` on first use (or
+  /// after an eviction invalidated it) and merges without hashing or
+  /// comparing the key strings afterwards.
+  void ingest(const SeriesKey& key, SeriesRef& ref, double timeSeconds,
+              double value);
 
   /// Removes every series belonging to (job, rank).  Returns the number
   /// of series dropped.
@@ -130,8 +153,14 @@ class RollupStore {
                            std::int64_t index, double value, int retention,
                            std::uint64_t& evicted);
 
+  void mergeLocked(Series& series, double timeSeconds, double value,
+                   Shard& shard);
+
   StoreOptions options_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  /// Bumped by evictSource; outstanding SeriesRefs from older
+  /// generations re-resolve instead of touching freed nodes.
+  std::atomic<std::uint64_t> generation_{1};
 };
 
 }  // namespace zerosum::aggregator

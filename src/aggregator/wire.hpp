@@ -20,6 +20,8 @@
 #include <string>
 #include <vector>
 
+#include "common/interning.hpp"
+
 namespace zerosum::aggregator {
 
 /// Protocol version; bumped on any incompatible layout change.
@@ -58,6 +60,19 @@ struct WireRecord {
   double value = 0.0;
 
   friend bool operator==(const WireRecord&, const WireRecord&) = default;
+};
+
+/// A WireRecord before it reaches the wire: the metric name held as an
+/// interned id (names::intern).  Ids are process-local and never cross
+/// the wire — the client materializes the name text when it encodes a
+/// kBatch frame — so the wire format is unchanged and readers need no
+/// shared table.
+struct IdRecord {
+  double timeSeconds = 0.0;
+  names::Id name = names::kInvalidId;
+  double value = 0.0;
+
+  friend bool operator==(const IdRecord&, const IdRecord&) = default;
 };
 
 /// Monitor self-health counters (core::MonitorHealth, flattened).

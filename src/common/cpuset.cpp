@@ -25,35 +25,42 @@ std::size_t parseIndex(std::string_view tok) {
 
 }  // namespace
 
-CpuSet CpuSet::fromList(const std::string& list) {
+CpuSet CpuSet::fromList(std::string_view list) {
   CpuSet out;
-  const std::string trimmed = strings::trim(list);
-  if (trimmed.empty()) {
+  std::string_view rest = strings::trimView(list);
+  if (rest.empty()) {
     return out;
   }
-  for (const auto& rawTok : strings::split(trimmed, ',')) {
-    const std::string tok = strings::trim(rawTok);
+  while (true) {
+    const auto comma = rest.find(',');
+    const std::string_view tok = strings::trimView(
+        comma == std::string_view::npos ? rest : rest.substr(0, comma));
     if (tok.empty()) {
-      throw ParseError("empty element in cpulist '" + list + "'");
+      throw ParseError("empty element in cpulist '" + std::string(list) +
+                       "'");
     }
     const auto dash = tok.find('-');
-    if (dash == std::string::npos) {
+    if (dash == std::string_view::npos) {
       out.set(parseIndex(tok));
     } else {
-      const std::size_t lo = parseIndex(std::string_view(tok).substr(0, dash));
-      const std::size_t hi = parseIndex(std::string_view(tok).substr(dash + 1));
+      const std::size_t lo = parseIndex(tok.substr(0, dash));
+      const std::size_t hi = parseIndex(tok.substr(dash + 1));
       if (hi < lo) {
-        throw ParseError("descending range '" + tok + "'");
+        throw ParseError("descending range '" + std::string(tok) + "'");
       }
       for (std::size_t i = lo; i <= hi; ++i) {
         out.set(i);
       }
     }
+    if (comma == std::string_view::npos) {
+      break;
+    }
+    rest.remove_prefix(comma + 1);
   }
   return out;
 }
 
-CpuSet CpuSet::fromHexMask(const std::string& mask) {
+CpuSet CpuSet::fromHexMask(std::string_view mask) {
   const std::string trimmed = strings::trim(mask);
   if (trimmed.empty()) {
     throw ParseError("empty cpu hex mask");

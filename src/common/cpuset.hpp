@@ -11,6 +11,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace zerosum {
@@ -24,13 +25,14 @@ class CpuSet {
   CpuSet() = default;
 
   /// Parses a kernel cpulist, e.g. "0", "1-7", "1-7,9-15,64".
-  /// Whitespace around commas is tolerated.  Throws ParseError on bad input.
-  static CpuSet fromList(const std::string& list);
+  /// Whitespace around commas is tolerated.  Throws ParseError on bad
+  /// input.  Allocation-free except on the error path.
+  static CpuSet fromList(std::string_view list);
 
   /// Parses the kernel's hexadecimal mask format ("Cpus_allowed" in
   /// /proc/<pid>/status): comma-separated 32-bit words, most significant
   /// first, e.g. "ff" = CPUs 0-7, "1,00000000" = CPU 32.
-  static CpuSet fromHexMask(const std::string& mask);
+  static CpuSet fromHexMask(std::string_view mask);
 
   /// Builds the set {first, first+1, ..., last}.  Throws if last < first or
   /// last >= kMaxCpus.

@@ -45,7 +45,9 @@ std::vector<std::string> splitWs(std::string_view s) {
   return out;
 }
 
-std::string trim(std::string_view s) {
+std::string trim(std::string_view s) { return std::string(trimView(s)); }
+
+std::string_view trimView(std::string_view s) {
   std::size_t b = 0;
   std::size_t e = s.size();
   while (b < e && isSpace(s[b])) {
@@ -54,7 +56,22 @@ std::string trim(std::string_view s) {
   while (e > b && isSpace(s[e - 1])) {
     --e;
   }
-  return std::string(s.substr(b, e - b));
+  return s.substr(b, e - b);
+}
+
+bool nextLine(std::string_view& rest, std::string_view& line) {
+  if (rest.empty()) {
+    return false;
+  }
+  const std::size_t pos = rest.find('\n');
+  if (pos == std::string_view::npos) {
+    line = rest;
+    rest = {};
+  } else {
+    line = rest.substr(0, pos);
+    rest.remove_prefix(pos + 1);
+  }
+  return true;
 }
 
 bool startsWith(std::string_view s, std::string_view prefix) {

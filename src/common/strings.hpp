@@ -20,6 +20,49 @@ std::vector<std::string> splitWs(std::string_view s);
 /// Removes leading/trailing whitespace (space, tab, CR, LF).
 std::string trim(std::string_view s);
 
+/// trim() without the copy: a view into the input.  The zero-allocation
+/// parsers use this; callers must keep the underlying buffer alive.
+std::string_view trimView(std::string_view s);
+
+/// Zero-allocation replacement for splitWs(): walks whitespace-separated
+/// tokens as views into the input.
+///
+///   TokenCursor cur(line);
+///   std::string_view tok;
+///   while (cur.next(tok)) { ... }
+class TokenCursor {
+ public:
+  explicit TokenCursor(std::string_view s) : s_(s) {}
+
+  /// Advances to the next non-empty token; false at end of input.
+  bool next(std::string_view& token) {
+    while (pos_ < s_.size() && isWs(s_[pos_])) {
+      ++pos_;
+    }
+    if (pos_ >= s_.size()) {
+      return false;
+    }
+    const std::size_t start = pos_;
+    while (pos_ < s_.size() && !isWs(s_[pos_])) {
+      ++pos_;
+    }
+    token = s_.substr(start, pos_ - start);
+    return true;
+  }
+
+ private:
+  static bool isWs(char c) {
+    return c == ' ' || c == '\t' || c == '\r' || c == '\n';
+  }
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+/// Zero-allocation line iteration: extracts the next '\n'-terminated line
+/// (without the terminator) from `rest`, shrinking it.  False when `rest`
+/// is exhausted.
+bool nextLine(std::string_view& rest, std::string_view& line);
+
 bool startsWith(std::string_view s, std::string_view prefix);
 bool endsWith(std::string_view s, std::string_view suffix);
 

@@ -6,7 +6,9 @@ HwtTracker::HwtTracker(const procfs::ProcFs& fs, CpuSet watched)
     : fs_(fs), watched_(watched) {}
 
 void HwtTracker::sample(double timeSeconds) {
-  const procfs::StatSnapshot snapshot = fs_.stat();
+  fs_.readStatInto(bufScratch_);
+  procfs::parseStatInto(bufScratch_, snapScratch_);
+  const procfs::StatSnapshot& snapshot = snapScratch_;
   for (const auto& [cpuInt, times] : snapshot.perCpu) {
     const auto cpu = static_cast<std::size_t>(cpuInt);
     if (!watched_.empty() && !watched_.test(cpu)) {

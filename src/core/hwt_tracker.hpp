@@ -31,6 +31,10 @@ class HwtTracker {
   CpuSet watched_;
   std::map<std::size_t, HwtRecord> records_;
   std::map<std::size_t, procfs::CpuTimes> previous_;
+  // Reused across sample() calls: raw /proc/stat bytes and the parsed
+  // snapshot (whose per-CPU map nodes persist period to period).
+  std::string bufScratch_;
+  procfs::StatSnapshot snapScratch_;
 };
 
 }  // namespace zerosum::core

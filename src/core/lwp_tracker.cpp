@@ -58,20 +58,23 @@ LwpType LwpTracker::classify(int tid, const std::string& comm) const {
 }
 
 void LwpTracker::sample(double timeSeconds) {
-  std::set<int> seen;
-  for (int tid : fs_.listTasks(pid_)) {
-    procfs::TaskStat stat;
-    procfs::ProcStatus status;
+  fs_.listTasksInto(pid_, tidsScratch_);
+  seenScratch_.clear();
+  for (int tid : tidsScratch_) {
+    procfs::TaskStat& stat = statScratch_;
+    procfs::ProcStatus& status = statusScratch_;
     try {
-      stat = fs_.taskStat(pid_, tid);
-      status = fs_.taskStatus(pid_, tid);
+      fs_.readTaskStatInto(pid_, tid, bufScratch_);
+      procfs::parseTaskStatInto(bufScratch_, stat);
+      fs_.readTaskStatusInto(pid_, tid, bufScratch_);
+      procfs::parseStatusInto(bufScratch_, status);
     } catch (const Error& e) {
       // The thread exited between the directory scan and the read; its
       // record (if any) will be marked dead below.
       log::debug() << "tid " << tid << " vanished mid-scan: " << e.what();
       continue;
     }
-    seen.insert(tid);
+    seenScratch_.push_back(tid);  // tids arrive sorted, so this stays sorted
 
     auto [it, isNew] = records_.try_emplace(tid);
     LwpRecord& record = it->second;
@@ -109,7 +112,7 @@ void LwpTracker::sample(double timeSeconds) {
   }
 
   for (auto& [tid, record] : records_) {
-    if (seen.count(tid) == 0) {
+    if (!std::binary_search(seenScratch_.begin(), seenScratch_.end(), tid)) {
       record.alive = false;
     }
   }

@@ -43,6 +43,15 @@ class LwpTracker {
   std::map<int, LwpRecord> records_;
   std::map<int, LwpType> typeHints_;
   std::set<int> ompTids_;
+
+  // Reused across sample() calls so the steady state allocates nothing:
+  // the tid listing, the raw /proc file bytes, and the parsed structs
+  // all keep their capacity period to period.
+  std::vector<int> tidsScratch_;
+  std::vector<int> seenScratch_;
+  std::string bufScratch_;
+  procfs::TaskStat statScratch_;
+  procfs::ProcStatus statusScratch_;
 };
 
 }  // namespace zerosum::core

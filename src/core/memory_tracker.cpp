@@ -11,8 +11,12 @@ MemoryTracker::MemoryTracker(const procfs::ProcFs& fs, int pid,
     : fs_(fs), pid_(pid), warnFraction_(warnFraction) {}
 
 void MemoryTracker::sample(double timeSeconds) {
-  const procfs::MemInfo mem = fs_.memInfo();
-  const procfs::ProcStatus status = fs_.processStatus(pid_);
+  fs_.readMeminfoInto(bufScratch_);
+  procfs::parseMeminfoInto(bufScratch_, memScratch_);
+  fs_.readProcessStatusInto(pid_, bufScratch_);
+  procfs::parseStatusInto(bufScratch_, statusScratch_);
+  const procfs::MemInfo& mem = memScratch_;
+  const procfs::ProcStatus& status = statusScratch_;
 
   MemSample s;
   s.timeSeconds = timeSeconds;

@@ -47,6 +47,10 @@ class MemoryTracker {
   std::uint64_t peakRssKb_ = 0;
   std::vector<MemSample> samples_;
   std::vector<MemoryEvent> events_;
+  // Reused across sample() calls (zero-allocation steady state).
+  std::string bufScratch_;
+  procfs::MemInfo memScratch_;
+  procfs::ProcStatus statusScratch_;
 };
 
 }  // namespace zerosum::core

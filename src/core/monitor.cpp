@@ -126,16 +126,22 @@ void MonitorSession::sampleOnce(double timeSeconds) {
   if (degraded) {
     ++samplesDegraded_;
   }
-  const MonitorHealth currentHealth = health();
+  // Summed straight off the guards: building a full MonitorHealth here
+  // would copy per-subsystem name/error strings every period.
   HealthSample hs;
   hs.timeSeconds = timeSeconds;
   hs.samplesTaken = samplesTaken_;
   hs.samplesDegraded = samplesDegraded_;
   hs.samplesDropped = samplesDropped_;
   hs.loopOverruns = loopOverruns_;
-  hs.subsystemsQuarantined = currentHealth.quarantinedCount();
-  hs.quarantines = currentHealth.totalQuarantines();
-  hs.recoveries = currentHealth.totalRecoveries();
+  const SubsystemGuard* guards[] = {&lwpGuard_, &hwtGuard_, &memGuard_,
+                                    &gpuGuard_, &progressGuard_};
+  for (const SubsystemGuard* guard : guards) {
+    const SubsystemHealth& sh = guard->health();
+    hs.subsystemsQuarantined += sh.quarantined ? 1 : 0;
+    hs.quarantines += sh.quarantines;
+    hs.recoveries += sh.recoveries;
+  }
   healthSeries_.push_back(hs);
   ZS_TRACE_COUNTER("zs.samples_degraded",
                    static_cast<double>(samplesDegraded_));

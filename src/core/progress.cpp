@@ -13,7 +13,8 @@ void ProgressDetector::observe(double timeSeconds,
 
   std::size_t live = 0;
   std::size_t busy = 0;
-  std::vector<int> idleTids;
+  std::vector<int>& idleTids = idleTidsScratch_;
+  idleTids.clear();
   bool anyProgress = false;
   for (const auto& [tid, record] : lwps) {
     if (!record.alive || record.samples.empty()) {

@@ -49,6 +49,8 @@ class ProgressDetector {
   double streakStart_ = 0.0;
   bool stuck_ = false;
   std::vector<StuckReport> reports_;
+  /// Reused across observe() calls (zero-allocation steady state).
+  std::vector<int> idleTidsScratch_;
 };
 
 }  // namespace zerosum::core

@@ -51,18 +51,54 @@ std::unique_ptr<aggregator::Client> SessionPublisher::closeAggregator(
   return std::move(aggregator_);
 }
 
-Batch SessionPublisher::makeBatch(const core::MonitorSession& session,
-                                  double timeSeconds) const {
-  Batch batch;
-  const std::string source =
-      "rank." + std::to_string(session.identity().rank);
-  auto add = [&](const std::string& name, double value) {
-    Record record;
-    record.timeSeconds = timeSeconds;
-    record.source = source;
-    record.name = name;
-    record.value = value;
-    batch.push_back(std::move(record));
+const SessionPublisher::LwpIds& SessionPublisher::lwpIdsFor(int tid) {
+  const auto [it, inserted] = lwpIds_.try_emplace(tid);
+  if (inserted) {
+    const std::string prefix = "lwp." + std::to_string(tid) + ".";
+    it->second.utime = names::intern(prefix + "utime_delta");
+    it->second.stime = names::intern(prefix + "stime_delta");
+    it->second.vctx = names::intern(prefix + "vctx");
+    it->second.nvctx = names::intern(prefix + "nvctx");
+    it->second.processor = names::intern(prefix + "processor");
+  }
+  return it->second;
+}
+
+const SessionPublisher::HwtIds& SessionPublisher::hwtIdsFor(
+    std::size_t cpu) {
+  const auto [it, inserted] = hwtIds_.try_emplace(cpu);
+  if (inserted) {
+    const std::string prefix = "hwt." + std::to_string(cpu) + ".";
+    it->second.user = names::intern(prefix + "user_pct");
+    it->second.system = names::intern(prefix + "system_pct");
+    it->second.idle = names::intern(prefix + "idle_pct");
+  }
+  return it->second;
+}
+
+names::Id SessionPublisher::gpuIdFor(int visibleIndex, int metric) {
+  const auto [it, inserted] =
+      gpuIds_.try_emplace({visibleIndex, metric}, names::kInvalidId);
+  if (inserted) {
+    it->second = names::intern(
+        "gpu." + std::to_string(visibleIndex) + "." +
+        gpu::metricLabel(static_cast<gpu::Metric>(metric)));
+  }
+  return it->second;
+}
+
+const Batch& SessionPublisher::makeBatch(const core::MonitorSession& session,
+                                         double timeSeconds) {
+  Batch& batch = batchScratch_;
+  batch.clear();
+  const std::int32_t rank = session.identity().rank;
+  if (!sourceCached_ || sourceRank_ != rank) {
+    sourceId_ = names::intern("rank." + std::to_string(rank));
+    sourceRank_ = rank;
+    sourceCached_ = true;
+  }
+  auto add = [&](names::Id name, double value) {
+    batch.push_back(Record{timeSeconds, sourceId_, name, value});
   };
 
   if (options_.lwp) {
@@ -72,12 +108,12 @@ Batch SessionPublisher::makeBatch(const core::MonitorSession& session,
         continue;
       }
       const auto& s = record.samples.back();
-      const std::string prefix = "lwp." + std::to_string(tid) + ".";
-      add(prefix + "utime_delta", static_cast<double>(s.utimeDelta));
-      add(prefix + "stime_delta", static_cast<double>(s.stimeDelta));
-      add(prefix + "vctx", static_cast<double>(s.voluntaryCtx));
-      add(prefix + "nvctx", static_cast<double>(s.nonvoluntaryCtx));
-      add(prefix + "processor", static_cast<double>(s.processor));
+      const LwpIds& ids = lwpIdsFor(tid);
+      add(ids.utime, static_cast<double>(s.utimeDelta));
+      add(ids.stime, static_cast<double>(s.stimeDelta));
+      add(ids.vctx, static_cast<double>(s.voluntaryCtx));
+      add(ids.nvctx, static_cast<double>(s.nonvoluntaryCtx));
+      add(ids.processor, static_cast<double>(s.processor));
     }
   }
   if (options_.hwt) {
@@ -87,17 +123,21 @@ Batch SessionPublisher::makeBatch(const core::MonitorSession& session,
         continue;
       }
       const auto& s = record.samples.back();
-      const std::string prefix = "hwt." + std::to_string(cpu) + ".";
-      add(prefix + "user_pct", s.userPct);
-      add(prefix + "system_pct", s.systemPct);
-      add(prefix + "idle_pct", s.idlePct);
+      const HwtIds& ids = hwtIdsFor(cpu);
+      add(ids.user, s.userPct);
+      add(ids.system, s.systemPct);
+      add(ids.idle, s.idlePct);
     }
   }
   if (options_.memory && !session.memory().samples().empty()) {
     const auto& s = session.memory().samples().back();
     if (isCurrent(s.timeSeconds, timeSeconds)) {
-      add("mem.node_available_kb", static_cast<double>(s.memAvailableKb));
-      add("mem.process_rss_kb", static_cast<double>(s.processRssKb));
+      if (memAvailableId_ == names::kInvalidId) {
+        memAvailableId_ = names::intern("mem.node_available_kb");
+        memRssId_ = names::intern("mem.process_rss_kb");
+      }
+      add(memAvailableId_, static_cast<double>(s.memAvailableKb));
+      add(memRssId_, static_cast<double>(s.processRssKb));
     }
   }
   if (options_.gpu) {
@@ -106,10 +146,8 @@ Batch SessionPublisher::makeBatch(const core::MonitorSession& session,
           !isCurrent(record.samples.back().first, timeSeconds)) {
         continue;
       }
-      const std::string prefix =
-          "gpu." + std::to_string(record.visibleIndex) + ".";
       for (const auto& [metric, value] : record.samples.back().second) {
-        add(prefix + gpu::metricLabel(metric), value);
+        add(gpuIdFor(record.visibleIndex, static_cast<int>(metric)), value);
       }
     }
   }
@@ -119,12 +157,15 @@ Batch SessionPublisher::makeBatch(const core::MonitorSession& session,
 void SessionPublisher::publish(const core::MonitorSession& session,
                                double timeSeconds) {
   ZS_TRACE_SCOPE("zs.export.publish");
-  const Batch batch = makeBatch(session, timeSeconds);
+  const Batch& batch = makeBatch(session, timeSeconds);
   stream_->publish(batch);
 
   if (options_.perfstubs && ToolApi::instance().active()) {
     for (const auto& record : batch) {
-      ToolApi::instance().sampleCounter(record.name, record.value);
+      // The ToolApi contract takes strings; nameScratch_ keeps its
+      // capacity across records and periods.
+      nameScratch_.assign(record.nameView());
+      ToolApi::instance().sampleCounter(nameScratch_, record.value);
     }
   }
 
@@ -134,33 +175,42 @@ void SessionPublisher::publish(const core::MonitorSession& session,
     // One variable per record name: a 1x2 row [time, value]; downstream
     // readers reassemble series across steps.
     for (const auto& record : batch) {
-      staging_->put(record.name, {record.timeSeconds, record.value});
+      nameScratch_.assign(record.nameView());
+      rowScratch_[0] = record.timeSeconds;
+      rowScratch_[1] = record.value;
+      staging_->put(nameScratch_, rowScratch_);
     }
     staging_->endStep();
   }
 
   if (aggregator_) {
     ZS_TRACE_SCOPE("zs.export.aggregate");
-    // The Hello carried the source identity; the wire records are just
-    // (time, name, value).
-    std::vector<aggregator::WireRecord> wire;
-    wire.reserve(batch.size());
+    // The Hello carried the source identity; the queued records are just
+    // (time, interned-name-id, value) — the client materializes name
+    // text when it encodes an outgoing frame.
+    wireScratch_.clear();
+    wireScratch_.reserve(batch.size());
     for (const auto& record : batch) {
-      wire.push_back({record.timeSeconds, record.name, record.value});
+      wireScratch_.push_back({record.timeSeconds, record.name, record.value});
     }
-    if (wire.empty()) {
+    if (wireScratch_.empty()) {
       aggregator_->pump(timeSeconds);  // heartbeat path: keep flushing
     } else {
-      aggregator_->enqueue(wire, timeSeconds);
+      aggregator_->enqueueIds(wireScratch_, timeSeconds);
     }
-    const core::MonitorHealth health = session.health();
+    // Per-sample counters come from the health series (pushed by
+    // sampleOnce before this callback runs) — session.health() builds an
+    // allocating per-subsystem report and stays off the hot path.
     aggregator::HealthUpdate update;
-    update.samplesTaken = health.samplesTaken;
-    update.samplesDegraded = health.samplesDegraded;
-    update.samplesDropped = health.samplesDropped;
-    update.loopOverruns = health.loopOverruns;
-    update.quarantined =
-        static_cast<std::uint32_t>(health.quarantinedCount());
+    if (!session.healthSeries().empty()) {
+      const core::HealthSample& hs = session.healthSeries().back();
+      update.samplesTaken = hs.samplesTaken;
+      update.samplesDegraded = hs.samplesDegraded;
+      update.samplesDropped = hs.samplesDropped;
+      update.loopOverruns = hs.loopOverruns;
+      update.quarantined =
+          static_cast<std::uint32_t>(hs.subsystemsQuarantined);
+    }
     aggregator_->sendHealth(update, timeSeconds);
   }
   ++periods_;

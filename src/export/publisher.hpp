@@ -9,9 +9,14 @@
 // owned by the publisher).
 #pragma once
 
+#include <map>
 #include <memory>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "aggregator/client.hpp"
+#include "common/interning.hpp"
 #include "core/monitor.hpp"
 #include "export/staging.hpp"
 #include "export/stream.hpp"
@@ -57,14 +62,42 @@ class SessionPublisher {
   [[nodiscard]] std::uint64_t periodsPublished() const { return periods_; }
 
  private:
-  [[nodiscard]] Batch makeBatch(const core::MonitorSession& session,
-                                double timeSeconds) const;
+  /// Interned metric-name ids for one entity.  Built (with string
+  /// concatenation) the first period an entity appears, then reused — the
+  /// steady-state batch is assembled from ids alone.
+  struct LwpIds {
+    names::Id utime, stime, vctx, nvctx, processor;
+  };
+  struct HwtIds {
+    names::Id user, system, idle;
+  };
+
+  /// Fills batchScratch_ (reused across periods) and returns it.
+  const Batch& makeBatch(const core::MonitorSession& session,
+                         double timeSeconds);
+  [[nodiscard]] const LwpIds& lwpIdsFor(int tid);
+  [[nodiscard]] const HwtIds& hwtIdsFor(std::size_t cpu);
+  [[nodiscard]] names::Id gpuIdFor(int visibleIndex, int metric);
 
   MetricStream* stream_;
   Options options_;
   std::unique_ptr<StagingWriter> staging_;
   std::unique_ptr<aggregator::Client> aggregator_;
   std::uint64_t periods_ = 0;
+
+  // --- Steady-state scratch + id caches (no allocation once warm) ---------
+  Batch batchScratch_;
+  std::vector<aggregator::IdRecord> wireScratch_;
+  std::string nameScratch_;           ///< id -> text for string-taking sinks
+  std::vector<double> rowScratch_{0.0, 0.0};  ///< staging [time, value] row
+  names::Id sourceId_ = names::kInvalidId;
+  bool sourceCached_ = false;
+  std::int32_t sourceRank_ = 0;
+  std::map<int, LwpIds> lwpIds_;
+  std::map<std::size_t, HwtIds> hwtIds_;
+  std::map<std::pair<int, int>, names::Id> gpuIds_;
+  names::Id memAvailableId_ = names::kInvalidId;
+  names::Id memRssId_ = names::kInvalidId;
 };
 
 }  // namespace zerosum::exporter

@@ -42,14 +42,18 @@ void MetricStream::unsubscribe(int handle) {
 }
 
 void MetricStream::publish(const Batch& batch) {
-  std::vector<std::shared_ptr<Subscriber>> snapshot;
+  // The snapshot buffer is reused across publishes (thread-local: any
+  // thread may publish) so the steady state allocates nothing; copying
+  // shared_ptrs only bumps refcounts.
+  thread_local std::vector<std::shared_ptr<Subscriber>> snapshot;
+  snapshot.clear();
   {
     std::lock_guard<std::mutex> lock(mutex_);
     ++batches_;
     records_ += batch.size();
-    snapshot = subscribers_;
+    snapshot.assign(subscribers_.begin(), subscribers_.end());
   }
-  std::vector<int> failed;
+  std::vector<int> failed;  // stays unallocated until a subscriber throws
   for (const auto& subscriber : snapshot) {
     std::lock_guard<std::mutex> call(subscriber->callMutex);
     if (!subscriber->active) {

@@ -17,19 +17,42 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
+#include "common/interning.hpp"
+
 namespace zerosum::exporter {
 
-/// One metric observation.
+/// One metric observation.  The producer identity ("rank.0") and the
+/// hierarchical metric name ("lwp.51334.utime_delta", "hwt.1.idle_pct")
+/// are carried as interned ids (names::intern), so a Record is a flat
+/// 24-byte value and batches move through the publish path without
+/// allocating or copying strings; resolve text at the edges with
+/// sourceView()/nameView().
 struct Record {
   double timeSeconds = 0.0;
-  /// Producer identity ("rank.0", "node.frontier-sim").
-  std::string source;
-  /// Hierarchical metric name ("lwp.51334.utime_delta", "hwt.1.idle_pct").
-  std::string name;
+  names::Id source = names::kInvalidId;
+  names::Id name = names::kInvalidId;
   double value = 0.0;
+
+  Record() = default;
+  Record(double t, names::Id src, names::Id metric, double v)
+      : timeSeconds(t), source(src), name(metric), value(v) {}
+  /// Interning convenience for tests and cold paths.
+  Record(double t, std::string_view src, std::string_view metric, double v)
+      : timeSeconds(t),
+        source(names::intern(src)),
+        name(names::intern(metric)),
+        value(v) {}
+
+  [[nodiscard]] std::string_view sourceView() const {
+    return names::lookup(source);
+  }
+  [[nodiscard]] std::string_view nameView() const {
+    return names::lookup(name);
+  }
 };
 
 using Batch = std::vector<Record>;

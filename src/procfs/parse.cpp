@@ -1,5 +1,7 @@
 #include "procfs/parse.hpp"
 
+#include <bitset>
+
 #include "common/error.hpp"
 #include "common/strings.hpp"
 
@@ -7,38 +9,51 @@ namespace zerosum::procfs {
 
 namespace {
 
-std::uint64_t requireU64(std::string_view raw, const std::string& what) {
+std::uint64_t requireU64(std::string_view raw, const char* what) {
   const auto v = strings::toU64(raw);
   if (!v) {
-    throw ParseError(what + ": '" + std::string(raw) + "'");
+    throw ParseError(std::string(what) + ": '" + std::string(raw) + "'");
   }
   return *v;
 }
 
 /// "1234 kB" -> 1234.
-std::uint64_t parseKb(const std::string& value, const std::string& what) {
-  const auto parts = strings::splitWs(value);
-  if (parts.empty()) {
-    throw ParseError(what + ": empty value");
+std::uint64_t parseKb(std::string_view value, const char* what) {
+  strings::TokenCursor cur(value);
+  std::string_view first;
+  if (!cur.next(first)) {
+    throw ParseError(std::string(what) + ": empty value");
   }
-  return requireU64(parts[0], what);
+  return requireU64(first, what);
 }
 
 }  // namespace
 
-ProcStatus parseStatus(const std::string& text) {
-  ProcStatus out;
+void parseStatusInto(std::string_view text, ProcStatus& out) {
+  out.pid = 0;
+  out.tgid = 0;
+  out.name.clear();
+  out.state = '?';
+  out.cpusAllowed = CpuSet{};
+  out.vmRssKb = 0;
+  out.vmHwmKb = 0;
+  out.threads = 0;
+  out.voluntaryCtxSwitches = 0;
+  out.nonvoluntaryCtxSwitches = 0;
+
   bool sawList = false;
-  std::string hexMask;
-  for (const auto& line : strings::split(text, '\n')) {
+  std::string_view hexMask;
+  std::string_view rest = text;
+  std::string_view line;
+  while (strings::nextLine(rest, line)) {
     const auto colon = line.find(':');
-    if (colon == std::string::npos) {
+    if (colon == std::string_view::npos) {
       continue;
     }
-    const std::string key = strings::trim(line.substr(0, colon));
-    const std::string value = strings::trim(line.substr(colon + 1));
+    const std::string_view key = strings::trimView(line.substr(0, colon));
+    const std::string_view value = strings::trimView(line.substr(colon + 1));
     if (key == "Name") {
-      out.name = value;
+      out.name.assign(value);
     } else if (key == "State") {
       if (value.empty()) {
         throw ParseError("State: empty");
@@ -70,56 +85,91 @@ ProcStatus parseStatus(const std::string& text) {
   if (!sawList && !hexMask.empty()) {
     out.cpusAllowed = CpuSet::fromHexMask(hexMask);
   }
+}
+
+ProcStatus parseStatus(const std::string& text) {
+  ProcStatus out;
+  parseStatusInto(text, out);
   return out;
 }
 
-TaskStat parseTaskStat(const std::string& text) {
-  TaskStat out;
+void parseTaskStatInto(std::string_view text, TaskStat& out) {
   const auto open = text.find('(');
   const auto close = text.rfind(')');
-  if (open == std::string::npos || close == std::string::npos ||
+  if (open == std::string_view::npos || close == std::string_view::npos ||
       close < open) {
     throw ParseError("task stat: missing comm parentheses");
   }
   out.tid = static_cast<int>(
-      requireU64(strings::trim(text.substr(0, open)), "stat tid"));
-  out.comm = text.substr(open + 1, close - open - 1);
+      requireU64(strings::trimView(text.substr(0, open)), "stat tid"));
+  out.comm.assign(text.substr(open + 1, close - open - 1));
+  out.state = '?';
+  out.minorFaults = 0;
+  out.majorFaults = 0;
+  out.utimeJiffies = 0;
+  out.stimeJiffies = 0;
+  out.numThreads = 0;
+  out.processor = -1;
 
   // Fields after the comm, 1-indexed from field 3 ("state").
-  const auto rest = strings::splitWs(text.substr(close + 1));
   // state ppid pgrp session tty_nr tpgid flags minflt cminflt majflt
   //  (0)   (1)  (2)   (3)    (4)    (5)   (6)   (7)    (8)     (9)
   // cmajflt utime stime cutime cstime priority nice num_threads ...
   //  (10)    (11)  (12)   (13)   (14)    (15)  (16)    (17)
   // processor is stat field 39, i.e. rest index 36.
-  if (rest.size() < 18) {
-    throw ParseError("task stat: too few fields (" +
-                     std::to_string(rest.size()) + ")");
+  strings::TokenCursor cur(text.substr(close + 1));
+  std::string_view tok;
+  std::size_t idx = 0;
+  for (; cur.next(tok); ++idx) {
+    switch (idx) {
+      case 0:
+        out.state = tok[0];
+        break;
+      case 7:
+        out.minorFaults = requireU64(tok, "minflt");
+        break;
+      case 9:
+        out.majorFaults = requireU64(tok, "majflt");
+        break;
+      case 11:
+        out.utimeJiffies = requireU64(tok, "utime");
+        break;
+      case 12:
+        out.stimeJiffies = requireU64(tok, "stime");
+        break;
+      case 17:
+        out.numThreads = static_cast<long>(requireU64(tok, "num_threads"));
+        break;
+      case 36:
+        out.processor = static_cast<int>(requireU64(tok, "processor"));
+        break;
+      default:
+        break;
+    }
   }
-  if (rest[0].empty()) {
-    throw ParseError("task stat: empty state");
+  if (idx < 18) {
+    throw ParseError("task stat: too few fields (" + std::to_string(idx) +
+                     ")");
   }
-  out.state = rest[0][0];
-  out.minorFaults = requireU64(rest[7], "minflt");
-  out.majorFaults = requireU64(rest[9], "majflt");
-  out.utimeJiffies = requireU64(rest[11], "utime");
-  out.stimeJiffies = requireU64(rest[12], "stime");
-  out.numThreads = static_cast<long>(requireU64(rest[17], "num_threads"));
-  if (rest.size() > 36) {
-    out.processor = static_cast<int>(requireU64(rest[36], "processor"));
-  }
+}
+
+TaskStat parseTaskStat(const std::string& text) {
+  TaskStat out;
+  parseTaskStatInto(text, out);
   return out;
 }
 
-MemInfo parseMeminfo(const std::string& text) {
-  MemInfo out;
-  for (const auto& line : strings::split(text, '\n')) {
+void parseMeminfoInto(std::string_view text, MemInfo& out) {
+  out = MemInfo{};
+  std::string_view rest = text;
+  std::string_view line;
+  while (strings::nextLine(rest, line)) {
     const auto colon = line.find(':');
-    if (colon == std::string::npos) {
+    if (colon == std::string_view::npos) {
       continue;
     }
-    const std::string key = strings::trim(line.substr(0, colon));
-    const std::string value = strings::trim(line.substr(colon + 1));
+    const std::string_view key = strings::trimView(line.substr(0, colon));
+    const std::string_view value = strings::trimView(line.substr(colon + 1));
     if (key == "MemTotal") {
       out.totalKb = parseKb(value, "MemTotal");
     } else if (key == "MemFree") {
@@ -131,54 +181,88 @@ MemInfo parseMeminfo(const std::string& text) {
   if (out.totalKb == 0) {
     throw ParseError("meminfo: missing MemTotal");
   }
+}
+
+MemInfo parseMeminfo(const std::string& text) {
+  MemInfo out;
+  parseMeminfoInto(text, out);
   return out;
 }
 
-LoadAvg parseLoadavg(const std::string& text) {
-  const auto fields = strings::splitWs(text);
-  if (fields.size() < 4) {
-    throw ParseError("loadavg: too few fields in '" + text + "'");
+void parseLoadavgInto(std::string_view text, LoadAvg& out) {
+  out = LoadAvg{};
+  strings::TokenCursor cur(text);
+  std::string_view fields[4];
+  std::size_t n = 0;
+  std::string_view tok;
+  while (n < 4 && cur.next(tok)) {
+    fields[n++] = tok;
   }
-  LoadAvg out;
+  if (n < 4) {
+    throw ParseError("loadavg: too few fields in '" + std::string(text) +
+                     "'");
+  }
   const auto l1 = strings::toDouble(fields[0]);
   const auto l5 = strings::toDouble(fields[1]);
   const auto l15 = strings::toDouble(fields[2]);
   if (!l1 || !l5 || !l15) {
-    throw ParseError("loadavg: bad load value in '" + text + "'");
+    throw ParseError("loadavg: bad load value in '" + std::string(text) +
+                     "'");
   }
   out.load1 = *l1;
   out.load5 = *l5;
   out.load15 = *l15;
   const auto slash = fields[3].find('/');
-  if (slash == std::string::npos) {
-    throw ParseError("loadavg: bad task counts '" + fields[3] + "'");
+  if (slash == std::string_view::npos) {
+    throw ParseError("loadavg: bad task counts '" + std::string(fields[3]) +
+                     "'");
   }
-  const auto runnable =
-      strings::toU64(std::string_view(fields[3]).substr(0, slash));
-  const auto total =
-      strings::toU64(std::string_view(fields[3]).substr(slash + 1));
+  const auto runnable = strings::toU64(fields[3].substr(0, slash));
+  const auto total = strings::toU64(fields[3].substr(slash + 1));
   if (!runnable || !total) {
-    throw ParseError("loadavg: bad task counts '" + fields[3] + "'");
+    throw ParseError("loadavg: bad task counts '" + std::string(fields[3]) +
+                     "'");
   }
   out.runnable = static_cast<int>(*runnable);
   out.total = static_cast<int>(*total);
+}
+
+LoadAvg parseLoadavg(const std::string& text) {
+  LoadAvg out;
+  parseLoadavgInto(text, out);
   return out;
 }
 
-StatSnapshot parseStat(const std::string& text) {
-  StatSnapshot out;
+void parseStatInto(std::string_view text, StatSnapshot& out) {
+  out.aggregate = CpuTimes{};
   bool sawAggregate = false;
-  for (const auto& line : strings::split(text, '\n')) {
+  // Which CPU indexes this text mentions; entries of `out.perCpu` not
+  // seen are erased afterwards, so reuse matches a fresh parse while the
+  // steady state (an unchanged topology) touches no map nodes.
+  std::bitset<CpuSet::kMaxCpus> seen;
+  bool seenOverflow = false;
+  std::size_t seenCount = 0;
+
+  std::string_view rest = text;
+  std::string_view line;
+  while (strings::nextLine(rest, line)) {
     if (!strings::startsWith(line, "cpu")) {
       continue;
     }
-    const auto fields = strings::splitWs(line);
-    if (fields.size() < 5) {
-      throw ParseError("/proc/stat cpu line too short: '" + line + "'");
+    strings::TokenCursor cur(line);
+    std::string_view fields[9];
+    std::size_t n = 0;
+    std::string_view tok;
+    while (n < 9 && cur.next(tok)) {
+      fields[n++] = tok;
+    }
+    if (n < 5) {
+      throw ParseError("/proc/stat cpu line too short: '" +
+                       std::string(line) + "'");
     }
     CpuTimes t;
     auto field = [&](std::size_t i) -> std::uint64_t {
-      return i < fields.size() ? requireU64(fields[i], "cpu jiffies") : 0;
+      return i < n ? requireU64(fields[i], "cpu jiffies") : 0;
     };
     t.user = field(1);
     t.nice = field(2);
@@ -192,16 +276,38 @@ StatSnapshot parseStat(const std::string& text) {
       out.aggregate = t;
       sawAggregate = true;
     } else {
-      const auto idx = strings::toU64(std::string_view(fields[0]).substr(3));
+      const auto idx = strings::toU64(fields[0].substr(3));
       if (!idx) {
-        throw ParseError("bad cpu label '" + fields[0] + "'");
+        throw ParseError("bad cpu label '" + std::string(fields[0]) + "'");
       }
-      out.perCpu[static_cast<int>(*idx)] = t;
+      const auto cpu = static_cast<int>(*idx);
+      out.perCpu[cpu] = t;
+      ++seenCount;
+      if (*idx < seen.size()) {
+        seen.set(*idx);
+      } else {
+        seenOverflow = true;
+      }
     }
   }
-  if (!sawAggregate && out.perCpu.empty()) {
+  if (!sawAggregate && seenCount == 0) {
     throw ParseError("/proc/stat: no cpu lines");
   }
+  if (seenCount != out.perCpu.size() && !seenOverflow) {
+    for (auto it = out.perCpu.begin(); it != out.perCpu.end();) {
+      if (it->first < 0 ||
+          !seen.test(static_cast<std::size_t>(it->first))) {
+        it = out.perCpu.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+StatSnapshot parseStat(const std::string& text) {
+  StatSnapshot out;
+  parseStatInto(text, out);
   return out;
 }
 

@@ -37,6 +37,20 @@ class ProcFs {
   [[nodiscard]] virtual std::string readStat() const = 0;
   [[nodiscard]] virtual std::string readLoadavg() const = 0;
 
+  // Zero-allocation variants used by the sampling hot path: fill the
+  // caller's buffers, reusing their capacity.  The defaults delegate to
+  // the string-returning readers (correct for the simulator and fault
+  // decorators); RealProcFs overrides them with open-once/pread file
+  // handles so a steady-state sample performs no heap allocation.
+  virtual void readProcessStatusInto(int pid, std::string& buf) const;
+  virtual void readTaskStatInto(int pid, int tid, std::string& buf) const;
+  virtual void readTaskStatusInto(int pid, int tid, std::string& buf) const;
+  virtual void readMeminfoInto(std::string& buf) const;
+  virtual void readStatInto(std::string& buf) const;
+  virtual void readLoadavgInto(std::string& buf) const;
+  /// Clears and refills `out` with the sorted LWP ids of `pid`.
+  virtual void listTasksInto(int pid, std::vector<int>& out) const;
+
   // Typed conveniences (parse the raw bodies).
   [[nodiscard]] ProcStatus processStatus(int pid) const;
   [[nodiscard]] TaskStat taskStat(int pid, int tid) const;

@@ -1,9 +1,14 @@
+#include <dirent.h>
+#include <fcntl.h>
 #include <unistd.h>
-#include <algorithm>
 
-#include <filesystem>
-#include <fstream>
-#include <sstream>
+#include <algorithm>
+#include <cerrno>
+#include <charconv>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <mutex>
 
 #include "common/error.hpp"
 #include "common/strings.hpp"
@@ -29,11 +34,46 @@ StatSnapshot ProcFs::stat() const { return parseStat(readStat()); }
 
 LoadAvg ProcFs::loadAvg() const { return parseLoadavg(readLoadavg()); }
 
+// Default zero-alloc shims: providers without a faster path (the
+// simulator, the fault decorator) pay one string move per read, which
+// keeps them correct without touching their code.
+void ProcFs::readProcessStatusInto(int pid, std::string& buf) const {
+  buf = readProcessStatus(pid);
+}
+void ProcFs::readTaskStatInto(int pid, int tid, std::string& buf) const {
+  buf = readTaskStat(pid, tid);
+}
+void ProcFs::readTaskStatusInto(int pid, int tid, std::string& buf) const {
+  buf = readTaskStatus(pid, tid);
+}
+void ProcFs::readMeminfoInto(std::string& buf) const { buf = readMeminfo(); }
+void ProcFs::readStatInto(std::string& buf) const { buf = readStat(); }
+void ProcFs::readLoadavgInto(std::string& buf) const { buf = readLoadavg(); }
+void ProcFs::listTasksInto(int pid, std::vector<int>& out) const {
+  out = listTasks(pid);
+}
+
 namespace {
 
+/// Live-kernel provider.  Hot-path reads go through a cache of
+/// open-once file descriptors (pread at offset 0 re-reads a /proc file
+/// without a fresh open), and the task-directory scan reuses one DIR
+/// stream per pid via rewinddir().  All cached state is guarded by one
+/// mutex — in practice only the monitor thread touches it, so the lock
+/// is uncontended; it exists so incidental concurrent reads (tests,
+/// reports racing a live monitor) stay safe.
 class RealProcFs final : public ProcFs {
  public:
   explicit RealProcFs(std::string procRoot) : root_(std::move(procRoot)) {}
+
+  ~RealProcFs() override {
+    for (auto& [key, fd] : fds_) {
+      ::close(fd);
+    }
+    for (auto& [pid, dir] : taskDirs_) {
+      ::closedir(dir);
+    }
+  }
 
   [[nodiscard]] int selfPid() const override {
     return static_cast<int>(::getpid());
@@ -44,72 +84,221 @@ class RealProcFs final : public ProcFs {
   }
 
   [[nodiscard]] std::vector<int> listTasks(int pid) const override {
-    namespace fs = std::filesystem;
     std::vector<int> out;
-    const fs::path dir = fs::path(root_) / std::to_string(pid) / "task";
-    std::error_code ec;
-    fs::directory_iterator it(dir, ec);
-    if (ec) {
-      throw NotFoundError(dir.string() + " (" + ec.message() + ")");
-    }
-    // Iterate manually: a tid directory vanishing mid-listing (thread
-    // exit race) must not discard the tasks already collected.  Only a
-    // missing process directory is fatal.
-    for (const fs::directory_iterator end; it != end; it.increment(ec)) {
-      if (ec) {
-        break;
-      }
-      const auto tid = strings::toU64(it->path().filename().string());
-      if (tid) {
-        out.push_back(static_cast<int>(*tid));
-      }
-    }
-    std::error_code existsEc;
-    if (ec && !fs::exists(dir, existsEc)) {
-      throw NotFoundError(dir.string() + " (" + ec.message() + ")");
-    }
-    std::sort(out.begin(), out.end());
+    listTasksInto(pid, out);
     return out;
   }
 
+  void listTasksInto(int pid, std::vector<int>& out) const override {
+    out.clear();
+    std::lock_guard<std::mutex> lock(mutex_);
+    DIR* dir = taskDir(pid);
+    ::rewinddir(dir);
+    // readdir() into the reused DIR buffer: a tid vanishing mid-listing
+    // (thread exit race) must not discard the tasks already collected.
+    errno = 0;
+    while (const dirent* entry = ::readdir(dir)) {
+      int tid = 0;
+      const char* name = entry->d_name;
+      const char* end = name + std::strlen(name);
+      const auto [ptr, ec] = std::from_chars(name, end, tid);
+      if (ec == std::errc{} && ptr == end) {
+        out.push_back(tid);
+      }
+      errno = 0;
+    }
+    std::sort(out.begin(), out.end());
+  }
+
   [[nodiscard]] std::string readProcessStatus(int pid) const override {
-    return readFile(root_ + "/" + std::to_string(pid) + "/status");
+    std::string buf;
+    readProcessStatusInto(pid, buf);
+    return buf;
   }
 
   [[nodiscard]] std::string readTaskStat(int pid, int tid) const override {
-    return readFile(root_ + "/" + std::to_string(pid) + "/task/" +
-                    std::to_string(tid) + "/stat");
+    std::string buf;
+    readTaskStatInto(pid, tid, buf);
+    return buf;
   }
 
   [[nodiscard]] std::string readTaskStatus(int pid, int tid) const override {
-    return readFile(root_ + "/" + std::to_string(pid) + "/task/" +
-                    std::to_string(tid) + "/status");
+    std::string buf;
+    readTaskStatusInto(pid, tid, buf);
+    return buf;
   }
 
   [[nodiscard]] std::string readMeminfo() const override {
-    return readFile(root_ + "/meminfo");
+    std::string buf;
+    readMeminfoInto(buf);
+    return buf;
   }
 
   [[nodiscard]] std::string readStat() const override {
-    return readFile(root_ + "/stat");
+    std::string buf;
+    readStatInto(buf);
+    return buf;
   }
 
   [[nodiscard]] std::string readLoadavg() const override {
-    return readFile(root_ + "/loadavg");
+    std::string buf;
+    readLoadavgInto(buf);
+    return buf;
+  }
+
+  void readProcessStatusInto(int pid, std::string& buf) const override {
+    readCached({kProcessStatus, pid, 0}, buf);
+  }
+  void readTaskStatInto(int pid, int tid, std::string& buf) const override {
+    readCached({kTaskStat, pid, tid}, buf);
+  }
+  void readTaskStatusInto(int pid, int tid, std::string& buf) const override {
+    readCached({kTaskStatus, pid, tid}, buf);
+  }
+  void readMeminfoInto(std::string& buf) const override {
+    readCached({kMeminfo, 0, 0}, buf);
+  }
+  void readStatInto(std::string& buf) const override {
+    readCached({kStat, 0, 0}, buf);
+  }
+  void readLoadavgInto(std::string& buf) const override {
+    readCached({kLoadavg, 0, 0}, buf);
   }
 
  private:
-  static std::string readFile(const std::string& path) {
-    std::ifstream in(path);
-    if (!in) {
+  enum FileKind : int {
+    kProcessStatus,
+    kTaskStat,
+    kTaskStatus,
+    kMeminfo,
+    kStat,
+    kLoadavg,
+  };
+
+  /// (kind, pid, tid) — an ordered map keeps hot-path lookups
+  /// allocation- and hash-free.
+  using FileKey = std::tuple<int, int, int>;
+
+  /// More cached descriptors than this and the task-file entries are
+  /// dropped wholesale (a run that churns through many short-lived
+  /// threads must not grow the cache without bound; live files reopen
+  /// on the next period).
+  static constexpr std::size_t kMaxCachedFds = 4096;
+
+  [[nodiscard]] std::string pathOf(const FileKey& key) const {
+    const auto [kind, pid, tid] = key;
+    switch (kind) {
+      case kProcessStatus:
+        return root_ + "/" + std::to_string(pid) + "/status";
+      case kTaskStat:
+        return root_ + "/" + std::to_string(pid) + "/task/" +
+               std::to_string(tid) + "/stat";
+      case kTaskStatus:
+        return root_ + "/" + std::to_string(pid) + "/task/" +
+               std::to_string(tid) + "/status";
+      case kMeminfo:
+        return root_ + "/meminfo";
+      case kStat:
+        return root_ + "/stat";
+      default:
+        return root_ + "/loadavg";
+    }
+  }
+
+  /// Opens (or reuses) the descriptor for `key` and reads the whole file
+  /// into `buf` via pread.  On any read failure the descriptor is
+  /// evicted — a dead thread's recycled fd must not serve stale bytes —
+  /// and the read is retried once on a fresh open before reporting
+  /// NotFoundError.
+  void readCached(const FileKey& key, std::string& buf) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = fds_.find(key);
+    if (it == fds_.end()) {
+      const int fd = openFile(key);
+      it = fds_.emplace(key, fd).first;
+    }
+    if (!readWhole(it->second, buf)) {
+      ::close(it->second);
+      fds_.erase(it);
+      const int fd = openFile(key);  // throws NotFoundError when gone
+      it = fds_.emplace(key, fd).first;
+      if (!readWhole(it->second, buf)) {
+        ::close(it->second);
+        fds_.erase(it);
+        throw NotFoundError(pathOf(key));
+      }
+    }
+  }
+
+  [[nodiscard]] int openFile(const FileKey& key) const {
+    if (fds_.size() >= kMaxCachedFds) {
+      evictTaskFds();
+    }
+    const std::string path = pathOf(key);
+    const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) {
       throw NotFoundError(path);
     }
-    std::ostringstream body;
-    body << in.rdbuf();
-    return body.str();
+    return fd;
+  }
+
+  /// pread-from-zero whole-file read into the reused buffer.  Returns
+  /// false on a read error (vanished task, stale descriptor).
+  [[nodiscard]] bool readWhole(int fd, std::string& buf) const {
+    if (buf.capacity() < 4096) {
+      buf.reserve(4096);
+    }
+    buf.resize(buf.capacity());
+    std::size_t off = 0;
+    while (true) {
+      if (buf.size() - off < 1024) {
+        buf.resize(buf.size() * 2);
+      }
+      const ssize_t n = ::pread(fd, buf.data() + off, buf.size() - off,
+                                static_cast<off_t>(off));
+      if (n < 0) {
+        if (errno == EINTR) {
+          continue;
+        }
+        return false;
+      }
+      if (n == 0) {
+        break;
+      }
+      off += static_cast<std::size_t>(n);
+    }
+    buf.resize(off);
+    return true;
+  }
+
+  void evictTaskFds() const {
+    for (auto it = fds_.begin(); it != fds_.end();) {
+      const auto kind = std::get<0>(it->first);
+      if (kind == kTaskStat || kind == kTaskStatus) {
+        ::close(it->second);
+        it = fds_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  [[nodiscard]] DIR* taskDir(int pid) const {
+    if (const auto it = taskDirs_.find(pid); it != taskDirs_.end()) {
+      return it->second;
+    }
+    const std::string path = root_ + "/" + std::to_string(pid) + "/task";
+    DIR* dir = ::opendir(path.c_str());
+    if (dir == nullptr) {
+      throw NotFoundError(path + " (" + std::strerror(errno) + ")");
+    }
+    return taskDirs_.emplace(pid, dir).first->second;
   }
 
   std::string root_;
+  mutable std::mutex mutex_;
+  mutable std::map<FileKey, int> fds_;
+  mutable std::map<int, DIR*> taskDirs_;
 };
 
 }  // namespace

@@ -201,13 +201,21 @@ void Engine::openWal() {
 
 void Engine::mergeSamples(const std::string& job, std::int32_t rank,
                           const std::vector<Sample>& samples) {
+  const names::Id jobId = names::intern(job);
   for (const Sample& sample : samples) {
     if (!std::isfinite(sample.timeSeconds) || !std::isfinite(sample.value) ||
         sample.timeSeconds < 0.0) {
       continue;  // RollupStore::ingest parity: ignore hostile input
     }
-    SeriesKey key{job, rank, sample.metric};
-    SeriesWindows& windows = hot_[key];
+    // The id-keyed cache resolves straight to the hot series node; the
+    // string-keyed hot_ map is only touched the first time a series is
+    // seen (and again after compaction clears it).
+    SeriesWindows*& cached =
+        hotCache_[{jobId, rank, names::intern(sample.metric)}];
+    if (cached == nullptr) {
+      cached = &hot_[SeriesKey{job, rank, sample.metric}];
+    }
+    SeriesWindows& windows = *cached;
     const auto fineIndex = static_cast<std::int64_t>(
         std::floor(sample.timeSeconds / options_.fineWindowSeconds));
     windows.fine[fineIndex].merge(sample.value);
@@ -228,11 +236,7 @@ void Engine::append(const std::string& job, std::int32_t rank,
   if (samples.empty()) {
     return;
   }
-  WalBatch batch;
-  batch.job = job;
-  batch.rank = rank;
-  batch.samples = samples;
-  wal_->append(batch);  // durable first ...
+  wal_->append(job, rank, samples);  // durable first ...
   mergeSamples(job, rank, samples);  // ... then visible
   ++counters_.batchesAppended;
 }
@@ -281,6 +285,7 @@ void Engine::compact() {
   activeWalSeq_ = covered + 1;
   openWal();
   hot_.clear();
+  hotCache_.clear();  // cached pointers died with hot_
   enforceRetention();
   persistRegistry();
 }

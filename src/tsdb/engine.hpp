@@ -30,9 +30,11 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "aggregator/store.hpp"
+#include "common/interning.hpp"
 #include "tsdb/segment.hpp"
 #include "tsdb/wal.hpp"
 
@@ -167,6 +169,13 @@ class Engine {
 
   std::vector<LiveSegment> segments_;   ///< seq ascending
   std::map<SeriesKey, SeriesWindows> hot_;
+  /// (job id, rank, metric id) -> hot series node.  Avoids building a
+  /// SeriesKey (two string copies) and walking hot_ with string
+  /// compares for every sample; map nodes are stable, so the pointers
+  /// stay valid until compact()/seal() clears hot_ — which clears this
+  /// cache with it.
+  std::map<std::tuple<names::Id, std::int32_t, names::Id>, SeriesWindows*>
+      hotCache_;
   std::map<std::pair<std::string, std::int32_t>, SourceRecord> sources_;
   std::unique_ptr<WalWriter> wal_;
   std::uint64_t activeWalSeq_ = 1;

@@ -21,13 +21,6 @@ constexpr std::uint8_t kWalVersion = 1;
 /// into a gigabyte allocation during recovery).
 constexpr std::uint32_t kMaxWalRecordBytes = 16U << 20;
 
-void putU32(std::string& out, std::uint32_t v) {
-  for (int i = 0; i < 4; ++i) {
-    out.push_back(static_cast<char>((v >> (8U * static_cast<unsigned>(i))) &
-                                    0xFFU));
-  }
-}
-
 std::uint32_t getU32(const char* data) {
   std::uint32_t v = 0;
   for (int i = 0; i < 4; ++i) {
@@ -103,17 +96,23 @@ const char* fsyncPolicyName(FsyncPolicy policy) {
   return "?";
 }
 
-std::string encodeWalPayload(const WalBatch& batch) {
-  std::string out;
+void encodeWalPayloadInto(std::string& out, const std::string& job,
+                          std::int32_t rank,
+                          const std::vector<Sample>& samples) {
   out.push_back(static_cast<char>(kWalVersion));
-  putStr(out, batch.job);
-  putVarint(out, zigzag(batch.rank));
-  putVarint(out, batch.samples.size());
-  for (const Sample& sample : batch.samples) {
+  putStr(out, job);
+  putVarint(out, zigzag(rank));
+  putVarint(out, samples.size());
+  for (const Sample& sample : samples) {
     putF64(out, sample.timeSeconds);
     putStr(out, sample.metric);
     putF64(out, sample.value);
   }
+}
+
+std::string encodeWalPayload(const WalBatch& batch) {
+  std::string out;
+  encodeWalPayloadInto(out, batch.job, batch.rank, batch.samples);
   return out;
 }
 
@@ -174,19 +173,32 @@ WalWriter::~WalWriter() {
 }
 
 void WalWriter::append(const WalBatch& batch) {
+  append(batch.job, batch.rank, batch.samples);
+}
+
+void WalWriter::append(const std::string& job, std::int32_t rank,
+                       const std::vector<Sample>& samples) {
   if (fd_ < 0) {
     throw StateError("wal: append after close");
   }
-  const std::string payload = encodeWalPayload(batch);
-  if (payload.size() > kMaxWalRecordBytes) {
+  // Encode the payload directly after an 8-byte header placeholder in
+  // the reused frame buffer, then patch length + CRC in place — one
+  // buffer, no per-append allocation once the capacity is warm.
+  std::string& frame = frameScratch_;
+  frame.clear();
+  frame.append(8, '\0');
+  encodeWalPayloadInto(frame, job, rank, samples);
+  const std::size_t payloadSize = frame.size() - 8;
+  if (payloadSize > kMaxWalRecordBytes) {
     throw StateError("wal: record exceeds " +
                      std::to_string(kMaxWalRecordBytes) + " bytes");
   }
-  std::string frame;
-  frame.reserve(payload.size() + 8);
-  putU32(frame, static_cast<std::uint32_t>(payload.size()));
-  putU32(frame, crc32(payload));
-  frame.append(payload);
+  const auto len = static_cast<std::uint32_t>(payloadSize);
+  const std::uint32_t crc = crc32(frame.data() + 8, payloadSize);
+  for (unsigned i = 0; i < 4; ++i) {
+    frame[i] = static_cast<char>((len >> (8U * i)) & 0xFFU);
+    frame[4 + i] = static_cast<char>((crc >> (8U * i)) & 0xFFU);
+  }
   // One write() per record: O_APPEND makes the frame land contiguously,
   // and an interrupted process tears at most this one record's tail.
   std::size_t written = 0;

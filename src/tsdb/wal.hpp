@@ -58,6 +58,12 @@ struct WalBatch {
 /// Serializes / parses one record payload (exposed for tests; the
 /// framing and CRC live in the writer/reader).
 std::string encodeWalPayload(const WalBatch& batch);
+/// Same encoding without requiring a WalBatch: appends to `out` so a
+/// caller-owned buffer's capacity (and any prefix already written) is
+/// preserved.
+void encodeWalPayloadInto(std::string& out, const std::string& job,
+                          std::int32_t rank,
+                          const std::vector<Sample>& samples);
 WalBatch decodeWalPayload(const std::string& payload);
 
 /// Append side.  Not thread-safe: the engine is a single writer.
@@ -75,6 +81,11 @@ class WalWriter {
   /// Appends one record (write() of the full frame, then the policy's
   /// sync).  Throws StateError on I/O failure.
   void append(const WalBatch& batch);
+  /// Same record layout without assembling a WalBatch — the engine's
+  /// hot path appends straight from the daemon's sample vector, and the
+  /// frame buffer is reused across appends.
+  void append(const std::string& job, std::int32_t rank,
+              const std::vector<Sample>& samples);
 
   /// Forces fdatasync (regardless of policy, except that an already
   /// clean log is a no-op).
@@ -96,6 +107,7 @@ class WalWriter {
   std::uint64_t sizeBytes_ = 0;
   std::uint64_t dirtyBytes_ = 0;  ///< written since the last sync
   std::uint64_t appended_ = 0;
+  std::string frameScratch_;  ///< reused frame buffer (header + payload)
 };
 
 /// Result of scanning one WAL file.

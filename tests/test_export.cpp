@@ -24,12 +24,7 @@ namespace zerosum::exporter {
 namespace {
 
 Record makeRecord(const std::string& name, double value, double t = 1.0) {
-  Record r;
-  r.timeSeconds = t;
-  r.source = "rank.0";
-  r.name = name;
-  r.value = value;
-  return r;
+  return Record{t, "rank.0", name, value};
 }
 
 TEST(MetricStream, DeliversToAllSubscribers) {
@@ -367,10 +362,10 @@ TEST_F(PublisherTest, PublishesPerPeriodBatches) {
   bool sawHwt = false;
   bool sawMem = false;
   for (const auto& record : received[0]) {
-    EXPECT_EQ(record.source, "rank.0");
-    sawLwp = sawLwp || record.name.rfind("lwp.", 0) == 0;
-    sawHwt = sawHwt || record.name.rfind("hwt.", 0) == 0;
-    sawMem = sawMem || record.name.rfind("mem.", 0) == 0;
+    EXPECT_EQ(record.sourceView(), "rank.0");
+    sawLwp = sawLwp || record.nameView().rfind("lwp.", 0) == 0;
+    sawHwt = sawHwt || record.nameView().rfind("hwt.", 0) == 0;
+    sawMem = sawMem || record.nameView().rfind("mem.", 0) == 0;
   }
   EXPECT_TRUE(sawLwp);
   EXPECT_TRUE(sawHwt);
@@ -391,7 +386,8 @@ TEST_F(PublisherTest, OptionsFilterCategories) {
       });
   runPeriods(1);
   for (const auto& record : last) {
-    EXPECT_TRUE(record.name.rfind("hwt.", 0) == 0) << record.name;
+    EXPECT_TRUE(record.nameView().rfind("hwt.", 0) == 0)
+        << record.nameView();
   }
 }
 

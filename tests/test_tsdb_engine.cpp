@@ -531,7 +531,8 @@ struct Reference {
     }
     const auto index =
         static_cast<std::int64_t>(std::floor(r.timeSeconds / 1.0));
-    fine[SeriesKey{job, rank, r.name}][index].merge(r.value);
+    fine[SeriesKey{job, rank, std::string(r.nameView())}][index].merge(
+        r.value);
   }
 };
 
