@@ -1,0 +1,199 @@
+// Sustained-overload behavior of the aggregation pipeline: 4 adaptive
+// clients push far more records per period than a budget-capped daemon
+// can admit, and the pipeline must degrade instead of drop.
+//
+// The gated invariants (scripts/bench_gate.py):
+//   * records_dropped == 0  — the ladder coarsens before it sheds; with
+//     a sane queue bound, sustained overload never discards a record.
+//   * acked_loss == 0       — no client ever counts a record as acked
+//     that the daemon did not ingest (acks mean "durable", always).
+//   * coarsened_nonzero     — the overload genuinely engaged the
+//     degradation ladder; if this goes false the bench measured an
+//     idle pipeline and the other invariants are vacuous.
+// plus ingest_records_per_second as a catastrophic-only throughput
+// ratio, and coarsening_ratio reported for trend tracking.
+//
+// Emits BENCH_overload.json (json::Writer); --out <path> overrides.
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "aggregator/client.hpp"
+#include "aggregator/daemon.hpp"
+#include "aggregator/transport.hpp"
+#include "aggregator/wire.hpp"
+#include "common/interning.hpp"
+#include "common/json.hpp"
+
+using namespace zerosum;
+using namespace zerosum::aggregator;
+
+namespace {
+
+constexpr int kClients = 4;
+constexpr int kPeriods = 300;
+constexpr int kMetrics = 64;         // distinct series per client
+constexpr int kSamplesPerMetric = 8; // 512 records per client per period
+
+double secondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string jsonPath = "BENCH_overload.json";
+  for (int i = 1; i < argc - 1; ++i) {
+    if (std::string(argv[i]) == "--out") {
+      jsonPath = argv[i + 1];
+    }
+  }
+
+  std::cout << "=== aggregation pipeline under sustained overload ===\n\n";
+
+  auto hub = std::make_shared<PipeHub>();
+  DaemonOptions daemonOptions;
+  // The overload: the daemon admits at most 2 batches per poll while
+  // the 4 clients flush at least 4, so the admission queue climbs until
+  // pressure pushes the clients down the ladder.
+  daemonOptions.maxBatchesPerPoll = 2;
+  daemonOptions.maxPendingBatches = 64;
+  Aggregator daemon(hub->makeServer(), {}, daemonOptions);
+
+  std::vector<std::unique_ptr<Client>> clients;
+  for (int c = 0; c < kClients; ++c) {
+    Hello hello;
+    hello.job = "overload";
+    hello.rank = c;
+    hello.worldSize = kClients;
+    hello.hostname = "node0000";
+    hello.pid = 1000 + c;
+    ClientOptions options;
+    options.batchRecords = 256;  // every period's 512 records flush eagerly
+    clients.push_back(std::make_unique<Client>(hub->makeClientTransport(),
+                                               hello, options));
+  }
+
+  std::vector<IdRecord> batch;
+  batch.reserve(kMetrics * kSamplesPerMetric);
+  std::vector<names::Id> ids;
+  for (int m = 0; m < kMetrics; ++m) {
+    ids.push_back(names::intern("overload.metric." + std::to_string(m)));
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  double t = 1.0;
+  for (int period = 0; period < kPeriods; ++period, t += 1.0) {
+    for (int c = 0; c < kClients; ++c) {
+      batch.clear();
+      for (int m = 0; m < kMetrics; ++m) {
+        for (int s = 0; s < kSamplesPerMetric; ++s) {
+          batch.push_back({t, ids[static_cast<std::size_t>(m)],
+                           static_cast<double>(period % 100 + s)});
+        }
+      }
+      clients[static_cast<std::size_t>(c)]->enqueueIds(batch, t);
+    }
+    daemon.poll(t);
+  }
+  // Orderly shutdown: the daemon drains its backlog, then the clients
+  // pump until their queues and coarse windows are flushed and the
+  // final acks have come back.
+  daemon.drainBacklog(t);
+  for (int i = 0; i < 16; ++i, t += 1.0) {
+    for (auto& client : clients) {
+      client->pump(t);
+    }
+    daemon.poll(t);
+    daemon.drainBacklog(t);
+  }
+  const double elapsed = secondsSince(start);
+
+  std::uint64_t enqueued = 0;
+  std::uint64_t sent = 0;
+  std::uint64_t coarsened = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t acked = 0;
+  std::uint64_t transitions = 0;
+  for (const auto& client : clients) {
+    const ClientCounters& c = client->counters();
+    enqueued += c.recordsEnqueued;  // counts every offered record,
+                                    // including ones then coarsened
+    sent += c.recordsSent;
+    coarsened += c.recordsCoarsened;
+    dropped += c.recordsDropped;
+    acked += c.recordsAcked;
+    transitions += c.degradeTransitions;
+  }
+  const DaemonCounters& d = daemon.counters();
+  const std::uint64_t ingested = d.recordsIngested;
+  const std::uint64_t ackedLoss = acked > ingested ? acked - ingested : 0;
+  const double ingestRate =
+      elapsed > 0.0 ? static_cast<double>(ingested) / elapsed : 0.0;
+  const double coarseningRatio =
+      enqueued > 0
+          ? static_cast<double>(coarsened) / static_cast<double>(enqueued)
+          : 0.0;
+
+  std::cout << "  offered:   " << enqueued << " records over " << kPeriods
+            << " periods from " << kClients << " clients\n"
+            << "  ingested:  " << ingested << " records ("
+            << static_cast<std::uint64_t>(ingestRate) << " records/s wall)\n"
+            << "  coarsened: " << coarsened << " (ratio " << coarseningRatio
+            << ", " << transitions << " ladder transitions)\n"
+            << "  dropped:   " << dropped << "\n"
+            << "  acked:     " << acked << " (acked_loss " << ackedLoss
+            << ")\n"
+            << "  deferred:  " << d.batchesDeferred << " batch-polls, "
+            << d.admissionBackstops << " backstops\n";
+
+  bool ok = true;
+  if (dropped != 0) {
+    std::cerr << "ERROR: sustained overload dropped " << dropped
+              << " record(s); the ladder must coarsen, not shed\n";
+    ok = false;
+  }
+  if (ackedLoss != 0) {
+    std::cerr << "ERROR: clients counted " << ackedLoss
+              << " record(s) as acked that the daemon never ingested\n";
+    ok = false;
+  }
+  if (coarsened == 0) {
+    std::cerr << "ERROR: the overload never engaged the ladder; "
+              << "the invariants above are vacuous\n";
+    ok = false;
+  }
+
+  std::ofstream jsonOut(jsonPath);
+  if (jsonOut) {
+    json::Writer w(jsonOut);
+    w.beginObject();
+    w.field("benchmark", "overload");
+    w.field("clients", static_cast<std::uint64_t>(kClients));
+    w.field("periods", static_cast<std::uint64_t>(kPeriods));
+    w.field("records_enqueued", enqueued);
+    w.field("records_ingested", ingested);
+    w.field("records_coarsened", coarsened);
+    w.field("records_dropped", dropped);
+    w.field("records_acked", acked);
+    w.field("acked_loss", ackedLoss);
+    w.field("coarsened_nonzero", coarsened > 0);
+    w.field("degrade_transitions", transitions);
+    w.field("batches_deferred", d.batchesDeferred);
+    w.field("ingest_records_per_second", ingestRate);
+    w.field("coarsening_ratio", coarseningRatio);
+    w.endObject();
+    jsonOut << '\n';
+    std::cout << "\nwrote " << jsonPath << '\n';
+  } else {
+    std::cerr << "could not write " << jsonPath << '\n';
+    return 1;
+  }
+  return ok ? 0 : 1;
+}

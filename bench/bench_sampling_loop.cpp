@@ -175,6 +175,9 @@ int main(int argc, char** argv) {
     // warmup iterations.
     options.batchRecords = 1U << 20;
     options.maxQueueRecords = 1000;
+    // Measure the plain bounded-queue path; a pinned-full queue would
+    // otherwise escalate the degradation ladder mid-measure.
+    options.adaptive = false;
     aggregator::Client client(hub->makeClientTransport(), hello, options);
     std::vector<aggregator::IdRecord> batch;
     for (int i = 0; i < 50; ++i) {

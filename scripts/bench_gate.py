@@ -137,6 +137,27 @@ def checks_aggregator(base, fresh):
     return out
 
 
+def checks_overload(base, fresh):
+    return [
+        # Degrade, never drop: sustained overload must coarsen records
+        # (ladder engaged) while shedding none, and a client must never
+        # count a record as acked that the daemon did not ingest.
+        Check("overload.records_dropped", INVARIANT,
+              get(base, "records_dropped") if base else None,
+              get(fresh, "records_dropped"), expect=0),
+        Check("overload.acked_loss", INVARIANT,
+              get(base, "acked_loss") if base else None,
+              get(fresh, "acked_loss"), expect=0),
+        Check("overload.coarsened_nonzero", INVARIANT,
+              get(base, "coarsened_nonzero") if base else None,
+              get(fresh, "coarsened_nonzero"), expect=True),
+        Check("overload.ingest_records_per_second", RATIO,
+              get(base, "ingest_records_per_second") if base else None,
+              get(fresh, "ingest_records_per_second"),
+              higher_is_better=True),
+    ]
+
+
 def checks_tsdb(base, fresh):
     return [
         Check("tsdb.csv_fraction", BOUNDED,
@@ -156,6 +177,7 @@ GATED = {
     "BENCH_sampling.json": checks_sampling,
     "BENCH_overhead.json": checks_overhead,
     "BENCH_aggregator.json": checks_aggregator,
+    "BENCH_overload.json": checks_overload,
     "BENCH_tsdb.json": checks_tsdb,
 }
 

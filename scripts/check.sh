@@ -29,7 +29,7 @@ if [[ "$SANITIZE" == 1 ]]; then
   # (Run the binaries directly: ctest registers individual gtest case
   # names, so filtering by executable name matches nothing.)
   for t in test_procfs test_fault_injection test_core test_export \
-           test_aggregator test_tsdb; do
+           test_aggregator test_tsdb test_chaos; do
     ./build-asan/tests/"$t"
   done
 fi
@@ -43,6 +43,9 @@ echo "=== sampling hot-path benchmark (zero-alloc contract) ==="
 
 echo "=== aggregator ingest benchmark ==="
 ./build/bench/bench_aggregator_ingest --out "$BENCH_OUT/BENCH_aggregator.json"
+
+echo "=== overload degradation benchmark (degrade, never drop) ==="
+./build/bench/bench_overload --out "$BENCH_OUT/BENCH_overload.json"
 
 echo "=== tsdb codec benchmark ==="
 ./build/bench/bench_tsdb_codec --out "$BENCH_OUT/BENCH_tsdb.json"

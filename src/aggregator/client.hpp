@@ -8,19 +8,36 @@
 //     failed send marks the connection dead, keeps the batch queued for
 //     the next connection (the queue bound still caps memory — overflow
 //     drops oldest), and schedules a reconnect with exponential backoff
-//     so an absent daemon costs one cheap failed connect() every backoff
-//     interval, not one per period.  A daemon restart therefore loses no
-//     records the client still holds.
+//     (jittered, so thousands of ranks don't stampede a restarted
+//     daemon in lockstep) — an absent daemon costs one cheap failed
+//     connect() every backoff interval, not one per period.  A daemon
+//     restart therefore loses no records the client still holds.
+//
+// Overload is handled by a degradation ladder, not by dropping (the
+// ROADMAP's "degrades to coarser resolution instead of dropping"):
+//
+//   kFull      every record queued at full resolution.
+//   kCoarse    records fold into per-metric min/avg/max rollups over a
+//              coarsening window (RollupStore math); each window emits
+//              three records per metric instead of hundreds.
+//   kEssential bulk records are shed (counted as drops — the ladder is
+//              exhausted); health updates and heartbeats still flow.
+//
+// The ladder escalates on local queue occupancy and on the daemon's
+// acked PressureLevel (wire v2 kBatchAck), and climbs back down after a
+// run of calm pumps.  See DESIGN.md §9 for the exact transition rules.
 //
 // The client is not a thread: the owner (SessionPublisher) calls
 // enqueue()+pump() per sampling period on whatever thread publishes.
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "aggregator/store.hpp"
 #include "aggregator/transport.hpp"
 #include "aggregator/wire.hpp"
 
@@ -36,15 +53,62 @@ struct ClientOptions {
   /// First reconnect delay; doubles per failure up to the cap.
   double reconnectBackoffSeconds = 1.0;
   double reconnectBackoffCapSeconds = 30.0;
+  /// Each reconnect delay is multiplied by a factor drawn uniformly from
+  /// [1 - f, 1 + f] (the unjittered schedule still drives the doubling).
+  /// 0 disables jitter (exact schedules for tests).
+  double reconnectJitterFraction = 0.1;
+  /// Seed for the jitter PRNG; 0 derives one from the client identity so
+  /// every rank jitters differently by default.
+  std::uint64_t jitterSeed = 0;
+
+  /// Master switch for the degradation ladder (escalation, coarsening,
+  /// ack processing).  Off, the client behaves as the plain bounded
+  /// queue — the zero-allocation benchmarks measure that path.
+  bool adaptive = true;
+  /// Escalate one ladder level when queue occupancy reaches this.
+  double escalateOccupancy = 0.8;
+  /// A pump is "calm" when occupancy is below this and acked pressure
+  /// is ok.
+  double clearOccupancy = 0.5;
+  /// De-escalate one level after this many consecutive calm pumps.
+  int deescalateAfterPumps = 5;
+  /// Width of the client-side pre-aggregation window at kCoarse.
+  double coarsenWindowSeconds = 5.0;
+  /// An acked pressure level older than this no longer pins the ladder
+  /// (a daemon that died overloaded must not freeze its clients coarse).
+  double pressureStaleSeconds = 10.0;
+  /// Send a liveness heartbeat when connected and nothing else went out
+  /// for this long.  0 disables (the default: callers that want
+  /// heartbeats — the cluster sim, live wiring — opt in).
+  double heartbeatSeconds = 0.0;
+  /// Bound on the unacked-batch bookkeeping.
+  std::size_t maxInflightAcks = 256;
 };
+
+/// Degradation ladder state (kFull is the normal path).
+enum class DegradeLevel : std::uint8_t {
+  kFull = 0,
+  kCoarse = 1,
+  kEssential = 2,
+};
+
+[[nodiscard]] const char* degradeLevelName(DegradeLevel level);
 
 struct ClientCounters {
   std::uint64_t recordsEnqueued = 0;
   std::uint64_t recordsSent = 0;
-  std::uint64_t recordsDropped = 0;  ///< queue overflow + unflushable goodbye
+  std::uint64_t recordsDropped = 0;  ///< overflow + unflushable goodbye +
+                                     ///< ladder exhausted (kEssential)
   std::uint64_t batchesSent = 0;
   std::uint64_t sendFailures = 0;
+  std::uint64_t connectFailures = 0;  ///< failed connect() attempts
   std::uint64_t reconnects = 0;  ///< successful (re)connects after the first
+  std::uint64_t recordsCoarsened = 0;   ///< inputs folded at kCoarse
+  std::uint64_t coarseRecordsEmitted = 0;  ///< min/avg/max outputs emitted
+  std::uint64_t degradeTransitions = 0;    ///< ladder moves, either way
+  std::uint64_t acksReceived = 0;
+  std::uint64_t recordsAcked = 0;  ///< records covered by daemon acks
+  std::uint64_t heartbeatsSent = 0;
 };
 
 class Client {
@@ -68,8 +132,9 @@ class Client {
   /// steady-state publish path queues without touching a string.
   void enqueueIds(const std::vector<IdRecord>& records, double nowSeconds);
 
-  /// Flushes due batches and handles reconnect scheduling.  Safe to call
-  /// every period regardless of connection state.
+  /// Flushes due batches, drains daemon acks, advances the degradation
+  /// ladder, and handles reconnect scheduling.  Safe to call every
+  /// period regardless of connection state.
   void pump(double nowSeconds);
 
   /// Sends a health update (best-effort, never queued).
@@ -81,12 +146,32 @@ class Client {
   [[nodiscard]] bool connected() const { return transport_->connected(); }
   [[nodiscard]] const ClientCounters& counters() const { return counters_; }
 
+  /// Current degradation ladder level.
+  [[nodiscard]] DegradeLevel level() const { return level_; }
+  /// Last daemon pressure seen in an ack (kOk before any ack arrives).
+  [[nodiscard]] PressureLevel pressure() const { return pressure_; }
+
  private:
   /// True when connected (connecting if due).  Sends Hello on a fresh
   /// connection.
   bool ensureConnected(double nowSeconds);
   void flush(double nowSeconds, bool force);
   void dropOverflow();
+  void pushQueued(const IdRecord& record, double nowSeconds);
+
+  /// Drains daemon->client bytes (kBatchAck frames) into the ladder
+  /// inputs.  A malformed frame closes the connection.
+  void processIncoming(double nowSeconds);
+  /// Applies the escalation/de-escalation rules for one pump.
+  void updateLadder(double nowSeconds);
+  void setLevel(DegradeLevel next, double nowSeconds);
+  /// Folds one record into the open coarsening window.
+  void coarsen(const IdRecord& record, double nowSeconds);
+  /// Emits the open window's min/avg/max records into the queue.
+  void closeCoarseWindow(double nowSeconds);
+  void maybeHeartbeat(double nowSeconds);
+  /// splitmix64 step for backoff jitter; uniform in [0, 1).
+  double nextJitterUnit();
 
   std::unique_ptr<Transport> transport_;
   Hello identity_;
@@ -112,7 +197,39 @@ class Client {
 
   bool everConnected_ = false;
   double nextConnectAt_ = 0.0;   ///< earliest next connect attempt
-  double currentBackoff_ = 0.0;  ///< 0 = connect immediately
+  double currentBackoff_ = 0.0;  ///< 0 = connect immediately (unjittered)
+  std::uint64_t jitterState_ = 0;
+
+  // --- ladder state --------------------------------------------------------
+  DegradeLevel level_ = DegradeLevel::kFull;
+  PressureLevel pressure_ = PressureLevel::kOk;
+  double pressureAt_ = -1.0;  ///< when the last ack arrived; <0 = never
+  int pumpsSinceTransition_ = 1000;  ///< large: first escalation is free
+  int calmPumps_ = 0;
+
+  // --- coarsening window ---------------------------------------------------
+  bool coarseOpen_ = false;
+  double coarseWindowStart_ = 0.0;
+  std::map<names::Id, Rollup> coarse_;
+  /// Derived ".min"/".max" metric ids, interned once per base metric.
+  struct CoarseIds {
+    names::Id minId = names::kInvalidId;
+    names::Id maxId = names::kInvalidId;
+  };
+  std::map<names::Id, CoarseIds> coarseIds_;
+
+  // --- ack tracking --------------------------------------------------------
+  struct Inflight {
+    std::uint64_t seq = 0;
+    std::uint64_t records = 0;
+  };
+  std::vector<Inflight> inflight_;  ///< FIFO, bounded by maxInflightAcks
+  std::uint64_t nextBatchSeq_ = 1;
+  FrameReader ackReader_;
+  std::string recvScratch_;
+  std::vector<IdRecord> idScratch_;  ///< enqueue(WireRecord) conversion
+
+  double lastSendAt_ = 0.0;  ///< drives the idle-heartbeat timer
 };
 
 }  // namespace zerosum::aggregator

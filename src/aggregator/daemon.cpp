@@ -1,10 +1,12 @@
 #include "aggregator/daemon.hpp"
 
 #include <algorithm>
+#include <mutex>
 #include <set>
 #include <sstream>
 
 #include "aggregator/query.hpp"
+#include "aggregator/writer.hpp"
 #include "common/error.hpp"
 #include "common/logging.hpp"
 #include "common/strings.hpp"
@@ -24,10 +26,18 @@ const char* sourceStateName(SourceState state) {
 }
 
 Aggregator::Aggregator(std::unique_ptr<TransportServer> server,
-                       StoreOptions storeOptions)
-    : server_(std::move(server)), store_(storeOptions) {
+                       StoreOptions storeOptions, DaemonOptions options)
+    : server_(std::move(server)), store_(storeOptions), options_(options) {
   if (!server_) {
     throw ConfigError("Aggregator requires a transport server");
+  }
+  if (options_.maxPendingBatches == 0) {
+    throw ConfigError("Aggregator maxPendingBatches must be >= 1");
+  }
+  if (options_.elevatedQueueFraction <= 0.0 ||
+      options_.overloadedQueueFraction < options_.elevatedQueueFraction) {
+    throw ConfigError("Aggregator pressure thresholds must satisfy "
+                      "0 < elevated <= overloaded");
   }
 }
 
@@ -61,6 +71,32 @@ void Aggregator::attachEngine(tsdb::Engine* engine) {
   }
 }
 
+void Aggregator::attachWriter(TsdbWriter* writer) {
+  writer_ = writer;
+  if (writer_ != nullptr) {
+    attachEngine(writer_->engine());
+  }
+}
+
+PressureLevel Aggregator::pressure() const {
+  double occupancy = static_cast<double>(pending_.size()) /
+                     static_cast<double>(options_.maxPendingBatches);
+  if (writer_ != nullptr) {
+    occupancy = std::max(occupancy, writer_->occupancy());
+  }
+  if (occupancy >= options_.overloadedQueueFraction) {
+    return PressureLevel::kOverloaded;
+  }
+  if (occupancy >= options_.elevatedQueueFraction) {
+    return PressureLevel::kElevated;
+  }
+  return PressureLevel::kOk;
+}
+
+std::size_t Aggregator::ingestBacklog() const {
+  return pending_.size() + (writer_ != nullptr ? writer_->pending() : 0);
+}
+
 void Aggregator::persistSource(const std::pair<std::string, int>& key,
                                const SourceInfo& info) {
   if (engine_ == nullptr) {
@@ -76,12 +112,41 @@ void Aggregator::persistSource(const std::pair<std::string, int>& key,
   record.lastSeenSeconds = info.lastSeenSeconds;
   record.batches = info.batches;
   record.records = info.records;
+  if (writer_ != nullptr && writer_->threaded()) {
+    std::lock_guard<std::mutex> lock(writer_->engineMutex());
+    engine_->noteSource(record);
+    return;
+  }
   engine_->noteSource(record);
 }
 
+void Aggregator::sendAck(std::uint64_t connection, std::uint64_t batchSeq) {
+  Frame ack;
+  ack.kind = FrameKind::kBatchAck;
+  ack.batchSeq = batchSeq;
+  ack.pressure = pressure();
+  if (server_->send(connection, encodeFrame(ack))) {
+    ++counters_.acksSent;
+  }
+}
+
+void Aggregator::flushAcks() {
+  const std::uint64_t durable =
+      writer_ != nullptr ? writer_->writtenTicket() : 0;
+  while (!pendingAcks_.empty()) {
+    const PendingAck& ack = pendingAcks_.front();
+    if (ack.ticket != 0 && ack.ticket > durable) {
+      break;  // FIFO matches per-connection seq order; acks are cumulative
+    }
+    sendAck(ack.connection, ack.batchSeq);
+    pendingAcks_.pop_front();
+  }
+}
+
 void Aggregator::handleFrame(std::uint64_t connection, ConnState& conn,
-                             const Frame& frame, double nowSeconds) {
+                             Frame& frame, double nowSeconds) {
   ++counters_.framesIngested;
+  conn.version = std::max(conn.version, frame.version);
   if (frame.kind == FrameKind::kQuery) {
     ++counters_.queriesServed;
     Frame response;
@@ -122,59 +187,112 @@ void Aggregator::handleFrame(std::uint64_t connection, ConnState& conn,
     info->state = SourceState::kActive;  // the rank came back
   }
   switch (frame.kind) {
-    case FrameKind::kBatch: {
-      ZS_TRACE_SCOPE("zs.agg.daemon.ingest");
-      ++counters_.batchesIngested;
-      counters_.recordsIngested += frame.records.size();
-      static trace::Counter& ingested =
-          trace::MetricsRegistry::instance().counter(
-              "zs.agg.daemon.records_ingested");
-      ingested.add(frame.records.size());
-      keyScratch_.job.assign(conn.job);
-      keyScratch_.rank = conn.rank;
-      for (const auto& record : frame.records) {
-        // One intern per record resolves the per-connection series ref;
-        // the ref then skips the store's key hash and string compares.
-        RollupStore::SeriesRef& ref =
-            conn.seriesRefs[names::intern(record.name)];
-        keyScratch_.metric.assign(record.name);
-        store_.ingest(keyScratch_, ref, record.timeSeconds, record.value);
-      }
-      if (engine_ != nullptr) {
-        // Durable before the batch is acknowledged as ingested: the WAL
-        // append happens in the same poll() that merges the records, so
-        // anything a client saw accepted survives a crash.  The scratch
-        // vector (and each sample's metric string) keeps its capacity
-        // across batches.
-        samplesScratch_.resize(frame.records.size());
-        for (std::size_t i = 0; i < frame.records.size(); ++i) {
-          tsdb::Sample& s = samplesScratch_[i];
-          s.timeSeconds = frame.records[i].timeSeconds;
-          s.metric.assign(frame.records[i].name);
-          s.value = frame.records[i].value;
-        }
-        engine_->append(conn.job, conn.rank, samplesScratch_);
-      }
+    case FrameKind::kBatch:
+      // Bulk data goes through admission; everything else on this
+      // connection was already handled the moment it decoded.
+      admitBatch(connection, conn, std::move(frame), nowSeconds);
       break;
-    }
     case FrameKind::kHealth:
       info->health = frame.health;
       break;
     case FrameKind::kHeartbeat:
       ++counters_.heartbeats;
+      if (conn.version >= 2) {
+        // Heartbeats are answered immediately with a seq-0 ack so idle
+        // (or fully degraded) clients still see the pressure signal.
+        sendAck(connection, 0);
+      }
       break;
     case FrameKind::kGoodbye:
       info->state = SourceState::kDeparted;
+      persistSource({conn.job, conn.rank}, *info);
       break;
     default:
       break;
   }
-  if (frame.kind == FrameKind::kBatch) {
+}
+
+void Aggregator::admitBatch(std::uint64_t connection, const ConnState& conn,
+                            Frame&& frame, double nowSeconds) {
+  if (pending_.size() >= options_.maxPendingBatches) {
+    // Backstop: the queue never drops an admitted batch.  Process the
+    // oldest inline (order preserved) to make room; pressure() is
+    // already reading overloaded at this depth.
+    ++counters_.admissionBackstops;
+    PendingBatch oldest = std::move(pending_.front());
+    pending_.pop_front();
+    processBatch(oldest);
+  }
+  PendingBatch batch;
+  batch.connection = connection;
+  batch.version = conn.version;
+  batch.job = conn.job;
+  batch.rank = conn.rank;
+  batch.admittedAt = nowSeconds;
+  batch.frame = std::move(frame);
+  pending_.push_back(std::move(batch));
+}
+
+void Aggregator::processBatch(PendingBatch& batch) {
+  ZS_TRACE_SCOPE("zs.agg.daemon.ingest");
+  const Frame& frame = batch.frame;
+  ++counters_.batchesIngested;
+  counters_.recordsIngested += frame.records.size();
+  static trace::Counter& ingested =
+      trace::MetricsRegistry::instance().counter(
+          "zs.agg.daemon.records_ingested");
+  ingested.add(frame.records.size());
+  auto& seriesRefs = seriesRefs_[{batch.job, batch.rank}];
+  keyScratch_.job.assign(batch.job);
+  keyScratch_.rank = batch.rank;
+  for (const auto& record : frame.records) {
+    // One intern per record resolves the per-source series ref; the ref
+    // then skips the store's key hash and string compares.
+    RollupStore::SeriesRef& ref = seriesRefs[names::intern(record.name)];
+    keyScratch_.metric.assign(record.name);
+    store_.ingest(keyScratch_, ref, record.timeSeconds, record.value);
+  }
+  std::uint64_t ackTicket = 0;
+  if (engine_ != nullptr) {
+    // Durable before the batch is acknowledged: either the WAL append
+    // happens right here, or the ack is parked until the TsdbWriter's
+    // durable frontier passes the batch's ticket.  Either way anything
+    // a client saw acked survives a crash.  The scratch vector (and
+    // each sample's metric string) keeps its capacity across batches.
+    samplesScratch_.resize(frame.records.size());
+    for (std::size_t i = 0; i < frame.records.size(); ++i) {
+      tsdb::Sample& s = samplesScratch_[i];
+      s.timeSeconds = frame.records[i].timeSeconds;
+      s.metric.assign(frame.records[i].name);
+      s.value = frame.records[i].value;
+    }
+    if (writer_ != nullptr) {
+      const auto ticket =
+          writer_->submit(batch.job, batch.rank, samplesScratch_);
+      if (ticket) {
+        ackTicket = *ticket;
+      } else {
+        // Writer full: append inline rather than stall or drop.  The
+        // records are durable immediately, so the ack needs no ticket.
+        ++counters_.writerBypasses;
+        std::lock_guard<std::mutex> lock(writer_->engineMutex());
+        engine_->append(batch.job, batch.rank, samplesScratch_);
+      }
+    } else {
+      engine_->append(batch.job, batch.rank, samplesScratch_);
+    }
+  }
+  SourceInfo* info = sourceOf(batch.job, batch.rank);
+  if (info != nullptr) {
+    info->lastSeenSeconds = std::max(info->lastSeenSeconds, batch.admittedAt);
     ++info->batches;
     info->records += frame.records.size();
+    persistSource({batch.job, batch.rank}, *info);
   }
-  if (frame.kind == FrameKind::kBatch || frame.kind == FrameKind::kGoodbye) {
-    persistSource({conn.job, conn.rank}, *info);
+  // v2 batches carry a sequence number and expect an ack; v1 batches
+  // (and the admission path for them) stay fire-and-forget.
+  if (batch.version >= 2 && frame.batchSeq != 0) {
+    pendingAcks_.push_back({batch.connection, frame.batchSeq, ackTicket});
   }
 }
 
@@ -205,6 +323,29 @@ void Aggregator::poll(double nowSeconds) {
     }
   }
 
+  // Drain admitted batches within this poll's budget — and stop early
+  // when the writer is full, so a slow disk converts into admission
+  // depth (pressure) instead of inline stalls.
+  std::size_t processed = 0;
+  while (!pending_.empty()) {
+    if (options_.maxBatchesPerPoll > 0 &&
+        processed >= options_.maxBatchesPerPoll) {
+      break;
+    }
+    if (writer_ != nullptr && !writer_->hasSpace()) {
+      break;
+    }
+    PendingBatch batch = std::move(pending_.front());
+    pending_.pop_front();
+    processBatch(batch);
+    ++processed;
+  }
+  counters_.batchesDeferred += pending_.size();
+  if (writer_ != nullptr) {
+    writer_->pump();  // sync mode; no-op when threaded
+  }
+  flushAcks();
+
   // Staleness sweep: a silent source is flagged and its series evicted —
   // the store serves live dashboards, not archaeology.
   for (auto& [key, info] : sources_) {
@@ -223,9 +364,25 @@ void Aggregator::poll(double nowSeconds) {
     }
   }
 
-  if (engine_ != nullptr) {
+  if (engine_ != nullptr && writer_ == nullptr) {
     engine_->maybeCompact();
   }
+}
+
+void Aggregator::drainBacklog(double nowSeconds) {
+  (void)nowSeconds;
+  while (!pending_.empty()) {
+    if (writer_ != nullptr && !writer_->hasSpace()) {
+      writer_->flush();
+    }
+    PendingBatch batch = std::move(pending_.front());
+    pending_.pop_front();
+    processBatch(batch);
+  }
+  if (writer_ != nullptr) {
+    writer_->flush();
+  }
+  flushAcks();
 }
 
 std::vector<SourceInfo> Aggregator::sources() const {
@@ -271,7 +428,8 @@ std::string Aggregator::dashboard(double nowSeconds) const {
   out << "Aggregator dashboard: " << sources_.size() << " source(s), "
       << store_.seriesCount() << " series, "
       << counters_.recordsIngested << " records ingested, t="
-      << strings::fixed(nowSeconds, 1) << "s\n";
+      << strings::fixed(nowSeconds, 1) << "s"
+      << " pressure=" << pressureLevelName(pressure()) << "\n";
   std::string lastJob;
   for (const auto& [key, info] : sources_) {
     if (key.first != lastJob) {
@@ -343,6 +501,12 @@ std::string Aggregator::dashboard(double nowSeconds) const {
 }
 
 std::string Aggregator::query(const std::string& requestJson) const {
+  if (writer_ != nullptr && writer_->threaded()) {
+    // The worker thread appends to the engine; serialize query-path
+    // reads against it (the engine is single-owner by contract).
+    std::lock_guard<std::mutex> lock(writer_->engineMutex());
+    return runQuery(*this, requestJson);
+  }
   return runQuery(*this, requestJson);
 }
 

@@ -5,9 +5,22 @@
 // queries, and evicts sources that stop reporting.  Single-threaded by
 // design: the owner drives poll() from its event loop (the tool's main
 // loop, a test, or the lockstep cluster simulation).
+//
+// Overload handling (wire v2): control frames — Hello, Health,
+// Heartbeat, Goodbye, Query — are processed the moment they decode, so
+// liveness and findings always win over bulk data.  kBatch frames pass
+// through a bounded admission queue drained by a per-poll budget; when
+// the queue (or the tsdb writer behind it) fills, batches wait and the
+// daemon's PressureLevel rises — clients see it in every kBatchAck and
+// coarsen instead of flooding.  Admission overflow processes the oldest
+// batch inline (a backstop, counted) — the daemon itself never drops an
+// admitted batch.  Acks are sent only after a batch's records are
+// durable (inline engine append, or past the TsdbWriter's written
+// frontier), so "acked" always means "survives a crash".
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <string>
@@ -23,6 +36,8 @@ class Engine;
 }
 
 namespace zerosum::aggregator {
+
+class TsdbWriter;
 
 enum class SourceState : std::uint8_t {
   kActive,    ///< reporting normally
@@ -44,6 +59,17 @@ struct SourceInfo {
   HealthUpdate health;
 };
 
+struct DaemonOptions {
+  /// Admission queue bound, in batches.  Overflow processes the oldest
+  /// inline (never drops).
+  std::size_t maxPendingBatches = 1024;
+  /// Batches processed per poll; 0 = unlimited (drain everything).
+  std::size_t maxBatchesPerPoll = 0;
+  /// Pressure thresholds over max(admission, writer) queue occupancy.
+  double elevatedQueueFraction = 0.5;
+  double overloadedQueueFraction = 0.9;
+};
+
 struct DaemonCounters {
   std::uint64_t framesIngested = 0;
   std::uint64_t batchesIngested = 0;
@@ -53,12 +79,17 @@ struct DaemonCounters {
   std::uint64_t orphanFrames = 0;   ///< data frames before any Hello
   std::uint64_t sourcesEvicted = 0; ///< stale sources purged from the store
   std::uint64_t queriesServed = 0;
+  std::uint64_t acksSent = 0;           ///< kBatchAck frames (v2 clients)
+  std::uint64_t batchesDeferred = 0;    ///< batch-polls spent waiting in
+                                        ///< the admission queue
+  std::uint64_t admissionBackstops = 0; ///< overflow: oldest forced inline
+  std::uint64_t writerBypasses = 0;     ///< writer full: inline append
 };
 
 class Aggregator {
  public:
   Aggregator(std::unique_ptr<TransportServer> server,
-             StoreOptions storeOptions = {});
+             StoreOptions storeOptions = {}, DaemonOptions options = {});
 
   /// Drains the transport and advances staleness bookkeeping to
   /// `nowSeconds` (the owner's clock: virtual or wall).
@@ -73,10 +104,28 @@ class Aggregator {
   /// sources start kStale: they were alive once, but this daemon hasn't
   /// heard from them yet.
   void attachEngine(tsdb::Engine* engine);
+
+  /// Routes engine appends through a bounded TsdbWriter instead of
+  /// appending inline: a slow disk then raises pressure() instead of
+  /// stalling poll().  Implies attachEngine(writer->engine()) for the
+  /// query path; batch acks are gated on the writer's durable frontier.
+  void attachWriter(TsdbWriter* writer);
+
   [[nodiscard]] const tsdb::Engine* engine() const { return engine_; }
 
   [[nodiscard]] const RollupStore& store() const { return store_; }
   [[nodiscard]] const DaemonCounters& counters() const { return counters_; }
+
+  /// Current backpressure signal, echoed to v2 clients in every ack.
+  [[nodiscard]] PressureLevel pressure() const;
+
+  /// Batches admitted but not yet durably processed (admission queue +
+  /// writer queue).  The orderly-shutdown loop drains this to zero.
+  [[nodiscard]] std::size_t ingestBacklog() const;
+
+  /// Processes the whole backlog and flushes the writer — every admitted
+  /// batch is durable and acked afterwards.  Orderly-shutdown path.
+  void drainBacklog(double nowSeconds);
 
   /// All known sources, ordered by (job, rank).
   [[nodiscard]] std::vector<SourceInfo> sources() const;
@@ -103,25 +152,58 @@ class Aggregator {
     bool helloSeen = false;
     std::string job;
     int rank = 0;
-    /// Per-connection ingest cache: interned metric name -> resolved
-    /// store series.  A connection is bound to one (job, rank), so the
-    /// metric id alone identifies the series; steady-state ingest does
-    /// one intern lookup per record instead of hashing and comparing
-    /// the (job, rank, metric) strings.
-    std::map<names::Id, RollupStore::SeriesRef> seriesRefs;
+    /// Highest wire version seen on this connection; acks only go to
+    /// connections that have spoken v2.
+    std::uint8_t version = kMinWireVersion;
   };
 
-  void handleFrame(std::uint64_t connection, ConnState& conn,
-                   const Frame& frame, double nowSeconds);
+  /// A kBatch admitted for deferred processing.  Captures the source
+  /// binding at decode time so the batch still lands if the connection
+  /// closes before it is processed (lossless).
+  struct PendingBatch {
+    std::uint64_t connection = 0;
+    std::uint8_t version = kMinWireVersion;
+    std::string job;
+    int rank = 0;
+    double admittedAt = 0.0;
+    Frame frame;
+  };
+
+  /// A batch ack waiting for its records to become durable.
+  struct PendingAck {
+    std::uint64_t connection = 0;
+    std::uint64_t batchSeq = 0;
+    std::uint64_t ticket = 0;  ///< writer ticket; 0 = already durable
+  };
+
+  void handleFrame(std::uint64_t connection, ConnState& conn, Frame& frame,
+                   double nowSeconds);
+  void admitBatch(std::uint64_t connection, const ConnState& conn,
+                  Frame&& frame, double nowSeconds);
+  void processBatch(PendingBatch& batch);
+  void sendAck(std::uint64_t connection, std::uint64_t batchSeq);
+  /// Sends every pending ack whose records are past the durable frontier.
+  void flushAcks();
   SourceInfo* sourceOf(const std::string& job, int rank);
   void persistSource(const std::pair<std::string, int>& key,
                      const SourceInfo& info);
 
   std::unique_ptr<TransportServer> server_;
   tsdb::Engine* engine_ = nullptr;
+  TsdbWriter* writer_ = nullptr;
   RollupStore store_;
+  DaemonOptions options_;
   DaemonCounters counters_;
   std::map<std::uint64_t, ConnState> connections_;
+  std::deque<PendingBatch> pending_;
+  std::deque<PendingAck> pendingAcks_;
+  /// Per-source ingest cache: interned metric name -> resolved store
+  /// series.  Keyed by (job, rank) — not per connection — so deferred
+  /// batches and reconnecting clients reuse the resolved refs; one
+  /// intern lookup per record instead of hashing and comparing the
+  /// (job, rank, metric) strings.
+  std::map<std::pair<std::string, int>, std::map<names::Id, RollupStore::SeriesRef>>
+      seriesRefs_;
   /// Ingest scratch, reused every batch (strings keep their capacity).
   SeriesKey keyScratch_;
   std::vector<tsdb::Sample> samplesScratch_;

@@ -4,6 +4,7 @@
 #include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -37,10 +38,29 @@ sockaddr_in loopbackAddress(const std::string& host, int port) {
 
 // --- TcpTransport ----------------------------------------------------------
 
-TcpTransport::TcpTransport(std::string host, int port)
-    : host_(std::move(host)), port_(port) {}
+TcpTransport::TcpTransport(std::string host, int port, int timeoutMs)
+    : host_(std::move(host)), port_(port), timeoutMs_(timeoutMs) {}
 
 TcpTransport::~TcpTransport() { close(); }
+
+bool TcpTransport::awaitWritable(int waitMs) const {
+  pollfd pfd{};
+  pfd.fd = fd_;
+  pfd.events = POLLOUT;
+  while (true) {
+    const int rc = ::poll(&pfd, 1, waitMs);
+    if (rc > 0) {
+      return (pfd.revents & POLLOUT) != 0 &&
+             (pfd.revents & (POLLERR | POLLHUP)) == 0;
+    }
+    if (rc == 0) {
+      return false;  // timed out: the peer is hung, not slow
+    }
+    if (errno != EINTR) {
+      return false;
+    }
+  }
+}
 
 bool TcpTransport::connect() {
   if (fd_ >= 0) {
@@ -57,11 +77,40 @@ bool TcpTransport::connect() {
     ::close(fd);
     return false;
   }
-  // Blocking connect: loopback either succeeds or refuses immediately.
-  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
-                sizeof(addr)) != 0) {
-    ::close(fd);
-    return false;
+  if (timeoutMs_ <= 0) {
+    // Blocking connect: loopback either succeeds or refuses immediately.
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+      ::close(fd);
+      return false;
+    }
+  } else {
+    // Bounded connect: start non-blocking, then wait for writability up
+    // to the timeout — a hung daemon (or a full accept queue) costs at
+    // most timeoutMs_, never an unbounded stall on the publish path.
+    setNonBlocking(fd);
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+      if (errno != EINPROGRESS) {
+        ::close(fd);
+        return false;
+      }
+      pollfd pfd{};
+      pfd.fd = fd;
+      pfd.events = POLLOUT;
+      int rc = 0;
+      do {
+        rc = ::poll(&pfd, 1, timeoutMs_);
+      } while (rc < 0 && errno == EINTR);
+      int soError = 0;
+      socklen_t len = sizeof(soError);
+      if (rc <= 0 ||
+          ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soError, &len) != 0 ||
+          soError != 0) {
+        ::close(fd);
+        return false;
+      }
+    }
   }
   const int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
@@ -75,6 +124,7 @@ bool TcpTransport::send(const std::string& bytes) {
     return false;
   }
   std::size_t sent = 0;
+  bool waited = false;
   while (sent < bytes.size()) {
     const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
                              MSG_NOSIGNAL);
@@ -84,8 +134,15 @@ bool TcpTransport::send(const std::string& bytes) {
     }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
       // Loopback buffers are large; a full buffer means the daemon has
-      // stopped draining.  Busy-retrying here would stall the monitored
-      // app, so treat it as a failed send.
+      // stopped draining.  With a timeout budget, wait once for the
+      // socket to drain; past the budget (or without one) a stalled
+      // send fails rather than stalling the monitored app.
+      if (timeoutMs_ > 0 && !waited) {
+        waited = true;
+        if (awaitWritable(timeoutMs_)) {
+          continue;
+        }
+      }
       close();
       return false;
     }

@@ -6,6 +6,13 @@
 // (ECONNREFUSED is a normal "daemon absent" outcome, not an error) and
 // sends that report failure instead of raising SIGPIPE, so a dead daemon
 // degrades to counted drops in the client.
+//
+// With `timeoutMs` > 0 (ZS_AGG_TIMEOUT_MS), connect() and send() are
+// bounded: a hung — not dead — daemon (SIGSTOPped, wedged, a full
+// accept queue) can stall the publish path for at most that long before
+// the call fails and the client falls back to its reconnect/degrade
+// machinery.  0 keeps the legacy behavior (blocking loopback connect,
+// EAGAIN fails immediately).
 #pragma once
 
 #include <cstdint>
@@ -20,7 +27,8 @@ namespace zerosum::aggregator {
 
 class TcpTransport final : public Transport {
  public:
-  TcpTransport(std::string host, int port);
+  /// `timeoutMs` bounds connect() and stalled send()s; 0 = no bound.
+  TcpTransport(std::string host, int port, int timeoutMs = 0);
   ~TcpTransport() override;
 
   bool connect() override;
@@ -30,8 +38,12 @@ class TcpTransport final : public Transport {
   void close() override;
 
  private:
+  /// Waits until fd_ is writable or the deadline passes.
+  [[nodiscard]] bool awaitWritable(int waitMs) const;
+
   std::string host_;
   int port_;
+  int timeoutMs_;
   int fd_ = -1;
 };
 

@@ -146,12 +146,19 @@ std::string encodePayload(const Frame& frame) {
       break;
     case FrameKind::kBatch:
       putF64(p, frame.timeSeconds);
+      if (frame.version >= 2) {
+        putU64(p, frame.batchSeq);
+      }
       putU32(p, static_cast<std::uint32_t>(frame.records.size()));
       for (const auto& r : frame.records) {
         putF64(p, r.timeSeconds);
         putString(p, r.name);
         putF64(p, r.value);
       }
+      break;
+    case FrameKind::kBatchAck:
+      putU64(p, frame.batchSeq);
+      putU8(p, static_cast<std::uint8_t>(frame.pressure));
       break;
     case FrameKind::kHealth:
       putU64(p, frame.health.samplesTaken);
@@ -174,9 +181,11 @@ std::string encodePayload(const Frame& frame) {
   return p;
 }
 
-Frame decodePayload(FrameKind kind, const char* data, std::size_t size) {
+Frame decodePayload(FrameKind kind, std::uint8_t version, const char* data,
+                    std::size_t size) {
   Frame frame;
   frame.kind = kind;
+  frame.version = version;
   PayloadReader in(data, size);
   switch (kind) {
     case FrameKind::kHello:
@@ -189,6 +198,9 @@ Frame decodePayload(FrameKind kind, const char* data, std::size_t size) {
       break;
     case FrameKind::kBatch: {
       frame.timeSeconds = in.f64();
+      if (version >= 2) {
+        frame.batchSeq = in.u64();
+      }
       const std::uint32_t count = in.u32();
       // 18 bytes = the minimum encoded record (two f64 + empty name).
       if (static_cast<std::size_t>(count) * 18 > size) {
@@ -218,6 +230,17 @@ Frame decodePayload(FrameKind kind, const char* data, std::size_t size) {
       frame.timeSeconds = in.f64();
       in.done();
       break;
+    case FrameKind::kBatchAck: {
+      frame.batchSeq = in.u64();
+      const std::uint8_t level = in.u8();
+      if (level > static_cast<std::uint8_t>(PressureLevel::kOverloaded)) {
+        throw ParseError("wire: unknown pressure level " +
+                         std::to_string(level));
+      }
+      frame.pressure = static_cast<PressureLevel>(level);
+      in.done();
+      break;
+    }
     case FrameKind::kQuery:
     case FrameKind::kResponse:
       frame.text.assign(data, size);
@@ -226,14 +249,32 @@ Frame decodePayload(FrameKind kind, const char* data, std::size_t size) {
   return frame;
 }
 
-bool validKind(std::uint8_t k) {
+bool validKind(std::uint8_t k, std::uint8_t version) {
+  const auto last = version >= 2 ? FrameKind::kBatchAck : FrameKind::kResponse;
   return k >= static_cast<std::uint8_t>(FrameKind::kHello) &&
-         k <= static_cast<std::uint8_t>(FrameKind::kResponse);
+         k <= static_cast<std::uint8_t>(last);
 }
 
 }  // namespace
 
+const char* pressureLevelName(PressureLevel level) {
+  switch (level) {
+    case PressureLevel::kOk: return "ok";
+    case PressureLevel::kElevated: return "elevated";
+    case PressureLevel::kOverloaded: return "overloaded";
+  }
+  return "?";
+}
+
 std::string encodeFrame(const Frame& frame) {
+  if (frame.version < kMinWireVersion || frame.version > kWireVersion) {
+    throw ParseError("wire: cannot encode version " +
+                     std::to_string(frame.version));
+  }
+  if (!validKind(static_cast<std::uint8_t>(frame.kind), frame.version)) {
+    throw ParseError("wire: frame kind not available at version " +
+                     std::to_string(frame.version));
+  }
   const std::string payload = encodePayload(frame);
   if (payload.size() > kMaxPayloadBytes) {
     throw ParseError("wire: frame payload exceeds " +
@@ -242,7 +283,7 @@ std::string encodeFrame(const Frame& frame) {
   std::string out;
   out.reserve(payload.size() + 6);
   putU32(out, static_cast<std::uint32_t>(payload.size()));
-  putU8(out, kWireVersion);
+  putU8(out, frame.version);
   putU8(out, static_cast<std::uint8_t>(frame.kind));
   out.append(payload);
   return out;
@@ -275,18 +316,19 @@ bool FrameReader::next(Frame& out) {
                      " exceeds limit");
   }
   const std::uint8_t version = static_cast<std::uint8_t>(head[4]);
-  if (version != kWireVersion) {
+  if (version < kMinWireVersion || version > kWireVersion) {
     throw ParseError("wire: version " + std::to_string(version) +
-                     " (expected " + std::to_string(kWireVersion) + ")");
+                     " (accepted " + std::to_string(kMinWireVersion) + ".." +
+                     std::to_string(kWireVersion) + ")");
   }
   const std::uint8_t kind = static_cast<std::uint8_t>(head[5]);
-  if (!validKind(kind)) {
+  if (!validKind(kind, version)) {
     throw ParseError("wire: unknown frame kind " + std::to_string(kind));
   }
   if (avail < 6 + static_cast<std::size_t>(length)) {
     return false;
   }
-  out = decodePayload(static_cast<FrameKind>(kind), head + 6, length);
+  out = decodePayload(static_cast<FrameKind>(kind), version, head + 6, length);
   consumed_ += 6 + static_cast<std::size_t>(length);
   return true;
 }

@@ -12,8 +12,19 @@
 //
 // Integers are little-endian fixed width; strings are u16-length-prefixed.
 // Decoding is strict: a truncated payload, an unknown kind, or a version
-// mismatch throws ParseError — the daemon drops the offending connection
-// and counts the error rather than guessing.
+// outside [kMinWireVersion, kWireVersion] throws ParseError — the daemon
+// drops the offending connection and counts the error rather than
+// guessing.
+//
+// Version history:
+//   v1  Hello / Batch / Health / Heartbeat / Goodbye / Query / Response.
+//   v2  kBatch gains a u64 batch sequence number (after timeSeconds), and
+//       kBatchAck appears: the daemon's per-batch acknowledgment carrying
+//       its pressure level (ok / elevated / overloaded), the backpressure
+//       signal driving the client's degradation ladder.  A heartbeat is
+//       answered with a seq-0 ack so idle clients see pressure too.
+// The daemon accepts both versions (old clients keep working, unacked);
+// it only sends acks to connections that announced v2 frames.
 #pragma once
 
 #include <cstdint>
@@ -25,7 +36,9 @@
 namespace zerosum::aggregator {
 
 /// Protocol version; bumped on any incompatible layout change.
-inline constexpr std::uint8_t kWireVersion = 1;
+inline constexpr std::uint8_t kWireVersion = 2;
+/// Oldest version the decoder still accepts.
+inline constexpr std::uint8_t kMinWireVersion = 1;
 
 /// Hard ceiling on a single frame's payload (defense against a corrupt
 /// or hostile length prefix allocating gigabytes).
@@ -39,7 +52,18 @@ enum class FrameKind : std::uint8_t {
   kGoodbye = 5,    ///< orderly shutdown of the source
   kQuery = 6,      ///< JSON query request (reader connections)
   kResponse = 7,   ///< JSON query response (daemon -> reader)
+  kBatchAck = 8,   ///< v2: daemon -> client batch/heartbeat ack + pressure
 };
+
+/// Daemon-side ingest pressure, computed from admission-queue depth and
+/// tsdb-writer lag, echoed to clients in every kBatchAck.
+enum class PressureLevel : std::uint8_t {
+  kOk = 0,          ///< ingest keeping up
+  kElevated = 1,    ///< backlog building: clients should coarsen
+  kOverloaded = 2,  ///< backlog near the bound: shed aggressively
+};
+
+[[nodiscard]] const char* pressureLevelName(PressureLevel level);
 
 /// Source identity carried by kHello.
 struct Hello {
@@ -91,11 +115,17 @@ struct HealthUpdate {
 /// decode path stays trivially safe).
 struct Frame {
   FrameKind kind = FrameKind::kHeartbeat;
+  /// Version to encode with / version the frame arrived as.
+  std::uint8_t version = kWireVersion;
   Hello hello;                      ///< kHello
   std::vector<WireRecord> records;  ///< kBatch
   HealthUpdate health;              ///< kHealth
   double timeSeconds = 0.0;         ///< kBatch / kHeartbeat / kGoodbye
   std::string text;                 ///< kQuery / kResponse (JSON)
+  /// kBatch (v2) / kBatchAck: client-assigned sequence number (0 = a
+  /// heartbeat ack, or a v1 batch that carried none).
+  std::uint64_t batchSeq = 0;
+  PressureLevel pressure = PressureLevel::kOk;  ///< kBatchAck
 };
 
 /// Serializes one frame, length prefix included.

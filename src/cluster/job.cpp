@@ -86,6 +86,37 @@ void ClusterJob::addInterference(const Interference& interference) {
   }
 }
 
+void ClusterJob::setAggClientOptions(aggregator::ClientOptions options) {
+  if (aggHub_) {
+    throw StateError("setAggClientOptions after enableAggregation");
+  }
+  aggClientOptions_ = options;
+}
+
+void ClusterJob::setAggDaemonOptions(aggregator::DaemonOptions options) {
+  if (aggHub_) {
+    throw StateError("setAggDaemonOptions after enableAggregation");
+  }
+  aggDaemonOptions_ = options;
+}
+
+void ClusterJob::setAggWriterOptions(aggregator::WriterOptions options) {
+  if (aggHub_) {
+    throw StateError("setAggWriterOptions after enableAggregation");
+  }
+  aggWriterOptions_ = options;
+  aggUseWriter_ = true;
+}
+
+void ClusterJob::setAggFaultSpec(const std::string& spec,
+                                 std::uint64_t seed) {
+  if (aggHub_) {
+    throw StateError("setAggFaultSpec after enableAggregation");
+  }
+  aggFaultRules_ = aggregator::parseTransportFaultSpec(spec);
+  aggFaultSeed_ = seed;
+}
+
 void ClusterJob::enableAggregation(const std::string& jobName,
                                    aggregator::StoreOptions storeOptions,
                                    const std::string& dataDir,
@@ -96,18 +127,29 @@ void ClusterJob::enableAggregation(const std::string& jobName,
   if (aggHub_) {
     throw StateError("enableAggregation called twice");
   }
+  if (aggUseWriter_ && dataDir.empty()) {
+    throw ConfigError("setAggWriterOptions requires a dataDir");
+  }
   aggStoreOptions_ = storeOptions;
   aggEngineOptions_ = engineOptions;
   aggDataDir_ = dataDir;
   aggHub_ = std::make_unique<aggregator::PipeHub>();
-  aggDaemon_ = std::make_unique<aggregator::Aggregator>(aggHub_->makeServer(),
-                                                        storeOptions);
+  aggDaemon_ = std::make_unique<aggregator::Aggregator>(
+      aggHub_->makeServer(), storeOptions, aggDaemonOptions_);
   if (!aggDataDir_.empty()) {
     aggEngine_ = std::make_unique<tsdb::Engine>(aggDataDir_, engineOptions);
-    aggDaemon_->attachEngine(aggEngine_.get());
+    if (aggUseWriter_) {
+      aggWriter_ =
+          std::make_unique<aggregator::TsdbWriter>(aggEngine_.get(),
+                                                   aggWriterOptions_);
+      aggDaemon_->attachWriter(aggWriter_.get());
+    } else {
+      aggDaemon_->attachEngine(aggEngine_.get());
+    }
   }
   aggDeparted_.assign(static_cast<std::size_t>(totalRanks()), false);
   aggClosedClients_.resize(static_cast<std::size_t>(totalRanks()));
+  aggFaultPtrs_.assign(static_cast<std::size_t>(totalRanks()), nullptr);
   for (int rank = 0; rank < totalRanks(); ++rank) {
     auto& session = *sessions_[static_cast<std::size_t>(rank)];
     aggregator::Hello hello;
@@ -119,8 +161,17 @@ void ClusterJob::enableAggregation(const std::string& jobName,
     auto stream = std::make_unique<exporter::MetricStream>();
     auto publisher =
         std::make_unique<exporter::SessionPublisher>(stream.get());
+    std::unique_ptr<aggregator::Transport> transport =
+        aggHub_->makeClientTransport();
+    if (!aggFaultRules_.empty()) {
+      auto faulty = std::make_unique<aggregator::FaultInjectingTransport>(
+          std::move(transport), aggFaultRules_,
+          aggFaultSeed_ + static_cast<std::uint64_t>(rank));
+      aggFaultPtrs_[static_cast<std::size_t>(rank)] = faulty.get();
+      transport = std::move(faulty);
+    }
     publisher->attachAggregator(std::make_unique<aggregator::Client>(
-        aggHub_->makeClientTransport(), hello));
+        std::move(transport), hello, aggClientOptions_));
     exporter::SessionPublisher* raw = publisher.get();
     session.setSampleCallback(
         [raw](const core::MonitorSession& s, double timeSeconds) {
@@ -157,6 +208,7 @@ void ClusterJob::crashAggregator() {
   // only what append() already write()'d into the WAL file.
   aggHub_->setDown(true);
   aggDaemon_.reset();
+  aggWriter_.reset();  // discards queued-but-unacked batches, like SIGKILL
   aggEngine_.reset();
 }
 
@@ -164,14 +216,21 @@ void ClusterJob::restartAggregation() {
   if (!aggHub_ || aggDaemon_) {
     throw StateError("restartAggregation without a crashed daemon");
   }
-  aggDaemon_ = std::make_unique<aggregator::Aggregator>(aggHub_->makeServer(),
-                                                        aggStoreOptions_);
+  aggDaemon_ = std::make_unique<aggregator::Aggregator>(
+      aggHub_->makeServer(), aggStoreOptions_, aggDaemonOptions_);
   if (!aggDataDir_.empty()) {
     // Recovery happens here: segments verified, WAL tail repaired and
     // replayed, source registry reloaded.
     aggEngine_ = std::make_unique<tsdb::Engine>(aggDataDir_,
                                                 aggEngineOptions_);
-    aggDaemon_->attachEngine(aggEngine_.get());
+    if (aggUseWriter_) {
+      aggWriter_ =
+          std::make_unique<aggregator::TsdbWriter>(aggEngine_.get(),
+                                                   aggWriterOptions_);
+      aggDaemon_->attachWriter(aggWriter_.get());
+    } else {
+      aggDaemon_->attachEngine(aggEngine_.get());
+    }
   }
   aggHub_->setDown(false);
 }
@@ -244,6 +303,10 @@ void ClusterJob::run(double maxSeconds) {
       }
     }
     aggDaemon_->poll(runtime_);
+    // Whatever admission control deferred (and whatever the async writer
+    // still queues) must hit the store before the orderly seal — a paused
+    // job keeps its backlog and drains it on resume instead.
+    aggDaemon_->drainBacklog(runtime_);
     if (aggEngine_) {
       aggEngine_->seal();
     }

@@ -16,7 +16,9 @@
 #include <vector>
 
 #include "aggregator/daemon.hpp"
+#include "aggregator/faulttransport.hpp"
 #include "aggregator/transport.hpp"
+#include "aggregator/writer.hpp"
 #include "core/monitor.hpp"
 #include "export/publisher.hpp"
 #include "export/stream.hpp"
@@ -71,6 +73,23 @@ class ClusterJob {
                          const std::string& dataDir = "",
                          tsdb::EngineOptions engineOptions = {});
 
+  // --- Overload / chaos knobs (before enableAggregation) ------------------
+  /// Options for every rank's embedded client (degradation ladder,
+  /// heartbeats, jitter).  The default keeps jitter off so lockstep runs
+  /// stay deterministic.
+  void setAggClientOptions(aggregator::ClientOptions options);
+  /// Admission-control and pressure thresholds for the in-job daemon
+  /// (also applied by restartAggregation()).
+  void setAggDaemonOptions(aggregator::DaemonOptions options);
+  /// Puts a bounded async TsdbWriter between the daemon and the engine
+  /// (requires a dataDir); a slow store then raises pressure instead of
+  /// stalling ingest.  Also applied by restartAggregation().
+  void setAggWriterOptions(aggregator::WriterOptions options);
+  /// Wraps every rank's transport in a FaultInjectingTransport with these
+  /// rules; rank r gets seed `seed + r` so schedules are decorrelated but
+  /// deterministic.
+  void setAggFaultSpec(const std::string& spec, std::uint64_t seed = 1);
+
   /// Hard-kills the in-job daemon mid-run (between lockstep steps): the
   /// daemon and its storage engine are destroyed with no orderly seal —
   /// exactly what SIGKILL leaves behind (the WAL bytes already written,
@@ -91,6 +110,17 @@ class ClusterJob {
 
   /// The persistence engine; nullptr unless a dataDir was given.
   [[nodiscard]] tsdb::Engine* aggEngine() { return aggEngine_.get(); }
+
+  /// The async store writer; nullptr unless setAggWriterOptions was used.
+  [[nodiscard]] aggregator::TsdbWriter* aggWriter() { return aggWriter_.get(); }
+
+  /// Per-rank fault injector; nullptr unless setAggFaultSpec was used.
+  [[nodiscard]] aggregator::FaultInjectingTransport* aggFaults(int rank) {
+    if (rank < 0 || static_cast<std::size_t>(rank) >= aggFaultPtrs_.size()) {
+      return nullptr;
+    }
+    return aggFaultPtrs_[static_cast<std::size_t>(rank)];
+  }
 
   /// Rank-local metric stream feeding that rank's aggregation client;
   /// tests subscribe to it for a brute-force reference of everything the
@@ -130,17 +160,28 @@ class ClusterJob {
   bool ran_ = false;
 
   // Aggregation plumbing (enableAggregation); indexed by global rank.
+  // Declaration order matters for teardown: the writer must die before the
+  // engine (its worker thread appends into it) and is therefore declared
+  // after it.
   std::unique_ptr<aggregator::PipeHub> aggHub_;
   std::unique_ptr<aggregator::Aggregator> aggDaemon_;
   std::unique_ptr<tsdb::Engine> aggEngine_;
+  std::unique_ptr<aggregator::TsdbWriter> aggWriter_;
   std::vector<std::unique_ptr<exporter::MetricStream>> aggStreams_;
   std::vector<std::unique_ptr<exporter::SessionPublisher>> aggPublishers_;
   std::vector<std::unique_ptr<aggregator::Client>> aggClosedClients_;
   std::vector<bool> aggDeparted_;
+  std::vector<aggregator::FaultInjectingTransport*> aggFaultPtrs_;
   // Retained for restartAggregation().
   aggregator::StoreOptions aggStoreOptions_;
   tsdb::EngineOptions aggEngineOptions_;
   std::string aggDataDir_;
+  aggregator::ClientOptions aggClientOptions_;
+  aggregator::DaemonOptions aggDaemonOptions_;
+  aggregator::WriterOptions aggWriterOptions_;
+  bool aggUseWriter_ = false;
+  std::vector<aggregator::TransportFaultRule> aggFaultRules_;
+  std::uint64_t aggFaultSeed_ = 1;
 };
 
 }  // namespace zerosum::cluster

@@ -65,6 +65,11 @@ Config Config::fromEnv() {
     throw ConfigError("ZS_AGG_QUEUE/ZS_AGG_BATCH/ZS_AGG_BATCH_AGE_MS must "
                       "be >= 1");
   }
+  cfg.aggTimeoutMs = static_cast<int>(
+      env::getInt("ZS_AGG_TIMEOUT_MS", cfg.aggTimeoutMs));
+  if (cfg.aggTimeoutMs < 0) {
+    throw ConfigError("ZS_AGG_TIMEOUT_MS must be >= 0");
+  }
   return cfg;
 }
 

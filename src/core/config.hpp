@@ -43,6 +43,14 @@
 //   ZS_AGG_BATCH         records per wire batch (default 256)
 //   ZS_AGG_BATCH_AGE_MS  flush queued records older than this (default
 //                        1000)
+//   ZS_AGG_TIMEOUT_MS    connect/stalled-send budget for the TCP
+//                        transport so a hung daemon cannot stall the
+//                        publish path (default 250; 0 = unbounded)
+//   ZS_AGG_FAULT_SPEC    fault-injection schedule applied to the
+//                        aggregation transport, e.g. "send:disconnect@5,
+//                        connect:fail@1..3" (default off; see
+//                        aggregator/faulttransport.hpp)
+//   ZS_AGG_FAULT_SEED    seed for the transport fault schedule (default 1)
 #pragma once
 
 #include <chrono>
@@ -83,6 +91,8 @@ struct Config {
   int aggQueueRecords = 8192;
   int aggBatchRecords = 256;
   int aggBatchAgeMs = 1000;
+  /// TCP connect/stalled-send budget (ms); 0 = unbounded.
+  int aggTimeoutMs = 250;
   /// Jiffies per second of the monitored clock: USER_HZ for the live
   /// kernel, sim::kHz for the simulator.
   std::uint64_t jiffyHz = 100;

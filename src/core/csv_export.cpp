@@ -66,12 +66,16 @@ void CsvExporter::writeCommSeries(std::ostream& out,
 void CsvExporter::writeHealthSeries(std::ostream& out,
                                     const std::vector<HealthSample>& samples) {
   out << "time,samples_taken,samples_degraded,samples_dropped,loop_overruns,"
-         "subsystems_quarantined,quarantines,recoveries\n";
+         "subsystems_quarantined,quarantines,recoveries,"
+         "agg_records_coarsened,agg_degrade_transitions,"
+         "agg_records_dropped\n";
   for (const auto& s : samples) {
     out << strings::fixed(s.timeSeconds, 3) << ',' << s.samplesTaken << ','
         << s.samplesDegraded << ',' << s.samplesDropped << ','
         << s.loopOverruns << ',' << s.subsystemsQuarantined << ','
-        << s.quarantines << ',' << s.recoveries << '\n';
+        << s.quarantines << ',' << s.recoveries << ','
+        << s.aggRecordsCoarsened << ',' << s.aggDegradeTransitions << ','
+        << s.aggRecordsDropped << '\n';
   }
 }
 

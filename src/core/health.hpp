@@ -65,6 +65,17 @@ class SubsystemGuard {
   const char* traceRecovery_ = nullptr;
 };
 
+/// Aggregation-client degradation counters folded into the health time
+/// series (provided by the export layer via setAggHealthProvider — core
+/// cannot depend on the aggregator).  The ladder becomes observable in
+/// the same CSV that shows quarantines: *when* the client coarsened,
+/// stepped levels, or finally dropped.
+struct AggHealth {
+  std::uint64_t recordsCoarsened = 0;
+  std::uint64_t degradeTransitions = 0;
+  std::uint64_t recordsDropped = 0;
+};
+
 /// One row of the per-sample health time series.
 struct HealthSample {
   double timeSeconds = 0.0;
@@ -77,6 +88,11 @@ struct HealthSample {
   /// the time series shows *when* the degradation machinery fired.
   std::uint64_t quarantines = 0;
   std::uint64_t recoveries = 0;
+  /// Cumulative aggregation-client degradation counters (zeros when no
+  /// aggregation client is attached).
+  std::uint64_t aggRecordsCoarsened = 0;
+  std::uint64_t aggDegradeTransitions = 0;
+  std::uint64_t aggRecordsDropped = 0;
 };
 
 /// Aggregate self-health of one MonitorSession.

@@ -87,6 +87,11 @@ void MonitorSession::setSampleCallback(
   sampleCallback_ = std::move(callback);
 }
 
+void MonitorSession::setAggHealthProvider(
+    std::function<AggHealth()> provider) {
+  aggHealthProvider_ = std::move(provider);
+}
+
 void MonitorSession::sampleOnce(double timeSeconds) {
   ZS_TRACE_SCOPE("zs.sample");
   // Each subsystem samples inside its own error boundary: a bad /proc
@@ -141,6 +146,12 @@ void MonitorSession::sampleOnce(double timeSeconds) {
     hs.subsystemsQuarantined += sh.quarantined ? 1 : 0;
     hs.quarantines += sh.quarantines;
     hs.recoveries += sh.recoveries;
+  }
+  if (aggHealthProvider_) {
+    const AggHealth agg = aggHealthProvider_();
+    hs.aggRecordsCoarsened = agg.recordsCoarsened;
+    hs.aggDegradeTransitions = agg.degradeTransitions;
+    hs.aggRecordsDropped = agg.recordsDropped;
   }
   healthSeries_.push_back(hs);
   ZS_TRACE_COUNTER("zs.samples_degraded",

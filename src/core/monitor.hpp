@@ -57,6 +57,11 @@ class MonitorSession {
   /// mode it runs on the monitor thread.
   void setSampleCallback(
       std::function<void(const MonitorSession&, double)> callback);
+  /// Supplies the aggregation client's degradation counters for the
+  /// health time series (core cannot depend on the aggregator, so the
+  /// export wiring injects a getter).  Called once per sample; must not
+  /// throw.
+  void setAggHealthProvider(std::function<AggHealth()> provider);
 
   // --- Async operation ----------------------------------------------------
   /// Spawns the monitor thread.  A custom pacer substitutes virtual time
@@ -133,6 +138,7 @@ class MonitorSession {
   std::uint64_t loopOverruns_ = 0;
   std::vector<HealthSample> healthSeries_;
   std::function<void(const MonitorSession&, double)> sampleCallback_;
+  std::function<AggHealth()> aggHealthProvider_;
   const mpisim::Recorder* commRecorder_ = nullptr;
 
   std::unique_ptr<Pacer> pacer_;

@@ -4,6 +4,7 @@
 #include <mutex>
 #include <string>
 
+#include "aggregator/faulttransport.hpp"
 #include "aggregator/tcp.hpp"
 #include "common/env.hpp"
 #include "common/error.hpp"
@@ -48,13 +49,31 @@ void wireAggregation(core::MonitorSession& session) {
   options.maxQueueRecords = static_cast<std::size_t>(cfg.aggQueueRecords);
   options.batchRecords = static_cast<std::size_t>(cfg.aggBatchRecords);
   options.batchAgeSeconds = static_cast<double>(cfg.aggBatchAgeMs) / 1000.0;
+  options.heartbeatSeconds = 5.0;
+  // ZS_AGG_FAULT_SPEC (normally unset) wraps the transport with the fault
+  // injector — the aggregation analogue of ZS_FAULT_SPEC on the provider.
   gAggPublisher->attachAggregator(std::make_unique<aggregator::Client>(
-      std::make_unique<aggregator::TcpTransport>(cfg.aggHost, cfg.aggPort),
+      aggregator::wrapTransportFaultsFromEnv(
+          std::make_unique<aggregator::TcpTransport>(cfg.aggHost, cfg.aggPort,
+                                                     cfg.aggTimeoutMs)),
       hello, options));
   session.setSampleCallback(
       [](const core::MonitorSession& s, double timeSeconds) {
         gAggPublisher->publish(s, timeSeconds);
       });
+  // Fold the client's degradation counters into the health time series.
+  session.setAggHealthProvider([]() -> core::AggHealth {
+    core::AggHealth agg;
+    if (gAggPublisher != nullptr) {
+      if (const auto* client = gAggPublisher->aggregatorClient()) {
+        const auto& counters = client->counters();
+        agg.recordsCoarsened = counters.recordsCoarsened;
+        agg.degradeTransitions = counters.degradeTransitions;
+        agg.recordsDropped = counters.recordsDropped;
+      }
+    }
+    return agg;
+  });
 }
 
 void closeAggregation(const core::MonitorSession& session) {

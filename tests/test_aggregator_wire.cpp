@@ -239,8 +239,9 @@ TEST(AggWire, RecordCountMismatchThrows) {
   // payload can hold.
   Frame batch = sampleBatch();
   std::string bytes = encodeFrame(batch);
-  // Payload layout: f64 time, then u32 record count at offset 6+8.
-  bytes[6 + 8] = '\x7f';
+  // v2 payload layout: f64 time, u64 batch seq, then the u32 record
+  // count at offset 6+16.
+  bytes[6 + 16] = '\x7f';
   EXPECT_THROW(decodeFrame(bytes), ParseError);
 }
 
@@ -250,4 +251,143 @@ TEST(AggWire, EmptyBatchRoundTrips) {
   frame.timeSeconds = 2.0;
   const Frame out = decodeFrame(encodeFrame(frame));
   EXPECT_TRUE(out.records.empty());
+}
+
+// --- wire v2: batch sequence numbers, acks, version compatibility -----------
+
+TEST(AggWire, BatchSeqRoundTripsOnV2) {
+  Frame batch = sampleBatch();
+  batch.batchSeq = 0xDEADBEEF12345678ULL;
+  const Frame out = decodeFrame(encodeFrame(batch));
+  EXPECT_EQ(out.version, kWireVersion);
+  EXPECT_EQ(out.batchSeq, 0xDEADBEEF12345678ULL);
+  EXPECT_EQ(out.records, batch.records);
+}
+
+TEST(AggWire, BatchAckRoundTripsSeqAndPressure) {
+  Frame ack;
+  ack.kind = FrameKind::kBatchAck;
+  ack.batchSeq = 41;
+  ack.pressure = PressureLevel::kOverloaded;
+  const Frame out = decodeFrame(encodeFrame(ack));
+  EXPECT_EQ(out.kind, FrameKind::kBatchAck);
+  EXPECT_EQ(out.batchSeq, 41U);
+  EXPECT_EQ(out.pressure, PressureLevel::kOverloaded);
+}
+
+TEST(AggWire, V1BatchDecodesWithoutSeq) {
+  // A v1 client's batch has no sequence number on the wire; the decoder
+  // must accept it and report seq 0 (the "unacked" sentinel).
+  Frame batch = sampleBatch();
+  batch.version = 1;
+  batch.batchSeq = 77;  // must NOT reach the wire at v1
+  const std::string bytes = encodeFrame(batch);
+  const Frame out = decodeFrame(bytes);
+  EXPECT_EQ(out.version, 1);
+  EXPECT_EQ(out.batchSeq, 0U);
+  EXPECT_EQ(out.records, batch.records);
+}
+
+TEST(AggWire, V1CannotCarryAcks) {
+  Frame ack;
+  ack.kind = FrameKind::kBatchAck;
+  ack.version = 1;
+  EXPECT_THROW(encodeFrame(ack), ParseError);
+
+  // The same guard on the decode side: an ack frame stamped v1.
+  Frame v2ack;
+  v2ack.kind = FrameKind::kBatchAck;
+  std::string bytes = encodeFrame(v2ack);
+  bytes[4] = 1;  // version byte
+  EXPECT_THROW(decodeFrame(bytes), ParseError);
+}
+
+TEST(AggWire, AckPressureOutOfRangeThrows) {
+  Frame ack;
+  ack.kind = FrameKind::kBatchAck;
+  ack.batchSeq = 1;
+  std::string bytes = encodeFrame(ack);
+  bytes[6 + 8] = 9;  // pressure byte past kOverloaded
+  EXPECT_THROW(decodeFrame(bytes), ParseError);
+}
+
+// --- robustness fuzz: garbage and bit flips must never crash ----------------
+
+TEST(AggWire, SeededRandomGarbageNeverCrashesTheReader) {
+  // Pure noise fed in random chunks: every outcome must be "parse error"
+  // (connection would be dropped) or "still waiting for bytes" — never a
+  // crash, hang, or unbounded buffer.
+  std::mt19937_64 rng(0xC0FFEEULL);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string noise(1 + rng() % 512, '\0');
+    for (char& c : noise) {
+      c = static_cast<char>(rng() & 0xFFU);
+    }
+    FrameReader reader;
+    Frame frame;
+    bool dead = false;
+    std::size_t pos = 0;
+    while (pos < noise.size() && !dead) {
+      const std::size_t chunk =
+          std::min<std::size_t>(1 + rng() % 64, noise.size() - pos);
+      reader.feed(noise.data() + pos, chunk);
+      pos += chunk;
+      try {
+        while (reader.next(frame)) {
+          // A random 6-byte header is overwhelmingly invalid, but a
+          // coincidentally well-formed frame is an acceptable decode.
+        }
+      } catch (const ParseError&) {
+        dead = true;  // the owner drops the connection here
+      }
+    }
+    EXPECT_LE(reader.pendingBytes(), kMaxPayloadBytes + 6U) << "trial "
+                                                            << trial;
+  }
+}
+
+TEST(AggWire, BitFlippedStreamsFailDeterministically) {
+  // Flip one bit somewhere in a valid multi-frame stream.  The reader
+  // must either still decode frames (the flip hit a value field) or
+  // throw ParseError — and two readers over the same corrupted bytes
+  // must agree exactly (deterministic disconnect, no state dependence).
+  std::string clean;
+  for (int i = 0; i < 6; ++i) {
+    Frame frame = (i % 2 == 0) ? sampleHello() : sampleBatch();
+    frame.batchSeq = static_cast<std::uint64_t>(i);
+    clean += encodeFrame(frame);
+  }
+  std::mt19937_64 rng(0xB17F11BULL);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string bytes = clean;
+    const std::size_t bit = rng() % (bytes.size() * 8);
+    bytes[bit / 8] = static_cast<char>(
+        static_cast<unsigned char>(bytes[bit / 8]) ^ (1U << (bit % 8)));
+
+    auto runReader = [&bytes](std::size_t feedChunk) {
+      FrameReader reader;
+      Frame frame;
+      std::pair<int, bool> outcome{0, false};  // frames decoded, died
+      std::size_t pos = 0;
+      while (pos < bytes.size()) {
+        const std::size_t chunk =
+            std::min(feedChunk, bytes.size() - pos);
+        reader.feed(bytes.data() + pos, chunk);
+        pos += chunk;
+        try {
+          while (reader.next(frame)) {
+            ++outcome.first;
+          }
+        } catch (const ParseError&) {
+          outcome.second = true;
+          return outcome;
+        }
+      }
+      return outcome;
+    };
+    const auto oneShot = runReader(bytes.size());
+    const auto byteWise = runReader(1);
+    EXPECT_EQ(oneShot, byteWise) << "trial " << trial << " bit " << bit;
+    EXPECT_LE(oneShot.first, 6);
+  }
 }

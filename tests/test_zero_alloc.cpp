@@ -126,6 +126,9 @@ TEST(ZeroAlloc, AggregatorClientEnqueueSteadyState) {
   // Small queue bound so the vector FIFO finishes its first
   // overflow/compaction cycle — reaching its fixed capacity — in warmup.
   options.maxQueueRecords = 256;
+  // This measures the plain bounded-queue path; the pinned-full queue
+  // would otherwise escalate the degradation ladder.
+  options.adaptive = false;
   aggregator::Client client(hub->makeClientTransport(), hello, options);
   std::vector<aggregator::IdRecord> batch;
   for (int i = 0; i < 32; ++i) {

@@ -21,6 +21,10 @@
 //                        recovers state on restart)
 //   --fsync <mode>       WAL durability: always|batch|off (default
 //                        ZS_TSDB_FSYNC, else batch)
+//   --async-writer       drain batches to the store from a worker thread
+//                        through a bounded queue (requires --data-dir);
+//                        a slow disk then raises backpressure on clients
+//                        instead of stalling ingest
 //
 // With --data-dir, SIGINT/SIGTERM is an orderly shutdown: the WAL is
 // fsynced, hot windows sealed into a segment, and the source registry
@@ -35,6 +39,7 @@
 
 #include "aggregator/daemon.hpp"
 #include "aggregator/tcp.hpp"
+#include "aggregator/writer.hpp"
 #include "common/env.hpp"
 #include "common/error.hpp"
 #include "tsdb/engine.hpp"
@@ -62,6 +67,7 @@ int main(int argc, char** argv) {
   aggregator::StoreOptions storeOptions;
   std::string dataDir = env::getString("ZS_TSDB_DIR", "");
   std::string fsyncMode = env::getString("ZS_TSDB_FSYNC", "batch");
+  bool asyncWriter = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -82,11 +88,14 @@ int main(int argc, char** argv) {
       dataDir = argv[++i];
     } else if (arg == "--fsync" && i + 1 < argc) {
       fsyncMode = argv[++i];
+    } else if (arg == "--async-writer") {
+      asyncWriter = true;
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: " << argv[0]
                 << " [--port n] [--duration s] [--exit-on-goodbye]"
                    " [--dump [interval_s]] [--stale s]"
-                   " [--data-dir dir] [--fsync always|batch|off]\n";
+                   " [--data-dir dir] [--fsync always|batch|off]"
+                   " [--async-writer]\n";
       return 0;
     } else {
       std::cerr << "zerosum-aggd: unknown option " << arg
@@ -105,8 +114,14 @@ int main(int argc, char** argv) {
   std::cout << "zerosum-aggd: listening on 127.0.0.1:" << server->port()
             << std::endl;
 
+  if (asyncWriter && dataDir.empty()) {
+    std::cerr << "zerosum-aggd: --async-writer requires --data-dir\n";
+    return 2;
+  }
+
   aggregator::Aggregator daemon(std::move(server), storeOptions);
   std::unique_ptr<tsdb::Engine> engine;
+  std::unique_ptr<aggregator::TsdbWriter> writer;
   if (!dataDir.empty()) {
     try {
       tsdb::EngineOptions engineOptions;
@@ -118,7 +133,15 @@ int main(int argc, char** argv) {
       std::cerr << "zerosum-aggd: " << e.what() << '\n';
       return 1;
     }
-    daemon.attachEngine(engine.get());
+    if (asyncWriter) {
+      aggregator::WriterOptions writerOptions;
+      writerOptions.threaded = true;
+      writer = std::make_unique<aggregator::TsdbWriter>(engine.get(),
+                                                        writerOptions);
+      daemon.attachWriter(writer.get());
+    } else {
+      daemon.attachEngine(engine.get());
+    }
     std::cout << "zerosum-aggd: persisting to " << dataDir << " (fsync="
               << tsdb::fsyncPolicyName(engine->options().fsync) << ", "
               << engine->segmentCount() << " segment(s), "
@@ -152,7 +175,10 @@ int main(int argc, char** argv) {
   if (engine) {
     // Orderly shutdown (signal, --duration, or goodbye): everything the
     // daemon acknowledged is sealed on disk before we report and exit.
+    // Admission-deferred batches and the async writer's queue drain first
+    // so the seal covers them too.
     try {
+      daemon.drainBacklog(elapsed);
       engine->seal();
       std::cout << "zerosum-aggd: sealed " << dataDir << " ("
                 << engine->segmentCount() << " segment(s), "
@@ -169,6 +195,8 @@ int main(int argc, char** argv) {
             << daemon.sources().size() << " source(s); " << c.decodeErrors
             << " decode error(s), " << c.sourcesEvicted
             << " source(s) evicted, " << c.queriesServed
-            << " query(ies) served\n";
+            << " query(ies) served, " << c.acksSent << " ack(s) sent, "
+            << "pressure=" << aggregator::pressureLevelName(daemon.pressure())
+            << '\n';
   return 0;
 }
