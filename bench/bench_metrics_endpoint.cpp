@@ -1,0 +1,230 @@
+// Cost of the live telemetry plane: /metrics scrape latency and the
+// ingest slowdown a per-period scraper inflicts on the daemon.
+//
+// One adaptive client feeds stamped batches into a daemon over the pipe
+// transport while an HTTP client scrapes GET /metrics through the
+// mounted endpoint set every period — the render walks the full
+// MetricsRegistry (counters, gauges, four per-stage latency histograms)
+// on the daemon's own poll thread, which is exactly where a slow
+// exposition would hurt.
+//
+// The gated invariants (scripts/bench_gate.py):
+//   * all_stages_nonzero        — after the run, every one of the four
+//     latency-attribution stages has observations; if this goes false
+//     the plane is exporting empty histograms and the latency numbers
+//     upstream dashboards show are vacuous.
+//   * exposition_has_all_stages — the scraped body itself carries the
+//     four histogram families (render-side regression guard).
+// plus scrape_p99_us and ingest_records_per_second as catastrophic-only
+// throughput ratios.
+//
+// Emits BENCH_metrics.json (json::Writer); --out <path> overrides.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "aggregator/client.hpp"
+#include "aggregator/daemon.hpp"
+#include "aggregator/http.hpp"
+#include "aggregator/transport.hpp"
+#include "aggregator/wire.hpp"
+#include "common/interning.hpp"
+#include "common/json.hpp"
+#include "trace/metrics.hpp"
+
+using namespace zerosum;
+using namespace zerosum::aggregator;
+
+namespace {
+
+constexpr int kPeriods = 400;
+constexpr int kMetrics = 32;
+constexpr int kSamplesPerMetric = 8;  // 256 records per period -> one flush
+
+const char* const kStageMetrics[] = {
+    "zs.agg.daemon.latency.enqueue_to_send_seconds",
+    "zs.agg.daemon.latency.send_to_ingest_seconds",
+    "zs.agg.daemon.latency.ingest_to_durable_seconds",
+    "zs.agg.daemon.latency.roundtrip_seconds",
+};
+
+double secondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// The prometheus family name a registry entry renders as.
+std::string promName(const std::string& name) {
+  std::string out = name;
+  std::replace(out.begin(), out.end(), '.', '_');
+  return out;
+}
+
+struct Pipeline {
+  Pipeline()
+      : daemon(wireHub.makeServer()),
+        http(httpHub.makeServer()),
+        scraper(httpHub.makeClientTransport()) {
+    Hello hello;
+    hello.job = "bench";
+    hello.rank = 0;
+    hello.worldSize = 1;
+    hello.hostname = "node0000";
+    hello.pid = 1000;
+    client = std::make_unique<Client>(wireHub.makeClientTransport(), hello);
+    mountDaemonEndpoints(http, daemon, [this] { return t; },
+                         {{"job", "bench"}, {"role", "daemon"}});
+    scraper->connect();
+  }
+
+  /// One full keep-alive GET /metrics exchange; returns the body.
+  std::string scrape() {
+    scraper->send("GET /metrics HTTP/1.1\r\n\r\n");
+    std::string response;
+    for (int i = 0; i < 64; ++i) {
+      http.poll();
+      scraper->receive(response);
+      const auto headerEnd = response.find("\r\n\r\n");
+      if (headerEnd == std::string::npos) continue;
+      const auto lenAt = response.find("Content-Length: ");
+      if (lenAt == std::string::npos) break;
+      const std::size_t length =
+          std::stoul(response.substr(lenAt + 16, headerEnd - lenAt));
+      if (response.size() >= headerEnd + 4 + length) {
+        return response.substr(headerEnd + 4, length);
+      }
+    }
+    return "";
+  }
+
+  PipeHub wireHub;
+  PipeHub httpHub;
+  Aggregator daemon;
+  HttpServer http;
+  std::unique_ptr<Transport> scraper;
+  std::unique_ptr<Client> client;
+  double t = 1.0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string jsonPath = "BENCH_metrics.json";
+  for (int i = 1; i < argc - 1; ++i) {
+    if (std::string(argv[i]) == "--out") {
+      jsonPath = argv[i + 1];
+    }
+  }
+
+  std::cout << "=== /metrics scrape cost under live ingest ===\n\n";
+  trace::MetricsRegistry::instance().reset();
+
+  std::vector<names::Id> ids;
+  for (int m = 0; m < kMetrics; ++m) {
+    ids.push_back(names::intern("bench.metric." + std::to_string(m)));
+  }
+  std::vector<IdRecord> batch;
+  batch.reserve(kMetrics * kSamplesPerMetric);
+
+  Pipeline pipe;
+  std::vector<double> scrapeUs;
+  scrapeUs.reserve(kPeriods);
+  std::string body;
+
+  const auto start = std::chrono::steady_clock::now();
+  for (int period = 0; period < kPeriods; ++period, pipe.t += 1.0) {
+    batch.clear();
+    for (int m = 0; m < kMetrics; ++m) {
+      for (int s = 0; s < kSamplesPerMetric; ++s) {
+        batch.push_back({pipe.t, ids[static_cast<std::size_t>(m)],
+                         static_cast<double>(period % 100 + s)});
+      }
+    }
+    pipe.client->enqueueIds(batch, pipe.t);
+    pipe.daemon.poll(pipe.t);
+    pipe.client->pump(pipe.t);  // drain acks -> roundtrip stamps flow
+
+    const auto scrapeStart = std::chrono::steady_clock::now();
+    body = pipe.scrape();
+    scrapeUs.push_back(secondsSince(scrapeStart) * 1e6);
+  }
+  const double elapsed = secondsSince(start);
+
+  const std::uint64_t ingested = pipe.daemon.counters().recordsIngested;
+  const double ingestRate =
+      elapsed > 0.0 ? static_cast<double>(ingested) / elapsed : 0.0;
+
+  std::sort(scrapeUs.begin(), scrapeUs.end());
+  const double meanUs =
+      scrapeUs.empty()
+          ? 0.0
+          : std::accumulate(scrapeUs.begin(), scrapeUs.end(), 0.0) /
+                static_cast<double>(scrapeUs.size());
+  const double p99Us =
+      scrapeUs.empty()
+          ? 0.0
+          : scrapeUs[std::min(scrapeUs.size() - 1,
+                              static_cast<std::size_t>(
+                                  static_cast<double>(scrapeUs.size()) *
+                                  0.99))];
+
+  bool allStagesNonzero = true;
+  bool expositionHasAllStages = true;
+  auto& registry = trace::MetricsRegistry::instance();
+  std::cout << "  per-stage latency observations:\n";
+  for (const char* name : kStageMetrics) {
+    const auto stats = registry.latency(name).stats();
+    std::cout << "    " << name << ": " << stats.count << "\n";
+    if (stats.count == 0) allStagesNonzero = false;
+    if (body.find(promName(name) + "_count") == std::string::npos) {
+      expositionHasAllStages = false;
+    }
+  }
+  std::cout << "  ingested:  " << ingested << " records ("
+            << static_cast<std::uint64_t>(ingestRate) << " records/s wall)\n"
+            << "  scrapes:   " << scrapeUs.size() << " (mean " << meanUs
+            << " us, p99 " << p99Us << " us, last body " << body.size()
+            << " bytes)\n";
+
+  bool ok = true;
+  if (!allStagesNonzero) {
+    std::cerr << "ERROR: a latency stage recorded zero observations; the "
+              << "attribution pipeline is dark\n";
+    ok = false;
+  }
+  if (!expositionHasAllStages) {
+    std::cerr << "ERROR: the scraped exposition is missing a stage "
+              << "histogram family\n";
+    ok = false;
+  }
+
+  std::ofstream jsonOut(jsonPath);
+  if (jsonOut) {
+    json::Writer w(jsonOut);
+    w.beginObject();
+    w.field("benchmark", "metrics_endpoint");
+    w.field("periods", static_cast<std::uint64_t>(kPeriods));
+    w.field("scrapes", static_cast<std::uint64_t>(scrapeUs.size()));
+    w.field("scrape_mean_us", meanUs);
+    w.field("scrape_p99_us", p99Us);
+    w.field("scrape_body_bytes", static_cast<std::uint64_t>(body.size()));
+    w.field("records_ingested", ingested);
+    w.field("ingest_records_per_second", ingestRate);
+    w.field("all_stages_nonzero", allStagesNonzero);
+    w.field("exposition_has_all_stages", expositionHasAllStages);
+    w.endObject();
+    jsonOut << '\n';
+    std::cout << "\nwrote " << jsonPath << '\n';
+  } else {
+    std::cerr << "could not write " << jsonPath << '\n';
+    return 1;
+  }
+  return ok ? 0 : 1;
+}

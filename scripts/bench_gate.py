@@ -158,6 +158,27 @@ def checks_overload(base, fresh):
     ]
 
 
+def checks_metrics(base, fresh):
+    return [
+        # The telemetry plane must never go dark: every per-stage latency
+        # histogram records observations during a live run, and the
+        # scraped exposition carries all four families.
+        Check("metrics.all_stages_nonzero", INVARIANT,
+              get(base, "all_stages_nonzero") if base else None,
+              get(fresh, "all_stages_nonzero"), expect=True),
+        Check("metrics.exposition_has_all_stages", INVARIANT,
+              get(base, "exposition_has_all_stages") if base else None,
+              get(fresh, "exposition_has_all_stages"), expect=True),
+        Check("metrics.scrape_p99_us", RATIO,
+              get(base, "scrape_p99_us") if base else None,
+              get(fresh, "scrape_p99_us")),
+        Check("metrics.ingest_records_per_second", RATIO,
+              get(base, "ingest_records_per_second") if base else None,
+              get(fresh, "ingest_records_per_second"),
+              higher_is_better=True),
+    ]
+
+
 def checks_tsdb(base, fresh):
     return [
         Check("tsdb.csv_fraction", BOUNDED,
@@ -178,6 +199,7 @@ GATED = {
     "BENCH_overhead.json": checks_overhead,
     "BENCH_aggregator.json": checks_aggregator,
     "BENCH_overload.json": checks_overload,
+    "BENCH_metrics.json": checks_metrics,
     "BENCH_tsdb.json": checks_tsdb,
 }
 

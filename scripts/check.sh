@@ -2,7 +2,9 @@
 # Full verification: the tier-1 build + test pass, then a sanitizer pass
 # (address + undefined) over the fault-tolerance-critical suites, then
 # the JSON-emitting benchmarks and the performance-regression gate
-# (scripts/bench_gate.py against bench/baselines/).
+# (scripts/bench_gate.py against bench/baselines/), then a live
+# telemetry smoke test: a real zerosum-aggd --http-port scraped over
+# loopback HTTP, the exposition validated with scripts/promlint.py.
 #
 # Usage: scripts/check.sh [--no-sanitize]
 set -euo pipefail
@@ -53,7 +55,50 @@ echo "=== tsdb codec benchmark ==="
 echo "=== monitoring overhead benchmark (< 0.5% budget) ==="
 ./build/bench/bench_figure8_overhead --out "$BENCH_OUT/BENCH_overhead.json"
 
+echo "=== metrics endpoint benchmark (telemetry plane cost) ==="
+./build/bench/bench_metrics_endpoint --out "$BENCH_OUT/BENCH_metrics.json"
+
 echo "=== performance-regression gate ==="
 python3 scripts/bench_gate.py --fresh "$BENCH_OUT"
+
+echo "=== live telemetry smoke test (/metrics scrape + promlint) ==="
+REPO="$PWD"
+SMOKE_DIR="$(mktemp -d)"
+./build/tools/zerosum-aggd --port 0 --http-port 0 > "$SMOKE_DIR/aggd.log" 2>&1 &
+AGGD_PID=$!
+trap 'kill "$AGGD_PID" 2>/dev/null || true' EXIT
+for _ in $(seq 1 50); do
+  grep -q "http on" "$SMOKE_DIR/aggd.log" 2>/dev/null && break
+  sleep 0.1
+done
+WIRE_PORT="$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "$SMOKE_DIR/aggd.log")"
+HTTP_PORT="$(sed -n 's/.*http on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "$SMOKE_DIR/aggd.log")"
+# A short monitored run feeds stamped batches through the live wire so
+# the per-stage latency histograms have something to show.
+(cd "$SMOKE_DIR" &&
+ ZS_AGG_PORT="$WIRE_PORT" "$REPO/build/tools/zerosum-run" \
+   "$REPO/build/tools/demo_victim" 2 2500 > run.log 2>&1)
+# curl may be absent in minimal images; python3 urllib always works.
+python3 - "$HTTP_PORT" "$SMOKE_DIR" <<'PY'
+import sys, urllib.request
+port, outdir = sys.argv[1], sys.argv[2]
+text = urllib.request.urlopen(
+    f"http://127.0.0.1:{port}/metrics", timeout=10).read().decode()
+open(f"{outdir}/metrics.txt", "w").write(text)
+health = urllib.request.urlopen(
+    f"http://127.0.0.1:{port}/healthz", timeout=10).read().decode()
+assert '"ready":true' in health, health
+for stage in ("enqueue_to_send", "send_to_ingest",
+              "ingest_to_durable", "roundtrip"):
+    needle = f"zs_agg_daemon_latency_{stage}_seconds_count"
+    line = next((l for l in text.splitlines() if l.startswith(needle)), None)
+    assert line is not None, f"missing {needle}"
+    assert float(line.rsplit(" ", 1)[1]) > 0, f"{needle} is zero: {line}"
+print("smoke: /healthz ready; all four latency stages populated")
+PY
+python3 scripts/promlint.py "$SMOKE_DIR/metrics.txt"
+kill "$AGGD_PID" 2>/dev/null || true
+trap - EXIT
+rm -rf "$SMOKE_DIR"
 
 echo "=== check.sh: all passes complete ==="

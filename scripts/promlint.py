@@ -1,0 +1,198 @@
+#!/usr/bin/env python3
+"""Validator for the Prometheus text exposition format (version 0.0.4).
+
+Reads an exposition from a file argument, a URL (http://...), or stdin
+and checks the subset of the format the telemetry plane emits:
+
+* metric and label names match the Prometheus charset
+  ([a-zA-Z_:][a-zA-Z0-9_:]* and [a-zA-Z_][a-zA-Z0-9_]*);
+* sample lines parse: name, optional {label="value",...} block with
+  proper escaping, a float value, optional timestamp;
+* every sample family is introduced by # HELP and # TYPE lines whose
+  name matches the samples that follow;
+* histograms are complete and coherent: _bucket series are cumulative
+  (counts never decrease as le rises), end in le="+Inf", and the +Inf
+  bucket equals _count; _sum and _count are present;
+* no duplicate sample (same name + label set).
+
+Exit 0 when the exposition is valid, 1 with one message per violation
+otherwise.  Used by scripts/check.sh against a live zerosum-aggd
+/metrics endpoint and usable standalone:
+
+    scripts/promlint.py http://127.0.0.1:9464/metrics
+    zerosum-post --prom-dump run/metrics.json | scripts/promlint.py
+"""
+
+import re
+import sys
+import urllib.request
+
+METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>[^ ]+)"
+    r"(?: (?P<timestamp>-?[0-9]+))?$")
+LABEL_PAIR = re.compile(
+    r'^(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"$')
+VALID_TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+
+
+def split_labels(block):
+    """Splits a label block on commas outside quoted values."""
+    out, depth, current = [], False, ""
+    i = 0
+    while i < len(block):
+        ch = block[i]
+        if ch == "\\" and depth and i + 1 < len(block):
+            current += block[i:i + 2]
+            i += 2
+            continue
+        if ch == '"':
+            depth = not depth
+        if ch == "," and not depth:
+            out.append(current)
+            current = ""
+        else:
+            current += ch
+        i += 1
+    if current:
+        out.append(current)
+    return out
+
+
+def base_family(name):
+    """The family a histogram/summary child series belongs to."""
+    for suffix in ("_bucket", "_sum", "_count", "_total"):
+        if name.endswith(suffix):
+            return name[:-len(suffix)]
+    return name
+
+
+def parse_le(labels):
+    for pair in labels:
+        match = LABEL_PAIR.match(pair)
+        if match and match.group("name") == "le":
+            value = match.group("value")
+            return float("inf") if value == "+Inf" else float(value)
+    return None
+
+
+def lint(text):
+    errors = []
+    helped, typed = {}, {}
+    seen_samples = set()
+    # family -> list of (le, count) in order of appearance, and sums.
+    buckets, counts = {}, {}
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        def err(message):
+            errors.append(f"line {lineno}: {message}")
+
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(" ", 3)
+            if len(parts) < 4 or not METRIC_NAME.match(parts[2]):
+                err(f"malformed HELP line: {line!r}")
+            else:
+                helped[parts[2]] = lineno
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ", 3)
+            if len(parts) < 4 or not METRIC_NAME.match(parts[2]):
+                err(f"malformed TYPE line: {line!r}")
+            elif parts[3].strip() not in VALID_TYPES:
+                err(f"unknown metric type {parts[3].strip()!r}")
+            else:
+                typed[parts[2]] = parts[3].strip()
+            continue
+        if line.startswith("#"):
+            continue  # plain comment
+
+        match = SAMPLE.match(line)
+        if not match:
+            err(f"unparseable sample line: {line!r}")
+            continue
+        name = match.group("name")
+        label_block = match.group("labels")
+        labels = split_labels(label_block) if label_block else []
+        for pair in labels:
+            if not LABEL_PAIR.match(pair):
+                err(f"malformed label pair {pair!r}")
+        try:
+            value = float(match.group("value"))
+        except ValueError:
+            err(f"non-numeric sample value {match.group('value')!r}")
+            continue
+
+        family = base_family(name)
+        if family not in helped and name not in helped:
+            err(f"sample {name!r} has no # HELP line")
+        if family not in typed and name not in typed:
+            err(f"sample {name!r} has no # TYPE line")
+
+        key = (name, tuple(sorted(labels)))
+        if key in seen_samples:
+            err(f"duplicate sample {name!r} with identical labels")
+        seen_samples.add(key)
+
+        family_type = typed.get(family)
+        if family_type == "histogram":
+            if name.endswith("_bucket"):
+                le = parse_le(labels)
+                if le is None:
+                    err(f"histogram bucket {name!r} lacks an le label")
+                else:
+                    buckets.setdefault(family, []).append((lineno, le, value))
+            elif name.endswith("_count"):
+                counts[family] = (lineno, value)
+
+    for family, series in buckets.items():
+        prev = None
+        for lineno, le, value in series:
+            if prev is not None and (le <= prev[0] or value < prev[1]):
+                errors.append(
+                    f"line {lineno}: histogram {family!r} buckets are not "
+                    f"cumulative/ascending (le={le} count={value} after "
+                    f"le={prev[0]} count={prev[1]})")
+            prev = (le, value)
+        if not series or series[-1][1] != float("inf"):
+            errors.append(f"histogram {family!r} does not end in le=\"+Inf\"")
+        elif family in counts and series[-1][2] != counts[family][1]:
+            errors.append(
+                f"histogram {family!r}: +Inf bucket ({series[-1][2]}) != "
+                f"_count ({counts[family][1]})")
+        if family not in counts:
+            errors.append(f"histogram {family!r} has no _count sample")
+
+    return errors
+
+
+def main():
+    source = sys.argv[1] if len(sys.argv) > 1 else "-"
+    if source == "-":
+        text = sys.stdin.read()
+    elif source.startswith("http://") or source.startswith("https://"):
+        with urllib.request.urlopen(source, timeout=10) as response:
+            text = response.read().decode("utf-8")
+    else:
+        with open(source, encoding="utf-8") as f:
+            text = f.read()
+
+    errors = lint(text)
+    for message in errors:
+        print(f"promlint: {message}", file=sys.stderr)
+    samples = sum(1 for line in text.splitlines()
+                  if line.strip() and not line.startswith("#"))
+    if errors:
+        print(f"promlint: {len(errors)} problem(s) in {samples} sample(s)",
+              file=sys.stderr)
+        return 1
+    print(f"promlint: ok ({samples} samples)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

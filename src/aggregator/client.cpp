@@ -12,32 +12,6 @@ namespace zerosum::aggregator {
 
 namespace {
 
-trace::Counter& counterEnqueued() {
-  static trace::Counter& c =
-      trace::MetricsRegistry::instance().counter("zs.agg.client.enqueued");
-  return c;
-}
-trace::Counter& counterDropped() {
-  static trace::Counter& c =
-      trace::MetricsRegistry::instance().counter("zs.agg.client.dropped");
-  return c;
-}
-trace::Counter& counterReconnects() {
-  static trace::Counter& c =
-      trace::MetricsRegistry::instance().counter("zs.agg.client.reconnects");
-  return c;
-}
-trace::Counter& counterCoarsened() {
-  static trace::Counter& c =
-      trace::MetricsRegistry::instance().counter("zs.agg.client.coarsened");
-  return c;
-}
-trace::Counter& counterDegradeTransitions() {
-  static trace::Counter& c = trace::MetricsRegistry::instance().counter(
-      "zs.agg.client.degrade_transitions");
-  return c;
-}
-
 std::uint64_t splitmix64(std::uint64_t& state) {
   std::uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
   z = (z ^ (z >> 30U)) * 0xBF58476D1CE4E5B9ULL;
@@ -70,6 +44,20 @@ Client::Client(std::unique_ptr<Transport> transport, Hello identity,
   if (options_.coarsenWindowSeconds <= 0.0) {
     throw ConfigError("aggregator::Client coarsenWindowSeconds must be > 0");
   }
+  auto& registry = trace::MetricsRegistry::instance();
+  ctrEnqueued_ = &registry.counter("zs.agg.client.enqueued");
+  ctrDropped_ = &registry.counter("zs.agg.client.dropped");
+  ctrReconnects_ = &registry.counter("zs.agg.client.reconnects");
+  ctrCoarsened_ = &registry.counter("zs.agg.client.coarsened");
+  ctrDegradeTransitions_ =
+      &registry.counter("zs.agg.client.degrade_transitions");
+  latEnqueueToSend_ =
+      &registry.latency("zs.agg.client.latency.enqueue_to_send_seconds");
+  latRoundtrip_ = &registry.latency("zs.agg.client.latency.roundtrip_seconds");
+  gaugeDegradeStage_ = &registry.gauge("zs.agg.client.degrade_stage");
+  gaugeAckedPressure_ = &registry.gauge("zs.agg.client.acked_pressure");
+  gaugeDegradeStage_->set(0.0);
+  gaugeAckedPressure_->set(0.0);
   jitterState_ = options_.jitterSeed;
   if (jitterState_ == 0) {
     // Derive a per-rank seed so a fleet of default-configured clients
@@ -120,7 +108,7 @@ bool Client::ensureConnected(double nowSeconds) {
   nextConnectAt_ = 0.0;
   if (everConnected_) {
     ++counters_.reconnects;
-    counterReconnects().add();
+    ctrReconnects_->add();
   }
   everConnected_ = true;
   // The new byte stream starts fresh on both sides.
@@ -159,7 +147,7 @@ void Client::dropOverflow() {
   if (queueSize() > options_.maxQueueRecords) {
     const std::size_t excess = queueSize() - options_.maxQueueRecords;
     counters_.recordsDropped += excess;
-    counterDropped().add(excess);
+    ctrDropped_->add(excess);
     popFront(excess);
   }
 }
@@ -185,6 +173,7 @@ void Client::processIncoming(double nowSeconds) {
       ++counters_.acksReceived;
       pressure_ = frame.pressure;
       pressureAt_ = nowSeconds;
+      gaugeAckedPressure_->set(double(static_cast<std::uint8_t>(pressure_)));
       if (frame.batchSeq != 0) {
         // Acks are cumulative: everything up to the acked seq landed.
         std::size_t acked = 0;
@@ -193,6 +182,9 @@ void Client::processIncoming(double nowSeconds) {
             break;
           }
           counters_.recordsAcked += f.records;
+          const double roundtrip = nowSeconds - f.sentAt;
+          lastRoundtripSeconds_ = roundtrip;
+          latRoundtrip_->observe(roundtrip);
           ++acked;
         }
         inflight_.erase(inflight_.begin(),
@@ -217,8 +209,9 @@ void Client::setLevel(DegradeLevel next, double nowSeconds) {
   // starts a fresh window.
   closeCoarseWindow(nowSeconds);
   level_ = next;
+  gaugeDegradeStage_->set(double(static_cast<std::uint8_t>(next)));
   ++counters_.degradeTransitions;
-  counterDegradeTransitions().add();
+  ctrDegradeTransitions_->add();
   pumpsSinceTransition_ = 0;
   calmPumps_ = 0;
 }
@@ -272,7 +265,7 @@ void Client::coarsen(const IdRecord& record, double nowSeconds) {
   }
   coarse_[record.name].merge(record.value);
   ++counters_.recordsCoarsened;
-  counterCoarsened().add();
+  ctrCoarsened_->add();
 }
 
 void Client::closeCoarseWindow(double nowSeconds) {
@@ -316,7 +309,7 @@ void Client::enqueueIds(const std::vector<IdRecord>& records,
                         double nowSeconds) {
   ZS_TRACE_SCOPE("zs.agg.client.enqueue");
   counters_.recordsEnqueued += records.size();
-  counterEnqueued().add(records.size());
+  ctrEnqueued_->add(records.size());
   switch (options_.adaptive ? level_ : DegradeLevel::kFull) {
     case DegradeLevel::kFull:
       for (const auto& record : records) {
@@ -332,7 +325,7 @@ void Client::enqueueIds(const std::vector<IdRecord>& records,
       // Ladder exhausted: bulk records are shed.  These are the only
       // drops an overloaded-but-reachable daemon ever causes.
       counters_.recordsDropped += records.size();
-      counterDropped().add(records.size());
+      ctrDropped_->add(records.size());
       break;
   }
   dropOverflow();
@@ -370,7 +363,7 @@ void Client::flush(double nowSeconds, bool force) {
       if (force) {
         // Final flush with no daemon: the records are lost; count them.
         counters_.recordsDropped += queueSize();
-        counterDropped().add(queueSize());
+        ctrDropped_->add(queueSize());
         queue_.clear();
         head_ = 0;
       }
@@ -380,6 +373,13 @@ void Client::flush(double nowSeconds, bool force) {
     batch.kind = FrameKind::kBatch;
     batch.timeSeconds = nowSeconds;
     batch.batchSeq = nextBatchSeq_;
+    // v3 latency attribution: the batch carries when its oldest record
+    // was queued and when the frame was encoded (both client clock), plus
+    // the last completed round-trip so the daemon can expose all four
+    // stages without a reverse channel.
+    batch.enqueueSeconds = queue_[head_].enqueuedAt;
+    batch.encodeSeconds = nowSeconds;
+    batch.prevRoundtripSeconds = lastRoundtripSeconds_;
     const std::size_t n = std::min(queueSize(), options_.batchRecords);
     batch.records.reserve(n);
     for (std::size_t i = 0; i < n; ++i) {
@@ -404,10 +404,12 @@ void Client::flush(double nowSeconds, bool force) {
     }
     ++nextBatchSeq_;
     lastSendAt_ = nowSeconds;
+    latEnqueueToSend_->observe(nowSeconds - batch.enqueueSeconds);
     popFront(n);
     ++counters_.batchesSent;
     counters_.recordsSent += n;
-    inflight_.push_back({batch.batchSeq, static_cast<std::uint64_t>(n)});
+    inflight_.push_back(
+        {batch.batchSeq, static_cast<std::uint64_t>(n), nowSeconds});
     if (inflight_.size() > options_.maxInflightAcks) {
       // The bookkeeping is bounded; the oldest entries simply stop being
       // attributable when the daemon is this far behind on acks.

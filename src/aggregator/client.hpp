@@ -40,6 +40,7 @@
 #include "aggregator/store.hpp"
 #include "aggregator/transport.hpp"
 #include "aggregator/wire.hpp"
+#include "trace/metrics.hpp"
 
 namespace zerosum::aggregator {
 
@@ -222,6 +223,7 @@ class Client {
   struct Inflight {
     std::uint64_t seq = 0;
     std::uint64_t records = 0;
+    double sentAt = 0.0;  ///< client clock at send; drives round-trip stats
   };
   std::vector<Inflight> inflight_;  ///< FIFO, bounded by maxInflightAcks
   std::uint64_t nextBatchSeq_ = 1;
@@ -230,6 +232,23 @@ class Client {
   std::vector<IdRecord> idScratch_;  ///< enqueue(WireRecord) conversion
 
   double lastSendAt_ = 0.0;  ///< drives the idle-heartbeat timer
+
+  // --- latency attribution + live gauges -----------------------------------
+  // Handles resolved once at construction (per instance, not static:
+  // tests reset the registry between cases, and a static handle would
+  // dangle).  observe()/set() on them are lock-free and allocation-free,
+  // so stamping stays inside the zero-allocation hot-path contract.
+  trace::Counter* ctrEnqueued_ = nullptr;
+  trace::Counter* ctrDropped_ = nullptr;
+  trace::Counter* ctrReconnects_ = nullptr;
+  trace::Counter* ctrCoarsened_ = nullptr;
+  trace::Counter* ctrDegradeTransitions_ = nullptr;
+  trace::LatencyHistogram* latEnqueueToSend_ = nullptr;
+  trace::LatencyHistogram* latRoundtrip_ = nullptr;
+  trace::Gauge* gaugeDegradeStage_ = nullptr;
+  trace::Gauge* gaugeAckedPressure_ = nullptr;
+  /// Most recently completed batch round-trip; <0 until the first ack.
+  double lastRoundtripSeconds_ = -1.0;
 };
 
 }  // namespace zerosum::aggregator

@@ -39,6 +39,20 @@ Aggregator::Aggregator(std::unique_ptr<TransportServer> server,
     throw ConfigError("Aggregator pressure thresholds must satisfy "
                       "0 < elevated <= overloaded");
   }
+  auto& registry = trace::MetricsRegistry::instance();
+  latEnqueueToSend_ =
+      &registry.latency("zs.agg.daemon.latency.enqueue_to_send_seconds");
+  latSendToIngest_ =
+      &registry.latency("zs.agg.daemon.latency.send_to_ingest_seconds");
+  latIngestToDurable_ =
+      &registry.latency("zs.agg.daemon.latency.ingest_to_durable_seconds");
+  latRoundtrip_ = &registry.latency("zs.agg.daemon.latency.roundtrip_seconds");
+  gaugePressure_ = &registry.gauge("zs.agg.daemon.pressure");
+  gaugeBacklog_ = &registry.gauge("zs.agg.daemon.ingest_backlog");
+  ctrRecordsIngested_ = &registry.counter("zs.agg.daemon.records_ingested");
+  ctrSourcesEvicted_ = &registry.counter("zs.agg.daemon.sources_evicted");
+  gaugePressure_->set(0.0);
+  gaugeBacklog_->set(0.0);
 }
 
 SourceInfo* Aggregator::sourceOf(const std::string& job, int rank) {
@@ -130,7 +144,7 @@ void Aggregator::sendAck(std::uint64_t connection, std::uint64_t batchSeq) {
   }
 }
 
-void Aggregator::flushAcks() {
+void Aggregator::flushAcks(double nowSeconds) {
   const std::uint64_t durable =
       writer_ != nullptr ? writer_->writtenTicket() : 0;
   while (!pendingAcks_.empty()) {
@@ -138,6 +152,7 @@ void Aggregator::flushAcks() {
     if (ack.ticket != 0 && ack.ticket > durable) {
       break;  // FIFO matches per-connection seq order; acks are cumulative
     }
+    latIngestToDurable_->observe(std::max(0.0, nowSeconds - ack.ingestAt));
     sendAck(ack.connection, ack.batchSeq);
     pendingAcks_.pop_front();
   }
@@ -212,7 +227,7 @@ void Aggregator::handleFrame(std::uint64_t connection, ConnState& conn,
   }
 }
 
-void Aggregator::admitBatch(std::uint64_t connection, const ConnState& conn,
+void Aggregator::admitBatch(std::uint64_t connection, ConnState& conn,
                             Frame&& frame, double nowSeconds) {
   if (pending_.size() >= options_.maxPendingBatches) {
     // Backstop: the queue never drops an admitted batch.  Process the
@@ -221,7 +236,7 @@ void Aggregator::admitBatch(std::uint64_t connection, const ConnState& conn,
     ++counters_.admissionBackstops;
     PendingBatch oldest = std::move(pending_.front());
     pending_.pop_front();
-    processBatch(oldest);
+    processBatch(oldest, nowSeconds);
   }
   PendingBatch batch;
   batch.connection = connection;
@@ -229,19 +244,42 @@ void Aggregator::admitBatch(std::uint64_t connection, const ConnState& conn,
   batch.job = conn.job;
   batch.rank = conn.rank;
   batch.admittedAt = nowSeconds;
+  if (frame.version >= 3) {
+    // Refine the connection's clock-offset estimate at decode time: the
+    // minimum over batches of (daemon now - client encode stamp) bounds
+    // the epoch delta from above by the fastest observed transit.
+    const double offset = nowSeconds - frame.encodeSeconds;
+    if (!conn.offsetKnown || offset < conn.minClockOffset) {
+      conn.minClockOffset = offset;
+      conn.offsetKnown = true;
+    }
+    batch.clockOffset = conn.minClockOffset;
+    batch.hasStamps = true;
+  }
   batch.frame = std::move(frame);
   pending_.push_back(std::move(batch));
 }
 
-void Aggregator::processBatch(PendingBatch& batch) {
+void Aggregator::processBatch(PendingBatch& batch, double nowSeconds) {
   ZS_TRACE_SCOPE("zs.agg.daemon.ingest");
   const Frame& frame = batch.frame;
+  if (batch.hasStamps) {
+    // Per-stage latency attribution (DESIGN.md §10).  The first stage is
+    // a pure client-clock difference; the second maps the client encode
+    // stamp into the daemon clock via the connection's min-offset
+    // estimate; the third (the client's view of the previous full
+    // round-trip) rides the batch so the daemon exposes all four stages.
+    const double queued = frame.encodeSeconds - frame.enqueueSeconds;
+    if (queued >= 0.0) latEnqueueToSend_->observe(queued);
+    latSendToIngest_->observe(
+        std::max(0.0, (nowSeconds - batch.clockOffset) - frame.encodeSeconds));
+    if (frame.prevRoundtripSeconds >= 0.0) {
+      latRoundtrip_->observe(frame.prevRoundtripSeconds);
+    }
+  }
   ++counters_.batchesIngested;
   counters_.recordsIngested += frame.records.size();
-  static trace::Counter& ingested =
-      trace::MetricsRegistry::instance().counter(
-          "zs.agg.daemon.records_ingested");
-  ingested.add(frame.records.size());
+  ctrRecordsIngested_->add(frame.records.size());
   auto& seriesRefs = seriesRefs_[{batch.job, batch.rank}];
   keyScratch_.job.assign(batch.job);
   keyScratch_.rank = batch.rank;
@@ -292,7 +330,8 @@ void Aggregator::processBatch(PendingBatch& batch) {
   // v2 batches carry a sequence number and expect an ack; v1 batches
   // (and the admission path for them) stay fire-and-forget.
   if (batch.version >= 2 && frame.batchSeq != 0) {
-    pendingAcks_.push_back({batch.connection, frame.batchSeq, ackTicket});
+    pendingAcks_.push_back(
+        {batch.connection, frame.batchSeq, ackTicket, nowSeconds});
   }
 }
 
@@ -337,14 +376,16 @@ void Aggregator::poll(double nowSeconds) {
     }
     PendingBatch batch = std::move(pending_.front());
     pending_.pop_front();
-    processBatch(batch);
+    processBatch(batch, nowSeconds);
     ++processed;
   }
   counters_.batchesDeferred += pending_.size();
   if (writer_ != nullptr) {
     writer_->pump();  // sync mode; no-op when threaded
   }
-  flushAcks();
+  flushAcks(nowSeconds);
+  gaugePressure_->set(double(static_cast<std::uint8_t>(pressure())));
+  gaugeBacklog_->set(double(ingestBacklog()));
 
   // Staleness sweep: a silent source is flagged and its series evicted —
   // the store serves live dashboards, not archaeology.
@@ -356,10 +397,7 @@ void Aggregator::poll(double nowSeconds) {
       ZS_TRACE_INSTANT("zs.agg.daemon.evict_stale");
       info.state = SourceState::kStale;
       ++counters_.sourcesEvicted;
-      static trace::Counter& evictions =
-          trace::MetricsRegistry::instance().counter(
-              "zs.agg.daemon.sources_evicted");
-      evictions.add();
+      ctrSourcesEvicted_->add();
       store_.evictSource(key.first, key.second);
     }
   }
@@ -370,19 +408,18 @@ void Aggregator::poll(double nowSeconds) {
 }
 
 void Aggregator::drainBacklog(double nowSeconds) {
-  (void)nowSeconds;
   while (!pending_.empty()) {
     if (writer_ != nullptr && !writer_->hasSpace()) {
       writer_->flush();
     }
     PendingBatch batch = std::move(pending_.front());
     pending_.pop_front();
-    processBatch(batch);
+    processBatch(batch, nowSeconds);
   }
   if (writer_ != nullptr) {
     writer_->flush();
   }
-  flushAcks();
+  flushAcks(nowSeconds);
 }
 
 std::vector<SourceInfo> Aggregator::sources() const {
@@ -430,6 +467,27 @@ std::string Aggregator::dashboard(double nowSeconds) const {
       << counters_.recordsIngested << " records ingested, t="
       << strings::fixed(nowSeconds, 1) << "s"
       << " pressure=" << pressureLevelName(pressure()) << "\n";
+  // Per-stage batch latency attribution (DESIGN.md §10), mean/p99 in ms.
+  const std::pair<const char*, trace::LatencyHistogram*> stages[] = {
+      {"enqueue->send", latEnqueueToSend_},
+      {"send->ingest", latSendToIngest_},
+      {"ingest->durable", latIngestToDurable_},
+      {"roundtrip", latRoundtrip_},
+  };
+  bool anyLatency = false;
+  std::ostringstream latencyLine;
+  for (const auto& [label, hist] : stages) {
+    const trace::LatencyStats stats = hist->stats();
+    if (stats.count == 0) continue;
+    if (anyLatency) latencyLine << "  ";
+    latencyLine << label << " mean=" << strings::fixed(stats.mean() * 1e3, 3)
+                << "ms p99=" << strings::fixed(stats.quantile(0.99) * 1e3, 3)
+                << "ms";
+    anyLatency = true;
+  }
+  if (anyLatency) {
+    out << "batch latency: " << latencyLine.str() << "\n";
+  }
   std::string lastJob;
   for (const auto& [key, info] : sources_) {
     if (key.first != lastJob) {

@@ -29,6 +29,7 @@
 #include "aggregator/store.hpp"
 #include "aggregator/transport.hpp"
 #include "aggregator/wire.hpp"
+#include "trace/metrics.hpp"
 #include "tsdb/wal.hpp"
 
 namespace zerosum::tsdb {
@@ -155,6 +156,13 @@ class Aggregator {
     /// Highest wire version seen on this connection; acks only go to
     /// connections that have spoken v2.
     std::uint8_t version = kMinWireVersion;
+    /// Client-to-daemon clock offset estimate: the running minimum of
+    /// (daemon now at decode - batch encodeSeconds).  The minimum over
+    /// many batches converges on (clock epoch delta + fastest transit),
+    /// so one-way send->ingest latency is computable even though the two
+    /// processes count seconds from different origins.  Starts unset.
+    double minClockOffset = 0.0;
+    bool offsetKnown = false;
   };
 
   /// A kBatch admitted for deferred processing.  Captures the source
@@ -166,6 +174,10 @@ class Aggregator {
     std::string job;
     int rank = 0;
     double admittedAt = 0.0;
+    /// Connection clock-offset estimate captured at admission (the
+    /// connection may be gone by the time the batch is processed).
+    double clockOffset = 0.0;
+    bool hasStamps = false;  ///< v3 batch with latency stamps
     Frame frame;
   };
 
@@ -173,17 +185,18 @@ class Aggregator {
   struct PendingAck {
     std::uint64_t connection = 0;
     std::uint64_t batchSeq = 0;
-    std::uint64_t ticket = 0;  ///< writer ticket; 0 = already durable
+    std::uint64_t ticket = 0;   ///< writer ticket; 0 = already durable
+    double ingestAt = 0.0;      ///< when processBatch ran (daemon clock)
   };
 
   void handleFrame(std::uint64_t connection, ConnState& conn, Frame& frame,
                    double nowSeconds);
-  void admitBatch(std::uint64_t connection, const ConnState& conn,
-                  Frame&& frame, double nowSeconds);
-  void processBatch(PendingBatch& batch);
+  void admitBatch(std::uint64_t connection, ConnState& conn, Frame&& frame,
+                  double nowSeconds);
+  void processBatch(PendingBatch& batch, double nowSeconds);
   void sendAck(std::uint64_t connection, std::uint64_t batchSeq);
   /// Sends every pending ack whose records are past the durable frontier.
-  void flushAcks();
+  void flushAcks(double nowSeconds);
   SourceInfo* sourceOf(const std::string& job, int rank);
   void persistSource(const std::pair<std::string, int>& key,
                      const SourceInfo& info);
@@ -211,6 +224,17 @@ class Aggregator {
   std::map<std::pair<std::string, int>, SourceInfo> sources_;
   /// Highest worldSize announced per job (missing-rank detection).
   std::map<std::string, int> expectedRanks_;
+
+  // --- latency attribution + live gauges (per instance: tests reset the
+  // registry between cases, so no static handles) ---------------------------
+  trace::LatencyHistogram* latEnqueueToSend_ = nullptr;
+  trace::LatencyHistogram* latSendToIngest_ = nullptr;
+  trace::LatencyHistogram* latIngestToDurable_ = nullptr;
+  trace::LatencyHistogram* latRoundtrip_ = nullptr;
+  trace::Gauge* gaugePressure_ = nullptr;
+  trace::Gauge* gaugeBacklog_ = nullptr;
+  trace::Counter* ctrRecordsIngested_ = nullptr;
+  trace::Counter* ctrSourcesEvicted_ = nullptr;
 };
 
 }  // namespace zerosum::aggregator

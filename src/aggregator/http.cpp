@@ -1,0 +1,366 @@
+#include "aggregator/http.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+#include <stdexcept>
+
+#include "aggregator/daemon.hpp"
+#include "common/error.hpp"
+#include "common/json.hpp"
+#include "common/logging.hpp"
+
+namespace zerosum::aggregator {
+
+namespace {
+
+/// End of the header block: two consecutive line terminators, where a
+/// terminator is "\r\n" or a bare "\n" (lenient parse, strict emit).
+std::size_t findHeaderEnd(const std::string& buffer) {
+  for (std::size_t i = 0; i < buffer.size(); ++i) {
+    if (buffer[i] != '\n') continue;
+    std::size_t j = i + 1;
+    if (j < buffer.size() && buffer[j] == '\r') ++j;
+    if (j < buffer.size() && buffer[j] == '\n') return j + 1;
+  }
+  return std::string::npos;
+}
+
+std::string stripCr(std::string line) {
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  return line;
+}
+
+std::string toLower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return char(std::tolower(c)); });
+  return s;
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = s.find_first_not_of(" \t");
+  if (b == std::string::npos) return "";
+  std::size_t e = s.find_last_not_of(" \t");
+  return s.substr(b, e - b + 1);
+}
+
+}  // namespace
+
+const char* httpStatusReason(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 204: return "No Content";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 413: return "Payload Too Large";
+    case 414: return "URI Too Long";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    default: return "Status";
+  }
+}
+
+HttpServer::HttpServer(std::unique_ptr<TransportServer> server,
+                       HttpLimits limits)
+    : server_(std::move(server)), limits_(limits) {
+  if (!server_) {
+    throw ConfigError("HttpServer requires a transport server");
+  }
+  auto& registry = trace::MetricsRegistry::instance();
+  metricRequests_ = &registry.counter("zs.http.requests");
+  metricErrors_ = &registry.counter("zs.http.errors");
+}
+
+void HttpServer::handle(const std::string& method, const std::string& path,
+                        HttpHandler handler) {
+  handlers_[{method, path}] = std::move(handler);
+}
+
+HttpResponse HttpServer::dispatch(const HttpRequest& request) {
+  const auto it = handlers_.find({request.method, request.path});
+  if (it != handlers_.end()) {
+    try {
+      return it->second(request);
+    } catch (const std::exception& e) {
+      log::warn() << "http: handler for " << request.method << " "
+                  << request.path << " threw: " << e.what();
+      return {500, "text/plain; charset=utf-8", "internal error\n"};
+    }
+  }
+  // Path known under another method -> 405, otherwise 404.
+  const bool pathKnown = std::any_of(
+      handlers_.begin(), handlers_.end(),
+      [&](const auto& kv) { return kv.first.second == request.path; });
+  if (pathKnown) {
+    return {405, "text/plain; charset=utf-8", "method not allowed\n"};
+  }
+  return {404, "text/plain; charset=utf-8", "not found\n"};
+}
+
+void HttpServer::respond(std::uint64_t connection, const HttpRequest* request,
+                         const HttpResponse& response, bool keepAlive) {
+  (void)request;
+  std::ostringstream out;
+  out << "HTTP/1.1 " << response.status << " "
+      << httpStatusReason(response.status) << "\r\n"
+      << "Content-Type: " << response.contentType << "\r\n"
+      << "Content-Length: " << response.body.size() << "\r\n"
+      << "Connection: " << (keepAlive ? "keep-alive" : "close") << "\r\n"
+      << "\r\n"
+      << response.body;
+  server_->send(connection, out.str());
+  if (response.status >= 400) {
+    ++counters_.errors;
+    metricErrors_->add();
+  }
+}
+
+bool HttpServer::serveBuffered(std::uint64_t connection, Conn& conn) {
+  for (;;) {
+    const std::size_t headerEnd = findHeaderEnd(conn.buffer);
+    if (headerEnd == std::string::npos) {
+      // Incomplete: wait for more bytes, unless the partial block already
+      // exceeds what a legal request could occupy.
+      const std::size_t firstLine = conn.buffer.find('\n');
+      if (firstLine == std::string::npos &&
+          conn.buffer.size() > limits_.maxRequestLineBytes) {
+        ++counters_.parseErrors;
+        respond(connection, nullptr,
+                {414, "text/plain; charset=utf-8", "request line too long\n"},
+                false);
+        return false;
+      }
+      if (conn.buffer.size() > limits_.maxRequestLineBytes +
+                                   limits_.maxHeaderBytes) {
+        ++counters_.parseErrors;
+        respond(connection, nullptr,
+                {431, "text/plain; charset=utf-8", "header block too large\n"},
+                false);
+        return false;
+      }
+      return true;
+    }
+
+    // --- request line ------------------------------------------------------
+    std::size_t lineEnd = conn.buffer.find('\n');
+    std::string requestLine = stripCr(conn.buffer.substr(0, lineEnd));
+    if (requestLine.size() > limits_.maxRequestLineBytes) {
+      ++counters_.parseErrors;
+      respond(connection, nullptr,
+              {414, "text/plain; charset=utf-8", "request line too long\n"},
+              false);
+      return false;
+    }
+    if (headerEnd - lineEnd > limits_.maxHeaderBytes) {
+      ++counters_.parseErrors;
+      respond(connection, nullptr,
+              {431, "text/plain; charset=utf-8", "header block too large\n"},
+              false);
+      return false;
+    }
+    HttpRequest request;
+    std::string version;
+    {
+      const std::size_t sp1 = requestLine.find(' ');
+      const std::size_t sp2 =
+          sp1 == std::string::npos ? std::string::npos
+                                   : requestLine.find(' ', sp1 + 1);
+      if (sp1 == std::string::npos || sp2 == std::string::npos ||
+          sp1 == 0 || sp2 == sp1 + 1 ||
+          requestLine.find(' ', sp2 + 1) != std::string::npos) {
+        ++counters_.parseErrors;
+        respond(connection, nullptr,
+                {400, "text/plain; charset=utf-8", "malformed request line\n"},
+                false);
+        return false;
+      }
+      request.method = requestLine.substr(0, sp1);
+      request.target = requestLine.substr(sp1 + 1, sp2 - sp1 - 1);
+      version = requestLine.substr(sp2 + 1);
+    }
+    if (version != "HTTP/1.1" && version != "HTTP/1.0") {
+      ++counters_.parseErrors;
+      respond(connection, nullptr,
+              {400, "text/plain; charset=utf-8", "unsupported version\n"},
+              false);
+      return false;
+    }
+    if (request.target.empty() || request.target[0] != '/') {
+      ++counters_.parseErrors;
+      respond(connection, nullptr,
+              {400, "text/plain; charset=utf-8", "malformed target\n"}, false);
+      return false;
+    }
+    request.path = request.target.substr(0, request.target.find('?'));
+
+    // --- headers -----------------------------------------------------------
+    std::size_t pos = lineEnd + 1;
+    while (pos < headerEnd) {
+      std::size_t eol = conn.buffer.find('\n', pos);
+      std::string line = stripCr(conn.buffer.substr(pos, eol - pos));
+      pos = eol + 1;
+      if (line.empty()) break;
+      const std::size_t colon = line.find(':');
+      if (colon == std::string::npos || colon == 0) {
+        ++counters_.parseErrors;
+        respond(connection, nullptr,
+                {400, "text/plain; charset=utf-8", "malformed header\n"},
+                false);
+        return false;
+      }
+      request.headers[toLower(line.substr(0, colon))] =
+          trim(line.substr(colon + 1));
+    }
+
+    // --- body --------------------------------------------------------------
+    if (request.headers.count("transfer-encoding") != 0) {
+      ++counters_.parseErrors;
+      respond(connection, nullptr,
+              {501, "text/plain; charset=utf-8",
+               "chunked transfer not supported\n"},
+              false);
+      return false;
+    }
+    std::size_t contentLength = 0;
+    if (const auto it = request.headers.find("content-length");
+        it != request.headers.end()) {
+      try {
+        const long long parsed = std::stoll(it->second);
+        if (parsed < 0) throw std::invalid_argument("negative");
+        contentLength = static_cast<std::size_t>(parsed);
+      } catch (const std::exception&) {
+        ++counters_.parseErrors;
+        respond(connection, nullptr,
+                {400, "text/plain; charset=utf-8", "bad content-length\n"},
+                false);
+        return false;
+      }
+      if (contentLength > limits_.maxBodyBytes) {
+        ++counters_.parseErrors;
+        respond(connection, nullptr,
+                {413, "text/plain; charset=utf-8", "body too large\n"}, false);
+        return false;
+      }
+    }
+    if (conn.buffer.size() - headerEnd < contentLength) {
+      return true;  // body still in flight
+    }
+    request.body = conn.buffer.substr(headerEnd, contentLength);
+    conn.buffer.erase(0, headerEnd + contentLength);
+
+    // --- dispatch ----------------------------------------------------------
+    // HTTP/1.1 defaults to keep-alive, HTTP/1.0 to close; an explicit
+    // Connection header overrides either way.
+    bool keepAlive = version == "HTTP/1.1";
+    if (const auto it = request.headers.find("connection");
+        it != request.headers.end()) {
+      const std::string value = toLower(it->second);
+      if (value == "close") keepAlive = false;
+      if (value == "keep-alive") keepAlive = true;
+    }
+    ++counters_.requests;
+    metricRequests_->add();
+    respond(connection, &request, dispatch(request), keepAlive);
+    if (!keepAlive) {
+      return false;
+    }
+    // Loop: pipelined requests may already be buffered.
+  }
+}
+
+void HttpServer::poll() {
+  for (auto& delivery : server_->poll()) {
+    if (delivery.opened) {
+      ++counters_.connectionsOpened;
+    } else if (connections_.find(delivery.connection) == connections_.end()) {
+      // Notice for a connection we already tore down — typically the
+      // peer's close racing our own disconnect.  Counting it again would
+      // double-book connectionsClosed.
+      continue;
+    }
+    auto& conn = connections_[delivery.connection];
+    bool keep = true;
+    if (!delivery.bytes.empty()) {
+      conn.buffer.append(delivery.bytes);
+      keep = serveBuffered(delivery.connection, conn);
+    }
+    if (!keep) {
+      server_->disconnect(delivery.connection);
+      connections_.erase(delivery.connection);
+      ++counters_.connectionsClosed;
+      continue;
+    }
+    if (delivery.closed) {
+      connections_.erase(delivery.connection);
+      ++counters_.connectionsClosed;
+    }
+  }
+}
+
+void mountDaemonEndpoints(HttpServer& http, Aggregator& daemon,
+                          std::function<double()> now,
+                          trace::PromLabels labels) {
+  http.handle("GET", "/metrics", [labels](const HttpRequest&) {
+    HttpResponse response;
+    response.contentType = "text/plain; version=0.0.4; charset=utf-8";
+    response.body = trace::renderPrometheus(
+        trace::MetricsRegistry::instance().snapshot(), labels);
+    return response;
+  });
+
+  auto healthJson = [&daemon, now](bool ready) {
+    std::size_t active = 0, stale = 0, departed = 0;
+    for (const SourceInfo& info : daemon.sources()) {
+      switch (info.state) {
+        case SourceState::kActive: ++active; break;
+        case SourceState::kStale: ++stale; break;
+        case SourceState::kDeparted: ++departed; break;
+      }
+    }
+    std::ostringstream body;
+    json::Writer w(body);
+    w.beginObject()
+        .field("ready", ready)
+        .field("pressure", pressureLevelName(daemon.pressure()))
+        .field("ingest_backlog", std::uint64_t{daemon.ingestBacklog()})
+        .field("time_seconds", now())
+        .key("sources")
+        .beginObject()
+        .field("active", std::uint64_t{active})
+        .field("stale", std::uint64_t{stale})
+        .field("departed", std::uint64_t{departed})
+        .endObject()
+        .endObject();
+    body << "\n";
+    return body.str();
+  };
+
+  http.handle("GET", "/healthz", [healthJson](const HttpRequest&) {
+    // Liveness: answering at all is the signal, so always 200.
+    return HttpResponse{200, "application/json", healthJson(true)};
+  });
+
+  http.handle("GET", "/readyz", [&daemon, healthJson](const HttpRequest&) {
+    // Readiness: an overloaded daemon asks scrapers/load balancers to
+    // back off until the backlog drains.
+    const bool ready = daemon.pressure() != PressureLevel::kOverloaded;
+    return HttpResponse{ready ? 200 : 503, "application/json",
+                        healthJson(ready)};
+  });
+
+  http.handle("GET", "/dashboard", [&daemon, now](const HttpRequest&) {
+    return HttpResponse{200, "text/plain; charset=utf-8",
+                        daemon.dashboard(now())};
+  });
+
+  http.handle("POST", "/query", [&daemon](const HttpRequest& request) {
+    // runQuery never throws; errors come back as JSON error documents.
+    return HttpResponse{200, "application/json",
+                        daemon.query(request.body) + "\n"};
+  });
+}
+
+}  // namespace zerosum::aggregator

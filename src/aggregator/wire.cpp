@@ -149,6 +149,11 @@ std::string encodePayload(const Frame& frame) {
       if (frame.version >= 2) {
         putU64(p, frame.batchSeq);
       }
+      if (frame.version >= 3) {
+        putF64(p, frame.enqueueSeconds);
+        putF64(p, frame.encodeSeconds);
+        putF64(p, frame.prevRoundtripSeconds);
+      }
       putU32(p, static_cast<std::uint32_t>(frame.records.size()));
       for (const auto& r : frame.records) {
         putF64(p, r.timeSeconds);
@@ -200,6 +205,11 @@ Frame decodePayload(FrameKind kind, std::uint8_t version, const char* data,
       frame.timeSeconds = in.f64();
       if (version >= 2) {
         frame.batchSeq = in.u64();
+      }
+      if (version >= 3) {
+        frame.enqueueSeconds = in.f64();
+        frame.encodeSeconds = in.f64();
+        frame.prevRoundtripSeconds = in.f64();
       }
       const std::uint32_t count = in.u32();
       // 18 bytes = the minimum encoded record (two f64 + empty name).

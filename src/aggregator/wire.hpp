@@ -23,8 +23,15 @@
 //       its pressure level (ok / elevated / overloaded), the backpressure
 //       signal driving the client's degradation ladder.  A heartbeat is
 //       answered with a seq-0 ack so idle clients see pressure too.
-// The daemon accepts both versions (old clients keep working, unacked);
-// it only sends acks to connections that announced v2 frames.
+//   v3  kBatch gains three f64 latency-attribution stamps (after
+//       batchSeq, before the record count):
+//       enqueueSeconds (client clock when the oldest record in the batch
+//       was queued), encodeSeconds (client clock at frame encode), and
+//       prevRoundtripSeconds (duration of the client's most recently
+//       completed batch round-trip; negative = none yet).  The daemon
+//       turns these into per-stage latency histograms; see DESIGN.md §10.
+// The daemon accepts all versions (old clients keep working, v1 unacked,
+// v2 unstamped); it only sends acks to connections that announced v2+.
 #pragma once
 
 #include <cstdint>
@@ -36,7 +43,7 @@
 namespace zerosum::aggregator {
 
 /// Protocol version; bumped on any incompatible layout change.
-inline constexpr std::uint8_t kWireVersion = 2;
+inline constexpr std::uint8_t kWireVersion = 3;
 /// Oldest version the decoder still accepts.
 inline constexpr std::uint8_t kMinWireVersion = 1;
 
@@ -122,10 +129,16 @@ struct Frame {
   HealthUpdate health;              ///< kHealth
   double timeSeconds = 0.0;         ///< kBatch / kHeartbeat / kGoodbye
   std::string text;                 ///< kQuery / kResponse (JSON)
-  /// kBatch (v2) / kBatchAck: client-assigned sequence number (0 = a
+  /// kBatch (v2+) / kBatchAck: client-assigned sequence number (0 = a
   /// heartbeat ack, or a v1 batch that carried none).
   std::uint64_t batchSeq = 0;
   PressureLevel pressure = PressureLevel::kOk;  ///< kBatchAck
+  /// kBatch (v3+): latency-attribution stamps, client clock.  Negative
+  /// prevRoundtripSeconds means "no completed round-trip yet" (0.0 is a
+  /// legitimate duration under the lockstep virtual clock).
+  double enqueueSeconds = 0.0;
+  double encodeSeconds = 0.0;
+  double prevRoundtripSeconds = -1.0;
 };
 
 /// Serializes one frame, length prefix included.

@@ -7,6 +7,7 @@
 #include "common/strings.hpp"
 #include "procfs/simfs.hpp"
 #include "sim/slurm.hpp"
+#include "trace/metrics.hpp"
 
 namespace zerosum::cluster {
 
@@ -177,6 +178,21 @@ void ClusterJob::enableAggregation(const std::string& jobName,
         [raw](const core::MonitorSession& s, double timeSeconds) {
           raw->publish(s, timeSeconds);
         });
+    // Fold the client's ladder state into the rank's health series (the
+    // same wiring the live facade does), so the per-rank health CSV
+    // shows coarsening while it happens.
+    session.setAggHealthProvider([raw]() -> core::AggHealth {
+      core::AggHealth agg;
+      if (const auto* client = raw->aggregatorClient()) {
+        const auto& counters = client->counters();
+        agg.recordsCoarsened = counters.recordsCoarsened;
+        agg.degradeTransitions = counters.degradeTransitions;
+        agg.recordsDropped = counters.recordsDropped;
+        agg.degradeStage = static_cast<int>(client->level());
+        agg.ackedPressure = static_cast<int>(client->pressure());
+      }
+      return agg;
+    });
     aggStreams_.push_back(std::move(stream));
     aggPublishers_.push_back(std::move(publisher));
   }
@@ -368,6 +384,35 @@ std::string ClusterJob::dashboard() const {
   }
   out << "=== whole allocation ===\n"
       << analysis::renderJobSummary(analysis::aggregate(sessions()));
+  if (aggDaemon_ != nullptr || !aggPublishers_.empty()) {
+    // Everything in a ClusterJob runs in one process, so the shared
+    // MetricsRegistry holds both the per-rank client histograms and the
+    // daemon's attribution stages.
+    const char* stages[][2] = {
+        {"enqueue->send", "zs.agg.daemon.latency.enqueue_to_send_seconds"},
+        {"send->ingest", "zs.agg.daemon.latency.send_to_ingest_seconds"},
+        {"ingest->durable", "zs.agg.daemon.latency.ingest_to_durable_seconds"},
+        {"roundtrip", "zs.agg.client.latency.roundtrip_seconds"},
+    };
+    std::string line;
+    for (const auto& stage : stages) {
+      const auto stats =
+          trace::MetricsRegistry::instance().latency(stage[1]).stats();
+      if (stats.count == 0) {
+        continue;
+      }
+      if (!line.empty()) {
+        line += ", ";
+      }
+      line += stage[0];
+      line += " mean=" + strings::fixed(stats.mean() * 1000.0, 3) + "ms";
+      line += " p99=" + strings::fixed(stats.quantile(0.99) * 1000.0, 3) +
+              "ms";
+    }
+    if (!line.empty()) {
+      out << "batch latency: " << line << '\n';
+    }
+  }
   return out.str();
 }
 

@@ -47,6 +47,7 @@ Config Config::fromEnv() {
   }
   cfg.traceFile = env::getString("ZS_TRACE_FILE", cfg.traceFile);
   cfg.trace = env::getBool("ZS_TRACE", cfg.trace) || !cfg.traceFile.empty();
+  cfg.metricsFile = env::getString("ZS_METRICS_FILE", cfg.metricsFile);
   cfg.aggHost = env::getString("ZS_AGG_HOST", cfg.aggHost);
   cfg.aggPort = static_cast<int>(env::getInt("ZS_AGG_PORT", cfg.aggPort));
   if (cfg.aggPort < 0 || cfg.aggPort > 65535) {

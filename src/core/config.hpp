@@ -82,6 +82,9 @@ struct Config {
   bool trace = false;
   /// Chrome trace_event JSON written by zerosum::finalize(); empty = none.
   std::string traceFile;
+  /// MetricsRegistry JSON snapshot written by zerosum::finalize(); empty
+  /// = none.  Rendered to Prometheus text by `zerosum-post --prom-dump`.
+  std::string metricsFile;
   /// Aggregation daemon endpoint; port 0 disables the embedded client.
   std::string aggHost = "127.0.0.1";
   int aggPort = 0;

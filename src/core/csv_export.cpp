@@ -68,14 +68,15 @@ void CsvExporter::writeHealthSeries(std::ostream& out,
   out << "time,samples_taken,samples_degraded,samples_dropped,loop_overruns,"
          "subsystems_quarantined,quarantines,recoveries,"
          "agg_records_coarsened,agg_degrade_transitions,"
-         "agg_records_dropped\n";
+         "agg_records_dropped,agg_degrade_stage,agg_acked_pressure\n";
   for (const auto& s : samples) {
     out << strings::fixed(s.timeSeconds, 3) << ',' << s.samplesTaken << ','
         << s.samplesDegraded << ',' << s.samplesDropped << ','
         << s.loopOverruns << ',' << s.subsystemsQuarantined << ','
         << s.quarantines << ',' << s.recoveries << ','
         << s.aggRecordsCoarsened << ',' << s.aggDegradeTransitions << ','
-        << s.aggRecordsDropped << '\n';
+        << s.aggRecordsDropped << ',' << s.aggDegradeStage << ','
+        << s.aggAckedPressure << '\n';
   }
 }
 

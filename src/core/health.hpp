@@ -74,6 +74,12 @@ struct AggHealth {
   std::uint64_t recordsCoarsened = 0;
   std::uint64_t degradeTransitions = 0;
   std::uint64_t recordsDropped = 0;
+  /// Current ladder stage (0 full / 1 coarse / 2 essential) and the last
+  /// daemon pressure acked (0 ok / 1 elevated / 2 overloaded) — the live
+  /// state behind the cumulative transition counters, so the CSV shows
+  /// coarsening while it happens.
+  int degradeStage = 0;
+  int ackedPressure = 0;
 };
 
 /// One row of the per-sample health time series.
@@ -93,6 +99,8 @@ struct HealthSample {
   std::uint64_t aggRecordsCoarsened = 0;
   std::uint64_t aggDegradeTransitions = 0;
   std::uint64_t aggRecordsDropped = 0;
+  int aggDegradeStage = 0;
+  int aggAckedPressure = 0;
 };
 
 /// Aggregate self-health of one MonitorSession.

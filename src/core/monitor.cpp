@@ -152,6 +152,8 @@ void MonitorSession::sampleOnce(double timeSeconds) {
     hs.aggRecordsCoarsened = agg.recordsCoarsened;
     hs.aggDegradeTransitions = agg.degradeTransitions;
     hs.aggRecordsDropped = agg.recordsDropped;
+    hs.aggDegradeStage = agg.degradeStage;
+    hs.aggAckedPressure = agg.ackedPressure;
   }
   healthSeries_.push_back(hs);
   ZS_TRACE_COUNTER("zs.samples_degraded",

@@ -1,5 +1,6 @@
 #include "core/zerosum.hpp"
 
+#include <fstream>
 #include <map>
 #include <mutex>
 #include <string>
@@ -14,6 +15,7 @@
 #include "export/publisher.hpp"
 #include "procfs/faultfs.hpp"
 #include "trace/chrome_export.hpp"
+#include "trace/prometheus.hpp"
 #include "trace/trace.hpp"
 
 namespace zerosum {
@@ -70,6 +72,8 @@ void wireAggregation(core::MonitorSession& session) {
         agg.recordsCoarsened = counters.recordsCoarsened;
         agg.degradeTransitions = counters.degradeTransitions;
         agg.recordsDropped = counters.recordsDropped;
+        agg.degradeStage = static_cast<int>(client->level());
+        agg.ackedPressure = static_cast<int>(client->pressure());
       }
     }
     return agg;
@@ -144,6 +148,26 @@ void writeTraceFileIfRequested(const core::MonitorSession& session) {
   }
 }
 
+/// Writes the final MetricsRegistry as a JSON snapshot (ZS_METRICS_FILE)
+/// — the artifact `zerosum-post --prom-dump` renders to Prometheus text,
+/// so offline runs and live /metrics scrapes share one exposition.
+void writeMetricsFileIfRequested(const core::MonitorSession& session) {
+  std::string path = session.config().metricsFile;
+  if (path.empty()) {
+    path = env::getString("ZS_METRICS_FILE", "");
+  }
+  if (path.empty()) {
+    return;
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    log::warn() << "could not open metrics file " << path;
+    return;
+  }
+  trace::writeMetricsJson(out, trace::MetricsRegistry::instance().snapshot());
+  log::info() << "wrote metrics snapshot to " << path;
+}
+
 }  // namespace
 
 core::MonitorSession& initialize(core::ProcessIdentity identity) {
@@ -196,6 +220,7 @@ std::string finalize() {
   }
   flushFinalTelemetry(*owned);
   writeTraceFileIfRequested(*owned);
+  writeMetricsFileIfRequested(*owned);
   return report;
 }
 

@@ -1,8 +1,72 @@
 #include "trace/metrics.hpp"
 
+#include <algorithm>
+
 #include "common/error.hpp"
 
 namespace zerosum::trace {
+
+const std::vector<double>& defaultLatencyBoundsSeconds() {
+  static const std::vector<double> bounds = {
+      1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4,
+      5e-4, 1e-3,   2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 0.1,
+      0.25, 0.5,    1.0,  2.5,  5.0,  10.0};
+  return bounds;
+}
+
+double LatencyStats::quantile(double q) const {
+  if (count == 0 || counts.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * double(count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    cumulative += counts[i];
+    if (double(cumulative) >= target && counts[i] > 0) {
+      if (i >= bounds.size()) return max;  // overflow bucket
+      const double upper = bounds[i];
+      const double lower = i == 0 ? 0.0 : bounds[i - 1];
+      const double before = double(cumulative - counts[i]);
+      const double frac =
+          std::clamp((target - before) / double(counts[i]), 0.0, 1.0);
+      return lower + frac * (upper - lower);
+    }
+  }
+  return max;
+}
+
+LatencyHistogram::LatencyHistogram(std::vector<double> boundsSeconds)
+    : bounds_(std::move(boundsSeconds)) {
+  if (bounds_.empty()) bounds_ = defaultLatencyBoundsSeconds();
+  if (!std::is_sorted(bounds_.begin(), bounds_.end()) ||
+      std::adjacent_find(bounds_.begin(), bounds_.end()) != bounds_.end()) {
+    throw StateError("latency histogram bounds must be strictly ascending");
+  }
+  buckets_ =
+      std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+LatencyStats LatencyHistogram::stats() const {
+  LatencyStats s;
+  s.bounds = bounds_;
+  s.counts.resize(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    s.counts[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum = fromBits(sum_.load(std::memory_order_relaxed));
+  s.max = fromBits(max_.load(std::memory_order_relaxed));
+  return s;
+}
+
+void LatencyHistogram::reset() {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
 
 MetricsRegistry& MetricsRegistry::instance() {
   static MetricsRegistry registry;
@@ -26,6 +90,9 @@ MetricsRegistry::Entry& MetricsRegistry::entry(const std::string& name,
       case MetricKind::kHistogram:
         e.histogram = std::make_unique<Histogram>();
         break;
+      case MetricKind::kLatency:
+        // Created in latency(): bounds are needed at construction time.
+        break;
     }
     it = entries_.emplace(name, std::move(e)).first;
   } else if (it->second.kind != kind) {
@@ -47,6 +114,22 @@ Histogram& MetricsRegistry::histogram(const std::string& name) {
   return *entry(name, MetricKind::kHistogram).histogram;
 }
 
+LatencyHistogram& MetricsRegistry::latency(
+    const std::string& name, const std::vector<double>& boundsSeconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    Entry e;
+    e.kind = MetricKind::kLatency;
+    e.latency = std::make_unique<LatencyHistogram>(boundsSeconds);
+    it = entries_.emplace(name, std::move(e)).first;
+  } else if (it->second.kind != MetricKind::kLatency) {
+    throw StateError("metric '" + name +
+                     "' already registered with a different kind");
+  }
+  return *it->second.latency;
+}
+
 std::vector<MetricSnapshot> MetricsRegistry::snapshot() const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::vector<MetricSnapshot> out;
@@ -65,6 +148,10 @@ std::vector<MetricSnapshot> MetricsRegistry::snapshot() const {
       case MetricKind::kHistogram:
         s.histogram = e.histogram->accumulator();
         s.count = s.histogram.count();
+        break;
+      case MetricKind::kLatency:
+        s.latency = e.latency->stats();
+        s.count = s.latency.count;
         break;
     }
     out.push_back(std::move(s));

@@ -88,7 +88,90 @@ class Histogram {
   stats::Accumulator acc_;
 };
 
-enum class MetricKind : std::uint8_t { kCounter, kGauge, kHistogram };
+/// Upper bounds (seconds) used when latency() is called without explicit
+/// bounds: 1-2.5-5 per decade from 1 µs to 10 s, Prometheus-style.
+[[nodiscard]] const std::vector<double>& defaultLatencyBoundsSeconds();
+
+/// Snapshot of a LatencyHistogram: cumulative-bucket form is derived by
+/// the exposition writer; counts here are per-bucket.
+struct LatencyStats {
+  std::vector<double> bounds;         ///< ascending inclusive upper bounds
+  std::vector<std::uint64_t> counts;  ///< bounds.size()+1; last = overflow
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double max = 0.0;
+
+  [[nodiscard]] double mean() const { return count ? sum / double(count) : 0.0; }
+  /// q in [0,1]; linear interpolation inside the winning bucket, `max`
+  /// for the overflow bucket.  0 when empty.
+  [[nodiscard]] double quantile(double q) const;
+};
+
+/// Fixed-boundary histogram with Prometheus bucket semantics
+/// (observation lands in the first bucket whose upper bound >= value).
+/// observe() is lock-free and allocation-free: a binary search over the
+/// immutable bounds plus relaxed atomics, so it is safe on the sampling
+/// hot path under the zero-allocation contract (test_zero_alloc).
+class LatencyHistogram {
+ public:
+  explicit LatencyHistogram(std::vector<double> boundsSeconds);
+
+  void observe(double v) {
+    std::size_t idx = bounds_.size();
+    // Branch-light binary search; bounds_ never changes after construction.
+    std::size_t lo = 0, hi = bounds_.size();
+    while (lo < hi) {
+      std::size_t mid = (lo + hi) / 2;
+      if (bounds_[mid] < v) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    idx = lo;
+    buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    atomicAdd(sum_, v);
+    atomicMax(max_, v);
+  }
+
+  [[nodiscard]] LatencyStats stats() const;
+  [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
+  void reset();
+
+ private:
+  static std::uint64_t toBits(double v) {
+    std::uint64_t bits = 0;
+    __builtin_memcpy(&bits, &v, sizeof(bits));
+    return bits;
+  }
+  static double fromBits(std::uint64_t bits) {
+    double v = 0.0;
+    __builtin_memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  static void atomicAdd(std::atomic<std::uint64_t>& cell, double delta) {
+    std::uint64_t old = cell.load(std::memory_order_relaxed);
+    while (!cell.compare_exchange_weak(old, toBits(fromBits(old) + delta),
+                                       std::memory_order_relaxed)) {
+    }
+  }
+  static void atomicMax(std::atomic<std::uint64_t>& cell, double v) {
+    std::uint64_t old = cell.load(std::memory_order_relaxed);
+    while (fromBits(old) < v &&
+           !cell.compare_exchange_weak(old, toBits(v),
+                                       std::memory_order_relaxed)) {
+    }
+  }
+
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};  ///< double bits
+  std::atomic<std::uint64_t> max_{0};  ///< double bits
+};
+
+enum class MetricKind : std::uint8_t { kCounter, kGauge, kHistogram, kLatency };
 
 /// One registry entry at snapshot time.
 struct MetricSnapshot {
@@ -97,6 +180,7 @@ struct MetricSnapshot {
   std::uint64_t count = 0;       ///< counter value or histogram count
   double value = 0.0;            ///< gauge value
   stats::Accumulator histogram;  ///< histogram statistics
+  LatencyStats latency;          ///< fixed-boundary latency statistics
 };
 
 class MetricsRegistry {
@@ -113,6 +197,11 @@ class MetricsRegistry {
   Counter& counter(const std::string& name);
   Gauge& gauge(const std::string& name);
   Histogram& histogram(const std::string& name);
+  /// Fixed-boundary latency histogram; empty bounds = the default
+  /// 1 µs..10 s log ladder.  Bounds are fixed at first registration —
+  /// later calls return the existing histogram regardless of `bounds`.
+  LatencyHistogram& latency(const std::string& name,
+                            const std::vector<double>& boundsSeconds = {});
 
   /// All entries, sorted by name.
   [[nodiscard]] std::vector<MetricSnapshot> snapshot() const;
@@ -127,6 +216,7 @@ class MetricsRegistry {
     std::unique_ptr<Counter> counter;
     std::unique_ptr<Gauge> gauge;
     std::unique_ptr<Histogram> histogram;
+    std::unique_ptr<LatencyHistogram> latency;
   };
   Entry& entry(const std::string& name, MetricKind kind);
 

@@ -1,0 +1,251 @@
+#include "trace/prometheus.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/json.hpp"
+
+namespace zerosum::trace {
+namespace {
+
+bool validFirst(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+         c == ':';
+}
+
+bool validRest(char c) { return validFirst(c) || (c >= '0' && c <= '9'); }
+
+/// Shortest round-trip decimal for a double; "+Inf"/"-Inf"/"NaN" in the
+/// exposition spellings.
+std::string formatDouble(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  char buf[64];
+  auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  if (ec != std::errc{}) return "0";
+  return std::string(buf, ptr);
+}
+
+std::string renderLabels(const PromLabels& labels, const std::string& le) {
+  if (labels.empty() && le.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += promMetricName(k);
+    out += "=\"";
+    out += promEscapeLabelValue(v);
+    out += "\"";
+  }
+  if (!le.empty()) {
+    if (!first) out += ",";
+    out += "le=\"";
+    out += le;
+    out += "\"";
+  }
+  out += "}";
+  return out;
+}
+
+void header(std::ostream& out, const std::string& promName,
+            const std::string& type, const std::string& originalName) {
+  out << "# HELP " << promName << " zerosum metric " << originalName << "\n";
+  out << "# TYPE " << promName << " " << type << "\n";
+}
+
+}  // namespace
+
+std::string promMetricName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) out += validRest(c) ? c : '_';
+  if (out.empty() || !validFirst(out[0])) out.insert(out.begin(), '_');
+  return out;
+}
+
+std::string promEscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+void writePrometheus(std::ostream& out,
+                     const std::vector<MetricSnapshot>& metrics,
+                     const PromLabels& labels) {
+  const std::string plain = renderLabels(labels, "");
+  for (const auto& m : metrics) {
+    std::string base = promMetricName(m.name);
+    switch (m.kind) {
+      case MetricKind::kCounter: {
+        // Prometheus counters conventionally end in _total; avoid doubling
+        // it when the registry name already carries the suffix.
+        if (base.size() < 6 || base.compare(base.size() - 6, 6, "_total") != 0)
+          base += "_total";
+        header(out, base, "counter", m.name);
+        out << base << plain << " " << m.count << "\n";
+        break;
+      }
+      case MetricKind::kGauge: {
+        header(out, base, "gauge", m.name);
+        out << base << plain << " " << formatDouble(m.value) << "\n";
+        break;
+      }
+      case MetricKind::kHistogram: {
+        header(out, base, "summary", m.name);
+        out << base << "_sum" << plain << " "
+            << formatDouble(m.histogram.count() ? m.histogram.sum() : 0.0)
+            << "\n";
+        out << base << "_count" << plain << " " << m.histogram.count() << "\n";
+        break;
+      }
+      case MetricKind::kLatency: {
+        header(out, base, "histogram", m.name);
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i < m.latency.bounds.size(); ++i) {
+          cumulative += m.latency.counts.size() > i ? m.latency.counts[i] : 0;
+          out << base << "_bucket"
+              << renderLabels(labels, formatDouble(m.latency.bounds[i])) << " "
+              << cumulative << "\n";
+        }
+        out << base << "_bucket" << renderLabels(labels, "+Inf") << " "
+            << m.latency.count << "\n";
+        out << base << "_sum" << plain << " " << formatDouble(m.latency.sum)
+            << "\n";
+        out << base << "_count" << plain << " " << m.latency.count << "\n";
+        break;
+      }
+    }
+  }
+}
+
+std::string renderPrometheus(const std::vector<MetricSnapshot>& metrics,
+                             const PromLabels& labels) {
+  std::ostringstream out;
+  writePrometheus(out, metrics, labels);
+  return out.str();
+}
+
+void writeMetricsJson(std::ostream& out,
+                      const std::vector<MetricSnapshot>& metrics) {
+  json::Writer w(out);
+  w.beginObject();
+  w.field("version", std::uint64_t{1});
+  w.key("metrics").beginArray();
+  for (const auto& m : metrics) {
+    w.beginObject();
+    w.field("name", m.name);
+    switch (m.kind) {
+      case MetricKind::kCounter:
+        w.field("kind", "counter").field("count", m.count);
+        break;
+      case MetricKind::kGauge:
+        w.field("kind", "gauge").field("value", m.value);
+        break;
+      case MetricKind::kHistogram:
+        w.field("kind", "histogram")
+            .field("count", std::uint64_t{m.histogram.count()})
+            .field("sum", m.histogram.count() ? m.histogram.sum() : 0.0)
+            .field("min", m.histogram.count() ? m.histogram.min() : 0.0)
+            .field("max", m.histogram.count() ? m.histogram.max() : 0.0);
+        break;
+      case MetricKind::kLatency: {
+        w.field("kind", "latency")
+            .field("count", m.latency.count)
+            .field("sum", m.latency.sum)
+            .field("max", m.latency.max);
+        w.key("bounds").beginArray();
+        for (double b : m.latency.bounds) w.value(b);
+        w.endArray();
+        w.key("counts").beginArray();
+        for (std::uint64_t c : m.latency.counts) w.value(c);
+        w.endArray();
+        break;
+      }
+    }
+    w.endObject();
+  }
+  w.endArray();
+  w.endObject();
+  out << "\n";
+}
+
+std::vector<MetricSnapshot> parseMetricsJson(const std::string& text) {
+  const json::Value doc = json::parse(text);
+  const json::Value* metrics = doc.find("metrics");
+  if (metrics == nullptr || !metrics->isArray()) {
+    throw ParseError("metrics JSON: missing 'metrics' array");
+  }
+  std::vector<MetricSnapshot> out;
+  out.reserve(metrics->asArray().size());
+  for (const auto& entry : metrics->asArray()) {
+    MetricSnapshot s;
+    s.name = entry.stringOr("name", "");
+    const std::string kind = entry.stringOr("kind", "");
+    if (s.name.empty() || kind.empty()) {
+      throw ParseError("metrics JSON: entry missing name/kind");
+    }
+    if (kind == "counter") {
+      s.kind = MetricKind::kCounter;
+      s.count = std::uint64_t(entry.numberOr("count", 0));
+    } else if (kind == "gauge") {
+      s.kind = MetricKind::kGauge;
+      s.value = entry.numberOr("value", 0);
+    } else if (kind == "histogram") {
+      s.kind = MetricKind::kHistogram;
+      // Rebuild an Accumulator with exact count/sum/min/max (the moments
+      // the exposition uses); the interior is synthesized, so variance is
+      // approximate — acceptable for an offline dump.
+      const auto count = std::uint64_t(entry.numberOr("count", 0));
+      const double sum = entry.numberOr("sum", 0);
+      const double mn = entry.numberOr("min", 0);
+      const double mx = entry.numberOr("max", 0);
+      if (count == 1) {
+        s.histogram.add(sum);
+      } else if (count == 2) {
+        s.histogram.add(mn);
+        s.histogram.add(sum - mn);
+      } else if (count >= 3) {
+        s.histogram.add(mn);
+        s.histogram.add(mx);
+        const double mid = (sum - mn - mx) / double(count - 2);
+        for (std::uint64_t i = 2; i < count; ++i) s.histogram.add(mid);
+      }
+      s.count = s.histogram.count();
+    } else if (kind == "latency") {
+      s.kind = MetricKind::kLatency;
+      s.latency.count = std::uint64_t(entry.numberOr("count", 0));
+      s.latency.sum = entry.numberOr("sum", 0);
+      s.latency.max = entry.numberOr("max", 0);
+      if (const json::Value* bounds = entry.find("bounds")) {
+        for (const auto& b : bounds->asArray())
+          s.latency.bounds.push_back(b.asNumber());
+      }
+      if (const json::Value* counts = entry.find("counts")) {
+        for (const auto& c : counts->asArray())
+          s.latency.counts.push_back(std::uint64_t(c.asNumber()));
+      }
+      if (s.latency.counts.size() != s.latency.bounds.size() + 1) {
+        throw ParseError("metrics JSON: latency counts/bounds mismatch for '" +
+                         s.name + "'");
+      }
+      s.count = s.latency.count;
+    } else {
+      throw ParseError("metrics JSON: unknown kind '" + kind + "'");
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace zerosum::trace

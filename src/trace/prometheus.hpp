@@ -1,0 +1,63 @@
+// Prometheus text exposition (version 0.0.4) of the MetricsRegistry.
+//
+// One writer serves every consumer: the live `GET /metrics` endpoint in
+// zerosum-aggd, the embedded client's finalize-time dump (ZS_METRICS_FILE),
+// and `zerosum-post --prom-dump` — offline runs and live scrapes share a
+// single format.
+//
+// Mapping from registry kinds:
+//   * Counter            -> `<name>_total` with `# TYPE ... counter`
+//   * Gauge              -> `<name>`       with `# TYPE ... gauge`
+//   * Histogram (Welford)-> `# TYPE ... summary` with `_sum` + `_count`
+//   * LatencyHistogram   -> `# TYPE ... histogram` with cumulative
+//                           `_bucket{le="..."}` rows, `le="+Inf"`,
+//                           `_sum`, `_count`
+//
+// Dotted registry names are sanitized to the Prometheus charset
+// ([a-zA-Z_:][a-zA-Z0-9_:]*) by replacing invalid runes with '_';
+// the original dotted name is preserved in the HELP line.  Caller-supplied
+// labels (e.g. {job="...",role="daemon"}) are attached to every sample.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "trace/metrics.hpp"
+
+namespace zerosum::trace {
+
+using PromLabel = std::pair<std::string, std::string>;
+using PromLabels = std::vector<PromLabel>;
+
+/// Sanitizes a dotted registry name into the Prometheus metric-name
+/// charset.  Does NOT append kind suffixes (_total etc.); the writer does.
+[[nodiscard]] std::string promMetricName(const std::string& name);
+
+/// Escapes a label value per the exposition format (backslash, double
+/// quote, newline).
+[[nodiscard]] std::string promEscapeLabelValue(const std::string& value);
+
+/// Writes the full exposition for `metrics` (a MetricsRegistry snapshot);
+/// `labels` are attached to every sample.
+void writePrometheus(std::ostream& out,
+                     const std::vector<MetricSnapshot>& metrics,
+                     const PromLabels& labels = {});
+
+[[nodiscard]] std::string renderPrometheus(
+    const std::vector<MetricSnapshot>& metrics, const PromLabels& labels = {});
+
+/// Lossless-enough JSON snapshot of the registry, the persisted artifact
+/// behind `zerosum-post --prom-dump`: counters and gauges round-trip
+/// exactly, latency histograms bucket-exactly, Welford histograms to the
+/// (count,sum,min,max) the exposition needs.
+void writeMetricsJson(std::ostream& out,
+                      const std::vector<MetricSnapshot>& metrics);
+
+/// Parses a writeMetricsJson() document back into snapshots.  Throws
+/// ParseError on malformed input.
+[[nodiscard]] std::vector<MetricSnapshot> parseMetricsJson(
+    const std::string& text);
+
+}  // namespace zerosum::trace

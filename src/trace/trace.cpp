@@ -273,6 +273,16 @@ void flushToToolApi() {
                             m.histogram.max());
         }
         break;
+      case MetricKind::kLatency:
+        if (m.count > 0) {
+          api.sampleCounter("zs.trace." + m.name + ".count",
+                            static_cast<double>(m.count));
+          api.sampleCounter("zs.trace." + m.name + ".total_s", m.latency.sum);
+          api.sampleCounter("zs.trace." + m.name + ".mean_s",
+                            m.latency.mean());
+          api.sampleCounter("zs.trace." + m.name + ".max_s", m.latency.max);
+        }
+        break;
     }
   }
   std::uint64_t recorded = 0;

@@ -24,6 +24,7 @@
 #include "common/error.hpp"
 #include "common/json.hpp"
 #include "topology/presets.hpp"
+#include "trace/metrics.hpp"
 
 using namespace zerosum;
 using namespace zerosum::aggregator;
@@ -644,4 +645,93 @@ TEST(AggAdmission, DrainBacklogFlushesEverythingForOrderlyShutdown) {
   daemon.drainBacklog(2.0);
   EXPECT_EQ(daemon.ingestBacklog(), 0U);
   EXPECT_EQ(daemon.counters().recordsIngested, 12U);
+}
+
+// --- per-stage latency attribution (wire v3 stamps, DESIGN.md §10) ----------
+
+namespace {
+
+Frame stampedBatch(std::uint64_t seq, double enqueueAt, double encodeAt,
+                   double prevRoundtrip = -1.0) {
+  Frame frame;
+  frame.kind = FrameKind::kBatch;
+  frame.batchSeq = seq;
+  frame.timeSeconds = encodeAt;
+  frame.enqueueSeconds = enqueueAt;
+  frame.encodeSeconds = encodeAt;
+  frame.prevRoundtripSeconds = prevRoundtrip;
+  frame.records.push_back({encodeAt, "hwt.0.user_pct", 50.0});
+  return frame;
+}
+
+}  // namespace
+
+TEST(AggLatency, StampedBatchesFeedAllFourStageHistograms) {
+  trace::MetricsRegistry::instance().reset();
+  PipeHub hub;
+  Aggregator daemon(hub.makeServer());
+  RawSource source(hub);
+  source.hello(0);
+
+  // Batch 1 establishes the clock offset (its own transit reads as 0).
+  source.send(stampedBatch(1, 0.90, 1.00));
+  daemon.poll(1.05);
+  // Batch 2 carries the client's view of batch 1's full round-trip.
+  source.send(stampedBatch(2, 1.10, 1.20, 0.25));
+  daemon.poll(1.25);
+  // Batch 3 transits slower than the fastest observed, so its
+  // send->ingest is positive: (1.50 - 0.05) - 1.30 = 0.15.
+  source.send(stampedBatch(3, 1.25, 1.30));
+  daemon.poll(1.50);
+
+  auto& registry = trace::MetricsRegistry::instance();
+  const auto queued =
+      registry.latency("zs.agg.daemon.latency.enqueue_to_send_seconds").stats();
+  EXPECT_EQ(queued.count, 3U);
+  EXPECT_NEAR(queued.sum, 0.10 + 0.10 + 0.05, 1e-9);
+
+  const auto transit =
+      registry.latency("zs.agg.daemon.latency.send_to_ingest_seconds").stats();
+  EXPECT_EQ(transit.count, 3U);
+  EXPECT_NEAR(transit.max, 0.15, 1e-9);
+
+  const auto roundtrip =
+      registry.latency("zs.agg.daemon.latency.roundtrip_seconds").stats();
+  EXPECT_EQ(roundtrip.count, 1U);
+  EXPECT_NEAR(roundtrip.sum, 0.25, 1e-9);
+
+  // No writer: batches are durable at ingest, so the ack flush observes
+  // an (approximately zero) ingest->durable sample per batch.
+  const auto durable =
+      registry.latency("zs.agg.daemon.latency.ingest_to_durable_seconds")
+          .stats();
+  EXPECT_EQ(durable.count, 3U);
+  trace::MetricsRegistry::instance().reset();
+}
+
+TEST(AggLatency, MinOffsetMappingAbsorbsClientClockSkew) {
+  trace::MetricsRegistry::instance().reset();
+  PipeHub hub;
+  Aggregator daemon(hub.makeServer());
+  RawSource source(hub);
+  source.hello(0);
+
+  // Client clock runs 10s ahead of the daemon.  The first batch pins the
+  // offset at -10.0; naively differencing the stamps would report a 10s
+  // transit (or a negative one the other way around).
+  source.send(stampedBatch(1, 10.90, 11.00));
+  daemon.poll(1.00);
+  // Second batch encodes at client 11.20 and lands at daemon 1.50 — the
+  // candidate offset (-9.7) is worse than the minimum, so the mapping
+  // charges the extra 0.3s to transit, not to skew.
+  source.send(stampedBatch(2, 11.10, 11.20));
+  daemon.poll(1.50);
+
+  const auto transit = trace::MetricsRegistry::instance()
+                           .latency("zs.agg.daemon.latency.send_to_ingest_seconds")
+                           .stats();
+  EXPECT_EQ(transit.count, 2U);
+  EXPECT_NEAR(transit.sum, 0.30, 1e-9);
+  EXPECT_NEAR(transit.max, 0.30, 1e-9);
+  trace::MetricsRegistry::instance().reset();
 }

@@ -239,9 +239,9 @@ TEST(AggWire, RecordCountMismatchThrows) {
   // payload can hold.
   Frame batch = sampleBatch();
   std::string bytes = encodeFrame(batch);
-  // v2 payload layout: f64 time, u64 batch seq, then the u32 record
-  // count at offset 6+16.
-  bytes[6 + 16] = '\x7f';
+  // v3 payload layout: f64 time, u64 batch seq, three f64 latency
+  // stamps, then the u32 record count at offset 6+40.
+  bytes[6 + 40] = '\x7f';
   EXPECT_THROW(decodeFrame(bytes), ParseError);
 }
 

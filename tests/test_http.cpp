@@ -1,0 +1,497 @@
+// The HTTP telemetry plane: request parsing over byte-split frames,
+// bounds and error paths, keep-alive/pipelining, the mounted daemon
+// endpoint set (/metrics, /healthz, /readyz, /dashboard, /query), and
+// one loopback-TCP end-to-end check.  Everything except the TCP test
+// runs over the deterministic PipeHub, so byte-level edge cases need no
+// sockets.
+#include "aggregator/http.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "aggregator/daemon.hpp"
+#include "aggregator/tcp.hpp"
+#include "aggregator/transport.hpp"
+#include "aggregator/wire.hpp"
+#include "common/error.hpp"
+#include "common/json.hpp"
+#include "trace/metrics.hpp"
+
+using namespace zerosum;
+using namespace zerosum::aggregator;
+
+namespace {
+
+/// Every test starts from a clean registry: HttpServer and Aggregator
+/// resolve metric handles in their constructors, so construct them
+/// after SetUp has run.
+class HttpTest : public ::testing::Test {
+ protected:
+  void SetUp() override { trace::MetricsRegistry::instance().reset(); }
+  void TearDown() override { trace::MetricsRegistry::instance().reset(); }
+};
+
+/// A raw byte client on the pipe hub; collects whatever the server wrote
+/// back after each poll.
+struct PipeClient {
+  explicit PipeClient(PipeHub& hub) : transport(hub.makeClientTransport()) {
+    EXPECT_TRUE(transport->connect());
+  }
+  void send(const std::string& bytes) { EXPECT_TRUE(transport->send(bytes)); }
+  /// Polls the server and drains this client's receive pipe.
+  std::string exchange(HttpServer& server, int polls = 3) {
+    std::string out;
+    for (int i = 0; i < polls; ++i) {
+      server.poll();
+      transport->receive(out);
+    }
+    return out;
+  }
+  std::unique_ptr<Transport> transport;
+};
+
+int statusOf(const std::string& response) {
+  // "HTTP/1.1 NNN Reason\r\n..."
+  if (response.size() < 12 || response.rfind("HTTP/1.1 ", 0) != 0) {
+    return -1;
+  }
+  return std::atoi(response.c_str() + 9);
+}
+
+std::string bodyOf(const std::string& response) {
+  const std::size_t split = response.find("\r\n\r\n");
+  return split == std::string::npos ? "" : response.substr(split + 4);
+}
+
+/// Splits a byte stream of back-to-back responses using Content-Length.
+std::vector<std::string> splitResponses(const std::string& stream) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos < stream.size()) {
+    const std::size_t headerEnd = stream.find("\r\n\r\n", pos);
+    if (headerEnd == std::string::npos) {
+      break;
+    }
+    const std::size_t lenAt = stream.find("Content-Length: ", pos);
+    EXPECT_LT(lenAt, headerEnd);
+    const std::size_t lenEnd = stream.find('\r', lenAt);
+    const std::size_t length =
+        std::stoul(stream.substr(lenAt + 16, lenEnd - lenAt - 16));
+    const std::size_t end = headerEnd + 4 + length;
+    out.push_back(stream.substr(pos, end - pos));
+    pos = end;
+  }
+  return out;
+}
+
+/// An HttpServer over a fresh hub with one echo-style handler mounted.
+struct EchoPlane {
+  EchoPlane()
+      : server(std::make_unique<HttpServer>(hub.makeServer())) {
+    server->handle("GET", "/ping", [](const HttpRequest&) {
+      return HttpResponse{200, "text/plain; charset=utf-8", "pong\n"};
+    });
+    server->handle("POST", "/echo", [](const HttpRequest& request) {
+      return HttpResponse{200, "text/plain; charset=utf-8",
+                          request.method + " " + request.target + " " +
+                              request.body};
+    });
+  }
+  PipeHub hub;
+  std::unique_ptr<HttpServer> server;
+};
+
+}  // namespace
+
+TEST_F(HttpTest, ServesASimpleGet) {
+  EchoPlane plane;
+  PipeClient client(plane.hub);
+  client.send("GET /ping HTTP/1.1\r\nHost: zs\r\n\r\n");
+  const std::string response = client.exchange(*plane.server);
+  EXPECT_EQ(statusOf(response), 200);
+  EXPECT_EQ(bodyOf(response), "pong\n");
+  EXPECT_NE(response.find("Content-Length: 5\r\n"), std::string::npos);
+  EXPECT_NE(response.find("Connection: keep-alive\r\n"), std::string::npos);
+  EXPECT_EQ(plane.server->counters().requests, 1u);
+  EXPECT_EQ(plane.server->counters().errors, 0u);
+}
+
+TEST_F(HttpTest, ReassemblesByteSplitRequests) {
+  EchoPlane plane;
+  PipeClient client(plane.hub);
+  const std::string request =
+      "POST /echo HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello";
+  // One byte per poll: the parser must buffer across arbitrary frame
+  // boundaries (request line, header block, and body all split).
+  std::string response;
+  for (char c : request) {
+    client.send(std::string(1, c));
+    plane.server->poll();
+    client.transport->receive(response);
+  }
+  plane.server->poll();
+  client.transport->receive(response);
+  EXPECT_EQ(statusOf(response), 200);
+  EXPECT_EQ(bodyOf(response), "POST /echo hello");
+  EXPECT_EQ(plane.server->counters().requests, 1u);
+}
+
+TEST_F(HttpTest, KeepAliveServesSequentialRequestsOnOneConnection) {
+  EchoPlane plane;
+  PipeClient client(plane.hub);
+  client.send("GET /ping HTTP/1.1\r\n\r\n");
+  std::string first = client.exchange(*plane.server);
+  EXPECT_EQ(statusOf(first), 200);
+  client.send("GET /ping HTTP/1.1\r\n\r\n");
+  std::string second = client.exchange(*plane.server);
+  EXPECT_EQ(statusOf(second), 200);
+  EXPECT_EQ(plane.server->counters().requests, 2u);
+  EXPECT_EQ(plane.server->counters().connectionsOpened, 1u);
+  EXPECT_EQ(plane.server->counters().connectionsClosed, 0u);
+}
+
+TEST_F(HttpTest, PipelinedRequestsEachGetAResponse) {
+  EchoPlane plane;
+  PipeClient client(plane.hub);
+  client.send(
+      "GET /ping HTTP/1.1\r\n\r\n"
+      "POST /echo HTTP/1.1\r\nContent-Length: 2\r\n\r\nok"
+      "GET /ping HTTP/1.1\r\n\r\n");
+  const auto responses = splitResponses(client.exchange(*plane.server));
+  ASSERT_EQ(responses.size(), 3u);
+  EXPECT_EQ(bodyOf(responses[0]), "pong\n");
+  EXPECT_EQ(bodyOf(responses[1]), "POST /echo ok");
+  EXPECT_EQ(bodyOf(responses[2]), "pong\n");
+}
+
+TEST_F(HttpTest, ConnectionCloseAndHttp10SemanticsCloseTheConnection) {
+  EchoPlane plane;
+  {
+    PipeClient client(plane.hub);
+    client.send("GET /ping HTTP/1.1\r\nConnection: close\r\n\r\n");
+    const std::string response = client.exchange(*plane.server);
+    EXPECT_EQ(statusOf(response), 200);
+    EXPECT_NE(response.find("Connection: close\r\n"), std::string::npos);
+  }
+  EXPECT_EQ(plane.server->counters().connectionsClosed, 1u);
+  {
+    // HTTP/1.0 defaults to close...
+    PipeClient client(plane.hub);
+    client.send("GET /ping HTTP/1.0\r\n\r\n");
+    const std::string response = client.exchange(*plane.server);
+    EXPECT_EQ(statusOf(response), 200);
+    EXPECT_NE(response.find("Connection: close\r\n"), std::string::npos);
+  }
+  EXPECT_EQ(plane.server->counters().connectionsClosed, 2u);
+  {
+    // ...unless it asks to stay open.
+    PipeClient client(plane.hub);
+    client.send("GET /ping HTTP/1.0\r\nConnection: keep-alive\r\n\r\n");
+    const std::string response = client.exchange(*plane.server);
+    EXPECT_EQ(statusOf(response), 200);
+    EXPECT_NE(response.find("Connection: keep-alive\r\n"), std::string::npos);
+  }
+  EXPECT_EQ(plane.server->counters().connectionsClosed, 2u);
+}
+
+TEST_F(HttpTest, UnknownPathIs404KnownPathWrongMethodIs405) {
+  EchoPlane plane;
+  PipeClient client(plane.hub);
+  client.send("GET /nope HTTP/1.1\r\n\r\n");
+  EXPECT_EQ(statusOf(client.exchange(*plane.server)), 404);
+  client.send("DELETE /ping HTTP/1.1\r\n\r\n");
+  EXPECT_EQ(statusOf(client.exchange(*plane.server)), 405);
+  EXPECT_EQ(plane.server->counters().errors, 2u);
+  EXPECT_EQ(plane.server->counters().parseErrors, 0u);
+}
+
+TEST_F(HttpTest, MalformedRequestsGet400AndTheConnectionDropped) {
+  const char* bad[] = {
+      "GET/ping HTTP/1.1\r\n\r\n",         // no spaces
+      "GET /ping HTTP/1.1 extra\r\n\r\n",  // four tokens
+      "GET /ping HTTP/2\r\n\r\n",          // unsupported version
+      "GET ping HTTP/1.1\r\n\r\n",         // target without leading /
+      "GET /ping HTTP/1.1\r\nno-colon-here\r\n\r\n",
+      "POST /echo HTTP/1.1\r\nContent-Length: nope\r\n\r\n",
+  };
+  for (const char* request : bad) {
+    EchoPlane plane;
+    PipeClient client(plane.hub);
+    client.send(request);
+    EXPECT_EQ(statusOf(client.exchange(*plane.server)), 400) << request;
+    EXPECT_EQ(plane.server->counters().parseErrors, 1u) << request;
+    EXPECT_EQ(plane.server->counters().connectionsClosed, 1u) << request;
+  }
+}
+
+TEST_F(HttpTest, OversizedRequestLineHeadersAndBodyAreBounded) {
+  HttpLimits limits;
+  limits.maxRequestLineBytes = 64;
+  limits.maxHeaderBytes = 128;
+  limits.maxBodyBytes = 16;
+  {
+    PipeHub hub;
+    HttpServer server(hub.makeServer(), limits);
+    PipeClient client(hub);
+    client.send("GET /" + std::string(200, 'a') + " HTTP/1.1\r\n\r\n");
+    EXPECT_EQ(statusOf(client.exchange(server)), 414);
+  }
+  {
+    // An unterminated request line is rejected once it cannot possibly
+    // fit, without waiting for a newline that may never come.
+    PipeHub hub;
+    HttpServer server(hub.makeServer(), limits);
+    PipeClient client(hub);
+    client.send(std::string(200, 'a'));
+    EXPECT_EQ(statusOf(client.exchange(server)), 414);
+  }
+  {
+    PipeHub hub;
+    HttpServer server(hub.makeServer(), limits);
+    PipeClient client(hub);
+    client.send("GET /ping HTTP/1.1\r\nx: " + std::string(300, 'h') +
+                "\r\n\r\n");
+    EXPECT_EQ(statusOf(client.exchange(server)), 431);
+  }
+  {
+    PipeHub hub;
+    HttpServer server(hub.makeServer(), limits);
+    PipeClient client(hub);
+    client.send("POST /echo HTTP/1.1\r\nContent-Length: 1000\r\n\r\n");
+    EXPECT_EQ(statusOf(client.exchange(server)), 413);
+  }
+}
+
+TEST_F(HttpTest, ChunkedTransferIsDeclined) {
+  EchoPlane plane;
+  PipeClient client(plane.hub);
+  client.send(
+      "POST /echo HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n");
+  EXPECT_EQ(statusOf(client.exchange(*plane.server)), 501);
+}
+
+TEST_F(HttpTest, ThrowingHandlerAnswers500AndKeepsServing) {
+  PipeHub hub;
+  HttpServer server(hub.makeServer());
+  server.handle("GET", "/boom", [](const HttpRequest&) -> HttpResponse {
+    throw StateError("handler exploded");
+  });
+  server.handle("GET", "/ok", [](const HttpRequest&) {
+    return HttpResponse{200, "text/plain; charset=utf-8", "fine\n"};
+  });
+  PipeClient client(hub);
+  client.send("GET /boom HTTP/1.1\r\n\r\n");
+  EXPECT_EQ(statusOf(client.exchange(server)), 500);
+  client.send("GET /ok HTTP/1.1\r\n\r\n");
+  EXPECT_EQ(statusOf(client.exchange(server)), 200);
+}
+
+TEST_F(HttpTest, ConcurrentScrapersAreServedIndependently) {
+  EchoPlane plane;
+  std::vector<std::unique_ptr<PipeClient>> scrapers;
+  for (int i = 0; i < 5; ++i) {
+    scrapers.push_back(std::make_unique<PipeClient>(plane.hub));
+  }
+  // All five requests land before a single poll.
+  for (auto& scraper : scrapers) {
+    scraper->send("GET /ping HTTP/1.1\r\n\r\n");
+  }
+  for (auto& scraper : scrapers) {
+    const std::string response = scraper->exchange(*plane.server);
+    EXPECT_EQ(statusOf(response), 200);
+    EXPECT_EQ(bodyOf(response), "pong\n");
+  }
+  EXPECT_EQ(plane.server->counters().requests, 5u);
+  EXPECT_EQ(plane.server->counters().connectionsOpened, 5u);
+}
+
+TEST_F(HttpTest, RequestCountersLandInTheMetricsRegistry) {
+  EchoPlane plane;
+  PipeClient client(plane.hub);
+  client.send("GET /ping HTTP/1.1\r\n\r\nGET /nope HTTP/1.1\r\n\r\n");
+  client.exchange(*plane.server);
+  const auto snap = trace::MetricsRegistry::instance().snapshot();
+  std::uint64_t requests = 0, errors = 0;
+  for (const auto& m : snap) {
+    if (m.name == "zs.http.requests") requests = m.count;
+    if (m.name == "zs.http.errors") errors = m.count;
+  }
+  EXPECT_EQ(requests, 2u);
+  EXPECT_EQ(errors, 1u);
+}
+
+// --- The mounted daemon endpoint set --------------------------------------
+
+namespace {
+
+/// A daemon plus its telemetry plane on separate hubs, with one rank's
+/// worth of traffic helpers.
+struct DaemonPlane {
+  explicit DaemonPlane(DaemonOptions options = {})
+      : daemon(wireHub.makeServer(), {}, options),
+        http(std::make_unique<HttpServer>(httpHub.makeServer())) {
+    mountDaemonEndpoints(*http, daemon, [this] { return clock; },
+                         {{"job", "j1"}, {"role", "daemon"}});
+  }
+  PipeHub wireHub;
+  PipeHub httpHub;
+  Aggregator daemon;
+  std::unique_ptr<HttpServer> http;
+  double clock = 0.0;
+};
+
+Frame helloFrame(int rank) {
+  Frame frame;
+  frame.kind = FrameKind::kHello;
+  frame.hello.job = "j1";
+  frame.hello.rank = rank;
+  frame.hello.worldSize = 2;
+  frame.hello.hostname = "node0000";
+  frame.hello.pid = 100 + rank;
+  return frame;
+}
+
+Frame batchFrame(double t, std::uint64_t seq) {
+  Frame frame;
+  frame.kind = FrameKind::kBatch;
+  frame.timeSeconds = t;
+  frame.batchSeq = seq;
+  frame.enqueueSeconds = t - 0.010;
+  frame.encodeSeconds = t - 0.005;
+  frame.records.push_back({t, "hwt.0.user_pct", 50.0});
+  return frame;
+}
+
+}  // namespace
+
+TEST_F(HttpTest, MetricsEndpointServesValidExpositionWithLabels) {
+  DaemonPlane plane;
+  auto source = plane.wireHub.makeClientTransport();
+  ASSERT_TRUE(source->connect());
+  ASSERT_TRUE(source->send(encodeFrame(helloFrame(0))));
+  ASSERT_TRUE(source->send(encodeFrame(batchFrame(1.0, 1))));
+  plane.clock = 1.0;
+  plane.daemon.poll(1.0);
+
+  PipeClient scraper(plane.httpHub);
+  scraper.send("GET /metrics HTTP/1.1\r\n\r\n");
+  const std::string response = scraper.exchange(*plane.http);
+  EXPECT_EQ(statusOf(response), 200);
+  EXPECT_NE(
+      response.find("Content-Type: text/plain; version=0.0.4; charset=utf-8"),
+      std::string::npos);
+  const std::string body = bodyOf(response);
+  // The daemon's ingest counters and latency attribution are present,
+  // carrying the caller's {job,role} labels.
+  EXPECT_NE(body.find("# TYPE zs_agg_daemon_latency_send_to_ingest_seconds "
+                      "histogram"),
+            std::string::npos);
+  EXPECT_NE(body.find("zs_agg_daemon_latency_enqueue_to_send_seconds_count"
+                      "{job=\"j1\",role=\"daemon\"} 1"),
+            std::string::npos);
+  EXPECT_NE(body.find("zs_agg_daemon_pressure{job=\"j1\",role=\"daemon\"}"),
+            std::string::npos);
+}
+
+TEST_F(HttpTest, HealthzReportsSourcesAndBacklog) {
+  DaemonPlane plane;
+  auto source = plane.wireHub.makeClientTransport();
+  ASSERT_TRUE(source->connect());
+  ASSERT_TRUE(source->send(encodeFrame(helloFrame(0))));
+  plane.clock = 2.0;
+  plane.daemon.poll(2.0);
+
+  PipeClient client(plane.httpHub);
+  client.send("GET /healthz HTTP/1.1\r\n\r\n");
+  const std::string response = client.exchange(*plane.http);
+  EXPECT_EQ(statusOf(response), 200);
+  const json::Value doc = json::parse(bodyOf(response));
+  EXPECT_TRUE(doc.find("ready")->asBool());
+  EXPECT_EQ(doc.stringOr("pressure", ""), "ok");
+  EXPECT_EQ(doc.numberOr("ingest_backlog", -1), 0.0);
+  EXPECT_EQ(doc.numberOr("time_seconds", -1), 2.0);
+  EXPECT_EQ(doc.find("sources")->numberOr("active", -1), 1.0);
+}
+
+TEST_F(HttpTest, ReadyzFlipsWithDaemonPressure) {
+  DaemonOptions options;
+  options.maxPendingBatches = 10;
+  options.maxBatchesPerPoll = 1;
+  DaemonPlane plane(options);
+  auto source = plane.wireHub.makeClientTransport();
+  ASSERT_TRUE(source->connect());
+  ASSERT_TRUE(source->send(encodeFrame(helloFrame(0))));
+  for (std::uint64_t seq = 1; seq <= 12; ++seq) {
+    ASSERT_TRUE(source->send(encodeFrame(batchFrame(1.0, seq))));
+  }
+  plane.daemon.poll(1.0);
+  ASSERT_EQ(plane.daemon.pressure(), PressureLevel::kOverloaded);
+
+  PipeClient client(plane.httpHub);
+  client.send("GET /readyz HTTP/1.1\r\n\r\n");
+  const std::string overloaded = client.exchange(*plane.http);
+  EXPECT_EQ(statusOf(overloaded), 503);
+  EXPECT_FALSE(json::parse(bodyOf(overloaded)).find("ready")->asBool());
+
+  // Draining the admission queue restores readiness.
+  plane.daemon.drainBacklog(2.0);
+  plane.daemon.poll(2.0);
+  ASSERT_EQ(plane.daemon.pressure(), PressureLevel::kOk);
+  client.send("GET /readyz HTTP/1.1\r\n\r\n");
+  const std::string ready = client.exchange(*plane.http);
+  EXPECT_EQ(statusOf(ready), 200);
+  EXPECT_TRUE(json::parse(bodyOf(ready)).find("ready")->asBool());
+}
+
+TEST_F(HttpTest, DashboardAndQueryBridgeTheExistingServices) {
+  DaemonPlane plane;
+  auto source = plane.wireHub.makeClientTransport();
+  ASSERT_TRUE(source->connect());
+  ASSERT_TRUE(source->send(encodeFrame(helloFrame(0))));
+  ASSERT_TRUE(source->send(encodeFrame(batchFrame(1.0, 1))));
+  plane.clock = 1.0;
+  plane.daemon.poll(1.0);
+
+  PipeClient client(plane.httpHub);
+  client.send("GET /dashboard HTTP/1.1\r\n\r\n");
+  const std::string dashboard = client.exchange(*plane.http);
+  EXPECT_EQ(statusOf(dashboard), 200);
+  EXPECT_NE(bodyOf(dashboard).find("j1"), std::string::npos);
+
+  const std::string query = "{\"op\":\"sources\"}";
+  client.send("POST /query HTTP/1.1\r\nContent-Length: " +
+              std::to_string(query.size()) + "\r\n\r\n" + query);
+  const std::string response = client.exchange(*plane.http);
+  EXPECT_EQ(statusOf(response), 200);
+  const json::Value doc = json::parse(bodyOf(response));
+  ASSERT_NE(doc.find("sources"), nullptr);
+  EXPECT_EQ(doc.find("sources")->asArray().size(), 1u);
+}
+
+// --- Loopback TCP end-to-end ----------------------------------------------
+
+TEST_F(HttpTest, ServesOverLoopbackTcp) {
+  auto listener = std::make_unique<TcpServer>(0);
+  const int port = listener->port();
+  HttpServer server(std::move(listener));
+  server.handle("GET", "/ping", [](const HttpRequest&) {
+    return HttpResponse{200, "text/plain; charset=utf-8", "pong\n"};
+  });
+
+  TcpTransport client("127.0.0.1", port);
+  ASSERT_TRUE(client.connect());
+  ASSERT_TRUE(client.send("GET /ping HTTP/1.1\r\nHost: zs\r\n\r\n"));
+  std::string response;
+  for (int i = 0; i < 500 && bodyOf(response) != "pong\n"; ++i) {
+    server.poll();
+    client.receive(response);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_EQ(statusOf(response), 200);
+  EXPECT_EQ(bodyOf(response), "pong\n");
+}

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cctype>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -26,6 +27,7 @@
 #include "sim/workload.hpp"
 #include "trace/chrome_export.hpp"
 #include "trace/metrics.hpp"
+#include "trace/prometheus.hpp"
 
 namespace zerosum {
 namespace {
@@ -565,6 +567,191 @@ TEST_F(TraceTest, QuarantineEmitsFaultInstantEvents) {
   }
   EXPECT_TRUE(names.count("zs.fault.memory.error"));
   EXPECT_TRUE(names.count("zs.fault.memory.quarantine"));
+}
+
+// --- Latency histograms ---------------------------------------------------
+
+TEST_F(TraceTest, LatencyHistogramBucketsWithPrometheusLeSemantics) {
+  trace::LatencyHistogram h({0.001, 0.01, 0.1});
+  h.observe(0.0005);  // below the first bound
+  h.observe(0.001);   // exactly on a bound lands in that bucket (le)
+  h.observe(0.005);
+  h.observe(0.05);
+  h.observe(2.0);  // past the last bound: overflow bucket
+  const trace::LatencyStats stats = h.stats();
+  EXPECT_EQ(stats.count, 5u);
+  ASSERT_EQ(stats.counts.size(), 4u);
+  EXPECT_EQ(stats.counts[0], 2u);
+  EXPECT_EQ(stats.counts[1], 1u);
+  EXPECT_EQ(stats.counts[2], 1u);
+  EXPECT_EQ(stats.counts[3], 1u);
+  EXPECT_DOUBLE_EQ(stats.max, 2.0);
+  EXPECT_NEAR(stats.sum, 2.0565, 1e-12);
+  EXPECT_NEAR(stats.mean(), 2.0565 / 5.0, 1e-12);
+  // Quantiles: the median lives in the first two buckets, the tail is the
+  // observed max (overflow has no upper bound to interpolate toward).
+  EXPECT_GT(stats.quantile(0.3), 0.0);
+  EXPECT_LE(stats.quantile(0.3), 0.001);
+  EXPECT_DOUBLE_EQ(stats.quantile(1.0), 2.0);
+  EXPECT_DOUBLE_EQ(trace::LatencyStats{}.quantile(0.5), 0.0);
+}
+
+TEST_F(TraceTest, LatencyHistogramRejectsNonAscendingBounds) {
+  EXPECT_THROW(trace::LatencyHistogram({0.1, 0.01}), StateError);
+  EXPECT_THROW(trace::LatencyHistogram({0.1, 0.1}), StateError);
+}
+
+TEST_F(TraceTest, RegistryLatencyDefaultsAndKindIsolation) {
+  auto& reg = trace::MetricsRegistry::instance();
+  trace::LatencyHistogram& h = reg.latency("zs.test.lat");
+  EXPECT_EQ(h.bounds(), trace::defaultLatencyBoundsSeconds());
+  // Same name resolves to the same histogram even with different bounds.
+  EXPECT_EQ(&reg.latency("zs.test.lat", {1.0}), &h);
+  EXPECT_THROW(reg.counter("zs.test.lat"), StateError);
+  EXPECT_THROW(reg.latency("zs.test.lat2", {0.5, 0.1}), StateError);
+
+  h.observe(2e-6);
+  const auto snap = reg.snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].kind, trace::MetricKind::kLatency);
+  EXPECT_EQ(snap[0].count, 1u);
+  EXPECT_EQ(snap[0].latency.count, 1u);
+}
+
+// --- Prometheus text exposition -------------------------------------------
+
+/// Returns the `_bucket` cumulative values of `metric` in exposition
+/// order, asserting each line parses.
+std::vector<std::uint64_t> bucketValues(const std::string& text,
+                                        const std::string& metric) {
+  std::vector<std::uint64_t> out;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind(metric + "_bucket", 0) != 0) {
+      continue;
+    }
+    const std::size_t space = line.rfind(' ');
+    out.push_back(std::stoull(line.substr(space + 1)));
+  }
+  return out;
+}
+
+TEST_F(TraceTest, PrometheusExpositionCoversEveryKind) {
+  auto& reg = trace::MetricsRegistry::instance();
+  reg.counter("zs.test.ops").add(3);
+  reg.gauge("zs.test.pressure").set(1.5);
+  reg.histogram("zs.test.span").observe(2.0);
+  auto& lat = reg.latency("zs.test.wait_seconds", {0.01, 0.1});
+  lat.observe(0.005);
+  lat.observe(0.05);
+  lat.observe(0.5);
+
+  const std::string text = trace::renderPrometheus(
+      reg.snapshot(), {{"job", "j1"}, {"role", "daemon"}});
+  const std::string labels = "{job=\"j1\",role=\"daemon\"}";
+  EXPECT_NE(text.find("# TYPE zs_test_ops_total counter"), std::string::npos);
+  EXPECT_NE(text.find("zs_test_ops_total" + labels + " 3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE zs_test_pressure gauge"), std::string::npos);
+  EXPECT_NE(text.find("zs_test_pressure" + labels + " 1.5"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE zs_test_span summary"), std::string::npos);
+  EXPECT_NE(text.find("zs_test_span_count" + labels + " 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE zs_test_wait_seconds histogram"),
+            std::string::npos);
+  // Buckets are cumulative, monotone, and capped by the +Inf bucket.
+  EXPECT_NE(
+      text.find("zs_test_wait_seconds_bucket{job=\"j1\",role=\"daemon\","
+                "le=\"0.01\"} 1"),
+      std::string::npos);
+  EXPECT_NE(
+      text.find("zs_test_wait_seconds_bucket{job=\"j1\",role=\"daemon\","
+                "le=\"+Inf\"} 3"),
+      std::string::npos);
+  const auto buckets = bucketValues(text, "zs_test_wait_seconds");
+  ASSERT_EQ(buckets.size(), 3u);
+  for (std::size_t i = 1; i < buckets.size(); ++i) {
+    EXPECT_LE(buckets[i - 1], buckets[i]);
+  }
+  EXPECT_EQ(buckets.back(), 3u);
+  EXPECT_NE(text.find("zs_test_wait_seconds_count" + labels + " 3"),
+            std::string::npos);
+
+  // Every HELP is followed by its TYPE, and every sample line's metric
+  // name stays inside the Prometheus charset.
+  std::istringstream in(text);
+  std::string line;
+  std::string pendingHelp;
+  while (std::getline(in, line)) {
+    ASSERT_FALSE(line.empty());
+    if (line.rfind("# HELP ", 0) == 0) {
+      pendingHelp = line.substr(7, line.find(' ', 7) - 7);
+      continue;
+    }
+    if (line.rfind("# TYPE ", 0) == 0) {
+      EXPECT_EQ(line.substr(7, line.find(' ', 7) - 7), pendingHelp);
+      continue;
+    }
+    const std::string name = line.substr(0, line.find_first_of("{ "));
+    ASSERT_FALSE(name.empty());
+    for (char c : name) {
+      EXPECT_TRUE(std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+                  c == ':')
+          << "bad metric name rune in " << line;
+    }
+    EXPECT_FALSE(std::isdigit(static_cast<unsigned char>(name[0])));
+  }
+}
+
+TEST_F(TraceTest, PrometheusNameSanitizationAndLabelEscaping) {
+  EXPECT_EQ(trace::promMetricName("zs.agg.client.latency"),
+            "zs_agg_client_latency");
+  EXPECT_EQ(trace::promMetricName("9lives"), "_9lives");
+  EXPECT_EQ(trace::promMetricName(""), "_");
+  EXPECT_EQ(trace::promEscapeLabelValue("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+
+  auto& reg = trace::MetricsRegistry::instance();
+  reg.counter("zs.total").add(1);  // pre-suffixed: no _total_total
+  const std::string text = trace::renderPrometheus(reg.snapshot());
+  EXPECT_NE(text.find("zs_total 1"), std::string::npos);
+  EXPECT_EQ(text.find("zs_total_total"), std::string::npos);
+}
+
+TEST_F(TraceTest, MetricsJsonRoundTripPreservesTheExposition) {
+  auto& reg = trace::MetricsRegistry::instance();
+  reg.counter("zs.test.ops").add(7);
+  reg.gauge("zs.test.g").set(-2.25);
+  auto& h = reg.histogram("zs.test.h");
+  h.observe(1.0);
+  h.observe(2.0);
+  h.observe(9.0);
+  auto& lat = reg.latency("zs.test.lat_seconds", {0.01, 0.1});
+  lat.observe(0.005);
+  lat.observe(0.2);
+
+  const auto snap = reg.snapshot();
+  std::ostringstream json;
+  trace::writeMetricsJson(json, snap);
+  const auto parsed = trace::parseMetricsJson(json.str());
+  EXPECT_EQ(trace::renderPrometheus(parsed, {{"role", "post"}}),
+            trace::renderPrometheus(snap, {{"role", "post"}}));
+}
+
+TEST_F(TraceTest, MetricsJsonParseRejectsMalformedDocuments) {
+  EXPECT_THROW(trace::parseMetricsJson("{}"), ParseError);
+  EXPECT_THROW(trace::parseMetricsJson("{\"metrics\":[{\"name\":\"x\"}]}"),
+               ParseError);
+  EXPECT_THROW(
+      trace::parseMetricsJson(
+          "{\"metrics\":[{\"name\":\"x\",\"kind\":\"nope\"}]}"),
+      ParseError);
+  // Latency counts must be bounds+1.
+  EXPECT_THROW(
+      trace::parseMetricsJson(
+          "{\"metrics\":[{\"name\":\"x\",\"kind\":\"latency\",\"count\":0,"
+          "\"sum\":0,\"max\":0,\"bounds\":[0.1],\"counts\":[0]}]}"),
+      ParseError);
 }
 
 }  // namespace

@@ -8,6 +8,10 @@
 //
 //   --port <n>           listen port (default ZS_AGG_PORT, else 8990;
 //                        0 = kernel-assigned, printed on startup)
+//   --http-port <n>      also serve the telemetry plane over HTTP on this
+//                        port (0 = kernel-assigned, printed on startup):
+//                        GET /metrics (Prometheus text), /healthz,
+//                        /readyz, /dashboard, POST /query (default off)
 //   --duration <s>       exit after this many seconds (default 0 = run
 //                        until signalled)
 //   --exit-on-goodbye    exit once at least one source was seen and all
@@ -38,6 +42,7 @@
 #include <thread>
 
 #include "aggregator/daemon.hpp"
+#include "aggregator/http.hpp"
 #include "aggregator/tcp.hpp"
 #include "aggregator/writer.hpp"
 #include "common/env.hpp"
@@ -61,6 +66,7 @@ double nowSeconds() {
 
 int main(int argc, char** argv) {
   int port = static_cast<int>(env::getInt("ZS_AGG_PORT", 8990));
+  int httpPort = -1;
   double duration = 0.0;
   bool exitOnGoodbye = false;
   double dumpInterval = 0.0;
@@ -73,6 +79,8 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--port" && i + 1 < argc) {
       port = std::atoi(argv[++i]);
+    } else if (arg == "--http-port" && i + 1 < argc) {
+      httpPort = std::atoi(argv[++i]);
     } else if (arg == "--duration" && i + 1 < argc) {
       duration = std::atof(argv[++i]);
     } else if (arg == "--exit-on-goodbye") {
@@ -92,8 +100,8 @@ int main(int argc, char** argv) {
       asyncWriter = true;
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: " << argv[0]
-                << " [--port n] [--duration s] [--exit-on-goodbye]"
-                   " [--dump [interval_s]] [--stale s]"
+                << " [--port n] [--http-port n] [--duration s]"
+                   " [--exit-on-goodbye] [--dump [interval_s]] [--stale s]"
                    " [--data-dir dir] [--fsync always|batch|off]"
                    " [--async-writer]\n";
       return 0;
@@ -113,6 +121,18 @@ int main(int argc, char** argv) {
   }
   std::cout << "zerosum-aggd: listening on 127.0.0.1:" << server->port()
             << std::endl;
+
+  std::unique_ptr<aggregator::TcpServer> httpListener;
+  if (httpPort >= 0) {
+    try {
+      httpListener = std::make_unique<aggregator::TcpServer>(httpPort);
+    } catch (const Error& e) {
+      std::cerr << "zerosum-aggd: " << e.what() << '\n';
+      return 1;
+    }
+    std::cout << "zerosum-aggd: http on 127.0.0.1:" << httpListener->port()
+              << std::endl;
+  }
 
   if (asyncWriter && dataDir.empty()) {
     std::cerr << "zerosum-aggd: --async-writer requires --data-dir\n";
@@ -152,11 +172,26 @@ int main(int argc, char** argv) {
   std::signal(SIGTERM, onSignal);
 
   const double start = nowSeconds();
+  std::unique_ptr<aggregator::HttpServer> http;
+  if (httpListener) {
+    http = std::make_unique<aggregator::HttpServer>(std::move(httpListener));
+    trace::PromLabels labels{{"role", "daemon"}};
+    const std::string job = env::getString("ZS_AGG_JOB", "");
+    if (!job.empty()) {
+      labels.insert(labels.begin(), {"job", job});
+    }
+    aggregator::mountDaemonEndpoints(
+        *http, daemon, [start] { return nowSeconds() - start; },
+        std::move(labels));
+  }
   double nextDump = dumpInterval > 0.0 ? start + dumpInterval : 0.0;
   bool everSawSource = false;
   while (gStop == 0) {
     const double now = nowSeconds();
     daemon.poll(now - start);
+    if (http) {
+      http->poll();
+    }
     everSawSource = everSawSource || !daemon.sources().empty();
     if (duration > 0.0 && now - start >= duration) {
       break;

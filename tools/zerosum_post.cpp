@@ -12,6 +12,11 @@
 //   --trace-summary <trace.json>
 //                     attribute the monitor's own overhead per subsystem
 //                     from a ZS_TRACE_FILE Chrome trace (needs no logs)
+//   --prom-dump <metrics.json>
+//                     render a finished run's MetricsRegistry snapshot
+//                     (ZS_METRICS_FILE) as Prometheus text exposition —
+//                     the same writer behind the live daemon's
+//                     GET /metrics (needs no logs)
 //   --agg-query <json>
 //                     send one JSON query to a live zerosum-aggd and
 //                     print the response (needs no logs); the daemon
@@ -47,6 +52,7 @@
 #include "common/json.hpp"
 #include "common/strings.hpp"
 #include "mpisim/recorder.hpp"
+#include "trace/prometheus.hpp"
 #include "tsdb/engine.hpp"
 #include "tsdb/query.hpp"
 
@@ -120,6 +126,7 @@ int main(int argc, char** argv) {
   int reorderRanksPerNode = 0;
   std::string pgmPath;
   std::string traceSummaryPath;
+  std::string promDumpPath;
   std::string aggQuery;
   std::string tsdbQuery;
   std::string tsdbDir = env::getString("ZS_TSDB_DIR", "");
@@ -138,6 +145,8 @@ int main(int argc, char** argv) {
       pgmPath = argv[++i];
     } else if (arg == "--trace-summary" && i + 1 < argc) {
       traceSummaryPath = argv[++i];
+    } else if (arg == "--prom-dump" && i + 1 < argc) {
+      promDumpPath = argv[++i];
     } else if (arg == "--agg-query" && i + 1 < argc) {
       aggQuery = argv[++i];
     } else if (arg == "--tsdb-query" && i + 1 < argc) {
@@ -151,13 +160,31 @@ int main(int argc, char** argv) {
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: " << argv[0]
                 << " [--charts] [--heatmap] [--reorder rpn] [--pgm path] "
-                   "[--trace-summary trace.json] [--agg-query json "
-                   "[--agg-host h] [--agg-port p]] [--tsdb-query json "
-                   "--data-dir dir] <log>...\n";
+                   "[--trace-summary trace.json] [--prom-dump metrics.json] "
+                   "[--agg-query json [--agg-host h] [--agg-port p]] "
+                   "[--tsdb-query json --data-dir dir] <log>...\n";
       return 0;
     } else {
       paths.push_back(arg);
     }
+  }
+
+  if (!promDumpPath.empty()) {
+    std::ifstream in(promDumpPath, std::ios::binary);
+    if (!in) {
+      std::cerr << "zerosum-post: cannot open " << promDumpPath << '\n';
+      return 1;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    try {
+      trace::writePrometheus(std::cout, trace::parseMetricsJson(text.str()));
+    } catch (const Error& e) {
+      std::cerr << "zerosum-post: " << promDumpPath << ": " << e.what()
+                << '\n';
+      return 1;
+    }
+    return 0;
   }
 
   if (!tsdbQuery.empty()) {
