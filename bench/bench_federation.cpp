@@ -1,0 +1,430 @@
+// Federation fan-in vs the flat single daemon (DESIGN.md §11): the same
+// rank population publishes through one flat daemon and through a
+// node → group → root tree, with identical per-daemon admission budgets
+// and pressure thresholds.  The daemon never drops an admitted batch,
+// so the *totals* always converge once the backlog drains — what the
+// flat daemon loses under load is timeliness: past its per-poll budget
+// it falls further behind every period and serves ever-staler data.
+// The ingest rate compared here is therefore the records ingested
+// *during the publishing phase* per virtual second; the tree spreads
+// the same load across node daemons that stay inside their budget and
+// remain current, while the flat daemon's backlog grows without bound.
+//
+// Rates are measured in virtual time (records per simulated second), so
+// the numbers are machine-independent and the gate can hold them
+// tightly; root-query latency is wall-clock and gets the
+// catastrophic-only ratio band.
+//
+// The 1k-rank tree run also kills one group daemon mid-run and never
+// restarts it: the catalog entry ages out, node forwarders re-resolve
+// and full-resync into the survivors, and the gated invariants assert
+// that the root still covers every rank with zero acked-window loss.
+//
+// The gated invariants (scripts/bench_gate.py):
+//   * acked_loss == 0        — every coarse window a node daemon holds
+//     is present at the root with the same count after the drain, even
+//     across the group kill.
+//   * coverage_complete      — the root's store names every rank.
+//   * tree_speedup_ge_2      — the tree sustains >= 2x the flat ingest
+//     rate at equal pressure.
+//
+// Emits BENCH_federation.json (json::Writer); --out <path> overrides.
+// --smoke runs a small 3-group tree with a kill *and* restart — the
+// scripts/check.sh federated failover smoke — and skips the 4k scale.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "aggregator/client.hpp"
+#include "aggregator/daemon.hpp"
+#include "aggregator/federation.hpp"
+#include "aggregator/query.hpp"
+#include "aggregator/transport.hpp"
+#include "aggregator/wire.hpp"
+#include "common/interning.hpp"
+#include "common/json.hpp"
+
+using namespace zerosum;
+using namespace zerosum::aggregator;
+
+namespace {
+
+constexpr int kMetricsPerRank = 4;
+
+double secondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// Identical budget for every daemon, flat or tree: the comparison is
+/// "same per-daemon capacity, different topology".  One poll models one
+/// scheduling quantum of daemon CPU on its host per period, so the
+/// per-poll batch budget is the capacity knob; the admission queue is
+/// deep enough that the inline backstop (which would let a single
+/// quantum do unbounded work) never fires and overflow shows up as the
+/// growing backlog it would be on a real node.
+DaemonOptions budgetedDaemonOptions() {
+  DaemonOptions options;
+  options.maxBatchesPerPoll = 300;
+  options.maxPendingBatches = 1u << 20;
+  return options;
+}
+
+std::vector<names::Id> internMetricIds() {
+  std::vector<names::Id> ids;
+  for (int m = 0; m < kMetricsPerRank; ++m) {
+    ids.push_back(names::intern("fed.metric." + std::to_string(m)));
+  }
+  return ids;
+}
+
+std::unique_ptr<Client> makeRankClient(std::unique_ptr<Transport> transport,
+                                       int rank, int worldSize) {
+  Hello hello;
+  hello.job = "fed";
+  hello.rank = rank;
+  hello.worldSize = worldSize;
+  hello.hostname = "node" + std::to_string(rank / 8);
+  hello.pid = 1000 + rank;
+  ClientOptions options;
+  options.batchRecords = kMetricsPerRank;  // one batch per rank per period
+  return std::make_unique<Client>(std::move(transport), hello, options);
+}
+
+void publishPeriod(std::vector<std::unique_ptr<Client>>& clients,
+                   const std::vector<names::Id>& ids, double t) {
+  std::vector<IdRecord> batch;
+  batch.reserve(ids.size());
+  for (auto& client : clients) {
+    batch.clear();
+    for (std::size_t m = 0; m < ids.size(); ++m) {
+      batch.push_back({t, ids[m], t + static_cast<double>(m)});
+    }
+    client->enqueueIds(batch, t);
+  }
+}
+
+/// Mean wall-clock latency of a coarse range query per sampled rank.
+double queryMeanMicros(const Aggregator& daemon, int ranks) {
+  const int samples = std::min(ranks, 32);
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < samples; ++i) {
+    const int rank = i * (ranks / samples);
+    runQuery(daemon, "{\"op\":\"range\",\"metric\":\"fed.metric.0\","
+                     "\"job\":\"fed\",\"rank\":" +
+                         std::to_string(rank) +
+                         ",\"resolution\":\"coarse\"}");
+  }
+  return secondsSince(start) * 1e6 / samples;
+}
+
+struct FlatResult {
+  std::uint64_t ingested = 0;  ///< records ingested during the run
+  std::uint64_t backlog = 0;   ///< records that only arrived after it
+  double periods = 0.0;
+  double queryMeanUs = 0.0;
+};
+
+FlatResult runFlat(int ranks, int periods) {
+  auto hub = std::make_shared<PipeHub>();
+  Aggregator daemon(hub->makeServer(), {}, budgetedDaemonOptions());
+  std::vector<std::unique_ptr<Client>> clients;
+  for (int r = 0; r < ranks; ++r) {
+    clients.push_back(makeRankClient(hub->makeClientTransport(), r, ranks));
+  }
+  const auto ids = internMetricIds();
+  double t = 1.0;
+  for (int period = 0; period < periods; ++period, t += 1.0) {
+    publishPeriod(clients, ids, t);
+    daemon.poll(t);
+  }
+  FlatResult result;
+  result.ingested = daemon.counters().recordsIngested;
+  daemon.drainBacklog(t);
+  result.backlog = daemon.counters().recordsIngested - result.ingested;
+  result.periods = static_cast<double>(periods);
+  result.queryMeanUs = queryMeanMicros(daemon, ranks);
+  return result;
+}
+
+struct TreeResult {
+  std::uint64_t ingested = 0;  ///< in-run rank-facing records, node tier
+  double periods = 0.0;
+  double queryMeanUs = 0.0;
+  std::uint64_t ackedLoss = 0;       ///< node coarse windows missing at root
+  std::uint64_t seriesChecked = 0;
+  int rootRankCoverage = 0;
+  std::uint64_t membershipChanges = 0;
+  std::uint64_t resyncs = 0;
+  std::uint64_t generationBumps = 0;
+  std::uint64_t catalogExpired = 0;
+  bool drained = false;
+};
+
+TreeResult runTree(int ranks, int periods, bool killGroup,
+                   bool restartGroup, int groups, int nodesPerGroup) {
+  FederationTreeOptions treeOptions;
+  treeOptions.groups = groups;
+  treeOptions.nodesPerGroup = nodesPerGroup;
+  treeOptions.daemonOptions = budgetedDaemonOptions();
+  FederationTree tree(treeOptions);
+
+  const int daemons = groups * nodesPerGroup;
+  std::vector<std::unique_ptr<Client>> clients;
+  for (int r = 0; r < ranks; ++r) {
+    const int d = r % daemons;
+    clients.push_back(makeRankClient(
+        tree.makeNodeTransport(d / nodesPerGroup, d % nodesPerGroup), r,
+        ranks));
+  }
+  const auto ids = internMetricIds();
+
+  const int killAt = periods * 2 / 5;
+  const int restartAt = killAt + 9;  // past the 6 s catalog TTL
+  double t = 1.0;
+  for (int period = 0; period < periods; ++period, t += 1.0) {
+    if (killGroup && period == killAt) {
+      tree.crashGroup(0);
+    }
+    if (killGroup && restartGroup && period == restartAt) {
+      tree.restartGroup(0, t);
+    }
+    publishPeriod(clients, ids, t);
+    tree.step(t);
+  }
+  TreeResult result;
+  for (int g = 0; g < groups; ++g) {
+    for (int n = 0; n < nodesPerGroup; ++n) {
+      result.ingested += tree.node(g, n).counters().recordsIngested;
+    }
+  }
+  // Drain in small virtual steps until every forwarder has routed,
+  // sent, and been acked through to the root.  Small steps matter: a
+  // full-second step per round would blow past the staleness sweep and
+  // evict the very node series the loss check below compares.  (The
+  // dead group's catalog TTL already expired during the run itself.)
+  for (int round = 0; round < 400 && !tree.quiesced(); ++round, t += 0.05) {
+    for (auto& client : clients) {
+      client->pump(t);
+    }
+    tree.step(t);
+  }
+  result.drained = tree.quiesced();
+  result.periods = static_cast<double>(periods);
+
+  std::vector<bool> rankSeen(static_cast<std::size_t>(ranks), false);
+  for (const auto& key : tree.root().store().keys()) {
+    if (key.rank >= 0 && key.rank < ranks) {
+      rankSeen[static_cast<std::size_t>(key.rank)] = true;
+    }
+  }
+  result.rootRankCoverage = static_cast<int>(
+      std::count(rankSeen.begin(), rankSeen.end(), true));
+
+  // Zero acked loss: every coarse window a node daemon retains must be
+  // at the root with at least the same count (retransmits are cumulative
+  // snapshots, so the root can only be equal or newer).
+  for (int g = 0; g < groups; ++g) {
+    for (int n = 0; n < nodesPerGroup; ++n) {
+      Aggregator& node = tree.node(g, n);
+      for (const auto& key : node.store().keys()) {
+        const auto mine = node.store().latest(key, Resolution::kCoarse);
+        if (!mine) {
+          continue;
+        }
+        ++result.seriesChecked;
+        const auto theirs =
+            tree.root().store().latest(key, Resolution::kCoarse);
+        if (!theirs ||
+            theirs->windowStartSeconds < mine->windowStartSeconds ||
+            (theirs->windowStartSeconds == mine->windowStartSeconds &&
+             theirs->rollup.count < mine->rollup.count)) {
+          ++result.ackedLoss;
+        }
+      }
+      result.membershipChanges +=
+          tree.nodeForwarder(g, n).counters().membershipChanges;
+      result.resyncs += tree.nodeForwarder(g, n).counters().resyncs;
+    }
+  }
+  result.generationBumps = tree.catalog().counters().generationBumps;
+  result.catalogExpired = tree.catalog().counters().expired;
+  result.queryMeanUs = queryMeanMicros(tree.root(), ranks);
+  return result;
+}
+
+struct ScaleReport {
+  int ranks = 0;
+  FlatResult flat;
+  TreeResult tree;
+
+  [[nodiscard]] double flatRate() const {
+    return static_cast<double>(flat.ingested) / flat.periods;
+  }
+  [[nodiscard]] double treeRate() const {
+    return static_cast<double>(tree.ingested) / tree.periods;
+  }
+  [[nodiscard]] double speedup() const {
+    const double base = std::max(flatRate(), 1.0);
+    return treeRate() / base;
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string jsonPath = "BENCH_federation.json";
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--out" && i + 1 < argc) {
+      jsonPath = argv[i + 1];
+    } else if (std::string(argv[i]) == "--smoke") {
+      smoke = true;
+    }
+  }
+
+  std::cout << "=== federation fan-in tree vs flat daemon ===\n\n";
+
+  bool ok = true;
+  std::vector<ScaleReport> reports;
+  if (smoke) {
+    // The check.sh failover smoke: a 3-level tree loses one of its three
+    // group daemons mid-run and gets it back after the catalog TTL; zero
+    // acked-window loss and full rank coverage must survive the trip.
+    ScaleReport report;
+    report.ranks = 96;
+    report.flat = runFlat(report.ranks, 20);
+    report.tree = runTree(report.ranks, 20, /*killGroup=*/true,
+                          /*restartGroup=*/true, /*groups=*/3,
+                          /*nodesPerGroup=*/2);
+    if (report.tree.membershipChanges == 0 || report.tree.resyncs == 0) {
+      std::cerr << "ERROR: the group kill never reached the node "
+                   "forwarders (no membership change / resync)\n";
+      ok = false;
+    }
+    if (report.tree.catalogExpired == 0) {
+      std::cerr << "ERROR: the crashed group's catalog entry never "
+                   "expired\n";
+      ok = false;
+    }
+    reports.push_back(report);
+  } else {
+    {
+      ScaleReport report;
+      report.ranks = 1000;
+      report.flat = runFlat(report.ranks, 24);
+      report.tree = runTree(report.ranks, 24, /*killGroup=*/true,
+                            /*restartGroup=*/false, /*groups=*/4,
+                            /*nodesPerGroup=*/4);
+      reports.push_back(report);
+    }
+    {
+      ScaleReport report;
+      report.ranks = 4000;
+      report.flat = runFlat(report.ranks, 12);
+      report.tree = runTree(report.ranks, 12, /*killGroup=*/false,
+                            /*restartGroup=*/false, /*groups=*/4,
+                            /*nodesPerGroup=*/4);
+      reports.push_back(report);
+    }
+  }
+
+  std::uint64_t ackedLoss = 0;
+  std::uint64_t seriesChecked = 0;
+  bool coverageComplete = true;
+  double minSpeedup = 1e18;
+  for (const auto& report : reports) {
+    ackedLoss += report.tree.ackedLoss;
+    seriesChecked += report.tree.seriesChecked;
+    coverageComplete =
+        coverageComplete && report.tree.rootRankCoverage == report.ranks;
+    minSpeedup = std::min(minSpeedup, report.speedup());
+    std::cout << "  " << report.ranks << " ranks:\n"
+              << "    flat:  " << report.flat.ingested << " records ("
+              << report.flatRate() << " records/vs), "
+              << report.flat.backlog << " stale in backlog, query "
+              << report.flat.queryMeanUs << " us\n"
+              << "    tree:  " << report.tree.ingested << " records ("
+              << report.treeRate() << " records/vs), query "
+              << report.tree.queryMeanUs << " us, speedup "
+              << report.speedup() << "x\n"
+              << "    root:  " << report.tree.rootRankCoverage << "/"
+              << report.ranks << " ranks, acked_loss "
+              << report.tree.ackedLoss << "/" << report.tree.seriesChecked
+              << " series, " << report.tree.membershipChanges
+              << " membership change(s), " << report.tree.resyncs
+              << " resync(s)\n";
+    if (!report.tree.drained) {
+      std::cerr << "ERROR: the tree never quiesced at " << report.ranks
+                << " ranks\n";
+      ok = false;
+    }
+  }
+
+  if (ackedLoss != 0) {
+    std::cerr << "ERROR: " << ackedLoss
+              << " acked coarse window(s) missing at the root\n";
+    ok = false;
+  }
+  if (seriesChecked == 0) {
+    std::cerr << "ERROR: the zero-loss check compared no series — the "
+                 "node stores were empty, so the invariant is vacuous\n";
+    ok = false;
+  }
+  if (!coverageComplete) {
+    std::cerr << "ERROR: the root's store does not cover every rank\n";
+    ok = false;
+  }
+  // The speedup floor only means something when the flat daemon is
+  // saturated; the small smoke tree exists for the failover story, not
+  // the throughput one.
+  if (!smoke && minSpeedup < 2.0) {
+    std::cerr << "ERROR: tree ingest speedup " << minSpeedup
+              << "x is below the 2x floor\n";
+    ok = false;
+  }
+
+  std::ofstream jsonOut(jsonPath);
+  if (jsonOut) {
+    json::Writer w(jsonOut);
+    w.beginObject();
+    w.field("benchmark", "federation");
+    w.field("smoke", smoke);
+    w.key("scales").beginArray();
+    for (const auto& report : reports) {
+      w.beginObject();
+      w.field("ranks", static_cast<std::uint64_t>(report.ranks));
+      w.field("flat_ingest_records_per_vsecond", report.flatRate());
+      w.field("flat_backlog_records", report.flat.backlog);
+      w.field("tree_ingest_records_per_vsecond", report.treeRate());
+      w.field("tree_speedup", report.speedup());
+      w.field("flat_query_mean_us", report.flat.queryMeanUs);
+      w.field("tree_query_mean_us", report.tree.queryMeanUs);
+      w.field("root_rank_coverage",
+              static_cast<std::uint64_t>(report.tree.rootRankCoverage));
+      w.field("acked_loss", report.tree.ackedLoss);
+      w.field("series_checked", report.tree.seriesChecked);
+      w.field("membership_changes", report.tree.membershipChanges);
+      w.field("resyncs", report.tree.resyncs);
+      w.endObject();
+    }
+    w.endArray();
+    w.field("acked_loss", ackedLoss);
+    w.field("coverage_complete", coverageComplete);
+    w.field("tree_speedup_min", minSpeedup);
+    w.field("tree_speedup_ge_2", minSpeedup >= 2.0);
+    w.endObject();
+    jsonOut << '\n';
+    std::cout << "\nwrote " << jsonPath << '\n';
+  } else {
+    std::cerr << "could not write " << jsonPath << '\n';
+    return 1;
+  }
+  return ok ? 0 : 1;
+}

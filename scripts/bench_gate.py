@@ -193,6 +193,40 @@ def checks_tsdb(base, fresh):
     ]
 
 
+def checks_federation(base, fresh):
+    out = [
+        # Fan-in contracts (DESIGN.md §11): every coarse window a node
+        # daemon acked is present at the root (even across the group
+        # kill), the comparison actually checked series (non-vacuous),
+        # the root names every rank, and the tree sustains >= 2x the
+        # flat daemon's in-run ingest rate at equal per-daemon budget.
+        Check("federation.acked_loss", INVARIANT,
+              get(base, "acked_loss") if base else None,
+              get(fresh, "acked_loss"), expect=0),
+        Check("federation.coverage_complete", INVARIANT,
+              get(base, "coverage_complete") if base else None,
+              get(fresh, "coverage_complete"), expect=True),
+        Check("federation.tree_speedup_ge_2", INVARIANT,
+              get(base, "tree_speedup_ge_2") if base else None,
+              get(fresh, "tree_speedup_ge_2"), expect=True),
+    ]
+    base_scales = {s.get("ranks"): s for s in (base or {}).get("scales", [])
+                   if isinstance(s, dict)}
+    for entry in fresh.get("scales", []):
+        ranks = entry.get("ranks")
+        bscale = base_scales.get(ranks, {})
+        # Virtual-time rates are deterministic record counts, so the
+        # 10% bounded band holds them tightly across machines.
+        out.append(Check(f"federation.{ranks}.tree_ingest_per_vsecond",
+                         BOUNDED, bscale.get("tree_ingest_records_per_vsecond"),
+                         entry.get("tree_ingest_records_per_vsecond"),
+                         higher_is_better=True))
+        out.append(Check(f"federation.{ranks}.root_query_mean_us", RATIO,
+                         bscale.get("tree_query_mean_us"),
+                         entry.get("tree_query_mean_us")))
+    return out
+
+
 # file name -> check builder; files not listed here are not gated.
 GATED = {
     "BENCH_sampling.json": checks_sampling,
@@ -201,6 +235,7 @@ GATED = {
     "BENCH_overload.json": checks_overload,
     "BENCH_metrics.json": checks_metrics,
     "BENCH_tsdb.json": checks_tsdb,
+    "BENCH_federation.json": checks_federation,
 }
 
 

@@ -5,6 +5,9 @@
 # (scripts/bench_gate.py against bench/baselines/), then a live
 # telemetry smoke test: a real zerosum-aggd --http-port scraped over
 # loopback HTTP, the exposition validated with scripts/promlint.py.
+# Finally a live federation smoke: three zerosum-aggd processes form a
+# node -> group -> root tree via the root's catalog and a monitored run
+# discovered through ZS_AGG_CATALOG must surface at the root.
 #
 # Usage: scripts/check.sh [--no-sanitize]
 set -euo pipefail
@@ -58,6 +61,16 @@ echo "=== monitoring overhead benchmark (< 0.5% budget) ==="
 echo "=== metrics endpoint benchmark (telemetry plane cost) ==="
 ./build/bench/bench_metrics_endpoint --out "$BENCH_OUT/BENCH_metrics.json"
 
+echo "=== federated failover smoke (3-level tree, group kill mid-run) ==="
+# --smoke kills one of three group daemons mid-run and restarts it after
+# the catalog TTL; the binary exits nonzero unless the root covers every
+# rank with zero acked-window loss and the catalog failover fired.
+./build/bench/bench_federation --smoke \
+  --out "$BENCH_OUT/BENCH_federation_smoke.json"
+
+echo "=== federation fan-in benchmark (tree vs flat) ==="
+./build/bench/bench_federation --out "$BENCH_OUT/BENCH_federation.json"
+
 echo "=== performance-regression gate ==="
 python3 scripts/bench_gate.py --fresh "$BENCH_OUT"
 
@@ -100,5 +113,67 @@ python3 scripts/promlint.py "$SMOKE_DIR/metrics.txt"
 kill "$AGGD_PID" 2>/dev/null || true
 trap - EXIT
 rm -rf "$SMOKE_DIR"
+
+echo "=== live federation smoke (node -> group -> root over TCP) ==="
+# Three real zerosum-aggd processes form a tree through the root's
+# catalog; a monitored run discovers the node daemon via ZS_AGG_CATALOG
+# and its records must surface at the root as hop-2 forwarded sources.
+FED_DIR="$(mktemp -d)"
+GROUP_PID=""
+NODE_PID=""
+./build/tools/zerosum-aggd --role root --port 0 --http-port 0 \
+  > "$FED_DIR/root.log" 2>&1 &
+ROOT_PID=$!
+trap 'kill "$ROOT_PID" "$GROUP_PID" "$NODE_PID" 2>/dev/null || true' EXIT
+for _ in $(seq 1 50); do
+  grep -q "http on" "$FED_DIR/root.log" 2>/dev/null && break
+  sleep 0.1
+done
+ROOT_WIRE="$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "$FED_DIR/root.log")"
+ROOT_HTTP="$(sed -n 's/.*http on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "$FED_DIR/root.log")"
+CATALOG="127.0.0.1:$ROOT_WIRE"
+./build/tools/zerosum-aggd --role group --port 0 --catalog "$CATALOG" \
+  > "$FED_DIR/group.log" 2>&1 &
+GROUP_PID=$!
+./build/tools/zerosum-aggd --role node --port 0 --catalog "$CATALOG" \
+  > "$FED_DIR/node.log" 2>&1 &
+NODE_PID=$!
+# Wait for both tiers to register with the catalog before the run
+# starts, so client-side discovery cannot race the announcements.
+python3 - "$ROOT_HTTP" <<'PY'
+import json, sys, time, urllib.request
+port = sys.argv[1]
+deadline = time.time() + 15
+while True:
+    h = json.load(urllib.request.urlopen(
+        f"http://127.0.0.1:{port}/healthz", timeout=10))
+    if h["fanin"]["catalog_announces"] >= 2:
+        break
+    if time.time() > deadline:
+        raise SystemExit(f"daemons never announced to the catalog: {h}")
+    time.sleep(0.2)
+PY
+(cd "$FED_DIR" &&
+ ZS_AGG_CATALOG="$CATALOG" "$REPO/build/tools/zerosum-run" \
+   "$REPO/build/tools/demo_victim" 2 2500 > run.log 2>&1)
+python3 - "$ROOT_HTTP" <<'PY'
+import json, sys, time, urllib.request
+port = sys.argv[1]
+deadline = time.time() + 15
+while True:
+    h = json.load(urllib.request.urlopen(
+        f"http://127.0.0.1:{port}/healthz", timeout=10))
+    by_hop = h["sources"]["by_hop"]
+    if any(int(hops) >= 2 and count > 0 for hops, count in by_hop.items()):
+        print(f"smoke: root sees federated sources {by_hop} "
+              f"({h['fanin']['forward_windows']} windows forwarded)")
+        break
+    if time.time() > deadline:
+        raise SystemExit(f"no hop-2 source reached the root: {h}")
+    time.sleep(0.3)
+PY
+kill "$ROOT_PID" "$GROUP_PID" "$NODE_PID" 2>/dev/null || true
+trap - EXIT
+rm -rf "$FED_DIR"
 
 echo "=== check.sh: all passes complete ==="

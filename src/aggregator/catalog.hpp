@@ -1,0 +1,118 @@
+// Catalog: the fan-in tree's discovery service (DESIGN.md §11).
+//
+// Modeled on the cctools catalog server: membership is announce-with-TTL,
+// not configuration.  Every daemon in a federation periodically sends a
+// kCatalogAnnounce {role, name, host, port, shard-range, generation}; the
+// catalog stores it with an expiry deadline and answers kQuery
+// {"op":"catalog"} with the live entries.  A daemon that stops announcing
+// simply ages out — there is no unregister path to get wrong — and a
+// daemon that restarts announces with a higher generation, which wins
+// over any still-unexpired record of its previous life.
+//
+// Clocks: all deadlines live on the caller's clock, which must be
+// monotonic in real deployments (common/monotime.hpp) so a wall-clock
+// step can neither mass-expire the membership nor pin entries alive
+// forever.  Tests drive a virtual clock through the same arguments.
+//
+// The catalog is plain state — no transport, no threads.  The daemon
+// hosting it (conventionally the root) wires announce frames and query
+// responses to it; see Aggregator::attachCatalog.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "aggregator/wire.hpp"
+
+namespace zerosum::aggregator {
+
+struct CatalogOptions {
+  /// Lifetime granted per announce; re-announce sooner than this to stay
+  /// listed.  Echoed to announcers in every kCatalogAck.
+  double ttlSeconds = 15.0;
+};
+
+struct CatalogCounters {
+  std::uint64_t announces = 0;     ///< accepted (new or refresh)
+  std::uint64_t registrations = 0; ///< accepted announces for a new name
+  std::uint64_t generationBumps = 0;  ///< restart detected (gen increased)
+  std::uint64_t staleRejected = 0; ///< announce with an older generation
+  std::uint64_t expired = 0;       ///< entries aged out by expire()
+};
+
+/// Result of one announce: whether it was accepted, and the generation
+/// now on record (the announcer adopts this when it had none).
+struct AnnounceResult {
+  bool accepted = false;
+  std::uint64_t generation = 0;
+  double ttlSeconds = 0.0;
+};
+
+class Catalog {
+ public:
+  explicit Catalog(CatalogOptions options = {});
+
+  /// Registers or refreshes `entry` under its name.  An announce with a
+  /// generation older than the stored one is a ghost of a previous
+  /// incarnation (e.g. a delayed frame from before a restart) and is
+  /// rejected; same generation refreshes the deadline; a higher one
+  /// replaces the record and counts a restart.  An announce with
+  /// generation 0 asks the catalog to assign one (stored + 1, or 1).
+  AnnounceResult announce(const CatalogEntry& entry, double nowSeconds);
+
+  /// Ages out entries whose deadline passed.  Returns how many expired.
+  std::size_t expire(double nowSeconds);
+
+  /// Live entries, sorted by name.  Runs expire() semantics read-only:
+  /// entries past their deadline at `nowSeconds` are omitted (but not
+  /// removed; call expire() from the owner's poll loop for that).
+  [[nodiscard]] std::vector<CatalogEntry> entries(double nowSeconds) const;
+
+  /// Live entries with the given role, sorted by name.
+  [[nodiscard]] std::vector<CatalogEntry> entriesByRole(
+      DaemonRole role, double nowSeconds) const;
+
+  /// One entry by name, if live.
+  [[nodiscard]] std::optional<CatalogEntry> find(const std::string& name,
+                                                 double nowSeconds) const;
+
+  [[nodiscard]] std::size_t size() const { return records_.size(); }
+  [[nodiscard]] const CatalogCounters& counters() const { return counters_; }
+  [[nodiscard]] const CatalogOptions& options() const { return options_; }
+
+  /// The {"op":"catalog"} response body: {"entries":[{role,name,host,
+  /// port,shard_lo,shard_hi,generation,ttl_remaining_seconds},...]}.
+  [[nodiscard]] std::string toJson(double nowSeconds) const;
+
+  /// Parses a toJson() document back into entries — the client half of
+  /// catalog resolution.  Returns nullopt on malformed input (resolution
+  /// treats it as "catalog unreachable", never throws).
+  [[nodiscard]] static std::optional<std::vector<CatalogEntry>> parseJson(
+      const std::string& json);
+
+ private:
+  struct Record {
+    CatalogEntry entry;
+    double deadline = 0.0;
+  };
+
+  CatalogOptions options_;
+  CatalogCounters counters_;
+  std::map<std::string, Record> records_;
+};
+
+class Transport;
+
+/// Client-side resolution: sends {"op":"catalog"} over `transport` and
+/// parses the reply.  `idle()` runs between receive attempts (sleep for
+/// TCP, a daemon poll for the in-memory pipe).  nullopt when the catalog
+/// is unreachable or replies with garbage.
+std::optional<std::vector<CatalogEntry>> resolveCatalog(
+    Transport& transport, const std::function<void()>& idle,
+    int maxIdles = 200);
+
+}  // namespace zerosum::aggregator

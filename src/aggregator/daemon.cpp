@@ -5,6 +5,7 @@
 #include <set>
 #include <sstream>
 
+#include "aggregator/catalog.hpp"
 #include "aggregator/query.hpp"
 #include "aggregator/writer.hpp"
 #include "common/error.hpp"
@@ -51,6 +52,10 @@ Aggregator::Aggregator(std::unique_ptr<TransportServer> server,
   gaugeBacklog_ = &registry.gauge("zs.agg.daemon.ingest_backlog");
   ctrRecordsIngested_ = &registry.counter("zs.agg.daemon.records_ingested");
   ctrSourcesEvicted_ = &registry.counter("zs.agg.daemon.sources_evicted");
+  ctrFaninFrames_ = &registry.counter("zs.aggd.fanin.forward_frames");
+  ctrFaninWindows_ = &registry.counter("zs.aggd.fanin.forward_windows");
+  ctrFaninConflicts_ = &registry.counter("zs.aggd.fanin.merge_conflicts");
+  gaugeFaninMaxHops_ = &registry.gauge("zs.aggd.fanin.max_hops");
   gaugePressure_->set(0.0);
   gaugeBacklog_->set(0.0);
 }
@@ -170,6 +175,17 @@ void Aggregator::handleFrame(std::uint64_t connection, ConnState& conn,
     server_->send(connection, encodeFrame(response));
     return;
   }
+  if (frame.kind == FrameKind::kForward) {
+    // Self-describing (origin and per-source identities ride the frame),
+    // so no Hello gate; bulk data like kBatch, so it goes through the
+    // admission queue and the same pressure/ack loop.
+    admitBatch(connection, conn, std::move(frame), nowSeconds);
+    return;
+  }
+  if (frame.kind == FrameKind::kCatalogAnnounce) {
+    handleCatalogAnnounce(connection, frame, nowSeconds);
+    return;
+  }
   if (frame.kind == FrameKind::kHello) {
     conn.helloSeen = true;
     conn.job = frame.hello.job;
@@ -244,7 +260,7 @@ void Aggregator::admitBatch(std::uint64_t connection, ConnState& conn,
   batch.job = conn.job;
   batch.rank = conn.rank;
   batch.admittedAt = nowSeconds;
-  if (frame.version >= 3) {
+  if (frame.version >= 3 && frame.kind == FrameKind::kBatch) {
     // Refine the connection's clock-offset estimate at decode time: the
     // minimum over batches of (daemon now - client encode stamp) bounds
     // the epoch delta from above by the fastest observed transit.
@@ -262,6 +278,10 @@ void Aggregator::admitBatch(std::uint64_t connection, ConnState& conn,
 
 void Aggregator::processBatch(PendingBatch& batch, double nowSeconds) {
   ZS_TRACE_SCOPE("zs.agg.daemon.ingest");
+  if (batch.frame.kind == FrameKind::kForward) {
+    processForward(batch, nowSeconds);
+    return;
+  }
   const Frame& frame = batch.frame;
   if (batch.hasStamps) {
     // Per-stage latency attribution (DESIGN.md §10).  The first stage is
@@ -335,8 +355,107 @@ void Aggregator::processBatch(PendingBatch& batch, double nowSeconds) {
   }
 }
 
+void Aggregator::processForward(PendingBatch& batch, double nowSeconds) {
+  ZS_TRACE_SCOPE("zs.agg.daemon.forward_ingest");
+  const Frame& frame = batch.frame;
+  ++counters_.forwardFrames;
+  ctrFaninFrames_->add();
+  // Source-registry propagation.  Ages ride the frame (epoch-safe across
+  // daemons); lastSeen reconstructs on this daemon's clock.  A source we
+  // also hear from directly (hops == 0 with data) outranks the forwarded
+  // view of itself.
+  for (const ForwardSource& src : frame.forwardSources) {
+    if (src.state > static_cast<std::uint8_t>(SourceState::kDeparted)) {
+      continue;  // decode validated this, but stay defensive
+    }
+    SourceInfo& info = sources_[{src.job, src.rank}];
+    const bool fresh = info.lastSeenSeconds == 0.0 && info.batches == 0;
+    if (!fresh && info.hops == 0) {
+      continue;
+    }
+    info.hello.job = src.job;
+    info.hello.rank = src.rank;
+    info.hello.worldSize = src.worldSize;
+    info.hello.hostname = src.hostname;
+    info.state = static_cast<SourceState>(src.state);
+    info.hops = frame.hopCount;
+    const double seen = std::max(0.0, nowSeconds - src.lastSeenAgeSeconds);
+    if (fresh || seen < info.firstSeenSeconds || info.firstSeenSeconds == 0.0) {
+      info.firstSeenSeconds = seen;
+    }
+    info.lastSeenSeconds = std::max(info.lastSeenSeconds, seen);
+    int& expected = expectedRanks_[src.job];
+    expected = std::max(expected, src.worldSize);
+  }
+  if (frame.hopCount > maxHopsSeen_) {
+    maxHopsSeen_ = frame.hopCount;
+    gaugeFaninMaxHops_->set(static_cast<double>(maxHopsSeen_));
+  }
+  // Window application: cumulative snapshots replace when newer; a
+  // not-newer snapshot is a merge conflict (retransmit after a resync,
+  // or a duplicate route during a membership change) — counted, kept.
+  std::uint64_t applied = 0;
+  std::uint64_t conflicts = 0;
+  for (const ForwardWindow& w : frame.forwardWindows) {
+    keyScratch_.job.assign(w.job);
+    keyScratch_.rank = w.rank;
+    keyScratch_.metric.assign(w.metric);
+    Rollup rollup;
+    rollup.min = w.min;
+    rollup.max = w.max;
+    rollup.sum = w.sum;
+    rollup.count = w.count;
+    const Resolution resolution =
+        w.resolution == 0 ? Resolution::kFine : Resolution::kCoarse;
+    if (store_.ingestWindow(keyScratch_, resolution, w.windowIndex, rollup)) {
+      ++applied;
+    } else {
+      ++conflicts;
+    }
+  }
+  counters_.forwardWindows += applied;
+  counters_.forwardConflicts += conflicts;
+  ctrFaninWindows_->add(applied);
+  if (conflicts > 0) {
+    ctrFaninConflicts_->add(conflicts);
+  }
+  // Forwarded windows live in the rollup plane only (recovery is resync,
+  // not WAL replay), so the ack needs no writer ticket: "acked" means
+  // "applied upstream".
+  if (batch.version >= 2 && frame.batchSeq != 0) {
+    pendingAcks_.push_back({batch.connection, frame.batchSeq, 0, nowSeconds});
+  }
+}
+
+void Aggregator::handleCatalogAnnounce(std::uint64_t connection,
+                                       const Frame& frame,
+                                       double nowSeconds) {
+  if (catalog_ == nullptr) {
+    // Not a catalog host; an announce here is a misdirected frame.
+    ++counters_.orphanFrames;
+    return;
+  }
+  ++counters_.catalogAnnounces;
+  const AnnounceResult result =
+      catalog_->announce(frame.catalogEntry, nowSeconds);
+  Frame ack;
+  ack.kind = FrameKind::kCatalogAck;
+  ack.catalogEntry.generation = result.generation;
+  ack.catalogTtlSeconds = result.accepted ? result.ttlSeconds : 0.0;
+  server_->send(connection, encodeFrame(ack));
+}
+
 void Aggregator::poll(double nowSeconds) {
   ZS_TRACE_SCOPE("zs.agg.daemon.poll");
+  // Liveness deadlines (staleness sweep, catalog expiry) only compare
+  // against a non-decreasing clock: an owner whose wall clock steps
+  // backwards (NTP) is clamped and counted instead of mass-flagging
+  // every source stale later (or resurrecting expired state).
+  if (nowSeconds < lastPollSeconds_) {
+    ++counters_.clockRegressions;
+    nowSeconds = lastPollSeconds_;
+  }
+  lastPollSeconds_ = nowSeconds;
   for (auto& delivery : server_->poll()) {
     auto& conn = connections_[delivery.connection];
     if (!delivery.bytes.empty()) {
@@ -402,6 +521,10 @@ void Aggregator::poll(double nowSeconds) {
     }
   }
 
+  if (catalog_ != nullptr) {
+    catalog_->expire(nowSeconds);
+  }
+
   if (engine_ != nullptr && writer_ == nullptr) {
     engine_->maybeCompact();
   }
@@ -427,6 +550,14 @@ std::vector<SourceInfo> Aggregator::sources() const {
   out.reserve(sources_.size());
   for (const auto& [key, info] : sources_) {
     out.push_back(info);
+  }
+  return out;
+}
+
+std::map<int, std::size_t> Aggregator::sourcesByHop() const {
+  std::map<int, std::size_t> out;
+  for (const auto& [key, info] : sources_) {
+    ++out[info.hops];
   }
   return out;
 }
@@ -467,6 +598,21 @@ std::string Aggregator::dashboard(double nowSeconds) const {
       << counters_.recordsIngested << " records ingested, t="
       << strings::fixed(nowSeconds, 1) << "s"
       << " pressure=" << pressureLevelName(pressure()) << "\n";
+  const auto byHop = sourcesByHop();
+  if (byHop.size() > 1 || (!byHop.empty() && byHop.begin()->first > 0)) {
+    out << "fan-in:";
+    bool firstHop = true;
+    for (const auto& [hops, count] : byHop) {
+      out << (firstHop ? " " : ", ") << count;
+      if (hops == 0) {
+        out << " direct";
+      } else {
+        out << " via " << hops << " hop" << (hops == 1 ? "" : "s");
+      }
+      firstHop = false;
+    }
+    out << '\n';
+  }
   // Per-stage batch latency attribution (DESIGN.md §10), mean/p99 in ms.
   const std::pair<const char*, trace::LatencyHistogram*> stages[] = {
       {"enqueue->send", latEnqueueToSend_},

@@ -39,6 +39,7 @@ class Engine;
 namespace zerosum::aggregator {
 
 class TsdbWriter;
+class Catalog;
 
 enum class SourceState : std::uint8_t {
   kActive,    ///< reporting normally
@@ -58,6 +59,9 @@ struct SourceInfo {
   std::uint64_t batches = 0;
   std::uint64_t records = 0;
   HealthUpdate health;
+  /// Hops between the source and this daemon: 0 = connected directly,
+  /// 1+ = learned from a kForward frame that far down the tree.
+  std::uint8_t hops = 0;
 };
 
 struct DaemonOptions {
@@ -85,6 +89,12 @@ struct DaemonCounters {
                                         ///< the admission queue
   std::uint64_t admissionBackstops = 0; ///< overflow: oldest forced inline
   std::uint64_t writerBypasses = 0;     ///< writer full: inline append
+  std::uint64_t forwardFrames = 0;      ///< kForward frames ingested
+  std::uint64_t forwardWindows = 0;     ///< windows applied from kForward
+  std::uint64_t forwardConflicts = 0;   ///< forwarded snapshots not newer
+                                        ///< than the stored window
+  std::uint64_t catalogAnnounces = 0;   ///< kCatalogAnnounce handled
+  std::uint64_t clockRegressions = 0;   ///< poll() clock moved backwards
 };
 
 class Aggregator {
@@ -112,9 +122,18 @@ class Aggregator {
   /// query path; batch acks are gated on the writer's durable frontier.
   void attachWriter(TsdbWriter* writer);
 
+  /// Hosts a catalog (non-owning): kCatalogAnnounce frames register with
+  /// it (answered by kCatalogAck) and {"op":"catalog"} queries list it.
+  /// Conventionally only the federation root attaches one.
+  void attachCatalog(Catalog* catalog) { catalog_ = catalog; }
+  [[nodiscard]] const Catalog* catalog() const { return catalog_; }
+
   [[nodiscard]] const tsdb::Engine* engine() const { return engine_; }
 
   [[nodiscard]] const RollupStore& store() const { return store_; }
+  /// Mutable store access for a co-located Forwarder (dirty-window
+  /// drain, resync marking).  Not for general use.
+  [[nodiscard]] RollupStore& mutableStore() { return store_; }
   [[nodiscard]] const DaemonCounters& counters() const { return counters_; }
 
   /// Current backpressure signal, echoed to v2 clients in every ack.
@@ -130,6 +149,13 @@ class Aggregator {
 
   /// All known sources, ordered by (job, rank).
   [[nodiscard]] std::vector<SourceInfo> sources() const;
+
+  /// Source counts keyed by hop distance (0 = direct connections) — the
+  /// /healthz and health-CSV fan-in view.
+  [[nodiscard]] std::map<int, std::size_t> sourcesByHop() const;
+
+  /// The clock poll() last ran at (after regression clamping).
+  [[nodiscard]] double lastPollSeconds() const { return lastPollSeconds_; }
 
   /// True once at least one source was seen and every known source has
   /// departed — the `zerosum-aggd --exit-on-goodbye` condition.
@@ -194,6 +220,11 @@ class Aggregator {
   void admitBatch(std::uint64_t connection, ConnState& conn, Frame&& frame,
                   double nowSeconds);
   void processBatch(PendingBatch& batch, double nowSeconds);
+  /// Applies one admitted kForward frame: source registry upserts, then
+  /// ingestWindow() per carried window (conflicts counted, never fatal).
+  void processForward(PendingBatch& batch, double nowSeconds);
+  void handleCatalogAnnounce(std::uint64_t connection, const Frame& frame,
+                             double nowSeconds);
   void sendAck(std::uint64_t connection, std::uint64_t batchSeq);
   /// Sends every pending ack whose records are past the durable frontier.
   void flushAcks(double nowSeconds);
@@ -204,6 +235,14 @@ class Aggregator {
   std::unique_ptr<TransportServer> server_;
   tsdb::Engine* engine_ = nullptr;
   TsdbWriter* writer_ = nullptr;
+  Catalog* catalog_ = nullptr;
+  /// Deepest hop count seen on any kForward frame (drives the fan-in
+  /// depth gauge).
+  std::uint8_t maxHopsSeen_ = 0;
+  /// poll()'s clamped clock: liveness deadlines only ever compare
+  /// against a non-decreasing time base, so an owner whose wall clock
+  /// steps backwards (NTP) cannot mass-expire sources.
+  double lastPollSeconds_ = 0.0;
   RollupStore store_;
   DaemonOptions options_;
   DaemonCounters counters_;
@@ -235,6 +274,12 @@ class Aggregator {
   trace::Gauge* gaugeBacklog_ = nullptr;
   trace::Counter* ctrRecordsIngested_ = nullptr;
   trace::Counter* ctrSourcesEvicted_ = nullptr;
+  // Federation health (zs.aggd.fanin.*): receiver-side counters; the
+  // sender-side twins live on the Forwarder.
+  trace::Counter* ctrFaninFrames_ = nullptr;
+  trace::Counter* ctrFaninWindows_ = nullptr;
+  trace::Counter* ctrFaninConflicts_ = nullptr;
+  trace::Gauge* gaugeFaninMaxHops_ = nullptr;
 };
 
 }  // namespace zerosum::aggregator

@@ -332,6 +332,22 @@ void mountDaemonEndpoints(HttpServer& http, Aggregator& daemon,
         .field("active", std::uint64_t{active})
         .field("stale", std::uint64_t{stale})
         .field("departed", std::uint64_t{departed})
+        .key("by_hop")
+        .beginObject();
+    // Fan-in view: how many sources arrived direct (hop 0) vs through
+    // each tier of the federation tree.
+    for (const auto& [hops, count] : daemon.sourcesByHop()) {
+      w.field(std::to_string(hops), std::uint64_t{count});
+    }
+    w.endObject()
+        .endObject()
+        .key("fanin")
+        .beginObject()
+        .field("forward_frames", daemon.counters().forwardFrames)
+        .field("forward_windows", daemon.counters().forwardWindows)
+        .field("merge_conflicts", daemon.counters().forwardConflicts)
+        .field("catalog_announces", daemon.counters().catalogAnnounces)
+        .field("clock_regressions", daemon.counters().clockRegressions)
         .endObject()
         .endObject();
     body << "\n";

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "aggregator/catalog.hpp"
 #include "aggregator/daemon.hpp"
 #include "common/error.hpp"
 #include "common/json.hpp"
@@ -142,6 +143,14 @@ std::string handleRange(const Aggregator& daemon, const json::Value& req) {
   return out.str();
 }
 
+std::string handleCatalog(const Aggregator& daemon) {
+  const Catalog* catalog = daemon.catalog();
+  if (catalog == nullptr) {
+    return errorResponse("this daemon hosts no catalog");
+  }
+  return catalog->toJson(daemon.lastPollSeconds());
+}
+
 std::string handleDashboard(const Aggregator& daemon) {
   double now = 0.0;
   for (const auto& info : daemon.sources()) {
@@ -174,6 +183,9 @@ std::string runQuery(const Aggregator& daemon,
     }
     if (op == "dashboard") {
       return handleDashboard(daemon);
+    }
+    if (op == "catalog") {
+      return handleCatalog(daemon);
     }
     return errorResponse("unknown op \"" + op + "\"");
   } catch (const Error& e) {

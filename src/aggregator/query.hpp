@@ -13,6 +13,9 @@
 //       -> all retained windows intersecting [t0, t1]
 //   {"op":"dashboard"}
 //       -> the rendered allocation dashboard as {"text": "..."}
+//   {"op":"catalog"}
+//       -> the hosted catalog's live entries (catalog hosts only; the
+//          federation discovery lookup, see catalog.hpp)
 //
 // Untrusted input: the JSON arrives off the wire, so the parse is
 // depth-limited and any malformed or unknown request yields an

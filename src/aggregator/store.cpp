@@ -62,18 +62,32 @@ void RollupStore::mergeBounded(std::map<std::int64_t, Rollup>& windows,
   }
 }
 
+void RollupStore::markDirtyLocked(Series& series, Resolution resolution,
+                                  std::int64_t index, Shard& shard) {
+  if (!trackDirty_.load(std::memory_order_relaxed)) {
+    return;
+  }
+  auto& dirty = resolution == Resolution::kFine ? series.dirtyFine
+                                                : series.dirtyCoarse;
+  if (dirty.insert(index).second) {
+    ++shard.dirty;
+  }
+}
+
 void RollupStore::mergeLocked(Series& series, double timeSeconds,
                               double value, Shard& shard) {
   const auto fineIndex = static_cast<std::int64_t>(
       std::floor(timeSeconds / options_.fineWindowSeconds));
   mergeBounded(series.fine, fineIndex, value, options_.fineRetentionWindows,
                shard.evicted);
+  markDirtyLocked(series, Resolution::kFine, fineIndex, shard);
   const std::int64_t coarseIndex =
       fineIndex >= 0 ? fineIndex / options_.coarseFactor
                      : (fineIndex - options_.coarseFactor + 1) /
                            options_.coarseFactor;
   mergeBounded(series.coarse, coarseIndex, value,
                options_.coarseRetentionWindows, shard.evicted);
+  markDirtyLocked(series, Resolution::kCoarse, coarseIndex, shard);
   ++shard.ingested;
 }
 
@@ -118,6 +132,8 @@ std::size_t RollupStore::evictSource(const std::string& job, int rank) {
     for (auto it = shard->series.begin(); it != shard->series.end();) {
       if (it->first.job == job && it->first.rank == rank) {
         shard->evicted += it->second.fine.size() + it->second.coarse.size();
+        shard->dirty -=
+            it->second.dirtyFine.size() + it->second.dirtyCoarse.size();
         it = shard->series.erase(it);
         ++dropped;
       } else {
@@ -126,6 +142,163 @@ std::size_t RollupStore::evictSource(const std::string& job, int rank) {
     }
   }
   return dropped;
+}
+
+bool RollupStore::ingestWindow(const SeriesKey& key, Resolution resolution,
+                               std::int64_t windowIndex,
+                               const Rollup& rollup) {
+  if (rollup.count == 0 || !std::isfinite(rollup.min) ||
+      !std::isfinite(rollup.max) || !std::isfinite(rollup.sum)) {
+    return false;  // hostile or corrupt input: ignore, never throw
+  }
+  Shard& shard = shardOf(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  Series& series = shard.series[key];
+  auto& windows =
+      resolution == Resolution::kFine ? series.fine : series.coarse;
+  const int retention = resolution == Resolution::kFine
+                            ? options_.fineRetentionWindows
+                            : options_.coarseRetentionWindows;
+  const std::int64_t newest =
+      windows.empty() ? windowIndex
+                      : std::max(windowIndex, windows.rbegin()->first);
+  if (windowIndex < newest - retention + 1) {
+    return false;  // beyond the retention horizon: too old to matter
+  }
+  auto [it, inserted] = windows.try_emplace(windowIndex);
+  const bool newer = inserted || rollup.count > it->second.count;
+  if (newer) {
+    // Cumulative snapshots are monotone in count: higher count = newer.
+    // Replacing (never combining) keeps retransmits idempotent.
+    it->second = rollup;
+    markDirtyLocked(series, resolution, windowIndex, shard);
+    ++shard.ingested;
+  } else if (inserted) {
+    windows.erase(it);
+  }
+  while (!windows.empty() && windows.begin()->first < newest - retention + 1) {
+    windows.erase(windows.begin());
+    ++shard.evicted;
+  }
+  return newer;
+}
+
+void RollupStore::merge(const RollupStore& other) {
+  for (const auto& otherShard : other.shards_) {
+    // Snapshot the other shard's windows under its lock, then release it
+    // before taking this store's locks (no lock ordering between stores).
+    std::vector<std::pair<SeriesKey, Series>> copied;
+    {
+      std::lock_guard<std::mutex> lock(otherShard->mutex);
+      copied.reserve(otherShard->series.size());
+      for (const auto& [key, series] : otherShard->series) {
+        copied.emplace_back(key, series);
+      }
+    }
+    for (auto& [key, incoming] : copied) {
+      Shard& shard = shardOf(key);
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      Series& mine = shard.series[key];
+      const std::pair<std::map<std::int64_t, Rollup>*,
+                      std::map<std::int64_t, Rollup>*>
+          planes[] = {{&mine.fine, &incoming.fine},
+                      {&mine.coarse, &incoming.coarse}};
+      const int retentions[] = {options_.fineRetentionWindows,
+                                options_.coarseRetentionWindows};
+      for (int p = 0; p < 2; ++p) {
+        auto& target = *planes[p].first;
+        const auto& source = *planes[p].second;
+        for (const auto& [index, rollup] : source) {
+          target[index].combine(rollup);
+        }
+        if (!target.empty()) {
+          const std::int64_t oldestKept =
+              target.rbegin()->first - retentions[p] + 1;
+          while (!target.empty() && target.begin()->first < oldestKept) {
+            target.erase(target.begin());
+            ++shard.evicted;
+          }
+        }
+      }
+    }
+  }
+}
+
+void RollupStore::enableDirtyTracking() {
+  trackDirty_.store(true, std::memory_order_relaxed);
+}
+
+std::size_t RollupStore::drainDirty(std::vector<DirtyWindow>& out,
+                                    std::size_t maxWindows) {
+  std::size_t appended = 0;
+  for (auto& shard : shards_) {
+    if (appended >= maxWindows) {
+      break;
+    }
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    if (shard->dirty == 0) {
+      continue;
+    }
+    for (auto& [key, series] : shard->series) {
+      const std::pair<Resolution, std::set<std::int64_t>*> planes[] = {
+          {Resolution::kFine, &series.dirtyFine},
+          {Resolution::kCoarse, &series.dirtyCoarse}};
+      for (const auto& [resolution, dirty] : planes) {
+        const auto& windows =
+            resolution == Resolution::kFine ? series.fine : series.coarse;
+        while (!dirty->empty() && appended < maxWindows) {
+          const std::int64_t index = *dirty->begin();
+          dirty->erase(dirty->begin());
+          --shard->dirty;
+          const auto it = windows.find(index);
+          if (it == windows.end()) {
+            continue;  // evicted since it was marked
+          }
+          DirtyWindow w;
+          w.key = key;
+          w.resolution = resolution;
+          w.windowIndex = index;
+          w.rollup = it->second;
+          out.push_back(std::move(w));
+          ++appended;
+        }
+        if (appended >= maxWindows) {
+          break;
+        }
+      }
+      if (appended >= maxWindows) {
+        break;
+      }
+    }
+  }
+  return appended;
+}
+
+void RollupStore::markAllDirty() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    for (auto& [key, series] : shard->series) {
+      for (const auto& [index, rollup] : series.fine) {
+        if (series.dirtyFine.insert(index).second) {
+          ++shard->dirty;
+        }
+      }
+      for (const auto& [index, rollup] : series.coarse) {
+        if (series.dirtyCoarse.insert(index).second) {
+          ++shard->dirty;
+        }
+      }
+    }
+  }
+}
+
+std::size_t RollupStore::dirtyCount() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    total += shard->dirty;
+  }
+  return total;
 }
 
 std::optional<WindowRollup> RollupStore::latest(const SeriesKey& key,

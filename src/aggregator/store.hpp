@@ -19,6 +19,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -58,6 +59,25 @@ struct Rollup {
     sum += value;
     ++count;
   }
+
+  /// Folds another partial rollup over the same window in (federation
+  /// merge path).  Exact for min/max/count; the sum is exact arithmetic
+  /// too, but bit-identity with a single sequential store holds only when
+  /// the two inputs partition the records by series (then each series'
+  /// sum was accumulated in the original ingest order).
+  void combine(const Rollup& other) {
+    if (other.count == 0) {
+      return;
+    }
+    if (count == 0) {
+      *this = other;
+      return;
+    }
+    min = std::min(min, other.min);
+    max = std::max(max, other.max);
+    sum += other.sum;
+    count += other.count;
+  }
 };
 
 struct SeriesKey {
@@ -77,6 +97,16 @@ struct WindowRollup {
 };
 
 enum class Resolution : std::uint8_t { kFine, kCoarse };
+
+/// One window flagged as modified since the last drainDirty() — what a
+/// federation Forwarder ships upstream.  `rollup` is the window's
+/// cumulative snapshot at drain time (see wire.hpp ForwardWindow).
+struct DirtyWindow {
+  SeriesKey key;
+  Resolution resolution = Resolution::kFine;
+  std::int64_t windowIndex = 0;
+  Rollup rollup;
+};
 
 class RollupStore {
  private:
@@ -111,6 +141,50 @@ class RollupStore {
   /// of series dropped.
   std::size_t evictSource(const std::string& job, int rank);
 
+  // --- federation surface (DESIGN.md §11) ----------------------------------
+
+  /// Applies one forwarded window snapshot: replaces the stored rollup
+  /// when the incoming count is higher (a window's cumulative snapshot is
+  /// monotone in count, so "more records seen" means "newer").  Returns
+  /// false — a merge conflict, counted by the daemon — when the incoming
+  /// snapshot is not newer than what is stored (a retransmit, a stale
+  /// duplicate routed through a second parent, or two origins claiming
+  /// the same series); the stored value is kept in that case unless the
+  /// incoming one is strictly newer.  Respects retention exactly like
+  /// ingest(): windows beyond the horizon are ignored.
+  bool ingestWindow(const SeriesKey& key, Resolution resolution,
+                    std::int64_t windowIndex, const Rollup& rollup);
+
+  /// Folds every window of `other` into this store with
+  /// Rollup::combine(), enforcing this store's retention bounds — the
+  /// root's path to answering queries over the union of per-shard
+  /// stores.  When the two stores partition series (consistent-hash
+  /// sharding), the result is bit-identical to one store having ingested
+  /// everything.
+  void merge(const RollupStore& other);
+
+  /// Turns on dirty-window tracking (off by default: the bookkeeping is
+  /// only paid by daemons that host a Forwarder).  Every window touched
+  /// by ingest()/ingestWindow() afterwards is queued for drainDirty().
+  void enableDirtyTracking();
+  [[nodiscard]] bool dirtyTrackingEnabled() const {
+    return trackDirty_.load(std::memory_order_relaxed);
+  }
+
+  /// Moves up to `maxWindows` dirty windows into `out` (appended), each
+  /// with a snapshot of its current cumulative rollup, and clears their
+  /// dirty marks.  Windows evicted since they were marked are skipped.
+  /// Returns the number appended.  More dirt may remain; callers loop.
+  std::size_t drainDirty(std::vector<DirtyWindow>& out,
+                         std::size_t maxWindows);
+
+  /// Marks every retained window of every series dirty — the full-resync
+  /// path after a forwarder reconnects or its upstream set changes.
+  void markAllDirty();
+
+  /// Dirty windows currently queued (approximate under concurrency).
+  [[nodiscard]] std::size_t dirtyCount() const;
+
   /// Newest window of a series at the given resolution.
   [[nodiscard]] std::optional<WindowRollup> latest(
       const SeriesKey& key, Resolution resolution = Resolution::kFine) const;
@@ -136,6 +210,10 @@ class RollupStore {
     /// windowIndex -> rollup, bounded by the retention depth.
     std::map<std::int64_t, Rollup> fine;
     std::map<std::int64_t, Rollup> coarse;
+    /// Window indices touched since the last drainDirty() (only
+    /// maintained while dirty tracking is on).
+    std::set<std::int64_t> dirtyFine;
+    std::set<std::int64_t> dirtyCoarse;
   };
 
   struct Shard {
@@ -143,6 +221,7 @@ class RollupStore {
     std::map<SeriesKey, Series> series;
     std::uint64_t ingested = 0;
     std::uint64_t evicted = 0;
+    std::size_t dirty = 0;  ///< dirty-window marks queued in this shard
   };
 
   [[nodiscard]] Shard& shardOf(const SeriesKey& key);
@@ -156,11 +235,15 @@ class RollupStore {
   void mergeLocked(Series& series, double timeSeconds, double value,
                    Shard& shard);
 
+  void markDirtyLocked(Series& series, Resolution resolution,
+                       std::int64_t index, Shard& shard);
+
   StoreOptions options_;
   std::vector<std::unique_ptr<Shard>> shards_;
   /// Bumped by evictSource; outstanding SeriesRefs from older
   /// generations re-resolve instead of touching freed nodes.
   std::atomic<std::uint64_t> generation_{1};
+  std::atomic<bool> trackDirty_{false};
 };
 
 }  // namespace zerosum::aggregator

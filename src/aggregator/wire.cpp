@@ -182,6 +182,48 @@ std::string encodePayload(const Frame& frame) {
       // by the frame length.
       p.append(frame.text);
       break;
+    case FrameKind::kForward:
+      putF64(p, frame.timeSeconds);
+      putU64(p, frame.batchSeq);
+      putU8(p, frame.hopCount);
+      putString(p, frame.origin);
+      putI32(p, frame.rankLo);
+      putI32(p, frame.rankHi);
+      putU16(p, static_cast<std::uint16_t>(frame.forwardSources.size()));
+      for (const auto& s : frame.forwardSources) {
+        putString(p, s.job);
+        putI32(p, s.rank);
+        putI32(p, s.worldSize);
+        putString(p, s.hostname);
+        putU8(p, s.state);
+        putF64(p, s.lastSeenAgeSeconds);
+      }
+      putU32(p, static_cast<std::uint32_t>(frame.forwardWindows.size()));
+      for (const auto& w : frame.forwardWindows) {
+        putString(p, w.job);
+        putI32(p, w.rank);
+        putString(p, w.metric);
+        putU8(p, w.resolution);
+        putU64(p, static_cast<std::uint64_t>(w.windowIndex));
+        putF64(p, w.min);
+        putF64(p, w.max);
+        putF64(p, w.sum);
+        putU64(p, w.count);
+      }
+      break;
+    case FrameKind::kCatalogAnnounce:
+      putU8(p, static_cast<std::uint8_t>(frame.catalogEntry.role));
+      putString(p, frame.catalogEntry.name);
+      putString(p, frame.catalogEntry.host);
+      putI32(p, frame.catalogEntry.port);
+      putU32(p, frame.catalogEntry.shardLo);
+      putU32(p, frame.catalogEntry.shardHi);
+      putU64(p, frame.catalogEntry.generation);
+      break;
+    case FrameKind::kCatalogAck:
+      putU64(p, frame.catalogEntry.generation);
+      putF64(p, frame.catalogTtlSeconds);
+      break;
   }
   return p;
 }
@@ -255,17 +297,110 @@ Frame decodePayload(FrameKind kind, std::uint8_t version, const char* data,
     case FrameKind::kResponse:
       frame.text.assign(data, size);
       break;
+    case FrameKind::kForward: {
+      frame.timeSeconds = in.f64();
+      frame.batchSeq = in.u64();
+      frame.hopCount = in.u8();
+      frame.origin = in.str();
+      frame.rankLo = in.i32();
+      frame.rankHi = in.i32();
+      const std::uint16_t sourceCount = in.u16();
+      frame.forwardSources.reserve(sourceCount);
+      for (std::uint16_t i = 0; i < sourceCount; ++i) {
+        ForwardSource s;
+        s.job = in.str();
+        s.rank = in.i32();
+        s.worldSize = in.i32();
+        s.hostname = in.str();
+        s.state = in.u8();
+        if (s.state > 2) {
+          throw ParseError("wire: unknown forwarded source state " +
+                           std::to_string(s.state));
+        }
+        s.lastSeenAgeSeconds = in.f64();
+        frame.forwardSources.push_back(std::move(s));
+      }
+      const std::uint32_t windowCount = in.u32();
+      // 46 bytes = the minimum encoded window (two empty strings).
+      if (static_cast<std::size_t>(windowCount) * 46 > size) {
+        throw ParseError("wire: forward window count exceeds payload");
+      }
+      frame.forwardWindows.reserve(windowCount);
+      for (std::uint32_t i = 0; i < windowCount; ++i) {
+        ForwardWindow w;
+        w.job = in.str();
+        w.rank = in.i32();
+        w.metric = in.str();
+        w.resolution = in.u8();
+        if (w.resolution > 1) {
+          throw ParseError("wire: unknown forward resolution " +
+                           std::to_string(w.resolution));
+        }
+        w.windowIndex = static_cast<std::int64_t>(in.u64());
+        w.min = in.f64();
+        w.max = in.f64();
+        w.sum = in.f64();
+        w.count = in.u64();
+        frame.forwardWindows.push_back(std::move(w));
+      }
+      in.done();
+      break;
+    }
+    case FrameKind::kCatalogAnnounce: {
+      const std::uint8_t role = in.u8();
+      if (role > static_cast<std::uint8_t>(DaemonRole::kRoot)) {
+        throw ParseError("wire: unknown daemon role " + std::to_string(role));
+      }
+      frame.catalogEntry.role = static_cast<DaemonRole>(role);
+      frame.catalogEntry.name = in.str();
+      frame.catalogEntry.host = in.str();
+      frame.catalogEntry.port = in.i32();
+      frame.catalogEntry.shardLo = in.u32();
+      frame.catalogEntry.shardHi = in.u32();
+      if (frame.catalogEntry.shardLo >= kShardSpace ||
+          frame.catalogEntry.shardHi >= kShardSpace ||
+          frame.catalogEntry.shardLo > frame.catalogEntry.shardHi) {
+        throw ParseError("wire: catalog shard range out of bounds");
+      }
+      frame.catalogEntry.generation = in.u64();
+      in.done();
+      break;
+    }
+    case FrameKind::kCatalogAck:
+      frame.catalogEntry.generation = in.u64();
+      frame.catalogTtlSeconds = in.f64();
+      in.done();
+      break;
   }
   return frame;
 }
 
 bool validKind(std::uint8_t k, std::uint8_t version) {
-  const auto last = version >= 2 ? FrameKind::kBatchAck : FrameKind::kResponse;
+  const auto last = version >= 4   ? FrameKind::kCatalogAck
+                    : version >= 2 ? FrameKind::kBatchAck
+                                   : FrameKind::kResponse;
   return k >= static_cast<std::uint8_t>(FrameKind::kHello) &&
          k <= static_cast<std::uint8_t>(last);
 }
 
 }  // namespace
+
+const char* daemonRoleName(DaemonRole role) {
+  switch (role) {
+    case DaemonRole::kNode: return "node";
+    case DaemonRole::kGroup: return "group";
+    case DaemonRole::kRoot: return "root";
+  }
+  return "?";
+}
+
+DaemonRole daemonRoleFromString(const std::string& name) {
+  if (name == "node") return DaemonRole::kNode;
+  if (name == "group") return DaemonRole::kGroup;
+  if (name == "root") return DaemonRole::kRoot;
+  throw ParseError("unknown daemon role '" + name +
+                   "' (expected node|group|root)");
+}
 
 const char* pressureLevelName(PressureLevel level) {
   switch (level) {

@@ -30,6 +30,16 @@
 //       prevRoundtripSeconds (duration of the client's most recently
 //       completed batch round-trip; negative = none yet).  The daemon
 //       turns these into per-stage latency histograms; see DESIGN.md §10.
+//   v4  Federation (DESIGN.md §11).  kForward carries pre-aggregated
+//       rollup windows hop-by-hop up the fan-in tree, tagged with the
+//       forwarder identity, origin rank range, and hop count; it reuses
+//       batchSeq + kBatchAck for the pressure/ack protocol.  Window
+//       payloads are cumulative snapshots (min/max/sum/count), so a
+//       retransmit after a reconnect or parent restart replaces rather
+//       than double-counts.  kCatalogAnnounce registers a daemon
+//       {role, host, port, shard-range, generation} with a catalog;
+//       kCatalogAck confirms registration and carries the catalog's
+//       expiry horizon.  Catalog lookups ride kQuery ({"op":"catalog"}).
 // The daemon accepts all versions (old clients keep working, v1 unacked,
 // v2 unstamped); it only sends acks to connections that announced v2+.
 #pragma once
@@ -43,7 +53,7 @@
 namespace zerosum::aggregator {
 
 /// Protocol version; bumped on any incompatible layout change.
-inline constexpr std::uint8_t kWireVersion = 3;
+inline constexpr std::uint8_t kWireVersion = 4;
 /// Oldest version the decoder still accepts.
 inline constexpr std::uint8_t kMinWireVersion = 1;
 
@@ -60,6 +70,9 @@ enum class FrameKind : std::uint8_t {
   kQuery = 6,      ///< JSON query request (reader connections)
   kResponse = 7,   ///< JSON query response (daemon -> reader)
   kBatchAck = 8,   ///< v2: daemon -> client batch/heartbeat ack + pressure
+  kForward = 9,    ///< v4: pre-aggregated rollup windows, child -> parent
+  kCatalogAnnounce = 10,  ///< v4: daemon registration with the catalog
+  kCatalogAck = 11,       ///< v4: catalog -> announcer confirmation
 };
 
 /// Daemon-side ingest pressure, computed from admission-queue depth and
@@ -117,6 +130,75 @@ struct HealthUpdate {
   friend bool operator==(const HealthUpdate&, const HealthUpdate&) = default;
 };
 
+/// Position of a daemon in the fan-in tree (DESIGN.md §11).
+enum class DaemonRole : std::uint8_t {
+  kNode = 0,   ///< leaf: ingests ranks point-to-point, forwards rollups
+  kGroup = 1,  ///< mid-tier: merges node rollups, forwards to the root
+  kRoot = 2,   ///< apex: union of every series; hosts the catalog
+};
+
+[[nodiscard]] const char* daemonRoleName(DaemonRole role);
+/// Parses "node"/"group"/"root"; throws ParseError on anything else.
+[[nodiscard]] DaemonRole daemonRoleFromString(const std::string& name);
+
+/// One pre-aggregated rollup window inside a kForward frame.  The rollup
+/// is the window's *cumulative* snapshot at forward time — min/max/sum/
+/// count over every record the window has absorbed so far — so the
+/// receiver replaces (count-monotone) instead of accumulating, and a
+/// retransmit is idempotent.
+struct ForwardWindow {
+  std::string job;
+  std::int32_t rank = 0;
+  std::string metric;
+  std::uint8_t resolution = 0;  ///< 0 = fine, 1 = coarse
+  std::int64_t windowIndex = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double sum = 0.0;
+  std::uint64_t count = 0;
+
+  friend bool operator==(const ForwardWindow&, const ForwardWindow&) = default;
+};
+
+/// Source-registry propagation inside a kForward frame: the forwarding
+/// daemon's view of one (job, rank), so every level of the tree can
+/// answer sources()/missing-rank queries.  lastSeenAgeSeconds is an age
+/// relative to the forwarder's clock at encode time — ages survive epoch
+/// differences between daemons; absolute stamps would not.
+struct ForwardSource {
+  std::string job;
+  std::int32_t rank = 0;
+  std::int32_t worldSize = 0;
+  std::string hostname;
+  std::uint8_t state = 0;  ///< SourceState as u8
+  double lastSeenAgeSeconds = 0.0;
+
+  friend bool operator==(const ForwardSource&, const ForwardSource&) = default;
+};
+
+/// Shard space for catalog shard ranges: series hash to a shard in
+/// [0, kShardSpace); an entry serves the inclusive [shardLo, shardHi]
+/// slice of that space.  Multiple entries covering the same shard are
+/// disambiguated by consistent hashing (federation.hpp).
+inline constexpr std::uint32_t kShardSpace = 1U << 16;
+
+/// One catalog registration: kCatalogAnnounce payload and the catalog's
+/// stored record (cctools catalog_server-style: announce-with-TTL).
+struct CatalogEntry {
+  DaemonRole role = DaemonRole::kNode;
+  std::string name;  ///< stable daemon identity (host:port or a label)
+  std::string host;
+  std::int32_t port = 0;
+  std::uint32_t shardLo = 0;
+  std::uint32_t shardHi = kShardSpace - 1;
+  /// Announcer's incarnation: bumped on restart so the catalog (and
+  /// anyone resolving through it) can tell a rebooted daemon from a
+  /// duplicate announce.
+  std::uint64_t generation = 0;
+
+  friend bool operator==(const CatalogEntry&, const CatalogEntry&) = default;
+};
+
 /// A decoded frame.  Only the members matching `kind` are meaningful
 /// (a tagged union spelled as a struct: the payloads are small and the
 /// decode path stays trivially safe).
@@ -139,6 +221,16 @@ struct Frame {
   double enqueueSeconds = 0.0;
   double encodeSeconds = 0.0;
   double prevRoundtripSeconds = -1.0;
+  // --- kForward (v4) -------------------------------------------------------
+  std::string origin;     ///< forwarding daemon identity
+  std::uint8_t hopCount = 0;  ///< hops already taken (leaf batch = 0)
+  std::int32_t rankLo = 0;    ///< origin rank range covered by this frame
+  std::int32_t rankHi = -1;   ///< (empty range when rankHi < rankLo)
+  std::vector<ForwardSource> forwardSources;
+  std::vector<ForwardWindow> forwardWindows;
+  // --- kCatalogAnnounce / kCatalogAck (v4) ---------------------------------
+  CatalogEntry catalogEntry;       ///< kCatalogAnnounce
+  double catalogTtlSeconds = 0.0;  ///< kCatalogAck: expiry horizon granted
 };
 
 /// Serializes one frame, length prefix included.

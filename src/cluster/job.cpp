@@ -1,5 +1,6 @@
 #include "cluster/job.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 #include "analysis/aggregate.hpp"
@@ -88,21 +89,21 @@ void ClusterJob::addInterference(const Interference& interference) {
 }
 
 void ClusterJob::setAggClientOptions(aggregator::ClientOptions options) {
-  if (aggHub_) {
+  if (aggHub_ || aggTree_) {
     throw StateError("setAggClientOptions after enableAggregation");
   }
   aggClientOptions_ = options;
 }
 
 void ClusterJob::setAggDaemonOptions(aggregator::DaemonOptions options) {
-  if (aggHub_) {
+  if (aggHub_ || aggTree_) {
     throw StateError("setAggDaemonOptions after enableAggregation");
   }
   aggDaemonOptions_ = options;
 }
 
 void ClusterJob::setAggWriterOptions(aggregator::WriterOptions options) {
-  if (aggHub_) {
+  if (aggHub_ || aggTree_) {
     throw StateError("setAggWriterOptions after enableAggregation");
   }
   aggWriterOptions_ = options;
@@ -111,7 +112,7 @@ void ClusterJob::setAggWriterOptions(aggregator::WriterOptions options) {
 
 void ClusterJob::setAggFaultSpec(const std::string& spec,
                                  std::uint64_t seed) {
-  if (aggHub_) {
+  if (aggHub_ || aggTree_) {
     throw StateError("setAggFaultSpec after enableAggregation");
   }
   aggFaultRules_ = aggregator::parseTransportFaultSpec(spec);
@@ -198,6 +199,100 @@ void ClusterJob::enableAggregation(const std::string& jobName,
   }
 }
 
+void ClusterJob::enableFederation(const std::string& jobName, int groups,
+                                  aggregator::FederationTreeOptions
+                                      treeOptions) {
+  if (ran_) {
+    throw StateError("enableFederation after run()");
+  }
+  if (aggHub_ || aggTree_) {
+    throw StateError("aggregation already enabled");
+  }
+  if (groups < 1 || config_.nodes % groups != 0) {
+    throw ConfigError("enableFederation: " + std::to_string(config_.nodes) +
+                      " node(s) do not divide into " +
+                      std::to_string(groups) + " group(s)");
+  }
+  treeOptions.groups = groups;
+  treeOptions.nodesPerGroup = config_.nodes / groups;
+  aggTree_ = std::make_unique<aggregator::FederationTree>(treeOptions);
+  aggDeparted_.assign(static_cast<std::size_t>(totalRanks()), false);
+  aggClosedClients_.resize(static_cast<std::size_t>(totalRanks()));
+  aggFaultPtrs_.assign(static_cast<std::size_t>(totalRanks()), nullptr);
+  aggregator::Aggregator* rootDaemon = &aggTree_->root();
+  for (int rank = 0; rank < totalRanks(); ++rank) {
+    auto& session = *sessions_[static_cast<std::size_t>(rank)];
+    aggregator::Hello hello;
+    hello.job = jobName;
+    hello.rank = rank;
+    hello.worldSize = totalRanks();
+    hello.hostname = session.identity().hostname;
+    hello.pid = session.identity().pid;
+    auto stream = std::make_unique<exporter::MetricStream>();
+    auto publisher =
+        std::make_unique<exporter::SessionPublisher>(stream.get());
+    // Each rank publishes to its own node's daemon, exactly like a real
+    // per-node zerosum-aggd deployment.
+    const int n = nodeOfRank(rank);
+    std::unique_ptr<aggregator::Transport> transport =
+        aggTree_->makeNodeTransport(n / treeOptions.nodesPerGroup,
+                                    n % treeOptions.nodesPerGroup);
+    if (!aggFaultRules_.empty()) {
+      auto faulty = std::make_unique<aggregator::FaultInjectingTransport>(
+          std::move(transport), aggFaultRules_,
+          aggFaultSeed_ + static_cast<std::uint64_t>(rank));
+      aggFaultPtrs_[static_cast<std::size_t>(rank)] = faulty.get();
+      transport = std::move(faulty);
+    }
+    publisher->attachAggregator(std::make_unique<aggregator::Client>(
+        std::move(transport), hello, aggClientOptions_));
+    exporter::SessionPublisher* raw = publisher.get();
+    session.setSampleCallback(
+        [raw](const core::MonitorSession& s, double timeSeconds) {
+          raw->publish(s, timeSeconds);
+        });
+    // Ladder state from the rank's own client, plus the root's per-hop
+    // source composition — the allocation-wide fan-in view lands in every
+    // rank's health CSV alongside the quarantine columns.
+    session.setAggHealthProvider([raw, rootDaemon]() -> core::AggHealth {
+      core::AggHealth agg;
+      if (const auto* client = raw->aggregatorClient()) {
+        const auto& counters = client->counters();
+        agg.recordsCoarsened = counters.recordsCoarsened;
+        agg.degradeTransitions = counters.degradeTransitions;
+        agg.recordsDropped = counters.recordsDropped;
+        agg.degradeStage = static_cast<int>(client->level());
+        agg.ackedPressure = static_cast<int>(client->pressure());
+      }
+      for (const auto& [hops, count] : rootDaemon->sourcesByHop()) {
+        if (hops == 0) {
+          agg.faninDirectSources += static_cast<int>(count);
+        } else {
+          agg.faninForwardedSources += static_cast<int>(count);
+          agg.faninMaxHops = std::max(agg.faninMaxHops, hops);
+        }
+      }
+      return agg;
+    });
+    aggStreams_.push_back(std::move(stream));
+    aggPublishers_.push_back(std::move(publisher));
+  }
+}
+
+void ClusterJob::crashAggGroup(int g) {
+  if (!aggTree_) {
+    throw StateError("crashAggGroup without enableFederation");
+  }
+  aggTree_->crashGroup(g);
+}
+
+void ClusterJob::restartAggGroup(int g) {
+  if (!aggTree_) {
+    throw StateError("restartAggGroup without enableFederation");
+  }
+  aggTree_->restartGroup(g, runtime_);
+}
+
 bool ClusterJob::jobFinished() const {
   for (std::size_t n = 0; n < nodes_.size(); ++n) {
     for (int r = 0; r < config_.ranksPerNode; ++r) {
@@ -252,7 +347,7 @@ void ClusterJob::restartAggregation() {
 }
 
 exporter::MetricStream& ClusterJob::aggStream(int rank) {
-  if (!aggHub_ || rank < 0 || rank >= totalRanks()) {
+  if ((!aggHub_ && !aggTree_) || rank < 0 || rank >= totalRanks()) {
     throw NotFoundError("aggregation stream for rank " +
                         std::to_string(rank));
   }
@@ -260,7 +355,7 @@ exporter::MetricStream& ClusterJob::aggStream(int rank) {
 }
 
 const aggregator::Client& ClusterJob::aggClient(int rank) const {
-  if (!aggHub_ || rank < 0 || rank >= totalRanks()) {
+  if ((!aggHub_ && !aggTree_) || rank < 0 || rank >= totalRanks()) {
     throw NotFoundError("aggregation client for rank " +
                         std::to_string(rank));
   }
@@ -292,7 +387,7 @@ void ClusterJob::run(double maxSeconds) {
       if (!nodes_[static_cast<std::size_t>(n)]->processFinished(
               ranks_[static_cast<std::size_t>(rank)].pid)) {
         sessions_[static_cast<std::size_t>(rank)]->sampleNow(runtime_);
-      } else if (aggDaemon_ &&
+      } else if ((aggDaemon_ || aggTree_) &&
                  !aggDeparted_[static_cast<std::size_t>(rank)]) {
         // The rank's tool exits with its process: flush and say goodbye.
         aggClosedClients_[static_cast<std::size_t>(rank)] =
@@ -301,7 +396,9 @@ void ClusterJob::run(double maxSeconds) {
         aggDeparted_[static_cast<std::size_t>(rank)] = true;
       }
     }
-    if (aggDaemon_) {
+    if (aggTree_) {
+      aggTree_->step(runtime_);
+    } else if (aggDaemon_) {
       aggDaemon_->poll(runtime_);
     }
   }
@@ -309,7 +406,7 @@ void ClusterJob::run(double maxSeconds) {
   // daemon drains the final goodbyes.  Only when the job actually
   // finished — run() returning at maxSeconds is a pause (the caller may
   // resume, or crash/restart the daemon in between), not an exit.
-  if (aggDaemon_ && jobFinished()) {
+  if ((aggDaemon_ || aggTree_) && jobFinished()) {
     for (int rank = 0; rank < totalRanks(); ++rank) {
       if (!aggDeparted_[static_cast<std::size_t>(rank)]) {
         aggClosedClients_[static_cast<std::size_t>(rank)] =
@@ -318,13 +415,24 @@ void ClusterJob::run(double maxSeconds) {
         aggDeparted_[static_cast<std::size_t>(rank)] = true;
       }
     }
-    aggDaemon_->poll(runtime_);
-    // Whatever admission control deferred (and whatever the async writer
-    // still queues) must hit the store before the orderly seal — a paused
-    // job keeps its backlog and drains it on resume instead.
-    aggDaemon_->drainBacklog(runtime_);
-    if (aggEngine_) {
-      aggEngine_->seal();
+    if (aggTree_) {
+      // Drain the fan-in: keep stepping (the clock holds still, so no
+      // catalog entry can age out mid-drain) until every forwarder at
+      // both tiers has routed, sent, and been acked — or until the bound
+      // trips because a crashed group was never restarted and some
+      // shards have no live owner.
+      for (int round = 0; round < 400 && !aggTree_->quiesced(); ++round) {
+        aggTree_->step(runtime_);
+      }
+    } else {
+      aggDaemon_->poll(runtime_);
+      // Whatever admission control deferred (and whatever the async
+      // writer still queues) must hit the store before the orderly seal —
+      // a paused job keeps its backlog and drains it on resume instead.
+      aggDaemon_->drainBacklog(runtime_);
+      if (aggEngine_) {
+        aggEngine_->seal();
+      }
     }
   }
   // No catch-up sampling: each rank's duration freezes at the last period

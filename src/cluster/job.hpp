@@ -17,6 +17,7 @@
 
 #include "aggregator/daemon.hpp"
 #include "aggregator/faulttransport.hpp"
+#include "aggregator/federation.hpp"
 #include "aggregator/transport.hpp"
 #include "aggregator/writer.hpp"
 #include "core/monitor.hpp"
@@ -73,6 +74,17 @@ class ClusterJob {
                          const std::string& dataDir = "",
                          tsdb::EngineOptions engineOptions = {});
 
+  /// Tree-topology aggregation (DESIGN.md §11) instead of one flat
+  /// daemon: stands up a FederationTree — one node daemon per simulated
+  /// node, `groups` group daemons, and one root hosting the catalog —
+  /// and connects every rank's client to its node's daemon.  run() pumps
+  /// the whole tree once per lockstep step, so rollups fan in node →
+  /// group → root in virtual time and the root's store and dashboard
+  /// reflect the entire allocation.  Requires nodes % groups == 0.
+  /// Mutually exclusive with enableAggregation().
+  void enableFederation(const std::string& jobName = "simjob", int groups = 2,
+                        aggregator::FederationTreeOptions treeOptions = {});
+
   // --- Overload / chaos knobs (before enableAggregation) ------------------
   /// Options for every rank's embedded client (degradation ladder,
   /// heartbeats, jitter).  The default keeps jitter off so lockstep runs
@@ -107,6 +119,18 @@ class ClusterJob {
   [[nodiscard]] aggregator::Aggregator* aggregatorDaemon() {
     return aggDaemon_.get();
   }
+
+  /// The fan-in tree; nullptr unless enableFederation() was called.
+  [[nodiscard]] aggregator::FederationTree* federationTree() {
+    return aggTree_.get();
+  }
+
+  /// Kills / restarts one group daemon of the federation tree mid-run
+  /// (between lockstep steps).  The group's catalog entry ages out, node
+  /// forwarders re-resolve through the catalog and full-resync into the
+  /// surviving membership — the zero-acked-loss failover path.
+  void crashAggGroup(int g);
+  void restartAggGroup(int g);
 
   /// The persistence engine; nullptr unless a dataDir was given.
   [[nodiscard]] tsdb::Engine* aggEngine() { return aggEngine_.get(); }
@@ -164,6 +188,7 @@ class ClusterJob {
   // engine (its worker thread appends into it) and is therefore declared
   // after it.
   std::unique_ptr<aggregator::PipeHub> aggHub_;
+  std::unique_ptr<aggregator::FederationTree> aggTree_;
   std::unique_ptr<aggregator::Aggregator> aggDaemon_;
   std::unique_ptr<tsdb::Engine> aggEngine_;
   std::unique_ptr<aggregator::TsdbWriter> aggWriter_;

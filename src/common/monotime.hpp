@@ -1,0 +1,26 @@
+// Monotonic time for liveness bookkeeping.
+//
+// Source staleness sweeps, catalog TTL expiry, and forwarder backoff all
+// compare "now" against deadlines recorded earlier in the same process.
+// Those comparisons must be immune to wall-clock steps: an NTP slew or an
+// administrator resetting the date must never mass-expire sources, wedge
+// catalog generations, or fire every retry timer at once.  This header is
+// the one sanctioned clock for such code — steady_clock seconds since an
+// arbitrary per-process epoch.  The epoch differs between processes, so
+// monotonic stamps must never cross the wire as absolutes; ship ages or
+// durations instead (see wire.hpp ForwardSource::lastSeenAgeSeconds).
+#pragma once
+
+#include <chrono>
+
+namespace zerosum {
+
+/// Seconds on the process-local monotonic clock.  Strictly non-decreasing;
+/// unrelated to the wall clock and to other processes' epochs.
+[[nodiscard]] inline double monotonicSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace zerosum

@@ -1,5 +1,7 @@
 #include "core/config.hpp"
 
+#include <cstdlib>
+
 #include "common/env.hpp"
 #include "common/error.hpp"
 
@@ -52,6 +54,23 @@ Config Config::fromEnv() {
   cfg.aggPort = static_cast<int>(env::getInt("ZS_AGG_PORT", cfg.aggPort));
   if (cfg.aggPort < 0 || cfg.aggPort > 65535) {
     throw ConfigError("ZS_AGG_PORT must be in [0, 65535]");
+  }
+  cfg.aggCatalog = env::getString("ZS_AGG_CATALOG", cfg.aggCatalog);
+  if (!cfg.aggCatalog.empty()) {
+    const auto colon = cfg.aggCatalog.rfind(':');
+    bool ok = colon != std::string::npos && colon > 0 &&
+              colon + 1 < cfg.aggCatalog.size();
+    if (ok) {
+      const std::string portPart = cfg.aggCatalog.substr(colon + 1);
+      ok = portPart.find_first_not_of("0123456789") == std::string::npos;
+      if (ok) {
+        const long port = std::strtol(portPart.c_str(), nullptr, 10);
+        ok = port >= 1 && port <= 65535;
+      }
+    }
+    if (!ok) {
+      throw ConfigError("ZS_AGG_CATALOG must be \"host:port\"");
+    }
   }
   cfg.aggJob = env::getString(
       "ZS_AGG_JOB", env::getString("SLURM_JOB_ID", "default"));

@@ -36,6 +36,12 @@
 //   ZS_AGG_PORT          aggregation daemon TCP port; > 0 enables the
 //                        embedded aggregation client (default 0 = off)
 //   ZS_AGG_HOST          daemon address (default 127.0.0.1)
+//   ZS_AGG_CATALOG       federation catalog "host:port"; when set the
+//                        client resolves its node-level daemon through
+//                        the catalog (preferring one on this host)
+//                        instead of static ZS_AGG_HOST/ZS_AGG_PORT
+//                        wiring, which stays as the fallback (default
+//                        unset)
 //   ZS_AGG_JOB           job identifier announced to the daemon (default
 //                        SLURM_JOB_ID, else "default")
 //   ZS_AGG_QUEUE         client send-queue bound in records; overflow
@@ -88,6 +94,8 @@ struct Config {
   /// Aggregation daemon endpoint; port 0 disables the embedded client.
   std::string aggHost = "127.0.0.1";
   int aggPort = 0;
+  /// Federation catalog "host:port"; empty = no catalog resolution.
+  std::string aggCatalog;
   /// Job identifier announced in the aggregation Hello.
   std::string aggJob;
   /// Client send-queue bound (records) and batching knobs.

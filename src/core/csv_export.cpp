@@ -68,7 +68,8 @@ void CsvExporter::writeHealthSeries(std::ostream& out,
   out << "time,samples_taken,samples_degraded,samples_dropped,loop_overruns,"
          "subsystems_quarantined,quarantines,recoveries,"
          "agg_records_coarsened,agg_degrade_transitions,"
-         "agg_records_dropped,agg_degrade_stage,agg_acked_pressure\n";
+         "agg_records_dropped,agg_degrade_stage,agg_acked_pressure,"
+         "agg_fanin_direct,agg_fanin_forwarded,agg_fanin_max_hops\n";
   for (const auto& s : samples) {
     out << strings::fixed(s.timeSeconds, 3) << ',' << s.samplesTaken << ','
         << s.samplesDegraded << ',' << s.samplesDropped << ','
@@ -76,7 +77,8 @@ void CsvExporter::writeHealthSeries(std::ostream& out,
         << s.quarantines << ',' << s.recoveries << ','
         << s.aggRecordsCoarsened << ',' << s.aggDegradeTransitions << ','
         << s.aggRecordsDropped << ',' << s.aggDegradeStage << ','
-        << s.aggAckedPressure << '\n';
+        << s.aggAckedPressure << ',' << s.aggFaninDirect << ','
+        << s.aggFaninForwarded << ',' << s.aggFaninMaxHops << '\n';
   }
 }
 

@@ -80,6 +80,13 @@ struct AggHealth {
   /// coarsening while it happens.
   int degradeStage = 0;
   int ackedPressure = 0;
+  /// Fan-in composition of the co-resident aggregation daemon (zeros when
+  /// the rank feeds a flat daemon): sources it sees directly vs through
+  /// kForward hops, and the deepest hop count observed — the per-hop
+  /// source counts of the federation tree, visible per sample.
+  int faninDirectSources = 0;
+  int faninForwardedSources = 0;
+  int faninMaxHops = 0;
 };
 
 /// One row of the per-sample health time series.
@@ -101,6 +108,10 @@ struct HealthSample {
   std::uint64_t aggRecordsDropped = 0;
   int aggDegradeStage = 0;
   int aggAckedPressure = 0;
+  /// Federation fan-in composition (zeros outside tree mode).
+  int aggFaninDirect = 0;
+  int aggFaninForwarded = 0;
+  int aggFaninMaxHops = 0;
 };
 
 /// Aggregate self-health of one MonitorSession.

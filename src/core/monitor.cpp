@@ -154,6 +154,9 @@ void MonitorSession::sampleOnce(double timeSeconds) {
     hs.aggRecordsDropped = agg.recordsDropped;
     hs.aggDegradeStage = agg.degradeStage;
     hs.aggAckedPressure = agg.ackedPressure;
+    hs.aggFaninDirect = agg.faninDirectSources;
+    hs.aggFaninForwarded = agg.faninForwardedSources;
+    hs.aggFaninMaxHops = agg.faninMaxHops;
   }
   healthSeries_.push_back(hs);
   ZS_TRACE_COUNTER("zs.samples_degraded",

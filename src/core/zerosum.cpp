@@ -1,10 +1,15 @@
 #include "core/zerosum.hpp"
 
+#include <chrono>
+#include <cstdlib>
 #include <fstream>
 #include <map>
 #include <mutex>
 #include <string>
+#include <thread>
+#include <utility>
 
+#include "aggregator/catalog.hpp"
 #include "aggregator/faulttransport.hpp"
 #include "aggregator/tcp.hpp"
 #include "common/env.hpp"
@@ -32,9 +37,56 @@ std::unique_ptr<core::MonitorSession> gSession;
 exporter::MetricStream* gAggStream = nullptr;
 std::unique_ptr<exporter::SessionPublisher> gAggPublisher;
 
+/// ZS_AGG_CATALOG resolution: ask the catalog daemon for the node-level
+/// daemon to feed (preferring one announced from this host) instead of
+/// static ZS_AGG_HOST/ZS_AGG_PORT wiring.  Any failure — unreachable
+/// catalog, garbage reply, no node entries — falls back to the static
+/// endpoint; discovery must never be the reason monitoring is off.
+std::pair<std::string, int> resolveAggEndpoint(
+    const core::Config& cfg, const std::string& localHostname) {
+  std::pair<std::string, int> endpoint{cfg.aggHost, cfg.aggPort};
+  if (cfg.aggCatalog.empty()) {
+    return endpoint;
+  }
+  const auto colon = cfg.aggCatalog.rfind(':');
+  const std::string catalogHost = cfg.aggCatalog.substr(0, colon);
+  const int catalogPort =
+      std::atoi(cfg.aggCatalog.substr(colon + 1).c_str());
+  aggregator::TcpTransport transport(catalogHost, catalogPort,
+                                     cfg.aggTimeoutMs);
+  const auto entries = aggregator::resolveCatalog(
+      transport,
+      [] { std::this_thread::sleep_for(std::chrono::milliseconds(5)); },
+      100);
+  if (!entries) {
+    log::info() << "ZS_AGG_CATALOG " << cfg.aggCatalog
+                << " unreachable; falling back to static endpoint";
+    return endpoint;
+  }
+  const aggregator::CatalogEntry* chosen = nullptr;
+  for (const auto& entry : *entries) {
+    if (entry.role != aggregator::DaemonRole::kNode) {
+      continue;
+    }
+    if (chosen == nullptr) {
+      chosen = &entry;
+    }
+    if (entry.host == localHostname) {
+      chosen = &entry;
+      break;
+    }
+  }
+  if (chosen != nullptr) {
+    endpoint = {chosen->host, static_cast<int>(chosen->port)};
+  }
+  return endpoint;
+}
+
 void wireAggregation(core::MonitorSession& session) {
   const core::Config& cfg = session.config();
-  if (cfg.aggPort <= 0) {
+  const auto [aggHost, aggPort] =
+      resolveAggEndpoint(cfg, session.identity().hostname);
+  if (aggPort <= 0) {
     return;
   }
   static exporter::MetricStream stream;
@@ -56,7 +108,7 @@ void wireAggregation(core::MonitorSession& session) {
   // injector — the aggregation analogue of ZS_FAULT_SPEC on the provider.
   gAggPublisher->attachAggregator(std::make_unique<aggregator::Client>(
       aggregator::wrapTransportFaultsFromEnv(
-          std::make_unique<aggregator::TcpTransport>(cfg.aggHost, cfg.aggPort,
+          std::make_unique<aggregator::TcpTransport>(aggHost, aggPort,
                                                      cfg.aggTimeoutMs)),
       hello, options));
   session.setSampleCallback(

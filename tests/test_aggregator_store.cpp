@@ -237,3 +237,219 @@ TEST(AggStore, RangeQuerySelectsIntersectingWindowsOnly) {
   EXPECT_DOUBLE_EQ(windows.front().windowStartSeconds, 3.0);
   EXPECT_DOUBLE_EQ(windows.back().windowStartSeconds, 5.0);
 }
+
+// --- federation surface: merge / ingestWindow / dirty tracking ---------------
+// (DESIGN.md §11: the root answers queries over the union of per-shard
+// stores; merge() must be indistinguishable from one store having seen
+// every record.)
+
+#include "aggregator/federation.hpp"
+
+namespace {
+
+/// Every window of every series in `expected`, bit-for-bit in `actual`
+/// (and nothing extra): the "indistinguishable from one sequential
+/// store" property.
+void expectStoresIdentical(const RollupStore& expected,
+                           const RollupStore& actual) {
+  ASSERT_EQ(expected.keys(), actual.keys());
+  for (const auto& key : expected.keys()) {
+    for (const Resolution res : {Resolution::kFine, Resolution::kCoarse}) {
+      const auto want = expected.range(key, -1e12, 1e12, res);
+      const auto got = actual.range(key, -1e12, 1e12, res);
+      ASSERT_EQ(want.size(), got.size())
+          << key.job << "/" << key.rank << "/" << key.metric;
+      for (std::size_t i = 0; i < want.size(); ++i) {
+        EXPECT_EQ(want[i].windowStartSeconds, got[i].windowStartSeconds);
+        EXPECT_EQ(want[i].rollup.min, got[i].rollup.min);    // bit-identical,
+        EXPECT_EQ(want[i].rollup.max, got[i].rollup.max);    // so EXPECT_EQ
+        EXPECT_EQ(want[i].rollup.sum, got[i].rollup.sum);    // not _NEAR
+        EXPECT_EQ(want[i].rollup.count, got[i].rollup.count);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+TEST(AggStoreMerge, PartitionedStoresMergeBitIdenticalToSequential) {
+  // Property: partition a random record stream by shardOfSeries across
+  // three stores; merging the partitions must be bit-identical to the
+  // single store that ingested everything in order.
+  std::mt19937 rng(20260808);
+  std::uniform_real_distribution<double> value(-50.0, 50.0);
+  std::uniform_real_distribution<double> jitter(0.0, 1.0);
+  const std::vector<std::string> metrics = {"hwt.0.user_pct", "mem.rss",
+                                            "gpu.0.util"};
+  RollupStore sequential;
+  RollupStore parts[3];
+  for (int i = 0; i < 5000; ++i) {
+    const SeriesKey key{"job", static_cast<int>(rng() % 16),
+                        metrics[rng() % metrics.size()]};
+    const double t = static_cast<double>(rng() % 40) + jitter(rng);
+    const double v = value(rng);
+    sequential.ingest(key, t, v);
+    parts[shardOfSeries(key) % 3].ingest(key, t, v);
+  }
+  RollupStore merged;
+  for (const auto& part : parts) {
+    merged.merge(part);
+  }
+  expectStoresIdentical(sequential, merged);
+}
+
+TEST(AggStoreMerge, OverlappingWindowsCombineAcrossStores) {
+  // Two stores holding the *same* series (not a partition) still merge
+  // correctly: counts add, min/max widen.  Bit-identical sums are not
+  // promised here — only the partitioned case — but this sum is exact.
+  RollupStore a;
+  RollupStore b;
+  a.ingest(kKey, 5.5, 10.0);
+  a.ingest(kKey, 5.7, 2.0);
+  b.ingest(kKey, 5.6, 30.0);
+  RollupStore merged;
+  merged.merge(a);
+  merged.merge(b);
+  const auto window = merged.latest(kKey);
+  ASSERT_TRUE(window.has_value());
+  EXPECT_EQ(window->rollup.count, 3U);
+  EXPECT_DOUBLE_EQ(window->rollup.min, 2.0);
+  EXPECT_DOUBLE_EQ(window->rollup.max, 30.0);
+  EXPECT_DOUBLE_EQ(window->rollup.sum, 42.0);
+}
+
+TEST(AggStoreMerge, MergeRespectsDestinationRetention) {
+  // The source retains more history than the destination: windows beyond
+  // the destination's horizon must not resurrect.
+  StoreOptions deep;
+  deep.fineRetentionWindows = 600;
+  StoreOptions shallow;
+  shallow.fineRetentionWindows = 4;
+  RollupStore source((deep));
+  for (int t = 0; t < 100; ++t) {
+    source.ingest(kKey, static_cast<double>(t) + 0.5, 1.0);
+  }
+  RollupStore dest((shallow));
+  dest.merge(source);
+  const auto windows = dest.range(kKey, -1e12, 1e12);
+  ASSERT_EQ(windows.size(), 4U);
+  EXPECT_DOUBLE_EQ(windows.front().windowStartSeconds, 96.0);
+  EXPECT_DOUBLE_EQ(windows.back().windowStartSeconds, 99.0);
+}
+
+TEST(AggStoreMerge, MergeAtTheEvictionBoundaryKeepsNewestWindows) {
+  // Both stores at full retention with disjoint-but-abutting histories:
+  // the merge result holds exactly the newest `fineRetentionWindows`.
+  StoreOptions small;
+  small.fineRetentionWindows = 8;
+  RollupStore older((small));
+  RollupStore newer((small));
+  for (int t = 0; t < 8; ++t) {
+    older.ingest(kKey, static_cast<double>(t) + 0.5, 1.0);
+    newer.ingest(kKey, static_cast<double>(t + 4) + 0.5, 2.0);
+  }
+  RollupStore merged((small));
+  merged.merge(older);
+  merged.merge(newer);
+  const auto windows = merged.range(kKey, -1e12, 1e12);
+  ASSERT_EQ(windows.size(), 8U);
+  EXPECT_DOUBLE_EQ(windows.front().windowStartSeconds, 4.0);
+  EXPECT_DOUBLE_EQ(windows.back().windowStartSeconds, 11.0);
+  // The overlap region [4, 8) saw both stores' records.
+  EXPECT_EQ(windows.front().rollup.count, 2U);
+  EXPECT_EQ(windows.back().rollup.count, 1U);
+}
+
+TEST(AggStoreWindow, IngestWindowReplacesOnlyWhenStrictlyNewer) {
+  RollupStore store;
+  const Rollup two{1.0, 5.0, 6.0, 2};
+  EXPECT_TRUE(store.ingestWindow(kKey, Resolution::kFine, 7, two));
+  // A retransmit of the same cumulative snapshot: conflict, kept as-is.
+  EXPECT_FALSE(store.ingestWindow(kKey, Resolution::kFine, 7, two));
+  // An older snapshot (fewer records seen): conflict.
+  EXPECT_FALSE(
+      store.ingestWindow(kKey, Resolution::kFine, 7, Rollup{1.0, 1.0, 1.0, 1}));
+  EXPECT_DOUBLE_EQ(store.latest(kKey)->rollup.max, 5.0);
+  // Strictly newer (higher count) replaces wholesale.
+  EXPECT_TRUE(store.ingestWindow(kKey, Resolution::kFine, 7,
+                                 Rollup{0.5, 9.0, 15.5, 3}));
+  const auto window = store.latest(kKey);
+  EXPECT_EQ(window->rollup.count, 3U);
+  EXPECT_DOUBLE_EQ(window->rollup.min, 0.5);
+  EXPECT_DOUBLE_EQ(window->rollup.sum, 15.5);
+}
+
+TEST(AggStoreWindow, IngestWindowBeyondRetentionHorizonIsRejected) {
+  StoreOptions small;
+  small.fineRetentionWindows = 4;
+  RollupStore store((small));
+  store.ingest(kKey, 100.5, 1.0);  // newest fine window index = 100
+  EXPECT_FALSE(
+      store.ingestWindow(kKey, Resolution::kFine, 90, Rollup{1, 1, 1, 1}));
+  EXPECT_TRUE(
+      store.ingestWindow(kKey, Resolution::kFine, 98, Rollup{1, 1, 1, 1}));
+  EXPECT_EQ(store.range(kKey, -1e12, 1e12).size(), 2U);
+}
+
+TEST(AggStoreDirty, TrackingIsOffByDefaultAndDrainsSnapshots) {
+  RollupStore store;
+  store.ingest(kKey, 1.5, 1.0);
+  EXPECT_EQ(store.dirtyCount(), 0U);  // off by default: no bookkeeping
+
+  store.enableDirtyTracking();
+  store.ingest(kKey, 1.6, 3.0);
+  // One fine window + one coarse window touched.
+  EXPECT_EQ(store.dirtyCount(), 2U);
+  std::vector<DirtyWindow> drained;
+  EXPECT_EQ(store.drainDirty(drained, 100), 2U);
+  EXPECT_EQ(store.dirtyCount(), 0U);
+  // The drained rollup is the window's full cumulative snapshot (both
+  // records), not a delta since tracking was enabled.
+  const auto fine =
+      std::find_if(drained.begin(), drained.end(), [](const DirtyWindow& w) {
+        return w.resolution == Resolution::kFine;
+      });
+  ASSERT_NE(fine, drained.end());
+  EXPECT_EQ(fine->rollup.count, 2U);
+  EXPECT_DOUBLE_EQ(fine->rollup.sum, 4.0);
+  // Draining again with no new ingest yields nothing (marks cleared).
+  EXPECT_EQ(store.drainDirty(drained, 100), 0U);
+}
+
+TEST(AggStoreDirty, MarkAllDirtyQueuesEveryRetainedWindow) {
+  RollupStore store;
+  store.enableDirtyTracking();
+  for (int t = 0; t < 5; ++t) {
+    store.ingest({"job", 0, "a"}, static_cast<double>(t) + 0.5, 1.0);
+    store.ingest({"job", 1, "b"}, static_cast<double>(t) + 0.5, 1.0);
+  }
+  std::vector<DirtyWindow> drained;
+  store.drainDirty(drained, 1000);
+  drained.clear();
+  store.markAllDirty();
+  store.drainDirty(drained, 1000);
+  // 2 series x (5 fine windows + 1 coarse window).
+  EXPECT_EQ(drained.size(), 12U);
+}
+
+TEST(AggStoreDirty, DrainRespectsBudgetAndSkipsEvictedWindows) {
+  StoreOptions small;
+  small.fineRetentionWindows = 4;
+  RollupStore store((small));
+  store.enableDirtyTracking();
+  store.ingest(kKey, 0.5, 1.0);
+  // Budgeted drain: at most one window per call, the rest stays queued.
+  std::vector<DirtyWindow> drained;
+  EXPECT_EQ(store.drainDirty(drained, 1), 1U);
+  EXPECT_EQ(store.dirtyCount(), 1U);
+  drained.clear();
+  // The still-queued window's fine entry is evicted before the drain:
+  // jump far ahead so retention drops window 0.
+  store.ingest(kKey, 100.5, 1.0);
+  store.drainDirty(drained, 1000);
+  for (const auto& window : drained) {
+    if (window.resolution == Resolution::kFine) {
+      EXPECT_GE(window.windowIndex, 97);  // window 0 never re-surfaces
+    }
+  }
+}

@@ -1,0 +1,722 @@
+// Federation (DESIGN.md §11): wire-v4 frames, consistent-hash sharding,
+// the catalog discovery service, the hop-by-hop Forwarder, the full
+// in-process FederationTree, and ClusterJob's tree-topology mode.  The
+// invariant under test throughout: windows are cumulative snapshots, so
+// whatever a node daemon acked must be present at the root with at
+// least the same count — across retransmits, membership changes, and a
+// mid-run group crash.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "aggregator/catalog.hpp"
+#include "aggregator/client.hpp"
+#include "aggregator/daemon.hpp"
+#include "aggregator/federation.hpp"
+#include "aggregator/store.hpp"
+#include "aggregator/transport.hpp"
+#include "aggregator/wire.hpp"
+#include "cluster/job.hpp"
+#include "common/error.hpp"
+#include "common/monotime.hpp"
+#include "topology/presets.hpp"
+
+using namespace zerosum;
+using namespace zerosum::aggregator;
+
+namespace {
+
+CatalogEntry makeEntry(DaemonRole role, const std::string& name,
+                       std::uint64_t generation = 1,
+                       std::uint32_t shardLo = 0,
+                       std::uint32_t shardHi = kShardSpace - 1) {
+  CatalogEntry entry;
+  entry.role = role;
+  entry.name = name;
+  entry.host = "127.0.0.1";
+  entry.port = 7000;
+  entry.shardLo = shardLo;
+  entry.shardHi = shardHi;
+  entry.generation = generation;
+  return entry;
+}
+
+/// Every retained *coarse* window of every series in `child` must exist
+/// in `parent` with at least the same count — the zero-acked-loss
+/// check.  Coarse only: the fine plane is the degradable one (under
+/// acked upstream pressure the forwarder withholds fine windows, the
+/// hop-by-hop rung of the degradation ladder), so only coarse windows
+/// carry the lossless contract.
+void expectSubsumed(const RollupStore& child, const RollupStore& parent) {
+  constexpr Resolution res = Resolution::kCoarse;
+  for (const auto& key : child.keys()) {
+    for (const auto& window : child.range(key, -1e12, 1e12, res)) {
+      const auto held = parent.range(key, window.windowStartSeconds,
+                                     window.windowStartSeconds, res);
+      ASSERT_EQ(held.size(), 1U)
+          << key.job << "/" << key.rank << "/" << key.metric << " window "
+          << window.windowStartSeconds << " missing";
+      EXPECT_GE(held[0].rollup.count, window.rollup.count);
+    }
+  }
+}
+
+}  // namespace
+
+// --- wire v4 -----------------------------------------------------------------
+
+TEST(FedWire, ForwardFrameRoundTrips) {
+  Frame frame;
+  frame.kind = FrameKind::kForward;
+  frame.timeSeconds = 123.5;
+  frame.batchSeq = 42;
+  frame.origin = "node-3";
+  frame.hopCount = 2;
+  frame.rankLo = 8;
+  frame.rankHi = 15;
+  frame.forwardSources.push_back(
+      {"simjob", 9, 16, "nid00009", 0, 1.25});
+  frame.forwardSources.push_back(
+      {"simjob", 10, 16, "nid00010", 1, 31.0});
+  frame.forwardWindows.push_back(
+      {"simjob", 9, "hwt.0.user_pct", 0, 123, 1.0, 9.0, 15.0, 4});
+  frame.forwardWindows.push_back(
+      {"simjob", 10, "mem.rss", 1, 12, 5.0, 5.0, 5.0, 1});
+
+  const Frame decoded = decodeFrame(encodeFrame(frame));
+  EXPECT_EQ(decoded.kind, FrameKind::kForward);
+  EXPECT_DOUBLE_EQ(decoded.timeSeconds, 123.5);
+  EXPECT_EQ(decoded.batchSeq, 42U);
+  EXPECT_EQ(decoded.origin, "node-3");
+  EXPECT_EQ(decoded.hopCount, 2);
+  EXPECT_EQ(decoded.rankLo, 8);
+  EXPECT_EQ(decoded.rankHi, 15);
+  EXPECT_EQ(decoded.forwardSources, frame.forwardSources);
+  EXPECT_EQ(decoded.forwardWindows, frame.forwardWindows);
+}
+
+TEST(FedWire, CatalogFramesRoundTrip) {
+  Frame announce;
+  announce.kind = FrameKind::kCatalogAnnounce;
+  announce.catalogEntry =
+      makeEntry(DaemonRole::kGroup, "group-1", 7, 100, 4095);
+  const Frame decodedAnnounce = decodeFrame(encodeFrame(announce));
+  EXPECT_EQ(decodedAnnounce.kind, FrameKind::kCatalogAnnounce);
+  EXPECT_EQ(decodedAnnounce.catalogEntry, announce.catalogEntry);
+
+  Frame ack;
+  ack.kind = FrameKind::kCatalogAck;
+  ack.catalogEntry.generation = 7;
+  ack.catalogTtlSeconds = 15.0;
+  const Frame decodedAck = decodeFrame(encodeFrame(ack));
+  EXPECT_EQ(decodedAck.kind, FrameKind::kCatalogAck);
+  EXPECT_EQ(decodedAck.catalogEntry.generation, 7U);
+  EXPECT_DOUBLE_EQ(decodedAck.catalogTtlSeconds, 15.0);
+}
+
+TEST(FedWire, DaemonRoleNamesRoundTrip) {
+  for (const DaemonRole role :
+       {DaemonRole::kNode, DaemonRole::kGroup, DaemonRole::kRoot}) {
+    EXPECT_EQ(daemonRoleFromString(daemonRoleName(role)), role);
+  }
+  EXPECT_THROW(daemonRoleFromString("leaf"), ParseError);
+}
+
+// --- consistent-hash sharding ------------------------------------------------
+
+TEST(FedRing, ShardOfSeriesIsStableAndInRange) {
+  const SeriesKey key{"job", 3, "hwt.0.user_pct"};
+  const std::uint32_t shard = shardOfSeries(key);
+  EXPECT_EQ(shardOfSeries(key), shard);  // deterministic
+  EXPECT_LT(shard, kShardSpace);
+  // Different series spread: 64 keys should not collapse to one shard.
+  std::set<std::uint32_t> shards;
+  for (int r = 0; r < 64; ++r) {
+    shards.insert(shardOfSeries({"job", r, "m"}));
+  }
+  EXPECT_GT(shards.size(), 32U);
+}
+
+TEST(FedRing, SingleEntryOwnsEveryShard) {
+  const HashRing ring({makeEntry(DaemonRole::kGroup, "g0")});
+  for (std::uint32_t shard : {0U, 1U, 777U, kShardSpace - 1}) {
+    const CatalogEntry* owner = ring.route(shard);
+    ASSERT_NE(owner, nullptr);
+    EXPECT_EQ(owner->name, "g0");
+  }
+  EXPECT_EQ(HashRing().route(0), nullptr);
+}
+
+TEST(FedRing, RouteRespectsShardRanges) {
+  const std::uint32_t mid = kShardSpace / 2;
+  const HashRing ring({
+      makeEntry(DaemonRole::kGroup, "low", 1, 0, mid - 1),
+      makeEntry(DaemonRole::kGroup, "high", 1, mid, kShardSpace - 1),
+  });
+  for (std::uint32_t shard = 0; shard < kShardSpace; shard += 997) {
+    const CatalogEntry* owner = ring.route(shard);
+    ASSERT_NE(owner, nullptr);
+    EXPECT_EQ(owner->name, shard < mid ? "low" : "high");
+  }
+}
+
+TEST(FedRing, MembershipChangeMovesOnlyOrphanedShards) {
+  std::vector<CatalogEntry> entries;
+  for (int g = 0; g < 4; ++g) {
+    entries.push_back(
+        makeEntry(DaemonRole::kGroup, "g" + std::to_string(g)));
+  }
+  const HashRing before(entries);
+  std::map<std::uint32_t, std::string> owner;
+  for (std::uint32_t shard = 0; shard < kShardSpace; shard += 131) {
+    owner[shard] = before.route(shard)->name;
+  }
+  entries.erase(entries.begin() + 1);  // g1 dies
+  const HashRing after(entries);
+  for (const auto& [shard, name] : owner) {
+    const CatalogEntry* now = after.route(shard);
+    ASSERT_NE(now, nullptr);
+    if (name != "g1") {
+      EXPECT_EQ(now->name, name)  // survivors keep their shards
+          << "shard " << shard << " moved from live owner";
+    } else {
+      EXPECT_NE(now->name, "g1");
+    }
+  }
+}
+
+TEST(FedRing, SameMembershipDetectsGenerationChanges) {
+  const std::vector<CatalogEntry> set = {
+      makeEntry(DaemonRole::kGroup, "g0", 1),
+      makeEntry(DaemonRole::kGroup, "g1", 1),
+  };
+  const HashRing ring(set);
+  EXPECT_TRUE(ring.sameMembership(set));
+  auto restarted = set;
+  restarted[1].generation = 2;  // same name, new incarnation
+  EXPECT_FALSE(ring.sameMembership(restarted));
+  EXPECT_FALSE(ring.sameMembership({set[0]}));
+}
+
+// --- catalog -----------------------------------------------------------------
+
+TEST(FedCatalog, AssignsGenerationsAndDetectsRestarts) {
+  Catalog catalog;
+  CatalogEntry entry = makeEntry(DaemonRole::kNode, "n0", 0);
+  // Generation 0 asks the catalog to assign the incarnation number.
+  auto result = catalog.announce(entry, 0.0);
+  EXPECT_TRUE(result.accepted);
+  EXPECT_EQ(result.generation, 1U);
+  EXPECT_DOUBLE_EQ(result.ttlSeconds, catalog.options().ttlSeconds);
+
+  entry.generation = 1;  // refresh from the same incarnation
+  EXPECT_TRUE(catalog.announce(entry, 1.0).accepted);
+  EXPECT_EQ(catalog.counters().generationBumps, 0U);
+
+  entry.generation = 2;  // restart
+  EXPECT_TRUE(catalog.announce(entry, 2.0).accepted);
+  EXPECT_EQ(catalog.counters().generationBumps, 1U);
+
+  entry.generation = 1;  // ghost of the previous life
+  EXPECT_FALSE(catalog.announce(entry, 3.0).accepted);
+  EXPECT_EQ(catalog.counters().staleRejected, 1U);
+  EXPECT_EQ(catalog.find("n0", 3.0)->generation, 2U);
+}
+
+TEST(FedCatalog, EntriesExpireWithoutRefreshAndCanReRegister) {
+  Catalog catalog({/*ttlSeconds=*/10.0});
+  catalog.announce(makeEntry(DaemonRole::kNode, "n0", 0), 0.0);
+  EXPECT_EQ(catalog.entries(9.0).size(), 1U);
+  // Past the deadline the read path omits the entry even before the
+  // owner's expire() sweep removes it.
+  EXPECT_TRUE(catalog.entries(11.0).empty());
+  EXPECT_EQ(catalog.size(), 1U);
+  EXPECT_EQ(catalog.expire(11.0), 1U);
+  EXPECT_EQ(catalog.size(), 0U);
+  EXPECT_EQ(catalog.counters().expired, 1U);
+  // Re-registration after expiry is a fresh record.
+  EXPECT_TRUE(catalog.announce(makeEntry(DaemonRole::kNode, "n0", 0), 12.0)
+                  .accepted);
+  EXPECT_EQ(catalog.counters().registrations, 2U);
+  EXPECT_EQ(catalog.entries(12.0).size(), 1U);
+}
+
+TEST(FedCatalog, EntriesByRoleFiltersAndSorts) {
+  Catalog catalog;
+  catalog.announce(makeEntry(DaemonRole::kGroup, "g1"), 0.0);
+  catalog.announce(makeEntry(DaemonRole::kNode, "n0"), 0.0);
+  catalog.announce(makeEntry(DaemonRole::kGroup, "g0"), 0.0);
+  const auto groups = catalog.entriesByRole(DaemonRole::kGroup, 1.0);
+  ASSERT_EQ(groups.size(), 2U);
+  EXPECT_EQ(groups[0].name, "g0");
+  EXPECT_EQ(groups[1].name, "g1");
+  EXPECT_TRUE(catalog.entriesByRole(DaemonRole::kRoot, 1.0).empty());
+}
+
+TEST(FedCatalog, JsonRoundTrips) {
+  Catalog catalog;
+  catalog.announce(makeEntry(DaemonRole::kGroup, "g0", 3, 0, 1000), 0.0);
+  catalog.announce(makeEntry(DaemonRole::kRoot, "root", 1), 0.0);
+  const auto parsed = Catalog::parseJson(catalog.toJson(1.0));
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->size(), 2U);
+  EXPECT_EQ((*parsed)[0].name, "g0");
+  EXPECT_EQ((*parsed)[0].role, DaemonRole::kGroup);
+  EXPECT_EQ((*parsed)[0].shardHi, 1000U);
+  EXPECT_EQ((*parsed)[0].generation, 3U);
+  EXPECT_EQ((*parsed)[1].name, "root");
+  EXPECT_FALSE(Catalog::parseJson("not json").has_value());
+}
+
+TEST(FedCatalog, ResolvesOverTheWire) {
+  PipeHub hub;
+  Aggregator root(hub.makeServer());
+  Catalog catalog;
+  root.attachCatalog(&catalog);
+  catalog.announce(makeEntry(DaemonRole::kNode, "n0", 0), 0.0);
+  catalog.announce(makeEntry(DaemonRole::kGroup, "g0", 0), 0.0);
+
+  auto transport = hub.makeClientTransport();
+  double t = 1.0;
+  const auto entries =
+      resolveCatalog(*transport, [&] { root.poll(t += 0.01); }, 100);
+  ASSERT_TRUE(entries.has_value());
+  ASSERT_EQ(entries->size(), 2U);
+  EXPECT_EQ((*entries)[0].name, "g0");
+  EXPECT_EQ((*entries)[1].name, "n0");
+}
+
+TEST(FedAnnouncer, RegistersAndAdoptsTheGrantedGeneration) {
+  PipeHub hub;
+  Aggregator root(hub.makeServer());
+  Catalog catalog;
+  root.attachCatalog(&catalog);
+
+  AnnouncerOptions options;
+  options.intervalSeconds = 1.0;
+  CatalogAnnouncer announcer(hub.makeClientTransport(),
+                             makeEntry(DaemonRole::kNode, "n0", 0), options);
+  announcer.pump(0.0);  // first announce (generation 0 = assign me one)
+  root.poll(0.1);
+  announcer.pump(0.2);  // reads the ack, adopts the generation
+  EXPECT_EQ(announcer.generation(), 1U);
+  EXPECT_GE(announcer.counters().acksReceived, 1U);
+  ASSERT_TRUE(catalog.find("n0", 0.5).has_value());
+
+  announcer.pump(0.5);  // inside the interval: no re-announce yet
+  const auto sent = announcer.counters().announcesSent;
+  announcer.pump(1.3);  // past it: refresh
+  EXPECT_EQ(announcer.counters().announcesSent, sent + 1);
+  root.poll(1.4);
+  EXPECT_GE(catalog.counters().announces, 2U);
+  EXPECT_EQ(catalog.counters().generationBumps, 0U);  // refresh, not restart
+}
+
+// --- daemon: forward ingest + clock clamp ------------------------------------
+
+TEST(FedDaemon, ForwardFramesIngestIdempotentlyAndCountHops) {
+  PipeHub hub;
+  Aggregator daemon(hub.makeServer());
+  auto transport = hub.makeClientTransport();
+  ASSERT_TRUE(transport->connect());
+
+  Frame frame;
+  frame.kind = FrameKind::kForward;
+  frame.timeSeconds = 5.0;
+  frame.batchSeq = 1;
+  frame.origin = "node-0";
+  frame.hopCount = 2;
+  frame.forwardSources.push_back({"job", 3, 8, "nid3", 0, 0.5});
+  frame.forwardWindows.push_back({"job", 3, "m", 0, 5, 1.0, 3.0, 4.0, 2});
+  ASSERT_TRUE(transport->send(encodeFrame(frame)));
+  daemon.poll(5.0);
+
+  EXPECT_EQ(daemon.counters().forwardFrames, 1U);
+  EXPECT_EQ(daemon.counters().forwardWindows, 1U);
+  const SeriesKey key{"job", 3, "m"};
+  auto window = daemon.store().latest(key);
+  ASSERT_TRUE(window.has_value());
+  EXPECT_EQ(window->rollup.count, 2U);
+  const auto byHop = daemon.sourcesByHop();
+  ASSERT_TRUE(byHop.count(2));
+  EXPECT_EQ(byHop.at(2), 1U);
+
+  // A retransmit of the same cumulative snapshot is a conflict, not a
+  // double-count; a newer snapshot (higher count) replaces.
+  frame.batchSeq = 2;
+  ASSERT_TRUE(transport->send(encodeFrame(frame)));
+  daemon.poll(5.1);
+  EXPECT_EQ(daemon.counters().forwardConflicts, 1U);
+  EXPECT_EQ(daemon.store().latest(key)->rollup.count, 2U);
+
+  frame.batchSeq = 3;
+  frame.forwardWindows[0] = {"job", 3, "m", 0, 5, 1.0, 9.0, 13.0, 3};
+  ASSERT_TRUE(transport->send(encodeFrame(frame)));
+  daemon.poll(5.2);
+  EXPECT_EQ(daemon.store().latest(key)->rollup.count, 3U);
+  EXPECT_DOUBLE_EQ(daemon.store().latest(key)->rollup.max, 9.0);
+}
+
+TEST(FedDaemon, PollClampsBackwardClockSteps) {
+  PipeHub hub;
+  Aggregator daemon(hub.makeServer());
+  auto transport = hub.makeClientTransport();
+  ASSERT_TRUE(transport->connect());
+  Frame hello;
+  hello.kind = FrameKind::kHello;
+  hello.hello.job = "job";
+  hello.hello.rank = 0;
+  hello.hello.worldSize = 1;
+  ASSERT_TRUE(transport->send(encodeFrame(hello)));
+  Frame batch;
+  batch.kind = FrameKind::kBatch;
+  batch.timeSeconds = 100.0;
+  batch.batchSeq = 1;
+  batch.records.push_back({100.0, "m", 1.0});
+  ASSERT_TRUE(transport->send(encodeFrame(batch)));
+  daemon.poll(100.0);
+  ASSERT_EQ(daemon.store().seriesCount(), 1U);
+
+  // An NTP-style wall-clock step backwards must neither run liveness
+  // deadlines on the stepped clock nor mass-evict sources.
+  daemon.poll(10.0);
+  EXPECT_EQ(daemon.counters().clockRegressions, 1U);
+  EXPECT_DOUBLE_EQ(daemon.lastPollSeconds(), 100.0);
+  EXPECT_EQ(daemon.counters().sourcesEvicted, 0U);
+  EXPECT_EQ(daemon.store().seriesCount(), 1U);
+}
+
+TEST(FedMonotime, MonotonicClockNeverDecreases) {
+  double last = monotonicSeconds();
+  for (int i = 0; i < 1000; ++i) {
+    const double now = monotonicSeconds();
+    EXPECT_GE(now, last);
+    last = now;
+  }
+}
+
+// --- forwarder ---------------------------------------------------------------
+
+TEST(FedForwarder, ShipsDirtyWindowsAndResyncsOnMembershipChange) {
+  PipeHub localHub;
+  PipeHub parentHub;
+  Aggregator local(localHub.makeServer());
+  Aggregator parent(parentHub.makeServer());
+  ForwarderOptions options;
+  options.origin = "node-0";
+  options.hopCount = 1;
+  Forwarder forwarder(
+      local, [&](const CatalogEntry&) { return parentHub.makeClientTransport(); },
+      options);
+
+  // Feed the local daemon through its real ingest path so it also has
+  // sources to propagate (hop counting at the parent needs them).
+  std::vector<std::unique_ptr<Transport>> ranks;
+  for (int r = 0; r < 2; ++r) {
+    ranks.push_back(localHub.makeClientTransport());
+    ASSERT_TRUE(ranks.back()->connect());
+    Frame hello;
+    hello.kind = FrameKind::kHello;
+    hello.hello.job = "job";
+    hello.hello.rank = r;
+    hello.hello.worldSize = 2;
+    ASSERT_TRUE(ranks.back()->send(encodeFrame(hello)));
+    Frame batch;
+    batch.kind = FrameKind::kBatch;
+    batch.timeSeconds = 1.5;
+    batch.batchSeq = 1;
+    batch.records.push_back({1.5, "m", 10.0 * (r + 1)});
+    ASSERT_TRUE(ranks.back()->send(encodeFrame(batch)));
+  }
+  local.poll(1.6);
+  EXPECT_GT(local.store().dirtyCount(), 0U);
+
+  forwarder.setUpstreams({makeEntry(DaemonRole::kGroup, "g0", 1)}, 2.0);
+  EXPECT_EQ(forwarder.counters().membershipChanges, 1U);
+  for (double t = 2.0; t < 3.0 && !forwarder.quiesced(); t += 0.1) {
+    forwarder.pump(t);
+    parent.poll(t);
+  }
+  EXPECT_TRUE(forwarder.quiesced());
+  EXPECT_GT(forwarder.counters().framesForwarded, 0U);
+  expectSubsumed(local.store(), parent.store());
+  EXPECT_EQ(parent.sourcesByHop().count(1), 1U);
+
+  // The upstream restarts (same name, new generation): full resync —
+  // every retained window replays, idempotently.
+  const auto resyncsBefore = forwarder.counters().resyncs;
+  forwarder.setUpstreams({makeEntry(DaemonRole::kGroup, "g0", 2)}, 4.0);
+  EXPECT_EQ(forwarder.counters().membershipChanges, 2U);
+  EXPECT_EQ(forwarder.counters().resyncs, resyncsBefore + 1);
+  for (double t = 4.0; t < 5.0 && !forwarder.quiesced(); t += 0.1) {
+    forwarder.pump(t);
+    parent.poll(t);
+  }
+  EXPECT_TRUE(forwarder.quiesced());
+  EXPECT_GT(parent.counters().forwardConflicts, 0U);  // replays, no double count
+  expectSubsumed(local.store(), parent.store());
+}
+
+TEST(FedForwarder, WindowsWithNoShardOwnerAreCountedUnroutable) {
+  PipeHub localHub;
+  PipeHub parentHub;
+  Aggregator local(localHub.makeServer());
+  ForwarderOptions options;
+  Forwarder forwarder(
+      local, [&](const CatalogEntry&) { return parentHub.makeClientTransport(); },
+      options);
+  const SeriesKey key{"job", 0, "m"};
+  const std::uint32_t shard = shardOfSeries(key);
+  // The only upstream serves a single shard that is not ours.
+  const std::uint32_t other = (shard + 1) % kShardSpace;
+  forwarder.setUpstreams(
+      {makeEntry(DaemonRole::kGroup, "g0", 1, other, other)}, 0.0);
+  local.mutableStore().ingest(key, 1.5, 10.0);
+  forwarder.pump(2.0);
+  EXPECT_GT(forwarder.counters().windowsUnroutable, 0U);
+}
+
+// --- federation tree ---------------------------------------------------------
+
+namespace {
+
+/// Publishes `periods` one-record-per-metric periods from `ranks`
+/// clients into the tree's node daemons, stepping the tree each period.
+/// Returns the final virtual clock.
+double publishThroughTree(FederationTree& tree,
+                          std::vector<std::unique_ptr<Client>>& clients,
+                          int periods, double t0) {
+  const auto metric = names::intern("fed.metric");
+  double t = t0;
+  for (int period = 0; period < periods; ++period, t += 1.0) {
+    for (std::size_t r = 0; r < clients.size(); ++r) {
+      clients[r]->enqueueIds(
+          {{t, metric, static_cast<double>(r) + t}}, t);
+      clients[r]->pump(t);
+    }
+    tree.step(t);
+  }
+  return t;
+}
+
+std::vector<std::unique_ptr<Client>> makeTreeClients(FederationTree& tree,
+                                                     int ranks) {
+  const int daemons = tree.groups() * tree.nodesPerGroup();
+  std::vector<std::unique_ptr<Client>> clients;
+  for (int r = 0; r < ranks; ++r) {
+    Hello hello;
+    hello.job = "fed";
+    hello.rank = r;
+    hello.worldSize = ranks;
+    hello.hostname = "nid" + std::to_string(r);
+    const int d = r % daemons;
+    ClientOptions options;
+    options.batchRecords = 1;
+    clients.push_back(std::make_unique<Client>(
+        tree.makeNodeTransport(d / tree.nodesPerGroup(),
+                               d % tree.nodesPerGroup()),
+        hello, options));
+  }
+  return clients;
+}
+
+/// Steps the tree (clients pumping alongside) in small increments until
+/// every forwarder quiesces.  Returns the final clock.
+double drainTree(FederationTree& tree,
+                 std::vector<std::unique_ptr<Client>>& clients, double t) {
+  for (int round = 0; round < 400 && !tree.quiesced(); ++round, t += 0.05) {
+    for (auto& client : clients) {
+      client->pump(t);
+    }
+    tree.step(t);
+  }
+  return t;
+}
+
+}  // namespace
+
+TEST(FedTree, RollupsReachTheRootAcrossBothTiers) {
+  FederationTreeOptions options;
+  options.groups = 2;
+  options.nodesPerGroup = 2;
+  FederationTree tree(options);
+  auto clients = makeTreeClients(tree, 16);
+  double t = publishThroughTree(tree, clients, 5, 1.0);
+  drainTree(tree, clients, t);
+  ASSERT_TRUE(tree.quiesced());
+
+  // Every rank's series at the root, with every node window subsumed.
+  std::set<int> ranksAtRoot;
+  for (const auto& key : tree.root().store().keys()) {
+    ranksAtRoot.insert(key.rank);
+  }
+  EXPECT_EQ(ranksAtRoot.size(), 16U);
+  // Sharding means a node's series routes to *some* group by series
+  // hash — not necessarily its own parent — so the mid-tier check is
+  // against the union of group stores (RollupStore::merge, the same
+  // mechanism the root's query path is built on).
+  RollupStore groupUnion;
+  for (int g = 0; g < 2; ++g) {
+    groupUnion.merge(tree.group(g).store());
+  }
+  for (int g = 0; g < 2; ++g) {
+    for (int n = 0; n < 2; ++n) {
+      expectSubsumed(tree.node(g, n).store(), tree.root().store());
+      expectSubsumed(tree.node(g, n).store(), groupUnion);
+    }
+  }
+  // The groups partition the series space: no series lives in two.
+  for (const auto& key : tree.group(0).store().keys()) {
+    EXPECT_TRUE(tree.group(1).store().range(key, -1e12, 1e12).empty())
+        << key.job << "/" << key.rank << "/" << key.metric
+        << " present in both groups";
+  }
+  // The root sees every source, all forwarded at hop distance 2.
+  const auto byHop = tree.root().sourcesByHop();
+  ASSERT_TRUE(byHop.count(2));
+  EXPECT_EQ(byHop.at(2), 16U);
+  EXPECT_EQ(byHop.count(0), 0U);
+}
+
+TEST(FedTree, QuiescesDespiteKeepaliveRefreshFrames) {
+  // Regression: source-refresh keepalives are window-less frames; an
+  // inflight keepalive must not read as "data still in flight" or a
+  // whole-second drain loop never terminates.
+  FederationTree tree;
+  auto clients = makeTreeClients(tree, 4);
+  double t = publishThroughTree(tree, clients, 3, 1.0);
+  // Whole-second steps: every step re-sends source refreshes.
+  for (int round = 0; round < 20; ++round, t += 1.0) {
+    tree.step(t);
+  }
+  EXPECT_TRUE(tree.quiesced());
+}
+
+TEST(FedTree, GroupCrashFailoverLosesNoAckedWindows) {
+  FederationTreeOptions options;
+  options.groups = 3;
+  options.nodesPerGroup = 1;
+  FederationTree tree(options);
+  auto clients = makeTreeClients(tree, 12);
+
+  double t = publishThroughTree(tree, clients, 4, 1.0);
+  tree.crashGroup(0);
+  EXPECT_FALSE(tree.groupAlive(0));
+  // Keep publishing through the outage, past the 6 s catalog TTL: the
+  // node forwarders re-resolve and re-route into the survivors.
+  t = publishThroughTree(tree, clients, 10, t);
+  EXPECT_GT(tree.catalog().counters().expired, 0U);
+  tree.restartGroup(0, t);
+  t = publishThroughTree(tree, clients, 4, t);
+  drainTree(tree, clients, t);
+  ASSERT_TRUE(tree.quiesced());
+
+  // Zero acked loss across the kill: whatever the node daemons hold is
+  // at the root, and membership changes + resyncs actually happened.
+  std::uint64_t membershipChanges = 0;
+  for (int g = 0; g < 3; ++g) {
+    expectSubsumed(tree.node(g, 0).store(), tree.root().store());
+    membershipChanges +=
+        tree.nodeForwarder(g, 0).counters().membershipChanges;
+  }
+  EXPECT_GT(membershipChanges, 3U);  // initial set + outage + restart
+  std::set<int> ranksAtRoot;
+  for (const auto& key : tree.root().store().keys()) {
+    ranksAtRoot.insert(key.rank);
+  }
+  EXPECT_EQ(ranksAtRoot.size(), 12U);
+}
+
+// --- ClusterJob tree mode ----------------------------------------------------
+
+TEST(FedCluster, FederatedJobCoversEveryRankAtTheRoot) {
+  // The acceptance-scale run: >= 1000 simulated ranks through a
+  // node -> group -> root tree, driven by the lockstep cluster.
+  const auto topo = topology::presets::frontier();
+  cluster::ClusterJobConfig cfg;
+  cfg.nodes = 128;
+  cfg.ranksPerNode = 8;
+  cfg.cpusPerTask = 7;
+  cfg.workload.ompThreads = 2;
+  // ~3 virtual seconds of work: enough sampling rounds for every rank
+  // to publish (the monitor samples once per virtual second).
+  cfg.workload.steps = 30;
+  cfg.workload.workPerStep = 10;
+  cluster::ClusterJob job(topo, cfg);
+  job.enableFederation("bigjob", /*groups=*/8);
+  job.run();
+
+  auto* tree = job.federationTree();
+  ASSERT_NE(tree, nullptr);
+  EXPECT_TRUE(tree->quiesced());
+  std::set<int> ranksAtRoot;
+  for (const auto& key : tree->root().store().keys()) {
+    ranksAtRoot.insert(key.rank);
+  }
+  EXPECT_EQ(static_cast<int>(ranksAtRoot.size()), job.totalRanks());
+  // All 1024 sources forwarded through two hops; none direct.
+  const auto byHop = tree->root().sourcesByHop();
+  ASSERT_TRUE(byHop.count(2));
+  EXPECT_EQ(static_cast<int>(byHop.at(2)), job.totalRanks());
+  // Nothing was shed client-side on the way in.
+  for (int rank = 0; rank < job.totalRanks(); ++rank) {
+    EXPECT_EQ(job.aggClient(rank).counters().recordsDropped, 0U);
+  }
+}
+
+TEST(FedCluster, GroupCrashMidJobFailsOverThroughTheCatalog) {
+  const auto topo = topology::presets::frontier();
+  cluster::ClusterJobConfig cfg;
+  cfg.nodes = 4;
+  cfg.ranksPerNode = 4;
+  cfg.cpusPerTask = 7;
+  cfg.workload.ompThreads = 2;
+  // ~20 virtual seconds: the outage below must outlive the catalog TTL
+  // (6 s) while the job is still publishing.
+  cfg.workload.steps = 200;
+  cfg.workload.workPerStep = 10;
+  cluster::ClusterJob job(topo, cfg);
+  job.enableFederation("simjob", /*groups=*/2);
+
+  job.run(4.0);
+  job.crashAggGroup(0);
+  job.run(16.0);  // 12 s outage, past the catalog TTL: forwarders re-route
+  job.restartAggGroup(0);
+  job.run();
+
+  auto* tree = job.federationTree();
+  ASSERT_NE(tree, nullptr);
+  std::set<int> ranksAtRoot;
+  for (const auto& key : tree->root().store().keys()) {
+    ranksAtRoot.insert(key.rank);
+  }
+  EXPECT_EQ(static_cast<int>(ranksAtRoot.size()), job.totalRanks());
+  std::uint64_t membershipChanges = 0;
+  for (int g = 0; g < tree->groups(); ++g) {
+    for (int n = 0; n < tree->nodesPerGroup(); ++n) {
+      expectSubsumed(tree->node(g, n).store(), tree->root().store());
+      membershipChanges +=
+          tree->nodeForwarder(g, n).counters().membershipChanges;
+    }
+  }
+  EXPECT_GT(membershipChanges,
+            static_cast<std::uint64_t>(tree->groups() *
+                                       tree->nodesPerGroup()));
+  EXPECT_GT(tree->catalog().counters().expired, 0U);
+}
+
+TEST(FedCluster, FederationValidatesGroupDivisibility) {
+  const auto topo = topology::presets::frontier();
+  cluster::ClusterJobConfig cfg;
+  cfg.nodes = 3;
+  cfg.ranksPerNode = 2;
+  cfg.cpusPerTask = 7;
+  cluster::ClusterJob job(topo, cfg);
+  EXPECT_THROW(job.enableFederation("j", /*groups=*/2), ConfigError);
+}

@@ -30,6 +30,21 @@
 //                        a slow disk then raises backpressure on clients
 //                        instead of stalling ingest
 //
+// Federation (DESIGN.md §11) — position this daemon in a fan-in tree:
+//
+//   --role <r>           node|group|root (default node).  A root hosts
+//                        the catalog: other daemons announce to it and
+//                        resolve their upstream through it
+//   --upstream <list>    comma-separated host:port upstreams to forward
+//                        local rollups to (static wiring; bypasses
+//                        catalog resolution)
+//   --catalog <h:p>      catalog endpoint (default ZS_AGG_CATALOG):
+//                        announce this daemon there and — unless
+//                        --upstream pinned the set — re-resolve the
+//                        upstream membership through it periodically
+//   --name <label>       identity announced to the catalog (default
+//                        host:port)
+//
 // With --data-dir, SIGINT/SIGTERM is an orderly shutdown: the WAL is
 // fsynced, hot windows sealed into a segment, and the source registry
 // persisted before exit — no acknowledged batch is lost.
@@ -40,13 +55,17 @@
 #include <iostream>
 #include <string>
 #include <thread>
+#include <vector>
 
+#include "aggregator/catalog.hpp"
 #include "aggregator/daemon.hpp"
+#include "aggregator/federation.hpp"
 #include "aggregator/http.hpp"
 #include "aggregator/tcp.hpp"
 #include "aggregator/writer.hpp"
 #include "common/env.hpp"
 #include "common/error.hpp"
+#include "common/monotime.hpp"
 #include "tsdb/engine.hpp"
 
 using namespace zerosum;
@@ -57,9 +76,29 @@ volatile std::sig_atomic_t gStop = 0;
 
 void onSignal(int) { gStop = 1; }
 
-double nowSeconds() {
-  const auto t = std::chrono::steady_clock::now().time_since_epoch();
-  return std::chrono::duration<double>(t).count();
+// Liveness deadlines (staleness sweeps, catalog TTLs, reconnect backoff)
+// all run on the monotonic clock so an NTP step can neither mass-expire
+// sources nor wedge catalog expiry (common/monotime.hpp).
+double nowSeconds() { return monotonicSeconds(); }
+
+/// "host:port" → catalog entry; exits with a usage error on garbage.
+aggregator::CatalogEntry parseEndpoint(const std::string& text,
+                                       aggregator::DaemonRole role) {
+  const auto colon = text.rfind(':');
+  const int port =
+      colon == std::string::npos ? 0 : std::atoi(text.c_str() + colon + 1);
+  if (colon == std::string::npos || colon == 0 || port <= 0 ||
+      port > 65535) {
+    std::cerr << "zerosum-aggd: bad endpoint \"" << text
+              << "\" (want host:port)\n";
+    std::exit(2);
+  }
+  aggregator::CatalogEntry entry;
+  entry.role = role;
+  entry.name = text;
+  entry.host = text.substr(0, colon);
+  entry.port = port;
+  return entry;
 }
 
 }  // namespace
@@ -74,6 +113,10 @@ int main(int argc, char** argv) {
   std::string dataDir = env::getString("ZS_TSDB_DIR", "");
   std::string fsyncMode = env::getString("ZS_TSDB_FSYNC", "batch");
   bool asyncWriter = false;
+  std::string roleName = "node";
+  std::string upstreamList;
+  std::string catalogEndpoint = env::getString("ZS_AGG_CATALOG", "");
+  std::string announceName;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -98,18 +141,36 @@ int main(int argc, char** argv) {
       fsyncMode = argv[++i];
     } else if (arg == "--async-writer") {
       asyncWriter = true;
+    } else if (arg == "--role" && i + 1 < argc) {
+      roleName = argv[++i];
+    } else if (arg == "--upstream" && i + 1 < argc) {
+      upstreamList = argv[++i];
+    } else if (arg == "--catalog" && i + 1 < argc) {
+      catalogEndpoint = argv[++i];
+    } else if (arg == "--name" && i + 1 < argc) {
+      announceName = argv[++i];
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: " << argv[0]
                 << " [--port n] [--http-port n] [--duration s]"
                    " [--exit-on-goodbye] [--dump [interval_s]] [--stale s]"
                    " [--data-dir dir] [--fsync always|batch|off]"
-                   " [--async-writer]\n";
+                   " [--async-writer] [--role node|group|root]"
+                   " [--upstream host:port[,...]] [--catalog host:port]"
+                   " [--name label]\n";
       return 0;
     } else {
       std::cerr << "zerosum-aggd: unknown option " << arg
                 << " (--help for usage)\n";
       return 2;
     }
+  }
+
+  aggregator::DaemonRole role;
+  try {
+    role = aggregator::daemonRoleFromString(roleName);
+  } catch (const Error&) {
+    std::cerr << "zerosum-aggd: --role must be node, group, or root\n";
+    return 2;
   }
 
   std::unique_ptr<aggregator::TcpServer> server;
@@ -119,8 +180,9 @@ int main(int argc, char** argv) {
     std::cerr << "zerosum-aggd: " << e.what() << '\n';
     return 1;
   }
-  std::cout << "zerosum-aggd: listening on 127.0.0.1:" << server->port()
-            << std::endl;
+  const int listenPort = server->port();
+  std::cout << "zerosum-aggd: " << aggregator::daemonRoleName(role)
+            << " listening on 127.0.0.1:" << listenPort << std::endl;
 
   std::unique_ptr<aggregator::TcpServer> httpListener;
   if (httpPort >= 0) {
@@ -168,6 +230,75 @@ int main(int argc, char** argv) {
               << engine->counters().walReplayedBatches
               << " WAL batch(es) recovered)" << std::endl;
   }
+  // --- federation wiring (DESIGN.md §11) --------------------------------
+  // A root hosts the catalog (and lists itself in it, so groups resolve
+  // their upstream the same way nodes do).  Everyone else may announce
+  // to a catalog and forward local rollups upstream.
+  aggregator::Catalog catalog;
+  const std::string selfName = announceName.empty()
+                                   ? "127.0.0.1:" + std::to_string(listenPort)
+                                   : announceName;
+  aggregator::CatalogEntry self;
+  self.role = role;
+  self.name = selfName;
+  self.host = "127.0.0.1";
+  self.port = listenPort;
+  if (role == aggregator::DaemonRole::kRoot) {
+    daemon.attachCatalog(&catalog);
+  }
+
+  const aggregator::DaemonRole parentRole =
+      role == aggregator::DaemonRole::kNode ? aggregator::DaemonRole::kGroup
+                                            : aggregator::DaemonRole::kRoot;
+  std::vector<aggregator::CatalogEntry> staticUpstreams;
+  for (std::size_t pos = 0; pos < upstreamList.size();) {
+    const auto comma = upstreamList.find(',', pos);
+    const auto end = comma == std::string::npos ? upstreamList.size() : comma;
+    if (end > pos) {
+      staticUpstreams.push_back(
+          parseEndpoint(upstreamList.substr(pos, end - pos), parentRole));
+    }
+    pos = end + 1;
+  }
+
+  aggregator::CatalogEntry catalogAddr;
+  const bool useCatalog =
+      !catalogEndpoint.empty() && role != aggregator::DaemonRole::kRoot;
+  if (useCatalog) {
+    catalogAddr = parseEndpoint(catalogEndpoint, aggregator::DaemonRole::kRoot);
+  }
+
+  std::unique_ptr<aggregator::Forwarder> forwarder;
+  if (!staticUpstreams.empty() || useCatalog) {
+    aggregator::ForwarderOptions forwarderOptions;
+    forwarderOptions.origin = selfName;
+    forwarderOptions.hopCount =
+        role == aggregator::DaemonRole::kNode ? 1 : 2;
+    forwarder = std::make_unique<aggregator::Forwarder>(
+        daemon,
+        [](const aggregator::CatalogEntry& entry) {
+          return std::make_unique<aggregator::TcpTransport>(entry.host,
+                                                            entry.port, 250);
+        },
+        forwarderOptions);
+    if (!staticUpstreams.empty()) {
+      forwarder->setUpstreams(staticUpstreams, 0.0);
+      std::cout << "zerosum-aggd: forwarding to " << staticUpstreams.size()
+                << " static upstream(s)" << std::endl;
+    }
+  }
+
+  std::unique_ptr<aggregator::CatalogAnnouncer> announcer;
+  if (useCatalog) {
+    aggregator::AnnouncerOptions announcerOptions;
+    announcer = std::make_unique<aggregator::CatalogAnnouncer>(
+        std::make_unique<aggregator::TcpTransport>(catalogAddr.host,
+                                                   catalogAddr.port, 250),
+        self, announcerOptions);
+    std::cout << "zerosum-aggd: announcing to catalog " << catalogEndpoint
+              << std::endl;
+  }
+
   std::signal(SIGINT, onSignal);
   std::signal(SIGTERM, onSignal);
 
@@ -185,10 +316,51 @@ int main(int argc, char** argv) {
         std::move(labels));
   }
   double nextDump = dumpInterval > 0.0 ? start + dumpInterval : 0.0;
+  double nextResolve = 0.0;
   bool everSawSource = false;
   while (gStop == 0) {
     const double now = nowSeconds();
-    daemon.poll(now - start);
+    const double elapsedNow = now - start;
+    daemon.poll(elapsedNow);
+    if (role == aggregator::DaemonRole::kRoot) {
+      // The root lists itself in its own catalog, refreshed on the same
+      // cadence announcers use, so group daemons resolve it like any
+      // other member.
+      if (catalog.find(self.name, elapsedNow) == std::nullopt ||
+          now >= nextResolve) {
+        self.generation = catalog.announce(self, elapsedNow).generation;
+        nextResolve = now + 2.0;
+      }
+    } else if (forwarder && useCatalog && staticUpstreams.empty() &&
+               now >= nextResolve) {
+      // Membership comes from the catalog: re-resolve every couple of
+      // seconds and hand the forwarder the live parent set (a no-op when
+      // nothing changed, a ring rebuild + full resync when it did).
+      aggregator::TcpTransport resolveTransport(catalogAddr.host,
+                                                catalogAddr.port, 250);
+      const auto entries = aggregator::resolveCatalog(
+          resolveTransport,
+          [] { std::this_thread::sleep_for(std::chrono::milliseconds(2)); },
+          50);
+      if (entries) {
+        std::vector<aggregator::CatalogEntry> parents;
+        for (const auto& entry : *entries) {
+          if (entry.role == parentRole) {
+            parents.push_back(entry);
+          }
+        }
+        if (!parents.empty()) {
+          forwarder->setUpstreams(parents, elapsedNow);
+        }
+      }
+      nextResolve = now + 2.0;
+    }
+    if (forwarder) {
+      forwarder->pump(elapsedNow);
+    }
+    if (announcer) {
+      announcer->pump(elapsedNow);
+    }
     if (http) {
       http->poll();
     }
@@ -233,5 +405,18 @@ int main(int argc, char** argv) {
             << " query(ies) served, " << c.acksSent << " ack(s) sent, "
             << "pressure=" << aggregator::pressureLevelName(daemon.pressure())
             << '\n';
+  if (forwarder) {
+    const auto& f = forwarder->counters();
+    std::cout << "zerosum-aggd: forwarded " << f.windowsForwarded
+              << " window(s) in " << f.framesForwarded << " frame(s), "
+              << f.resyncs << " resync(s), " << f.windowsSuppressed
+              << " fine window(s) withheld under pressure\n";
+  }
+  if (role == aggregator::DaemonRole::kRoot) {
+    std::cout << "zerosum-aggd: catalog held " << catalog.size()
+              << " entry(ies), " << catalog.counters().registrations
+              << " registration(s), " << catalog.counters().expired
+              << " expired\n";
+  }
   return 0;
 }
