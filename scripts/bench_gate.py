@@ -179,6 +179,32 @@ def checks_metrics(base, fresh):
     ]
 
 
+def checks_query(base, fresh):
+    return [
+        # Read-plane contracts (DESIGN.md §12): a heavy dashboard load
+        # must not cost the lossless wire a single ingest record, and
+        # read overload sheds (429 + Retry-After) instead of stalling —
+        # some queries answer 200, the excess 429, none hang.
+        Check("query.records_dropped", INVARIANT,
+              get(base, "records_dropped") if base else None,
+              get(fresh, "records_dropped"), expect=0),
+        Check("query.shed_not_stalled", INVARIANT,
+              get(base, "shed_not_stalled") if base else None,
+              get(fresh, "shed_not_stalled"), expect=True),
+        # The workload is deterministic (virtual time), so the hit ratio
+        # holds to the tight bounded band across machines.
+        Check("query.cache_hit_ratio", BOUNDED,
+              get(base, "cache_hit_ratio") if base else None,
+              get(fresh, "cache_hit_ratio"), higher_is_better=True),
+        Check("query.live_p99_us", RATIO,
+              get(base, "live_p99_us") if base else None,
+              get(fresh, "live_p99_us")),
+        Check("query.queries_per_second", RATIO,
+              get(base, "queries_per_second") if base else None,
+              get(fresh, "queries_per_second"), higher_is_better=True),
+    ]
+
+
 def checks_tsdb(base, fresh):
     return [
         Check("tsdb.csv_fraction", BOUNDED,
@@ -234,6 +260,7 @@ GATED = {
     "BENCH_aggregator.json": checks_aggregator,
     "BENCH_overload.json": checks_overload,
     "BENCH_metrics.json": checks_metrics,
+    "BENCH_query.json": checks_query,
     "BENCH_tsdb.json": checks_tsdb,
     "BENCH_federation.json": checks_federation,
 }

@@ -4,7 +4,9 @@
 # the JSON-emitting benchmarks and the performance-regression gate
 # (scripts/bench_gate.py against bench/baselines/), then a live
 # telemetry smoke test: a real zerosum-aggd --http-port scraped over
-# loopback HTTP, the exposition validated with scripts/promlint.py.
+# loopback HTTP, the exposition validated with scripts/promlint.py and
+# the query/dashboard plane (GET /api/query, /api/stats, the
+# zerosum-post --http-query client) answered end to end.
 # Finally a live federation smoke: three zerosum-aggd processes form a
 # node -> group -> root tree via the root's catalog and a monitored run
 # discovered through ZS_AGG_CATALOG must surface at the root.
@@ -22,7 +24,7 @@ fi
 echo "=== tier-1: build + full ctest ==="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$(nproc)"
-ctest --test-dir build --output-on-failure -j "$(nproc)"
+ctest --test-dir build --output-on-failure --timeout 120 -j "$(nproc)"
 
 if [[ "$SANITIZE" == 1 ]]; then
   echo "=== sanitizer pass (address,undefined) ==="
@@ -71,6 +73,9 @@ echo "=== federated failover smoke (3-level tree, group kill mid-run) ==="
 echo "=== federation fan-in benchmark (tree vs flat) ==="
 ./build/bench/bench_federation --out "$BENCH_OUT/BENCH_federation.json"
 
+echo "=== query service benchmark (shed, never stall) ==="
+./build/bench/bench_query_service --out "$BENCH_OUT/BENCH_query.json"
+
 echo "=== performance-regression gate ==="
 python3 scripts/bench_gate.py --fresh "$BENCH_OUT"
 
@@ -110,6 +115,22 @@ for stage in ("enqueue_to_send", "send_to_ingest",
 print("smoke: /healthz ready; all four latency stages populated")
 PY
 python3 scripts/promlint.py "$SMOKE_DIR/metrics.txt"
+# The query/dashboard plane over the same live daemon: a GET-form query
+# and the service's stats surface, plus the zerosum-post client path.
+python3 - "$HTTP_PORT" <<'PY'
+import json, sys, urllib.request
+port = sys.argv[1]
+snap = json.load(urllib.request.urlopen(
+    f"http://127.0.0.1:{port}/api/query?op=snapshot", timeout=10))
+assert len(snap["series"]) > 0, snap
+stats = json.load(urllib.request.urlopen(
+    f"http://127.0.0.1:{port}/api/stats", timeout=10))
+assert stats["queries"]["served"] >= 1, stats
+print(f"smoke: query plane serving ({len(snap['series'])} series, "
+      f"generation {snap['generation']})")
+PY
+./build/tools/zerosum-post --agg-port "$HTTP_PORT" --http-query stats \
+  | python3 -c 'import json,sys; json.load(sys.stdin)'
 kill "$AGGD_PID" 2>/dev/null || true
 trap - EXIT
 rm -rf "$SMOKE_DIR"

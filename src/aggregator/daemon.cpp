@@ -7,6 +7,7 @@
 
 #include "aggregator/catalog.hpp"
 #include "aggregator/query.hpp"
+#include "aggregator/queryservice.hpp"
 #include "aggregator/writer.hpp"
 #include "common/error.hpp"
 #include "common/logging.hpp"
@@ -306,9 +307,14 @@ void Aggregator::processBatch(PendingBatch& batch, double nowSeconds) {
   for (const auto& record : frame.records) {
     // One intern per record resolves the per-source series ref; the ref
     // then skips the store's key hash and string compares.
-    RollupStore::SeriesRef& ref = seriesRefs[names::intern(record.name)];
+    const names::Id metricId = names::intern(record.name);
+    RollupStore::SeriesRef& ref = seriesRefs[metricId];
     keyScratch_.metric.assign(record.name);
     store_.ingest(keyScratch_, ref, record.timeSeconds, record.value);
+    if (queryService_ != nullptr) {
+      queryService_->onRecord(batch.job, batch.rank, metricId,
+                              record.timeSeconds, record.value);
+    }
   }
   std::uint64_t ackTicket = 0;
   if (engine_ != nullptr) {

@@ -40,6 +40,7 @@ namespace zerosum::aggregator {
 
 class TsdbWriter;
 class Catalog;
+class QueryService;
 
 enum class SourceState : std::uint8_t {
   kActive,    ///< reporting normally
@@ -127,6 +128,13 @@ class Aggregator {
   /// Conventionally only the federation root attaches one.
   void attachCatalog(Catalog* catalog) { catalog_ = catalog; }
   [[nodiscard]] const Catalog* catalog() const { return catalog_; }
+
+  /// Attaches the read plane (non-owning): every directly ingested
+  /// record is then folded into the service's downsample ladders as it
+  /// lands (DESIGN.md §12).  Forwarded windows (kForward) bypass the
+  /// hook — the service falls back to its snapshot for those series.
+  void attachQueryService(QueryService* service) { queryService_ = service; }
+  [[nodiscard]] QueryService* queryService() const { return queryService_; }
 
   [[nodiscard]] const tsdb::Engine* engine() const { return engine_; }
 
@@ -236,6 +244,7 @@ class Aggregator {
   tsdb::Engine* engine_ = nullptr;
   TsdbWriter* writer_ = nullptr;
   Catalog* catalog_ = nullptr;
+  QueryService* queryService_ = nullptr;
   /// Deepest hop count seen on any kForward frame (drives the fan-in
   /// depth gauge).
   std::uint8_t maxHopsSeen_ = 0;

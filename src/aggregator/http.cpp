@@ -2,13 +2,16 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cmath>
 #include <sstream>
 #include <stdexcept>
 
 #include "aggregator/daemon.hpp"
+#include "aggregator/queryservice.hpp"
 #include "common/error.hpp"
 #include "common/json.hpp"
 #include "common/logging.hpp"
+#include "common/monotime.hpp"
 
 namespace zerosum::aggregator {
 
@@ -44,7 +47,57 @@ std::string trim(const std::string& s) {
   return s.substr(b, e - b + 1);
 }
 
+int hexNibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+std::string urlDecode(const std::string& in) {
+  std::string out;
+  out.reserve(in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    if (in[i] == '+') {
+      out.push_back(' ');
+    } else if (in[i] == '%' && i + 2 < in.size() &&
+               hexNibble(in[i + 1]) >= 0 && hexNibble(in[i + 2]) >= 0) {
+      out.push_back(static_cast<char>(hexNibble(in[i + 1]) * 16 +
+                                      hexNibble(in[i + 2])));
+      i += 2;
+    } else {
+      out.push_back(in[i]);
+    }
+  }
+  return out;
+}
+
 }  // namespace
+
+std::map<std::string, std::string> parseQueryString(
+    const std::string& target) {
+  std::map<std::string, std::string> out;
+  const std::size_t qmark = target.find('?');
+  if (qmark == std::string::npos) {
+    return out;
+  }
+  std::size_t pos = qmark + 1;
+  while (pos <= target.size()) {
+    std::size_t amp = target.find('&', pos);
+    if (amp == std::string::npos) amp = target.size();
+    if (amp > pos) {
+      const std::string pair = target.substr(pos, amp - pos);
+      const std::size_t eq = pair.find('=');
+      if (eq == std::string::npos) {
+        out[urlDecode(pair)] = "";
+      } else {
+        out[urlDecode(pair.substr(0, eq))] = urlDecode(pair.substr(eq + 1));
+      }
+    }
+    pos = amp + 1;
+  }
+  return out;
+}
 
 const char* httpStatusReason(int status) {
   switch (status) {
@@ -54,6 +107,7 @@ const char* httpStatusReason(int status) {
     case 404: return "Not Found";
     case 405: return "Method Not Allowed";
     case 413: return "Payload Too Large";
+    case 429: return "Too Many Requests";
     case 414: return "URI Too Long";
     case 431: return "Request Header Fields Too Large";
     case 500: return "Internal Server Error";
@@ -108,9 +162,11 @@ void HttpServer::respond(std::uint64_t connection, const HttpRequest* request,
       << httpStatusReason(response.status) << "\r\n"
       << "Content-Type: " << response.contentType << "\r\n"
       << "Content-Length: " << response.body.size() << "\r\n"
-      << "Connection: " << (keepAlive ? "keep-alive" : "close") << "\r\n"
-      << "\r\n"
-      << response.body;
+      << "Connection: " << (keepAlive ? "keep-alive" : "close") << "\r\n";
+  for (const auto& [name, value] : response.headers) {
+    out << name << ": " << value << "\r\n";
+  }
+  out << "\r\n" << response.body;
   server_->send(connection, out.str());
   if (response.status >= 400) {
     ++counters_.errors;
@@ -271,9 +327,24 @@ bool HttpServer::serveBuffered(std::uint64_t connection, Conn& conn) {
   }
 }
 
-void HttpServer::poll() {
+void HttpServer::poll() { poll(monotonicSeconds()); }
+
+void HttpServer::poll(double nowSeconds) {
   for (auto& delivery : server_->poll()) {
     if (delivery.opened) {
+      if (limits_.maxConnections > 0 &&
+          connections_.size() >= limits_.maxConnections) {
+        // Full house: answer with a graceful 503 and close instead of
+        // silently holding (or dropping) the connection.  A load
+        // balancer or dashboard retries against a less loaded replica.
+        ++counters_.connectionsRejected;
+        respond(delivery.connection, nullptr,
+                {503, "text/plain; charset=utf-8",
+                 "server connection limit reached\n"},
+                false);
+        server_->disconnect(delivery.connection);
+        continue;
+      }
       ++counters_.connectionsOpened;
     } else if (connections_.find(delivery.connection) == connections_.end()) {
       // Notice for a connection we already tore down — typically the
@@ -282,6 +353,7 @@ void HttpServer::poll() {
       continue;
     }
     auto& conn = connections_[delivery.connection];
+    conn.lastActivitySeconds = nowSeconds;
     bool keep = true;
     if (!delivery.bytes.empty()) {
       conn.buffer.append(delivery.bytes);
@@ -298,11 +370,58 @@ void HttpServer::poll() {
       ++counters_.connectionsClosed;
     }
   }
+  if (limits_.idleTimeoutSeconds > 0.0) {
+    // Reap connections with no traffic inside the idle horizon — an
+    // abandoned keep-alive tab must not pin a slot against the cap.
+    for (auto it = connections_.begin(); it != connections_.end();) {
+      if (nowSeconds - it->second.lastActivitySeconds >
+          limits_.idleTimeoutSeconds) {
+        server_->disconnect(it->first);
+        it = connections_.erase(it);
+        ++counters_.idleClosed;
+        ++counters_.connectionsClosed;
+      } else {
+        ++it;
+      }
+    }
+  }
 }
+
+namespace {
+
+/// Maps a finished QueryResult onto the HTTP surface: status passes
+/// through, shed queries gain a Retry-After header (integer seconds,
+/// rounded up, per RFC 9110).
+HttpResponse toHttpResponse(const QueryResult& result) {
+  HttpResponse response{result.status, "application/json", result.body, {}};
+  if (result.status == 429 && result.retryAfterSeconds > 0.0) {
+    response.headers["Retry-After"] = std::to_string(
+        static_cast<long long>(std::ceil(result.retryAfterSeconds)));
+  }
+  return response;
+}
+
+/// Priority class of one request: `class=bulk` (GET param) or an
+/// `X-Query-Class: bulk` header selects bulk; everything else is live.
+QueryClass classOf(const HttpRequest& request,
+                   const std::map<std::string, std::string>& params) {
+  if (const auto it = params.find("class");
+      it != params.end() && it->second == "bulk") {
+    return QueryClass::kBulk;
+  }
+  if (const auto it = request.headers.find("x-query-class");
+      it != request.headers.end() && it->second == "bulk") {
+    return QueryClass::kBulk;
+  }
+  return QueryClass::kLive;
+}
+
+}  // namespace
 
 void mountDaemonEndpoints(HttpServer& http, Aggregator& daemon,
                           std::function<double()> now,
-                          trace::PromLabels labels) {
+                          trace::PromLabels labels,
+                          QueryService* queryService) {
   http.handle("GET", "/metrics", [labels](const HttpRequest&) {
     HttpResponse response;
     response.contentType = "text/plain; version=0.0.4; charset=utf-8";
@@ -372,11 +491,42 @@ void mountDaemonEndpoints(HttpServer& http, Aggregator& daemon,
                         daemon.dashboard(now())};
   });
 
-  http.handle("POST", "/query", [&daemon](const HttpRequest& request) {
-    // runQuery never throws; errors come back as JSON error documents.
-    return HttpResponse{200, "application/json",
-                        daemon.query(request.body) + "\n"};
-  });
+  if (queryService == nullptr) {
+    http.handle("POST", "/query", [&daemon](const HttpRequest& request) {
+      // runQuery never throws; errors come back as JSON error documents.
+      return HttpResponse{200, "application/json",
+                          daemon.query(request.body) + "\n"};
+    });
+    return;
+  }
+
+  // --- read plane (DESIGN.md §12): snapshot-isolated, cached, shed ---------
+  http.handle("POST", "/query",
+              [queryService, now](const HttpRequest& request) {
+                const QueryClass cls = classOf(request, {});
+                return toHttpResponse(
+                    queryService->execute(request.body, cls, now()));
+              });
+
+  http.handle("GET", "/api/query",
+              [queryService, now](const HttpRequest& request) {
+                auto params = parseQueryString(request.target);
+                const QueryClass cls = classOf(request, params);
+                std::string op;
+                if (const auto it = params.find("op"); it != params.end()) {
+                  op = it->second;
+                  params.erase(it);
+                }
+                params.erase("class");
+                return toHttpResponse(
+                    queryService->executeParams(op, params, cls, now()));
+              });
+
+  http.handle("GET", "/api/stats",
+              [queryService, now](const HttpRequest&) {
+                return HttpResponse{200, "application/json",
+                                    queryService->statsJson(now()), {}};
+              });
 }
 
 }  // namespace zerosum::aggregator

@@ -35,6 +35,14 @@
 namespace zerosum::aggregator {
 
 class Aggregator;
+class QueryService;
+
+/// Decodes the query-string half of a request target ("/p?a=1&b=x%20y")
+/// into decoded key/value pairs (percent-escapes and '+' for space;
+/// duplicate keys resolve to the last value).  Exposed for tests and for
+/// tools that build GET-form queries.
+[[nodiscard]] std::map<std::string, std::string> parseQueryString(
+    const std::string& target);
 
 struct HttpRequest {
   std::string method;  ///< as received (method names are case-sensitive)
@@ -46,9 +54,20 @@ struct HttpRequest {
 };
 
 struct HttpResponse {
+  HttpResponse() = default;
+  HttpResponse(int status_, std::string contentType_, std::string body_,
+               std::map<std::string, std::string> headers_ = {})
+      : status(status_),
+        contentType(std::move(contentType_)),
+        body(std::move(body_)),
+        headers(std::move(headers_)) {}
+
   int status = 200;
   std::string contentType = "text/plain; charset=utf-8";
   std::string body;
+  /// Extra response headers (e.g. Retry-After on a 429), emitted after
+  /// the standard set.  Names are sent as given.
+  std::map<std::string, std::string> headers;
 };
 
 using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
@@ -57,6 +76,12 @@ struct HttpLimits {
   std::size_t maxRequestLineBytes = 8 * 1024;
   std::size_t maxHeaderBytes = 16 * 1024;  ///< whole header block
   std::size_t maxBodyBytes = 1 * 1024 * 1024;
+  /// Connection hygiene for many concurrent readers: a hard cap on
+  /// simultaneous connections (excess connects get a graceful 503 +
+  /// close) and an idle timeout so an abandoned dashboard tab cannot
+  /// pin a server slot forever.  0 disables either bound.
+  std::size_t maxConnections = 128;
+  double idleTimeoutSeconds = 60.0;
 };
 
 struct HttpServerCounters {
@@ -65,6 +90,8 @@ struct HttpServerCounters {
   std::uint64_t parseErrors = 0;    ///< malformed/oversized -> closed
   std::uint64_t connectionsOpened = 0;
   std::uint64_t connectionsClosed = 0;
+  std::uint64_t connectionsRejected = 0;  ///< over maxConnections -> 503
+  std::uint64_t idleClosed = 0;           ///< reaped by the idle timeout
 };
 
 [[nodiscard]] const char* httpStatusReason(int status);
@@ -84,8 +111,11 @@ class HttpServer {
 
   /// Drains the transport, parses complete requests, dispatches, and
   /// sends responses.  Call from the owner's event loop alongside the
-  /// daemon's poll().
+  /// daemon's poll().  `nowSeconds` drives the idle-timeout sweep (any
+  /// monotone clock — the zero-argument form uses the process monotonic
+  /// clock); pass a consistent basis across calls.
   void poll();
+  void poll(double nowSeconds);
 
   [[nodiscard]] const HttpServerCounters& counters() const {
     return counters_;
@@ -94,6 +124,7 @@ class HttpServer {
  private:
   struct Conn {
     std::string buffer;
+    double lastActivitySeconds = 0.0;
   };
 
   /// Parses and serves every complete request at the head of `buffer`;
@@ -118,8 +149,17 @@ class HttpServer {
 /// `http`.  `now` supplies the daemon clock for /dashboard and /healthz;
 /// `labels` are attached to every /metrics sample ({job,role}).  The
 /// daemon must outlive the server.
+///
+/// With a QueryService (DESIGN.md §12), the read plane is mounted too:
+///   GET  /api/query  GET-form queries (?op=...&metric=...); `class=bulk`
+///                    or an `X-Query-Class: bulk` header selects the
+///                    bulk priority class (op=export is always bulk)
+///   GET  /api/stats  the service's own counters (never cached or shed)
+/// and POST /query routes through the service instead of the one-shot
+/// responder — shed queries answer 429 with a Retry-After header.
 void mountDaemonEndpoints(HttpServer& http, Aggregator& daemon,
                           std::function<double()> now,
-                          trace::PromLabels labels);
+                          trace::PromLabels labels,
+                          QueryService* queryService = nullptr);
 
 }  // namespace zerosum::aggregator

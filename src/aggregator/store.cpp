@@ -76,6 +76,7 @@ void RollupStore::markDirtyLocked(Series& series, Resolution resolution,
 
 void RollupStore::mergeLocked(Series& series, double timeSeconds,
                               double value, Shard& shard) {
+  dataGeneration_.fetch_add(1, std::memory_order_release);
   const auto fineIndex = static_cast<std::int64_t>(
       std::floor(timeSeconds / options_.fineWindowSeconds));
   mergeBounded(series.fine, fineIndex, value, options_.fineRetentionWindows,
@@ -127,6 +128,7 @@ std::size_t RollupStore::evictSource(const std::string& job, int rank) {
   std::size_t dropped = 0;
   // Invalidate outstanding SeriesRefs before any node is freed.
   generation_.fetch_add(1, std::memory_order_release);
+  dataGeneration_.fetch_add(1, std::memory_order_release);
   for (auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mutex);
     for (auto it = shard->series.begin(); it != shard->series.end();) {
@@ -173,6 +175,7 @@ bool RollupStore::ingestWindow(const SeriesKey& key, Resolution resolution,
     it->second = rollup;
     markDirtyLocked(series, resolution, windowIndex, shard);
     ++shard.ingested;
+    dataGeneration_.fetch_add(1, std::memory_order_release);
   } else if (inserted) {
     windows.erase(it);
   }
@@ -222,6 +225,101 @@ void RollupStore::merge(const RollupStore& other) {
       }
     }
   }
+  dataGeneration_.fetch_add(1, std::memory_order_release);
+}
+
+StoreSnapshot RollupStore::snapshot() const {
+  StoreSnapshot out;
+  out.fineWindowSeconds_ = options_.fineWindowSeconds;
+  out.coarseWindowSeconds_ =
+      options_.fineWindowSeconds * options_.coarseFactor;
+  // All shard locks, in index order (writers only ever hold one shard
+  // lock, so this cannot deadlock against ingest): the copy and the
+  // generation reading describe exactly the same instant.
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(shards_.size());
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    locks.emplace_back(shard->mutex);
+    total += shard->series.size();
+  }
+  out.generation_ = dataGeneration_.load(std::memory_order_acquire);
+  out.series_.reserve(total);
+  for (const auto& shard : shards_) {
+    for (const auto& [key, series] : shard->series) {
+      SeriesSnapshot snap;
+      snap.key = key;
+      snap.fine = series.fine;
+      snap.coarse = series.coarse;
+      out.series_.push_back(std::move(snap));
+    }
+  }
+  locks.clear();
+  std::sort(out.series_.begin(), out.series_.end(),
+            [](const SeriesSnapshot& a, const SeriesSnapshot& b) {
+              return a.key < b.key;
+            });
+  return out;
+}
+
+const SeriesSnapshot* StoreSnapshot::find(const SeriesKey& key) const {
+  const auto it = std::lower_bound(
+      series_.begin(), series_.end(), key,
+      [](const SeriesSnapshot& s, const SeriesKey& k) { return s.key < k; });
+  if (it == series_.end() || !(it->key == key)) {
+    return nullptr;
+  }
+  return &*it;
+}
+
+std::optional<WindowRollup> StoreSnapshot::latest(
+    const SeriesKey& key, Resolution resolution) const {
+  const SeriesSnapshot* series = find(key);
+  if (series == nullptr) {
+    return std::nullopt;
+  }
+  const auto& windows =
+      resolution == Resolution::kFine ? series->fine : series->coarse;
+  if (windows.empty()) {
+    return std::nullopt;
+  }
+  const double width = resolution == Resolution::kFine
+                           ? fineWindowSeconds_
+                           : coarseWindowSeconds_;
+  WindowRollup out;
+  out.windowStartSeconds = static_cast<double>(windows.rbegin()->first) * width;
+  out.windowSeconds = width;
+  out.rollup = windows.rbegin()->second;
+  return out;
+}
+
+std::vector<WindowRollup> StoreSnapshot::range(const SeriesKey& key, double t0,
+                                               double t1,
+                                               Resolution resolution) const {
+  std::vector<WindowRollup> out;
+  if (t1 < t0) {
+    return out;
+  }
+  const SeriesSnapshot* series = find(key);
+  if (series == nullptr) {
+    return out;
+  }
+  const auto& windows =
+      resolution == Resolution::kFine ? series->fine : series->coarse;
+  const double width = resolution == Resolution::kFine
+                           ? fineWindowSeconds_
+                           : coarseWindowSeconds_;
+  const auto first = static_cast<std::int64_t>(std::floor(t0 / width));
+  const auto last = static_cast<std::int64_t>(std::floor(t1 / width));
+  for (auto w = windows.lower_bound(first);
+       w != windows.end() && w->first <= last; ++w) {
+    WindowRollup row;
+    row.windowStartSeconds = static_cast<double>(w->first) * width;
+    row.windowSeconds = width;
+    row.rollup = w->second;
+    out.push_back(row);
+  }
+  return out;
 }
 
 void RollupStore::enableDirtyTracking() {

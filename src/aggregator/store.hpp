@@ -108,6 +108,54 @@ struct DirtyWindow {
   Rollup rollup;
 };
 
+/// Point-in-time copy of one series' retained windows (both planes).
+struct SeriesSnapshot {
+  SeriesKey key;
+  std::map<std::int64_t, Rollup> fine;
+  std::map<std::int64_t, Rollup> coarse;
+};
+
+/// Immutable point-in-time copy of the whole store, taken under every
+/// shard lock so no concurrent ingest can tear it (DESIGN.md §12).  The
+/// query service hands one of these (behind a shared_ptr) to every
+/// reader: a dashboard query runs against a frozen generation no matter
+/// how hard ingest is advancing the live store underneath.
+class StoreSnapshot {
+ public:
+  /// The store's data generation at the instant the copy was taken.
+  [[nodiscard]] std::uint64_t generation() const { return generation_; }
+
+  /// Newest window of a series at the given resolution.
+  [[nodiscard]] std::optional<WindowRollup> latest(
+      const SeriesKey& key, Resolution resolution = Resolution::kFine) const;
+
+  /// Windows intersecting [t0, t1], oldest first.
+  [[nodiscard]] std::vector<WindowRollup> range(
+      const SeriesKey& key, double t0, double t1,
+      Resolution resolution = Resolution::kFine) const;
+
+  /// All captured series, sorted by (job, rank, metric).
+  [[nodiscard]] const std::vector<SeriesSnapshot>& series() const {
+    return series_;
+  }
+
+  [[nodiscard]] std::size_t seriesCount() const { return series_.size(); }
+  [[nodiscard]] double fineWindowSeconds() const { return fineWindowSeconds_; }
+  [[nodiscard]] double coarseWindowSeconds() const {
+    return coarseWindowSeconds_;
+  }
+
+ private:
+  friend class RollupStore;
+
+  [[nodiscard]] const SeriesSnapshot* find(const SeriesKey& key) const;
+
+  std::uint64_t generation_ = 0;
+  double fineWindowSeconds_ = 1.0;
+  double coarseWindowSeconds_ = 10.0;
+  std::vector<SeriesSnapshot> series_;  ///< sorted by key
+};
+
 class RollupStore {
  private:
   struct Series;
@@ -140,6 +188,22 @@ class RollupStore {
   /// Removes every series belonging to (job, rank).  Returns the number
   /// of series dropped.
   std::size_t evictSource(const std::string& job, int rank);
+
+  // --- read-side snapshot surface (DESIGN.md §12) --------------------------
+
+  /// Monotone counter bumped by every mutation (ingest, ingestWindow,
+  /// evictSource, merge).  Two equal readings bracket an interval in
+  /// which no data changed — the query cache's invalidation signal.
+  [[nodiscard]] std::uint64_t dataGeneration() const {
+    return dataGeneration_.load(std::memory_order_acquire);
+  }
+
+  /// Takes a point-in-time copy of every retained window under all shard
+  /// locks (ingest stalls for the duration of the copy, which is why the
+  /// query service rate-limits refreshes and shares one snapshot across
+  /// readers).  The snapshot's generation() is read under the same
+  /// locks, so it exactly identifies the copied state.
+  [[nodiscard]] StoreSnapshot snapshot() const;
 
   // --- federation surface (DESIGN.md §11) ----------------------------------
 
@@ -243,6 +307,8 @@ class RollupStore {
   /// Bumped by evictSource; outstanding SeriesRefs from older
   /// generations re-resolve instead of touching freed nodes.
   std::atomic<std::uint64_t> generation_{1};
+  /// Bumped by every data mutation; see dataGeneration().
+  std::atomic<std::uint64_t> dataGeneration_{1};
   std::atomic<bool> trackDirty_{false};
 };
 

@@ -239,6 +239,7 @@ void Engine::append(const std::string& job, std::int32_t rank,
   wal_->append(job, rank, samples);  // durable first ...
   mergeSamples(job, rank, samples);  // ... then visible
   ++counters_.batchesAppended;
+  dataGeneration_.fetch_add(1, std::memory_order_release);
 }
 
 bool Engine::maybeCompact() {

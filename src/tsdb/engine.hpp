@@ -25,6 +25,7 @@
 // (the daemon's poll loop or an offline tool) does everything.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -135,6 +136,14 @@ class Engine {
   /// Registry entries, sorted by (job, rank).
   [[nodiscard]] std::vector<SourceRecord> sources() const;
 
+  /// Monotone counter bumped by every append() — the persistent read
+  /// path's cache-invalidation signal, mirroring
+  /// aggregator::RollupStore::dataGeneration().  Atomic so the query
+  /// service can read it without the async-writer engine mutex.
+  [[nodiscard]] std::uint64_t dataGeneration() const {
+    return dataGeneration_.load(std::memory_order_acquire);
+  }
+
   [[nodiscard]] const EngineCounters& counters() const { return counters_; }
   [[nodiscard]] const EngineOptions& options() const { return options_; }
   [[nodiscard]] const std::string& dir() const { return dir_; }
@@ -180,6 +189,8 @@ class Engine {
   std::unique_ptr<WalWriter> wal_;
   std::uint64_t activeWalSeq_ = 1;
   std::uint64_t nextSegmentSeq_ = 1;
+  /// See dataGeneration().
+  std::atomic<std::uint64_t> dataGeneration_{1};
 };
 
 }  // namespace zerosum::tsdb

@@ -453,3 +453,85 @@ TEST(AggStoreDirty, DrainRespectsBudgetAndSkipsEvictedWindows) {
     }
   }
 }
+
+// --- StoreSnapshot + dataGeneration (DESIGN.md §12) -------------------------
+
+TEST(AggStoreSnapshot, DataGenerationBumpsOnEveryMutation) {
+  RollupStore store;
+  const std::uint64_t g0 = store.dataGeneration();
+  store.ingest(kKey, 1.5, 1.0);
+  const std::uint64_t g1 = store.dataGeneration();
+  EXPECT_GT(g1, g0);
+  store.ingestWindow(kKey, Resolution::kFine, 3, Rollup{2.0, 2.0, 2.0, 1});
+  const std::uint64_t g2 = store.dataGeneration();
+  EXPECT_GT(g2, g1);
+  store.evictSource(kKey.job, kKey.rank);
+  EXPECT_GT(store.dataGeneration(), g2);
+  // Reads do not bump it: equal readings bracket an unchanged interval.
+  const std::uint64_t g3 = store.dataGeneration();
+  (void)store.latest(kKey);
+  (void)store.keys();
+  (void)store.snapshot();
+  EXPECT_EQ(store.dataGeneration(), g3);
+}
+
+TEST(AggStoreSnapshot, SnapshotCapturesEveryRetainedWindowImmutably) {
+  RollupStore store;
+  store.ingest({"job", 0, "a"}, 1.5, 10.0);
+  store.ingest({"job", 0, "a"}, 2.5, 20.0);
+  store.ingest({"job", 1, "b"}, 1.5, 30.0);
+
+  const StoreSnapshot snap = store.snapshot();
+  EXPECT_EQ(snap.generation(), store.dataGeneration());
+  EXPECT_EQ(snap.seriesCount(), 2U);
+  EXPECT_DOUBLE_EQ(snap.fineWindowSeconds(),
+                   store.options().fineWindowSeconds);
+
+  // Same answers as the live store, window for window...
+  const SeriesKey a{"job", 0, "a"};
+  const auto liveRange = store.range(a, 0.0, 10.0);
+  const auto snapRange = snap.range(a, 0.0, 10.0);
+  ASSERT_EQ(snapRange.size(), liveRange.size());
+  for (std::size_t i = 0; i < snapRange.size(); ++i) {
+    EXPECT_EQ(snapRange[i].windowStartSeconds,
+              liveRange[i].windowStartSeconds);
+    EXPECT_EQ(snapRange[i].rollup.count, liveRange[i].rollup.count);
+    EXPECT_EQ(snapRange[i].rollup.sum, liveRange[i].rollup.sum);
+  }
+  ASSERT_TRUE(snap.latest(a).has_value());
+  EXPECT_DOUBLE_EQ(snap.latest(a)->rollup.max, 20.0);
+  // ...and a miss stays a miss.
+  EXPECT_FALSE(snap.latest({"job", 9, "zz"}).has_value());
+
+  // The copy is frozen: later ingest changes the store, not the snapshot.
+  store.ingest(a, 2.7, 99.0);
+  EXPECT_DOUBLE_EQ(store.latest(a)->rollup.max, 99.0);
+  EXPECT_DOUBLE_EQ(snap.latest(a)->rollup.max, 20.0);
+  EXPECT_LT(snap.generation(), store.dataGeneration());
+}
+
+TEST(AggStoreSnapshot, SeriesAreSortedAndBothResolutionsPresent) {
+  RollupStore store;
+  store.ingest({"b-job", 0, "m"}, 1.5, 1.0);
+  store.ingest({"a-job", 5, "m"}, 12.5, 2.0);
+  store.ingest({"a-job", 0, "m"}, 1.5, 3.0);
+
+  const StoreSnapshot snap = store.snapshot();
+  ASSERT_EQ(snap.series().size(), 3U);
+  EXPECT_TRUE(std::is_sorted(
+      snap.series().begin(), snap.series().end(),
+      [](const SeriesSnapshot& x, const SeriesSnapshot& y) {
+        return x.key < y.key;
+      }));
+  for (const SeriesSnapshot& series : snap.series()) {
+    EXPECT_FALSE(series.fine.empty()) << series.key.metric;
+    EXPECT_FALSE(series.coarse.empty()) << series.key.metric;
+  }
+  // Coarse windows answer through the snapshot too.
+  const auto coarse =
+      snap.latest({"a-job", 5, "m"}, Resolution::kCoarse);
+  ASSERT_TRUE(coarse.has_value());
+  EXPECT_DOUBLE_EQ(coarse->windowSeconds,
+                   store.options().fineWindowSeconds *
+                       store.options().coarseFactor);
+}

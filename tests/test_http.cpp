@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "aggregator/daemon.hpp"
+#include "aggregator/queryservice.hpp"
 #include "aggregator/tcp.hpp"
 #include "aggregator/transport.hpp"
 #include "aggregator/wire.hpp"
@@ -494,4 +495,197 @@ TEST_F(HttpTest, ServesOverLoopbackTcp) {
   }
   EXPECT_EQ(statusOf(response), 200);
   EXPECT_EQ(bodyOf(response), "pong\n");
+}
+
+// --- Connection hygiene (many concurrent readers) ---------------------------
+
+TEST_F(HttpTest, ExcessConnectionsGetAGraceful503) {
+  HttpLimits limits;
+  limits.maxConnections = 2;
+  PipeHub hub;
+  HttpServer server(hub.makeServer(), limits);
+  server.handle("GET", "/ping", [](const HttpRequest&) {
+    return HttpResponse{200, "text/plain; charset=utf-8", "pong\n"};
+  });
+
+  PipeClient first(hub);
+  PipeClient second(hub);
+  first.send("GET /ping HTTP/1.1\r\n\r\n");
+  second.send("GET /ping HTTP/1.1\r\n\r\n");
+  EXPECT_EQ(statusOf(first.exchange(server)), 200);
+  EXPECT_EQ(statusOf(second.exchange(server)), 200);
+
+  // The third connection is answered 503 and closed without ever
+  // occupying a slot; the established pair keeps being served.
+  PipeClient third(hub);
+  third.send("GET /ping HTTP/1.1\r\n\r\n");
+  const std::string rejected = third.exchange(server);
+  EXPECT_EQ(statusOf(rejected), 503);
+  EXPECT_NE(rejected.find("Connection: close\r\n"), std::string::npos);
+  EXPECT_EQ(server.counters().connectionsRejected, 1u);
+  first.send("GET /ping HTTP/1.1\r\n\r\n");
+  EXPECT_EQ(statusOf(first.exchange(server)), 200);
+
+  // A freed slot readmits new connections.
+  first.send("GET /ping HTTP/1.1\r\nConnection: close\r\n\r\n");
+  first.exchange(server);
+  PipeClient fourth(hub);
+  fourth.send("GET /ping HTTP/1.1\r\n\r\n");
+  EXPECT_EQ(statusOf(fourth.exchange(server)), 200);
+  EXPECT_EQ(server.counters().connectionsRejected, 1u);
+}
+
+TEST_F(HttpTest, IdleConnectionsAreReapedActiveOnesKept) {
+  HttpLimits limits;
+  limits.idleTimeoutSeconds = 5.0;
+  PipeHub hub;
+  HttpServer server(hub.makeServer(), limits);
+  server.handle("GET", "/ping", [](const HttpRequest&) {
+    return HttpResponse{200, "text/plain; charset=utf-8", "pong\n"};
+  });
+
+  PipeClient idler(hub);
+  PipeClient active(hub);
+  idler.send("GET /ping HTTP/1.1\r\n\r\n");
+  active.send("GET /ping HTTP/1.1\r\n\r\n");
+  server.poll(10.0);
+  std::string out;
+  idler.transport->receive(out);
+  EXPECT_EQ(statusOf(out), 200);
+
+  // The active connection keeps talking; the idler goes quiet past the
+  // timeout and is reaped.  An abandoned dashboard tab cannot pin a
+  // server slot forever.
+  active.send("GET /ping HTTP/1.1\r\n\r\n");
+  server.poll(14.0);
+  server.poll(16.0);  // idler last heard at 10.0 -> reaped
+  EXPECT_EQ(server.counters().idleClosed, 1u);
+  EXPECT_EQ(server.counters().connectionsClosed, 1u);
+  active.send("GET /ping HTTP/1.1\r\n\r\n");
+  std::string kept;
+  for (int i = 0; i < 3; ++i) {
+    server.poll(17.0);
+    active.transport->receive(kept);
+  }
+  EXPECT_EQ(statusOf(kept), 200);
+}
+
+// --- The mounted query/dashboard plane (DESIGN.md §12) ----------------------
+
+namespace {
+
+/// DaemonPlane plus the query service, mounted the way zerosum-aggd
+/// mounts it.
+struct QueryDaemonPlane : DaemonPlane {
+  explicit QueryDaemonPlane(QueryServiceOptions queryOptions = {})
+      : DaemonPlane(), service(daemon, queryOptions) {
+    daemon.attachQueryService(&service);
+    // Re-mount with the service: the later registration wins the route.
+    mountDaemonEndpoints(*http, daemon, [this] { return clock; },
+                         {{"job", "j1"}, {"role", "daemon"}}, &service);
+  }
+  QueryService service;
+};
+
+}  // namespace
+
+TEST_F(HttpTest, ParseQueryStringDecodesEscapesAndPlus) {
+  const auto params =
+      parseQueryString("/api/query?op=range&metric=hwt.0.user%5Fpct"
+                       "&name=a+b%20c&flag&op=window");
+  EXPECT_EQ(params.at("metric"), "hwt.0.user_pct");
+  EXPECT_EQ(params.at("name"), "a b c");
+  EXPECT_EQ(params.at("flag"), "");
+  EXPECT_EQ(params.at("op"), "window");  // duplicate: last wins
+  EXPECT_TRUE(parseQueryString("/plain/path").empty());
+}
+
+TEST_F(HttpTest, ApiQueryServesGetFormQueries) {
+  QueryDaemonPlane plane;
+  auto source = plane.wireHub.makeClientTransport();
+  ASSERT_TRUE(source->connect());
+  ASSERT_TRUE(source->send(encodeFrame(helloFrame(0))));
+  ASSERT_TRUE(source->send(encodeFrame(batchFrame(1.0, 1))));
+  plane.clock = 1.0;
+  plane.daemon.poll(1.0);
+  plane.service.beginPoll(1.0);
+
+  PipeClient client(plane.httpHub);
+  client.send("GET /api/query?op=snapshot&metric=hwt.0.user_pct "
+              "HTTP/1.1\r\n\r\n");
+  const std::string response = client.exchange(*plane.http);
+  EXPECT_EQ(statusOf(response), 200);
+  const json::Value doc = json::parse(bodyOf(response));
+  ASSERT_EQ(doc.find("series")->asArray().size(), 1u);
+  EXPECT_EQ(doc.find("series")->asArray()[0].stringOr("metric", ""),
+            "hwt.0.user_pct");
+
+  // The same logical query as POST shares the GET form's cache entry.
+  const std::string body =
+      "{\"op\":\"snapshot\",\"metric\":\"hwt.0.user_pct\"}";
+  client.send("POST /query HTTP/1.1\r\nContent-Length: " +
+              std::to_string(body.size()) + "\r\n\r\n" + body);
+  EXPECT_EQ(statusOf(client.exchange(*plane.http)), 200);
+  EXPECT_EQ(plane.service.counters().cacheHits, 1u);
+
+  client.send("GET /api/stats HTTP/1.1\r\n\r\n");
+  const std::string stats = client.exchange(*plane.http);
+  EXPECT_EQ(statusOf(stats), 200);
+  EXPECT_EQ(json::parse(bodyOf(stats))
+                .find("queries")
+                ->numberOr("served", -1),
+            2.0);
+}
+
+TEST_F(HttpTest, ShedQueriesAnswer429WithRetryAfterHeader) {
+  QueryServiceOptions options;
+  options.maxQueriesPerPoll = 1;
+  options.cacheMaxEntries = 0;
+  options.retryAfterSeconds = 3.0;
+  QueryDaemonPlane plane(options);
+  plane.service.beginPoll(0.0);
+
+  PipeClient client(plane.httpHub);
+  client.send("GET /api/query?op=series HTTP/1.1\r\n\r\n"
+              "GET /api/query?op=series HTTP/1.1\r\n\r\n");
+  const auto responses = splitResponses(client.exchange(*plane.http));
+  ASSERT_EQ(responses.size(), 2u);
+  EXPECT_EQ(statusOf(responses[0]), 200);
+  EXPECT_EQ(statusOf(responses[1]), 429);
+  EXPECT_NE(responses[1].find("Retry-After: 3\r\n"), std::string::npos);
+  // A shed query is an HTTP error for the counters, not a parse error.
+  EXPECT_EQ(plane.http->counters().errors, 1u);
+  EXPECT_EQ(plane.http->counters().parseErrors, 0u);
+}
+
+TEST_F(HttpTest, BulkClassIsSelectedByParamHeaderOrExportOp) {
+  QueryServiceOptions options;
+  options.bulkQueriesPerPoll = 0;  // every bulk query sheds
+  options.cacheMaxEntries = 0;
+  QueryDaemonPlane plane(options);
+  plane.service.beginPoll(0.0);
+
+  PipeClient client(plane.httpHub);
+  client.send("GET /api/query?op=series&class=bulk HTTP/1.1\r\n\r\n");
+  EXPECT_EQ(statusOf(client.exchange(*plane.http)), 429);
+  client.send("GET /api/query?op=series HTTP/1.1\r\n"
+              "X-Query-Class: bulk\r\n\r\n");
+  EXPECT_EQ(statusOf(client.exchange(*plane.http)), 429);
+  client.send("GET /api/query?op=export HTTP/1.1\r\n\r\n");
+  EXPECT_EQ(statusOf(client.exchange(*plane.http)), 429);
+  EXPECT_EQ(plane.service.counters().shedBulk, 3u);
+  // Unclassified queries stay live and keep being served.
+  client.send("GET /api/query?op=series HTTP/1.1\r\n\r\n");
+  EXPECT_EQ(statusOf(client.exchange(*plane.http)), 200);
+}
+
+TEST_F(HttpTest, WithoutAQueryServiceLegacyPostQueryStillWorks) {
+  DaemonPlane plane;  // mounted with queryService == nullptr
+  PipeClient client(plane.httpHub);
+  client.send("GET /api/query?op=series HTTP/1.1\r\n\r\n");
+  EXPECT_EQ(statusOf(client.exchange(*plane.http)), 404);
+  const std::string query = "{\"op\":\"sources\"}";
+  client.send("POST /query HTTP/1.1\r\nContent-Length: " +
+              std::to_string(query.size()) + "\r\n\r\n" + query);
+  EXPECT_EQ(statusOf(client.exchange(*plane.http)), 200);
 }

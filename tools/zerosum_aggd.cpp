@@ -11,7 +11,15 @@
 //   --http-port <n>      also serve the telemetry plane over HTTP on this
 //                        port (0 = kernel-assigned, printed on startup):
 //                        GET /metrics (Prometheus text), /healthz,
-//                        /readyz, /dashboard, POST /query (default off)
+//                        /readyz, /dashboard, POST /query, plus the
+//                        query/dashboard service (DESIGN.md §12):
+//                        GET /api/query, GET /api/stats (default off)
+//   --query-budget <n>   queries admitted per poll across both classes
+//                        (default 128; excess sheds with 429)
+//   --bulk-budget <n>    slice of the per-poll budget bulk-class queries
+//                        (exports) may use (default 8; zero while the
+//                        ingest pressure ladder is elevated)
+//   --query-cache <n>    result-cache entries (default 256; 0 disables)
 //   --duration <s>       exit after this many seconds (default 0 = run
 //                        until signalled)
 //   --exit-on-goodbye    exit once at least one source was seen and all
@@ -61,6 +69,7 @@
 #include "aggregator/daemon.hpp"
 #include "aggregator/federation.hpp"
 #include "aggregator/http.hpp"
+#include "aggregator/queryservice.hpp"
 #include "aggregator/tcp.hpp"
 #include "aggregator/writer.hpp"
 #include "common/env.hpp"
@@ -110,6 +119,7 @@ int main(int argc, char** argv) {
   bool exitOnGoodbye = false;
   double dumpInterval = 0.0;
   aggregator::StoreOptions storeOptions;
+  aggregator::QueryServiceOptions queryOptions;
   std::string dataDir = env::getString("ZS_TSDB_DIR", "");
   std::string fsyncMode = env::getString("ZS_TSDB_FSYNC", "batch");
   bool asyncWriter = false;
@@ -135,6 +145,15 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--stale" && i + 1 < argc) {
       storeOptions.staleSeconds = std::atof(argv[++i]);
+    } else if (arg == "--query-budget" && i + 1 < argc) {
+      queryOptions.maxQueriesPerPoll =
+          static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (arg == "--bulk-budget" && i + 1 < argc) {
+      queryOptions.bulkQueriesPerPoll =
+          static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (arg == "--query-cache" && i + 1 < argc) {
+      queryOptions.cacheMaxEntries =
+          static_cast<std::size_t>(std::atoi(argv[++i]));
     } else if (arg == "--data-dir" && i + 1 < argc) {
       dataDir = argv[++i];
     } else if (arg == "--fsync" && i + 1 < argc) {
@@ -152,6 +171,7 @@ int main(int argc, char** argv) {
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: " << argv[0]
                 << " [--port n] [--http-port n] [--duration s]"
+                   " [--query-budget n] [--bulk-budget n] [--query-cache n]"
                    " [--exit-on-goodbye] [--dump [interval_s]] [--stale s]"
                    " [--data-dir dir] [--fsync always|batch|off]"
                    " [--async-writer] [--role node|group|root]"
@@ -304,6 +324,7 @@ int main(int argc, char** argv) {
 
   const double start = nowSeconds();
   std::unique_ptr<aggregator::HttpServer> http;
+  std::unique_ptr<aggregator::QueryService> queryService;
   if (httpListener) {
     http = std::make_unique<aggregator::HttpServer>(std::move(httpListener));
     trace::PromLabels labels{{"role", "daemon"}};
@@ -311,9 +332,12 @@ int main(int argc, char** argv) {
     if (!job.empty()) {
       labels.insert(labels.begin(), {"job", job});
     }
+    queryService =
+        std::make_unique<aggregator::QueryService>(daemon, queryOptions);
+    daemon.attachQueryService(queryService.get());
     aggregator::mountDaemonEndpoints(
         *http, daemon, [start] { return nowSeconds() - start; },
-        std::move(labels));
+        std::move(labels), queryService.get());
   }
   double nextDump = dumpInterval > 0.0 ? start + dumpInterval : 0.0;
   double nextResolve = 0.0;
@@ -362,6 +386,7 @@ int main(int argc, char** argv) {
       announcer->pump(elapsedNow);
     }
     if (http) {
+      queryService->beginPoll(elapsedNow);
       http->poll();
     }
     everSawSource = everSawSource || !daemon.sources().empty();

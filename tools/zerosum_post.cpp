@@ -24,6 +24,16 @@
 //                     ZS_AGG_HOST/ZS_AGG_PORT.  Shorthand: the words
 //                     sources, snapshot, or dashboard expand to the
 //                     corresponding {"op": ...} request.
+//   --http-query <target>
+//                     issue one HTTP/1.1 GET against a live zerosum-aggd
+//                     --http-port plane and print the response body
+//                     (needs no logs); the address comes from
+//                     --agg-host/--agg-port (or ZS_AGG_HOST/ZS_AGG_PORT)
+//                     pointing at the HTTP port.  Shorthand: stats
+//                     expands to /api/stats, any other bare word w to
+//                     /api/query?op=w; targets starting with '/' are
+//                     sent verbatim, so query-service parameters work:
+//                       --http-query '/api/query?op=range&metric=...'
 //   --tsdb-query <json>
 //                     answer one JSON query offline from a tsdb data dir
 //                     (--data-dir or ZS_TSDB_DIR) written by
@@ -128,6 +138,7 @@ int main(int argc, char** argv) {
   std::string traceSummaryPath;
   std::string promDumpPath;
   std::string aggQuery;
+  std::string httpQuery;
   std::string tsdbQuery;
   std::string tsdbDir = env::getString("ZS_TSDB_DIR", "");
   std::string aggHost = env::getString("ZS_AGG_HOST", "127.0.0.1");
@@ -149,6 +160,8 @@ int main(int argc, char** argv) {
       promDumpPath = argv[++i];
     } else if (arg == "--agg-query" && i + 1 < argc) {
       aggQuery = argv[++i];
+    } else if (arg == "--http-query" && i + 1 < argc) {
+      httpQuery = argv[++i];
     } else if (arg == "--tsdb-query" && i + 1 < argc) {
       tsdbQuery = argv[++i];
     } else if (arg == "--data-dir" && i + 1 < argc) {
@@ -162,6 +175,7 @@ int main(int argc, char** argv) {
                 << " [--charts] [--heatmap] [--reorder rpn] [--pgm path] "
                    "[--trace-summary trace.json] [--prom-dump metrics.json] "
                    "[--agg-query json [--agg-host h] [--agg-port p]] "
+                   "[--http-query target] "
                    "[--tsdb-query json --data-dir dir] <log>...\n";
       return 0;
     } else {
@@ -207,6 +221,54 @@ int main(int argc, char** argv) {
       return 1;
     }
     return 0;
+  }
+
+  if (!httpQuery.empty()) {
+    // Bare-word shorthand mirroring --agg-query; anything starting with
+    // '/' goes out verbatim so arbitrary query parameters work.
+    std::string target = httpQuery;
+    if (target.empty() || target[0] != '/') {
+      target = target == "stats" ? std::string("/api/stats")
+                                 : "/api/query?op=" + target;
+    }
+    aggregator::TcpTransport transport(aggHost, aggPort);
+    if (!transport.connect()) {
+      std::cerr << "zerosum-post: cannot connect to " << aggHost << ':'
+                << aggPort << " (is zerosum-aggd --http-port running?)\n";
+      return 1;
+    }
+    const std::string request = "GET " + target +
+                                " HTTP/1.1\r\nHost: " + aggHost +
+                                "\r\nConnection: close\r\n\r\n";
+    if (!transport.send(request)) {
+      std::cerr << "zerosum-post: send failed to " << aggHost << ':'
+                << aggPort << '\n';
+      return 1;
+    }
+    // Connection: close — read until the server closes, then split the
+    // response at the header/body boundary.
+    std::string raw;
+    for (int spins = 0; spins < 500; ++spins) {
+      if (!transport.receive(raw)) {
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    const std::size_t headerEnd = raw.find("\r\n\r\n");
+    if (raw.compare(0, 5, "HTTP/") != 0 ||
+        headerEnd == std::string::npos) {
+      std::cerr << "zerosum-post: malformed HTTP response from " << aggHost
+                << ':' << aggPort << '\n';
+      return 1;
+    }
+    const std::string statusLine = raw.substr(0, raw.find("\r\n"));
+    const int status =
+        std::atoi(statusLine.c_str() + statusLine.find(' ') + 1);
+    std::cout << raw.substr(headerEnd + 4);
+    if (raw.size() == headerEnd + 4) {
+      std::cout << '\n';
+    }
+    return status >= 200 && status < 300 ? 0 : 1;
   }
 
   if (!aggQuery.empty()) {
